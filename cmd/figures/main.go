@@ -1,0 +1,151 @@
+// Command figures regenerates every figure and table from the paper:
+//
+//	figures -fig 1       Figure 1  (safety-vs-LoC landscape)
+//	figures -fig 2a      Figure 2a (new Linux CVEs per year)
+//	figures -fig 2b      Figure 2b (ext4 CVE report-latency CDF)
+//	figures -fig 2c      Figure 2c (bug patches per LoC per year)
+//	figures -table cwe   §2 CVE categorization (42/35/23)
+//	figures -campaign    fault-injection campaign (dynamic §3 check)
+//	figures              everything
+//
+// Output is deterministic text; the benchmark harness in bench_test.go
+// regenerates the same data under testing.B.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"safelinux/internal/cvedb"
+	"safelinux/internal/faultinject"
+	"safelinux/internal/safety/audit"
+	"safelinux/pkg/safelinux"
+)
+
+func main() {
+	fig := flag.String("fig", "", "which figure to print (1, 2a, 2b, 2c); empty = all")
+	table := flag.String("table", "", "which table to print (cwe); empty = all")
+	campaign := flag.Bool("campaign", false, "run the fault-injection campaign")
+	csvDir := flag.String("csv", "", "also write the figure data as CSV files into this directory")
+	flag.Parse()
+
+	all := *fig == "" && *table == "" && !*campaign
+	db := cvedb.Default()
+	if *csvDir != "" {
+		if err := writeCSVs(db, *csvDir); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: csv: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote fig2a.csv fig2b.csv fig2c.csv categories.csv to %s\n", *csvDir)
+	}
+
+	if all || *fig == "1" {
+		printFigure1()
+	}
+	if all || *fig == "2a" {
+		fmt.Println(db.RenderFig2a())
+	}
+	if all || *fig == "2b" {
+		fmt.Println(db.RenderFig2b())
+	}
+	if all || *fig == "2c" {
+		fmt.Println(db.RenderFig2c())
+	}
+	if all || *table == "cwe" {
+		fmt.Println(db.RenderCategories())
+	}
+	if all || *campaign {
+		fmt.Println(faultinject.Run(faultinject.Scenarios()).Render())
+	}
+}
+
+// printFigure1 renders the landscape including this kernel's current
+// position after full migration, with module LoC measured from the
+// source tree when available.
+func printFigure1() {
+	k, err := safelinux.New(safelinux.Config{Seed: 1, CaptureOops: true})
+	if err.IsError() {
+		fmt.Fprintf(os.Stderr, "figures: kernel boot failed: %v\n", err)
+		os.Exit(1)
+	}
+	defer k.Close()
+	fmt.Println("Figure 1 (before migration):")
+	fmt.Println(k.Figure1(measureLoC()))
+
+	if err := k.UpgradeFS(); err.IsError() {
+		fmt.Fprintf(os.Stderr, "figures: UpgradeFS: %v\n", err)
+		os.Exit(1)
+	}
+	if err := k.UpgradeTCP(); err.IsError() {
+		fmt.Fprintf(os.Stderr, "figures: UpgradeTCP: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("Figure 1 (after incremental migration):")
+	fmt.Println(k.Figure1(measureLoC()))
+	fmt.Println("module report card:")
+	fmt.Println(k.ReportCard())
+}
+
+// writeCSVs exports the Figure 2 series and the categorization as
+// plottable CSV files.
+func writeCSVs(db *cvedb.DB, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name, content string) error {
+		return os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644)
+	}
+	var b strings.Builder
+	b.WriteString("year,cves\n")
+	for _, yc := range db.CVEsPerYear() {
+		fmt.Fprintf(&b, "%d,%d\n", yc.Year, yc.Count)
+	}
+	if err := write("fig2a.csv", b.String()); err != nil {
+		return err
+	}
+	b.Reset()
+	b.WriteString("years_after_release,fraction\n")
+	for _, p := range db.LatencyCDF("fs/ext4", 2008) {
+		fmt.Fprintf(&b, "%d,%.4f\n", p.YearsAfterRelease, p.Fraction)
+	}
+	if err := write("fig2b.csv", b.String()); err != nil {
+		return err
+	}
+	b.Reset()
+	b.WriteString("fs,age,bugs_per_line\n")
+	for _, p := range db.BugsPerLoC() {
+		fmt.Fprintf(&b, "%s,%d,%.6f\n", p.FS, p.Age, p.BugsPerLine)
+	}
+	if err := write("fig2c.csv", b.String()); err != nil {
+		return err
+	}
+	b.Reset()
+	b.WriteString("prevention,count,percent\n")
+	rep := db.Categorize()
+	for _, p := range []cvedb.Prevention{
+		cvedb.PreventTypeOwnership, cvedb.PreventFunctional, cvedb.PreventOther,
+	} {
+		fmt.Fprintf(&b, "%s,%d,%.1f\n", p, rep.Counts[p], rep.Percents[p])
+	}
+	return write("categories.csv", b.String())
+}
+
+// measureLoC counts this repository's module sizes when run from the
+// repo root; otherwise it falls back to representative constants.
+func measureLoC() []audit.ModuleLoC {
+	fsLoC, err1 := audit.CountLoC("internal/safemod/safefs", "internal/linuxlike/fs")
+	netLoC, err2 := audit.CountLoC("internal/safemod/safetcp", "internal/linuxlike/net")
+	if err1 != nil || err2 != nil {
+		return []audit.ModuleLoC{
+			{Iface: safelinux.IfaceFS, LoC: 3000},
+			{Iface: safelinux.IfaceStream, LoC: 1500},
+		}
+	}
+	return []audit.ModuleLoC{
+		{Iface: safelinux.IfaceFS, LoC: fsLoC},
+		{Iface: safelinux.IfaceStream, LoC: netLoC},
+	}
+}

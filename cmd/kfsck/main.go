@@ -1,0 +1,69 @@
+// Command kfsck demonstrates offline consistency checking of the
+// extlike file system: it builds three volumes — healthy, leaking
+// (the LeakOnUnlink bug planted), and crashed-before-writeback — and
+// runs fsck on each. The devices are simulated, so the tool is a
+// self-contained demonstration rather than something pointed at a
+// disk image.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/workload"
+)
+
+func main() {
+	rec := &kbase.OopsRecorder{}
+	kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(nil)
+
+	fmt.Println("== healthy volume ==")
+	check(buildVolume(&extlike.FS{}, false))
+
+	fmt.Println("\n== volume with the unlink block-leak bug planted ==")
+	check(buildVolume(&extlike.FS{LeakOnUnlink: true}, false))
+
+	fmt.Println("\n== volume crashed before writeback (journal replay) ==")
+	check(buildVolume(&extlike.FS{}, true))
+}
+
+// buildVolume creates a device, runs a workload (including unlinks),
+// and either unmounts cleanly or crashes.
+func buildVolume(fs *extlike.FS, crash bool) *blockdev.Device {
+	dev := blockdev.New(blockdev.Config{Blocks: 4096, BlockSize: 512, Rng: kbase.NewRng(11)})
+	if _, err := extlike.Mkfs(dev, extlike.MkfsOptions{}); err.IsError() {
+		fatal("mkfs", err)
+	}
+	v := vfs.New(nil)
+	task := kbase.NewTask()
+	v.RegisterFS(fs)
+	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err.IsError() {
+		fatal("mount", err)
+	}
+	w := workload.NewFS(workload.FSConfig{Seed: 5, Ops: 400, Mix: workload.MetadataHeavyMix()})
+	w.Run(v, task)
+	if crash {
+		dev.CrashApplyNone()
+	} else if err := v.Unmount(task, "/"); err.IsError() {
+		fatal("unmount", err)
+	}
+	return dev
+}
+
+func check(dev *blockdev.Device) {
+	rep, err := extlike.Fsck(dev)
+	if err.IsError() {
+		fatal("fsck", err)
+	}
+	fmt.Print(rep.Summary())
+}
+
+func fatal(what string, err kbase.Errno) {
+	fmt.Fprintf(os.Stderr, "kfsck: %s: %v\n", what, err)
+	os.Exit(1)
+}

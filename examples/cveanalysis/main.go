@@ -1,0 +1,37 @@
+// CVE analysis example: run the §2 pipeline — categorize the CVE
+// dataset by which roadmap step prevents each weakness, and print the
+// Figure 2 series the categorization motivates.
+//
+//	go run ./examples/cveanalysis
+package main
+
+import (
+	"fmt"
+
+	"safelinux/internal/cvedb"
+)
+
+func main() {
+	db := cvedb.Default()
+
+	rep := db.Categorize()
+	fmt.Printf("analyzed %d Linux CVEs (%d-%d)\n\n", rep.Total, cvedb.FirstYear, cvedb.LastYear)
+	fmt.Println("what each roadmap step would have prevented:")
+	fmt.Printf("  steps 2-3 (type + ownership safety): %4d  (%.0f%%)\n",
+		rep.Counts[cvedb.PreventTypeOwnership], rep.Percents[cvedb.PreventTypeOwnership])
+	fmt.Printf("  step  4   (functional correctness):  %4d  (%.0f%%)\n",
+		rep.Counts[cvedb.PreventFunctional], rep.Percents[cvedb.PreventFunctional])
+	fmt.Printf("  beyond this paper's techniques:      %4d  (%.0f%%)\n\n",
+		rep.Counts[cvedb.PreventOther], rep.Percents[cvedb.PreventOther])
+
+	fmt.Println(db.RenderFig2a())
+	fmt.Println(db.RenderFig2b())
+	fmt.Println(db.RenderFig2c())
+
+	// The maturity observation that motivates the paper: bugs keep
+	// arriving in old code, so waiting for components to stabilize is
+	// not a strategy.
+	med := db.MedianLatency("fs/ext4", 2008)
+	fmt.Printf("ext4 median CVE latency: %d years after release — half of its\n", med)
+	fmt.Println("vulnerabilities were found in its second decade of deployment.")
+}

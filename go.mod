@@ -1,0 +1,3 @@
+module safelinux
+
+go 1.22

@@ -1,0 +1,241 @@
+package cvedb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// YearCount is one Figure 2a point.
+type YearCount struct {
+	Year  int
+	Count int
+}
+
+// CVEsPerYear computes Figure 2a: new Linux CVEs reported per year.
+func (db *DB) CVEsPerYear() []YearCount {
+	byYear := map[int]int{}
+	for _, c := range db.CVEs {
+		byYear[c.Year]++
+	}
+	years := make([]int, 0, len(byYear))
+	for y := range byYear {
+		years = append(years, y)
+	}
+	sort.Ints(years)
+	out := make([]YearCount, len(years))
+	for i, y := range years {
+		out[i] = YearCount{Year: y, Count: byYear[y]}
+	}
+	return out
+}
+
+// CDFPoint is one Figure 2b point: the fraction of CVEs reported
+// within YearsAfterRelease years.
+type CDFPoint struct {
+	YearsAfterRelease int
+	Fraction          float64
+}
+
+// LatencyCDF computes Figure 2b for one subsystem: the CDF of how
+// many years after the subsystem's release each of its CVEs was
+// reported.
+func (db *DB) LatencyCDF(subsystem string, releaseYear int) []CDFPoint {
+	var latencies []int
+	for _, c := range db.CVEs {
+		if c.Subsystem == subsystem {
+			latencies = append(latencies, c.Year-releaseYear)
+		}
+	}
+	if len(latencies) == 0 {
+		return nil
+	}
+	sort.Ints(latencies)
+	maxLat := latencies[len(latencies)-1]
+	out := make([]CDFPoint, 0, maxLat+1)
+	for lat := 0; lat <= maxLat; lat++ {
+		n := 0
+		for _, l := range latencies {
+			if l <= lat {
+				n++
+			}
+		}
+		out = append(out, CDFPoint{
+			YearsAfterRelease: lat,
+			Fraction:          float64(n) / float64(len(latencies)),
+		})
+	}
+	return out
+}
+
+// MedianLatency returns the median report latency (years after
+// release) for a subsystem's CVEs, or -1 with none.
+func (db *DB) MedianLatency(subsystem string, releaseYear int) int {
+	var latencies []int
+	for _, c := range db.CVEs {
+		if c.Subsystem == subsystem {
+			latencies = append(latencies, c.Year-releaseYear)
+		}
+	}
+	if len(latencies) == 0 {
+		return -1
+	}
+	sort.Ints(latencies)
+	return latencies[len(latencies)/2]
+}
+
+// RatePoint is one Figure 2c point: bugs per line of code in one
+// year, for one file system, indexed by age since release.
+type RatePoint struct {
+	FS          string
+	Age         int // years since release
+	BugsPerLine float64
+}
+
+// BugsPerLoC computes Figure 2c: the per-year bug-patch rate divided
+// by the contemporary code size, per file system, as a function of
+// subsystem age.
+func (db *DB) BugsPerLoC() []RatePoint {
+	patchCount := map[string]map[int]int{}
+	for _, p := range db.Patches {
+		if patchCount[p.FS] == nil {
+			patchCount[p.FS] = map[int]int{}
+		}
+		patchCount[p.FS][p.Year]++
+	}
+	var out []RatePoint
+	for _, h := range db.Histories {
+		for y := h.ReleaseYear; y <= LastYear; y++ {
+			loc := h.LoCByYear[y]
+			if loc == 0 {
+				continue
+			}
+			out = append(out, RatePoint{
+				FS:          h.FS,
+				Age:         y - h.ReleaseYear,
+				BugsPerLine: float64(patchCount[h.FS][y]) / float64(loc),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FS != out[j].FS {
+			return out[i].FS < out[j].FS
+		}
+		return out[i].Age < out[j].Age
+	})
+	return out
+}
+
+// CategoryReport is the §2 categorization result.
+type CategoryReport struct {
+	Total    int
+	Counts   map[Prevention]int
+	Percents map[Prevention]float64
+	// ByCWE breaks each bucket down for the appendix table.
+	ByCWE map[int]int
+}
+
+// Categorize computes the §2 numbers: which fraction of the CVEs
+// each roadmap step prevents.
+func (db *DB) Categorize() CategoryReport {
+	rep := CategoryReport{
+		Total:    len(db.CVEs),
+		Counts:   map[Prevention]int{},
+		Percents: map[Prevention]float64{},
+		ByCWE:    map[int]int{},
+	}
+	for _, c := range db.CVEs {
+		rep.Counts[PreventionOf(c.CWE)]++
+		rep.ByCWE[c.CWE]++
+	}
+	for p, n := range rep.Counts {
+		rep.Percents[p] = 100 * float64(n) / float64(rep.Total)
+	}
+	return rep
+}
+
+// --- Text renderers used by cmd/figures ---
+
+// RenderFig2a renders Figure 2a as an aligned table with a text bar.
+func (db *DB) RenderFig2a() string {
+	var b strings.Builder
+	b.WriteString("Figure 2a: new Linux CVEs reported per year\n")
+	for _, yc := range db.CVEsPerYear() {
+		fmt.Fprintf(&b, "%d %4d %s\n", yc.Year, yc.Count, strings.Repeat("#", yc.Count/8))
+	}
+	return b.String()
+}
+
+// RenderFig2b renders the ext4 latency CDF.
+func (db *DB) RenderFig2b() string {
+	var b strings.Builder
+	b.WriteString("Figure 2b: CDF of ext4 CVE report latency (years after 2008 release)\n")
+	for _, p := range db.LatencyCDF("fs/ext4", ext4ReleaseYear) {
+		fmt.Fprintf(&b, "<=%2dy %5.1f%% %s\n",
+			p.YearsAfterRelease, 100*p.Fraction, strings.Repeat("#", int(50*p.Fraction)))
+	}
+	fmt.Fprintf(&b, "median latency: %d years\n", db.MedianLatency("fs/ext4", ext4ReleaseYear))
+	return b.String()
+}
+
+// RenderFig2c renders bugs-per-LoC-per-year by age for each FS.
+func (db *DB) RenderFig2c() string {
+	var b strings.Builder
+	b.WriteString("Figure 2c: bug patches per line of code per year (by subsystem age)\n")
+	b.WriteString("age  ")
+	series := map[string][]RatePoint{}
+	var names []string
+	for _, p := range db.BugsPerLoC() {
+		if _, seen := series[p.FS]; !seen {
+			names = append(names, p.FS)
+		}
+		series[p.FS] = append(series[p.FS], p)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteString("\n")
+	maxAge := 0
+	for _, pts := range series {
+		if a := pts[len(pts)-1].Age; a > maxAge {
+			maxAge = a
+		}
+	}
+	for age := 0; age <= maxAge; age++ {
+		fmt.Fprintf(&b, "%3d  ", age)
+		for _, n := range names {
+			val := ""
+			for _, p := range series[n] {
+				if p.Age == age {
+					val = fmt.Sprintf("%.3f%%", 100*p.BugsPerLine)
+				}
+			}
+			fmt.Fprintf(&b, "%12s", val)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderCategories renders the §2 categorization table.
+func (db *DB) RenderCategories() string {
+	rep := db.Categorize()
+	var b strings.Builder
+	fmt.Fprintf(&b, "CVE categorization (%d CVEs, %d-%d)\n", rep.Total, FirstYear, LastYear)
+	for _, p := range []Prevention{PreventTypeOwnership, PreventFunctional, PreventOther} {
+		fmt.Fprintf(&b, "%-16s %5d  %5.1f%%\n", p, rep.Counts[p], rep.Percents[p])
+	}
+	b.WriteString("\nby CWE:\n")
+	ids := make([]int, 0, len(rep.ByCWE))
+	for id := range rep.ByCWE {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return rep.ByCWE[ids[i]] > rep.ByCWE[ids[j]] })
+	byID := taxonomyByID()
+	for _, id := range ids {
+		fmt.Fprintf(&b, "CWE-%-4d %-40s %5d (%s)\n",
+			id, byID[id].Name, rep.ByCWE[id], byID[id].Prevention)
+	}
+	return b.String()
+}

@@ -1,0 +1,238 @@
+package cvedb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetDeterministic(t *testing.T) {
+	a, b := Generate(2021), Generate(2021)
+	if len(a.CVEs) != len(b.CVEs) || len(a.Patches) != len(b.Patches) {
+		t.Fatalf("sizes differ")
+	}
+	for i := range a.CVEs {
+		if a.CVEs[i] != b.CVEs[i] {
+			t.Fatalf("CVE %d differs: %+v vs %+v", i, a.CVEs[i], b.CVEs[i])
+		}
+	}
+	c := Generate(7)
+	same := true
+	for i := range a.CVEs {
+		if i < len(c.CVEs) && a.CVEs[i] != c.CVEs[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical datasets")
+	}
+}
+
+func TestTotalMatchesPaper(t *testing.T) {
+	db := Default()
+	if len(db.CVEs) != TotalCVEs {
+		t.Fatalf("total CVEs = %d, want %d", len(db.CVEs), TotalCVEs)
+	}
+}
+
+// TestFig2aShape: hundreds of CVEs every year, totals per the series
+// the figure plots.
+func TestFig2aShape(t *testing.T) {
+	db := Default()
+	perYear := db.CVEsPerYear()
+	if len(perYear) != LastYear-FirstYear+1 {
+		t.Fatalf("years covered = %d", len(perYear))
+	}
+	sum := 0
+	for _, yc := range perYear {
+		if yc.Count < 50 {
+			t.Fatalf("year %d has only %d CVEs — not 'hundreds each year'", yc.Year, yc.Count)
+		}
+		sum += yc.Count
+	}
+	if sum != TotalCVEs {
+		t.Fatalf("per-year sum = %d", sum)
+	}
+	// 2017 is the series peak.
+	peak := perYear[0]
+	for _, yc := range perYear {
+		if yc.Count > peak.Count {
+			peak = yc
+		}
+	}
+	if peak.Year != 2017 {
+		t.Fatalf("peak year = %d", peak.Year)
+	}
+}
+
+// TestFig2bMedian: "50% of CVEs in ext4 were found after 7 years or
+// more of use".
+func TestFig2bMedian(t *testing.T) {
+	db := Default()
+	med := db.MedianLatency("fs/ext4", ext4ReleaseYear)
+	if med < 7 {
+		t.Fatalf("ext4 median latency = %d years, paper reports >= 7", med)
+	}
+	cdf := db.LatencyCDF("fs/ext4", ext4ReleaseYear)
+	if len(cdf) == 0 {
+		t.Fatalf("no ext4 CVEs in dataset")
+	}
+	// CDF is monotone and ends at 1.
+	prev := 0.0
+	for _, p := range cdf {
+		if p.Fraction < prev {
+			t.Fatalf("CDF not monotone at %d", p.YearsAfterRelease)
+		}
+		prev = p.Fraction
+	}
+	if prev != 1.0 {
+		t.Fatalf("CDF ends at %f", prev)
+	}
+	// Under half the mass arrives before year 7.
+	for _, p := range cdf {
+		if p.YearsAfterRelease == 6 && p.Fraction > 0.5 {
+			t.Fatalf("%.0f%% of CVEs within 6 years — contradicts the figure", 100*p.Fraction)
+		}
+	}
+}
+
+// TestFig2cTail: "even after 10 years, there are still new bugs
+// (0.5% bugs per line of code each year) in all three file systems".
+func TestFig2cTail(t *testing.T) {
+	db := Default()
+	pts := db.BugsPerLoC()
+	seen := map[string]bool{}
+	for _, p := range pts {
+		seen[p.FS] = true
+		if p.BugsPerLine <= 0 {
+			t.Fatalf("%s age %d has zero bug rate", p.FS, p.Age)
+		}
+	}
+	for _, fs := range []string{"ext4", "btrfs", "overlayfs"} {
+		if !seen[fs] {
+			t.Fatalf("missing series for %s", fs)
+		}
+	}
+	// The old-age tail sits near 0.5%/year.
+	for _, p := range pts {
+		if p.Age >= 10 {
+			if p.BugsPerLine < 0.004 || p.BugsPerLine > 0.009 {
+				t.Fatalf("%s age %d rate %.4f%% not near the 0.5%% tail",
+					p.FS, p.Age, 100*p.BugsPerLine)
+			}
+		}
+	}
+	// Rates decline with age for each FS (early years buggier).
+	first := map[string]float64{}
+	last := map[string]float64{}
+	for _, p := range pts {
+		if _, ok := first[p.FS]; !ok {
+			first[p.FS] = p.BugsPerLine
+		}
+		last[p.FS] = p.BugsPerLine
+	}
+	for fs := range first {
+		if first[fs] <= last[fs] {
+			t.Fatalf("%s rate did not decline: %.4f -> %.4f", fs, first[fs], last[fs])
+		}
+	}
+}
+
+// TestCategorization: "roughly 42% ... type and ownership safety, an
+// additional 35% with functional correctness verification", 23%
+// other.
+func TestCategorization(t *testing.T) {
+	db := Default()
+	rep := db.Categorize()
+	if rep.Total != TotalCVEs {
+		t.Fatalf("total = %d", rep.Total)
+	}
+	within := func(got, want, tol float64) bool {
+		return got >= want-tol && got <= want+tol
+	}
+	if !within(rep.Percents[PreventTypeOwnership], 42, 0.5) {
+		t.Fatalf("type+ownership = %.1f%%, want ~42%%", rep.Percents[PreventTypeOwnership])
+	}
+	if !within(rep.Percents[PreventFunctional], 35, 0.5) {
+		t.Fatalf("functional = %.1f%%, want ~35%%", rep.Percents[PreventFunctional])
+	}
+	if !within(rep.Percents[PreventOther], 23, 0.5) {
+		t.Fatalf("other = %.1f%%, want ~23%%", rep.Percents[PreventOther])
+	}
+	n := rep.Counts[PreventTypeOwnership] + rep.Counts[PreventFunctional] + rep.Counts[PreventOther]
+	if n != rep.Total {
+		t.Fatalf("bucket sum = %d", n)
+	}
+}
+
+func TestPreventionOf(t *testing.T) {
+	if PreventionOf(416) != PreventTypeOwnership {
+		t.Fatalf("CWE-416 misclassified")
+	}
+	if PreventionOf(20) != PreventFunctional {
+		t.Fatalf("CWE-20 misclassified")
+	}
+	if PreventionOf(200) != PreventOther {
+		t.Fatalf("CWE-200 misclassified")
+	}
+	if PreventionOf(99999) != PreventOther {
+		t.Fatalf("unknown CWE not conservative")
+	}
+}
+
+func TestTaxonomyUniqueIDs(t *testing.T) {
+	seen := map[int]bool{}
+	for _, c := range Taxonomy() {
+		if seen[c.ID] {
+			t.Fatalf("duplicate CWE id %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	db := Default()
+	fig2a := db.RenderFig2a()
+	if !strings.Contains(fig2a, "2017") || !strings.Contains(fig2a, "Figure 2a") {
+		t.Fatalf("fig2a render:\n%s", fig2a)
+	}
+	fig2b := db.RenderFig2b()
+	if !strings.Contains(fig2b, "median latency") {
+		t.Fatalf("fig2b render:\n%s", fig2b)
+	}
+	fig2c := db.RenderFig2c()
+	if !strings.Contains(fig2c, "overlayfs") || !strings.Contains(fig2c, "age") {
+		t.Fatalf("fig2c render:\n%s", fig2c)
+	}
+	cats := db.RenderCategories()
+	if !strings.Contains(cats, "type+ownership") || !strings.Contains(cats, "CWE-416") {
+		t.Fatalf("categories render:\n%s", cats)
+	}
+}
+
+func TestLatencyCDFUnknownSubsystem(t *testing.T) {
+	db := Default()
+	if cdf := db.LatencyCDF("fs/xfs", 2001); cdf != nil {
+		t.Fatalf("unknown subsystem produced CDF")
+	}
+	if med := db.MedianLatency("fs/xfs", 2001); med != -1 {
+		t.Fatalf("unknown subsystem median = %d", med)
+	}
+}
+
+func TestCVEIDsWellFormed(t *testing.T) {
+	db := Default()
+	seen := map[string]bool{}
+	for _, c := range db.CVEs {
+		if !strings.HasPrefix(c.ID, "CVE-") {
+			t.Fatalf("bad id %q", c.ID)
+		}
+		if seen[c.ID] {
+			t.Fatalf("duplicate id %q", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Year < FirstYear || c.Year > LastYear {
+			t.Fatalf("year %d out of window", c.Year)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package cvedb contains the vulnerability dataset and analysis
+// pipeline behind the paper's §2 motivation: Figure 2a (new Linux
+// CVEs per year), Figure 2b (CDF of ext4 CVE report latency), Figure
+// 2c (bug patches per line of code per year for ext4/btrfs/
+// overlayfs), and the in-text categorization of 1475 CVEs into 42%
+// preventable by compile-time type+ownership safety, 35% by
+// functional-correctness verification, and 23% other.
+//
+// The raw records are synthetic but deterministic, generated to match
+// the aggregates the paper reports (the substitution documented in
+// DESIGN.md: the derivation pipeline is real, the raw rows are
+// calibrated). Every figure is computed from the raw rows by the
+// analysis code in this package — nothing hardcodes the outputs.
+package cvedb
+
+// Prevention classifies which roadmap step stops a bug class — the
+// §2 trichotomy.
+type Prevention string
+
+// The three §2 buckets.
+const (
+	PreventTypeOwnership Prevention = "type+ownership" // steps 2-3
+	PreventFunctional    Prevention = "functional"     // step 4
+	PreventOther         Prevention = "other"          // beyond this paper
+)
+
+// CWE describes one Common Weakness Enumeration entry as used in the
+// categorization.
+type CWE struct {
+	ID         int
+	Name       string
+	Prevention Prevention
+}
+
+// Taxonomy returns the CWE table used to categorize kernel CVEs. The
+// prevention assignments follow the paper's reasoning: memory- and
+// concurrency-safety weaknesses fall to type+ownership safety;
+// logic, validation, and lifecycle weaknesses fall to functional
+// verification; design-level, numeric, and information-exposure
+// weaknesses are "other".
+func Taxonomy() []CWE {
+	return []CWE{
+		// Prevented by compile-time type and ownership safety.
+		{ID: 416, Name: "use after free", Prevention: PreventTypeOwnership},
+		{ID: 476, Name: "NULL pointer dereference", Prevention: PreventTypeOwnership},
+		{ID: 787, Name: "out-of-bounds write", Prevention: PreventTypeOwnership},
+		{ID: 125, Name: "out-of-bounds read", Prevention: PreventTypeOwnership},
+		{ID: 119, Name: "improper restriction of memory buffer", Prevention: PreventTypeOwnership},
+		{ID: 415, Name: "double free", Prevention: PreventTypeOwnership},
+		{ID: 362, Name: "race condition", Prevention: PreventTypeOwnership},
+		{ID: 401, Name: "memory leak", Prevention: PreventTypeOwnership},
+		{ID: 843, Name: "type confusion", Prevention: PreventTypeOwnership},
+		{ID: 824, Name: "uninitialized pointer access", Prevention: PreventTypeOwnership},
+
+		// Prevented by functional-correctness verification.
+		{ID: 20, Name: "improper input validation", Prevention: PreventFunctional},
+		{ID: 22, Name: "path traversal", Prevention: PreventFunctional},
+		{ID: 59, Name: "improper link resolution", Prevention: PreventFunctional},
+		{ID: 617, Name: "reachable assertion", Prevention: PreventFunctional},
+		{ID: 459, Name: "incomplete cleanup", Prevention: PreventFunctional},
+		{ID: 667, Name: "improper locking discipline", Prevention: PreventFunctional},
+		{ID: 682, Name: "incorrect calculation", Prevention: PreventFunctional},
+		{ID: 436, Name: "interpretation conflict", Prevention: PreventFunctional},
+
+		// Beyond the scope of this paper's techniques.
+		{ID: 200, Name: "information exposure", Prevention: PreventOther},
+		{ID: 190, Name: "integer overflow", Prevention: PreventOther},
+		{ID: 191, Name: "integer underflow", Prevention: PreventOther},
+		{ID: 284, Name: "improper access control", Prevention: PreventOther},
+		{ID: 269, Name: "improper privilege management", Prevention: PreventOther},
+		{ID: 330, Name: "insufficiently random values", Prevention: PreventOther},
+		{ID: 400, Name: "uncontrolled resource consumption", Prevention: PreventOther},
+	}
+}
+
+// taxonomyByID indexes the taxonomy.
+func taxonomyByID() map[int]CWE {
+	m := make(map[int]CWE)
+	for _, c := range Taxonomy() {
+		m[c.ID] = c
+	}
+	return m
+}
+
+// PreventionOf classifies a CWE id; unknown ids fall to "other", the
+// conservative bucket.
+func PreventionOf(cweID int) Prevention {
+	if c, ok := taxonomyByID()[cweID]; ok {
+		return c.Prevention
+	}
+	return PreventOther
+}

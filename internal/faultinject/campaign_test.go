@@ -1,0 +1,92 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/safety/module"
+)
+
+func TestCampaignRuns(t *testing.T) {
+	rep := Run(Scenarios())
+	if len(rep.Results) != 8 {
+		t.Fatalf("scenarios = %d", len(rep.Results))
+	}
+	for _, res := range rep.Results {
+		if res.Legacy == "" || res.Safe == "" {
+			t.Fatalf("%s produced empty outcome", res.Scenario.Name)
+		}
+	}
+}
+
+// TestEverySafeModulePrevents: the roadmap's promise — each class is
+// prevented (not merely detected) by the step that targets it.
+func TestEverySafeModulePrevents(t *testing.T) {
+	rep := Run(Scenarios())
+	for _, res := range rep.Results {
+		if res.Safe != OutcomePrevented {
+			t.Errorf("%s: safe outcome = %s, want prevented", res.Scenario.Name, res.Safe)
+		}
+	}
+}
+
+// TestLegacyNeverPrevents: under legacy modules each bug either
+// manifests or is only caught after the bad access — except the
+// crash-semantic scenario's healthy-mount control.
+func TestLegacyNeverPrevents(t *testing.T) {
+	rep := Run(Scenarios())
+	for _, res := range rep.Results {
+		if res.Legacy == OutcomePrevented {
+			t.Errorf("%s: legacy outcome = prevented — scenario is not injecting anything", res.Scenario.Name)
+		}
+	}
+}
+
+func TestPreventedCount(t *testing.T) {
+	rep := Run(Scenarios())
+	if got := rep.PreventedCount(); got != len(rep.Results) {
+		t.Fatalf("PreventedCount = %d of %d", got, len(rep.Results))
+	}
+}
+
+// TestScenarioClassesCoverCategorization: the campaign exercises at
+// least one scenario for every §2-relevant oops kind and both
+// preventing steps appear.
+func TestScenarioClassesCoverCategorization(t *testing.T) {
+	classes := map[kbase.OopsKind]bool{}
+	steps := map[module.SafetyLevel]bool{}
+	for _, sc := range Scenarios() {
+		classes[sc.Class] = true
+		steps[sc.PreventedBy] = true
+	}
+	for _, want := range []kbase.OopsKind{
+		kbase.OopsNullDeref, kbase.OopsUseAfterFree, kbase.OopsDoubleFree,
+		kbase.OopsDataRace, kbase.OopsLeak, kbase.OopsTypeConfusion,
+		kbase.OopsOutOfBounds, kbase.OopsSemantic,
+	} {
+		if !classes[want] {
+			t.Errorf("no scenario for class %s", want)
+		}
+	}
+	if !steps[module.LevelTypeSafe] || !steps[module.LevelOwnershipSafe] || !steps[module.LevelVerified] {
+		t.Errorf("steps covered = %v", steps)
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Run(Scenarios()).Render()
+	for _, want := range []string{"scenario", "prevented", "§2", "1475"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCampaignDeterministic(t *testing.T) {
+	a := Run(Scenarios()).Render()
+	b := Run(Scenarios()).Render()
+	if a != b {
+		t.Fatalf("campaign not deterministic")
+	}
+}

@@ -1,0 +1,314 @@
+package faultinject
+
+import (
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/fs/ramfs"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/net"
+	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safemod/safefs"
+	"safelinux/internal/safemod/safetcp"
+	"safelinux/internal/safety/module"
+	"safelinux/internal/safety/own"
+	"safelinux/internal/safety/typedapi"
+)
+
+// Scenarios returns the standard campaign: one scenario per §2 bug
+// class, each implemented against the real modules of this kernel.
+func Scenarios() []Scenario {
+	return []Scenario{
+		nullDerefScenario(),
+		useAfterFreeScenario(),
+		doubleFreeScenario(),
+		dataRaceScenario(),
+		leakScenario(),
+		typeConfusionScenario(),
+		outOfBoundsScenario(),
+		crashSemanticScenario(),
+	}
+}
+
+// mountRam mounts a fresh ramfs for scenario use.
+func mountRam(fs *ramfs.FS) (*vfs.VFS, *kbase.Task) {
+	v := vfs.New(nil)
+	task := kbase.NewTask()
+	v.RegisterFS(fs)
+	v.Mount(task, "/", "ramfs", nil)
+	return v, task
+}
+
+// nullDerefScenario: the ERR_PTR idiom invites using an error
+// sentinel as a real object; the zero-valued fields silently steer
+// logic. The ownership API's zero capability refuses access instead.
+func nullDerefScenario() Scenario {
+	return Scenario{
+		Name:        "errptr-null-deref",
+		Class:       kbase.OopsNullDeref,
+		PreventedBy: module.LevelOwnershipSafe,
+		Legacy: func(e *Env) Outcome {
+			// A caller forgets IS_ERR and consumes the sentinel.
+			ino := kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+			// ino.Ino is 0, ino.Mode is 0 — garbage flows onward,
+			// nothing traps.
+			if ino.Ino == 0 && !kbase.IsErr(ino) {
+				return OutcomeDetectedLate // unreachable: IsErr is true
+			}
+			_ = ino.Ino
+			return OutcomeManifested
+		},
+		Safe: func(e *Env) Outcome {
+			var missing own.Owned[vfs.Inode] // the zero capability
+			if missing.Use(func(*vfs.Inode) {}) {
+				return OutcomeManifested
+			}
+			return OutcomePrevented
+		},
+	}
+}
+
+// useAfterFreeScenario: manual lifetime management reuses a freed
+// object; KASAN-style tracking notices only when the access happens.
+func useAfterFreeScenario() Scenario {
+	return Scenario{
+		Name:        "inode-use-after-free",
+		Class:       kbase.OopsUseAfterFree,
+		PreventedBy: module.LevelOwnershipSafe,
+		Legacy: func(e *Env) Outcome {
+			arena := kbase.NewArena("scenario")
+			obj := &vfs.Inode{Ino: 9}
+			arena.Alloc(obj)
+			arena.Free(obj)
+			arena.Access(obj) // the buggy access happens
+			if e.Recorder.Count(kbase.OopsUseAfterFree) > 0 {
+				return OutcomeDetectedLate
+			}
+			return OutcomeManifested
+		},
+		Safe: func(e *Env) Outcome {
+			ck := own.NewChecker(own.PolicyRecord)
+			o := own.New(ck, "inode", vfs.Inode{Ino: 9})
+			o.Free()
+			if o.Use(func(*vfs.Inode) {}) {
+				return OutcomeManifested // access went through
+			}
+			return OutcomePrevented
+		},
+	}
+}
+
+// doubleFreeScenario mirrors CWE-415.
+func doubleFreeScenario() Scenario {
+	return Scenario{
+		Name:        "buffer-double-free",
+		Class:       kbase.OopsDoubleFree,
+		PreventedBy: module.LevelOwnershipSafe,
+		Legacy: func(e *Env) Outcome {
+			arena := kbase.NewArena("scenario")
+			obj := &struct{ b [64]byte }{}
+			arena.Alloc(obj)
+			arena.Free(obj)
+			arena.Free(obj)
+			if e.Recorder.Count(kbase.OopsDoubleFree) > 0 {
+				return OutcomeDetectedLate
+			}
+			return OutcomeManifested
+		},
+		Safe: func(e *Env) Outcome {
+			ck := own.NewChecker(own.PolicyRecord)
+			o := own.New(ck, "buf", [64]byte{})
+			o.Free()
+			if o.Free() {
+				return OutcomeManifested
+			}
+			return OutcomePrevented
+		},
+	}
+}
+
+// dataRaceScenario: the "maybe protected by i_lock" i_size store
+// races a locked reader; nothing in the legacy kernel notices. The
+// capability API refuses the second writer.
+func dataRaceScenario() Scenario {
+	return Scenario{
+		Name:        "isize-unlocked-store",
+		Class:       kbase.OopsDataRace,
+		PreventedBy: module.LevelOwnershipSafe,
+		Legacy: func(e *Env) Outcome {
+			v, task := mountRam(&ramfs.FS{SkipSizeLock: true})
+			fd, _ := v.Open(task, "/f", vfs.OWrOnly|vfs.OCreate)
+			// The write path stores i_size without i_lock while the
+			// stat path reads it under the lock; the discipline is
+			// broken and nobody reports it.
+			v.Write(task, fd, []byte("racy"))
+			v.Stat(task, "/f")
+			return OutcomeManifested
+		},
+		Safe: func(e *Env) Outcome {
+			ck := own.NewChecker(own.PolicyRecord)
+			size := own.New(ck, "i_size", int64(0))
+			m, ok := size.BorrowMut() // the writer holds exclusivity
+			if !ok {
+				return OutcomeManifested
+			}
+			defer m.Release()
+			// A second, undisciplined writer cannot get in.
+			if size.Use(func(*int64) {}) {
+				return OutcomeManifested
+			}
+			return OutcomePrevented
+		},
+	}
+}
+
+// leakScenario mirrors CWE-401: unlink forgets to free data blocks.
+func leakScenario() Scenario {
+	return Scenario{
+		Name:        "unlink-block-leak",
+		Class:       kbase.OopsLeak,
+		PreventedBy: module.LevelOwnershipSafe,
+		Legacy: func(e *Env) Outcome {
+			dev := blockdev.New(blockdev.Config{Blocks: 256, BlockSize: 512, Rng: kbase.NewRng(1)})
+			extlike.Mkfs(dev, extlike.MkfsOptions{})
+			v := vfs.New(nil)
+			task := kbase.NewTask()
+			v.RegisterFS(&extlike.FS{LeakOnUnlink: true})
+			v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev})
+			before, _ := v.Statfs(task, "/")
+			fd, _ := v.Open(task, "/f", vfs.OWrOnly|vfs.OCreate)
+			v.Write(task, fd, make([]byte, 4096))
+			v.Close(fd)
+			v.Unlink(task, "/f")
+			after, _ := v.Statfs(task, "/")
+			if after.FreeBlocks < before.FreeBlocks {
+				return OutcomeManifested // blocks silently gone
+			}
+			return OutcomePrevented
+		},
+		Safe: func(e *Env) Outcome {
+			dev := blockdev.New(blockdev.Config{Blocks: 512, BlockSize: 256, Rng: kbase.NewRng(1)})
+			safefs.Format(dev)
+			ck := own.NewChecker(own.PolicyRecord)
+			v := vfs.New(nil)
+			task := kbase.NewTask()
+			v.RegisterFS(&safefs.FS{SyncOnCommit: true})
+			v.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev, Checker: ck})
+			fd, _ := v.Open(task, "/f", vfs.OWrOnly|vfs.OCreate)
+			v.Write(task, fd, make([]byte, 4096))
+			v.Close(fd)
+			v.Unlink(task, "/f")
+			v.Unmount(task, "/")
+			if len(ck.CheckLeaks()) > 0 {
+				return OutcomeDetectedLate // leak exists but is reported
+			}
+			return OutcomePrevented
+		},
+	}
+}
+
+// typeConfusionScenario mirrors §4.2's write_begin/write_end void*
+// confusion (and CVE-2020-12351's flavor of the bug).
+func typeConfusionScenario() Scenario {
+	return Scenario{
+		Name:        "writeend-type-confusion",
+		Class:       kbase.OopsTypeConfusion,
+		PreventedBy: module.LevelTypeSafe,
+		Legacy: func(e *Env) Outcome {
+			v, task := mountRam(&ramfs.FS{ConfuseWriteEnd: true})
+			fd, _ := v.Open(task, "/victim", vfs.OWrOnly|vfs.OCreate)
+			v.Write(task, fd, []byte("boom"))
+			if e.Recorder.Count(kbase.OopsTypeConfusion) > 0 {
+				return OutcomeDetectedLate // cast misfired at use site
+			}
+			return OutcomeManifested
+		},
+		Safe: func(e *Env) Outcome {
+			// The typed token cannot cross components: a foreign
+			// issuer is rejected before any payload is interpreted.
+			tok := typedapi.Issue("fs-a.write", 42)
+			if _, err := tok.Redeem("fs-b.write"); err != kbase.EACCES {
+				return OutcomeManifested
+			}
+			return OutcomePrevented
+		},
+	}
+}
+
+// outOfBoundsScenario: runt packets walk off the legacy parser's
+// buffer; the typed parser validates the frame before touching it.
+func outOfBoundsScenario() Scenario {
+	return Scenario{
+		Name:        "runt-packet-parse",
+		Class:       kbase.OopsOutOfBounds,
+		PreventedBy: module.LevelOwnershipSafe,
+		Legacy: func(e *Env) Outcome {
+			// A mangled runt frame hits the offset-walking parser.
+			net.ParseIP([]byte{0xDE, 0xAD})
+			if e.Recorder.Count(kbase.OopsOutOfBounds) > 0 {
+				return OutcomeDetectedLate
+			}
+			return OutcomeManifested
+		},
+		Safe: func(e *Env) Outcome {
+			res := safetcp.ParseSegment([]byte{0xDE, 0xAD})
+			if res.IsOk() {
+				return OutcomeManifested
+			}
+			if e.Recorder.Count("") > 0 {
+				return OutcomeDetectedLate
+			}
+			return OutcomePrevented // clean typed rejection, no oops
+		},
+	}
+}
+
+// crashSemanticScenario: the functional-correctness class — an FS
+// that acknowledges operations it can lose across a crash. The
+// verified module's logging discipline makes the loss impossible.
+func crashSemanticScenario() Scenario {
+	return Scenario{
+		Name:        "ack-then-lose-crash",
+		Class:       kbase.OopsSemantic,
+		PreventedBy: module.LevelVerified,
+		Legacy: func(e *Env) Outcome {
+			dev := blockdev.New(blockdev.Config{Blocks: 256, BlockSize: 512, Rng: kbase.NewRng(1)})
+			extlike.Mkfs(dev, extlike.MkfsOptions{})
+			v := vfs.New(nil)
+			task := kbase.NewTask()
+			v.RegisterFS(&extlike.FS{SkipJournal: true})
+			v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev})
+			fd, _ := v.Open(task, "/acked", vfs.OWrOnly|vfs.OCreate)
+			v.Close(fd)
+			dev.CrashApplyNone()
+			v2 := vfs.New(nil)
+			v2.RegisterFS(&extlike.FS{})
+			if err := v2.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+				return OutcomeManifested
+			}
+			if _, err := v2.Stat(task, "/acked"); err != kbase.EOK {
+				return OutcomeManifested // acknowledged op vanished
+			}
+			return OutcomePrevented
+		},
+		Safe: func(e *Env) Outcome {
+			dev := blockdev.New(blockdev.Config{Blocks: 512, BlockSize: 256, Rng: kbase.NewRng(1)})
+			safefs.Format(dev)
+			v := vfs.New(nil)
+			task := kbase.NewTask()
+			v.RegisterFS(&safefs.FS{SyncOnCommit: true})
+			v.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev})
+			fd, _ := v.Open(task, "/acked", vfs.OWrOnly|vfs.OCreate)
+			v.Close(fd)
+			dev.CrashApplyNone()
+			v2 := vfs.New(nil)
+			v2.RegisterFS(&safefs.FS{SyncOnCommit: true})
+			if err := v2.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev}); err != kbase.EOK {
+				return OutcomeManifested
+			}
+			if _, err := v2.Stat(task, "/acked"); err != kbase.EOK {
+				return OutcomeManifested
+			}
+			return OutcomePrevented
+		},
+	}
+}

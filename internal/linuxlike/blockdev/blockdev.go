@@ -1,0 +1,354 @@
+// Package blockdev simulates a block storage device for the
+// Linux-like kernel: block-addressed read/write with a volatile write
+// cache, explicit flush barriers, a latency model driving the
+// simulated clock, injectable I/O faults, and a crash model that
+// drops or tears unflushed writes.
+//
+// The crash model is what the functional-correctness experiments
+// (paper §4.4: "recover to the last synced version given any crash")
+// exercise: writes issued after the last Flush may be applied in any
+// subset, and a block may be torn (partially applied) at a configured
+// granularity, exactly the failure envelope journaling file systems
+// are designed for.
+package blockdev
+
+import (
+	"fmt"
+	"sync"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Config describes a simulated device.
+type Config struct {
+	Blocks    uint64 // device capacity in blocks
+	BlockSize int    // bytes per block (default 4096)
+	// Latency in jiffies charged to the clock per operation.
+	ReadCost  uint64
+	WriteCost uint64
+	FlushCost uint64
+	// TornWriteUnit is the granularity at which a crash can tear a
+	// block (default: BlockSize/8). Zero means "use default".
+	TornWriteUnit int
+	Clock         *kbase.Clock
+	Rng           *kbase.Rng
+}
+
+func (c *Config) fill() {
+	if c.BlockSize == 0 {
+		c.BlockSize = 4096
+	}
+	if c.TornWriteUnit == 0 {
+		c.TornWriteUnit = c.BlockSize / 8
+	}
+	if c.Clock == nil {
+		c.Clock = kbase.NewClock()
+	}
+	if c.Rng == nil {
+		c.Rng = kbase.NewRng(1)
+	}
+}
+
+// Stats counts device activity.
+type Stats struct {
+	Reads   uint64
+	Writes  uint64
+	Flushes uint64
+	Crashes uint64
+	// TornBlocks counts blocks torn across all crashes.
+	TornBlocks uint64
+	// DroppedWrites counts cached writes lost to crashes.
+	DroppedWrites uint64
+}
+
+// pendingWrite is one cached, not-yet-durable write.
+type pendingWrite struct {
+	block uint64
+	data  []byte
+}
+
+// Device is a simulated block device. All methods are safe for
+// concurrent use.
+type Device struct {
+	cfg Config
+
+	mu      sync.Mutex
+	durable [][]byte // nil entry = all-zero block
+	pending []pendingWrite
+	stats   Stats
+
+	// fault injection
+	failReads  int // fail the next N reads with EIO
+	failWrites int
+	badBlocks  map[uint64]bool
+	readOnly   bool
+}
+
+// New creates a device. It panics on a zero-capacity config, which is
+// always a harness bug.
+func New(cfg Config) *Device {
+	cfg.fill()
+	if cfg.Blocks == 0 {
+		panic("blockdev: zero-capacity device")
+	}
+	return &Device{
+		cfg:       cfg,
+		durable:   make([][]byte, cfg.Blocks),
+		badBlocks: make(map[uint64]bool),
+	}
+}
+
+// BlockSize returns bytes per block.
+func (d *Device) BlockSize() int { return d.cfg.BlockSize }
+
+// Blocks returns the device capacity in blocks.
+func (d *Device) Blocks() uint64 { return d.cfg.Blocks }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// SetReadOnly marks the device read-only; writes fail with EROFS.
+func (d *Device) SetReadOnly(ro bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readOnly = ro
+}
+
+// FailNextReads makes the next n reads fail with EIO.
+func (d *Device) FailNextReads(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failReads = n
+}
+
+// FailNextWrites makes the next n writes fail with EIO.
+func (d *Device) FailNextWrites(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failWrites = n
+}
+
+// MarkBad makes a specific block permanently unreadable/unwritable.
+func (d *Device) MarkBad(block uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.badBlocks[block] = true
+}
+
+// Read copies block into buf, observing the write cache (a read sees
+// the most recent cached write, as a real device's cache would serve
+// it). buf must be exactly one block long.
+func (d *Device) Read(block uint64, buf []byte) kbase.Errno {
+	if len(buf) != d.cfg.BlockSize {
+		return kbase.EINVAL
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if block >= d.cfg.Blocks {
+		return kbase.EINVAL
+	}
+	if d.failReads > 0 {
+		d.failReads--
+		return kbase.EIO
+	}
+	if d.badBlocks[block] {
+		return kbase.EIO
+	}
+	d.stats.Reads++
+	d.cfg.Clock.Advance(d.cfg.ReadCost)
+	// Most recent cached write wins.
+	for i := len(d.pending) - 1; i >= 0; i-- {
+		if d.pending[i].block == block {
+			copy(buf, d.pending[i].data)
+			return kbase.EOK
+		}
+	}
+	if d.durable[block] == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return kbase.EOK
+	}
+	copy(buf, d.durable[block])
+	return kbase.EOK
+}
+
+// Write caches one block write. Data becomes durable only after
+// Flush. data must be exactly one block long; the device copies it.
+func (d *Device) Write(block uint64, data []byte) kbase.Errno {
+	if len(data) != d.cfg.BlockSize {
+		return kbase.EINVAL
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if block >= d.cfg.Blocks {
+		return kbase.EINVAL
+	}
+	if d.readOnly {
+		return kbase.EROFS
+	}
+	if d.failWrites > 0 {
+		d.failWrites--
+		return kbase.EIO
+	}
+	if d.badBlocks[block] {
+		return kbase.EIO
+	}
+	d.stats.Writes++
+	d.cfg.Clock.Advance(d.cfg.WriteCost)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.pending = append(d.pending, pendingWrite{block: block, data: cp})
+	return kbase.EOK
+}
+
+// Flush commits every cached write to durable storage, in order. It
+// is the device-level barrier (FUA/flush).
+func (d *Device) Flush() kbase.Errno {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Flushes++
+	d.cfg.Clock.Advance(d.cfg.FlushCost)
+	for _, w := range d.pending {
+		d.durable[w.block] = w.data
+	}
+	d.pending = nil
+	return kbase.EOK
+}
+
+// PendingWrites returns the number of cached, non-durable writes.
+func (d *Device) PendingWrites() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.pending)
+}
+
+// Crash simulates power loss: each cached write is independently
+// applied or dropped, and an applied write may be torn — only a
+// prefix of its TornWriteUnit-sized fragments lands. The write cache
+// is then discarded. Determinism comes from the device Rng.
+func (d *Device) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Crashes++
+	for _, w := range d.pending {
+		switch {
+		case d.cfg.Rng.Bool(0.5): // dropped entirely
+			d.stats.DroppedWrites++
+		case d.cfg.Rng.Bool(0.25): // applied torn
+			d.stats.TornBlocks++
+			dst := d.durableFor(w.block)
+			unit := d.cfg.TornWriteUnit
+			keep := (1 + d.cfg.Rng.Intn(maxInt(d.cfg.BlockSize/unit-1, 1))) * unit
+			copy(dst[:keep], w.data[:keep])
+		default: // applied fully
+			d.durable[w.block] = w.data
+		}
+	}
+	d.pending = nil
+}
+
+// CrashApplyNone simulates a crash where no cached write survives —
+// the worst case for durability testing.
+func (d *Device) CrashApplyNone() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Crashes++
+	d.stats.DroppedWrites += uint64(len(d.pending))
+	d.pending = nil
+}
+
+// CrashApplySubset applies exactly the cached writes whose indices are
+// in keep (in issue order) and drops the rest — used by the
+// exhaustive crash explorer to enumerate every crash state.
+func (d *Device) CrashApplySubset(keep map[int]bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Crashes++
+	for i, w := range d.pending {
+		if keep[i] {
+			d.durable[w.block] = w.data
+		} else {
+			d.stats.DroppedWrites++
+		}
+	}
+	d.pending = nil
+}
+
+// durableFor returns a mutable durable image for block, materializing
+// a zero block if needed. Caller holds d.mu.
+func (d *Device) durableFor(block uint64) []byte {
+	if d.durable[block] == nil {
+		d.durable[block] = make([]byte, d.cfg.BlockSize)
+	}
+	return d.durable[block]
+}
+
+// Snapshot captures the durable image plus cached writes so an
+// explorer can rewind the device. The snapshot is independent of
+// future device mutation.
+func (d *Device) Snapshot() *Snapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := &Snapshot{
+		durable: make([][]byte, len(d.durable)),
+		pending: make([]pendingWrite, len(d.pending)),
+	}
+	for i, b := range d.durable {
+		if b != nil {
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			s.durable[i] = cp
+		}
+	}
+	for i, w := range d.pending {
+		cp := make([]byte, len(w.data))
+		copy(cp, w.data)
+		s.pending[i] = pendingWrite{block: w.block, data: cp}
+	}
+	return s
+}
+
+// Restore rewinds the device to a snapshot taken from it.
+func (d *Device) Restore(s *Snapshot) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(s.durable) != len(d.durable) {
+		panic(fmt.Sprintf("blockdev: restoring snapshot of %d blocks onto %d-block device",
+			len(s.durable), len(d.durable)))
+	}
+	d.durable = make([][]byte, len(s.durable))
+	for i, b := range s.durable {
+		if b != nil {
+			cp := make([]byte, len(b))
+			copy(cp, b)
+			d.durable[i] = cp
+		}
+	}
+	d.pending = make([]pendingWrite, len(s.pending))
+	for i, w := range s.pending {
+		cp := make([]byte, len(w.data))
+		copy(cp, w.data)
+		d.pending[i] = pendingWrite{block: w.block, data: cp}
+	}
+}
+
+// Snapshot is an immutable device image.
+type Snapshot struct {
+	durable [][]byte
+	pending []pendingWrite
+}
+
+// PendingCount returns the number of cached writes in the snapshot.
+func (s *Snapshot) PendingCount() int { return len(s.pending) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

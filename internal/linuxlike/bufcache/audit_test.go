@@ -1,0 +1,99 @@
+package bufcache
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestViolationsOnKnownStates(t *testing.T) {
+	rules := DefaultRules()
+	cases := []struct {
+		name  string
+		flags Flag
+		valid bool
+	}{
+		{"fresh", 0, true},
+		{"read-clean", BHUptodate | BHMapped | BHReq, true},
+		{"dirty-valid", BHUptodate | BHMapped | BHDirty, true},
+		{"dirty-new", BHUptodate | BHNew | BHDirty, true},
+		{"dirty-not-uptodate", BHDirty | BHMapped, false},
+		{"dirty-unmapped", BHDirty | BHUptodate, false},
+		{"new-with-req", BHNew | BHReq, false},
+		{"delay-mapped", BHDelay | BHMapped, false},
+		{"unwritten-unmapped", BHUnwritten, false},
+		{"both-async", BHAsyncRead | BHAsyncWrite | BHLock, false},
+		{"async-no-lock", BHAsyncRead, false},
+		{"async-read-locked", BHAsyncRead | BHLock, true},
+		{"write-eio-no-req", BHWriteEIO, false},
+		{"write-eio-after-req", BHWriteEIO | BHReq, true},
+		{"async-read-dirty", BHAsyncRead | BHLock | BHDirty | BHUptodate | BHMapped, false},
+	}
+	for _, tc := range cases {
+		v := Violations(tc.flags, rules)
+		if (len(v) == 0) != tc.valid {
+			t.Errorf("%s (%s): violations = %v, want valid=%v",
+				tc.name, FlagString(tc.flags), v, tc.valid)
+		}
+	}
+}
+
+func TestAuditStateSpace(t *testing.T) {
+	rep := AuditStateSpace(DefaultRules())
+	if rep.Total != 1<<16 {
+		t.Fatalf("Total = %d", rep.Total)
+	}
+	if rep.Valid+rep.Invalid != rep.Total {
+		t.Fatalf("Valid+Invalid = %d", rep.Valid+rep.Invalid)
+	}
+	// The paper's point: the valid region is a small fraction.
+	if frac := float64(rep.Valid) / float64(rep.Total); frac > 0.25 {
+		t.Fatalf("valid fraction %.3f unexpectedly large — rules too weak", frac)
+	}
+	if rep.Valid == 0 {
+		t.Fatalf("no valid states — rules contradictory")
+	}
+	if rep.MaxValidBits == 0 {
+		t.Fatalf("MaxValidBits = 0")
+	}
+}
+
+// Property: Violations is monotone in rule count — adding rules never
+// shrinks the violation set.
+func TestViolationsMonotoneProperty(t *testing.T) {
+	all := DefaultRules()
+	f := func(word uint16, cut uint8) bool {
+		n := int(cut) % (len(all) + 1)
+		sub := all[:n]
+		return len(Violations(Flag(word), sub)) <= len(Violations(Flag(word), all))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if got := FlagString(0); got != "none" {
+		t.Fatalf("FlagString(0) = %q", got)
+	}
+	got := FlagString(BHDirty | BHUptodate)
+	if !strings.Contains(got, "Dirty") || !strings.Contains(got, "Uptodate") {
+		t.Fatalf("FlagString = %q", got)
+	}
+}
+
+func TestCheckLive(t *testing.T) {
+	c := testCache(t, 0)
+	good, _ := c.Bread(1)
+	good.Put()
+	bad, _ := c.GetBlk(2)
+	bad.SetFlag(BHDirty) // dirty without uptodate/mapped: two violations
+	bad.Put()
+	reports := c.CheckLive(DefaultRules())
+	if len(reports) != 1 {
+		t.Fatalf("CheckLive reports = %v", reports)
+	}
+	if !strings.Contains(reports[0], "block 2") {
+		t.Fatalf("report %q does not name block 2", reports[0])
+	}
+}

@@ -1,0 +1,351 @@
+// Package bufcache implements the buffer cache of the simulated
+// kernel, deliberately in the legacy Linux style the paper's §4.4
+// critiques: each cached disk block is exposed through a BufferHead
+// carrying sixteen independently-set state flags whose valid
+// combinations are nowhere encoded, shared mutably between the file
+// system, the journal, and the cache itself.
+//
+// The package also contains the flag-state auditor used by the
+// experiments to demonstrate how many of the 2^16 combinations are
+// actually meaningful — the quantitative backdrop for the paper's
+// claim that "not all of the combinations are valid, but even
+// determining which are can be complicated".
+package bufcache
+
+import (
+	"container/list"
+	"sync"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Flag is one buffer_head state bit. The set mirrors Linux's
+// enum bh_state_bits.
+type Flag uint16
+
+// The sixteen buffer state flags (paper §4.4: "includes 16 state
+// flags that describe whether the buffer is mapped, dirty, etc.").
+const (
+	BHUptodate     Flag = 1 << iota // contains valid data
+	BHDirty                         // is dirty
+	BHLock                          // is locked
+	BHReq                           // has been submitted for I/O
+	BHUptodateLock                  // internal serialization of uptodate
+	BHMapped                        // has a disk mapping
+	BHNew                           // disk mapping newly allocated, not yet written
+	BHAsyncRead                     // under end_buffer_async_read I/O
+	BHAsyncWrite                    // under end_buffer_async_write I/O
+	BHDelay                         // delayed allocation, no mapping yet
+	BHBoundary                      // block followed by a discontiguity
+	BHWriteEIO                      // I/O error on write
+	BHUnwritten                     // allocated on disk but unwritten
+	BHQuiet                         // suppress I/O error messages
+	BHMeta                          // contains metadata
+	BHPrio                          // submit with REQ_PRIO
+)
+
+// FlagNames maps each flag to its Linux-style name for reports.
+var FlagNames = map[Flag]string{
+	BHUptodate: "Uptodate", BHDirty: "Dirty", BHLock: "Lock",
+	BHReq: "Req", BHUptodateLock: "UptodateLock", BHMapped: "Mapped",
+	BHNew: "New", BHAsyncRead: "AsyncRead", BHAsyncWrite: "AsyncWrite",
+	BHDelay: "Delay", BHBoundary: "Boundary", BHWriteEIO: "WriteEIO",
+	BHUnwritten: "Unwritten", BHQuiet: "Quiet", BHMeta: "Meta", BHPrio: "Prio",
+}
+
+// BufferHead is one cached disk block, shared mutably across kernel
+// components exactly as struct buffer_head is. Data is exposed as a
+// raw slice; flags are exposed for direct manipulation by file
+// systems and the journal. Nothing here enforces a state machine —
+// that is the point.
+type BufferHead struct {
+	Block uint64
+	Data  []byte
+
+	mu    sync.Mutex // b_uptodate_lock analogue; guards flags only
+	flags Flag
+
+	cache    *Cache
+	refcount int
+	elem     *list.Element
+
+	// JournalData is the void*-style b_private field: the journal
+	// hangs its per-buffer state here and the file system must not
+	// touch it, a contract enforced only by convention.
+	JournalData any
+}
+
+// TestFlag reports whether f is set.
+func (bh *BufferHead) TestFlag(f Flag) bool {
+	bh.mu.Lock()
+	defer bh.mu.Unlock()
+	return bh.flags&f != 0
+}
+
+// SetFlag sets f. No validity checking happens here, as in Linux.
+func (bh *BufferHead) SetFlag(f Flag) {
+	bh.mu.Lock()
+	bh.flags |= f
+	bh.mu.Unlock()
+}
+
+// ClearFlag clears f.
+func (bh *BufferHead) ClearFlag(f Flag) {
+	bh.mu.Lock()
+	bh.flags &^= f
+	bh.mu.Unlock()
+}
+
+// Flags returns the raw flag word.
+func (bh *BufferHead) Flags() Flag {
+	bh.mu.Lock()
+	defer bh.mu.Unlock()
+	return bh.flags
+}
+
+// MarkDirty marks the buffer dirty and moves it onto the cache's
+// dirty list, mirroring mark_buffer_dirty.
+func (bh *BufferHead) MarkDirty() {
+	bh.SetFlag(BHDirty)
+	bh.cache.noteDirty(bh)
+}
+
+// MarkUptodate marks the buffer's contents valid.
+func (bh *BufferHead) MarkUptodate() { bh.SetFlag(BHUptodate) }
+
+// Uptodate reports BHUptodate.
+func (bh *BufferHead) Uptodate() bool { return bh.TestFlag(BHUptodate) }
+
+// Dirty reports BHDirty.
+func (bh *BufferHead) Dirty() bool { return bh.TestFlag(BHDirty) }
+
+// Get increments the reference count (get_bh).
+func (bh *BufferHead) Get() {
+	bh.cache.mu.Lock()
+	bh.refcount++
+	bh.cache.mu.Unlock()
+}
+
+// Put releases a reference (brelse / put_bh). Over-releasing raises a
+// generic oops, as brelse would warn.
+func (bh *BufferHead) Put() {
+	bh.cache.mu.Lock()
+	if bh.refcount == 0 {
+		bh.cache.mu.Unlock()
+		kbase.Oops(kbase.OopsGeneric, "bufcache", "brelse of free buffer %d", bh.Block)
+		return
+	}
+	bh.refcount--
+	bh.cache.mu.Unlock()
+}
+
+// Refcount returns the current reference count.
+func (bh *BufferHead) Refcount() int {
+	bh.cache.mu.Lock()
+	defer bh.cache.mu.Unlock()
+	return bh.refcount
+}
+
+// Cache is the buffer cache over one block device.
+type Cache struct {
+	dev *blockdev.Device
+
+	mu      sync.Mutex
+	buffers map[uint64]*BufferHead
+	lru     *list.List // front = most recent
+	dirty   map[uint64]*BufferHead
+	maxBufs int
+
+	stats CacheStats
+}
+
+// CacheStats counts cache activity.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Writeback uint64
+	Evictions uint64
+}
+
+// NewCache creates a cache over dev holding at most maxBufs buffers
+// (0 means unbounded).
+func NewCache(dev *blockdev.Device, maxBufs int) *Cache {
+	return &Cache{
+		dev:     dev,
+		buffers: make(map[uint64]*BufferHead),
+		lru:     list.New(),
+		dirty:   make(map[uint64]*BufferHead),
+		maxBufs: maxBufs,
+	}
+}
+
+// Device returns the underlying block device.
+func (c *Cache) Device() *blockdev.Device { return c.dev }
+
+// Stats returns a snapshot of cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// GetBlk returns the buffer for block without reading it from disk
+// (getblk). The returned buffer holds a new reference.
+func (c *Cache) GetBlk(block uint64) (*BufferHead, kbase.Errno) {
+	if block >= c.dev.Blocks() {
+		return nil, kbase.EINVAL
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if bh, ok := c.buffers[block]; ok {
+		c.stats.Hits++
+		bh.refcount++
+		c.lru.MoveToFront(bh.elem)
+		return bh, kbase.EOK
+	}
+	c.stats.Misses++
+	if err := c.makeRoomLocked(); err != kbase.EOK {
+		return nil, err
+	}
+	bh := &BufferHead{
+		Block:    block,
+		Data:     make([]byte, c.dev.BlockSize()),
+		cache:    c,
+		refcount: 1,
+	}
+	bh.elem = c.lru.PushFront(bh)
+	c.buffers[block] = bh
+	return bh, kbase.EOK
+}
+
+// Bread returns an uptodate buffer for block, reading from disk if
+// necessary (bread).
+func (c *Cache) Bread(block uint64) (*BufferHead, kbase.Errno) {
+	bh, err := c.GetBlk(block)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	if !bh.Uptodate() {
+		if err := c.dev.Read(block, bh.Data); err != kbase.EOK {
+			bh.Put()
+			return nil, err
+		}
+		bh.SetFlag(BHUptodate | BHMapped | BHReq)
+	}
+	return bh, kbase.EOK
+}
+
+// BreadLegacy is the ERR_PTR-returning variant used by legacy
+// modules: on failure the result encodes the errno as a pointer and
+// the caller must check kbase.IsErr. (§4.2's type-confusion hazard.)
+func (c *Cache) BreadLegacy(block uint64) *BufferHead {
+	bh, err := c.Bread(block)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[BufferHead](err)
+	}
+	return bh
+}
+
+// noteDirty puts bh on the dirty list.
+func (c *Cache) noteDirty(bh *BufferHead) {
+	c.mu.Lock()
+	c.dirty[bh.Block] = bh
+	c.mu.Unlock()
+}
+
+// WriteBuffer synchronously writes one buffer to disk and clears its
+// dirty bit (sync_dirty_buffer for a single bh).
+func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
+	if !bh.TestFlag(BHMapped) && !bh.TestFlag(BHNew) {
+		// Writing an unmapped buffer is the classic flag-protocol
+		// violation; Linux would hit a BUG in submit_bh.
+		kbase.Oops(kbase.OopsSemantic, "bufcache",
+			"submit of unmapped buffer %d (flags %04x)", bh.Block, bh.Flags())
+		return kbase.EINVAL
+	}
+	if err := c.dev.Write(bh.Block, bh.Data); err != kbase.EOK {
+		bh.SetFlag(BHWriteEIO)
+		return err
+	}
+	bh.ClearFlag(BHDirty | BHNew)
+	bh.SetFlag(BHReq)
+	c.mu.Lock()
+	delete(c.dirty, bh.Block)
+	c.stats.Writeback++
+	c.mu.Unlock()
+	return kbase.EOK
+}
+
+// SyncDirty writes all dirty buffers and issues a device flush
+// barrier (sync_dirty_buffers + blkdev_issue_flush).
+func (c *Cache) SyncDirty() kbase.Errno {
+	c.mu.Lock()
+	toWrite := make([]*BufferHead, 0, len(c.dirty))
+	for _, bh := range c.dirty {
+		toWrite = append(toWrite, bh)
+	}
+	c.mu.Unlock()
+	var firstErr kbase.Errno = kbase.EOK
+	for _, bh := range toWrite {
+		if err := c.WriteBuffer(bh); err != kbase.EOK && firstErr == kbase.EOK {
+			firstErr = err
+		}
+	}
+	if err := c.dev.Flush(); err != kbase.EOK && firstErr == kbase.EOK {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// DirtyCount returns the number of dirty buffers.
+func (c *Cache) DirtyCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.dirty)
+}
+
+// Forget drops a buffer from the cache without writing it
+// (bforget) — used by the journal for revoked blocks.
+func (c *Cache) Forget(bh *BufferHead) {
+	bh.ClearFlag(BHDirty)
+	c.mu.Lock()
+	delete(c.dirty, bh.Block)
+	c.mu.Unlock()
+}
+
+// Invalidate drops every clean, unreferenced buffer; used after a
+// simulated crash so stale cached state cannot mask lost writes.
+// Dirty or referenced buffers are dropped too — a crash destroys RAM.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buffers = make(map[uint64]*BufferHead)
+	c.dirty = make(map[uint64]*BufferHead)
+	c.lru.Init()
+}
+
+// makeRoomLocked evicts clean unreferenced buffers from the LRU tail
+// until a slot is free. Caller holds c.mu.
+func (c *Cache) makeRoomLocked() kbase.Errno {
+	if c.maxBufs == 0 || len(c.buffers) < c.maxBufs {
+		return kbase.EOK
+	}
+	for e := c.lru.Back(); e != nil; e = e.Prev() {
+		bh := e.Value.(*BufferHead)
+		if bh.refcount == 0 && !bh.Dirty() {
+			c.lru.Remove(e)
+			delete(c.buffers, bh.Block)
+			c.stats.Evictions++
+			return kbase.EOK
+		}
+	}
+	return kbase.ENOBUFS
+}
+
+// Cached returns the number of buffers currently in the cache.
+func (c *Cache) Cached() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.buffers)
+}

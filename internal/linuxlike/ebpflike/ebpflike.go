@@ -1,0 +1,244 @@
+// Package ebpflike implements the alternative safety mechanism the
+// paper's related-work section contrasts with (§5: "Today, Linux
+// already supports loading eBPF, but its expressiveness is limited,
+// and it does not support complex kernel components").
+//
+// It is a miniature eBPF: a register machine with a static verifier
+// that guarantees termination and memory safety before a program may
+// run. The verifier's rules are the point — they are exactly what
+// makes the mechanism safe AND what makes it unable to host a file
+// system or TCP stack:
+//
+//   - no backward jumps (hence no loops, hence guaranteed termination);
+//   - bounded program size;
+//   - all context reads bounds-checked against the declared size;
+//   - scratch memory is a fixed 64-byte window, bounds-checked;
+//   - division guarded against zero.
+//
+// The experiments use it to make the paper's contrast concrete: a
+// packet filter fits easily; anything requiring unbounded iteration
+// or persistent state is rejected by construction.
+package ebpflike
+
+import (
+	"fmt"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// OpCode is one instruction's operation.
+type OpCode uint8
+
+// The instruction set. Two operand registers (Dst, Src), a 32-bit
+// immediate, and a jump offset. LdCtx/LdScratch/StScratch move data;
+// the ALU ops compute; Jmp* branch forward only; Ret ends.
+const (
+	OpMov       OpCode = iota // dst = imm
+	OpMovReg                  // dst = src
+	OpLdCtx                   // dst = ctx[src + imm]  (one byte, zero-extended)
+	OpLdCtx32                 // dst = le32(ctx[src+imm : src+imm+4])
+	OpLdScratch               // dst = scratch[imm]
+	OpStScratch               // scratch[imm] = dst (low byte)
+	OpAdd                     // dst += src
+	OpSub                     // dst -= src
+	OpMul                     // dst *= src
+	OpDiv                     // dst /= src (verifier demands provably nonzero src? no: runtime guard)
+	OpAnd                     // dst &= src
+	OpOr                      // dst |= src
+	OpXor                     // dst ^= src
+	OpLsh                     // dst <<= imm (imm < 64)
+	OpRsh                     // dst >>= imm (imm < 64)
+	OpJmp                     // pc += off (forward only)
+	OpJEq                     // if dst == src: pc += off
+	OpJNe                     // if dst != src: pc += off
+	OpJGt                     // if dst > src: pc += off
+	OpJLt                     // if dst < src: pc += off
+	OpRet                     // return dst
+)
+
+// Inst is one instruction.
+type Inst struct {
+	Op  OpCode
+	Dst uint8 // register 0..9
+	Src uint8
+	Off int16 // jump offset, in instructions, relative to the next pc
+	Imm int32
+}
+
+// Limits.
+const (
+	NumRegs     = 10
+	ScratchSize = 64
+	MaxProgLen  = 512
+)
+
+// Program is a verified program. Only Verify constructs a runnable
+// one — the zero Program refuses to run.
+type Program struct {
+	insts    []Inst
+	verified bool
+	ctxSize  int
+}
+
+// VerifyError describes a rejected program.
+type VerifyError struct {
+	PC     int
+	Reason string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("ebpflike: verifier rejected instruction %d: %s", e.PC, e.Reason)
+}
+
+// Verify statically checks a program for the declared context size.
+// The returned Program is safe to run against any context of at least
+// ctxSize bytes: it terminates within len(insts) steps and touches no
+// memory outside the context window and its scratch area.
+func Verify(insts []Inst, ctxSize int) (*Program, error) {
+	if len(insts) == 0 {
+		return nil, &VerifyError{PC: 0, Reason: "empty program"}
+	}
+	if len(insts) > MaxProgLen {
+		return nil, &VerifyError{PC: 0, Reason: fmt.Sprintf("program too long (%d > %d)", len(insts), MaxProgLen)}
+	}
+	sawRet := false
+	for pc, in := range insts {
+		if in.Dst >= NumRegs || in.Src >= NumRegs {
+			return nil, &VerifyError{PC: pc, Reason: "register out of range"}
+		}
+		switch in.Op {
+		case OpMov, OpMovReg, OpAdd, OpSub, OpMul, OpDiv, OpAnd, OpOr, OpXor:
+			// always fine structurally
+		case OpLsh, OpRsh:
+			if in.Imm < 0 || in.Imm >= 64 {
+				return nil, &VerifyError{PC: pc, Reason: "shift amount out of range"}
+			}
+		case OpLdCtx:
+			if in.Imm < 0 || int(in.Imm) >= ctxSize {
+				return nil, &VerifyError{PC: pc, Reason: "context read out of bounds"}
+			}
+		case OpLdCtx32:
+			if in.Imm < 0 || int(in.Imm)+4 > ctxSize {
+				return nil, &VerifyError{PC: pc, Reason: "context word read out of bounds"}
+			}
+		case OpLdScratch, OpStScratch:
+			if in.Imm < 0 || int(in.Imm) >= ScratchSize {
+				return nil, &VerifyError{PC: pc, Reason: "scratch access out of bounds"}
+			}
+		case OpJmp, OpJEq, OpJNe, OpJGt, OpJLt:
+			if in.Off <= 0 {
+				// THE rule: no backward (or self) jumps. This is what
+				// guarantees termination and what forbids loops.
+				return nil, &VerifyError{PC: pc, Reason: "backward jump (loops are not expressible)"}
+			}
+			if pc+1+int(in.Off) >= len(insts) {
+				// A target of len(insts) would fall off the end, and
+				// the only in-range instruction a forward jump may
+				// reach last is the final Ret at len-1.
+				return nil, &VerifyError{PC: pc, Reason: "jump past end of program"}
+			}
+		case OpRet:
+			sawRet = true
+		default:
+			return nil, &VerifyError{PC: pc, Reason: "unknown opcode"}
+		}
+	}
+	// Execution must not fall off the end: the last reachable
+	// instruction on every path has to be Ret or a jump that lands on
+	// one. The simple sufficient condition (as real verifiers use for
+	// the final instruction) is that the program ends with Ret.
+	if !sawRet || insts[len(insts)-1].Op != OpRet {
+		return nil, &VerifyError{PC: len(insts) - 1, Reason: "program must end with Ret"}
+	}
+	return &Program{insts: insts, verified: true, ctxSize: ctxSize}, nil
+}
+
+// Run executes the program over ctx. Contexts shorter than the
+// verified size are rejected (the verifier's bounds assumed it).
+// Run never loops: the pc increases monotonically.
+func (p *Program) Run(ctx []byte) (uint64, kbase.Errno) {
+	if p == nil || !p.verified {
+		return 0, kbase.EPERM
+	}
+	if len(ctx) < p.ctxSize {
+		return 0, kbase.EINVAL
+	}
+	var regs [NumRegs]uint64
+	var scratch [ScratchSize]byte
+	pc := 0
+	for pc < len(p.insts) {
+		in := p.insts[pc]
+		pc++
+		switch in.Op {
+		case OpMov:
+			regs[in.Dst] = uint64(uint32(in.Imm))
+		case OpMovReg:
+			regs[in.Dst] = regs[in.Src]
+		case OpLdCtx:
+			idx := int(regs[in.Src]) + int(in.Imm)
+			if idx < 0 || idx >= len(ctx) {
+				// Register-relative reads get the runtime guard the
+				// immediate part got statically.
+				return 0, kbase.EFAULT
+			}
+			regs[in.Dst] = uint64(ctx[idx])
+		case OpLdCtx32:
+			idx := int(regs[in.Src]) + int(in.Imm)
+			if idx < 0 || idx+4 > len(ctx) {
+				return 0, kbase.EFAULT
+			}
+			regs[in.Dst] = uint64(ctx[idx]) | uint64(ctx[idx+1])<<8 |
+				uint64(ctx[idx+2])<<16 | uint64(ctx[idx+3])<<24
+		case OpLdScratch:
+			regs[in.Dst] = uint64(scratch[in.Imm])
+		case OpStScratch:
+			scratch[in.Imm] = byte(regs[in.Dst])
+		case OpAdd:
+			regs[in.Dst] += regs[in.Src]
+		case OpSub:
+			regs[in.Dst] -= regs[in.Src]
+		case OpMul:
+			regs[in.Dst] *= regs[in.Src]
+		case OpDiv:
+			if regs[in.Src] == 0 {
+				return 0, kbase.EINVAL // guarded, never a crash
+			}
+			regs[in.Dst] /= regs[in.Src]
+		case OpAnd:
+			regs[in.Dst] &= regs[in.Src]
+		case OpOr:
+			regs[in.Dst] |= regs[in.Src]
+		case OpXor:
+			regs[in.Dst] ^= regs[in.Src]
+		case OpLsh:
+			regs[in.Dst] <<= uint(in.Imm)
+		case OpRsh:
+			regs[in.Dst] >>= uint(in.Imm)
+		case OpJmp:
+			pc += int(in.Off)
+		case OpJEq:
+			if regs[in.Dst] == regs[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJNe:
+			if regs[in.Dst] != regs[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJGt:
+			if regs[in.Dst] > regs[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpJLt:
+			if regs[in.Dst] < regs[in.Src] {
+				pc += int(in.Off)
+			}
+		case OpRet:
+			return regs[in.Dst], kbase.EOK
+		}
+	}
+	// Unreachable given the verifier's Ret rule; belt and braces.
+	return 0, kbase.EUCLEAN
+}
+
+// Len returns the instruction count.
+func (p *Program) Len() int { return len(p.insts) }

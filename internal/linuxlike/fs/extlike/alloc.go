@@ -1,0 +1,141 @@
+package extlike
+
+import (
+	"safelinux/internal/linuxlike/journal"
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Bitmap allocation. Both the block and inode bitmaps use the same
+// journaled scan-and-set machinery. All bitmap mutations happen under
+// a journal handle so that crash recovery keeps allocator state
+// consistent with the structures referencing it.
+
+// bitmapAlloc finds the first clear bit in the bitmap starting at
+// device block start spanning nBlocks, with at most limit valid bits.
+// It sets the bit under handle h and returns the bit index.
+func (inst *fsInstance) bitmapAlloc(task *kbase.Task, h *journal.Handle, start, nBlocks, limit uint64) (uint64, kbase.Errno) {
+	bs := inst.cache.Device().BlockSize()
+	bitsPerBlock := uint64(bs) * 8
+	for b := uint64(0); b < nBlocks; b++ {
+		bh, err := inst.cache.Bread(start + b)
+		if err != kbase.EOK {
+			return 0, err
+		}
+		base := b * bitsPerBlock
+		for i := 0; i < bs; i++ {
+			if bh.Data[i] == 0xFF {
+				continue
+			}
+			for bit := 0; bit < 8; bit++ {
+				idx := base + uint64(i*8+bit)
+				if idx >= limit {
+					bh.Put()
+					return 0, kbase.ENOSPC
+				}
+				if bh.Data[i]&(1<<bit) == 0 {
+					if err := h.GetWriteAccess(bh); err != kbase.EOK {
+						bh.Put()
+						return 0, err
+					}
+					bh.Data[i] |= 1 << bit
+					if err := h.DirtyMetadata(bh); err != kbase.EOK {
+						bh.Put()
+						return 0, err
+					}
+					bh.Put()
+					return idx, kbase.EOK
+				}
+			}
+		}
+		bh.Put()
+	}
+	return 0, kbase.ENOSPC
+}
+
+// bitmapFree clears bit idx in the bitmap at start, under handle h.
+// Double-free of a bit is a corruption oops, as ext4 would report via
+// ext4_error.
+func (inst *fsInstance) bitmapFree(task *kbase.Task, h *journal.Handle, start, idx uint64) kbase.Errno {
+	bs := inst.cache.Device().BlockSize()
+	bitsPerBlock := uint64(bs) * 8
+	bh, err := inst.cache.Bread(start + idx/bitsPerBlock)
+	if err != kbase.EOK {
+		return err
+	}
+	defer bh.Put()
+	byteIdx := (idx % bitsPerBlock) / 8
+	bit := byte(1 << (idx % 8))
+	if bh.Data[byteIdx]&bit == 0 {
+		kbase.Oops(kbase.OopsDoubleFree, "extlike", "bitmap double free of bit %d", idx)
+		return kbase.EUCLEAN
+	}
+	if err := h.GetWriteAccess(bh); err != kbase.EOK {
+		return err
+	}
+	bh.Data[byteIdx] &^= bit
+	return h.DirtyMetadata(bh)
+}
+
+// allocBlock allocates one data block and returns its device block
+// number. The block contents are not initialized.
+func (inst *fsInstance) allocBlock(task *kbase.Task, h *journal.Handle) (uint64, kbase.Errno) {
+	idx, err := inst.bitmapAlloc(task, h, inst.geo.SB.BBMStart, inst.geo.SB.BBMBlocks, inst.geo.SB.TotalBlocks)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	return idx, kbase.EOK
+}
+
+// freeBlock releases one data block. Freeing a metadata-area block is
+// a corruption oops.
+func (inst *fsInstance) freeBlock(task *kbase.Task, h *journal.Handle, block uint64) kbase.Errno {
+	if block < inst.geo.SB.DataStart {
+		kbase.Oops(kbase.OopsCorruption, "extlike", "freeing metadata block %d", block)
+		return kbase.EUCLEAN
+	}
+	return inst.bitmapFree(task, h, inst.geo.SB.BBMStart, block)
+}
+
+// allocIno allocates an inode number (1-based).
+func (inst *fsInstance) allocIno(task *kbase.Task, h *journal.Handle) (uint64, kbase.Errno) {
+	idx, err := inst.bitmapAlloc(task, h, inst.geo.SB.IBMStart, inst.geo.SB.IBMBlocks, uint64(inst.geo.SB.InodeCount))
+	if err != kbase.EOK {
+		return 0, err
+	}
+	return idx + 1, kbase.EOK
+}
+
+// freeIno releases an inode number.
+func (inst *fsInstance) freeIno(task *kbase.Task, h *journal.Handle, ino uint64) kbase.Errno {
+	if ino == 0 || ino > uint64(inst.geo.SB.InodeCount) {
+		return kbase.EINVAL
+	}
+	return inst.bitmapFree(task, h, inst.geo.SB.IBMStart, ino-1)
+}
+
+// countFreeBits scans a bitmap and counts clear bits below limit.
+func (inst *fsInstance) countFreeBits(start, nBlocks, limit uint64) (uint64, kbase.Errno) {
+	bs := inst.cache.Device().BlockSize()
+	bitsPerBlock := uint64(bs) * 8
+	var free uint64
+	for b := uint64(0); b < nBlocks; b++ {
+		bh, err := inst.cache.Bread(start + b)
+		if err != kbase.EOK {
+			return 0, err
+		}
+		base := b * bitsPerBlock
+		for i := 0; i < bs; i++ {
+			for bit := 0; bit < 8; bit++ {
+				idx := base + uint64(i*8+bit)
+				if idx >= limit {
+					break
+				}
+				if bh.Data[i]&(1<<bit) == 0 {
+					free++
+				}
+			}
+		}
+		bh.Put()
+	}
+	return free, kbase.EOK
+}

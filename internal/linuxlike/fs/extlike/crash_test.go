@@ -1,0 +1,186 @@
+package extlike_test
+
+import (
+	"bytes"
+	"testing"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+)
+
+// crashAndRemount simulates power loss (no cached writes survive) and
+// mounts a fresh instance, which runs journal recovery.
+func crashAndRemount(t *testing.T, dev *blockdev.Device, fs *extlike.FS) (*vfs.VFS, *kbase.Task) {
+	t.Helper()
+	dev.CrashApplyNone()
+	return mount(t, dev, fs)
+}
+
+// TestMetadataSurvivesCrash: every namespace operation commits its
+// transaction, so after a crash the journal replays it even though
+// the home locations were never flushed.
+func TestMetadataSurvivesCrash(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	v.Mkdir(task, "/dir")
+	writeFile(t, v, task, "/dir/f", []byte("hello"))
+
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	st, err := v2.Stat(task2, "/dir/f")
+	if err != kbase.EOK {
+		t.Fatalf("file missing after crash+recovery: %v", err)
+	}
+	if st.Size != 5 {
+		t.Fatalf("size after recovery = %d", st.Size)
+	}
+}
+
+// TestDataRequiresFsync documents writeback semantics: file data that
+// was never fsynced may be lost even when the metadata survived.
+func TestDataRequiresFsync(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+
+	// File 1: fsynced — data must survive.
+	fd, _ := v.Open(task, "/synced", vfs.OWrOnly|vfs.OCreate)
+	v.Write(task, fd, []byte("durable"))
+	if err := v.Fsync(task, fd); err != kbase.EOK {
+		t.Fatalf("Fsync: %v", err)
+	}
+	v.Close(fd)
+
+	// File 2: not fsynced — metadata (size) survives via the journal,
+	// data blocks may be stale.
+	writeFile(t, v, task, "/unsynced", []byte("volatile"))
+
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	if got := readFile(t, v2, task2, "/synced"); string(got) != "durable" {
+		t.Fatalf("fsynced data lost: %q", got)
+	}
+	st, err := v2.Stat(task2, "/unsynced")
+	if err != kbase.EOK {
+		t.Fatalf("unsynced file metadata lost: %v", err)
+	}
+	if st.Size != 8 {
+		t.Fatalf("unsynced size = %d", st.Size)
+	}
+	// Its data is allowed to be anything (stale block content); the
+	// read must simply not crash.
+	fd2, _ := v2.Open(task2, "/unsynced", vfs.ORdOnly)
+	buf := make([]byte, 8)
+	if _, err := v2.Read(task2, fd2, buf); err != kbase.EOK {
+		t.Fatalf("read of unsynced file: %v", err)
+	}
+}
+
+// TestUnlinkSurvivesCrash: a committed unlink stays unlinked.
+func TestUnlinkSurvivesCrash(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	writeFile(t, v, task, "/doomed", []byte("x"))
+	v.SyncAll(task)
+	if err := v.Unlink(task, "/doomed"); err != kbase.EOK {
+		t.Fatalf("Unlink: %v", err)
+	}
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	if _, err := v2.Stat(task2, "/doomed"); err != kbase.ENOENT {
+		t.Fatalf("unlinked file resurrected: %v", err)
+	}
+}
+
+// TestRenameAtomicUnderCrash: after a crash, exactly one of the two
+// names exists.
+func TestRenameAtomicUnderCrash(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	writeFile(t, v, task, "/old", []byte("content"))
+	v.SyncAll(task)
+	if err := v.Rename(task, "/old", "/new"); err != kbase.EOK {
+		t.Fatalf("Rename: %v", err)
+	}
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	_, errOld := v2.Stat(task2, "/old")
+	_, errNew := v2.Stat(task2, "/new")
+	oldThere := errOld == kbase.EOK
+	newThere := errNew == kbase.EOK
+	if oldThere == newThere {
+		t.Fatalf("rename not atomic: old=%v new=%v", errOld, errNew)
+	}
+}
+
+// TestSkipJournalLosesMetadata: the injected crash-consistency bug —
+// without journaling, a crash before writeback loses the creation.
+func TestSkipJournalLosesMetadata(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{SkipJournal: true})
+	writeFile(t, v, task, "/ghost", []byte("boo"))
+	// No sync. Crash.
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	if _, err := v2.Stat(task2, "/ghost"); err != kbase.ENOENT {
+		t.Fatalf("SkipJournal still durable?! err=%v", err)
+	}
+}
+
+// TestSkipJournalSurvivesWithSync: with an explicit SyncFS the
+// buggy variant still persists (writeback path), so the bug is
+// invisible without a crash — which is the paper's point about
+// testing being insufficient.
+func TestSkipJournalSurvivesWithSync(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{SkipJournal: true})
+	writeFile(t, v, task, "/visible", []byte("ok"))
+	if err := v.SyncAll(task); err != kbase.EOK {
+		t.Fatalf("SyncAll: %v", err)
+	}
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	if _, err := v2.Stat(task2, "/visible"); err != kbase.EOK {
+		t.Fatalf("synced file lost: %v", err)
+	}
+}
+
+// TestRandomCrashConsistency runs a deterministic random crash (some
+// cached writes applied, some torn) and checks the file system still
+// mounts and serves synced data.
+func TestRandomCrashConsistency(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		dev := blockdev.New(blockdev.Config{Blocks: 512, BlockSize: testBS, Rng: kbase.NewRng(seed)})
+		if _, err := extlike.Mkfs(dev, extlike.MkfsOptions{}); err != kbase.EOK {
+			t.Fatalf("Mkfs: %v", err)
+		}
+		v, task := mount(t, dev, &extlike.FS{})
+		writeFile(t, v, task, "/stable", patterned(testBS*2, byte(seed)))
+		v.SyncAll(task)
+		// Unsynced churn.
+		v.Mkdir(task, "/churn")
+		writeFile(t, v, task, "/churn/a", []byte("aa"))
+		v.Rename(task, "/churn/a", "/churn/b")
+
+		dev.Crash() // random subset applied, possibly torn
+		v2, task2 := mount(t, dev, &extlike.FS{})
+		if got := readFile(t, v2, task2, "/stable"); !bytes.Equal(got, patterned(testBS*2, byte(seed))) {
+			t.Fatalf("seed %d: synced data corrupted", seed)
+		}
+	}
+}
+
+// TestCrashDuringManyOps stresses recovery with a longer committed
+// history than the journal can hold at once (forcing mid-stream
+// checkpoints).
+func TestCrashDuringManyOps(t *testing.T) {
+	dev := newDevice(t, 1024)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	for i := 0; i < 30; i++ {
+		name := "/file-" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		writeFile(t, v, task, name, patterned(64, byte(i)))
+	}
+	v2, task2 := crashAndRemount(t, dev, &extlike.FS{})
+	ents, err := v2.ReadDir(task2, "/")
+	if err != kbase.EOK {
+		t.Fatalf("ReadDir after crash: %v", err)
+	}
+	if len(ents) != 30 {
+		t.Fatalf("entries after crash = %d, want 30", len(ents))
+	}
+}

@@ -1,0 +1,586 @@
+package extlike
+
+import (
+	"sync"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/bufcache"
+	"safelinux/internal/linuxlike/journal"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+)
+
+// FS is the extlike file system type. The exported knobs inject the
+// legacy bug classes the fault campaigns exercise; all default off.
+type FS struct {
+	// LeakOnUnlink skips freeing data blocks when the last link goes
+	// away — a resource-leak bug (kmemleak class).
+	LeakOnUnlink bool
+	// SkipJournal performs metadata updates without journaling them,
+	// a crash-consistency bug invisible to normal operation.
+	SkipJournal bool
+	// SkipSizeLock updates i_size without i_lock on the write path
+	// (§4.3's "maybe protected" pathology).
+	SkipSizeLock bool
+	// ConfuseWriteEnd makes WriteBegin return the wrong dynamic type
+	// (§4.2's void* type-confusion pathology).
+	ConfuseWriteEnd bool
+}
+
+// Name implements vfs.FileSystemType.
+func (f *FS) Name() string { return "extlike" }
+
+// MountData is what the untyped mount data argument must contain.
+type MountData struct {
+	Dev *blockdev.Device
+	// CacheSize bounds the buffer cache (0 = unbounded).
+	CacheSize int
+}
+
+// fsInstance is one mounted extlike file system.
+type fsInstance struct {
+	fs    *FS
+	cache *bufcache.Cache
+	jnl   *journal.Journal
+	geo   Geometry
+	vsb   *vfs.SuperBlock
+
+	mu     sync.Mutex // the big fs lock
+	inodes map[uint64]*vfs.Inode
+}
+
+// Mount implements vfs.FileSystemType. data must be a *MountData —
+// checked with the legacy any-downcast, oopsing on confusion.
+func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+	md, ok := data.(*MountData)
+	if !ok || md.Dev == nil {
+		kbase.Oops(kbase.OopsTypeConfusion, "extlike", "mount data is %T, not *MountData", data)
+		return nil, kbase.EINVAL
+	}
+	cache := bufcache.NewCache(md.Dev, md.CacheSize)
+	// Superblock.
+	sbBuf := make([]byte, md.Dev.BlockSize())
+	if err := md.Dev.Read(0, sbBuf); err != kbase.EOK {
+		return nil, err
+	}
+	var geo Geometry
+	if err := geo.SB.decode(sbBuf); err != kbase.EOK {
+		return nil, err
+	}
+	if geo.SB.TotalBlocks != md.Dev.Blocks() || geo.SB.BlockSize != uint32(md.Dev.BlockSize()) {
+		return nil, kbase.EUCLEAN
+	}
+	inst := &fsInstance{
+		fs:     f,
+		cache:  cache,
+		geo:    geo,
+		inodes: make(map[uint64]*vfs.Inode),
+	}
+	inst.jnl = journal.New(cache, geo.SB.JournalStart, geo.SB.JournalLen)
+	// Crash recovery on every mount; clean mounts replay nothing.
+	if _, err := inst.jnl.Recover(); err != kbase.EOK {
+		return nil, err
+	}
+	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
+	inst.vsb = vsb
+	inst.mu.Lock()
+	root, err := inst.iget(task, geo.SB.RootIno)
+	inst.mu.Unlock()
+	if err != kbase.EOK {
+		return nil, err
+	}
+	vsb.Root = root
+	return vsb, kbase.EOK
+}
+
+// Journal returns the instance journal (for tests and tooling).
+func (inst *fsInstance) Journal() *journal.Journal { return inst.jnl }
+
+// Cache returns the buffer cache (for tests and tooling).
+func (inst *fsInstance) Cache() *bufcache.Cache { return inst.cache }
+
+// InstanceOf extracts the fsInstance from a mounted superblock; it is
+// exported for white-box tests and the fault injector.
+func InstanceOf(sb *vfs.SuperBlock) (interface {
+	Journal() *journal.Journal
+	Cache() *bufcache.Cache
+}, bool) {
+	inst, ok := sb.Private.(*fsInstance)
+	return inst, ok
+}
+
+// begin opens a journal handle, or a no-op handle when SkipJournal is
+// injected.
+func (inst *fsInstance) begin() *journal.Handle {
+	return inst.jnl.Begin()
+}
+
+// commit force-commits the running transaction, checkpointing and
+// retrying once if the journal is full.
+func (inst *fsInstance) commit() kbase.Errno {
+	if inst.fs.SkipJournal {
+		// Injected bug: pretend durability without the journal.
+		return kbase.EOK
+	}
+	err := inst.jnl.Commit()
+	if err == kbase.ENOSPC {
+		if err := inst.jnl.Checkpoint(); err != kbase.EOK {
+			return err
+		}
+		err = inst.jnl.Commit()
+	}
+	return err
+}
+
+// inodeOps implements vfs.InodeOps.
+type inodeOps struct {
+	inst *fsInstance
+}
+
+func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ei, err := einodeOf(dir)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	ents, err := inst.readDir(task, ei)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	i := dirFind(ents, name)
+	if i < 0 {
+		return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+	}
+	child, err := inst.iget(task, ents[i].Ino)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	return child
+}
+
+func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+	if len(name) == 0 || len(name) > vfs.MaxNameLen {
+		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
+	}
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ei, err := einodeOf(dir)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	ents, err := inst.readDir(task, ei)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	if dirFind(ents, name) >= 0 {
+		return kbase.ErrPtr[vfs.Inode](kbase.EEXIST)
+	}
+	h := inst.begin()
+	defer h.Stop()
+	ino, err := inst.allocIno(task, h)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	diskMode, nlink := modeRegDisk, uint16(1)
+	if mode.IsDir() {
+		diskMode, nlink = modeDirDisk, 2
+	}
+	di := diskInode{Mode: diskMode, Nlink: nlink}
+	if err := inst.writeDiskInode(task, h, ino, &di); err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	ents = append(ents, dirent{Ino: ino, Mode: diskMode, Name: name})
+	if err := inst.writeDir(task, h, dir, ei, ents); err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	h.Stop()
+	if err := inst.commit(); err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	child, err := inst.iget(task, ino)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	return child
+}
+
+func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+	return o.Create(task, dir, name, vfs.ModeDir)
+}
+
+func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.removeEntry(task, dir, name, false)
+}
+
+func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.removeEntry(task, dir, name, true)
+}
+
+// removeEntry implements unlink and rmdir. Caller holds inst.mu.
+func (inst *fsInstance) removeEntry(task *kbase.Task, dir *vfs.Inode, name string, wantDir bool) kbase.Errno {
+	ei, err := einodeOf(dir)
+	if err != kbase.EOK {
+		return err
+	}
+	ents, err := inst.readDir(task, ei)
+	if err != kbase.EOK {
+		return err
+	}
+	i := dirFind(ents, name)
+	if i < 0 {
+		return kbase.ENOENT
+	}
+	target := ents[i]
+	isDir := target.Mode == modeDirDisk
+	if wantDir && !isDir {
+		return kbase.ENOTDIR
+	}
+	if !wantDir && isDir {
+		return kbase.EISDIR
+	}
+	childVi, err := inst.iget(task, target.Ino)
+	if err != kbase.EOK {
+		return err
+	}
+	cei, err := einodeOf(childVi)
+	if err != kbase.EOK {
+		return err
+	}
+	if wantDir {
+		sub, err := inst.readDir(task, cei)
+		if err != kbase.EOK {
+			return err
+		}
+		if len(sub) > 0 {
+			return kbase.ENOTEMPTY
+		}
+	}
+
+	h := inst.begin()
+	defer h.Stop()
+	ents = append(ents[:i], ents[i+1:]...)
+	if err := inst.writeDir(task, h, dir, ei, ents); err != kbase.EOK {
+		return err
+	}
+	if isDir {
+		cei.di.Nlink = 0
+	} else {
+		cei.di.Nlink--
+	}
+	childVi.ILock.Lock(task)
+	childVi.Nlink = uint32(cei.di.Nlink)
+	childVi.ILock.Unlock(task)
+	if cei.di.Nlink == 0 {
+		if !inst.fs.LeakOnUnlink {
+			if err := inst.freeAllBlocks(task, h, cei); err != kbase.EOK {
+				return err
+			}
+		}
+		// else: injected leak — blocks stay allocated forever.
+		if err := inst.freeIno(task, h, target.Ino); err != kbase.EOK {
+			return err
+		}
+		delete(inst.inodes, target.Ino)
+	}
+	if err := inst.writeDiskInode(task, h, target.Ino, &cei.di); err != kbase.EOK {
+		return err
+	}
+	h.Stop()
+	return inst.commit()
+}
+
+func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, newDir *vfs.Inode, newName string) kbase.Errno {
+	if len(newName) == 0 || len(newName) > vfs.MaxNameLen {
+		return kbase.EINVAL
+	}
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	oei, err := einodeOf(oldDir)
+	if err != kbase.EOK {
+		return err
+	}
+	nei, err := einodeOf(newDir)
+	if err != kbase.EOK {
+		return err
+	}
+	oldEnts, err := inst.readDir(task, oei)
+	if err != kbase.EOK {
+		return err
+	}
+	oi := dirFind(oldEnts, oldName)
+	if oi < 0 {
+		return kbase.ENOENT
+	}
+	moving := oldEnts[oi]
+
+	sameDir := oei == nei
+	newEnts := oldEnts
+	if !sameDir {
+		newEnts, err = inst.readDir(task, nei)
+		if err != kbase.EOK {
+			return err
+		}
+	}
+
+	h := inst.begin()
+	defer h.Stop()
+
+	if ni := dirFind(newEnts, newName); ni >= 0 {
+		existing := newEnts[ni]
+		if existing.Mode == modeDirDisk {
+			return kbase.EISDIR
+		}
+		// Replace: drop the target like unlink does.
+		exVi, err := inst.iget(task, existing.Ino)
+		if err != kbase.EOK {
+			return err
+		}
+		xei, err := einodeOf(exVi)
+		if err != kbase.EOK {
+			return err
+		}
+		xei.di.Nlink--
+		if xei.di.Nlink == 0 {
+			if !inst.fs.LeakOnUnlink {
+				if err := inst.freeAllBlocks(task, h, xei); err != kbase.EOK {
+					return err
+				}
+			}
+			if err := inst.freeIno(task, h, existing.Ino); err != kbase.EOK {
+				return err
+			}
+			delete(inst.inodes, existing.Ino)
+		}
+		if err := inst.writeDiskInode(task, h, existing.Ino, &xei.di); err != kbase.EOK {
+			return err
+		}
+		newEnts = append(newEnts[:ni], newEnts[ni+1:]...)
+		if sameDir {
+			// Removing an entry shifts indices; refind the source.
+			oi = dirFind(newEnts, oldName)
+		}
+	}
+
+	if sameDir {
+		newEnts[oi].Name = newName
+		if err := inst.writeDir(task, h, oldDir, oei, newEnts); err != kbase.EOK {
+			return err
+		}
+	} else {
+		oldEnts = append(oldEnts[:oi], oldEnts[oi+1:]...)
+		newEnts = append(newEnts, dirent{Ino: moving.Ino, Mode: moving.Mode, Name: newName})
+		if err := inst.writeDir(task, h, oldDir, oei, oldEnts); err != kbase.EOK {
+			return err
+		}
+		if err := inst.writeDir(task, h, newDir, nei, newEnts); err != kbase.EOK {
+			return err
+		}
+	}
+	h.Stop()
+	return inst.commit()
+}
+
+func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kbase.Errno) {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ei, err := einodeOf(dir)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	ents, err := inst.readDir(task, ei)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	out := make([]vfs.DirEntry, 0, len(ents))
+	for _, e := range ents {
+		mode := vfs.ModeRegular
+		if e.Mode == modeDirDisk {
+			mode = vfs.ModeDir
+		}
+		out = append(out, vfs.DirEntry{Name: e.Name, Ino: e.Ino, Mode: mode})
+	}
+	return out, kbase.EOK
+}
+
+// writeToken carries state from WriteBegin to WriteEnd through the
+// VFS's untyped ferry.
+type writeToken struct {
+	ei *einode
+	h  *journal.Handle
+}
+
+// confusedToken is the wrong-type twin for the injected fault.
+type confusedToken struct {
+	ei *einode
+	h  *journal.Handle
+}
+
+// fileOps implements vfs.FileOps.
+type fileOps struct {
+	inst *fsInstance
+}
+
+func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64) (int, kbase.Errno) {
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ei, err := einodeOf(ino)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	return inst.readFileRange(task, ei, buf, off)
+}
+
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (any, kbase.Errno) {
+	inst := fo.inst
+	inst.mu.Lock() // released in WriteEnd — the legacy protocol spans calls
+	ei, err := einodeOf(ino)
+	if err != kbase.EOK {
+		inst.mu.Unlock()
+		return nil, err
+	}
+	h := inst.begin()
+	if inst.fs.ConfuseWriteEnd {
+		return &confusedToken{ei: ei, h: h}, kbase.EOK
+	}
+	return &writeToken{ei: ei, h: h}, kbase.EOK
+}
+
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
+	tok, ok := private.(*writeToken)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
+			"write_copy private is %T, not *writeToken", private)
+		fo.abortWrite(private)
+		return 0, kbase.EUCLEAN
+	}
+	n, err := fo.inst.writeFileRange(task, tok.h, tok.ei, data, off)
+	if err != kbase.EOK {
+		tok.h.Stop()
+		fo.inst.mu.Unlock()
+	}
+	return n, err
+}
+
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, private any) kbase.Errno {
+	tok, ok := private.(*writeToken)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
+			"write_end private is %T, not *writeToken", private)
+		fo.abortWrite(private)
+		return kbase.EUCLEAN
+	}
+	inst := fo.inst
+	end := off + int64(n)
+	if end > int64(tok.ei.di.Size) {
+		tok.ei.di.Size = uint64(end)
+		if inst.fs.SkipSizeLock {
+			ino.ISize = end // unlocked store — the §4.3 pathology
+		} else {
+			ino.SizeWrite(task, end)
+		}
+	}
+	err := inst.writeDiskInode(task, tok.h, tok.ei.ino, &tok.ei.di)
+	tok.h.Stop()
+	if err == kbase.EOK {
+		err = inst.commit()
+	} else {
+		inst.commit()
+	}
+	inst.mu.Unlock()
+	return err
+}
+
+// abortWrite cleans up when the token was type-confused: we can still
+// salvage the handle if the confused value carries one.
+func (fo *fileOps) abortWrite(private any) {
+	if ct, ok := private.(*confusedToken); ok {
+		ct.h.Stop()
+	}
+	fo.inst.commit()
+	fo.inst.mu.Unlock()
+}
+
+func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.Errno {
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ei, err := einodeOf(ino)
+	if err != kbase.EOK {
+		return err
+	}
+	h := inst.begin()
+	defer h.Stop()
+	if size < int64(ei.di.Size) {
+		if err := inst.truncateBlocks(task, h, ei, size); err != kbase.EOK {
+			return err
+		}
+	}
+	ei.di.Size = uint64(size)
+	if err := inst.writeDiskInode(task, h, ei.ino, &ei.di); err != kbase.EOK {
+		return err
+	}
+	ino.SizeWrite(task, size)
+	h.Stop()
+	return inst.commit()
+}
+
+func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := inst.commit(); err != kbase.EOK {
+		return err
+	}
+	// Data writeback: make file data durable too.
+	return inst.cache.SyncDirty()
+}
+
+// SuperBlockOps.
+
+func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	freeB, err := inst.countFreeBits(inst.geo.SB.BBMStart, inst.geo.SB.BBMBlocks, inst.geo.SB.TotalBlocks)
+	if err != kbase.EOK {
+		return vfs.StatFS{}, err
+	}
+	freeI, err := inst.countFreeBits(inst.geo.SB.IBMStart, inst.geo.SB.IBMBlocks, uint64(inst.geo.SB.InodeCount))
+	if err != kbase.EOK {
+		return vfs.StatFS{}, err
+	}
+	return vfs.StatFS{
+		TotalBlocks: inst.geo.SB.TotalBlocks,
+		FreeBlocks:  freeB,
+		TotalInodes: uint64(inst.geo.SB.InodeCount),
+		FreeInodes:  freeI,
+		FSName:      "extlike",
+	}, kbase.EOK
+}
+
+func (inst *fsInstance) SyncFS(task *kbase.Task) kbase.Errno {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := inst.commit(); err != kbase.EOK {
+		return err
+	}
+	if inst.fs.SkipJournal {
+		return inst.cache.SyncDirty()
+	}
+	return inst.jnl.Checkpoint()
+}
+
+func (inst *fsInstance) Unmount(task *kbase.Task) kbase.Errno {
+	return inst.SyncFS(nil)
+}

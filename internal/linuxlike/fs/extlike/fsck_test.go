@@ -1,0 +1,173 @@
+package extlike_test
+
+import (
+	"strings"
+	"testing"
+
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/kbase"
+)
+
+func TestFsckCleanVolume(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	v.Mkdir(task, "/d")
+	writeFile(t, v, task, "/d/f", patterned(testBS*3, 1))
+	writeFile(t, v, task, "/big", patterned(testBS*12, 2)) // uses indirect
+	if err := v.Unmount(task, "/"); err != kbase.EOK {
+		t.Fatalf("Unmount: %v", err)
+	}
+	rep, err := extlike.Fsck(dev)
+	if err != kbase.EOK {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean volume flagged:\n%s", rep.Summary())
+	}
+	if rep.Inodes != 4 { // root, /d, /d/f, /big
+		t.Fatalf("reachable inodes = %d", rep.Inodes)
+	}
+	if !strings.Contains(rep.Summary(), "clean") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+func TestFsckDetectsLeakedBlocks(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{LeakOnUnlink: true})
+	writeFile(t, v, task, "/doomed", patterned(testBS*4, 3))
+	if err := v.Unlink(task, "/doomed"); err != kbase.EOK {
+		t.Fatalf("Unlink: %v", err)
+	}
+	v.Unmount(task, "/")
+	rep, err := extlike.Fsck(dev)
+	if err != kbase.EOK {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if rep.Clean() {
+		t.Fatalf("leak not detected")
+	}
+	if len(rep.LeakedBlocks) < 4 {
+		t.Fatalf("leaked blocks = %d, want >= 4", len(rep.LeakedBlocks))
+	}
+	if !strings.Contains(rep.Summary(), "leaked blocks") {
+		t.Fatalf("summary: %s", rep.Summary())
+	}
+}
+
+func TestFsckDetectsLostBlocks(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	writeFile(t, v, task, "/f", patterned(testBS*2, 4))
+	v.Unmount(task, "/")
+	// Corrupt: clear one allocated data block's bitmap bit. Find it
+	// via a first fsck pass (reachable blocks are what we need).
+	rep, _ := extlike.Fsck(dev)
+	if !rep.Clean() {
+		t.Fatalf("precondition: %s", rep.Summary())
+	}
+	// Clear a bit in the block bitmap region directly: read the
+	// geometry, flip the first data-area bit that is set.
+	geo, err := extlike.Mkfs(newDevice(t, 512), extlike.MkfsOptions{})
+	if err != kbase.EOK {
+		t.Fatalf("geometry probe: %v", err)
+	}
+	bbmStart := geo.SB.BBMStart
+	dataStart := geo.SB.DataStart
+	buf := make([]byte, dev.BlockSize())
+	if err := dev.Read(bbmStart, buf); err != kbase.EOK {
+		t.Fatalf("read bitmap: %v", err)
+	}
+	// Find a set bit at/after dataStart and clear it.
+	cleared := false
+	for bit := dataStart; bit < uint64(len(buf)*8); bit++ {
+		if buf[bit/8]&(1<<(bit%8)) != 0 {
+			buf[bit/8] &^= 1 << (bit % 8)
+			cleared = true
+			break
+		}
+	}
+	if !cleared {
+		t.Fatalf("no allocated data block found in first bitmap block")
+	}
+	dev.Write(bbmStart, buf)
+	dev.Flush()
+
+	rep, err = extlike.Fsck(dev)
+	if err != kbase.EOK {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if len(rep.LostBlocks) == 0 {
+		t.Fatalf("lost block not detected:\n%s", rep.Summary())
+	}
+}
+
+func TestFsckDetectsBadDirent(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	writeFile(t, v, task, "/f", []byte("x"))
+	// Corrupt the root directory: point the entry at an absurd inode.
+	root, _ := v.Resolve(task, "/")
+	_ = root
+	v.Unmount(task, "/")
+
+	// Rewrite root dir data on disk: easiest reliable corruption is
+	// the inode table — zero the child's inode so nlink reads 0.
+	geo, _ := extlike.Mkfs(newDevice(t, 512), extlike.MkfsOptions{})
+	itab := geo.SB.ITabStart
+	buf := make([]byte, dev.BlockSize())
+	dev.Read(itab, buf)
+	// Inode 2 (the file) lives at offset 128.
+	for i := 128; i < 256; i++ {
+		buf[i] = 0
+	}
+	dev.Write(itab, buf)
+	dev.Flush()
+
+	rep, err := extlike.Fsck(dev)
+	if err != kbase.EOK {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if rep.Clean() {
+		t.Fatalf("nlink=0 reachable inode not flagged:\n%s", rep.Summary())
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "nlink=0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems = %v", rep.Problems)
+	}
+}
+
+func TestFsckAfterCrashRecovers(t *testing.T) {
+	dev := newDevice(t, 512)
+	v, task := mkfsAndMount(t, dev, &extlike.FS{})
+	v.Mkdir(task, "/survives")
+	writeFile(t, v, task, "/survives/f", []byte("data"))
+	dev.CrashApplyNone() // journal has the txns, home locations don't
+	rep, err := extlike.Fsck(dev)
+	if err != kbase.EOK {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if rep.JournalReplay == 0 {
+		t.Fatalf("fsck did not replay the journal")
+	}
+	if !rep.Clean() {
+		t.Fatalf("post-recovery volume inconsistent:\n%s", rep.Summary())
+	}
+	// And the data is mountable afterwards.
+	v2, task2 := mount(t, dev, &extlike.FS{})
+	if _, err := v2.Stat(task2, "/survives/f"); err != kbase.EOK {
+		t.Fatalf("file lost: %v", err)
+	}
+}
+
+func TestFsckGarbageDevice(t *testing.T) {
+	dev := newDevice(t, 64)
+	if _, err := extlike.Fsck(dev); err != kbase.EUCLEAN {
+		t.Fatalf("fsck of unformatted device: %v", err)
+	}
+}

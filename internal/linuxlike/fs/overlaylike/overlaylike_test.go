@@ -1,0 +1,366 @@
+package overlaylike_test
+
+import (
+	"testing"
+
+	"safelinux/internal/linuxlike/fs/overlaylike"
+	"safelinux/internal/linuxlike/fs/ramfs"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+)
+
+// setup builds: lower ramfs with /pre and /dir/deep pre-populated,
+// upper empty ramfs, overlay of the two mounted at "/" of a fresh
+// VFS. It returns the overlay VFS plus direct handles on the layers.
+func setup(t *testing.T) (v *vfs.VFS, task *kbase.Task, upper, lower *vfs.SuperBlock) {
+	t.Helper()
+	task = kbase.NewTask()
+
+	rfs := &ramfs.FS{}
+	var err kbase.Errno
+	lower, err = rfs.Mount(task, nil)
+	if err != kbase.EOK {
+		t.Fatalf("lower mount: %v", err)
+	}
+	upper, err = rfs.Mount(task, nil)
+	if err != kbase.EOK {
+		t.Fatalf("upper mount: %v", err)
+	}
+
+	// Populate the lower layer directly through a scratch VFS.
+	lv := vfs.New(nil)
+	lv.RegisterFS(&sbFS{name: "fixed-lower", sb: lower})
+	if err := lv.Mount(task, "/", "fixed-lower", nil); err != kbase.EOK {
+		t.Fatalf("scratch mount: %v", err)
+	}
+	mustWrite(t, lv, task, "/pre", "lower-content")
+	if err := lv.Mkdir(task, "/dir"); err != kbase.EOK {
+		t.Fatalf("Mkdir lower: %v", err)
+	}
+	mustWrite(t, lv, task, "/dir/deep", "deep-lower")
+
+	v = vfs.New(nil)
+	v.RegisterFS(&overlaylike.FS{})
+	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{Upper: upper, Lower: lower}); err != kbase.EOK {
+		t.Fatalf("overlay mount: %v", err)
+	}
+	return v, task, upper, lower
+}
+
+// sbFS adapts a pre-built superblock to vfs.FileSystemType so tests
+// can mount a specific instance.
+type sbFS struct {
+	name string
+	sb   *vfs.SuperBlock
+}
+
+func (f *sbFS) Name() string { return f.name }
+func (f *sbFS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+	return f.sb, kbase.EOK
+}
+
+func mustWrite(t *testing.T, v *vfs.VFS, task *kbase.Task, path, content string) {
+	t.Helper()
+	fd, err := v.Open(task, path, vfs.OWrOnly|vfs.OCreate|vfs.OTrunc)
+	if err != kbase.EOK {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	if _, err := v.Write(task, fd, []byte(content)); err != kbase.EOK {
+		t.Fatalf("Write(%s): %v", path, err)
+	}
+	v.Close(fd)
+}
+
+func mustRead(t *testing.T, v *vfs.VFS, task *kbase.Task, path string) string {
+	t.Helper()
+	fd, err := v.Open(task, path, vfs.ORdOnly)
+	if err != kbase.EOK {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	defer v.Close(fd)
+	buf := make([]byte, 256)
+	n, err := v.Read(task, fd, buf)
+	if err != kbase.EOK {
+		t.Fatalf("Read(%s): %v", path, err)
+	}
+	return string(buf[:n])
+}
+
+func TestLowerVisibleThroughOverlay(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if got := mustRead(t, v, task, "/pre"); got != "lower-content" {
+		t.Fatalf("read lower = %q", got)
+	}
+	if got := mustRead(t, v, task, "/dir/deep"); got != "deep-lower" {
+		t.Fatalf("read nested lower = %q", got)
+	}
+}
+
+func TestWriteTriggersCopyUp(t *testing.T) {
+	v, task, upper, lower := setup(t)
+	mustWrite(t, v, task, "/pre", "modified")
+	if got := mustRead(t, v, task, "/pre"); got != "modified" {
+		t.Fatalf("overlay read = %q", got)
+	}
+	// The lower layer is untouched.
+	lu := lower.Root.Ops.Lookup(task, lower.Root, "pre")
+	if kbase.IsErr(lu) {
+		t.Fatalf("lower lost its file")
+	}
+	buf := make([]byte, 64)
+	n, _ := lu.FileOps.Read(task, lu, buf, 0)
+	if string(buf[:n]) != "lower-content" {
+		t.Fatalf("lower mutated: %q", buf[:n])
+	}
+	// The upper layer holds the copy.
+	uu := upper.Root.Ops.Lookup(task, upper.Root, "pre")
+	if kbase.IsErr(uu) {
+		t.Fatalf("no upper copy after copy-up")
+	}
+}
+
+func TestCopyUpPreservesExistingContentOnPartialWrite(t *testing.T) {
+	v, task, _, _ := setup(t)
+	fd, err := v.Open(task, "/pre", vfs.OWrOnly)
+	if err != kbase.EOK {
+		t.Fatalf("Open: %v", err)
+	}
+	// Overwrite only the first byte; the rest must come from the
+	// copied-up lower content.
+	if _, err := v.Pwrite(task, fd, []byte("L"), 0); err != kbase.EOK {
+		t.Fatalf("Pwrite: %v", err)
+	}
+	v.Close(fd)
+	if got := mustRead(t, v, task, "/pre"); got != "Lower-content" {
+		t.Fatalf("partial write over copy-up = %q", got)
+	}
+}
+
+func TestUnlinkLowerCreatesWhiteout(t *testing.T) {
+	v, task, upper, _ := setup(t)
+	if err := v.Unlink(task, "/pre"); err != kbase.EOK {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if _, err := v.Stat(task, "/pre"); err != kbase.ENOENT {
+		t.Fatalf("unlinked lower file visible: %v", err)
+	}
+	// Whiteout marker exists in the upper layer.
+	wh := upper.Root.Ops.Lookup(task, upper.Root, overlaylike.WhiteoutPrefix+"pre")
+	if kbase.IsErr(wh) {
+		t.Fatalf("whiteout not created")
+	}
+	// ReadDir must not show it.
+	ents, _ := v.ReadDir(task, "/")
+	for _, e := range ents {
+		if e.Name == "pre" || e.Name == overlaylike.WhiteoutPrefix+"pre" {
+			t.Fatalf("ReadDir leaked %q", e.Name)
+		}
+	}
+}
+
+func TestRecreateAfterWhiteout(t *testing.T) {
+	v, task, _, _ := setup(t)
+	v.Unlink(task, "/pre")
+	mustWrite(t, v, task, "/pre", "reborn")
+	if got := mustRead(t, v, task, "/pre"); got != "reborn" {
+		t.Fatalf("recreate = %q", got)
+	}
+}
+
+func TestMergedReadDir(t *testing.T) {
+	v, task, _, _ := setup(t)
+	mustWrite(t, v, task, "/upper-only", "u")
+	ents, err := v.ReadDir(task, "/")
+	if err != kbase.EOK {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range ents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"pre", "dir", "upper-only"} {
+		if !names[want] {
+			t.Fatalf("merged ReadDir missing %q (got %v)", want, names)
+		}
+	}
+}
+
+func TestCreateInLowerOnlyDirectory(t *testing.T) {
+	v, task, upper, _ := setup(t)
+	mustWrite(t, v, task, "/dir/newfile", "fresh")
+	if got := mustRead(t, v, task, "/dir/newfile"); got != "fresh" {
+		t.Fatalf("read = %q", got)
+	}
+	// Upper chain /dir was materialized.
+	ud := upper.Root.Ops.Lookup(task, upper.Root, "dir")
+	if kbase.IsErr(ud) || !ud.Mode.IsDir() {
+		t.Fatalf("upper dir not materialized")
+	}
+	// Lower sibling still visible (merged dir).
+	if got := mustRead(t, v, task, "/dir/deep"); got != "deep-lower" {
+		t.Fatalf("lower sibling = %q", got)
+	}
+}
+
+func TestRenameFileWithinOverlay(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if err := v.Rename(task, "/pre", "/renamed"); err != kbase.EOK {
+		t.Fatalf("Rename: %v", err)
+	}
+	if _, err := v.Stat(task, "/pre"); err != kbase.ENOENT {
+		t.Fatalf("old name visible after rename: %v", err)
+	}
+	if got := mustRead(t, v, task, "/renamed"); got != "lower-content" {
+		t.Fatalf("renamed content = %q", got)
+	}
+}
+
+func TestRenameDirectoryEXDEV(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if err := v.Rename(task, "/dir", "/dir2"); err != kbase.EXDEV {
+		t.Fatalf("dir rename = %v, want EXDEV", err)
+	}
+}
+
+func TestRmdirLowerDirWhiteout(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if err := v.Rmdir(task, "/dir"); err != kbase.ENOTEMPTY {
+		t.Fatalf("Rmdir non-empty: %v", err)
+	}
+	if err := v.Unlink(task, "/dir/deep"); err != kbase.EOK {
+		t.Fatalf("Unlink: %v", err)
+	}
+	if err := v.Rmdir(task, "/dir"); err != kbase.EOK {
+		t.Fatalf("Rmdir: %v", err)
+	}
+	if _, err := v.Stat(task, "/dir"); err != kbase.ENOENT {
+		t.Fatalf("removed dir visible: %v", err)
+	}
+}
+
+func TestTruncateCopiesUp(t *testing.T) {
+	v, task, _, lower := setup(t)
+	if err := v.Truncate(task, "/pre", 5); err != kbase.EOK {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if got := mustRead(t, v, task, "/pre"); got != "lower" {
+		t.Fatalf("truncated = %q", got)
+	}
+	// Lower unchanged.
+	lu := lower.Root.Ops.Lookup(task, lower.Root, "pre")
+	if lu.SizeRead(task) != int64(len("lower-content")) {
+		t.Fatalf("lower size changed: %d", lu.SizeRead(task))
+	}
+}
+
+func TestWhiteoutNamesRejected(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if _, err := v.Open(task, "/"+overlaylike.WhiteoutPrefix+"sneaky", vfs.OCreate|vfs.OWrOnly); err != kbase.EINVAL {
+		t.Fatalf("creating whiteout-prefixed name: %v", err)
+	}
+}
+
+func TestUpperOnlyFileUnlink(t *testing.T) {
+	v, task, upper, _ := setup(t)
+	mustWrite(t, v, task, "/uonly", "x")
+	if err := v.Unlink(task, "/uonly"); err != kbase.EOK {
+		t.Fatalf("Unlink: %v", err)
+	}
+	// No whiteout needed: nothing in lower.
+	wh := upper.Root.Ops.Lookup(task, upper.Root, overlaylike.WhiteoutPrefix+"uonly")
+	if !kbase.IsErr(wh) {
+		t.Fatalf("needless whiteout created")
+	}
+}
+
+func TestMkdirInOverlayAndStatfs(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if err := v.Mkdir(task, "/newdir"); err != kbase.EOK {
+		t.Fatalf("Mkdir: %v", err)
+	}
+	mustWrite(t, v, task, "/newdir/child", "c")
+	ents, err := v.ReadDir(task, "/newdir")
+	if err != kbase.EOK || len(ents) != 1 {
+		t.Fatalf("ReadDir = (%v, %v)", ents, err)
+	}
+	sf, err := v.Statfs(task, "/")
+	if err != kbase.EOK || sf.FSName != "overlaylike" {
+		t.Fatalf("Statfs = (%+v, %v)", sf, err)
+	}
+	if err := v.SyncAll(task); err != kbase.EOK {
+		t.Fatalf("SyncAll: %v", err)
+	}
+}
+
+func TestOverlayFsyncAndUnmount(t *testing.T) {
+	v, task, _, _ := setup(t)
+	mustWrite(t, v, task, "/durable", "x")
+	fd, _ := v.Open(task, "/durable", vfs.ORdOnly)
+	if err := v.Fsync(task, fd); err != kbase.EOK {
+		t.Fatalf("Fsync: %v", err)
+	}
+	v.Close(fd)
+	// Fsync of a lower-only (never copied up) file is a no-op.
+	fd2, _ := v.Open(task, "/pre", vfs.ORdOnly)
+	if err := v.Fsync(task, fd2); err != kbase.EOK {
+		t.Fatalf("Fsync lower-only: %v", err)
+	}
+	v.Close(fd2)
+	if err := v.Unmount(task, "/"); err != kbase.EOK {
+		t.Fatalf("Unmount: %v", err)
+	}
+}
+
+func TestOverlayRenameOverExistingUpper(t *testing.T) {
+	v, task, _, _ := setup(t)
+	mustWrite(t, v, task, "/src", "source")
+	mustWrite(t, v, task, "/dst", "target")
+	if err := v.Rename(task, "/src", "/dst"); err != kbase.EOK {
+		t.Fatalf("Rename: %v", err)
+	}
+	if got := mustRead(t, v, task, "/dst"); got != "source" {
+		t.Fatalf("dst = %q", got)
+	}
+	if _, err := v.Stat(task, "/src"); err != kbase.ENOENT {
+		t.Fatalf("src alive: %v", err)
+	}
+}
+
+func TestOverlayRenameLowerOntoLower(t *testing.T) {
+	v, task, _, _ := setup(t)
+	// /pre (lower) renamed over /dir/deep (lower): copy-up + whiteouts
+	// on both names.
+	if err := v.Rename(task, "/pre", "/dir/deep"); err != kbase.EOK {
+		t.Fatalf("Rename: %v", err)
+	}
+	if got := mustRead(t, v, task, "/dir/deep"); got != "lower-content" {
+		t.Fatalf("target = %q", got)
+	}
+	if _, err := v.Stat(task, "/pre"); err != kbase.ENOENT {
+		t.Fatalf("old name alive: %v", err)
+	}
+}
+
+func TestOverlayMountBadData(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+	fs := &overlaylike.FS{}
+	if _, err := fs.Mount(kbase.NewTask(), "garbage"); err != kbase.EINVAL {
+		t.Fatalf("bad mount data: %v", err)
+	}
+	if rec.Count(kbase.OopsTypeConfusion) != 1 {
+		t.Fatalf("confusion not recorded")
+	}
+}
+
+func TestOverlayTruncateExtend(t *testing.T) {
+	v, task, _, _ := setup(t)
+	if err := v.Truncate(task, "/pre", 20); err != kbase.EOK {
+		t.Fatalf("Truncate extend: %v", err)
+	}
+	got := mustRead(t, v, task, "/pre")
+	if len(got) != 20 || got[:13] != "lower-content" {
+		t.Fatalf("extended = %q (len %d)", got, len(got))
+	}
+}

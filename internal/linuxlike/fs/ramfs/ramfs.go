@@ -1,0 +1,374 @@
+// Package ramfs is the simplest file system of the simulated kernel:
+// all state in memory, no backing device. It is written in the legacy
+// style — per-inode state hangs off Inode.Private as an untyped value
+// and is type-asserted back on every operation, and WriteBegin hands
+// WriteEnd a private token through the VFS exactly as the paper's
+// §4.2 example describes.
+//
+// ramfs serves three roles: the baseline file system for VFS tests,
+// the lower layer for overlaylike, and the host for injected
+// type-confusion faults in the fault campaigns.
+package ramfs
+
+import (
+	"sync"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+)
+
+// node is ramfs's per-inode private state.
+type node struct {
+	mu       sync.Mutex
+	data     []byte
+	children map[string]*vfs.Inode // directories only
+}
+
+// FS is the ramfs file system type.
+type FS struct {
+	// ConfuseWriteEnd, when set, makes WriteBegin return a value of
+	// the wrong dynamic type — the injected §4.2 type-confusion bug.
+	ConfuseWriteEnd bool
+	// SkipSizeLock, when set, updates i_size without taking i_lock on
+	// the write path (the §4.3 "maybe protected" pathology made
+	// concrete). The default follows the disciplined path.
+	SkipSizeLock bool
+}
+
+// Name implements vfs.FileSystemType.
+func (f *FS) Name() string { return "ramfs" }
+
+// fsInstance is one mounted ramfs.
+type fsInstance struct {
+	fs      *FS
+	sb      *vfs.SuperBlock
+	mu      sync.Mutex
+	nextIno uint64
+	inodes  uint64
+}
+
+// Mount implements vfs.FileSystemType. data is unused.
+func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+	inst := &fsInstance{fs: f, nextIno: 2} // ino 1 is the root
+	sb := &vfs.SuperBlock{FSType: f.Name()}
+	inst.sb = sb
+	sb.Private = inst
+	sb.Ops = inst
+	root := inst.newInode(1, vfs.ModeDir)
+	sb.Root = root
+	return sb, kbase.EOK
+}
+
+func (inst *fsInstance) newInode(ino uint64, mode vfs.FileMode) *vfs.Inode {
+	n := &node{}
+	if mode.IsDir() {
+		n.children = make(map[string]*vfs.Inode)
+	}
+	i := &vfs.Inode{
+		Ino:     ino,
+		Mode:    mode,
+		Nlink:   1,
+		ILock:   kbase.NewSpinLock(vfs.ILockClass),
+		Sb:      inst.sb,
+		Private: n,
+	}
+	ops := &inodeOps{inst: inst}
+	i.Ops = ops
+	i.FileOps = &fileOps{inst: inst}
+	inst.mu.Lock()
+	inst.inodes++
+	inst.mu.Unlock()
+	return i
+}
+
+func (inst *fsInstance) allocIno() uint64 {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	ino := inst.nextIno
+	inst.nextIno++
+	return ino
+}
+
+// nodeOf performs the legacy untyped downcast of Inode.Private.
+// A wrong dynamic type means another component stomped on Private;
+// that is a type-confusion oops, after which the operation fails.
+func nodeOf(ino *vfs.Inode) (*node, kbase.Errno) {
+	n, ok := ino.Private.(*node)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "ramfs",
+			"inode %d private is %T, not *node", ino.Ino, ino.Private)
+		return nil, kbase.EUCLEAN
+	}
+	return n, kbase.EOK
+}
+
+// inodeOps implements vfs.InodeOps.
+type inodeOps struct {
+	inst *fsInstance
+}
+
+func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+	n, err := nodeOf(dir)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	child, ok := n.children[name]
+	if !ok {
+		return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+	}
+	return child
+}
+
+func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+	if len(name) == 0 || len(name) > vfs.MaxNameLen {
+		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
+	}
+	n, err := nodeOf(dir)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.children[name]; exists {
+		return kbase.ErrPtr[vfs.Inode](kbase.EEXIST)
+	}
+	child := o.inst.newInode(o.inst.allocIno(), mode)
+	n.children[name] = child
+	return child
+}
+
+func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+	return o.Create(task, dir, name, vfs.ModeDir)
+}
+
+func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	n, err := nodeOf(dir)
+	if err != kbase.EOK {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	child, ok := n.children[name]
+	if !ok {
+		return kbase.ENOENT
+	}
+	if child.Mode.IsDir() {
+		return kbase.EISDIR
+	}
+	delete(n.children, name)
+	child.ILock.Lock(task)
+	child.Nlink--
+	child.ILock.Unlock(task)
+	return kbase.EOK
+}
+
+func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	n, err := nodeOf(dir)
+	if err != kbase.EOK {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	child, ok := n.children[name]
+	if !ok {
+		return kbase.ENOENT
+	}
+	if !child.Mode.IsDir() {
+		return kbase.ENOTDIR
+	}
+	cn, err := nodeOf(child)
+	if err != kbase.EOK {
+		return err
+	}
+	cn.mu.Lock()
+	empty := len(cn.children) == 0
+	cn.mu.Unlock()
+	if !empty {
+		return kbase.ENOTEMPTY
+	}
+	delete(n.children, name)
+	return kbase.EOK
+}
+
+func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, newDir *vfs.Inode, newName string) kbase.Errno {
+	if len(newName) == 0 || len(newName) > vfs.MaxNameLen {
+		return kbase.EINVAL
+	}
+	on, err := nodeOf(oldDir)
+	if err != kbase.EOK {
+		return err
+	}
+	nn, err := nodeOf(newDir)
+	if err != kbase.EOK {
+		return err
+	}
+	// Lock both directory nodes in address order to avoid ABBA;
+	// same-node rename locks once.
+	first, second := on, nn
+	if first == second {
+		second = nil
+	}
+	first.mu.Lock()
+	if second != nil {
+		second.mu.Lock()
+	}
+	defer func() {
+		if second != nil {
+			second.mu.Unlock()
+		}
+		first.mu.Unlock()
+	}()
+	child, ok := on.children[oldName]
+	if !ok {
+		return kbase.ENOENT
+	}
+	if existing, ok := nn.children[newName]; ok {
+		if existing.Mode.IsDir() {
+			return kbase.EISDIR
+		}
+	}
+	delete(on.children, oldName)
+	nn.children[newName] = child
+	return kbase.EOK
+}
+
+func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kbase.Errno) {
+	n, err := nodeOf(dir)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]vfs.DirEntry, 0, len(n.children))
+	for name, child := range n.children {
+		out = append(out, vfs.DirEntry{Name: name, Ino: child.Ino, Mode: child.Mode})
+	}
+	return out, kbase.EOK
+}
+
+// writeToken is what WriteBegin hands to WriteEnd through the VFS —
+// the custom-data-through-void* protocol of §4.2.
+type writeToken struct {
+	node    *node
+	reserve int
+}
+
+// confusedToken is a different type with a compatible-looking shape,
+// used by the injected type-confusion fault.
+type confusedToken struct {
+	node    *node
+	reserve int
+}
+
+// fileOps implements vfs.FileOps.
+type fileOps struct {
+	inst *fsInstance
+}
+
+func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64) (int, kbase.Errno) {
+	n, err := nodeOf(ino)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if off >= int64(len(n.data)) {
+		return 0, kbase.EOK
+	}
+	cnt := copy(buf, n.data[off:])
+	return cnt, kbase.EOK
+}
+
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, cnt int) (any, kbase.Errno) {
+	n, err := nodeOf(ino)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	tok := &writeToken{node: n, reserve: cnt}
+	if fo.inst.fs.ConfuseWriteEnd {
+		// Injected bug: return the wrong dynamic type. The VFS
+		// ferries it blindly; WriteEnd's cast will misfire.
+		return &confusedToken{node: n, reserve: cnt}, kbase.EOK
+	}
+	return tok, kbase.EOK
+}
+
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
+	tok, ok := private.(*writeToken)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "ramfs",
+			"write_copy private is %T, not *writeToken", private)
+		return 0, kbase.EUCLEAN
+	}
+	n := tok.node
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	end := off + int64(len(data))
+	if end > int64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[off:end], data)
+	return len(data), kbase.EOK
+}
+
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, cnt int, private any) kbase.Errno {
+	tok, ok := private.(*writeToken)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "ramfs",
+			"write_end private is %T, not *writeToken", private)
+		return kbase.EUCLEAN
+	}
+	n := tok.node
+	n.mu.Lock()
+	size := int64(len(n.data))
+	n.mu.Unlock()
+	if fo.inst.fs.SkipSizeLock {
+		// The "maybe protected" path: i_size store without i_lock.
+		ino.ISize = size
+	} else {
+		ino.SizeWrite(task, size)
+	}
+	return kbase.EOK
+}
+
+func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.Errno {
+	n, err := nodeOf(ino)
+	if err != kbase.EOK {
+		return err
+	}
+	n.mu.Lock()
+	switch {
+	case size < int64(len(n.data)):
+		n.data = n.data[:size]
+	case size > int64(len(n.data)):
+		grown := make([]byte, size)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	n.mu.Unlock()
+	ino.SizeWrite(task, size)
+	return kbase.EOK
+}
+
+func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
+	return kbase.EOK // nothing to do: RAM only
+}
+
+// SuperBlockOps.
+
+func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return vfs.StatFS{
+		TotalInodes: inst.inodes,
+		FSName:      "ramfs",
+	}, kbase.EOK
+}
+
+func (inst *fsInstance) SyncFS(task *kbase.Task) kbase.Errno { return kbase.EOK }
+
+func (inst *fsInstance) Unmount(task *kbase.Task) kbase.Errno { return kbase.EOK }

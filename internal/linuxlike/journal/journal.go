@@ -1,0 +1,497 @@
+// Package journal implements a jbd2-like physical block write-ahead
+// journal for the simulated kernel: running transactions with
+// handles, write-access tracking on buffer heads, commit records with
+// checksums, revoke records, checkpointing, and crash recovery by
+// replay.
+//
+// The on-journal format (one journal block = one device block):
+//
+//	block 0:        superblock  {magic, seq of oldest live txn, tail ptr}
+//	descriptor:     {magic, kind=desc,   seq, count, tags[count]{home}}
+//	data blocks:    count raw blocks following the descriptor
+//	revoke:         {magic, kind=revoke, seq, count, homes[count]}
+//	commit:         {magic, kind=commit, seq, checksum}
+//
+// A transaction is durable iff its commit block is present with a
+// matching checksum — exactly jbd2's commit criterion; recovery
+// replays committed transactions in sequence order and stops at the
+// first gap, honoring revoke records.
+//
+// The package is written in the legacy shared-structure style: the
+// journal hangs its per-buffer state off BufferHead.JournalData (the
+// b_private analogue) and manipulates buffer flags directly.
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"safelinux/internal/linuxlike/bufcache"
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Block kinds within the journal area.
+const (
+	magic       = 0x6A424432 // "jBD2"
+	kindSuper   = 1
+	kindDesc    = 2
+	kindCommit  = 3
+	kindRevoke  = 4
+	headerBytes = 16 // magic(4) kind(4) seq(8)
+)
+
+// Journal manages a contiguous journal region of the block device
+// underlying cache.
+type Journal struct {
+	cache *bufcache.Cache
+	start uint64 // first journal block (superblock)
+	size  uint64 // journal region length in blocks
+
+	mu       sync.Mutex
+	seq      uint64 // next transaction sequence number
+	tailSeq  uint64 // oldest not-yet-checkpointed sequence
+	writePos uint64 // next free journal block (offset within region)
+	running  *Tx
+	revoked  map[uint64]uint64 // home block -> seq at which revoked
+
+	stats Stats
+}
+
+// Stats counts journal activity.
+type Stats struct {
+	Commits      uint64
+	BlocksLogged uint64
+	Checkpoints  uint64
+	Replayed     uint64
+	Revokes      uint64
+}
+
+// Tx is a running transaction.
+type Tx struct {
+	j       *Journal
+	seq     uint64
+	buffers []*bufcache.BufferHead
+	inTx    map[uint64]bool // home blocks already joined
+	revokes []uint64
+	handles int
+	closed  bool
+}
+
+// Handle is a file-system-side reference to the running transaction
+// (journal_start/journal_stop).
+type Handle struct {
+	tx   *Tx
+	done bool
+}
+
+// New creates a journal over blocks [start, start+size) of cache's
+// device. size must be at least 4 blocks.
+func New(cache *bufcache.Cache, start, size uint64) *Journal {
+	if size < 4 {
+		panic("journal: region too small")
+	}
+	return &Journal{
+		cache:   cache,
+		start:   start,
+		size:    size,
+		seq:     1,
+		tailSeq: 1,
+		revoked: make(map[uint64]uint64),
+	}
+}
+
+// Stats returns a snapshot of journal counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Format initializes the journal superblock on disk.
+func (j *Journal) Format() kbase.Errno {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq, j.tailSeq, j.writePos = 1, 1, 1
+	return j.writeSuperLocked()
+}
+
+func (j *Journal) writeSuperLocked() kbase.Errno {
+	bs := j.cache.Device().BlockSize()
+	buf := make([]byte, bs)
+	binary.LittleEndian.PutUint32(buf[0:], magic)
+	binary.LittleEndian.PutUint32(buf[4:], kindSuper)
+	binary.LittleEndian.PutUint64(buf[8:], j.tailSeq)
+	if err := j.cache.Device().Write(j.start, buf); err != kbase.EOK {
+		return err
+	}
+	return j.cache.Device().Flush()
+}
+
+// Begin opens a handle on the running transaction, creating one if
+// needed (journal_start).
+func (j *Journal) Begin() *Handle {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.running == nil {
+		j.running = &Tx{j: j, seq: j.seq, inTx: make(map[uint64]bool)}
+		j.seq++
+	}
+	j.running.handles++
+	return &Handle{tx: j.running}
+}
+
+// GetWriteAccess declares intent to modify bh under this handle
+// (jbd2_journal_get_write_access). The buffer joins the transaction.
+func (h *Handle) GetWriteAccess(bh *bufcache.BufferHead) kbase.Errno {
+	if h.done {
+		kbase.Oops(kbase.OopsUseAfterFree, "journal", "write access on closed handle")
+		return kbase.EINVAL
+	}
+	tx := h.tx
+	tx.j.mu.Lock()
+	defer tx.j.mu.Unlock()
+	if tx.closed {
+		return kbase.EBUSY
+	}
+	if !tx.inTx[bh.Block] {
+		tx.inTx[bh.Block] = true
+		tx.buffers = append(tx.buffers, bh)
+		bh.JournalData = tx.seq // b_private-style breadcrumb
+	}
+	return kbase.EOK
+}
+
+// DirtyMetadata marks bh as journal-dirty metadata
+// (jbd2_journal_dirty_metadata). The buffer must have joined the
+// transaction first; violating that protocol is a semantic oops, as
+// jbd2 would J_ASSERT.
+func (h *Handle) DirtyMetadata(bh *bufcache.BufferHead) kbase.Errno {
+	tx := h.tx
+	tx.j.mu.Lock()
+	joined := tx.inTx[bh.Block]
+	tx.j.mu.Unlock()
+	if !joined {
+		kbase.Oops(kbase.OopsSemantic, "journal",
+			"dirty_metadata on block %d without write access", bh.Block)
+		return kbase.EINVAL
+	}
+	bh.SetFlag(bufcache.BHMeta)
+	bh.MarkDirty()
+	return kbase.EOK
+}
+
+// Revoke records that home block must not be replayed by any earlier
+// transaction's log entries (jbd2_journal_revoke) — used when a
+// metadata block is freed and may be reused for data.
+func (h *Handle) Revoke(home uint64) kbase.Errno {
+	tx := h.tx
+	tx.j.mu.Lock()
+	defer tx.j.mu.Unlock()
+	if tx.closed {
+		return kbase.EBUSY
+	}
+	tx.revokes = append(tx.revokes, home)
+	tx.j.stats.Revokes++
+	return kbase.EOK
+}
+
+// Stop closes the handle (journal_stop). The transaction commits when
+// Commit is called on the journal.
+func (h *Handle) Stop() {
+	if h.done {
+		return
+	}
+	h.done = true
+	h.tx.j.mu.Lock()
+	h.tx.handles--
+	h.tx.j.mu.Unlock()
+}
+
+// Commit force-commits the running transaction synchronously
+// (jbd2_journal_force_commit): write descriptor+data+revoke blocks,
+// flush, write commit block, flush again, then write the home
+// locations through the buffer cache (without flushing them — that is
+// Checkpoint's job).
+func (j *Journal) Commit() kbase.Errno {
+	j.mu.Lock()
+	tx := j.running
+	if tx == nil {
+		j.mu.Unlock()
+		return kbase.EOK // nothing to commit
+	}
+	if tx.handles > 0 {
+		j.mu.Unlock()
+		return kbase.EBUSY
+	}
+	tx.closed = true
+	j.running = nil
+
+	dev := j.cache.Device()
+	bs := dev.BlockSize()
+	// Needed journal blocks: descriptor + data + optional revoke + commit.
+	needed := uint64(1 + len(tx.buffers) + 1)
+	if len(tx.revokes) > 0 {
+		needed++
+	}
+	if j.writePos+needed > j.size {
+		// Out of journal space; require a checkpoint first. A real
+		// jbd2 would block; we surface ENOSPC and the caller
+		// checkpoints. Reinstate the transaction.
+		tx.closed = false
+		j.running = tx
+		j.mu.Unlock()
+		return kbase.ENOSPC
+	}
+
+	pos := j.start + j.writePos
+	crc := crc32.NewIEEE()
+
+	// Descriptor.
+	desc := make([]byte, bs)
+	binary.LittleEndian.PutUint32(desc[0:], magic)
+	binary.LittleEndian.PutUint32(desc[4:], kindDesc)
+	binary.LittleEndian.PutUint64(desc[8:], tx.seq)
+	binary.LittleEndian.PutUint32(desc[16:], uint32(len(tx.buffers)))
+	for i, bh := range tx.buffers {
+		binary.LittleEndian.PutUint64(desc[20+8*i:], bh.Block)
+	}
+	if err := dev.Write(pos, desc); err != kbase.EOK {
+		j.mu.Unlock()
+		return err
+	}
+	pos++
+	// Data blocks.
+	for _, bh := range tx.buffers {
+		if err := dev.Write(pos, bh.Data); err != kbase.EOK {
+			j.mu.Unlock()
+			return err
+		}
+		crc.Write(bh.Data)
+		pos++
+		j.stats.BlocksLogged++
+	}
+	// Revoke block.
+	if len(tx.revokes) > 0 {
+		rev := make([]byte, bs)
+		binary.LittleEndian.PutUint32(rev[0:], magic)
+		binary.LittleEndian.PutUint32(rev[4:], kindRevoke)
+		binary.LittleEndian.PutUint64(rev[8:], tx.seq)
+		binary.LittleEndian.PutUint32(rev[16:], uint32(len(tx.revokes)))
+		for i, home := range tx.revokes {
+			binary.LittleEndian.PutUint64(rev[20+8*i:], home)
+		}
+		if err := dev.Write(pos, rev); err != kbase.EOK {
+			j.mu.Unlock()
+			return err
+		}
+		pos++
+	}
+	// Barrier: journal body durable before commit record.
+	if err := dev.Flush(); err != kbase.EOK {
+		j.mu.Unlock()
+		return err
+	}
+	// Commit record.
+	com := make([]byte, bs)
+	binary.LittleEndian.PutUint32(com[0:], magic)
+	binary.LittleEndian.PutUint32(com[4:], kindCommit)
+	binary.LittleEndian.PutUint64(com[8:], tx.seq)
+	binary.LittleEndian.PutUint32(com[16:], crc.Sum32())
+	if err := dev.Write(pos, com); err != kbase.EOK {
+		j.mu.Unlock()
+		return err
+	}
+	pos++
+	if err := dev.Flush(); err != kbase.EOK {
+		j.mu.Unlock()
+		return err
+	}
+	j.writePos = pos - j.start
+	for _, home := range tx.revokes {
+		j.revoked[home] = tx.seq
+	}
+	j.stats.Commits++
+	buffers := tx.buffers
+	j.mu.Unlock()
+
+	// Home writes: through the cache, unflushed. A crash between here
+	// and Checkpoint is exactly what recovery must repair.
+	for _, bh := range buffers {
+		bh.JournalData = nil
+		if err := j.cache.WriteBuffer(bh); err != kbase.EOK {
+			return err
+		}
+	}
+	return kbase.EOK
+}
+
+// Checkpoint makes all home locations durable and resets the journal
+// region (jbd2 checkpoint + journal tail update).
+func (j *Journal) Checkpoint() kbase.Errno {
+	if err := j.cache.SyncDirty(); err != kbase.EOK {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// The tail must not exclude a transaction that is still running:
+	// it will commit with its already-assigned sequence, and recovery
+	// only replays sequences at or above the tail.
+	j.tailSeq = j.seq
+	if j.running != nil {
+		j.tailSeq = j.running.seq
+	}
+	j.writePos = 1
+	j.revoked = make(map[uint64]uint64)
+	j.stats.Checkpoints++
+	return j.writeSuperLocked()
+}
+
+// Recover scans the journal and replays every fully-committed
+// transaction newer than the on-disk tail, honoring revoke records.
+// It returns the number of replayed transactions. Call on mount after
+// an unclean shutdown; it is idempotent.
+func (j *Journal) Recover() (int, kbase.Errno) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	dev := j.cache.Device()
+	bs := dev.BlockSize()
+	buf := make([]byte, bs)
+
+	// Read superblock for the tail sequence.
+	if err := dev.Read(j.start, buf); err != kbase.EOK {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(buf[0:]) != magic ||
+		binary.LittleEndian.Uint32(buf[4:]) != kindSuper {
+		return 0, kbase.EUCLEAN
+	}
+	tail := binary.LittleEndian.Uint64(buf[8:])
+
+	// Pass 1: scan for committed transactions and revokes.
+	type txRecord struct {
+		seq   uint64
+		homes []uint64
+		data  [][]byte
+	}
+	var committed []txRecord
+	revoked := make(map[uint64]uint64)
+	pos := j.start + 1
+	end := j.start + j.size
+	expectSeq := tail
+	for pos < end {
+		if err := dev.Read(pos, buf); err != kbase.EOK {
+			break
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != magic ||
+			binary.LittleEndian.Uint32(buf[4:]) != kindDesc {
+			break
+		}
+		seq := binary.LittleEndian.Uint64(buf[8:])
+		if seq < expectSeq {
+			break
+		}
+		count := binary.LittleEndian.Uint32(buf[16:])
+		if uint64(count) > j.size {
+			break // corrupt descriptor
+		}
+		rec := txRecord{seq: seq}
+		for i := uint32(0); i < count; i++ {
+			rec.homes = append(rec.homes, binary.LittleEndian.Uint64(buf[20+8*i:]))
+		}
+		pos++
+		crc := crc32.NewIEEE()
+		ok := true
+		for i := uint32(0); i < count && pos < end; i++ {
+			data := make([]byte, bs)
+			if err := dev.Read(pos, data); err != kbase.EOK {
+				ok = false
+				break
+			}
+			rec.data = append(rec.data, data)
+			crc.Write(data)
+			pos++
+		}
+		if !ok || len(rec.data) != len(rec.homes) {
+			break
+		}
+		// Optional revoke block.
+		var txRevokes []uint64
+		if pos < end {
+			if err := dev.Read(pos, buf); err != kbase.EOK {
+				break
+			}
+			if binary.LittleEndian.Uint32(buf[0:]) == magic &&
+				binary.LittleEndian.Uint32(buf[4:]) == kindRevoke &&
+				binary.LittleEndian.Uint64(buf[8:]) == seq {
+				n := binary.LittleEndian.Uint32(buf[16:])
+				for i := uint32(0); i < n; i++ {
+					txRevokes = append(txRevokes, binary.LittleEndian.Uint64(buf[20+8*i:]))
+				}
+				pos++
+			}
+		}
+		// Commit block.
+		if pos >= end {
+			break
+		}
+		if err := dev.Read(pos, buf); err != kbase.EOK {
+			break
+		}
+		if binary.LittleEndian.Uint32(buf[0:]) != magic ||
+			binary.LittleEndian.Uint32(buf[4:]) != kindCommit ||
+			binary.LittleEndian.Uint64(buf[8:]) != seq ||
+			binary.LittleEndian.Uint32(buf[16:]) != crc.Sum32() {
+			break // uncommitted or torn: stop replay here
+		}
+		pos++
+		committed = append(committed, rec)
+		for _, r := range txRevokes {
+			revoked[r] = seq
+		}
+		expectSeq = seq + 1
+	}
+
+	// Pass 2: replay, honoring revokes (a block revoked at seq R is
+	// not replayed from any transaction with seq <= R).
+	replayed := 0
+	for _, rec := range committed {
+		for i, home := range rec.homes {
+			if rSeq, ok := revoked[home]; ok && rec.seq <= rSeq {
+				continue
+			}
+			if err := dev.Write(home, rec.data[i]); err != kbase.EOK {
+				return replayed, err
+			}
+			j.stats.Replayed++
+		}
+		replayed++
+	}
+	if replayed > 0 {
+		if err := dev.Flush(); err != kbase.EOK {
+			return replayed, err
+		}
+	}
+	// Reset the journal: everything durable now.
+	if len(committed) > 0 {
+		j.tailSeq = committed[len(committed)-1].seq + 1
+	} else {
+		j.tailSeq = tail
+	}
+	j.seq = j.tailSeq
+	j.writePos = 1
+	if err := j.writeSuperLocked(); err != kbase.EOK {
+		return replayed, err
+	}
+	return replayed, kbase.EOK
+}
+
+// DescribeFormat returns a human-readable summary of the journal
+// layout for documentation and fsck-style tooling.
+func (j *Journal) DescribeFormat() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return fmt.Sprintf("journal @%d+%d seq=%d tail=%d writePos=%d",
+		j.start, j.size, j.seq, j.tailSeq, j.writePos)
+}

@@ -1,0 +1,127 @@
+package kbase
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d", c.Now())
+	}
+	if got := c.Advance(5); got != 5 {
+		t.Fatalf("Advance returned %d", got)
+	}
+	c.Advance(3)
+	if c.Now() != 8 {
+		t.Fatalf("Now = %d, want 8", c.Now())
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := NewRng(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRng(42).Uint64() == c.Uint64() && i > 0 {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatalf("different seeds produced identical streams")
+	}
+}
+
+func TestRngIntnRange(t *testing.T) {
+	r := NewRng(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+	}
+}
+
+func TestRngIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Intn(0) did not panic")
+		}
+	}()
+	NewRng(1).Intn(0)
+}
+
+func TestRngFloat64Range(t *testing.T) {
+	r := NewRng(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v", v)
+		}
+	}
+}
+
+func TestRngBoolProbabilityExtremes(t *testing.T) {
+	r := NewRng(11)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatalf("Bool(0) returned true")
+		}
+		if !r.Bool(1.1) {
+			t.Fatalf("Bool(>1) returned false")
+		}
+	}
+}
+
+func TestRngPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := NewRng(seed).Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRngBytesFills(t *testing.T) {
+	r := NewRng(13)
+	b := make([]byte, 33)
+	r.Bytes(b)
+	zero := 0
+	for _, v := range b {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero == len(b) {
+		t.Fatalf("Bytes left buffer all-zero")
+	}
+}
+
+func TestRngForkIndependence(t *testing.T) {
+	parent := NewRng(99)
+	child := parent.Fork()
+	// The child stream must not simply replay the parent stream.
+	a, b := parent.Uint64(), child.Uint64()
+	if a == b {
+		t.Fatalf("fork replayed parent stream")
+	}
+}

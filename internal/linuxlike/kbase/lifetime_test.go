@@ -1,0 +1,177 @@
+package kbase
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func withRecorder(t *testing.T) *OopsRecorder {
+	t.Helper()
+	rec := &OopsRecorder{}
+	prev := InstallRecorder(rec)
+	t.Cleanup(func() { InstallRecorder(prev) })
+	return rec
+}
+
+func TestArenaUseAfterFree(t *testing.T) {
+	rec := withRecorder(t)
+	a := NewArena("testmod")
+	obj := &fakeInode{ino: 1}
+	a.Alloc(obj)
+	if !a.Access(obj) {
+		t.Fatalf("live object reported dead")
+	}
+	a.Free(obj)
+	if a.Access(obj) {
+		t.Fatalf("freed object reported live")
+	}
+	if rec.Count(OopsUseAfterFree) != 1 {
+		t.Fatalf("use-after-free oops count = %d, want 1", rec.Count(OopsUseAfterFree))
+	}
+}
+
+func TestArenaDoubleFree(t *testing.T) {
+	rec := withRecorder(t)
+	a := NewArena("testmod")
+	obj := &fakeInode{ino: 2}
+	a.Alloc(obj)
+	a.Free(obj)
+	a.Free(obj)
+	if rec.Count(OopsDoubleFree) != 1 {
+		t.Fatalf("double-free oops count = %d, want 1", rec.Count(OopsDoubleFree))
+	}
+}
+
+func TestArenaFreeUnallocated(t *testing.T) {
+	rec := withRecorder(t)
+	a := NewArena("testmod")
+	a.Free(&fakeInode{})
+	if rec.Count(OopsGeneric) != 1 {
+		t.Fatalf("generic oops count = %d, want 1", rec.Count(OopsGeneric))
+	}
+}
+
+func TestArenaLeakCheck(t *testing.T) {
+	rec := withRecorder(t)
+	a := NewArena("testmod")
+	a.Alloc(&fakeInode{ino: 1})
+	a.Alloc(&fakeInode{ino: 2})
+	if n := a.CheckLeaks(); n != 2 {
+		t.Fatalf("CheckLeaks = %d, want 2", n)
+	}
+	if rec.Count(OopsLeak) != 1 {
+		t.Fatalf("leak oops count = %d", rec.Count(OopsLeak))
+	}
+}
+
+func TestArenaStats(t *testing.T) {
+	withRecorder(t)
+	a := NewArena("testmod")
+	objs := []*fakeInode{{ino: 1}, {ino: 2}, {ino: 3}}
+	for _, o := range objs {
+		a.Alloc(o)
+	}
+	a.Free(objs[0])
+	allocs, frees := a.Stats()
+	if allocs != 3 || frees != 1 {
+		t.Fatalf("Stats = (%d, %d), want (3, 1)", allocs, frees)
+	}
+	if a.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", a.Live())
+	}
+}
+
+func TestArenaReallocAfterFree(t *testing.T) {
+	withRecorder(t)
+	a := NewArena("testmod")
+	obj := &fakeInode{ino: 9}
+	a.Alloc(obj)
+	a.Free(obj)
+	a.Alloc(obj) // slab reuse of the same address
+	if !a.Access(obj) {
+		t.Fatalf("reallocated object reported dead")
+	}
+}
+
+func TestArenaAllocLivePanics(t *testing.T) {
+	withRecorder(t)
+	a := NewArena("testmod")
+	obj := &fakeInode{}
+	a.Alloc(obj)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Alloc of live object did not panic")
+		}
+	}()
+	a.Alloc(obj)
+}
+
+func TestOopsWithoutRecorderPanics(t *testing.T) {
+	prev := InstallRecorder(nil)
+	defer InstallRecorder(prev)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("Oops without recorder did not panic")
+		}
+		if !strings.Contains(r.(string), "null-deref") {
+			t.Fatalf("panic message %q lacks kind", r)
+		}
+	}()
+	Oops(OopsNullDeref, "m", "boom")
+}
+
+func TestBUGAlwaysPanics(t *testing.T) {
+	rec := withRecorder(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("BUG did not panic")
+		}
+		if rec.Count("") != 1 {
+			t.Fatalf("BUG not recorded before panic")
+		}
+	}()
+	BUG("m", "invariant %d", 42)
+}
+
+func TestWarnOn(t *testing.T) {
+	rec := withRecorder(t)
+	if WarnOn(false, "m", "no") {
+		t.Fatalf("WarnOn(false) = true")
+	}
+	if !WarnOn(true, "m", "yes") {
+		t.Fatalf("WarnOn(true) = false")
+	}
+	if rec.Count("") != 1 {
+		t.Fatalf("WarnOn recorded %d events, want 1", rec.Count(""))
+	}
+}
+
+// Property: the arena never loses track — after any sequence of
+// alloc/free pairs, live == allocs - frees.
+func TestArenaAccountingProperty(t *testing.T) {
+	withRecorder(t)
+	f := func(ops []bool) bool {
+		a := NewArena("prop")
+		var live []*fakeInode
+		var id uint64
+		for _, alloc := range ops {
+			if alloc || len(live) == 0 {
+				id++
+				o := &fakeInode{ino: id}
+				a.Alloc(o)
+				live = append(live, o)
+			} else {
+				o := live[len(live)-1]
+				live = live[:len(live)-1]
+				a.Free(o)
+			}
+		}
+		allocs, frees := a.Stats()
+		return a.Live() == int(allocs-frees) && a.Live() == len(live)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+package kbase
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Lock primitives with optional validation.
+//
+// The simulated kernel uses SpinLock and KMutex everywhere a real
+// kernel would. Both wrap sync.Mutex but additionally register with a
+// LockValidator (a small lockdep) that tracks the lock-ordering graph
+// and detects potential deadlocks by cycle detection, plus
+// double-unlock and unlock-of-unlocked misuse. Validation can be
+// switched off globally for benchmarks via SetLockValidation.
+
+var lockValidationEnabled = true
+var lockValidationMu sync.Mutex
+
+// SetLockValidation toggles global lockdep-style validation and
+// returns the previous setting. It is not safe to toggle while locks
+// are held.
+func SetLockValidation(on bool) bool {
+	lockValidationMu.Lock()
+	defer lockValidationMu.Unlock()
+	prev := lockValidationEnabled
+	lockValidationEnabled = on
+	return prev
+}
+
+func lockValidationOn() bool {
+	lockValidationMu.Lock()
+	defer lockValidationMu.Unlock()
+	return lockValidationEnabled
+}
+
+// LockClass identifies a family of locks for ordering purposes, e.g.
+// all inode i_lock instances share one class, as in Linux lockdep.
+type LockClass struct {
+	name string
+	id   int
+}
+
+var (
+	classMu   sync.Mutex
+	classes   []*LockClass
+	classSeen = make(map[string]*LockClass)
+)
+
+// NewLockClass registers (or returns the existing) lock class with the
+// given name.
+func NewLockClass(name string) *LockClass {
+	classMu.Lock()
+	defer classMu.Unlock()
+	if c, ok := classSeen[name]; ok {
+		return c
+	}
+	c := &LockClass{name: name, id: len(classes)}
+	classes = append(classes, c)
+	classSeen[name] = c
+	return c
+}
+
+// Name returns the class name.
+func (c *LockClass) Name() string { return c.name }
+
+// LockValidator records the observed ordering between lock classes and
+// reports violations. One global instance serves the whole kernel,
+// mirroring lockdep.
+type LockValidator struct {
+	mu       sync.Mutex
+	after    map[int]map[int]bool // class a held while acquiring b => after[a][b]
+	holders  map[int64][]*LockClass
+	reports  []string
+	maxDepth int
+}
+
+var globalValidator = &LockValidator{
+	after:   make(map[int]map[int]bool),
+	holders: make(map[int64][]*LockClass),
+}
+
+// Validator returns the kernel-wide lock validator.
+func Validator() *LockValidator { return globalValidator }
+
+// Reports returns the accumulated violation reports.
+func (v *LockValidator) Reports() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, len(v.reports))
+	copy(out, v.reports)
+	return out
+}
+
+// Reset clears ordering state and reports (for tests).
+func (v *LockValidator) Reset() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.after = make(map[int]map[int]bool)
+	v.holders = make(map[int64][]*LockClass)
+	v.reports = nil
+	v.maxDepth = 0
+}
+
+// MaxDepth returns the deepest observed lock nesting.
+func (v *LockValidator) MaxDepth() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.maxDepth
+}
+
+// OrderingEdges returns the observed class-ordering edges as
+// "a->b" strings, sorted, for audit output.
+func (v *LockValidator) OrderingEdges() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	classMu.Lock()
+	defer classMu.Unlock()
+	var out []string
+	for a, m := range v.after {
+		for b := range m {
+			out = append(out, classes[a].name+"->"+classes[b].name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (v *LockValidator) acquire(task int64, c *LockClass) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	held := v.holders[task]
+	for _, h := range held {
+		edge := v.after[h.id]
+		if edge == nil {
+			edge = make(map[int]bool)
+			v.after[h.id] = edge
+		}
+		if !edge[c.id] && v.pathExists(c.id, h.id) {
+			v.reports = append(v.reports, fmt.Sprintf(
+				"possible deadlock: acquiring %q while holding %q inverts existing order %q->%q",
+				c.name, h.name, c.name, h.name))
+		}
+		edge[c.id] = true
+	}
+	v.holders[task] = append(held, c)
+	if d := len(v.holders[task]); d > v.maxDepth {
+		v.maxDepth = d
+	}
+}
+
+// pathExists reports whether the ordering graph already has a path
+// from to dst, meaning "from is taken before dst" somewhere.
+func (v *LockValidator) pathExists(from, to int) bool {
+	if from == to {
+		return true
+	}
+	seen := map[int]bool{from: true}
+	stack := []int{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range v.after[n] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+func (v *LockValidator) release(task int64, c *LockClass) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	held := v.holders[task]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == c {
+			v.holders[task] = append(held[:i:i], held[i+1:]...)
+			return
+		}
+	}
+	v.reports = append(v.reports, fmt.Sprintf("unlock of %q not held by task %d", c.name, task))
+}
+
+// taskID identifies the current "kernel task". Goroutines have no
+// stable exported ID, so tasks register themselves; unregistered
+// goroutines share task 0, which keeps validation useful for
+// single-threaded tests while staying cheap.
+var (
+	taskMu   sync.Mutex
+	taskIDs        = make(map[*Task]int64)
+	nextTask int64 = 1
+)
+
+// Task represents a kernel thread of execution for lock tracking.
+type Task struct{ id int64 }
+
+// NewTask registers a new kernel task.
+func NewTask() *Task {
+	taskMu.Lock()
+	defer taskMu.Unlock()
+	t := &Task{id: nextTask}
+	nextTask++
+	taskIDs[t] = t.id
+	return t
+}
+
+// ID returns the task id.
+func (t *Task) ID() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
+// SpinLock is the kernel spinlock. In simulation it is a mutex; the
+// distinction matters only for documentation and lock classes.
+type SpinLock struct {
+	mu    sync.Mutex
+	class *LockClass
+	task  *Task
+}
+
+// NewSpinLock creates a spinlock in the given class.
+func NewSpinLock(class *LockClass) *SpinLock { return &SpinLock{class: class} }
+
+// Lock acquires the spinlock on behalf of task (nil allowed).
+func (l *SpinLock) Lock(task *Task) {
+	if lockValidationOn() && l.class != nil {
+		globalValidator.acquire(task.ID(), l.class)
+	}
+	l.mu.Lock()
+	l.task = task
+}
+
+// Unlock releases the spinlock.
+func (l *SpinLock) Unlock(task *Task) {
+	l.task = nil
+	l.mu.Unlock()
+	if lockValidationOn() && l.class != nil {
+		globalValidator.release(task.ID(), l.class)
+	}
+}
+
+// KMutex is the kernel sleeping mutex.
+type KMutex struct {
+	mu    sync.Mutex
+	class *LockClass
+}
+
+// NewKMutex creates a mutex in the given class.
+func NewKMutex(class *LockClass) *KMutex { return &KMutex{class: class} }
+
+// Lock acquires the mutex on behalf of task.
+func (m *KMutex) Lock(task *Task) {
+	if lockValidationOn() && m.class != nil {
+		globalValidator.acquire(task.ID(), m.class)
+	}
+	m.mu.Lock()
+}
+
+// Unlock releases the mutex.
+func (m *KMutex) Unlock(task *Task) {
+	m.mu.Unlock()
+	if lockValidationOn() && m.class != nil {
+		globalValidator.release(task.ID(), m.class)
+	}
+}
+
+// RWSem is the kernel reader/writer semaphore.
+type RWSem struct {
+	mu    sync.RWMutex
+	class *LockClass
+}
+
+// NewRWSem creates a rwsem in the given class.
+func NewRWSem(class *LockClass) *RWSem { return &RWSem{class: class} }
+
+// DownRead acquires shared.
+func (s *RWSem) DownRead(task *Task) {
+	if lockValidationOn() && s.class != nil {
+		globalValidator.acquire(task.ID(), s.class)
+	}
+	s.mu.RLock()
+}
+
+// UpRead releases shared.
+func (s *RWSem) UpRead(task *Task) {
+	s.mu.RUnlock()
+	if lockValidationOn() && s.class != nil {
+		globalValidator.release(task.ID(), s.class)
+	}
+}
+
+// DownWrite acquires exclusive.
+func (s *RWSem) DownWrite(task *Task) {
+	if lockValidationOn() && s.class != nil {
+		globalValidator.acquire(task.ID(), s.class)
+	}
+	s.mu.Lock()
+}
+
+// UpWrite releases exclusive.
+func (s *RWSem) UpWrite(task *Task) {
+	s.mu.Unlock()
+	if lockValidationOn() && s.class != nil {
+		globalValidator.release(task.ID(), s.class)
+	}
+}

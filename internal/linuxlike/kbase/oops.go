@@ -1,0 +1,144 @@
+package kbase
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Oops capture.
+//
+// The fault-injection campaigns need to observe kernel failures
+// without tearing down the test process. In-kernel code reports fatal
+// conditions through Oops (recoverable, per-task) and BUG
+// (unrecoverable invariant violation). The harness installs an
+// OopsRecorder; with no recorder installed both panic, which is the
+// honest default for a real kernel.
+
+// OopsKind classifies a captured failure.
+type OopsKind string
+
+// Failure classes recognized by the recorder. These correspond to the
+// bug classes in the paper's §2 CVE categorization.
+const (
+	OopsNullDeref     OopsKind = "null-deref"
+	OopsUseAfterFree  OopsKind = "use-after-free"
+	OopsDoubleFree    OopsKind = "double-free"
+	OopsOutOfBounds   OopsKind = "out-of-bounds"
+	OopsTypeConfusion OopsKind = "type-confusion"
+	OopsDataRace      OopsKind = "data-race"
+	OopsDeadlock      OopsKind = "deadlock"
+	OopsLeak          OopsKind = "memory-leak"
+	OopsSemantic      OopsKind = "semantic"
+	OopsCorruption    OopsKind = "corruption"
+	OopsGeneric       OopsKind = "generic"
+)
+
+// OopsEvent is one captured kernel failure.
+type OopsEvent struct {
+	Kind   OopsKind
+	Module string
+	Msg    string
+}
+
+func (e OopsEvent) String() string {
+	return fmt.Sprintf("oops[%s] in %s: %s", e.Kind, e.Module, e.Msg)
+}
+
+// OopsRecorder receives kernel failures instead of crashing the
+// process.
+type OopsRecorder struct {
+	mu     sync.Mutex
+	events []OopsEvent
+}
+
+var (
+	recorderMu sync.RWMutex
+	recorder   *OopsRecorder
+)
+
+// InstallRecorder installs rec as the kernel oops sink and returns the
+// previous recorder (possibly nil).
+func InstallRecorder(rec *OopsRecorder) *OopsRecorder {
+	recorderMu.Lock()
+	defer recorderMu.Unlock()
+	prev := recorder
+	recorder = rec
+	return prev
+}
+
+// Events returns a copy of all recorded events.
+func (r *OopsRecorder) Events() []OopsEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]OopsEvent, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Count returns the number of recorded events of the given kind, or
+// all events if kind is empty.
+func (r *OopsRecorder) Count(kind OopsKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if kind == "" {
+		return len(r.events)
+	}
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset clears recorded events.
+func (r *OopsRecorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+func (r *OopsRecorder) record(e OopsEvent) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, e)
+}
+
+// Oops reports a recoverable kernel failure. With a recorder installed
+// the event is captured and execution continues (the caller is
+// responsible for unwinding); otherwise it panics.
+func Oops(kind OopsKind, module, format string, args ...any) {
+	e := OopsEvent{Kind: kind, Module: module, Msg: fmt.Sprintf(format, args...)}
+	recorderMu.RLock()
+	rec := recorder
+	recorderMu.RUnlock()
+	if rec != nil {
+		rec.record(e)
+		return
+	}
+	panic(e.String())
+}
+
+// BUG reports an unrecoverable invariant violation. It always panics;
+// the recorder, if any, captures the event first so campaigns can
+// still attribute the failure.
+func BUG(module, format string, args ...any) {
+	e := OopsEvent{Kind: OopsGeneric, Module: module, Msg: fmt.Sprintf(format, args...)}
+	recorderMu.RLock()
+	rec := recorder
+	recorderMu.RUnlock()
+	if rec != nil {
+		rec.record(e)
+	}
+	panic("BUG: " + e.String())
+}
+
+// WarnOn records a non-fatal warning event if cond is true, mirroring
+// WARN_ON. Returns cond for inline use.
+func WarnOn(cond bool, module, format string, args ...any) bool {
+	if cond {
+		Oops(OopsGeneric, module, "WARN_ON: "+format, args...)
+	}
+	return cond
+}

@@ -1,0 +1,62 @@
+package net
+
+import "safelinux/internal/linuxlike/kbase"
+
+// Modular interface retrofit (the paper's Step 1 applied to the
+// subsystem §4.1 calls out: "while Linux sockets support multiple
+// protocol families ... references to TCP state can be found
+// throughout generic socket code").
+//
+// StreamProto is the extracted modular interface for a stream
+// transport. Once a host installs one, the generic layer stops
+// touching protocol internals: inbound transport payloads and timer
+// ticks are delivered through this interface and nothing else. The
+// legacy TCB-poking paths remain for hosts that haven't been
+// migrated — that is the incremental part.
+
+// StreamProto is the modular stream-transport interface.
+type StreamProto interface {
+	// ProtoName identifies the implementation.
+	ProtoName() string
+	// HandleSegment delivers one inbound transport payload.
+	HandleSegment(src Addr, payload []byte)
+	// Tick advances retransmission and connection timers.
+	Tick(now uint64)
+}
+
+// InstallStreamProto replaces the host's TCP handling with a modular
+// implementation. Installing nil reverts to the legacy stack.
+func (h *Host) InstallStreamProto(p StreamProto) {
+	h.streamProto = p
+}
+
+// StreamProtoName returns the installed implementation's name, or
+// "legacy-tcp".
+func (h *Host) StreamProtoName() string {
+	if h.streamProto != nil {
+		return h.streamProto.ProtoName()
+	}
+	return "legacy-tcp"
+}
+
+// SendIP transmits a raw transport payload to dst — the downcall a
+// modular protocol uses instead of reaching into the host.
+func (h *Host) SendIP(dst Addr, proto byte, payload []byte) kbase.Errno {
+	return h.sim.send(h.addr, dst, MakeIP(h.addr, dst, proto, payload))
+}
+
+// Now returns the current simulation time (for protocol timers).
+func (h *Host) Now() uint64 { return h.sim.clock.Now() }
+
+// PacketFilter inspects one raw inbound packet; returning false drops
+// it. This is the restricted-extension hook the paper's related work
+// contrasts with full module replacement (eBPF-style: safe because
+// the program is verified, limited because it can only filter) —
+// internal/linuxlike/ebpflike provides verified programs that fit it.
+type PacketFilter func(pkt Packet) bool
+
+// SetPacketFilter installs (or, with nil, removes) the inbound filter.
+func (h *Host) SetPacketFilter(f PacketFilter) { h.filter = f }
+
+// FilteredCount returns packets dropped by the filter.
+func (h *Host) FilteredCount() uint64 { return h.stats.Filtered }

@@ -1,0 +1,149 @@
+// Package net implements the network substrate of the simulated
+// kernel: an IP-lite datagram layer over simulated lossy links, a
+// UDP-lite datagram protocol, a legacy TCP with connection
+// establishment, retransmission and teardown, and a generic socket
+// layer written in the legacy Linux style the paper's §4.1 critiques:
+// TCP-specific state is reached from generic socket code through
+// untyped private fields.
+//
+// Everything is single-threaded and deterministic: a Sim owns all
+// hosts, links and in-flight packets and advances in explicit steps.
+package net
+
+import (
+	"encoding/binary"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Protocol numbers, as IP assigns them.
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+)
+
+// ipHeaderLen is the fixed IP-lite header size: src(4) dst(4)
+// proto(1) pad(1) totalLen(2).
+const ipHeaderLen = 12
+
+// tcpHeaderLen is the fixed TCP-lite header: ports(4) seq(4) ack(4)
+// flags(1) pad(1) window(2).
+const tcpHeaderLen = 16
+
+// udpHeaderLen is the fixed UDP-lite header: ports(4) length(2) pad(2).
+const udpHeaderLen = 8
+
+// TCP flags.
+const (
+	FlagSYN = 1 << iota
+	FlagACK
+	FlagFIN
+	FlagRST
+)
+
+// Addr is an IP-lite host address.
+type Addr uint32
+
+// Packet is one wire packet: IP-lite header plus payload. Packets are
+// raw byte slices parsed with manual offsets, as skb data is.
+type Packet []byte
+
+// MakeIP builds an IP-lite packet around a transport payload.
+func MakeIP(src, dst Addr, proto byte, transport []byte) Packet {
+	p := make(Packet, ipHeaderLen+len(transport))
+	le := binary.LittleEndian
+	le.PutUint32(p[0:], uint32(src))
+	le.PutUint32(p[4:], uint32(dst))
+	p[8] = proto
+	le.PutUint16(p[10:], uint16(ipHeaderLen+len(transport)))
+	copy(p[ipHeaderLen:], transport)
+	return p
+}
+
+// ParseIP validates and splits an IP-lite packet. Malformed packets
+// raise an out-of-bounds oops (the legacy parser would have walked
+// off the buffer) and are reported via EPROTO.
+func ParseIP(p Packet) (src, dst Addr, proto byte, payload []byte, err kbase.Errno) {
+	if len(p) < ipHeaderLen {
+		kbase.Oops(kbase.OopsOutOfBounds, "net", "runt IP packet: %d bytes", len(p))
+		return 0, 0, 0, nil, kbase.EPROTO
+	}
+	le := binary.LittleEndian
+	total := int(le.Uint16(p[10:]))
+	if total > len(p) || total < ipHeaderLen {
+		kbase.Oops(kbase.OopsOutOfBounds, "net", "IP length %d of %d", total, len(p))
+		return 0, 0, 0, nil, kbase.EPROTO
+	}
+	return Addr(le.Uint32(p[0:])), Addr(le.Uint32(p[4:])), p[8], p[ipHeaderLen:total], kbase.EOK
+}
+
+// tcpSegment is a parsed TCP-lite segment.
+type tcpSegment struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            byte
+	Payload          []byte
+}
+
+func (s *tcpSegment) marshal() []byte {
+	b := make([]byte, tcpHeaderLen+len(s.Payload))
+	le := binary.LittleEndian
+	le.PutUint16(b[0:], s.SrcPort)
+	le.PutUint16(b[2:], s.DstPort)
+	le.PutUint32(b[4:], s.Seq)
+	le.PutUint32(b[8:], s.Ack)
+	b[12] = s.Flags
+	le.PutUint16(b[14:], 0xFFFF) // fixed advertised window
+	copy(b[tcpHeaderLen:], s.Payload)
+	return b
+}
+
+func parseTCP(b []byte) (tcpSegment, kbase.Errno) {
+	if len(b) < tcpHeaderLen {
+		kbase.Oops(kbase.OopsOutOfBounds, "net", "runt TCP segment: %d bytes", len(b))
+		return tcpSegment{}, kbase.EPROTO
+	}
+	le := binary.LittleEndian
+	return tcpSegment{
+		SrcPort: le.Uint16(b[0:]),
+		DstPort: le.Uint16(b[2:]),
+		Seq:     le.Uint32(b[4:]),
+		Ack:     le.Uint32(b[8:]),
+		Flags:   b[12],
+		Payload: b[tcpHeaderLen:],
+	}, kbase.EOK
+}
+
+// udpDatagram is a parsed UDP-lite datagram.
+type udpDatagram struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+func (d *udpDatagram) marshal() []byte {
+	b := make([]byte, udpHeaderLen+len(d.Payload))
+	le := binary.LittleEndian
+	le.PutUint16(b[0:], d.SrcPort)
+	le.PutUint16(b[2:], d.DstPort)
+	le.PutUint16(b[4:], uint16(len(d.Payload)))
+	copy(b[udpHeaderLen:], d.Payload)
+	return b
+}
+
+func parseUDP(b []byte) (udpDatagram, kbase.Errno) {
+	if len(b) < udpHeaderLen {
+		kbase.Oops(kbase.OopsOutOfBounds, "net", "runt UDP datagram: %d bytes", len(b))
+		return udpDatagram{}, kbase.EPROTO
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint16(b[4:]))
+	if udpHeaderLen+n > len(b) {
+		kbase.Oops(kbase.OopsOutOfBounds, "net", "UDP length %d of %d", n, len(b)-udpHeaderLen)
+		return udpDatagram{}, kbase.EPROTO
+	}
+	return udpDatagram{
+		SrcPort: le.Uint16(b[0:]),
+		DstPort: le.Uint16(b[2:]),
+		Payload: b[udpHeaderLen : udpHeaderLen+n],
+	}, kbase.EOK
+}

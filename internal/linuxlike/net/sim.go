@@ -1,0 +1,165 @@
+package net
+
+import (
+	"sort"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// LinkParams model one direction of a link.
+type LinkParams struct {
+	Delay         uint64  // jiffies of propagation delay (min 1)
+	LossProb      float64 // probability a packet is dropped
+	DupProb       float64 // probability a packet is duplicated
+	ReorderJitter uint64  // extra random delay 0..Jitter added per packet
+}
+
+// inFlight is one packet scheduled for delivery.
+type inFlight struct {
+	at  uint64
+	seq uint64 // tiebreaker for deterministic ordering
+	dst Addr
+	pkt Packet
+}
+
+// Sim is the deterministic network simulator: hosts, links, in-flight
+// packets, and the clock.
+type Sim struct {
+	clock   *kbase.Clock
+	rng     *kbase.Rng
+	hosts   map[Addr]*Host
+	links   map[[2]Addr]LinkParams
+	flight  []inFlight
+	nextSeq uint64
+
+	stats SimStats
+}
+
+// SimStats counts simulator activity.
+type SimStats struct {
+	Sent       uint64
+	Delivered  uint64
+	Dropped    uint64
+	Duplicated uint64
+}
+
+// NewSim creates a simulator with a deterministic seed.
+func NewSim(seed uint64) *Sim {
+	return &Sim{
+		clock: kbase.NewClock(),
+		rng:   kbase.NewRng(seed),
+		hosts: make(map[Addr]*Host),
+		links: make(map[[2]Addr]LinkParams),
+	}
+}
+
+// Clock returns the simulation clock.
+func (s *Sim) Clock() *kbase.Clock { return s.clock }
+
+// Stats returns a snapshot of simulator counters.
+func (s *Sim) Stats() SimStats { return s.stats }
+
+// AddHost creates a host with the given address.
+func (s *Sim) AddHost(addr Addr) *Host {
+	h := newHost(s, addr)
+	s.hosts[addr] = h
+	return h
+}
+
+// Link connects two hosts bidirectionally with the same parameters.
+func (s *Sim) Link(a, b Addr, p LinkParams) {
+	if p.Delay == 0 {
+		p.Delay = 1
+	}
+	s.links[[2]Addr{a, b}] = p
+	s.links[[2]Addr{b, a}] = p
+}
+
+// send schedules a packet from src to dst, applying the link model.
+func (s *Sim) send(src, dst Addr, pkt Packet) kbase.Errno {
+	lp, ok := s.links[[2]Addr{src, dst}]
+	if !ok {
+		return kbase.ENODEV
+	}
+	s.stats.Sent++
+	if s.rng.Bool(lp.LossProb) {
+		s.stats.Dropped++
+		return kbase.EOK // loss is silent, as on the wire
+	}
+	deliver := func() {
+		delay := lp.Delay
+		if lp.ReorderJitter > 0 {
+			delay += uint64(s.rng.Intn(int(lp.ReorderJitter) + 1))
+		}
+		s.nextSeq++
+		cp := make(Packet, len(pkt))
+		copy(cp, pkt)
+		s.flight = append(s.flight, inFlight{
+			at: s.clock.Now() + delay, seq: s.nextSeq, dst: dst, pkt: cp,
+		})
+	}
+	deliver()
+	if s.rng.Bool(lp.DupProb) {
+		s.stats.Duplicated++
+		deliver()
+	}
+	return kbase.EOK
+}
+
+// Step advances the clock one jiffy, delivers due packets in
+// deterministic order, and ticks every host's timers.
+func (s *Sim) Step() {
+	now := s.clock.Advance(1)
+	var due, rest []inFlight
+	for _, f := range s.flight {
+		if f.at <= now {
+			due = append(due, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	s.flight = rest
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].at != due[j].at {
+			return due[i].at < due[j].at
+		}
+		return due[i].seq < due[j].seq
+	})
+	for _, f := range due {
+		if h, ok := s.hosts[f.dst]; ok {
+			s.stats.Delivered++
+			h.receive(f.pkt)
+		}
+	}
+	// Deterministic host tick order.
+	addrs := make([]Addr, 0, len(s.hosts))
+	for a := range s.hosts {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		s.hosts[a].tick(now)
+	}
+}
+
+// Run advances n steps.
+func (s *Sim) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// RunUntil steps until cond returns true or limit steps elapse. It
+// reports whether cond was met.
+func (s *Sim) RunUntil(cond func() bool, limit int) bool {
+	for i := 0; i < limit; i++ {
+		if cond() {
+			return true
+		}
+		s.Step()
+	}
+	return cond()
+}
+
+// InFlight returns the number of packets currently on the wire.
+func (s *Sim) InFlight() int { return len(s.flight) }

@@ -1,0 +1,407 @@
+package net
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// The generic socket layer, in the legacy style: one Socket struct
+// serves every protocol, with protocol state hung off the untyped
+// Private field. Generic functions type-assert Private and poke at
+// TCP internals directly — the coupling the paper's §4.1 uses as its
+// motivating example ("references to TCP state can be found
+// throughout generic socket code").
+
+// Socket is the generic socket.
+type Socket struct {
+	host       *Host
+	Proto      byte
+	LocalPort  uint16
+	RemoteAddr Addr
+	RemotePort uint16
+
+	// Private is protocol-specific state: *TCB for TCP, *udpState
+	// for UDP. Untyped, shared, stomp-able.
+	Private any
+
+	// Listener state.
+	acceptQ []*Socket
+	pending map[connKey]*Socket
+}
+
+type connKey struct {
+	raddr Addr
+	rport uint16
+}
+
+// udpState is the UDP socket's private state.
+type udpState struct {
+	queue []udpDatagram
+	from  []Addr
+}
+
+// Host is one network endpoint: address, port table, dispatch.
+type Host struct {
+	sim       *Sim
+	addr      Addr
+	conns     map[uint16]map[connKey]*Socket // local port -> peer -> socket
+	listeners map[uint16]*Socket
+	udpSocks  map[uint16]*Socket
+	nextPort  uint16
+
+	// streamProto, when installed, handles all TCP-protocol traffic
+	// through the modular interface (see modular.go).
+	streamProto StreamProto
+
+	// filter, when installed, screens every inbound packet.
+	filter PacketFilter
+
+	// Oops attribution.
+	stats HostStats
+}
+
+// HostStats counts per-host activity.
+type HostStats struct {
+	Received  uint64
+	BadPacket uint64
+	NoSocket  uint64
+	Filtered  uint64
+}
+
+func newHost(s *Sim, addr Addr) *Host {
+	return &Host{
+		sim:       s,
+		addr:      addr,
+		conns:     make(map[uint16]map[connKey]*Socket),
+		listeners: make(map[uint16]*Socket),
+		udpSocks:  make(map[uint16]*Socket),
+		nextPort:  49152,
+	}
+}
+
+// Addr returns the host address.
+func (h *Host) Addr() Addr { return h.addr }
+
+// Stats returns a snapshot of host counters.
+func (h *Host) Stats() HostStats { return h.stats }
+
+func (h *Host) ephemeralPort() uint16 {
+	for {
+		p := h.nextPort
+		h.nextPort++
+		if h.nextPort == 0 {
+			h.nextPort = 49152
+		}
+		if _, used := h.conns[p]; !used {
+			if _, used := h.listeners[p]; !used {
+				return p
+			}
+		}
+	}
+}
+
+// ListenTCP creates a listening socket on port.
+func (h *Host) ListenTCP(port uint16) (*Socket, kbase.Errno) {
+	if _, dup := h.listeners[port]; dup {
+		return nil, kbase.EEXIST
+	}
+	s := &Socket{
+		host: h, Proto: ProtoTCP, LocalPort: port,
+		pending: make(map[connKey]*Socket),
+	}
+	s.Private = newTCB(s, StateListen)
+	h.listeners[port] = s
+	return s, kbase.EOK
+}
+
+// ConnectTCP opens a connection to raddr:rport. The returned socket
+// completes the handshake as the simulation steps.
+func (h *Host) ConnectTCP(raddr Addr, rport uint16) (*Socket, kbase.Errno) {
+	s := &Socket{
+		host: h, Proto: ProtoTCP,
+		LocalPort: h.ephemeralPort(), RemoteAddr: raddr, RemotePort: rport,
+	}
+	tcb := newTCB(s, StateClosed)
+	s.Private = tcb
+	h.registerConn(s)
+	tcb.connect()
+	return s, kbase.EOK
+}
+
+// BindUDP creates a datagram socket on port (0 = ephemeral).
+func (h *Host) BindUDP(port uint16) (*Socket, kbase.Errno) {
+	if port == 0 {
+		port = h.ephemeralPort()
+	}
+	if _, dup := h.udpSocks[port]; dup {
+		return nil, kbase.EEXIST
+	}
+	s := &Socket{host: h, Proto: ProtoUDP, LocalPort: port, Private: &udpState{}}
+	h.udpSocks[port] = s
+	return s, kbase.EOK
+}
+
+func (h *Host) registerConn(s *Socket) {
+	m := h.conns[s.LocalPort]
+	if m == nil {
+		m = make(map[connKey]*Socket)
+		h.conns[s.LocalPort] = m
+	}
+	m[connKey{s.RemoteAddr, s.RemotePort}] = s
+}
+
+// promote moves a pending child connection to the accept queue.
+func (h *Host) promote(child *Socket) {
+	l, ok := h.listeners[child.LocalPort]
+	if !ok {
+		return
+	}
+	key := connKey{child.RemoteAddr, child.RemotePort}
+	if _, pending := l.pending[key]; pending {
+		delete(l.pending, key)
+		l.acceptQ = append(l.acceptQ, child)
+	}
+}
+
+// receive dispatches one inbound packet.
+func (h *Host) receive(pkt Packet) {
+	h.stats.Received++
+	if h.filter != nil && !h.filter(pkt) {
+		h.stats.Filtered++
+		return
+	}
+	_, dst, proto, payload, err := ParseIP(pkt)
+	if err != kbase.EOK || dst != h.addr {
+		h.stats.BadPacket++
+		return
+	}
+	src, _, _, _, _ := ParseIP(pkt)
+	switch proto {
+	case ProtoTCP:
+		if h.streamProto != nil {
+			h.streamProto.HandleSegment(src, payload)
+			return
+		}
+		seg, err := parseTCP(payload)
+		if err != kbase.EOK {
+			h.stats.BadPacket++
+			return
+		}
+		h.dispatchTCP(src, seg)
+	case ProtoUDP:
+		dg, err := parseUDP(payload)
+		if err != kbase.EOK {
+			h.stats.BadPacket++
+			return
+		}
+		h.dispatchUDP(src, dg)
+	default:
+		h.stats.BadPacket++
+	}
+}
+
+func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
+	key := connKey{src, seg.SrcPort}
+	if m, ok := h.conns[seg.DstPort]; ok {
+		if s, ok := m[key]; ok {
+			// The generic layer reaches into TCP state directly —
+			// the §4.1 pathology. A stomped Private is type
+			// confusion, detected only at the assertion.
+			tcb, ok := s.Private.(*TCB)
+			if !ok {
+				kbase.Oops(kbase.OopsTypeConfusion, "net",
+					"socket %d private is %T, not *TCB", s.LocalPort, s.Private)
+				return
+			}
+			tcb.handle(seg)
+			return
+		}
+	}
+	if l, ok := h.listeners[seg.DstPort]; ok && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
+		// New connection attempt.
+		if _, dup := l.pending[key]; dup {
+			// Retransmitted SYN: resend SYN|ACK via the pending child.
+			if child, ok := l.pending[key]; ok {
+				ctcb := child.Private.(*TCB)
+				ctcb.rcvNext = seg.Seq + 1
+				ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, false)
+			}
+			return
+		}
+		child := &Socket{
+			host: h, Proto: ProtoTCP,
+			LocalPort: seg.DstPort, RemoteAddr: src, RemotePort: seg.SrcPort,
+		}
+		ctcb := newTCB(child, StateSynRcvd)
+		ctcb.rcvNext = seg.Seq + 1
+		child.Private = ctcb
+		h.registerConn(child)
+		l.pending[key] = child
+		ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, true)
+		ctcb.sendNext = ctcb.iss + 1
+		return
+	}
+	h.stats.NoSocket++
+}
+
+func (h *Host) dispatchUDP(src Addr, dg udpDatagram) {
+	s, ok := h.udpSocks[dg.DstPort]
+	if !ok {
+		h.stats.NoSocket++
+		return
+	}
+	st, ok := s.Private.(*udpState)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "net",
+			"udp socket %d private is %T, not *udpState", s.LocalPort, s.Private)
+		return
+	}
+	st.queue = append(st.queue, dg)
+	st.from = append(st.from, src)
+}
+
+// tick advances every TCP socket's timers.
+func (h *Host) tick(now uint64) {
+	if h.streamProto != nil {
+		h.streamProto.Tick(now)
+	}
+	for _, m := range h.conns {
+		for _, s := range m {
+			if tcb, ok := s.Private.(*TCB); ok {
+				tcb.tick(now)
+			}
+		}
+	}
+}
+
+// --- Generic socket operations (legacy layer) ---
+
+// Send queues data on a connected socket.
+func (s *Socket) Send(data []byte) kbase.Errno {
+	switch s.Proto {
+	case ProtoTCP:
+		tcb, ok := s.Private.(*TCB)
+		if !ok {
+			kbase.Oops(kbase.OopsTypeConfusion, "net", "Send: private is %T", s.Private)
+			return kbase.EUCLEAN
+		}
+		return tcb.tcbSend(data)
+	default:
+		return kbase.EPROTO
+	}
+}
+
+// Recv drains received bytes. (0, EOK) on a drained, peer-closed
+// stream means EOF; EAGAIN means try later.
+func (s *Socket) Recv(buf []byte) (int, kbase.Errno) {
+	switch s.Proto {
+	case ProtoTCP:
+		tcb, ok := s.Private.(*TCB)
+		if !ok {
+			kbase.Oops(kbase.OopsTypeConfusion, "net", "Recv: private is %T", s.Private)
+			return 0, kbase.EUCLEAN
+		}
+		return tcb.tcbRecv(buf)
+	default:
+		return 0, kbase.EPROTO
+	}
+}
+
+// SendTo transmits one datagram from a UDP socket.
+func (s *Socket) SendTo(dst Addr, dport uint16, data []byte) kbase.Errno {
+	if s.Proto != ProtoUDP {
+		return kbase.EPROTO
+	}
+	if len(data) > 64*1024-udpHeaderLen {
+		return kbase.EMSGSIZE
+	}
+	dg := udpDatagram{SrcPort: s.LocalPort, DstPort: dport, Payload: data}
+	return s.host.sim.send(s.host.addr, dst, MakeIP(s.host.addr, dst, ProtoUDP, dg.marshal()))
+}
+
+// RecvFrom dequeues one datagram.
+func (s *Socket) RecvFrom(buf []byte) (int, Addr, uint16, kbase.Errno) {
+	if s.Proto != ProtoUDP {
+		return 0, 0, 0, kbase.EPROTO
+	}
+	st, ok := s.Private.(*udpState)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "net", "RecvFrom: private is %T", s.Private)
+		return 0, 0, 0, kbase.EUCLEAN
+	}
+	if len(st.queue) == 0 {
+		return 0, 0, 0, kbase.EAGAIN
+	}
+	dg := st.queue[0]
+	from := st.from[0]
+	st.queue = st.queue[1:]
+	st.from = st.from[1:]
+	n := copy(buf, dg.Payload)
+	return n, from, dg.SrcPort, kbase.EOK
+}
+
+// Accept dequeues an established connection from a listener.
+func (s *Socket) Accept() (*Socket, kbase.Errno) {
+	if s.Proto != ProtoTCP || s.pending == nil {
+		return nil, kbase.EINVAL
+	}
+	if len(s.acceptQ) == 0 {
+		return nil, kbase.EAGAIN
+	}
+	c := s.acceptQ[0]
+	s.acceptQ = s.acceptQ[1:]
+	return c, kbase.EOK
+}
+
+// Close shuts the socket down.
+func (s *Socket) Close() kbase.Errno {
+	switch s.Proto {
+	case ProtoTCP:
+		if s.pending != nil {
+			delete(s.host.listeners, s.LocalPort)
+			return kbase.EOK
+		}
+		tcb, ok := s.Private.(*TCB)
+		if !ok {
+			kbase.Oops(kbase.OopsTypeConfusion, "net", "Close: private is %T", s.Private)
+			return kbase.EUCLEAN
+		}
+		tcb.tcbClose()
+		return kbase.EOK
+	case ProtoUDP:
+		delete(s.host.udpSocks, s.LocalPort)
+		return kbase.EOK
+	}
+	return kbase.EPROTO
+}
+
+// State reports the TCP state name (or "udp"/"?" otherwise).
+func (s *Socket) State() string {
+	if tcb, ok := s.Private.(*TCB); ok {
+		return tcb.State.String()
+	}
+	if s.Proto == ProtoUDP {
+		return "udp"
+	}
+	return "?"
+}
+
+// Established reports whether a TCP socket finished its handshake.
+func (s *Socket) Established() bool {
+	tcb, ok := s.Private.(*TCB)
+	return ok && tcb.State == StateEstablished
+}
+
+// Closed reports whether the connection is fully shut down.
+func (s *Socket) Closed() bool {
+	tcb, ok := s.Private.(*TCB)
+	return ok && tcb.State == StateClosed
+}
+
+// BufferedRecv returns the number of bytes waiting in the receive
+// buffer — generic code reading TCP internals, again.
+func (s *Socket) BufferedRecv() int {
+	if tcb, ok := s.Private.(*TCB); ok {
+		return len(tcb.recvBuf)
+	}
+	return 0
+}

@@ -1,0 +1,357 @@
+package net
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Legacy TCP-lite. The transmission control block (TCB) is attached
+// to the generic Socket through the untyped Private field, and —
+// reproducing the paper's §4.1 observation — generic socket code
+// reaches into it directly.
+
+// TCP tuning constants.
+const (
+	MSS           = 512 // max segment payload
+	RTOJiffies    = 16  // retransmission timeout
+	MaxRetries    = 12  // retransmissions before reset
+	SendWindowSeg = 8   // max unacked segments
+)
+
+// TCPState is a TCB connection state.
+type TCPState uint8
+
+// TCP connection states (TIME_WAIT elided: the simulator has no
+// delayed duplicates older than a connection).
+const (
+	StateClosed TCPState = iota
+	StateListen
+	StateSynSent
+	StateSynRcvd
+	StateEstablished
+	StateFinWait1
+	StateFinWait2
+	StateCloseWait
+	StateLastAck
+)
+
+var tcpStateNames = map[TCPState]string{
+	StateClosed: "Closed", StateListen: "Listen", StateSynSent: "SynSent",
+	StateSynRcvd: "SynRcvd", StateEstablished: "Established",
+	StateFinWait1: "FinWait1", StateFinWait2: "FinWait2",
+	StateCloseWait: "CloseWait", StateLastAck: "LastAck",
+}
+
+func (s TCPState) String() string { return tcpStateNames[s] }
+
+// unackedSeg is one transmitted-but-unacknowledged segment.
+type unackedSeg struct {
+	seq      uint32
+	flags    byte
+	payload  []byte
+	deadline uint64
+	retries  int
+}
+
+// TCB is the per-connection transmission control block.
+type TCB struct {
+	sock  *Socket // back pointer to the generic socket
+	State TCPState
+
+	// Send side.
+	iss       uint32
+	sendNext  uint32
+	sendBuf   []byte // accepted but not yet segmented
+	unacked   []unackedSeg
+	finQueued bool
+	finSent   bool
+
+	// Receive side.
+	rcvNext uint32
+	recvBuf []byte
+	peerFIN bool
+
+	// Fast retransmit.
+	lastAck uint32
+	dupAcks int
+
+	// Diagnostics.
+	Retransmits uint64
+	ResetReason string
+}
+
+// newTCB creates a TCB in the given state.
+func newTCB(s *Socket, st TCPState) *TCB {
+	return &TCB{sock: s, State: st}
+}
+
+// transmit sends a segment now and, if it consumes sequence space,
+// tracks it for retransmission.
+func (t *TCB) transmit(flags byte, seq uint32, payload []byte, track bool) {
+	seg := tcpSegment{
+		SrcPort: t.sock.LocalPort,
+		DstPort: t.sock.RemotePort,
+		Seq:     seq,
+		Ack:     t.rcvNext,
+		Flags:   flags,
+		Payload: payload,
+	}
+	host := t.sock.host
+	host.sim.send(host.addr, t.sock.RemoteAddr, MakeIP(host.addr, t.sock.RemoteAddr, ProtoTCP, seg.marshal()))
+	if track {
+		t.unacked = append(t.unacked, unackedSeg{
+			seq: seq, flags: flags, payload: payload,
+			deadline: host.sim.clock.Now() + RTOJiffies,
+		})
+	}
+}
+
+// connect starts the three-way handshake.
+func (t *TCB) connect() {
+	t.State = StateSynSent
+	t.transmit(FlagSYN, t.iss, nil, true)
+	t.sendNext = t.iss + 1
+}
+
+// seqLen is the sequence space a segment consumes.
+func seqLen(flags byte, payload []byte) uint32 {
+	n := uint32(len(payload))
+	if flags&FlagSYN != 0 {
+		n++
+	}
+	if flags&FlagFIN != 0 {
+		n++
+	}
+	return n
+}
+
+// handle processes one inbound segment.
+func (t *TCB) handle(seg tcpSegment) {
+	if seg.Flags&FlagRST != 0 {
+		t.State = StateClosed
+		t.ResetReason = "peer reset"
+		return
+	}
+	switch t.State {
+	case StateSynSent:
+		if seg.Flags&(FlagSYN|FlagACK) == FlagSYN|FlagACK && seg.Ack == t.sendNext {
+			t.rcvNext = seg.Seq + 1
+			t.ackAdvance(seg.Ack)
+			t.State = StateEstablished
+			t.transmit(FlagACK, t.sendNext, nil, false)
+			t.pump()
+		}
+	case StateSynRcvd:
+		if seg.Flags&FlagACK != 0 && seg.Ack == t.sendNext {
+			t.ackAdvance(seg.Ack)
+			t.State = StateEstablished
+			t.sock.host.promote(t.sock)
+			// Fall through to process any piggybacked data.
+			t.handleData(seg)
+		}
+	case StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait, StateLastAck:
+		if seg.Flags&FlagSYN != 0 {
+			// Duplicate or retransmitted SYN in a synchronized
+			// state: the peer missed our ACK; re-send it.
+			t.transmit(FlagACK, t.sendNext, nil, false)
+			return
+		}
+		if seg.Flags&FlagACK != 0 {
+			t.ackAdvance(seg.Ack)
+		}
+		t.handleData(seg)
+		t.progressClose()
+		t.pump()
+	}
+}
+
+// handleData accepts in-order payload and FIN.
+func (t *TCB) handleData(seg tcpSegment) {
+	advanced := false
+	if len(seg.Payload) > 0 {
+		if seg.Seq == t.rcvNext {
+			t.recvBuf = append(t.recvBuf, seg.Payload...)
+			t.rcvNext += uint32(len(seg.Payload))
+			advanced = true
+		}
+		// Out-of-order or duplicate: re-ack rcvNext below.
+	}
+	if seg.Flags&FlagFIN != 0 && seg.Seq+uint32(len(seg.Payload)) == t.rcvNext {
+		t.rcvNext++
+		t.peerFIN = true
+		advanced = true
+		switch t.State {
+		case StateEstablished:
+			t.State = StateCloseWait
+		case StateFinWait1:
+			// Simultaneous close; our FIN unacked yet.
+			t.State = StateLastAck
+		case StateFinWait2:
+			t.State = StateClosed
+		}
+	}
+	if len(seg.Payload) > 0 || seg.Flags&FlagFIN != 0 || !advanced && len(seg.Payload) > 0 {
+		t.transmit(FlagACK, t.sendNext, nil, false)
+	}
+}
+
+// ackAdvance drops acknowledged segments, resets retransmission
+// backoff on progress, and fast-retransmits the head segment after
+// three duplicate ACKs.
+func (t *TCB) ackAdvance(ack uint32) {
+	kept := t.unacked[:0]
+	progressed := false
+	for _, u := range t.unacked {
+		if u.seq+seqLen(u.flags, u.payload) <= ack {
+			if u.flags&FlagFIN != 0 {
+				t.finAcked()
+			}
+			progressed = true
+			continue
+		}
+		kept = append(kept, u)
+	}
+	t.unacked = kept
+	now := t.sock.host.sim.clock.Now()
+	switch {
+	case progressed:
+		// Progress: restart the clock on the new head.
+		t.dupAcks = 0
+		for i := range t.unacked {
+			t.unacked[i].retries = 0
+			t.unacked[i].deadline = now + RTOJiffies
+		}
+	case ack == t.lastAck && len(t.unacked) > 0:
+		t.dupAcks++
+		if t.dupAcks >= 3 {
+			t.dupAcks = 0
+			t.retransmitSeg(&t.unacked[0], now)
+		}
+	}
+	t.lastAck = ack
+}
+
+// retransmitSeg resends one tracked segment and re-arms its timer
+// with capped exponential backoff.
+func (t *TCB) retransmitSeg(u *unackedSeg, now uint64) {
+	if u.retries < MaxRetries {
+		u.retries++
+	}
+	shift := uint(u.retries)
+	if shift > 5 {
+		shift = 5
+	}
+	u.deadline = now + RTOJiffies<<shift
+	t.Retransmits++
+	seg := tcpSegment{
+		SrcPort: t.sock.LocalPort, DstPort: t.sock.RemotePort,
+		Seq: u.seq, Ack: t.rcvNext, Flags: u.flags, Payload: u.payload,
+	}
+	host := t.sock.host
+	host.sim.send(host.addr, t.sock.RemoteAddr,
+		MakeIP(host.addr, t.sock.RemoteAddr, ProtoTCP, seg.marshal()))
+}
+
+// finAcked handles our FIN being acknowledged.
+func (t *TCB) finAcked() {
+	switch t.State {
+	case StateFinWait1:
+		if t.peerFIN {
+			t.State = StateClosed
+		} else {
+			t.State = StateFinWait2
+		}
+	case StateLastAck:
+		t.State = StateClosed
+	}
+}
+
+// progressClose emits a queued FIN once the send buffer drains.
+func (t *TCB) progressClose() {
+	if t.finQueued && !t.finSent && len(t.sendBuf) == 0 {
+		t.transmit(FlagFIN|FlagACK, t.sendNext, nil, true)
+		t.sendNext++
+		t.finSent = true
+	}
+}
+
+// pump segments the send buffer up to the window.
+func (t *TCB) pump() {
+	if t.State != StateEstablished && t.State != StateCloseWait {
+		return
+	}
+	for len(t.sendBuf) > 0 && len(t.unacked) < SendWindowSeg {
+		n := len(t.sendBuf)
+		if n > MSS {
+			n = MSS
+		}
+		chunk := make([]byte, n)
+		copy(chunk, t.sendBuf[:n])
+		t.sendBuf = t.sendBuf[n:]
+		t.transmit(FlagACK, t.sendNext, chunk, true)
+		t.sendNext += uint32(n)
+	}
+	t.progressClose()
+}
+
+// tick retransmits expired segments; too many retries resets the
+// connection.
+func (t *TCB) tick(now uint64) {
+	for i := range t.unacked {
+		u := &t.unacked[i]
+		if u.deadline > now {
+			continue
+		}
+		if u.retries >= MaxRetries {
+			t.State = StateClosed
+			t.ResetReason = "retransmission limit"
+			t.transmit(FlagRST, t.sendNext, nil, false)
+			return
+		}
+		t.retransmitSeg(u, now)
+	}
+	t.pump()
+}
+
+// tcbSend queues payload for transmission.
+func (t *TCB) tcbSend(data []byte) kbase.Errno {
+	switch t.State {
+	case StateEstablished, StateCloseWait, StateSynSent, StateSynRcvd:
+		if t.finQueued {
+			return kbase.EPIPE
+		}
+		t.sendBuf = append(t.sendBuf, data...)
+		t.pump()
+		return kbase.EOK
+	default:
+		return kbase.ENOTCONN
+	}
+}
+
+// tcbRecv drains up to len(buf) received bytes.
+func (t *TCB) tcbRecv(buf []byte) (int, kbase.Errno) {
+	if len(t.recvBuf) == 0 {
+		if t.peerFIN || t.State == StateClosed {
+			return 0, kbase.EOK // clean EOF
+		}
+		return 0, kbase.EAGAIN
+	}
+	n := copy(buf, t.recvBuf)
+	t.recvBuf = t.recvBuf[n:]
+	return n, kbase.EOK
+}
+
+// tcbClose initiates an orderly shutdown.
+func (t *TCB) tcbClose() {
+	switch t.State {
+	case StateEstablished:
+		t.State = StateFinWait1
+		t.finQueued = true
+		t.progressClose()
+	case StateCloseWait:
+		t.State = StateLastAck
+		t.finQueued = true
+		t.progressClose()
+	case StateSynSent, StateSynRcvd, StateListen:
+		t.State = StateClosed
+	}
+}

@@ -1,0 +1,85 @@
+package vfs
+
+import (
+	"sync"
+)
+
+// dcache is the dentry cache: (directory inode, component name) →
+// child inode. Negative entries (lookups that found nothing) are
+// cached as nil inodes, as the kernel caches negative dentries.
+type dcache struct {
+	mu      sync.Mutex
+	entries map[dcacheKey]*Inode
+	hits    uint64
+	misses  uint64
+	max     int
+}
+
+type dcacheKey struct {
+	sb   *SuperBlock
+	dir  uint64
+	name string
+}
+
+func newDcache(max int) *dcache {
+	return &dcache{entries: make(map[dcacheKey]*Inode), max: max}
+}
+
+// lookup returns (inode, found). found=true with inode=nil is a
+// cached negative entry.
+func (d *dcache) lookup(sb *SuperBlock, dir uint64, name string) (*Inode, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ino, ok := d.entries[dcacheKey{sb, dir, name}]
+	if ok {
+		d.hits++
+	} else {
+		d.misses++
+	}
+	return ino, ok
+}
+
+func (d *dcache) insert(sb *SuperBlock, dir uint64, name string, ino *Inode) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.max > 0 && len(d.entries) >= d.max {
+		// Crude shrink: drop everything. The kernel prunes by LRU;
+		// total invalidation is correct, just slower.
+		d.entries = make(map[dcacheKey]*Inode)
+	}
+	d.entries[dcacheKey{sb, dir, name}] = ino
+}
+
+func (d *dcache) invalidate(sb *SuperBlock, dir uint64, name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, dcacheKey{sb, dir, name})
+}
+
+// invalidateDir drops every entry under the given directory.
+func (d *dcache) invalidateDir(sb *SuperBlock, dir uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.entries {
+		if k.sb == sb && k.dir == dir {
+			delete(d.entries, k)
+		}
+	}
+}
+
+// invalidateSB drops every entry of one superblock (unmount).
+func (d *dcache) invalidateSB(sb *SuperBlock) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for k := range d.entries {
+		if k.sb == sb {
+			delete(d.entries, k)
+		}
+	}
+}
+
+func (d *dcache) stats() (hits, misses uint64, size int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses, len(d.entries)
+}

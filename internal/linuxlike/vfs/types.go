@@ -1,0 +1,188 @@
+// Package vfs implements the virtual file system layer of the
+// simulated kernel in the legacy Linux style: a shared mutable Inode
+// structure passed by pointer between the VFS and file systems, an
+// ERR_PTR-returning Lookup, a write_begin/write_end protocol that
+// hands file-system-private state through an untyped field, and an
+// i_size field whose locking contract is "maybe i_lock" (paper §4.3).
+//
+// The safety framework's Step-1 work (internal/safety/module) wraps
+// this layer in a modular interface; Steps 2-4 replace individual
+// file systems behind it.
+package vfs
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// FileMode classifies an inode.
+type FileMode uint16
+
+// Inode kinds.
+const (
+	ModeRegular FileMode = 1 << iota
+	ModeDir
+	ModeSymlink
+)
+
+// IsDir reports whether the mode is a directory.
+func (m FileMode) IsDir() bool { return m&ModeDir != 0 }
+
+// IsRegular reports whether the mode is a regular file.
+func (m FileMode) IsRegular() bool { return m&ModeRegular != 0 }
+
+// MaxNameLen bounds one path component, as NAME_MAX does.
+const MaxNameLen = 255
+
+// ILockClass is the lock class shared by every inode's i_lock.
+var ILockClass = kbase.NewLockClass("inode.i_lock")
+
+// Inode is the kernel's generic in-memory inode. It is shared
+// mutably between the VFS and the owning file system, with the
+// paper's §4.3 pathology preserved verbatim: ISize is documented as
+// "maybe protected" by ILock — some VFS paths take the lock before
+// calling into the file system, others do not, and the file system
+// updates ISize itself on write paths.
+type Inode struct {
+	Ino   uint64
+	Mode  FileMode
+	Nlink uint32
+
+	// ILock is i_lock. Three fields are "explicitly protected" by it
+	// (Nlink, Ctime, Mtime) — but ISize is only maybe protected,
+	// according to the relevant comment.
+	ILock *kbase.SpinLock
+
+	// ISize is the file size in bytes. Maybe protected by ILock.
+	ISize int64
+
+	Ctime uint64 // inode change time, jiffies
+	Mtime uint64 // data modification time, jiffies
+
+	Sb *SuperBlock
+
+	// Ops is the file system's inode operation table.
+	Ops InodeOps
+
+	// FileOps is the file system's file operation table.
+	FileOps FileOps
+
+	// Private is the i_private analogue: the owning file system
+	// hangs its per-inode state here as an untyped value and casts
+	// it back on every call. Nothing stops another component from
+	// stomping on it.
+	Private any
+}
+
+// SizeRead returns ISize under ILock — the disciplined accessor that
+// only some call paths use.
+func (i *Inode) SizeRead(task *kbase.Task) int64 {
+	i.ILock.Lock(task)
+	defer i.ILock.Unlock(task)
+	return i.ISize
+}
+
+// SizeWrite updates ISize under ILock.
+func (i *Inode) SizeWrite(task *kbase.Task, size int64) {
+	i.ILock.Lock(task)
+	i.ISize = size
+	i.ILock.Unlock(task)
+}
+
+// DirEntry is one directory entry as returned by ReadDir.
+type DirEntry struct {
+	Name string
+	Ino  uint64
+	Mode FileMode
+}
+
+// InodeOps is the inode_operations table a file system implements.
+// Lookup and Create follow the kernel's ERR_PTR convention: they
+// return a sentinel pointer (kbase.ErrPtr) on failure, which the
+// caller must test with kbase.IsErr before use.
+type InodeOps interface {
+	// Lookup resolves name within dir. Returns the inode, or an
+	// ERR_PTR sentinel (ENOENT if absent).
+	Lookup(task *kbase.Task, dir *Inode, name string) *Inode
+	// Create makes a new regular file or directory entry in dir.
+	// Returns the new inode or an ERR_PTR sentinel.
+	Create(task *kbase.Task, dir *Inode, name string, mode FileMode) *Inode
+	// Unlink removes a non-directory entry.
+	Unlink(task *kbase.Task, dir *Inode, name string) kbase.Errno
+	// Mkdir creates a directory. Returns the new inode or ERR_PTR.
+	Mkdir(task *kbase.Task, dir *Inode, name string) *Inode
+	// Rmdir removes an empty directory.
+	Rmdir(task *kbase.Task, dir *Inode, name string) kbase.Errno
+	// Rename moves oldName in oldDir to newName in newDir,
+	// replacing any existing non-directory target.
+	Rename(task *kbase.Task, oldDir *Inode, oldName string, newDir *Inode, newName string) kbase.Errno
+	// ReadDir lists dir.
+	ReadDir(task *kbase.Task, dir *Inode) ([]DirEntry, kbase.Errno)
+}
+
+// FileOps is the file_operations table. The WriteBegin/WriteEnd pair
+// reproduces the paper's §4.2 example: the file system passes custom
+// state from WriteBegin to WriteEnd through an untyped value that the
+// VFS merely ferries — and must cast back, trusting it was theirs.
+type FileOps interface {
+	// Read copies up to len(buf) bytes from offset off.
+	Read(task *kbase.Task, ino *Inode, buf []byte, off int64) (int, kbase.Errno)
+	// WriteBegin prepares a write of n bytes at off, returning
+	// file-system-private state that the VFS passes to WriteEnd.
+	WriteBegin(task *kbase.Task, ino *Inode, off int64, n int) (any, kbase.Errno)
+	// WriteCopy transfers the payload for a prepared write.
+	WriteCopy(task *kbase.Task, ino *Inode, off int64, data []byte, private any) (int, kbase.Errno)
+	// WriteEnd completes the write started by WriteBegin.
+	WriteEnd(task *kbase.Task, ino *Inode, off int64, n int, private any) kbase.Errno
+	// Fsync makes the file's data and metadata durable.
+	Fsync(task *kbase.Task, ino *Inode) kbase.Errno
+	// Truncate sets the file size.
+	Truncate(task *kbase.Task, ino *Inode, size int64) kbase.Errno
+}
+
+// SuperBlockOps is the super_operations table.
+type SuperBlockOps interface {
+	// Statfs reports usage.
+	Statfs(task *kbase.Task) (StatFS, kbase.Errno)
+	// SyncFS flushes everything to stable storage.
+	SyncFS(task *kbase.Task) kbase.Errno
+	// Unmount releases the file system instance.
+	Unmount(task *kbase.Task) kbase.Errno
+}
+
+// StatFS is file-system-level usage information.
+type StatFS struct {
+	TotalBlocks uint64
+	FreeBlocks  uint64
+	TotalInodes uint64
+	FreeInodes  uint64
+	FSName      string
+}
+
+// SuperBlock is one mounted file system instance.
+type SuperBlock struct {
+	FSType string
+	Root   *Inode
+	Ops    SuperBlockOps
+	// Private is the s_fs_info analogue.
+	Private any
+}
+
+// FileSystemType registers a mountable file system implementation.
+type FileSystemType interface {
+	// Name is the fs type name ("ramfs", "extlike", ...).
+	Name() string
+	// Mount creates a superblock instance. The untyped data argument
+	// carries mount options and backing devices, in the legacy
+	// void*-ish style.
+	Mount(task *kbase.Task, data any) (*SuperBlock, kbase.Errno)
+}
+
+// Stat is per-inode metadata returned by the VFS.
+type Stat struct {
+	Ino   uint64
+	Mode  FileMode
+	Size  int64
+	Nlink uint32
+	Ctime uint64
+	Mtime uint64
+}

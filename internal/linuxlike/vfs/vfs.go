@@ -1,0 +1,654 @@
+package vfs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Open flags, mirroring the fcntl constants the simulated kernel
+// understands.
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreate = 0x40
+	OExcl   = 0x80
+	OTrunc  = 0x200
+	OAppend = 0x400
+
+	accessMask = 0x3
+)
+
+// File is one open file description.
+type File struct {
+	Inode *Inode
+	Flags int
+
+	mu  sync.Mutex
+	pos int64
+}
+
+// readable reports whether the file was opened for reading.
+func (f *File) readable() bool {
+	a := f.Flags & accessMask
+	return a == ORdOnly || a == ORdWr
+}
+
+// writable reports whether the file was opened for writing.
+func (f *File) writable() bool {
+	a := f.Flags & accessMask
+	return a == OWrOnly || a == ORdWr
+}
+
+// mount is one entry in the mount table.
+type mount struct {
+	path string // canonical dir path, "/" or "/a/b"
+	sb   *SuperBlock
+}
+
+// BoundaryDetector is the hook a type-confusion detector implements
+// (satisfied by typedapi.Detector). The VFS reports every untyped
+// private value it ferries through the write protocol, tagged with
+// the owning file system type, so a learn-then-enforce detector can
+// catch §4.2-style confusion without the VFS knowing any concrete
+// types.
+type BoundaryDetector interface {
+	Check(boundary string, v any) bool
+}
+
+// VFS is the virtual file system switch: registered file system
+// types, the mount table, the dentry cache, and the open-file table.
+type VFS struct {
+	mu      sync.Mutex
+	fstypes map[string]FileSystemType
+	mounts  []mount // sorted by descending path length
+	files   map[int]*File
+	nextFD  int
+	dcache  *dcache
+	clock   *kbase.Clock
+
+	detector BoundaryDetector
+}
+
+// InstrumentBoundaries installs a type-confusion detector on the
+// VFS's untyped handoffs (nil uninstalls).
+func (v *VFS) InstrumentBoundaries(d BoundaryDetector) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.detector = d
+}
+
+// New creates an empty VFS.
+func New(clock *kbase.Clock) *VFS {
+	if clock == nil {
+		clock = kbase.NewClock()
+	}
+	return &VFS{
+		fstypes: make(map[string]FileSystemType),
+		files:   make(map[int]*File),
+		nextFD:  3, // 0..2 reserved, as tradition demands
+		dcache:  newDcache(4096),
+		clock:   clock,
+	}
+}
+
+// Clock returns the kernel clock used for timestamps.
+func (v *VFS) Clock() *kbase.Clock { return v.clock }
+
+// RegisterFS registers a file system type.
+func (v *VFS) RegisterFS(fs FileSystemType) kbase.Errno {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, dup := v.fstypes[fs.Name()]; dup {
+		return kbase.EEXIST
+	}
+	v.fstypes[fs.Name()] = fs
+	return kbase.EOK
+}
+
+// CleanPath canonicalizes an absolute path lexically: collapses
+// slashes, resolves "." and "..". Returns "" for non-absolute input.
+func CleanPath(p string) string {
+	if !strings.HasPrefix(p, "/") {
+		return ""
+	}
+	parts := strings.Split(p, "/")
+	var stack []string
+	for _, c := range parts {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(stack) > 0 {
+				stack = stack[:len(stack)-1]
+			}
+		default:
+			stack = append(stack, c)
+		}
+	}
+	return "/" + strings.Join(stack, "/")
+}
+
+// Mount mounts fstype at path with fs-specific data. Path must be "/"
+// or an existing directory on an already-mounted file system.
+func (v *VFS) Mount(task *kbase.Task, path, fstype string, data any) kbase.Errno {
+	path = CleanPath(path)
+	if path == "" {
+		return kbase.EINVAL
+	}
+	v.mu.Lock()
+	fs, ok := v.fstypes[fstype]
+	v.mu.Unlock()
+	if !ok {
+		return kbase.ENODEV
+	}
+	if path != "/" {
+		ino, err := v.Resolve(task, path)
+		if err != kbase.EOK {
+			return err
+		}
+		if !ino.Mode.IsDir() {
+			return kbase.ENOTDIR
+		}
+	}
+	v.mu.Lock()
+	for _, m := range v.mounts {
+		if m.path == path {
+			v.mu.Unlock()
+			return kbase.EBUSY
+		}
+	}
+	v.mu.Unlock()
+
+	sb, err := fs.Mount(task, data)
+	if err != kbase.EOK {
+		return err
+	}
+	v.mu.Lock()
+	v.mounts = append(v.mounts, mount{path: path, sb: sb})
+	sort.Slice(v.mounts, func(i, j int) bool {
+		return len(v.mounts[i].path) > len(v.mounts[j].path)
+	})
+	v.mu.Unlock()
+	return kbase.EOK
+}
+
+// Unmount detaches the file system at path.
+func (v *VFS) Unmount(task *kbase.Task, path string) kbase.Errno {
+	path = CleanPath(path)
+	v.mu.Lock()
+	idx := -1
+	for i, m := range v.mounts {
+		if m.path == path {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		v.mu.Unlock()
+		return kbase.EINVAL
+	}
+	sb := v.mounts[idx].sb
+	// Refuse while files are open on it.
+	for _, f := range v.files {
+		if f.Inode.Sb == sb {
+			v.mu.Unlock()
+			return kbase.EBUSY
+		}
+	}
+	v.mounts = append(v.mounts[:idx], v.mounts[idx+1:]...)
+	v.mu.Unlock()
+	v.dcache.invalidateSB(sb)
+	if sb.Ops != nil {
+		return sb.Ops.Unmount(task)
+	}
+	return kbase.EOK
+}
+
+// mountFor finds the mount owning path and the path remainder within
+// it. Mount paths are sorted longest-first, so the first prefix match
+// is the deepest mount.
+func (v *VFS) mountFor(path string) (*SuperBlock, string, kbase.Errno) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, m := range v.mounts {
+		if m.path == "/" {
+			return m.sb, strings.TrimPrefix(path, "/"), kbase.EOK
+		}
+		if path == m.path {
+			return m.sb, "", kbase.EOK
+		}
+		if strings.HasPrefix(path, m.path+"/") {
+			return m.sb, path[len(m.path)+1:], kbase.EOK
+		}
+	}
+	return nil, "", kbase.ENOENT
+}
+
+// Resolve walks path to an inode.
+func (v *VFS) Resolve(task *kbase.Task, path string) (*Inode, kbase.Errno) {
+	ino, _, _, err := v.resolveParent(task, path, false)
+	return ino, err
+}
+
+// resolveParent resolves path. If wantParent, it returns the parent
+// directory inode plus the final component; otherwise it returns the
+// target inode itself. The walk goes through the dentry cache and
+// uses the file systems' ERR_PTR-returning Lookup.
+func (v *VFS) resolveParent(task *kbase.Task, path string, wantParent bool) (*Inode, *Inode, string, kbase.Errno) {
+	path = CleanPath(path)
+	if path == "" {
+		return nil, nil, "", kbase.EINVAL
+	}
+	sb, rest, err := v.mountFor(path)
+	if err != kbase.EOK {
+		return nil, nil, "", err
+	}
+	cur := sb.Root
+	var comps []string
+	if rest != "" {
+		comps = strings.Split(rest, "/")
+	}
+	for i, c := range comps {
+		if len(c) > MaxNameLen {
+			return nil, nil, "", kbase.ENAMETOOLONG
+		}
+		last := i == len(comps)-1
+		if wantParent && last {
+			if !cur.Mode.IsDir() {
+				return nil, nil, "", kbase.ENOTDIR
+			}
+			return nil, cur, c, kbase.EOK
+		}
+		if !cur.Mode.IsDir() {
+			return nil, nil, "", kbase.ENOTDIR
+		}
+		next, e := v.lookupCached(task, cur, c)
+		if e != kbase.EOK {
+			return nil, nil, "", e
+		}
+		cur = next
+	}
+	if wantParent {
+		// Path was the mount root itself; it has no parent here.
+		return nil, nil, "", kbase.EINVAL
+	}
+	return cur, nil, "", kbase.EOK
+}
+
+// lookupCached consults the dcache, falling back to the file system's
+// Lookup and caching the result (including negatives).
+func (v *VFS) lookupCached(task *kbase.Task, dir *Inode, name string) (*Inode, kbase.Errno) {
+	if ino, ok := v.dcache.lookup(dir.Sb, dir.Ino, name); ok {
+		if ino == nil {
+			return nil, kbase.ENOENT
+		}
+		return ino, kbase.EOK
+	}
+	child := dir.Ops.Lookup(task, dir, name)
+	// The ERR_PTR dance, exactly as every VFS call site does it.
+	if kbase.IsErr(child) {
+		e := kbase.PtrErr(child)
+		if e == kbase.ENOENT {
+			v.dcache.insert(dir.Sb, dir.Ino, name, nil) // negative entry
+		}
+		return nil, e
+	}
+	v.dcache.insert(dir.Sb, dir.Ino, name, child)
+	return child, kbase.EOK
+}
+
+// DcacheStats reports dentry cache hits, misses, and size.
+func (v *VFS) DcacheStats() (hits, misses uint64, size int) { return v.dcache.stats() }
+
+// Open opens path, honoring OCreate/OExcl/OTrunc, and returns a file
+// descriptor.
+func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) {
+	ino, err := v.Resolve(task, path)
+	switch {
+	case err == kbase.ENOENT && flags&OCreate != 0:
+		_, parent, name, perr := v.resolveParent(task, path, true)
+		if perr != kbase.EOK {
+			return -1, perr
+		}
+		created := parent.Ops.Create(task, parent, name, ModeRegular)
+		if kbase.IsErr(created) {
+			return -1, kbase.PtrErr(created)
+		}
+		v.dcache.invalidate(parent.Sb, parent.Ino, name)
+		ino = created
+	case err != kbase.EOK:
+		return -1, err
+	case flags&OCreate != 0 && flags&OExcl != 0:
+		return -1, kbase.EEXIST
+	}
+	if ino.Mode.IsDir() && flags&accessMask != ORdOnly {
+		return -1, kbase.EISDIR
+	}
+	f := &File{Inode: ino, Flags: flags}
+	if flags&OTrunc != 0 && f.writable() && ino.Mode.IsRegular() {
+		if err := ino.FileOps.Truncate(task, ino, 0); err != kbase.EOK {
+			return -1, err
+		}
+	}
+	v.mu.Lock()
+	fd := v.nextFD
+	v.nextFD++
+	v.files[fd] = f
+	v.mu.Unlock()
+	return fd, kbase.EOK
+}
+
+// Close closes a descriptor.
+func (v *VFS) Close(fd int) kbase.Errno {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.files[fd]; !ok {
+		return kbase.EBADF
+	}
+	delete(v.files, fd)
+	return kbase.EOK
+}
+
+// file fetches an open file by descriptor.
+func (v *VFS) file(fd int) (*File, kbase.Errno) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	f, ok := v.files[fd]
+	if !ok {
+		return nil, kbase.EBADF
+	}
+	return f, kbase.EOK
+}
+
+// OpenFiles returns the number of open descriptors.
+func (v *VFS) OpenFiles() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.files)
+}
+
+// Read reads from the file position.
+func (v *VFS) Read(task *kbase.Task, fd int, buf []byte) (int, kbase.Errno) {
+	f, err := v.file(fd)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	if !f.readable() {
+		return 0, kbase.EBADF
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, e := f.Inode.FileOps.Read(task, f.Inode, buf, f.pos)
+	f.pos += int64(n)
+	return n, e
+}
+
+// Pread reads at an explicit offset without moving the position.
+func (v *VFS) Pread(task *kbase.Task, fd int, buf []byte, off int64) (int, kbase.Errno) {
+	f, err := v.file(fd)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	if !f.readable() {
+		return 0, kbase.EBADF
+	}
+	if off < 0 {
+		return 0, kbase.EINVAL
+	}
+	return f.Inode.FileOps.Read(task, f.Inode, buf, off)
+}
+
+// Write writes at the file position (or end, with OAppend) using the
+// legacy write_begin / write_copy / write_end protocol — the VFS
+// ferries the file system's untyped private state between the calls.
+func (v *VFS) Write(task *kbase.Task, fd int, data []byte) (int, kbase.Errno) {
+	f, err := v.file(fd)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	if !f.writable() {
+		return 0, kbase.EBADF
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	off := f.pos
+	if f.Flags&OAppend != 0 {
+		// One of the call paths that DOES take i_lock for i_size.
+		off = f.Inode.SizeRead(task)
+	}
+	n, e := v.writeAt(task, f.Inode, data, off)
+	f.pos = off + int64(n)
+	return n, e
+}
+
+// Pwrite writes at an explicit offset.
+func (v *VFS) Pwrite(task *kbase.Task, fd int, data []byte, off int64) (int, kbase.Errno) {
+	f, err := v.file(fd)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	if !f.writable() {
+		return 0, kbase.EBADF
+	}
+	if off < 0 {
+		return 0, kbase.EINVAL
+	}
+	return v.writeAt(task, f.Inode, data, off)
+}
+
+// writeAt drives the three-phase legacy write protocol.
+func (v *VFS) writeAt(task *kbase.Task, ino *Inode, data []byte, off int64) (int, kbase.Errno) {
+	private, err := ino.FileOps.WriteBegin(task, ino, off, len(data))
+	if err != kbase.EOK {
+		return 0, err
+	}
+	v.mu.Lock()
+	det := v.detector
+	v.mu.Unlock()
+	if det != nil {
+		det.Check("vfs.write_private."+ino.Sb.FSType, private)
+	}
+	n, err := ino.FileOps.WriteCopy(task, ino, off, data, private)
+	if err != kbase.EOK {
+		return n, err
+	}
+	if err := ino.FileOps.WriteEnd(task, ino, off, n, private); err != kbase.EOK {
+		return n, err
+	}
+	ino.Mtime = v.clock.Advance(1)
+	return n, kbase.EOK
+}
+
+// Whence values for Lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Lseek repositions the file offset.
+func (v *VFS) Lseek(task *kbase.Task, fd int, off int64, whence int) (int64, kbase.Errno) {
+	f, err := v.file(fd)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = f.pos
+	case SeekEnd:
+		base = f.Inode.SizeRead(task)
+	default:
+		return 0, kbase.EINVAL
+	}
+	np := base + off
+	if np < 0 {
+		return 0, kbase.EINVAL
+	}
+	f.pos = np
+	return np, kbase.EOK
+}
+
+// Fsync flushes one file.
+func (v *VFS) Fsync(task *kbase.Task, fd int) kbase.Errno {
+	f, err := v.file(fd)
+	if err != kbase.EOK {
+		return err
+	}
+	return f.Inode.FileOps.Fsync(task, f.Inode)
+}
+
+// Truncate sets a file's size by path.
+func (v *VFS) Truncate(task *kbase.Task, path string, size int64) kbase.Errno {
+	if size < 0 {
+		return kbase.EINVAL
+	}
+	ino, err := v.Resolve(task, path)
+	if err != kbase.EOK {
+		return err
+	}
+	if ino.Mode.IsDir() {
+		return kbase.EISDIR
+	}
+	return ino.FileOps.Truncate(task, ino, size)
+}
+
+// Stat returns metadata for path.
+func (v *VFS) Stat(task *kbase.Task, path string) (Stat, kbase.Errno) {
+	ino, err := v.Resolve(task, path)
+	if err != kbase.EOK {
+		return Stat{}, err
+	}
+	return Stat{
+		Ino:   ino.Ino,
+		Mode:  ino.Mode,
+		Size:  ino.SizeRead(task),
+		Nlink: ino.Nlink,
+		Ctime: ino.Ctime,
+		Mtime: ino.Mtime,
+	}, kbase.EOK
+}
+
+// Mkdir creates a directory.
+func (v *VFS) Mkdir(task *kbase.Task, path string) kbase.Errno {
+	_, parent, name, err := v.resolveParent(task, path, true)
+	if err != kbase.EOK {
+		return err
+	}
+	if _, e := v.lookupCached(task, parent, name); e == kbase.EOK {
+		return kbase.EEXIST
+	}
+	ino := parent.Ops.Mkdir(task, parent, name)
+	if kbase.IsErr(ino) {
+		return kbase.PtrErr(ino)
+	}
+	v.dcache.invalidate(parent.Sb, parent.Ino, name)
+	return kbase.EOK
+}
+
+// Rmdir removes an empty directory.
+func (v *VFS) Rmdir(task *kbase.Task, path string) kbase.Errno {
+	_, parent, name, err := v.resolveParent(task, path, true)
+	if err != kbase.EOK {
+		return err
+	}
+	if err := parent.Ops.Rmdir(task, parent, name); err != kbase.EOK {
+		return err
+	}
+	v.dcache.invalidate(parent.Sb, parent.Ino, name)
+	return kbase.EOK
+}
+
+// Unlink removes a file.
+func (v *VFS) Unlink(task *kbase.Task, path string) kbase.Errno {
+	_, parent, name, err := v.resolveParent(task, path, true)
+	if err != kbase.EOK {
+		return err
+	}
+	if err := parent.Ops.Unlink(task, parent, name); err != kbase.EOK {
+		return err
+	}
+	v.dcache.invalidate(parent.Sb, parent.Ino, name)
+	return kbase.EOK
+}
+
+// Rename moves oldPath to newPath. Cross-mount renames return EXDEV.
+func (v *VFS) Rename(task *kbase.Task, oldPath, newPath string) kbase.Errno {
+	_, oldParent, oldName, err := v.resolveParent(task, oldPath, true)
+	if err != kbase.EOK {
+		return err
+	}
+	_, newParent, newName, err := v.resolveParent(task, newPath, true)
+	if err != kbase.EOK {
+		return err
+	}
+	if oldParent.Sb != newParent.Sb {
+		return kbase.EXDEV
+	}
+	if err := oldParent.Ops.Rename(task, oldParent, oldName, newParent, newName); err != kbase.EOK {
+		return err
+	}
+	v.dcache.invalidate(oldParent.Sb, oldParent.Ino, oldName)
+	v.dcache.invalidate(newParent.Sb, newParent.Ino, newName)
+	// A renamed directory changes the meaning of every cached path
+	// beneath it; drop conservatively.
+	v.dcache.invalidateDir(oldParent.Sb, oldParent.Ino)
+	v.dcache.invalidateDir(newParent.Sb, newParent.Ino)
+	return kbase.EOK
+}
+
+// ReadDir lists a directory.
+func (v *VFS) ReadDir(task *kbase.Task, path string) ([]DirEntry, kbase.Errno) {
+	ino, err := v.Resolve(task, path)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	if !ino.Mode.IsDir() {
+		return nil, kbase.ENOTDIR
+	}
+	ents, e := ino.Ops.ReadDir(task, ino)
+	if e != kbase.EOK {
+		return nil, e
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].Name < ents[j].Name })
+	return ents, kbase.EOK
+}
+
+// Statfs reports usage of the file system owning path.
+func (v *VFS) Statfs(task *kbase.Task, path string) (StatFS, kbase.Errno) {
+	ino, err := v.Resolve(task, path)
+	if err != kbase.EOK {
+		return StatFS{}, err
+	}
+	if ino.Sb.Ops == nil {
+		return StatFS{}, kbase.ENOSYS
+	}
+	return ino.Sb.Ops.Statfs(task)
+}
+
+// SyncAll flushes every mounted file system.
+func (v *VFS) SyncAll(task *kbase.Task) kbase.Errno {
+	v.mu.Lock()
+	sbs := make([]*SuperBlock, 0, len(v.mounts))
+	for _, m := range v.mounts {
+		sbs = append(sbs, m.sb)
+	}
+	v.mu.Unlock()
+	var first kbase.Errno = kbase.EOK
+	for _, sb := range sbs {
+		if sb.Ops == nil {
+			continue
+		}
+		if err := sb.Ops.SyncFS(task); err != kbase.EOK && first == kbase.EOK {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,227 @@
+package safebuf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/safety/own"
+	"safelinux/internal/safety/spec"
+)
+
+// The buffer cache's functional specification: an abstract map from
+// block number to content byte (whole-block fills keep the model
+// small), with read-your-writes semantics. Durability is the crash
+// spec: between Syncs nothing reaches the device, so every crash
+// recovers exactly the last-synced state — the empty prefix of the
+// operations issued since, which CheckCrashConsistency accepts.
+
+// CacheAbs is the abstract state: block -> fill byte.
+type CacheAbs map[uint64]byte
+
+// CacheSpec returns the abstract model. Operations:
+//
+//	write(block, fill)  fill the whole block
+//	zero(block)         fill with zeros (GetZero)
+//	read(block)         no abstract effect; errno must still agree
+func CacheSpec(blocks uint64) spec.Spec[CacheAbs] {
+	clone := func(s CacheAbs) CacheAbs {
+		n := make(CacheAbs, len(s))
+		for k, v := range s {
+			n[k] = v
+		}
+		return n
+	}
+	return spec.Spec[CacheAbs]{
+		Name: "safebuf",
+		Init: func() CacheAbs { return CacheAbs{} },
+		Step: func(s CacheAbs, op spec.Op) (CacheAbs, kbase.Errno) {
+			blk := uint64(op.Args[0].(int))
+			if blk >= blocks {
+				return s, kbase.EINVAL
+			}
+			switch op.Name {
+			case "write":
+				n := clone(s)
+				n[blk] = byte(op.Args[1].(int))
+				return n, kbase.EOK
+			case "zero":
+				n := clone(s)
+				n[blk] = 0
+				return n, kbase.EOK
+			case "read":
+				return s, kbase.EOK
+			}
+			return s, kbase.ENOSYS
+		},
+		Equal: func(a, b CacheAbs) bool {
+			norm := func(s CacheAbs) CacheAbs {
+				n := CacheAbs{}
+				for k, v := range s {
+					if v != 0 {
+						n[k] = v
+					}
+				}
+				return n
+			}
+			na, nb := norm(a), norm(b)
+			if len(na) != len(nb) {
+				return false
+			}
+			for k, v := range na {
+				if nb[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Describe: func(s CacheAbs) string {
+			keys := make([]uint64, 0, len(s))
+			for k := range s {
+				if s[k] != 0 {
+					keys = append(keys, k)
+				}
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%d=%#x", k, s[k])
+			}
+			return "{" + strings.Join(parts, " ") + "}"
+		},
+	}
+}
+
+// CacheAdapter hooks a real cache over a simulated device to the
+// checking framework.
+type CacheAdapter struct {
+	Blocks    uint64
+	BlockSize int
+	Seed      uint64
+
+	dev     *blockdev.Device
+	cache   *Cache
+	checker *own.Checker
+}
+
+var _ spec.CrashImpl[CacheAbs] = (*CacheAdapter)(nil)
+
+// Reset implements spec.Impl.
+func (a *CacheAdapter) Reset() kbase.Errno {
+	if a.Blocks == 0 {
+		a.Blocks = 16
+	}
+	if a.BlockSize == 0 {
+		a.BlockSize = 64
+	}
+	a.dev = blockdev.New(blockdev.Config{
+		Blocks: a.Blocks, BlockSize: a.BlockSize, Rng: kbase.NewRng(a.Seed + 1),
+	})
+	a.checker = own.NewChecker(own.PolicyRecord)
+	a.cache = NewCache(spec.NewAxiomaticDisk(a.dev), a.checker)
+	return kbase.EOK
+}
+
+// Apply implements spec.Impl.
+func (a *CacheAdapter) Apply(op spec.Op) kbase.Errno {
+	blk := uint64(op.Args[0].(int))
+	switch op.Name {
+	case "write":
+		b, err := a.cache.Get(blk)
+		if err != kbase.EOK {
+			return err
+		}
+		fill := byte(op.Args[1].(int))
+		return b.Write(func(data []byte) {
+			for i := range data {
+				data[i] = fill
+			}
+		})
+	case "zero":
+		_, err := a.cache.GetZero(blk)
+		return err
+	case "read":
+		b, err := a.cache.Get(blk)
+		if err != kbase.EOK {
+			return err
+		}
+		return b.Read(func([]byte) {})
+	}
+	return kbase.ENOSYS
+}
+
+// Interpret implements spec.Impl: read every block through the cache
+// (read-your-writes) and report its fill byte. A block whose bytes
+// disagree is a corruption and reported as fill 0xFF^first.
+func (a *CacheAdapter) Interpret() (CacheAbs, kbase.Errno) {
+	return interpretVia(a.cache, a.Blocks)
+}
+
+func interpretVia(c *Cache, blocks uint64) (CacheAbs, kbase.Errno) {
+	out := CacheAbs{}
+	for blk := uint64(0); blk < blocks; blk++ {
+		b, err := c.Get(blk)
+		if err != kbase.EOK {
+			return nil, err
+		}
+		var fill byte
+		uniform := true
+		rerr := b.Read(func(data []byte) {
+			fill = data[0]
+			for _, x := range data {
+				if x != fill {
+					uniform = false
+				}
+			}
+		})
+		if rerr != kbase.EOK {
+			return nil, rerr
+		}
+		if !uniform {
+			return nil, kbase.EUCLEAN
+		}
+		if fill != 0 {
+			out[blk] = fill
+		}
+	}
+	return out, kbase.EOK
+}
+
+// Sync implements spec.CrashImpl.
+func (a *CacheAdapter) Sync() kbase.Errno { return a.cache.Sync() }
+
+// ForEachCrash implements spec.CrashImpl: crash variants over the
+// device write cache; recovery is a fresh Cache over the crashed
+// image.
+func (a *CacheAdapter) ForEachCrash(check func(CacheAbs) bool) (int, kbase.Errno) {
+	snap := a.dev.Snapshot()
+	defer a.dev.Restore(snap)
+	pending := snap.PendingCount()
+	variants := 1 << pending
+	if variants > 16 {
+		variants = 16
+	}
+	tried := 0
+	for mask := 0; mask < variants; mask++ {
+		a.dev.Restore(snap)
+		sub := map[int]bool{}
+		for b := 0; b < pending; b++ {
+			if mask&(1<<b) != 0 {
+				sub[b] = true
+			}
+		}
+		a.dev.CrashApplySubset(sub)
+		fresh := NewCache(spec.NewAxiomaticDisk(a.dev), own.NewChecker(own.PolicyRecord))
+		recovered, err := interpretVia(fresh, a.Blocks)
+		if err != kbase.EOK {
+			return tried, err
+		}
+		tried++
+		if !check(recovered) {
+			return tried, kbase.EOK
+		}
+	}
+	return tried, kbase.EOK
+}

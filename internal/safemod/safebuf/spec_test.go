@@ -1,0 +1,73 @@
+package safebuf
+
+import (
+	"testing"
+
+	"safelinux/internal/safety/spec"
+)
+
+func cacheOps() []spec.Op {
+	return []spec.Op{
+		{Name: "write", Args: []any{1, 0xAA}},
+		{Name: "write", Args: []any{2, 0xBB}},
+		{Name: "read", Args: []any{1}},
+		{Name: "zero", Args: []any{1}},
+		{Name: "write", Args: []any{1, 0xCC}},
+		{Name: "write", Args: []any{2, 0xDD}}, // overwrite
+		{Name: "read", Args: []any{5}},        // never-written block
+		{Name: "write", Args: []any{99, 1}},   // out of range: EINVAL
+		{Name: "read", Args: []any{99}},       // out of range: EINVAL
+	}
+}
+
+func TestCacheRefinement(t *testing.T) {
+	rep := spec.Check(CacheSpec(16), &CacheAdapter{Seed: 1}, cacheOps())
+	if !rep.Ok() {
+		t.Fatalf("refinement failed: %v", rep.Failures[0])
+	}
+}
+
+func TestCacheRefinementExplore(t *testing.T) {
+	gen := []spec.Op{
+		{Name: "write", Args: []any{1, 0x11}},
+		{Name: "write", Args: []any{2, 0x22}},
+		{Name: "zero", Args: []any{1}},
+		{Name: "read", Args: []any{1}},
+	}
+	rep := spec.Explore(CacheSpec(8),
+		func() spec.Impl[CacheAbs] { return &CacheAdapter{Seed: 2, Blocks: 8} }, gen, 3)
+	if !rep.Ok() {
+		t.Fatalf("exploration failed: %v", rep.Failures[0])
+	}
+}
+
+// TestCacheCrashConsistency: between Syncs nothing reaches the device,
+// so every crash recovers the last-synced state — within the prefix
+// crash spec.
+func TestCacheCrashConsistency(t *testing.T) {
+	rep := spec.CheckCrashConsistency(CacheSpec(16), &CacheAdapter{Seed: 3}, cacheOps(), 3)
+	if !rep.Ok() {
+		t.Fatalf("crash check failed: %v", rep.Failures[0])
+	}
+}
+
+// TestCacheSuite is safebuf's §4.5 regression bundle.
+func TestCacheSuite(t *testing.T) {
+	s := spec.Suite[CacheAbs]{
+		Name:     "safebuf",
+		Spec:     CacheSpec(16),
+		MkImpl:   func() spec.Impl[CacheAbs] { return &CacheAdapter{Seed: 4} },
+		Scripted: [][]spec.Op{cacheOps()},
+		Gen: []spec.Op{
+			{Name: "write", Args: []any{0, 0x7E}},
+			{Name: "zero", Args: []any{0}},
+		},
+		Depth:     3,
+		Crash:     func() spec.CrashImpl[CacheAbs] { return &CacheAdapter{Seed: 5} },
+		SyncEvery: 4,
+	}
+	res := s.Run()
+	if !res.Ok() {
+		t.Fatalf("suite failed:\n%s", res.Summary())
+	}
+}

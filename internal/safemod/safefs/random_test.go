@@ -1,0 +1,128 @@
+package safefs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/safety/spec"
+)
+
+// Randomized refinement: arbitrary operation sequences drawn from a
+// small path universe must satisfy the spec — the fuzzing complement
+// to the exhaustive small-scope exploration.
+
+var propPaths = []string{"a", "b", "a/x", "a/y", "b/z", "ghost/q"}
+
+func opFromBytes(b1, b2, b3 byte) spec.Op {
+	p := propPaths[int(b2)%len(propPaths)]
+	p2 := propPaths[int(b3)%len(propPaths)]
+	switch b1 % 7 {
+	case 0:
+		return spec.Op{Name: "create", Args: []any{p}}
+	case 1:
+		return spec.Op{Name: "mkdir", Args: []any{p}}
+	case 2:
+		return spec.Op{Name: "unlink", Args: []any{p}}
+	case 3:
+		return spec.Op{Name: "rmdir", Args: []any{p}}
+	case 4:
+		return spec.Op{Name: "rename", Args: []any{p, p2}}
+	case 5:
+		return spec.Op{Name: "write", Args: []any{p, int(b3 % 32), "payload"}}
+	default:
+		return spec.Op{Name: "truncate", Args: []any{p, int(b3 % 64)}}
+	}
+}
+
+func TestRandomizedRefinementProperty(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 90 {
+			raw = raw[:90]
+		}
+		var ops []spec.Op
+		for i := 0; i+2 < len(raw); i += 3 {
+			ops = append(ops, opFromBytes(raw[i], raw[i+1], raw[i+2]))
+		}
+		rep := spec.Check(FSSpec(), &SpecAdapter{Seed: seed, SyncOnCommit: true, Blocks: 256, BlockSize: 256}, ops)
+		if !rep.Ok() {
+			t.Logf("refinement failure: %v", rep.Failures[0])
+		}
+		return rep.Ok()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomizedCrashProperty: random workloads plus every-op crash
+// enumeration in deferred-durability mode.
+func TestRandomizedCrashProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash enumeration is slow")
+	}
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 36 {
+			raw = raw[:36]
+		}
+		var ops []spec.Op
+		for i := 0; i+2 < len(raw); i += 3 {
+			ops = append(ops, opFromBytes(raw[i], raw[i+1], raw[i+2]))
+		}
+		rep := spec.CheckCrashConsistency(FSSpec(),
+			&SpecAdapter{Seed: seed, SyncOnCommit: false, Blocks: 256, BlockSize: 256}, ops, 4)
+		if !rep.Ok() {
+			t.Logf("crash failure: %v", rep.Failures[0])
+		}
+		return rep.Ok()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryEquivalenceProperty: mount-after-clean-unmount and
+// mount-after-crash of a fully-synced volume interpret to the same
+// abstract state.
+func TestRecoveryEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) < 3 {
+			return true
+		}
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		a := &SpecAdapter{Seed: seed, SyncOnCommit: true, Blocks: 256, BlockSize: 256}
+		if err := a.Reset(); err != kbase.EOK {
+			return false
+		}
+		for i := 0; i+2 < len(raw); i += 3 {
+			a.Apply(opFromBytes(raw[i], raw[i+1], raw[i+2]))
+		}
+		want, err := a.Interpret()
+		if err != kbase.EOK {
+			return false
+		}
+		// Crash (everything was committed per-op) and remount.
+		a.dev.CrashApplyNone()
+		fs := &FS{SyncOnCommit: true}
+		sb, merr := fs.Mount(nil, &MountData{Disk: a.dev})
+		if merr != kbase.EOK {
+			return false
+		}
+		got, err := interpretState(sb.Private.(*fsInstance).st)
+		if err != kbase.EOK {
+			return false
+		}
+		return absEqual(want, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

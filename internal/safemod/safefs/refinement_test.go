@@ -1,0 +1,121 @@
+package safefs
+
+import (
+	"testing"
+
+	"safelinux/internal/safety/spec"
+)
+
+// The Step-4 artifact tests: safefs checked against its own
+// functional specification through the generic framework.
+
+func scriptedOps() []spec.Op {
+	return []spec.Op{
+		{Name: "mkdir", Args: []any{"a"}},
+		{Name: "create", Args: []any{"a/f"}},
+		{Name: "write", Args: []any{"a/f", 0, "hello"}},
+		{Name: "write", Args: []any{"a/f", 3, "LO WORLD"}},
+		{Name: "mkdir", Args: []any{"a/b"}},
+		{Name: "create", Args: []any{"a/b/g"}},
+		{Name: "rename", Args: []any{"a/b", "c"}},
+		{Name: "write", Args: []any{"c/g", 0, "gee"}},
+		{Name: "truncate", Args: []any{"a/f", 4}},
+		{Name: "unlink", Args: []any{"c/g"}},
+		{Name: "rmdir", Args: []any{"c"}},
+		{Name: "create", Args: []any{"c"}}, // file reusing the dir name
+		{Name: "rename", Args: []any{"c", "a/f"}},
+		// Error paths must agree too.
+		{Name: "create", Args: []any{"missing/x"}},  // ENOENT
+		{Name: "mkdir", Args: []any{"a"}},           // EEXIST
+		{Name: "unlink", Args: []any{"nope"}},       // ENOENT
+		{Name: "rmdir", Args: []any{"a"}},           // ENOTEMPTY
+		{Name: "rename", Args: []any{"ghost", "x"}}, // ENOENT
+		{Name: "truncate", Args: []any{"ghost", 3}}, // ENOENT
+	}
+}
+
+func TestRefinementScripted(t *testing.T) {
+	rep := spec.Check(FSSpec(), &SpecAdapter{Seed: 1, SyncOnCommit: true}, scriptedOps())
+	if !rep.Ok() {
+		t.Fatalf("refinement failed: %v", rep.Failures[0])
+	}
+	if rep.Steps != len(scriptedOps()) {
+		t.Fatalf("steps = %d", rep.Steps)
+	}
+}
+
+// TestRefinementExplore exhaustively checks all operation sequences
+// of length <= 3 from a generator set covering every op kind.
+func TestRefinementExplore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("small-scope exploration is slow")
+	}
+	gen := []spec.Op{
+		{Name: "mkdir", Args: []any{"d"}},
+		{Name: "create", Args: []any{"f"}},
+		{Name: "create", Args: []any{"d/f"}},
+		{Name: "write", Args: []any{"f", 0, "xy"}},
+		{Name: "unlink", Args: []any{"f"}},
+		{Name: "rmdir", Args: []any{"d"}},
+		{Name: "rename", Args: []any{"f", "g"}},
+		{Name: "rename", Args: []any{"d", "e"}},
+		{Name: "truncate", Args: []any{"f", 1}},
+	}
+	rep := spec.Explore(FSSpec(), func() spec.Impl[Abs] {
+		return &SpecAdapter{Seed: 2, SyncOnCommit: true, Blocks: 128, BlockSize: 256}
+	}, gen, 3)
+	if !rep.Ok() {
+		t.Fatalf("exploration failed: %v", rep.Failures[0])
+	}
+	if rep.Steps == 0 {
+		t.Fatalf("exploration ran nothing")
+	}
+}
+
+// TestCrashConsistencySynced: with SyncOnCommit, every crash recovers
+// to exactly the full prefix (all acknowledged ops).
+func TestCrashConsistencySynced(t *testing.T) {
+	rep := spec.CheckCrashConsistency(FSSpec(),
+		&SpecAdapter{Seed: 3, SyncOnCommit: true}, scriptedOps(), 4)
+	if !rep.Ok() {
+		t.Fatalf("crash check failed: %v", rep.Failures[0])
+	}
+}
+
+// TestCrashConsistencyUnsynced: without SyncOnCommit, crashes land on
+// arbitrary prefixes — still within the crash spec.
+func TestCrashConsistencyUnsynced(t *testing.T) {
+	rep := spec.CheckCrashConsistency(FSSpec(),
+		&SpecAdapter{Seed: 4, SyncOnCommit: false}, scriptedOps(), 5)
+	if !rep.Ok() {
+		t.Fatalf("crash check failed: %v", rep.Failures[0])
+	}
+}
+
+// TestAxiomShimUnderSafefs mounts safefs over the axiomatic disk shim
+// and confirms the unverified device honored its axioms throughout.
+func TestAxiomShimUnderSafefs(t *testing.T) {
+	a := &SpecAdapter{Seed: 5, SyncOnCommit: true}
+	if err := a.Reset(); err.IsError() {
+		t.Fatalf("Reset: %v", err)
+	}
+	ax := spec.NewAxiomaticDisk(a.dev)
+	fs := &FS{SyncOnCommit: true}
+	if err := Format(ax); err.IsError() {
+		t.Fatalf("Format: %v", err)
+	}
+	sb, err := fs.Mount(nil, &MountData{Disk: ax})
+	if err.IsError() {
+		t.Fatalf("Mount: %v", err)
+	}
+	inst := sb.Private.(*fsInstance)
+	for i := 0; i < 20; i++ {
+		inst.mu.Lock()
+		inst.do(Record{Kind: OpCreate, Path: string(rune('a' + i))})
+		inst.do(Record{Kind: OpWrite, Path: string(rune('a' + i)), Data: []byte("data")})
+		inst.mu.Unlock()
+	}
+	if v := ax.Violations(); len(v) != 0 {
+		t.Fatalf("block-I/O axioms violated: %v", v)
+	}
+}

@@ -1,0 +1,509 @@
+package safefs
+
+import (
+	"strings"
+	"sync"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safety/module"
+	"safelinux/internal/safety/own"
+	"safelinux/internal/safety/spec"
+	"safelinux/internal/safety/typedapi"
+)
+
+// FS is the safefs file system type.
+type FS struct {
+	// SyncOnCommit makes every operation durable before it is
+	// acknowledged (verified mode). Off, durability arrives at the
+	// next Fsync/SyncFS — prefix consistency holds either way.
+	SyncOnCommit bool
+}
+
+// Name implements vfs.FileSystemType.
+func (f *FS) Name() string { return "safefs" }
+
+// MountData carries the typed mount parameters. (The vfs boundary is
+// the legacy `any` interface; this is the first thing safefs checks.)
+type MountData struct {
+	Disk    spec.DiskLike
+	Checker *own.Checker
+}
+
+// fsInstance is one mounted safefs.
+type fsInstance struct {
+	fs      *FS
+	checker *own.Checker
+
+	mu      sync.Mutex
+	st      *fstate
+	store   *store
+	vsb     *vfs.SuperBlock
+	inodes  map[string]*vfs.Inode
+	nextIno uint64
+}
+
+// Mount implements vfs.FileSystemType. Recovery runs on every mount.
+func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+	md, ok := data.(*MountData)
+	if !ok || md.Disk == nil {
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "mount data is %T, not *MountData", data)
+		return nil, kbase.EINVAL
+	}
+	checker := md.Checker
+	if checker == nil {
+		checker = own.NewChecker(own.PolicyRecord)
+	}
+	store, st, err := openStore(md.Disk, checker, f.SyncOnCommit)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	inst := &fsInstance{
+		fs: f, checker: checker, st: st, store: store,
+		inodes: make(map[string]*vfs.Inode), nextIno: 2,
+	}
+	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
+	inst.vsb = vsb
+	vsb.Root = inst.inodeFor("", true)
+	return vsb, kbase.EOK
+}
+
+// snode is safefs's per-inode state: just the path. All real state
+// lives in fstate, keyed by path, so inodes are cheap, immutable
+// descriptors.
+type snode struct {
+	path string
+}
+
+// inodeFor returns the (cached) inode for a path. Caller holds
+// inst.mu or is in Mount.
+func (inst *fsInstance) inodeFor(path string, isDir bool) *vfs.Inode {
+	if ino, ok := inst.inodes[path]; ok {
+		return ino
+	}
+	mode := vfs.ModeRegular
+	if isDir {
+		mode = vfs.ModeDir
+	}
+	var inoNum uint64 = 1
+	if path != "" {
+		inoNum = inst.nextIno
+		inst.nextIno++
+	}
+	ino := &vfs.Inode{
+		Ino:     inoNum,
+		Mode:    mode,
+		Nlink:   1,
+		ILock:   kbase.NewSpinLock(vfs.ILockClass),
+		Sb:      inst.vsb,
+		Ops:     &inodeOps{inst: inst},
+		FileOps: &fileOps{inst: inst},
+		Private: &snode{path: path},
+	}
+	if !isDir {
+		if size, err := inst.st.fileSize(path); err == kbase.EOK {
+			ino.ISize = size
+		}
+	}
+	inst.inodes[path] = ino
+	return ino
+}
+
+// pathOf joins a directory inode and a child name.
+func pathOf(dir *vfs.Inode, name string) (string, kbase.Errno) {
+	sn, ok := dir.Private.(*snode)
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "inode private is %T", dir.Private)
+		return "", kbase.EUCLEAN
+	}
+	if name == "" || strings.Contains(name, "/") || len(name) > vfs.MaxNameLen {
+		return "", kbase.EINVAL
+	}
+	if sn.path == "" {
+		return name, kbase.EOK
+	}
+	return sn.path + "/" + name, kbase.EOK
+}
+
+// canApply pre-validates a record against the current state without
+// mutating it — the guard that keeps the on-disk log equal to the
+// sequence of successful operations. TestApplyAgreesWithCanApply
+// pins the equivalence.
+func canApply(st *fstate, r Record) kbase.Errno {
+	switch r.Kind {
+	case OpCreate, OpMkdir:
+		if !st.dirs[parentOf(r.Path)] {
+			return kbase.ENOENT
+		}
+		if st.exists(r.Path) {
+			return kbase.EEXIST
+		}
+		return kbase.EOK
+	case OpUnlink:
+		if _, ok := st.files[r.Path]; ok {
+			return kbase.EOK
+		}
+		if st.dirs[r.Path] {
+			return kbase.EISDIR
+		}
+		return kbase.ENOENT
+	case OpRmdir:
+		if !st.dirs[r.Path] {
+			if _, isFile := st.files[r.Path]; isFile {
+				return kbase.ENOTDIR
+			}
+			return kbase.ENOENT
+		}
+		if r.Path == "" {
+			return kbase.EBUSY
+		}
+		if !st.dirEmpty(r.Path) {
+			return kbase.ENOTEMPTY
+		}
+		return kbase.EOK
+	case OpRename:
+		if r.Path == "" || r.Path2 == "" {
+			return kbase.EBUSY
+		}
+		if !st.dirs[parentOf(r.Path2)] {
+			return kbase.ENOENT
+		}
+		if _, ok := st.files[r.Path]; ok {
+			if st.dirs[r.Path2] {
+				return kbase.EISDIR
+			}
+			return kbase.EOK
+		}
+		if !st.dirs[r.Path] {
+			return kbase.ENOENT
+		}
+		if st.exists(r.Path2) {
+			return kbase.EEXIST
+		}
+		if r.Path2 == r.Path || strings.HasPrefix(r.Path2, r.Path+"/") {
+			return kbase.EINVAL
+		}
+		return kbase.EOK
+	case OpWrite, OpTruncate:
+		if _, ok := st.files[r.Path]; !ok {
+			return kbase.ENOENT
+		}
+		return kbase.EOK
+	}
+	return kbase.ENOSYS
+}
+
+// do validates, logs, then applies one mutation. Caller holds
+// inst.mu.
+func (inst *fsInstance) do(r Record) kbase.Errno {
+	if err := canApply(inst.st, r); err != kbase.EOK {
+		return err
+	}
+	if err := inst.store.commit(inst.st, &r); err != kbase.EOK {
+		return err
+	}
+	if err := inst.st.apply(r); err != kbase.EOK {
+		// canApply said yes, apply said no: the two diverged, which
+		// is a bug in this module, not in the caller.
+		kbase.BUG("safefs", "apply diverged from canApply on %v: %v", r.Kind, err)
+	}
+	return kbase.EOK
+}
+
+// --- InodeOps ---
+
+type inodeOps struct {
+	inst *fsInstance
+}
+
+func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	path, err := pathOf(dir, name)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	if inst.st.dirs[path] {
+		return inst.inodeFor(path, true)
+	}
+	if _, ok := inst.st.files[path]; ok {
+		return inst.inodeFor(path, false)
+	}
+	return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+}
+
+func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	path, err := pathOf(dir, name)
+	if err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	kind := OpCreate
+	if mode.IsDir() {
+		kind = OpMkdir
+	}
+	if err := inst.do(Record{Kind: kind, Path: path}); err != kbase.EOK {
+		return kbase.ErrPtr[vfs.Inode](err)
+	}
+	return inst.inodeFor(path, mode.IsDir())
+}
+
+func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+	return o.Create(task, dir, name, vfs.ModeDir)
+}
+
+func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	path, err := pathOf(dir, name)
+	if err != kbase.EOK {
+		return err
+	}
+	if err := inst.do(Record{Kind: OpUnlink, Path: path}); err != kbase.EOK {
+		return err
+	}
+	delete(inst.inodes, path)
+	return kbase.EOK
+}
+
+func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	path, err := pathOf(dir, name)
+	if err != kbase.EOK {
+		return err
+	}
+	if err := inst.do(Record{Kind: OpRmdir, Path: path}); err != kbase.EOK {
+		return err
+	}
+	delete(inst.inodes, path)
+	return kbase.EOK
+}
+
+func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, newDir *vfs.Inode, newName string) kbase.Errno {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	oldPath, err := pathOf(oldDir, oldName)
+	if err != kbase.EOK {
+		return err
+	}
+	newPath, err := pathOf(newDir, newName)
+	if err != kbase.EOK {
+		return err
+	}
+	if err := inst.do(Record{Kind: OpRename, Path: oldPath, Path2: newPath}); err != kbase.EOK {
+		return err
+	}
+	// Paths moved: inode descriptors keyed by path are stale. Drop
+	// the subtree conservatively.
+	for p := range inst.inodes {
+		if p == oldPath || p == newPath || strings.HasPrefix(p, oldPath+"/") || strings.HasPrefix(p, newPath+"/") {
+			delete(inst.inodes, p)
+		}
+	}
+	return kbase.EOK
+}
+
+func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kbase.Errno) {
+	inst := o.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	sn, ok := dir.Private.(*snode)
+	if !ok {
+		return nil, kbase.EUCLEAN
+	}
+	names, isDir, err := inst.st.list(sn.path)
+	if err != kbase.EOK {
+		return nil, err
+	}
+	out := make([]vfs.DirEntry, len(names))
+	for i, n := range names {
+		mode := vfs.ModeRegular
+		if isDir[i] {
+			mode = vfs.ModeDir
+		}
+		child := sn.path + "/" + n
+		if sn.path == "" {
+			child = n
+		}
+		ino := inst.inodeFor(child, isDir[i])
+		out[i] = vfs.DirEntry{Name: n, Ino: ino.Ino, Mode: mode}
+	}
+	return out, kbase.EOK
+}
+
+// --- FileOps ---
+
+// writePlan is the typed token payload carried from WriteBegin to
+// WriteEnd: the Step-2 replacement for the void* handoff, even though
+// the VFS ferry itself is still untyped.
+type writePlan struct {
+	path string
+	off  int64
+	n    int
+}
+
+const writeIssuer = "safefs.write"
+
+type fileOps struct {
+	inst *fsInstance
+}
+
+func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64) (int, kbase.Errno) {
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	sn, ok := ino.Private.(*snode)
+	if !ok {
+		return 0, kbase.EUCLEAN
+	}
+	return inst.st.readFile(sn.path, buf, off)
+}
+
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (any, kbase.Errno) {
+	sn, ok := ino.Private.(*snode)
+	if !ok {
+		return nil, kbase.EUCLEAN
+	}
+	if off < 0 || n < 0 {
+		return nil, kbase.EINVAL
+	}
+	return typedapi.Issue(writeIssuer, writePlan{path: sn.path, off: off, n: n}), kbase.EOK
+}
+
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
+	tok, ok := private.(*typedapi.Token[writePlan])
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "write_copy private is %T", private)
+		return 0, kbase.EUCLEAN
+	}
+	plan, err := tok.Peek(writeIssuer)
+	if err != kbase.EOK {
+		return 0, err
+	}
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	payload := make([]byte, len(data))
+	copy(payload, data)
+	if err := inst.do(Record{Kind: OpWrite, Path: plan.path, Off: off, Data: payload}); err != kbase.EOK {
+		return 0, err
+	}
+	return len(data), kbase.EOK
+}
+
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, private any) kbase.Errno {
+	tok, ok := private.(*typedapi.Token[writePlan])
+	if !ok {
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "write_end private is %T", private)
+		return kbase.EUCLEAN
+	}
+	plan, err := tok.Redeem(writeIssuer)
+	if err != kbase.EOK {
+		return err
+	}
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if size, e := inst.st.fileSize(plan.path); e == kbase.EOK {
+		ino.SizeWrite(task, size)
+	}
+	return kbase.EOK
+}
+
+func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.Errno {
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	sn, ok := ino.Private.(*snode)
+	if !ok {
+		return kbase.EUCLEAN
+	}
+	if err := inst.do(Record{Kind: OpTruncate, Path: sn.path, Off: size}); err != kbase.EOK {
+		return err
+	}
+	ino.SizeWrite(task, size)
+	return kbase.EOK
+}
+
+func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
+	inst := fo.inst
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.store.sync()
+}
+
+// --- SuperBlockOps ---
+
+func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return vfs.StatFS{
+		TotalBlocks: inst.store.sb.Blocks,
+		FreeBlocks:  inst.store.sb.LogLen - inst.store.logPos,
+		TotalInodes: uint64(len(inst.st.files) + len(inst.st.dirs)),
+		FSName:      "safefs",
+	}, kbase.EOK
+}
+
+func (inst *fsInstance) SyncFS(task *kbase.Task) kbase.Errno {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.store.sync()
+}
+
+func (inst *fsInstance) Unmount(task *kbase.Task) kbase.Errno {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if err := inst.store.checkpoint(inst.st); err != kbase.EOK {
+		return err
+	}
+	inst.st.free()
+	return kbase.EOK
+}
+
+// Checkpoint forces a checkpoint (exposed for tooling and tests).
+func (inst *fsInstance) Checkpoint() kbase.Errno {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.store.checkpoint(inst.st)
+}
+
+// InstanceOf extracts the safefs instance from a mounted superblock.
+func InstanceOf(sb *vfs.SuperBlock) (interface{ Checkpoint() kbase.Errno }, bool) {
+	inst, ok := sb.Private.(*fsInstance)
+	return inst, ok
+}
+
+// --- module framework registration ---
+
+// Module describes safefs to the module registry.
+type Module struct{}
+
+// IfaceName is the registry interface safefs implements.
+const IfaceName = "storage.fs"
+
+// ModuleName implements module.Module.
+func (Module) ModuleName() string { return "safefs" }
+
+// Implements implements module.Module.
+func (Module) Implements() module.Interface {
+	return module.Interface{
+		Name: IfaceName, Version: 1,
+		Doc:     "file system behind the VFS modular interface",
+		Methods: []string{"Mount"},
+	}
+}
+
+// Level implements module.Module: safefs carries its own checked
+// functional specification (see spec_adapter.go), the top rung.
+func (Module) Level() module.SafetyLevel { return module.LevelVerified }
+
+// New returns a mountable FS instance.
+func (Module) New(syncOnCommit bool) *FS { return &FS{SyncOnCommit: syncOnCommit} }

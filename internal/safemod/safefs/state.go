@@ -1,0 +1,402 @@
+package safefs
+
+import (
+	"encoding/binary"
+	"sort"
+	"strings"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/safety/own"
+)
+
+// fstate is the in-memory file system state: directories as a set of
+// paths and file contents in ownership cells. Paths are
+// slash-separated and rooted at "" (the root directory); "a/b" is
+// file b in directory a.
+//
+// fstate IS (up to the ownership wrapping) the abstract model the
+// spec uses — which is the point: the implementation's state was
+// designed so the abstraction function is nearly the identity,
+// §4.4's "the implementation explains how to interpret its data
+// structure as an instance of the model".
+type fstate struct {
+	dirs    map[string]bool // "" always present
+	files   map[string]own.Owned[[]byte]
+	checker *own.Checker
+}
+
+func newFstate(checker *own.Checker) *fstate {
+	return &fstate{
+		dirs:    map[string]bool{"": true},
+		files:   make(map[string]own.Owned[[]byte]),
+		checker: checker,
+	}
+}
+
+// parentOf splits "a/b/c" into "a/b". The root's parent is itself.
+func parentOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return ""
+	}
+	return path[:i]
+}
+
+// apply executes one record against the state. It is the single
+// transition function shared by live operation and crash recovery —
+// replay cannot diverge from execution because they are the same
+// code. Returns the errno the operation produces.
+func (st *fstate) apply(r Record) kbase.Errno {
+	switch r.Kind {
+	case OpCreate:
+		if !st.dirs[parentOf(r.Path)] {
+			return kbase.ENOENT
+		}
+		if st.exists(r.Path) {
+			return kbase.EEXIST
+		}
+		st.files[r.Path] = own.New(st.checker, "safefs:"+r.Path, []byte{})
+		return kbase.EOK
+	case OpMkdir:
+		if !st.dirs[parentOf(r.Path)] {
+			return kbase.ENOENT
+		}
+		if st.exists(r.Path) {
+			return kbase.EEXIST
+		}
+		st.dirs[r.Path] = true
+		return kbase.EOK
+	case OpUnlink:
+		f, ok := st.files[r.Path]
+		if !ok {
+			if st.dirs[r.Path] {
+				return kbase.EISDIR
+			}
+			return kbase.ENOENT
+		}
+		f.Free()
+		delete(st.files, r.Path)
+		return kbase.EOK
+	case OpRmdir:
+		if !st.dirs[r.Path] {
+			if _, isFile := st.files[r.Path]; isFile {
+				return kbase.ENOTDIR
+			}
+			return kbase.ENOENT
+		}
+		if r.Path == "" {
+			return kbase.EBUSY
+		}
+		if !st.dirEmpty(r.Path) {
+			return kbase.ENOTEMPTY
+		}
+		delete(st.dirs, r.Path)
+		return kbase.EOK
+	case OpRename:
+		return st.rename(r.Path, r.Path2)
+	case OpWrite:
+		f, ok := st.files[r.Path]
+		if !ok {
+			return kbase.ENOENT
+		}
+		ok2 := f.Use(func(data *[]byte) {
+			end := r.Off + int64(len(r.Data))
+			if end > int64(len(*data)) {
+				grown := make([]byte, end)
+				copy(grown, *data)
+				*data = grown
+			}
+			copy((*data)[r.Off:], r.Data)
+		})
+		if !ok2 {
+			return kbase.EBUSY
+		}
+		return kbase.EOK
+	case OpTruncate:
+		f, ok := st.files[r.Path]
+		if !ok {
+			return kbase.ENOENT
+		}
+		ok2 := f.Use(func(data *[]byte) {
+			size := r.Off
+			switch {
+			case size < int64(len(*data)):
+				*data = (*data)[:size]
+			case size > int64(len(*data)):
+				grown := make([]byte, size)
+				copy(grown, *data)
+				*data = grown
+			}
+		})
+		if !ok2 {
+			return kbase.EBUSY
+		}
+		return kbase.EOK
+	}
+	return kbase.ENOSYS
+}
+
+func (st *fstate) exists(path string) bool {
+	if st.dirs[path] {
+		return true
+	}
+	_, ok := st.files[path]
+	return ok
+}
+
+func (st *fstate) dirEmpty(path string) bool {
+	prefix := path + "/"
+	for d := range st.dirs {
+		if strings.HasPrefix(d, prefix) {
+			return false
+		}
+	}
+	for f := range st.files {
+		if strings.HasPrefix(f, prefix) {
+			return false
+		}
+	}
+	return true
+}
+
+// rename implements the §4.4 model example: "the directory-rename
+// operation may be modeled as a relation between old and new maps in
+// which every path key with a given prefix is substituted with a new
+// prefix" — and that is literally the implementation.
+func (st *fstate) rename(old, new string) kbase.Errno {
+	if old == "" || new == "" {
+		return kbase.EBUSY
+	}
+	if !st.dirs[parentOf(new)] {
+		return kbase.ENOENT
+	}
+	if _, ok := st.files[old]; ok {
+		// File rename; replaces an existing file, never a directory.
+		if st.dirs[new] {
+			return kbase.EISDIR
+		}
+		if new == old {
+			return kbase.EOK // rename to self is a no-op (POSIX)
+		}
+		if existing, ok := st.files[new]; ok {
+			existing.Free()
+			delete(st.files, new)
+		}
+		st.files[new] = st.files[old]
+		delete(st.files, old)
+		return kbase.EOK
+	}
+	if !st.dirs[old] {
+		return kbase.ENOENT
+	}
+	// Directory rename: target must not exist; moving a directory
+	// under itself is invalid.
+	if st.exists(new) {
+		return kbase.EEXIST
+	}
+	if new == old || strings.HasPrefix(new, old+"/") {
+		return kbase.EINVAL
+	}
+	oldPrefix := old + "/"
+	// Substitute the prefix on every key.
+	for d := range st.dirs {
+		if d == old {
+			delete(st.dirs, d)
+			st.dirs[new] = true
+		} else if strings.HasPrefix(d, oldPrefix) {
+			delete(st.dirs, d)
+			st.dirs[new+"/"+d[len(oldPrefix):]] = true
+		}
+	}
+	moved := make(map[string]own.Owned[[]byte])
+	for f, v := range st.files {
+		if strings.HasPrefix(f, oldPrefix) {
+			moved[new+"/"+f[len(oldPrefix):]] = v
+			delete(st.files, f)
+		}
+	}
+	for f, v := range moved {
+		st.files[f] = v
+	}
+	return kbase.EOK
+}
+
+// readFile copies file bytes at off into buf, returning bytes copied.
+func (st *fstate) readFile(path string, buf []byte, off int64) (int, kbase.Errno) {
+	f, ok := st.files[path]
+	if !ok {
+		return 0, kbase.ENOENT
+	}
+	n := 0
+	ok2 := f.Read(func(data []byte) {
+		if off < int64(len(data)) {
+			n = copy(buf, data[off:])
+		}
+	})
+	if !ok2 {
+		return 0, kbase.EBUSY
+	}
+	return n, kbase.EOK
+}
+
+// fileSize returns the size of a file.
+func (st *fstate) fileSize(path string) (int64, kbase.Errno) {
+	f, ok := st.files[path]
+	if !ok {
+		return 0, kbase.ENOENT
+	}
+	var size int64
+	if !f.Read(func(data []byte) { size = int64(len(data)) }) {
+		return 0, kbase.EBUSY
+	}
+	return size, kbase.EOK
+}
+
+// list returns the names in a directory, sorted.
+func (st *fstate) list(dir string) ([]string, []bool, kbase.Errno) {
+	if !st.dirs[dir] {
+		return nil, nil, kbase.ENOENT
+	}
+	prefix := ""
+	if dir != "" {
+		prefix = dir + "/"
+	}
+	type ent struct {
+		name  string
+		isDir bool
+	}
+	var ents []ent
+	for d := range st.dirs {
+		if d == "" || !strings.HasPrefix(d, prefix) {
+			continue
+		}
+		rest := d[len(prefix):]
+		if rest != "" && !strings.Contains(rest, "/") {
+			ents = append(ents, ent{rest, true})
+		}
+	}
+	for f := range st.files {
+		if !strings.HasPrefix(f, prefix) {
+			continue
+		}
+		rest := f[len(prefix):]
+		if rest != "" && !strings.Contains(rest, "/") {
+			ents = append(ents, ent{rest, false})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool { return ents[i].name < ents[j].name })
+	names := make([]string, len(ents))
+	isDir := make([]bool, len(ents))
+	for i, e := range ents {
+		names[i] = e.name
+		isDir[i] = e.isDir
+	}
+	return names, isDir, kbase.EOK
+}
+
+// free releases every ownership cell (unmount).
+func (st *fstate) free() {
+	for _, f := range st.files {
+		f.Free()
+	}
+	st.files = make(map[string]own.Owned[[]byte])
+}
+
+// serialize encodes the whole state for a checkpoint:
+// dirCount, dirs..., fileCount, {path, content}...
+// Strings are length-prefixed.
+func (st *fstate) serialize() ([]byte, kbase.Errno) {
+	var b []byte
+	putStr := func(s string) {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+		b = append(b, l[:]...)
+		b = append(b, s...)
+	}
+	putBytes := func(s []byte) {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
+		b = append(b, l[:]...)
+		b = append(b, s...)
+	}
+	dirs := make([]string, 0, len(st.dirs))
+	for d := range st.dirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(dirs)))
+	b = append(b, cnt[:]...)
+	for _, d := range dirs {
+		putStr(d)
+	}
+	files := make([]string, 0, len(st.files))
+	for f := range st.files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(files)))
+	b = append(b, cnt[:]...)
+	var failed bool
+	for _, f := range files {
+		putStr(f)
+		ok := st.files[f].Read(func(data []byte) { putBytes(data) })
+		if !ok {
+			failed = true
+		}
+	}
+	if failed {
+		return nil, kbase.EBUSY
+	}
+	return b, kbase.EOK
+}
+
+// deserializeState rebuilds a state from checkpoint bytes.
+func deserializeState(b []byte, checker *own.Checker) (*fstate, kbase.Errno) {
+	st := newFstate(checker)
+	pos := 0
+	getU32 := func() (uint32, bool) {
+		if pos+4 > len(b) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(b[pos:])
+		pos += 4
+		return v, true
+	}
+	getStr := func() (string, bool) {
+		n, ok := getU32()
+		if !ok || pos+int(n) > len(b) {
+			return "", false
+		}
+		s := string(b[pos : pos+int(n)])
+		pos += int(n)
+		return s, true
+	}
+	nDirs, ok := getU32()
+	if !ok {
+		return nil, kbase.EUCLEAN
+	}
+	for i := uint32(0); i < nDirs; i++ {
+		d, ok := getStr()
+		if !ok {
+			return nil, kbase.EUCLEAN
+		}
+		st.dirs[d] = true
+	}
+	nFiles, ok := getU32()
+	if !ok {
+		return nil, kbase.EUCLEAN
+	}
+	for i := uint32(0); i < nFiles; i++ {
+		path, ok := getStr()
+		if !ok {
+			return nil, kbase.EUCLEAN
+		}
+		content, ok := getStr()
+		if !ok {
+			return nil, kbase.EUCLEAN
+		}
+		st.files[path] = own.New(checker, "safefs:"+path, []byte(content))
+	}
+	return st, kbase.EOK
+}

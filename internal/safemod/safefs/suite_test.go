@@ -1,0 +1,60 @@
+package safefs
+
+import (
+	"testing"
+
+	"safelinux/internal/safety/spec"
+)
+
+// Suite returns safefs's standing regression bundle — the per-module
+// artifact §4.5 says every change must re-validate. It is exercised
+// here and by any future change to this package.
+func safefsSuite() spec.Suite[Abs] {
+	return spec.Suite[Abs]{
+		Name:   "safefs",
+		Spec:   FSSpec(),
+		MkImpl: func() spec.Impl[Abs] { return &SpecAdapter{Seed: 11, SyncOnCommit: true, Blocks: 256, BlockSize: 256} },
+		Scripted: [][]spec.Op{
+			scriptedOps(),
+			{
+				// Regression trace for the directory-rename prefix
+				// substitution.
+				{Name: "mkdir", Args: []any{"a"}},
+				{Name: "mkdir", Args: []any{"a/b"}},
+				{Name: "create", Args: []any{"a/b/f"}},
+				{Name: "write", Args: []any{"a/b/f", 0, "deep"}},
+				{Name: "rename", Args: []any{"a", "z"}},
+				{Name: "write", Args: []any{"z/b/f", 4, "er"}},
+				{Name: "rename", Args: []any{"z", "z"}},     // EINVAL (self)
+				{Name: "rename", Args: []any{"z", "z/sub"}}, // EINVAL (cycle)
+			},
+		},
+		Gen: []spec.Op{
+			{Name: "create", Args: []any{"f"}},
+			{Name: "mkdir", Args: []any{"d"}},
+			{Name: "write", Args: []any{"f", 0, "x"}},
+			{Name: "unlink", Args: []any{"f"}},
+			{Name: "rename", Args: []any{"f", "d/f"}},
+		},
+		Depth: 3,
+		Crash: func() spec.CrashImpl[Abs] {
+			return &SpecAdapter{Seed: 12, SyncOnCommit: false, Blocks: 256, BlockSize: 256}
+		},
+		SyncEvery: 5,
+	}
+}
+
+// TestModuleRegressionSuite is the §4.5 gate: this package does not
+// ship unless its suite passes.
+func TestModuleRegressionSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite is slow")
+	}
+	res := safefsSuite().Run()
+	if !res.Ok() {
+		t.Fatalf("module regression suite failed:\n%s", res.Summary())
+	}
+	if res.Steps < 100 {
+		t.Fatalf("suite suspiciously small: %d steps", res.Steps)
+	}
+}

@@ -1,0 +1,391 @@
+package safetcp
+
+import (
+	"fmt"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/net"
+	"safelinux/internal/safety/own"
+)
+
+// Transport tuning, matching the legacy stack so performance
+// comparisons are apples-to-apples.
+const (
+	MSS           = 512
+	RTOJiffies    = 16
+	MaxRetries    = 12
+	SendWindowSeg = 8
+	maxBackoff    = 5
+)
+
+// State is the connection state.
+type State uint8
+
+// Connection states.
+const (
+	Closed State = iota
+	SynSent
+	SynRcvd
+	Established
+	FinWait1
+	FinWait2
+	CloseWait
+	LastAck
+)
+
+var stateNames = [...]string{
+	"Closed", "SynSent", "SynRcvd", "Established",
+	"FinWait1", "FinWait2", "CloseWait", "LastAck",
+}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// unacked is one in-flight segment awaiting acknowledgment.
+type unacked struct {
+	seq      uint32
+	flags    Flags
+	payload  []byte
+	deadline uint64
+	retries  int
+}
+
+func seqSpan(f Flags, payload []byte) uint32 {
+	n := uint32(len(payload))
+	if f.SYN {
+		n++
+	}
+	if f.FIN {
+		n++
+	}
+	return n
+}
+
+// Conn is one connection. All state is concrete and private; there
+// is no untyped escape hatch.
+type Conn struct {
+	ep         *Endpoint
+	localPort  uint16
+	remoteAddr net.Addr
+	remotePort uint16
+
+	state State
+
+	sendNext           uint32
+	sendBuf            []byte
+	flight             []unacked
+	finQueued, finSent bool
+
+	rcvNext uint32
+	// recvQ holds received payloads as owned buffers (sharing model
+	// 1: the network layer hands ownership to the connection; Recv
+	// hands it onward to the caller and frees).
+	recvQ   []own.Owned[[]byte]
+	recvOff int // bytes already consumed from recvQ[0]
+	peerFIN bool
+
+	lastAck uint32
+	dupAcks int
+
+	// Retransmits counts retransmitted segments (diagnostics).
+	Retransmits uint64
+	// ResetReason is set when the connection dies abnormally.
+	ResetReason string
+}
+
+// State returns the connection state.
+func (c *Conn) State() State { return c.state }
+
+// Established reports a completed handshake.
+func (c *Conn) Established() bool { return c.state == Established }
+
+// Closed reports a fully shut-down connection.
+func (c *Conn) Closed() bool { return c.state == Closed }
+
+// send emits one segment; tracked segments enter the flight window.
+func (c *Conn) send(f Flags, seq uint32, payload []byte, track bool) {
+	seg := Segment{
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: seq, Ack: c.rcvNext, Flags: f, Payload: payload,
+	}
+	c.ep.host.SendIP(c.remoteAddr, net.ProtoTCP, seg.Marshal())
+	if track {
+		c.flight = append(c.flight, unacked{
+			seq: seq, flags: f, payload: payload,
+			deadline: c.ep.host.Now() + RTOJiffies,
+		})
+	}
+}
+
+// handle processes one validated inbound segment.
+func (c *Conn) handle(seg Segment) {
+	if seg.Flags.RST {
+		c.state = Closed
+		c.ResetReason = "peer reset"
+		c.drainRecvQ()
+		return
+	}
+	switch c.state {
+	case SynSent:
+		if seg.Flags.SYN && seg.Flags.ACK && seg.Ack == c.sendNext {
+			c.rcvNext = seg.Seq + 1
+			c.ackAdvance(seg.Ack)
+			c.state = Established
+			c.send(Flags{ACK: true}, c.sendNext, nil, false)
+			c.pump()
+		}
+	case SynRcvd:
+		if seg.Flags.ACK && seg.Ack == c.sendNext {
+			c.ackAdvance(seg.Ack)
+			c.state = Established
+			c.ep.promote(c)
+			c.handleData(seg)
+		}
+	case Established, FinWait1, FinWait2, CloseWait, LastAck:
+		if seg.Flags.SYN {
+			// Peer missed our handshake ACK; re-send it.
+			c.send(Flags{ACK: true}, c.sendNext, nil, false)
+			return
+		}
+		if seg.Flags.ACK {
+			c.ackAdvance(seg.Ack)
+		}
+		c.handleData(seg)
+		c.progressClose()
+		c.pump()
+	}
+}
+
+// handleData accepts in-order payload (as an owned buffer) and FIN.
+func (c *Conn) handleData(seg Segment) {
+	if len(seg.Payload) > 0 {
+		if seg.Seq == c.rcvNext {
+			// Ownership transfer: the payload buffer is owned by the
+			// connection from here on.
+			cell := own.New(c.ep.checker,
+				fmt.Sprintf("safetcp.rx.%d.%d", c.localPort, seg.Seq), seg.Payload)
+			c.recvQ = append(c.recvQ, cell)
+			c.rcvNext += uint32(len(seg.Payload))
+		}
+	}
+	if seg.Flags.FIN && seg.Seq+uint32(len(seg.Payload)) == c.rcvNext {
+		c.rcvNext++
+		c.peerFIN = true
+		switch c.state {
+		case Established:
+			c.state = CloseWait
+		case FinWait1:
+			c.state = LastAck
+		case FinWait2:
+			c.state = Closed
+		}
+	}
+	if len(seg.Payload) > 0 || seg.Flags.FIN {
+		c.send(Flags{ACK: true}, c.sendNext, nil, false)
+	}
+}
+
+// ackAdvance retires acknowledged flight entries, resets backoff on
+// progress, and fast-retransmits after three duplicate ACKs.
+func (c *Conn) ackAdvance(ack uint32) {
+	kept := c.flight[:0]
+	progressed := false
+	for _, u := range c.flight {
+		if u.seq+seqSpan(u.flags, u.payload) <= ack {
+			if u.flags.FIN {
+				c.finAcked()
+			}
+			progressed = true
+			continue
+		}
+		kept = append(kept, u)
+	}
+	c.flight = kept
+	now := c.ep.host.Now()
+	switch {
+	case progressed:
+		c.dupAcks = 0
+		for i := range c.flight {
+			c.flight[i].retries = 0
+			c.flight[i].deadline = now + RTOJiffies
+		}
+	case ack == c.lastAck && len(c.flight) > 0:
+		c.dupAcks++
+		if c.dupAcks >= 3 {
+			c.dupAcks = 0
+			c.retransmit(&c.flight[0], now)
+		}
+	}
+	c.lastAck = ack
+}
+
+func (c *Conn) finAcked() {
+	switch c.state {
+	case FinWait1:
+		if c.peerFIN {
+			c.state = Closed
+		} else {
+			c.state = FinWait2
+		}
+	case LastAck:
+		c.state = Closed
+	}
+}
+
+func (c *Conn) progressClose() {
+	if c.finQueued && !c.finSent && len(c.sendBuf) == 0 {
+		c.send(Flags{FIN: true, ACK: true}, c.sendNext, nil, true)
+		c.sendNext++
+		c.finSent = true
+	}
+}
+
+// pump segments the send buffer up to the window.
+func (c *Conn) pump() {
+	if c.state != Established && c.state != CloseWait {
+		return
+	}
+	for len(c.sendBuf) > 0 && len(c.flight) < SendWindowSeg {
+		n := len(c.sendBuf)
+		if n > MSS {
+			n = MSS
+		}
+		chunk := make([]byte, n)
+		copy(chunk, c.sendBuf[:n])
+		c.sendBuf = c.sendBuf[n:]
+		c.send(Flags{ACK: true}, c.sendNext, chunk, true)
+		c.sendNext += uint32(n)
+	}
+	c.progressClose()
+}
+
+// retransmit resends one flight entry with capped backoff.
+func (c *Conn) retransmit(u *unacked, now uint64) {
+	if u.retries < MaxRetries {
+		u.retries++
+	}
+	shift := uint(u.retries)
+	if shift > maxBackoff {
+		shift = maxBackoff
+	}
+	u.deadline = now + RTOJiffies<<shift
+	c.Retransmits++
+	seg := Segment{
+		SrcPort: c.localPort, DstPort: c.remotePort,
+		Seq: u.seq, Ack: c.rcvNext, Flags: u.flags, Payload: u.payload,
+	}
+	c.ep.host.SendIP(c.remoteAddr, net.ProtoTCP, seg.Marshal())
+}
+
+// tick drives retransmission timers.
+func (c *Conn) tick(now uint64) {
+	for i := range c.flight {
+		u := &c.flight[i]
+		if u.deadline > now {
+			continue
+		}
+		if u.retries >= MaxRetries {
+			c.state = Closed
+			c.ResetReason = "retransmission limit"
+			c.send(Flags{RST: true}, c.sendNext, nil, false)
+			c.drainRecvQ()
+			return
+		}
+		c.retransmit(u, now)
+	}
+	c.pump()
+}
+
+// Send queues payload bytes for transmission.
+func (c *Conn) Send(data []byte) kbase.Errno {
+	switch c.state {
+	case Established, CloseWait, SynSent, SynRcvd:
+		if c.finQueued {
+			return kbase.EPIPE
+		}
+		c.sendBuf = append(c.sendBuf, data...)
+		c.pump()
+		return kbase.EOK
+	default:
+		return kbase.ENOTCONN
+	}
+}
+
+// Recv moves received bytes into buf. Ownership of fully-consumed
+// buffers ends here (they are freed); partially-consumed buffers
+// remain owned by the connection. (0, EOK) with a peer FIN is EOF;
+// EAGAIN means no data yet.
+func (c *Conn) Recv(buf []byte) (int, kbase.Errno) {
+	total := 0
+	for total < len(buf) && len(c.recvQ) > 0 {
+		cell := c.recvQ[0]
+		consumed := false
+		cell.Read(func(data []byte) {
+			n := copy(buf[total:], data[c.recvOff:])
+			total += n
+			c.recvOff += n
+			consumed = c.recvOff >= len(data)
+		})
+		if consumed {
+			cell.Free()
+			c.recvQ = c.recvQ[1:]
+			c.recvOff = 0
+		} else {
+			break
+		}
+	}
+	if total > 0 {
+		return total, kbase.EOK
+	}
+	if c.peerFIN || c.state == Closed {
+		return 0, kbase.EOK
+	}
+	return 0, kbase.EAGAIN
+}
+
+// Buffered returns bytes waiting to be Recv'd.
+func (c *Conn) Buffered() int {
+	n := 0
+	for i, cell := range c.recvQ {
+		cell.Read(func(data []byte) {
+			if i == 0 {
+				n += len(data) - c.recvOff
+			} else {
+				n += len(data)
+			}
+		})
+	}
+	return n
+}
+
+// Close starts an orderly shutdown.
+func (c *Conn) Close() kbase.Errno {
+	switch c.state {
+	case Established:
+		c.state = FinWait1
+		c.finQueued = true
+		c.progressClose()
+	case CloseWait:
+		c.state = LastAck
+		c.finQueued = true
+		c.progressClose()
+	case SynSent, SynRcvd:
+		c.state = Closed
+		c.drainRecvQ()
+	}
+	return kbase.EOK
+}
+
+// drainRecvQ frees undelivered owned buffers so nothing leaks when a
+// connection dies.
+func (c *Conn) drainRecvQ() {
+	for _, cell := range c.recvQ {
+		cell.Free()
+	}
+	c.recvQ = nil
+	c.recvOff = 0
+}

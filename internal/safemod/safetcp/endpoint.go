@@ -1,0 +1,235 @@
+package safetcp
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/net"
+	"safelinux/internal/safety/module"
+	"safelinux/internal/safety/own"
+)
+
+// Endpoint is one host's safetcp instance, attached through the
+// net.StreamProto modular interface. It owns every connection on the
+// host; the generic socket layer never sees protocol state.
+type Endpoint struct {
+	host    *net.Host
+	checker *own.Checker
+
+	conns     map[connKey]*Conn
+	listeners map[uint16]*Listener
+	nextPort  uint16
+
+	stats EndpointStats
+}
+
+// EndpointStats counts endpoint activity.
+type EndpointStats struct {
+	Segments   uint64
+	BadSegment uint64
+	NoConn     uint64
+}
+
+type connKey struct {
+	lport uint16
+	raddr net.Addr
+	rport uint16
+}
+
+// Listener accepts inbound connections on one port.
+type Listener struct {
+	ep      *Endpoint
+	port    uint16
+	pending map[connKey]*Conn
+	ready   []*Conn
+}
+
+// Attach creates an endpoint for host and installs it as the host's
+// stream protocol.
+func Attach(host *net.Host, checker *own.Checker) *Endpoint {
+	if checker == nil {
+		checker = own.NewChecker(own.PolicyRecord)
+	}
+	ep := &Endpoint{
+		host:      host,
+		checker:   checker,
+		conns:     make(map[connKey]*Conn),
+		listeners: make(map[uint16]*Listener),
+		nextPort:  49152,
+	}
+	host.InstallStreamProto(ep)
+	return ep
+}
+
+// Stats returns a snapshot of endpoint counters.
+func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
+
+// Checker returns the ownership checker observing this endpoint.
+func (ep *Endpoint) Checker() *own.Checker { return ep.checker }
+
+// ProtoName implements net.StreamProto.
+func (ep *Endpoint) ProtoName() string { return "safetcp" }
+
+// HandleSegment implements net.StreamProto: parse (validated, typed),
+// then dispatch.
+func (ep *Endpoint) HandleSegment(src net.Addr, payload []byte) {
+	ep.stats.Segments++
+	res := ParseSegment(payload)
+	seg, err := res.Get()
+	if err != kbase.EOK {
+		ep.stats.BadSegment++
+		return
+	}
+	key := connKey{lport: seg.DstPort, raddr: src, rport: seg.SrcPort}
+	if c, ok := ep.conns[key]; ok {
+		c.handle(seg)
+		return
+	}
+	if l, ok := ep.listeners[seg.DstPort]; ok && seg.Flags.SYN && !seg.Flags.ACK {
+		if child, dup := l.pending[key]; dup {
+			// Retransmitted SYN: repeat the SYN|ACK.
+			child.rcvNext = seg.Seq + 1
+			child.send(Flags{SYN: true, ACK: true}, child.sendNext-1, nil, false)
+			return
+		}
+		child := &Conn{
+			ep:         ep,
+			localPort:  seg.DstPort,
+			remoteAddr: src,
+			remotePort: seg.SrcPort,
+			state:      SynRcvd,
+			rcvNext:    seg.Seq + 1,
+		}
+		ep.conns[key] = child
+		l.pending[key] = child
+		child.send(Flags{SYN: true, ACK: true}, 0, nil, true)
+		child.sendNext = 1
+		return
+	}
+	ep.stats.NoConn++
+}
+
+// Tick implements net.StreamProto.
+func (ep *Endpoint) Tick(now uint64) {
+	for _, c := range ep.conns {
+		c.tick(now)
+	}
+}
+
+// promote moves an established child to its listener's ready queue.
+func (ep *Endpoint) promote(c *Conn) {
+	l, ok := ep.listeners[c.localPort]
+	if !ok {
+		return
+	}
+	key := connKey{lport: c.localPort, raddr: c.remoteAddr, rport: c.remotePort}
+	if _, pending := l.pending[key]; pending {
+		delete(l.pending, key)
+		l.ready = append(l.ready, c)
+	}
+}
+
+func (ep *Endpoint) ephemeralPort() uint16 {
+	for {
+		p := ep.nextPort
+		ep.nextPort++
+		if ep.nextPort == 0 {
+			ep.nextPort = 49152
+		}
+		if _, used := ep.listeners[p]; used {
+			continue
+		}
+		inUse := false
+		for k := range ep.conns {
+			if k.lport == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+// Listen opens a listener on port.
+func (ep *Endpoint) Listen(port uint16) (*Listener, kbase.Errno) {
+	if _, dup := ep.listeners[port]; dup {
+		return nil, kbase.EEXIST
+	}
+	l := &Listener{ep: ep, port: port, pending: make(map[connKey]*Conn)}
+	ep.listeners[port] = l
+	return l, kbase.EOK
+}
+
+// Connect opens a connection to raddr:rport; the handshake completes
+// as the simulation steps.
+func (ep *Endpoint) Connect(raddr net.Addr, rport uint16) (*Conn, kbase.Errno) {
+	c := &Conn{
+		ep:         ep,
+		localPort:  ep.ephemeralPort(),
+		remoteAddr: raddr,
+		remotePort: rport,
+		state:      SynSent,
+	}
+	ep.conns[connKey{lport: c.localPort, raddr: raddr, rport: rport}] = c
+	c.send(Flags{SYN: true}, 0, nil, true)
+	c.sendNext = 1
+	return c, kbase.EOK
+}
+
+// Accept dequeues one established connection, or EAGAIN.
+func (l *Listener) Accept() (*Conn, kbase.Errno) {
+	if len(l.ready) == 0 {
+		return nil, kbase.EAGAIN
+	}
+	c := l.ready[0]
+	l.ready = l.ready[1:]
+	return c, kbase.EOK
+}
+
+// Close removes the listener.
+func (l *Listener) Close() kbase.Errno {
+	delete(l.ep.listeners, l.port)
+	return kbase.EOK
+}
+
+// --- module framework registration ---
+
+// Module describes safetcp to the module registry.
+type Module struct{}
+
+// IfaceName is the registry interface safetcp implements.
+const IfaceName = "net.stream"
+
+// ModuleName implements module.Module.
+func (Module) ModuleName() string { return "safetcp" }
+
+// Implements implements module.Module.
+func (Module) Implements() module.Interface {
+	return module.Interface{
+		Name: IfaceName, Version: 1,
+		Doc:     "stream transport behind the StreamProto modular interface",
+		Methods: []string{"Listen", "Connect", "HandleSegment", "Tick"},
+	}
+}
+
+// Level implements module.Module.
+func (Module) Level() module.SafetyLevel { return module.LevelOwnershipSafe }
+
+// LegacyModule describes the legacy in-tree TCP for registry
+// comparisons.
+type LegacyModule struct{}
+
+// ModuleName implements module.Module.
+func (LegacyModule) ModuleName() string { return "legacy-tcp" }
+
+// Implements implements module.Module.
+func (LegacyModule) Implements() module.Interface {
+	return module.Interface{
+		Name: IfaceName, Version: 1,
+		Doc:     "stream transport with TCB state reachable from generic socket code",
+		Methods: []string{"ListenTCP", "ConnectTCP"},
+	}
+}
+
+// Level implements module.Module.
+func (LegacyModule) Level() module.SafetyLevel { return module.LevelLegacy }

@@ -1,0 +1,187 @@
+// Package audit produces the safety inventory reports: the paper's
+// Figure-1 landscape (lines of code vs. safety guarantee, from Linux
+// down to seL4, plus the incremental path this project occupies) and
+// a per-module report card for a running kernel built from the module
+// registry.
+package audit
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"safelinux/internal/safety/module"
+)
+
+// SafetyClass is a Figure-1 column.
+type SafetyClass string
+
+// The four columns of Figure 1.
+const (
+	ClassNone      SafetyClass = "no-guarantees"
+	ClassType      SafetyClass = "type-safety"
+	ClassOwnership SafetyClass = "ownership-safety"
+	ClassVerified  SafetyClass = "functional-verification"
+)
+
+// System is one point in the Figure-1 landscape.
+type System struct {
+	Name  string
+	LoC   uint64 // approximate lines of code
+	Class SafetyClass
+}
+
+// Figure1Systems returns the landscape as the paper draws it: Linux
+// and FreeBSD at tens of millions of lines with no guarantees,
+// Singularity and Biscuit at hundreds of thousands with type safety,
+// Theseus and RedLeaf with ownership safety, seL4 and Hyperkernel at
+// thousands of lines with functional verification. LoC values are
+// public ballpark figures for each project circa 2021.
+func Figure1Systems() []System {
+	return []System{
+		{Name: "Linux", LoC: 27_800_000, Class: ClassNone},
+		{Name: "FreeBSD", LoC: 7_900_000, Class: ClassNone},
+		{Name: "Singularity", LoC: 300_000, Class: ClassType},
+		{Name: "Biscuit", LoC: 120_000, Class: ClassType},
+		{Name: "Theseus", LoC: 38_000, Class: ClassOwnership},
+		{Name: "RedLeaf", LoC: 30_000, Class: ClassOwnership},
+		{Name: "seL4", LoC: 10_000, Class: ClassVerified},
+		{Name: "Hyperkernel", LoC: 7_400, Class: ClassVerified},
+	}
+}
+
+// classOf maps a module safety level to the Figure-1 column it has
+// reached.
+func classOf(l module.SafetyLevel) SafetyClass {
+	switch {
+	case l >= module.LevelVerified:
+		return ClassVerified
+	case l >= module.LevelOwnershipSafe:
+		return ClassOwnership
+	case l >= module.LevelTypeSafe:
+		return ClassType
+	default:
+		return ClassNone
+	}
+}
+
+// KernelRow summarizes a running kernel for the Figure-1 plot: where
+// the incremental path currently stands.
+type KernelRow struct {
+	Name string
+	LoC  uint64
+	// WeakestClass is where the kernel as a whole sits (its weakest
+	// module), the honest Figure-1 position.
+	WeakestClass SafetyClass
+	// ClassLoC splits the kernel's lines by the class of the module
+	// owning them — the "incremental progress" arrow of Figure 1.
+	ClassLoC map[SafetyClass]uint64
+}
+
+// ModuleLoC attributes lines of code to a module for the kernel row.
+type ModuleLoC struct {
+	Iface string
+	LoC   uint64
+}
+
+// KernelFigure1Row computes the running kernel's landscape position
+// from the registry and per-module line counts.
+func KernelFigure1Row(name string, reg *module.Registry, locs []ModuleLoC) KernelRow {
+	byIface := make(map[string]uint64, len(locs))
+	var total uint64
+	for _, l := range locs {
+		byIface[l.Iface] = l.LoC
+		total += l.LoC
+	}
+	row := KernelRow{
+		Name:         name,
+		LoC:          total,
+		WeakestClass: classOf(reg.MinLevel()),
+		ClassLoC:     make(map[SafetyClass]uint64),
+	}
+	for _, b := range reg.Inventory() {
+		row.ClassLoC[classOf(b.Level)] += byIface[b.Iface.Name]
+	}
+	return row
+}
+
+// RenderFigure1 renders the landscape (plus an optional kernel row)
+// as the text analogue of Figure 1: one line per system, sorted by
+// descending LoC, with the safety class as the column.
+func RenderFigure1(systems []System, kernel *KernelRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s  %s\n", "system", "LoC", "safety")
+	sorted := append([]System(nil), systems...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].LoC > sorted[j].LoC })
+	for _, s := range sorted {
+		fmt.Fprintf(&b, "%-14s %14d  %s\n", s.Name, s.LoC, s.Class)
+	}
+	if kernel != nil {
+		fmt.Fprintf(&b, "%-14s %14d  %s (incremental:", kernel.Name, kernel.LoC, kernel.WeakestClass)
+		for _, c := range []SafetyClass{ClassNone, ClassType, ClassOwnership, ClassVerified} {
+			if n := kernel.ClassLoC[c]; n > 0 {
+				fmt.Fprintf(&b, " %s=%d", c, n)
+			}
+		}
+		b.WriteString(")\n")
+	}
+	return b.String()
+}
+
+// ReportCard renders the per-module safety standing of a kernel.
+func ReportCard(reg *module.Registry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-14s %-16s %9s  %s\n",
+		"interface", "module", "level", "accesses", "prevented bug classes")
+	for _, bind := range reg.Inventory() {
+		classes := bind.Level.PreventedBugClasses()
+		names := make([]string, len(classes))
+		for i, c := range classes {
+			names[i] = string(c)
+		}
+		fmt.Fprintf(&b, "%-18s %-14s %-16s %9d  %s\n",
+			bind.Iface.Name, bind.Module, bind.Level, bind.Accesses,
+			strings.Join(names, ","))
+	}
+	fmt.Fprintf(&b, "kernel minimum level: %s\n", reg.MinLevel())
+	return b.String()
+}
+
+// CountLoC counts non-blank, non-comment-only lines of .go source
+// under each dir (recursively), excluding _test.go files. It is the
+// measurement tool behind the kernel's Figure-1 row.
+func CountLoC(dirs ...string) (uint64, error) {
+	var total uint64
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if line == "" || strings.HasPrefix(line, "//") {
+					continue
+				}
+				total++
+			}
+			return sc.Err()
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,145 @@
+package audit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safelinux/internal/safety/module"
+)
+
+type stubModule struct {
+	name  string
+	iface string
+	level module.SafetyLevel
+}
+
+func (s *stubModule) ModuleName() string { return s.name }
+func (s *stubModule) Implements() module.Interface {
+	return module.Interface{Name: s.iface, Version: 1}
+}
+func (s *stubModule) Level() module.SafetyLevel { return s.level }
+
+func testRegistry(t *testing.T) *module.Registry {
+	t.Helper()
+	r := module.NewRegistry()
+	r.Declare(module.Interface{Name: "storage.fs", Version: 1})
+	r.Declare(module.Interface{Name: "net.tcp", Version: 1})
+	r.Declare(module.Interface{Name: "storage.buffer", Version: 1})
+	r.Bind(&stubModule{name: "safefs", iface: "storage.fs", level: module.LevelVerified})
+	r.Bind(&stubModule{name: "tcp-legacy", iface: "net.tcp", level: module.LevelLegacy})
+	r.Bind(&stubModule{name: "safebuf", iface: "storage.buffer", level: module.LevelOwnershipSafe})
+	return r
+}
+
+func TestFigure1SystemsShape(t *testing.T) {
+	systems := Figure1Systems()
+	if len(systems) != 8 {
+		t.Fatalf("systems = %d", len(systems))
+	}
+	byName := map[string]System{}
+	for _, s := range systems {
+		byName[s.Name] = s
+	}
+	// The figure's defining gradient: more safety, fewer lines.
+	if byName["Linux"].LoC <= byName["Singularity"].LoC {
+		t.Fatalf("Linux should dwarf Singularity")
+	}
+	if byName["Singularity"].LoC <= byName["RedLeaf"].LoC {
+		t.Fatalf("type-safe systems should dwarf ownership-safe ones")
+	}
+	if byName["RedLeaf"].LoC <= byName["seL4"].LoC {
+		t.Fatalf("ownership-safe systems should dwarf verified ones")
+	}
+	if byName["seL4"].Class != ClassVerified || byName["Linux"].Class != ClassNone {
+		t.Fatalf("classes wrong")
+	}
+}
+
+func TestKernelFigure1Row(t *testing.T) {
+	reg := testRegistry(t)
+	row := KernelFigure1Row("safelinux-sim", reg, []ModuleLoC{
+		{Iface: "storage.fs", LoC: 1200},
+		{Iface: "net.tcp", LoC: 800},
+		{Iface: "storage.buffer", LoC: 300},
+	})
+	if row.LoC != 2300 {
+		t.Fatalf("LoC = %d", row.LoC)
+	}
+	if row.WeakestClass != ClassNone {
+		t.Fatalf("weakest = %s", row.WeakestClass)
+	}
+	if row.ClassLoC[ClassVerified] != 1200 || row.ClassLoC[ClassNone] != 800 || row.ClassLoC[ClassOwnership] != 300 {
+		t.Fatalf("ClassLoC = %+v", row.ClassLoC)
+	}
+}
+
+func TestRenderFigure1(t *testing.T) {
+	reg := testRegistry(t)
+	row := KernelFigure1Row("safelinux-sim", reg, []ModuleLoC{{Iface: "storage.fs", LoC: 10}})
+	out := RenderFigure1(Figure1Systems(), &row)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 10 { // header + 8 systems + kernel
+		t.Fatalf("lines = %d\n%s", len(lines), out)
+	}
+	// Sorted descending: Linux first after header.
+	if !strings.HasPrefix(lines[1], "Linux") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	if !strings.Contains(lines[9], "safelinux-sim") || !strings.Contains(lines[9], "incremental") {
+		t.Fatalf("kernel row = %q", lines[9])
+	}
+}
+
+func TestReportCard(t *testing.T) {
+	reg := testRegistry(t)
+	out := ReportCard(reg)
+	if !strings.Contains(out, "safefs") || !strings.Contains(out, "verified") {
+		t.Fatalf("report missing verified module:\n%s", out)
+	}
+	if !strings.Contains(out, "kernel minimum level: legacy") {
+		t.Fatalf("minimum level missing:\n%s", out)
+	}
+	if !strings.Contains(out, "use-after-free") {
+		t.Fatalf("prevented classes missing:\n%s", out)
+	}
+}
+
+func TestCountLoC(t *testing.T) {
+	dir := t.TempDir()
+	src := `// Package x is a test fixture.
+package x
+
+// F does things.
+func F() int {
+	// internal comment
+	return 1
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files are excluded.
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Non-Go files are excluded.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountLoC(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// package x / func F() / return 1 / closing brace = 4.
+	if n != 4 {
+		t.Fatalf("CountLoC = %d, want 4", n)
+	}
+}
+
+func TestCountLoCMissingDir(t *testing.T) {
+	if _, err := CountLoC("/no/such/dir/exists"); err == nil {
+		t.Fatalf("missing dir did not error")
+	}
+}

@@ -1,0 +1,118 @@
+package spec
+
+import (
+	"fmt"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Crash-consistency checking (§4.4: "a crash-safe file system can be
+// modeled as a map of path strings to file content bytes that is
+// guaranteed to recover to the last synced version given any crash").
+//
+// The allowed-recovery model used here is prefix consistency: after a
+// crash, the implementation must recover to the abstract state
+// produced by some prefix of the operations issued since the last
+// sync — never older than the synced state, never a state that no
+// prefix produces (no reordering, no invention).
+
+// CrashImpl extends Impl with durability control.
+type CrashImpl[S any] interface {
+	Impl[S]
+	// Sync makes all completed operations durable.
+	Sync() kbase.Errno
+	// ForEachCrash simulates crashes at the current moment. For each
+	// crash variant the implementation recovers a throwaway copy and
+	// passes its interpreted state to check; it stops early if check
+	// returns false. Returns how many variants were tried. The
+	// running instance must be left undisturbed.
+	ForEachCrash(check func(recovered S) bool) (int, kbase.Errno)
+}
+
+// CheckCrashConsistency replays workload; after every operation it
+// asks the implementation to simulate its crash variants and
+// validates each recovered state against the allowed prefix set.
+// syncEvery > 0 issues a Sync after every syncEvery operations,
+// advancing the durability floor.
+func CheckCrashConsistency[S any](sp Spec[S], impl CrashImpl[S], workload []Op, syncEvery int) Report {
+	rep := Report{Spec: sp.Name + "+crash"}
+	if err := impl.Reset(); err != kbase.EOK {
+		rep.Failures = append(rep.Failures, Failure{Kind: FailOracle, Want: "Reset EOK", Got: err.String()})
+		return rep
+	}
+	synced := sp.Init() // durability floor
+	var pending []Op    // successful ops since last sync
+	var trace []Op
+
+	for i, op := range workload {
+		trace = append(trace, op)
+		gotErr := impl.Apply(op)
+		rep.Steps++
+		if gotErr == kbase.EOK {
+			pending = append(pending, op)
+		}
+		// Allowed recovered states: synced state advanced by every
+		// prefix of pending (failed ops have no abstract effect, so
+		// only successful ones appear).
+		allowed := make([]S, 0, len(pending)+1)
+		st := synced
+		allowed = append(allowed, st)
+		okPrefix := true
+		for _, p := range pending {
+			next, e := sp.Step(st, p)
+			if e != kbase.EOK {
+				okPrefix = false
+				break
+			}
+			st = next
+			allowed = append(allowed, st)
+		}
+		if !okPrefix {
+			rep.Failures = append(rep.Failures, Failure{
+				Kind: FailOracle, Trace: append([]Op(nil), trace...), Op: op,
+				Want: "spec accepts successful op", Got: "spec rejected it",
+			})
+			return rep
+		}
+		tried, err := impl.ForEachCrash(func(recovered S) bool {
+			for _, a := range allowed {
+				if sp.Equal(a, recovered) {
+					return true
+				}
+			}
+			rep.Failures = append(rep.Failures, Failure{
+				Kind: FailCrash, Trace: append([]Op(nil), trace...), Op: op,
+				Want: fmt.Sprintf("one of %d prefix states (floor %s)",
+					len(allowed), sp.Describe(synced)),
+				Got: sp.Describe(recovered),
+			})
+			return false
+		})
+		if err != kbase.EOK {
+			rep.Failures = append(rep.Failures, Failure{
+				Kind: FailOracle, Trace: append([]Op(nil), trace...), Op: op,
+				Want: "ForEachCrash EOK", Got: err.String(),
+			})
+			return rep
+		}
+		_ = tried
+		if len(rep.Failures) > 0 {
+			return rep
+		}
+		if syncEvery > 0 && (i+1)%syncEvery == 0 {
+			if err := impl.Sync(); err != kbase.EOK {
+				rep.Failures = append(rep.Failures, Failure{
+					Kind: FailOracle, Trace: append([]Op(nil), trace...), Op: op,
+					Want: "Sync EOK", Got: err.String(),
+				})
+				return rep
+			}
+			// Everything pending is now durable.
+			for _, p := range pending {
+				synced, _ = sp.Step(synced, p)
+			}
+			pending = pending[:0]
+		}
+	}
+	return rep
+}

@@ -1,0 +1,190 @@
+// Package spec implements Step 4 of the paper's roadmap: functional
+// correctness checking for modules. It provides the four features
+// §4.4 calls for:
+//
+//   - a modeling language: abstract states are immutable Go values
+//     with pure transition functions (Spec), e.g. "a file system is a
+//     map from path strings to file content bytes";
+//   - refinement checking: after every operation the implementation's
+//     interpretation (abstraction function) must equal the model
+//     state, and returned error codes must agree;
+//   - small-scope exhaustive exploration of operation sequences;
+//   - crash-consistency checking against the "recovers to some
+//     prefix-consistent state no older than the last sync" model;
+//   - axiomatic models of unverified components (see axiom.go), the
+//     boundary shims between verified and unverified code.
+//
+// Verification here is check-time rather than proof-time — the
+// substitution for Dafny/Coq documented in DESIGN.md — but the
+// artifacts (models, abstraction functions, axioms) are exactly the
+// ones a proof effort would need.
+package spec
+
+import (
+	"fmt"
+	"strings"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Op is one abstract operation: a name plus arguments. Both the model
+// and the implementation interpret it.
+type Op struct {
+	Name string
+	Args []any
+}
+
+// String renders an op compactly.
+func (o Op) String() string {
+	parts := make([]string, len(o.Args))
+	for i, a := range o.Args {
+		parts[i] = fmt.Sprintf("%v", a)
+	}
+	return o.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Spec is an abstract functional model: immutable states, pure
+// transitions. Step must not mutate its input state — it returns a
+// new one (the "mathematical language with immutable objects" of
+// §4.4).
+type Spec[S any] struct {
+	Name string
+	// Init returns the initial abstract state.
+	Init func() S
+	// Step applies op, returning the successor state and the errno
+	// the operation must produce. On a non-EOK errno the state must
+	// be returned unchanged (failed ops have no abstract effect).
+	Step func(S, Op) (S, kbase.Errno)
+	// Equal compares abstract states.
+	Equal func(a, b S) bool
+	// Describe renders a state for failure reports.
+	Describe func(S) string
+}
+
+// Impl is an implementation under refinement check.
+type Impl[S any] interface {
+	// Reset reinitializes the implementation to its initial state.
+	Reset() kbase.Errno
+	// Apply executes one operation.
+	Apply(Op) kbase.Errno
+	// Interpret is the abstraction function: it reads the
+	// implementation's current concrete state as an abstract state.
+	Interpret() (S, kbase.Errno)
+}
+
+// FailureKind classifies a refinement failure.
+type FailureKind string
+
+// Refinement failure kinds.
+const (
+	FailState  FailureKind = "state-divergence"  // interpretation != model
+	FailErrno  FailureKind = "errno-divergence"  // returned error differs
+	FailOracle FailureKind = "oracle-error"      // Interpret/Reset itself failed
+	FailCrash  FailureKind = "crash-consistency" // recovered state not allowed
+)
+
+// Failure is one detected divergence.
+type Failure struct {
+	Kind  FailureKind
+	Trace []Op // operations executed before (and including) the bad one
+	Op    Op
+	Want  string
+	Got   string
+}
+
+func (f Failure) String() string {
+	trace := make([]string, len(f.Trace))
+	for i, op := range f.Trace {
+		trace[i] = op.String()
+	}
+	return fmt.Sprintf("%s at %s (trace: %s): want %s, got %s",
+		f.Kind, f.Op, strings.Join(trace, "; "), f.Want, f.Got)
+}
+
+// Report summarizes one checking run.
+type Report struct {
+	Spec     string
+	Steps    int // operations executed
+	Failures []Failure
+}
+
+// Ok reports whether the run found no divergence.
+func (r Report) Ok() bool { return len(r.Failures) == 0 }
+
+// Check replays ops against both the model and the implementation,
+// validating refinement after every step. It stops at the first
+// failure (the trace is most useful minimal).
+func Check[S any](sp Spec[S], impl Impl[S], ops []Op) Report {
+	rep := Report{Spec: sp.Name}
+	if err := impl.Reset(); err != kbase.EOK {
+		rep.Failures = append(rep.Failures, Failure{
+			Kind: FailOracle, Want: "Reset EOK", Got: err.String(),
+		})
+		return rep
+	}
+	state := sp.Init()
+	var trace []Op
+	for _, op := range ops {
+		trace = append(trace, op)
+		wantState, wantErr := sp.Step(state, op)
+		gotErr := impl.Apply(op)
+		rep.Steps++
+		if gotErr != wantErr {
+			rep.Failures = append(rep.Failures, Failure{
+				Kind: FailErrno, Trace: append([]Op(nil), trace...), Op: op,
+				Want: wantErr.String(), Got: gotErr.String(),
+			})
+			return rep
+		}
+		gotState, err := impl.Interpret()
+		if err != kbase.EOK {
+			rep.Failures = append(rep.Failures, Failure{
+				Kind: FailOracle, Trace: append([]Op(nil), trace...), Op: op,
+				Want: "Interpret EOK", Got: err.String(),
+			})
+			return rep
+		}
+		if !sp.Equal(wantState, gotState) {
+			rep.Failures = append(rep.Failures, Failure{
+				Kind: FailState, Trace: append([]Op(nil), trace...), Op: op,
+				Want: sp.Describe(wantState), Got: sp.Describe(gotState),
+			})
+			return rep
+		}
+		state = wantState
+	}
+	return rep
+}
+
+// Explore exhaustively checks every operation sequence of length up
+// to depth drawn from gen, creating a fresh implementation per
+// sequence. This is small-scope checking: if a module diverges from
+// its spec on any short trace, Explore finds the minimal one.
+func Explore[S any](sp Spec[S], mkImpl func() Impl[S], gen []Op, depth int) Report {
+	rep := Report{Spec: sp.Name}
+	seq := make([]Op, 0, depth)
+	var dfs func() bool // returns false to abort (failure found)
+	dfs = func() bool {
+		if len(seq) > 0 {
+			sub := Check(sp, mkImpl(), seq)
+			rep.Steps += sub.Steps
+			if !sub.Ok() {
+				rep.Failures = append(rep.Failures, sub.Failures...)
+				return false
+			}
+		}
+		if len(seq) == depth {
+			return true
+		}
+		for _, op := range gen {
+			seq = append(seq, op)
+			if !dfs() {
+				return false
+			}
+			seq = seq[:len(seq)-1]
+		}
+		return true
+	}
+	dfs()
+	return rep
+}

@@ -1,0 +1,413 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// The toy system under test: a key-value store modeled as an
+// immutable map, with Put/Del/Noop operations.
+
+type kvState map[string]string
+
+func kvClone(s kvState) kvState {
+	out := make(kvState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func kvSpec() Spec[kvState] {
+	return Spec[kvState]{
+		Name: "kv",
+		Init: func() kvState { return kvState{} },
+		Step: func(s kvState, op Op) (kvState, kbase.Errno) {
+			switch op.Name {
+			case "put":
+				n := kvClone(s)
+				n[op.Args[0].(string)] = op.Args[1].(string)
+				return n, kbase.EOK
+			case "del":
+				if _, ok := s[op.Args[0].(string)]; !ok {
+					return s, kbase.ENOENT
+				}
+				n := kvClone(s)
+				delete(n, op.Args[0].(string))
+				return n, kbase.EOK
+			case "noop":
+				return s, kbase.EOK
+			}
+			return s, kbase.ENOSYS
+		},
+		Equal: func(a, b kvState) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Describe: func(s kvState) string {
+			keys := make([]string, 0, len(s))
+			for k := range s {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%s", k, s[k])
+			}
+			return "{" + strings.Join(parts, ",") + "}"
+		},
+	}
+}
+
+// goodKV is a faithful implementation.
+type goodKV struct{ m map[string]string }
+
+func (g *goodKV) Reset() kbase.Errno {
+	g.m = make(map[string]string)
+	return kbase.EOK
+}
+func (g *goodKV) Apply(op Op) kbase.Errno {
+	switch op.Name {
+	case "put":
+		g.m[op.Args[0].(string)] = op.Args[1].(string)
+		return kbase.EOK
+	case "del":
+		if _, ok := g.m[op.Args[0].(string)]; !ok {
+			return kbase.ENOENT
+		}
+		delete(g.m, op.Args[0].(string))
+		return kbase.EOK
+	case "noop":
+		return kbase.EOK
+	}
+	return kbase.ENOSYS
+}
+func (g *goodKV) Interpret() (kvState, kbase.Errno) {
+	return kvClone(g.m), kbase.EOK
+}
+
+// buggyKV loses deletes after two puts — a state-dependent semantic
+// bug that short random testing may miss but small-scope exploration
+// finds.
+type buggyKV struct {
+	goodKV
+	puts int
+}
+
+func (b *buggyKV) Reset() kbase.Errno {
+	b.puts = 0
+	return b.goodKV.Reset()
+}
+func (b *buggyKV) Apply(op Op) kbase.Errno {
+	if op.Name == "put" {
+		b.puts++
+	}
+	if op.Name == "del" && b.puts >= 2 {
+		return kbase.EOK // claims success, does nothing
+	}
+	return b.goodKV.Apply(op)
+}
+
+func TestCheckPassesFaithfulImpl(t *testing.T) {
+	ops := []Op{
+		{Name: "put", Args: []any{"a", "1"}},
+		{Name: "put", Args: []any{"b", "2"}},
+		{Name: "del", Args: []any{"a"}},
+		{Name: "del", Args: []any{"a"}}, // ENOENT on both sides
+		{Name: "noop"},
+	}
+	rep := Check(kvSpec(), &goodKV{}, ops)
+	if !rep.Ok() {
+		t.Fatalf("faithful impl failed: %v", rep.Failures)
+	}
+	if rep.Steps != 5 {
+		t.Fatalf("Steps = %d", rep.Steps)
+	}
+}
+
+func TestCheckCatchesStateDivergence(t *testing.T) {
+	ops := []Op{
+		{Name: "put", Args: []any{"a", "1"}},
+		{Name: "put", Args: []any{"b", "2"}},
+		{Name: "del", Args: []any{"a"}},
+	}
+	rep := Check(kvSpec(), &buggyKV{}, ops)
+	if rep.Ok() {
+		t.Fatalf("buggy impl passed")
+	}
+	f := rep.Failures[0]
+	if f.Kind != FailState {
+		t.Fatalf("failure kind = %s", f.Kind)
+	}
+	if !strings.Contains(f.Got, "a=1") {
+		t.Fatalf("Got = %q should still contain a=1", f.Got)
+	}
+}
+
+// errnoKV returns the wrong errno for deleting a missing key.
+type errnoKV struct{ goodKV }
+
+func (e *errnoKV) Apply(op Op) kbase.Errno {
+	err := e.goodKV.Apply(op)
+	if err == kbase.ENOENT {
+		return kbase.EIO
+	}
+	return err
+}
+
+func TestCheckCatchesErrnoDivergence(t *testing.T) {
+	rep := Check(kvSpec(), &errnoKV{}, []Op{{Name: "del", Args: []any{"ghost"}}})
+	if rep.Ok() || rep.Failures[0].Kind != FailErrno {
+		t.Fatalf("errno divergence missed: %+v", rep)
+	}
+	if rep.Failures[0].Want != "ENOENT" || rep.Failures[0].Got != "EIO" {
+		t.Fatalf("failure = %+v", rep.Failures[0])
+	}
+}
+
+func TestExploreFindsMinimalTrace(t *testing.T) {
+	gen := []Op{
+		{Name: "put", Args: []any{"k", "v"}},
+		{Name: "del", Args: []any{"k"}},
+	}
+	rep := Explore(kvSpec(), func() Impl[kvState] { return &buggyKV{} }, gen, 3)
+	if rep.Ok() {
+		t.Fatalf("exploration missed the bug")
+	}
+	// Minimal failing trace: put, put, del.
+	f := rep.Failures[0]
+	if len(f.Trace) != 3 {
+		t.Fatalf("trace length = %d (%v)", len(f.Trace), f.Trace)
+	}
+	if f.Trace[0].Name != "put" || f.Trace[1].Name != "put" || f.Trace[2].Name != "del" {
+		t.Fatalf("trace = %v", f.Trace)
+	}
+}
+
+func TestExploreCleanImplExhausts(t *testing.T) {
+	gen := []Op{
+		{Name: "put", Args: []any{"k", "v"}},
+		{Name: "del", Args: []any{"k"}},
+		{Name: "noop"},
+	}
+	rep := Explore(kvSpec(), func() Impl[kvState] { return &goodKV{} }, gen, 3)
+	if !rep.Ok() {
+		t.Fatalf("clean impl failed: %v", rep.Failures)
+	}
+	// 3 + 9 + 27 sequences, re-run cumulatively: steps = 3*1 + 9*2 + 27*3.
+	if rep.Steps != 3+18+81 {
+		t.Fatalf("Steps = %d", rep.Steps)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	op := Op{Name: "put", Args: []any{"k", 7}}
+	if op.String() != "put(k, 7)" {
+		t.Fatalf("String = %q", op.String())
+	}
+}
+
+// --- Crash-consistency checking on a toy durable KV ---
+
+// journalKV is a KV store with an explicit durable copy: Apply
+// mutates only the volatile state; Sync copies volatile to durable;
+// a crash reverts to durable. With PrefixLog enabled it also keeps a
+// per-op redo log so recovery can land on any prefix (like a real
+// journal); without it, recovery always loses everything since the
+// last sync (still prefix-consistent: the empty prefix).
+type journalKV struct {
+	goodKV
+	durable map[string]string
+	redo    []Op
+	// BugReorder, when set, makes recovery apply the most recent op
+	// first — recovering a state no prefix produces.
+	BugReorder bool
+}
+
+func (j *journalKV) Reset() kbase.Errno {
+	j.durable = make(map[string]string)
+	j.redo = nil
+	return j.goodKV.Reset()
+}
+
+func (j *journalKV) Apply(op Op) kbase.Errno {
+	err := j.goodKV.Apply(op)
+	if err == kbase.EOK && op.Name != "noop" {
+		j.redo = append(j.redo, op)
+	}
+	return err
+}
+
+func (j *journalKV) Sync() kbase.Errno {
+	j.durable = make(map[string]string, len(j.m))
+	for k, v := range j.m {
+		j.durable[k] = v
+	}
+	j.redo = nil
+	return kbase.EOK
+}
+
+func (j *journalKV) ForEachCrash(check func(kvState) bool) (int, kbase.Errno) {
+	// Crash variants: replay 0..len(redo) logged ops over durable.
+	tried := 0
+	for n := 0; n <= len(j.redo); n++ {
+		st := make(kvState, len(j.durable))
+		for k, v := range j.durable {
+			st[k] = v
+		}
+		ops := append([]Op(nil), j.redo[:n]...)
+		if j.BugReorder && n >= 2 {
+			ops[0], ops[n-1] = ops[n-1], ops[0]
+		}
+		for _, op := range ops {
+			switch op.Name {
+			case "put":
+				st[op.Args[0].(string)] = op.Args[1].(string)
+			case "del":
+				delete(st, op.Args[0].(string))
+			}
+		}
+		tried++
+		if !check(st) {
+			return tried, kbase.EOK
+		}
+	}
+	return tried, kbase.EOK
+}
+
+func crashWorkload() []Op {
+	return []Op{
+		{Name: "put", Args: []any{"a", "1"}},
+		{Name: "put", Args: []any{"b", "2"}},
+		{Name: "del", Args: []any{"a"}},
+		{Name: "put", Args: []any{"c", "3"}},
+		{Name: "put", Args: []any{"b", "9"}},
+		{Name: "del", Args: []any{"c"}},
+	}
+}
+
+func TestCrashConsistencyHolds(t *testing.T) {
+	rep := CheckCrashConsistency(kvSpec(), &journalKV{}, crashWorkload(), 2)
+	if !rep.Ok() {
+		t.Fatalf("prefix-consistent impl failed: %v", rep.Failures)
+	}
+}
+
+func TestCrashConsistencyCatchesReordering(t *testing.T) {
+	rep := CheckCrashConsistency(kvSpec(), &journalKV{BugReorder: true}, crashWorkload(), 0)
+	if rep.Ok() {
+		t.Fatalf("reordering recovery passed the crash check")
+	}
+	if rep.Failures[0].Kind != FailCrash {
+		t.Fatalf("failure kind = %s", rep.Failures[0].Kind)
+	}
+}
+
+// lossyKV forgets the durable floor: after a crash it recovers to an
+// EMPTY state even after Sync — violating "no older than the last
+// synced version".
+type lossyKV struct{ journalKV }
+
+func (l *lossyKV) ForEachCrash(check func(kvState) bool) (int, kbase.Errno) {
+	check(kvState{})
+	return 1, kbase.EOK
+}
+
+func TestCrashConsistencyCatchesLostSync(t *testing.T) {
+	rep := CheckCrashConsistency(kvSpec(), &lossyKV{}, crashWorkload(), 1)
+	if rep.Ok() {
+		t.Fatalf("sync-losing impl passed")
+	}
+}
+
+// --- Axiomatic disk ---
+
+func TestAxiomaticDiskCleanDevice(t *testing.T) {
+	dev := blockdev.New(blockdev.Config{Blocks: 8, BlockSize: 32, Rng: kbase.NewRng(1)})
+	ax := NewAxiomaticDisk(dev)
+	buf := make([]byte, 32)
+	data := make([]byte, 32)
+	data[0] = 0xAB
+	if err := ax.Write(3, data); err != kbase.EOK {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := ax.Read(3, buf); err != kbase.EOK {
+		t.Fatalf("Read: %v", err)
+	}
+	ax.Flush()
+	ax.Read(3, buf)
+	if n := len(ax.Violations()); n != 0 {
+		t.Fatalf("violations on clean device: %v", ax.Violations())
+	}
+	if ax.BlockSize() != 32 || ax.Blocks() != 8 {
+		t.Fatalf("forwarding broken")
+	}
+}
+
+// corruptingDisk flips a bit on every read — a buggy unverified
+// component beneath a verified module.
+type corruptingDisk struct{ DiskLike }
+
+func (c *corruptingDisk) Read(block uint64, buf []byte) kbase.Errno {
+	if err := c.DiskLike.Read(block, buf); err != kbase.EOK {
+		return err
+	}
+	buf[0] ^= 0xFF
+	return kbase.EOK
+}
+
+func TestAxiomaticDiskCatchesCorruption(t *testing.T) {
+	dev := blockdev.New(blockdev.Config{Blocks: 8, BlockSize: 32, Rng: kbase.NewRng(1)})
+	ax := NewAxiomaticDisk(&corruptingDisk{DiskLike: dev})
+	data := make([]byte, 32)
+	ax.Write(1, data)
+	buf := make([]byte, 32)
+	ax.Read(1, buf)
+	v := ax.Violations()
+	if len(v) != 1 || v[0].Axiom != "read-after-write" || v[0].Block != 1 {
+		t.Fatalf("violations = %v", v)
+	}
+	if !strings.Contains(v[0].String(), "read-after-write") {
+		t.Fatalf("String = %q", v[0].String())
+	}
+}
+
+func TestAxiomaticDiskInvalidate(t *testing.T) {
+	dev := blockdev.New(blockdev.Config{Blocks: 8, BlockSize: 32, Rng: kbase.NewRng(1)})
+	ax := NewAxiomaticDisk(dev)
+	data := make([]byte, 32)
+	data[0] = 1
+	ax.Write(2, data)
+	dev.CrashApplyNone() // unflushed write legitimately lost
+	ax.InvalidateModel()
+	buf := make([]byte, 32)
+	ax.Read(2, buf)
+	if len(ax.Violations()) != 0 {
+		t.Fatalf("post-crash read flagged after invalidation: %v", ax.Violations())
+	}
+}
+
+func TestFailureString(t *testing.T) {
+	f := Failure{
+		Kind:  FailState,
+		Trace: []Op{{Name: "put", Args: []any{"a", "1"}}},
+		Op:    Op{Name: "put", Args: []any{"a", "1"}},
+		Want:  "{a=1}", Got: "{}",
+	}
+	s := f.String()
+	if !strings.Contains(s, "state-divergence") || !strings.Contains(s, "put(a, 1)") {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,173 @@
+package typedapi
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+func TestResultOkErr(t *testing.T) {
+	ok := Ok(42)
+	if !ok.IsOk() || ok.Errno() != kbase.EOK {
+		t.Fatalf("Ok state wrong: %v", ok)
+	}
+	if v, e := ok.Get(); v != 42 || e != kbase.EOK {
+		t.Fatalf("Get = (%d, %v)", v, e)
+	}
+	bad := Err[int](kbase.EIO)
+	if bad.IsOk() || bad.Errno() != kbase.EIO {
+		t.Fatalf("Err state wrong: %v", bad)
+	}
+	if bad.OrElse(-1) != -1 || ok.OrElse(-1) != 42 {
+		t.Fatalf("OrElse wrong")
+	}
+}
+
+func TestErrEOKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Err(EOK) did not panic")
+		}
+	}()
+	Err[int](kbase.EOK)
+}
+
+func TestMustGetPanicsOnErr(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "EIO") {
+			t.Fatalf("MustGet panic = %v", r)
+		}
+	}()
+	Err[string](kbase.EIO).MustGet()
+}
+
+func TestThenAndMap(t *testing.T) {
+	double := func(x int) Result[int] { return Ok(x * 2) }
+	if v := Then(Ok(21), double).MustGet(); v != 42 {
+		t.Fatalf("Then = %d", v)
+	}
+	if r := Then(Err[int](kbase.ENOENT), double); r.Errno() != kbase.ENOENT {
+		t.Fatalf("Then on Err = %v", r)
+	}
+	if v := MapResult(Ok(5), func(x int) string { return strings.Repeat("a", x) }).MustGet(); v != "aaaaa" {
+		t.Fatalf("MapResult = %q", v)
+	}
+	if r := MapResult(Err[int](kbase.EIO), func(x int) int { return x }); r.Errno() != kbase.EIO {
+		t.Fatalf("MapResult on Err = %v", r)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if s := Ok(7).String(); s != "Ok(7)" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := Err[int](kbase.EIO).String(); s != "Err(EIO)" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: Then is associative on success paths.
+func TestThenAssociativityProperty(t *testing.T) {
+	f := func(x int16) bool {
+		a := func(v int) Result[int] { return Ok(v + 1) }
+		b := func(v int) Result[int] { return Ok(v * 3) }
+		lhs := Then(Then(Ok(int(x)), a), b)
+		rhs := Then(Ok(int(x)), func(v int) Result[int] { return Then(a(v), b) })
+		return lhs.MustGet() == rhs.MustGet()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type writeState struct{ off int }
+
+func TestTokenRoundTrip(t *testing.T) {
+	tok := Issue("fs.write", &writeState{off: 9})
+	if !tok.Live() {
+		t.Fatalf("fresh token not live")
+	}
+	// Mid-protocol peek doesn't consume.
+	if v, err := tok.Peek("fs.write"); err != kbase.EOK || v.off != 9 {
+		t.Fatalf("Peek = (%v, %v)", v, err)
+	}
+	v, err := tok.Redeem("fs.write")
+	if err != kbase.EOK || v.off != 9 {
+		t.Fatalf("Redeem = (%v, %v)", v, err)
+	}
+	if tok.Live() {
+		t.Fatalf("token live after redemption")
+	}
+	// Double redemption: stale.
+	if _, err := tok.Redeem("fs.write"); err != kbase.ESTALE {
+		t.Fatalf("double redeem: %v", err)
+	}
+}
+
+func TestTokenWrongIssuer(t *testing.T) {
+	tok := Issue("fs-a.write", &writeState{})
+	if _, err := tok.Redeem("fs-b.write"); err != kbase.EACCES {
+		t.Fatalf("cross-issuer redeem: %v", err)
+	}
+	// Still live: the rightful issuer can proceed.
+	if _, err := tok.Redeem("fs-a.write"); err != kbase.EOK {
+		t.Fatalf("rightful redeem after rejection: %v", err)
+	}
+}
+
+func TestNilTokenStale(t *testing.T) {
+	var tok *Token[int]
+	if _, err := tok.Redeem("x"); err != kbase.ESTALE {
+		t.Fatalf("nil redeem: %v", err)
+	}
+	if tok.Live() {
+		t.Fatalf("nil token live")
+	}
+}
+
+func TestDetectorCleanCrossings(t *testing.T) {
+	d := NewDetector()
+	d.Expect("vfs.write_begin", (*writeState)(nil))
+	for i := 0; i < 3; i++ {
+		if !d.Check("vfs.write_begin", &writeState{off: i}) {
+			t.Fatalf("well-typed crossing flagged")
+		}
+	}
+	st := d.Stats()
+	if len(st) != 1 || st[0].Crossings != 3 || st[0].Confusions != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDetectorCatchesConfusion(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+
+	d := NewDetector()
+	d.Expect("vfs.write_begin", (*writeState)(nil))
+	if d.Check("vfs.write_begin", "a string, not a writeState") {
+		t.Fatalf("confused crossing passed")
+	}
+	if rec.Count(kbase.OopsTypeConfusion) != 1 {
+		t.Fatalf("oops not raised")
+	}
+	st := d.Stats()
+	if st[0].Confusions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	rep := d.Report()
+	if len(rep) != 1 || !strings.Contains(rep[0], "write_begin") {
+		t.Fatalf("report = %v", rep)
+	}
+}
+
+func TestDetectorUndeclaredBoundaryPasses(t *testing.T) {
+	d := NewDetector()
+	if !d.Check("never.declared", 42) {
+		t.Fatalf("undeclared boundary rejected")
+	}
+}

@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/net"
+)
+
+// Stream is the minimal transport surface both the legacy socket
+// layer (net.Socket) and the modular safe transport (safetcp.Conn)
+// expose — letting one workload drive either implementation, which
+// is exactly the module-replacement experiment.
+type Stream interface {
+	Send(data []byte) kbase.Errno
+	Recv(buf []byte) (int, kbase.Errno)
+}
+
+// BulkResult reports one bulk-transfer run.
+type BulkResult struct {
+	Bytes     int
+	Steps     int
+	OK        bool
+	Integrity bool
+}
+
+// Bulk pushes size deterministic bytes from src to dst, stepping the
+// simulation, and verifies content integrity on the receive side.
+func Bulk(sim *net.Sim, src, dst Stream, size int, seed uint64, maxSteps int) BulkResult {
+	rng := kbase.NewRng(seed)
+	payload := make([]byte, size)
+	rng.Bytes(payload)
+	if err := src.Send(payload); err != kbase.EOK {
+		return BulkResult{}
+	}
+	var got []byte
+	buf := make([]byte, 4096)
+	steps := 0
+	ok := sim.RunUntil(func() bool {
+		steps++
+		for {
+			n, _ := dst.Recv(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		return len(got) >= size
+	}, maxSteps)
+	return BulkResult{
+		Bytes:     len(got),
+		Steps:     steps,
+		OK:        ok,
+		Integrity: bytes.Equal(got, payload),
+	}
+}
+
+// EchoResult reports one request/response run.
+type EchoResult struct {
+	Requests  int
+	Completed int
+	Steps     int
+}
+
+// Echo runs request/response rounds: client sends msgSize bytes, the
+// server echoes them back, the client validates. It measures
+// latency-bound behavior where Bulk measures throughput.
+func Echo(sim *net.Sim, client, server Stream, rounds, msgSize int, seed uint64, maxSteps int) EchoResult {
+	rng := kbase.NewRng(seed)
+	res := EchoResult{Requests: rounds}
+	buf := make([]byte, msgSize*2)
+	for r := 0; r < rounds; r++ {
+		msg := make([]byte, msgSize)
+		rng.Bytes(msg)
+		if err := client.Send(msg); err != kbase.EOK {
+			return res
+		}
+		var srvGot, cliGot []byte
+		echoed := false
+		done := sim.RunUntil(func() bool {
+			res.Steps++
+			if !echoed {
+				for len(srvGot) < msgSize {
+					n, _ := server.Recv(buf)
+					if n == 0 {
+						break
+					}
+					srvGot = append(srvGot, buf[:n]...)
+				}
+				if len(srvGot) >= msgSize {
+					server.Send(srvGot[:msgSize])
+					echoed = true
+				}
+			}
+			if echoed {
+				for len(cliGot) < msgSize {
+					n, _ := client.Recv(buf)
+					if n == 0 {
+						break
+					}
+					cliGot = append(cliGot, buf[:n]...)
+				}
+			}
+			return len(cliGot) >= msgSize
+		}, maxSteps)
+		if !done || !bytes.Equal(cliGot[:msgSize], msg) {
+			return res
+		}
+		res.Completed++
+	}
+	return res
+}

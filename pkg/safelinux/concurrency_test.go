@@ -1,0 +1,185 @@
+package safelinux
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safemod/safefs"
+	"safelinux/internal/safety/own"
+	"safelinux/internal/workload"
+)
+
+// Shared-memory concurrency (§4.4's hardest corner): several kernel
+// tasks drive the same mounted file system concurrently. Run with
+// -race; the interesting assertions are "no data race, no oops, no
+// ownership violation, and the namespace stays coherent".
+
+func TestConcurrentTasksOnSafefs(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+
+	dev := blockdev.New(blockdev.Config{Blocks: 8192, BlockSize: 512, Rng: kbase.NewRng(6)})
+	if err := safefs.Format(dev); err != kbase.EOK {
+		t.Fatalf("format: %v", err)
+	}
+	ck := own.NewChecker(own.PolicyRecord)
+	v := vfs.New(nil)
+	setupTask := kbase.NewTask()
+	v.RegisterFS(&safefs.FS{SyncOnCommit: false})
+	if err := v.Mount(setupTask, "/", "safefs", &safefs.MountData{Disk: dev, Checker: ck}); err != kbase.EOK {
+		t.Fatalf("mount: %v", err)
+	}
+
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			task := kbase.NewTask()
+			dir := fmt.Sprintf("/worker%d", id)
+			if err := v.Mkdir(task, dir); err != kbase.EOK {
+				t.Errorf("worker %d mkdir: %v", id, err)
+				return
+			}
+			wl := workload.NewFS(workload.FSConfig{
+				Seed: uint64(id + 1), Ops: 300, Root: dir,
+				Mix: workload.MetadataHeavyMix(),
+			})
+			wl.Run(v, task)
+		}(w)
+	}
+	wg.Wait()
+
+	// Health checks.
+	if n := rec.Count(""); n != 0 {
+		t.Fatalf("oopses under concurrency: %v", rec.Events())
+	}
+	if n := ck.Count(); n != 0 {
+		t.Fatalf("ownership violations under concurrency: %v", ck.Violations())
+	}
+	ents, err := v.ReadDir(setupTask, "/")
+	if err != kbase.EOK || len(ents) != workers {
+		t.Fatalf("root dirs = %d (%v)", len(ents), err)
+	}
+	// The volume still syncs and remounts.
+	if err := v.SyncAll(setupTask); err != kbase.EOK {
+		t.Fatalf("SyncAll: %v", err)
+	}
+	if err := v.Unmount(setupTask, "/"); err != kbase.EOK {
+		t.Fatalf("Unmount: %v", err)
+	}
+	v2 := vfs.New(nil)
+	v2.RegisterFS(&safefs.FS{})
+	if err := v2.Mount(setupTask, "/", "safefs", &safefs.MountData{Disk: dev}); err != kbase.EOK {
+		t.Fatalf("remount: %v", err)
+	}
+	ents2, err := v2.ReadDir(setupTask, "/")
+	if err != kbase.EOK || len(ents2) != workers {
+		t.Fatalf("post-remount dirs = %d (%v)", len(ents2), err)
+	}
+}
+
+func TestConcurrentTasksOnExtlike(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+
+	dev := blockdev.New(blockdev.Config{Blocks: 16384, BlockSize: 512, Rng: kbase.NewRng(7)})
+	if _, err := extlike.Mkfs(dev, extlike.MkfsOptions{}); err != kbase.EOK {
+		t.Fatalf("mkfs: %v", err)
+	}
+	v := vfs.New(nil)
+	setupTask := kbase.NewTask()
+	v.RegisterFS(&extlike.FS{})
+	if err := v.Mount(setupTask, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+		t.Fatalf("mount: %v", err)
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			task := kbase.NewTask()
+			dir := fmt.Sprintf("/w%d", id)
+			if err := v.Mkdir(task, dir); err != kbase.EOK {
+				t.Errorf("worker %d mkdir: %v", id, err)
+				return
+			}
+			wl := workload.NewFS(workload.FSConfig{
+				Seed: uint64(id + 10), Ops: 200, Root: dir,
+			})
+			wl.Run(v, task)
+		}(w)
+	}
+	wg.Wait()
+	if n := rec.Count(""); n != 0 {
+		t.Fatalf("oopses under concurrency: %v", rec.Events())
+	}
+	// Volume consistent afterwards.
+	if err := v.Unmount(setupTask, "/"); err != kbase.EOK {
+		t.Fatalf("Unmount: %v", err)
+	}
+	rep, ferr := extlike.Fsck(dev)
+	if ferr != kbase.EOK {
+		t.Fatalf("fsck: %v", ferr)
+	}
+	if !rep.Clean() {
+		t.Fatalf("volume inconsistent after concurrent workload:\n%s", rep.Summary())
+	}
+}
+
+// TestConcurrentReadersSharedBorrow exercises §4.4's "outsourcing a
+// side-effect-free computation by passing a reference to an immutable
+// data structure": many goroutines compute over one shared borrow.
+func TestConcurrentReadersSharedBorrow(t *testing.T) {
+	ck := own.NewChecker(own.PolicyRecord)
+	data := make([]byte, 64*1024)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	o := own.New(ck, "shared-computation", data)
+
+	const readers = 8
+	sums := make([]uint64, readers)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		ref, ok := o.Borrow()
+		if !ok {
+			t.Fatalf("borrow %d refused", r)
+		}
+		wg.Add(1)
+		go func(id int, ref own.Ref[[]byte]) {
+			defer wg.Done()
+			ref.With(func(p *[]byte) {
+				var s uint64
+				for _, b := range *p {
+					s += uint64(b)
+				}
+				sums[id] = s
+			})
+			ref.Release()
+		}(r, ref)
+	}
+	wg.Wait()
+	for i := 1; i < readers; i++ {
+		if sums[i] != sums[0] {
+			t.Fatalf("reader %d saw different data", i)
+		}
+	}
+	// Owner regains exclusivity afterwards.
+	if !o.Use(func(p *[]byte) { (*p)[0] = 0xFF }) {
+		t.Fatalf("owner blocked after all releases")
+	}
+	if !o.Free() || ck.Count() != 0 {
+		t.Fatalf("cleanup: %v", ck.Violations())
+	}
+}

@@ -1,0 +1,253 @@
+package safelinux
+
+import (
+	"bytes"
+	"testing"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/fs/overlaylike"
+	"safelinux/internal/linuxlike/fs/ramfs"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safemod/safefs"
+	"safelinux/internal/safety/own"
+	"safelinux/internal/workload"
+)
+
+// Cross-module integration: the union file system stacked over the
+// journaling block file system — three substrate modules cooperating
+// (overlaylike over extlike over blockdev+bufcache+journal).
+
+func writeThrough(t *testing.T, v *vfs.VFS, task *kbase.Task, path, content string) {
+	t.Helper()
+	fd, err := v.Open(task, path, vfs.OWrOnly|vfs.OCreate|vfs.OTrunc)
+	if err != kbase.EOK {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	if _, err := v.Write(task, fd, []byte(content)); err != kbase.EOK {
+		t.Fatalf("Write(%s): %v", path, err)
+	}
+	v.Close(fd)
+}
+
+func readThrough(t *testing.T, v *vfs.VFS, task *kbase.Task, path string) string {
+	t.Helper()
+	fd, err := v.Open(task, path, vfs.ORdOnly)
+	if err != kbase.EOK {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	defer v.Close(fd)
+	buf := make([]byte, 4096)
+	n, err := v.Read(task, fd, buf)
+	if err != kbase.EOK {
+		t.Fatalf("Read(%s): %v", path, err)
+	}
+	return string(buf[:n])
+}
+
+// TestOverlayOverExtlike builds a "base image" on a journaled block
+// volume, layers a writable ramfs over it, and checks union
+// semantics end to end — including that writes never touch the lower
+// volume (verified with fsck-level reads after unmount).
+func TestOverlayOverExtlike(t *testing.T) {
+	task := kbase.NewTask()
+	dev := blockdev.New(blockdev.Config{Blocks: 1024, BlockSize: 512, Rng: kbase.NewRng(9)})
+	if _, err := extlike.Mkfs(dev, extlike.MkfsOptions{}); err != kbase.EOK {
+		t.Fatalf("mkfs: %v", err)
+	}
+	// Populate the base image.
+	base := vfs.New(nil)
+	base.RegisterFS(&extlike.FS{})
+	if err := base.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+		t.Fatalf("mount base: %v", err)
+	}
+	base.Mkdir(task, "/etc")
+	writeThrough(t, base, task, "/etc/image-version", "v1.0")
+	writeThrough(t, base, task, "/etc/config", "base-config")
+	lowerRoot, err := base.Resolve(task, "/")
+	if err != kbase.EOK {
+		t.Fatalf("resolve lower root: %v", err)
+	}
+	lowerSB := lowerRoot.Sb
+
+	// Upper: fresh ramfs instance.
+	upperSB, err := (&ramfs.FS{}).Mount(task, nil)
+	if err != kbase.EOK {
+		t.Fatalf("mount upper: %v", err)
+	}
+
+	// The union.
+	v := vfs.New(nil)
+	v.RegisterFS(&overlaylike.FS{})
+	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{
+		Upper: upperSB, Lower: lowerSB,
+	}); err != kbase.EOK {
+		t.Fatalf("mount overlay: %v", err)
+	}
+
+	// Lower content visible; modification copies up.
+	if got := readThrough(t, v, task, "/etc/config"); got != "base-config" {
+		t.Fatalf("lower read = %q", got)
+	}
+	writeThrough(t, v, task, "/etc/config", "site-override")
+	if got := readThrough(t, v, task, "/etc/config"); got != "site-override" {
+		t.Fatalf("override read = %q", got)
+	}
+	// New file lands in the upper layer only.
+	writeThrough(t, v, task, "/etc/extra", "upper-only")
+	// Deletion of base content whiteouts.
+	if err := v.Unlink(task, "/etc/image-version"); err != kbase.EOK {
+		t.Fatalf("unlink: %v", err)
+	}
+	if _, err := v.Stat(task, "/etc/image-version"); err != kbase.ENOENT {
+		t.Fatalf("whiteout leak: %v", err)
+	}
+
+	// The base image is untouched: read it directly.
+	if got := readThrough(t, base, task, "/etc/config"); got != "base-config" {
+		t.Fatalf("base image mutated: %q", got)
+	}
+	if got := readThrough(t, base, task, "/etc/image-version"); got != "v1.0" {
+		t.Fatalf("base image lost a file: %q", got)
+	}
+	if _, err := base.Stat(task, "/etc/extra"); err != kbase.ENOENT {
+		t.Fatalf("upper write leaked into the base image")
+	}
+
+	// And the base volume still fscks clean after unmount.
+	if err := base.Unmount(task, "/"); err != kbase.EBUSY && err != kbase.EOK {
+		t.Fatalf("unmount base: %v", err)
+	}
+	rep, ferr := extlike.Fsck(dev)
+	if ferr != kbase.EOK {
+		t.Fatalf("fsck: %v", ferr)
+	}
+	if !rep.Clean() {
+		t.Fatalf("base volume inconsistent:\n%s", rep.Summary())
+	}
+}
+
+// TestOverlayOverSafefs uses the verified FS as the upper layer: the
+// union's writable half inherits safefs's crash-safety.
+func TestOverlayOverSafefs(t *testing.T) {
+	task := kbase.NewTask()
+	// Lower: ramfs with a preloaded file.
+	lowerSB, err := (&ramfs.FS{}).Mount(task, nil)
+	if err != kbase.EOK {
+		t.Fatalf("lower: %v", err)
+	}
+	lv := vfs.New(nil)
+	lv.RegisterFS(&fixedFS{name: "low", sb: lowerSB})
+	lv.Mount(task, "/", "low", nil)
+	writeThrough(t, lv, task, "/base", "from-below")
+
+	// Upper: safefs on a device.
+	dev := blockdev.New(blockdev.Config{Blocks: 1024, BlockSize: 256, Rng: kbase.NewRng(4)})
+	if err := safefs.Format(dev); err != kbase.EOK {
+		t.Fatalf("format: %v", err)
+	}
+	ck := own.NewChecker(own.PolicyRecord)
+	upperSB, err := (&safefs.FS{SyncOnCommit: true}).Mount(task, &safefs.MountData{Disk: dev, Checker: ck})
+	if err != kbase.EOK {
+		t.Fatalf("upper: %v", err)
+	}
+
+	v := vfs.New(nil)
+	v.RegisterFS(&overlaylike.FS{})
+	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{
+		Upper: upperSB, Lower: lowerSB,
+	}); err != kbase.EOK {
+		t.Fatalf("overlay: %v", err)
+	}
+
+	// Copy-up into the verified layer.
+	writeThrough(t, v, task, "/base", "modified-above")
+	if got := readThrough(t, v, task, "/base"); got != "modified-above" {
+		t.Fatalf("overlay read = %q", got)
+	}
+
+	// Crash the upper device: the copy-up was committed per-op, so a
+	// remount of the upper layer retains it.
+	dev.CrashApplyNone()
+	upperSB2, err := (&safefs.FS{SyncOnCommit: true}).Mount(task, &safefs.MountData{Disk: dev})
+	if err != kbase.EOK {
+		t.Fatalf("remount upper: %v", err)
+	}
+	uv := vfs.New(nil)
+	uv.RegisterFS(&fixedFS{name: "up", sb: upperSB2})
+	uv.Mount(task, "/", "up", nil)
+	if got := readThrough(t, uv, task, "/base"); got != "modified-above" {
+		t.Fatalf("copy-up lost across crash: %q", got)
+	}
+	if n := ck.Count(); n != 0 {
+		t.Fatalf("ownership violations: %v", ck.Violations())
+	}
+}
+
+// TestWorkloadOnOverlayStack runs the generic workload over the full
+// three-module stack without oopses.
+func TestWorkloadOnOverlayStack(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+	task := kbase.NewTask()
+
+	dev := blockdev.New(blockdev.Config{Blocks: 4096, BlockSize: 512, Rng: kbase.NewRng(3)})
+	extlike.Mkfs(dev, extlike.MkfsOptions{})
+	base := vfs.New(nil)
+	base.RegisterFS(&extlike.FS{})
+	base.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev})
+	lowerRoot, _ := base.Resolve(task, "/")
+	upperSB, _ := (&ramfs.FS{}).Mount(task, nil)
+
+	v := vfs.New(nil)
+	v.RegisterFS(&overlaylike.FS{})
+	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{
+		Upper: upperSB, Lower: lowerRoot.Sb,
+	}); err != kbase.EOK {
+		t.Fatalf("overlay: %v", err)
+	}
+	stats := workload.NewFS(workload.FSConfig{Seed: 8, Ops: 600, Mix: workload.MetadataHeavyMix()}).Run(v, task)
+	if stats.Ops == 0 {
+		t.Fatalf("workload ran nothing")
+	}
+	if n := rec.Count(""); n != 0 {
+		t.Fatalf("oopses on the stack: %v", rec.Events())
+	}
+}
+
+// TestBulkDataIntegrityThroughStack pushes patterned data through the
+// overlay to the journaled volume and back.
+func TestBulkDataIntegrityThroughStack(t *testing.T) {
+	task := kbase.NewTask()
+	dev := blockdev.New(blockdev.Config{Blocks: 2048, BlockSize: 512, Rng: kbase.NewRng(5)})
+	extlike.Mkfs(dev, extlike.MkfsOptions{})
+	base := vfs.New(nil)
+	base.RegisterFS(&extlike.FS{})
+	base.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev})
+	lowerRoot, _ := base.Resolve(task, "/")
+	upperSB, _ := (&ramfs.FS{}).Mount(task, nil)
+	v := vfs.New(nil)
+	v.RegisterFS(&overlaylike.FS{})
+	v.Mount(task, "/", "overlaylike", &overlaylike.MountData{Upper: upperSB, Lower: lowerRoot.Sb})
+
+	payload := make([]byte, 32*1024)
+	for i := range payload {
+		payload[i] = byte(i*31 + 7)
+	}
+	fd, err := v.Open(task, "/blob", vfs.ORdWr|vfs.OCreate)
+	if err != kbase.EOK {
+		t.Fatalf("open: %v", err)
+	}
+	if _, err := v.Write(task, fd, payload); err != kbase.EOK {
+		t.Fatalf("write: %v", err)
+	}
+	got := make([]byte, len(payload))
+	if n, err := v.Pread(task, fd, got, 0); err != kbase.EOK || n != len(payload) {
+		t.Fatalf("pread = (%d, %v)", n, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stack corrupted the data")
+	}
+}

@@ -1,0 +1,311 @@
+// Package safelinux is the public API of the simulated kernel and
+// the paper's incremental migration machinery. A Kernel boots in the
+// legacy configuration — an ext-style journaling file system behind
+// the VFS, the legacy TCP stack wired through the generic socket
+// layer — and is then upgraded module by module: UpgradeFS swaps the
+// root file system for the verified safefs (copying the live tree
+// across), UpgradeTCP installs the ownership-safe transport behind
+// the retrofitted modular interface. The module registry tracks every
+// step, and the audit package renders where the kernel stands on the
+// paper's Figure-1 landscape after each one.
+package safelinux
+
+import (
+	"fmt"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/fs/overlaylike"
+	"safelinux/internal/linuxlike/fs/ramfs"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/net"
+	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safemod/safefs"
+	"safelinux/internal/safemod/safetcp"
+	"safelinux/internal/safety/audit"
+	"safelinux/internal/safety/module"
+	"safelinux/internal/safety/own"
+)
+
+// Config sizes a kernel.
+type Config struct {
+	Seed       uint64
+	DiskBlocks uint64 // root device capacity (default 4096)
+	BlockSize  int    // root device block size (default 512)
+	// CaptureOops installs an oops recorder so failures are captured
+	// instead of panicking (default true).
+	CaptureOops bool
+}
+
+func (c *Config) fill() {
+	if c.DiskBlocks == 0 {
+		c.DiskBlocks = 4096
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 512
+	}
+}
+
+// Kernel is one assembled simulated kernel.
+type Kernel struct {
+	VFS      *vfs.VFS
+	Sim      *net.Sim
+	Registry *module.Registry
+	Checker  *own.Checker
+	Recorder *kbase.OopsRecorder
+	Task     *kbase.Task
+
+	cfg     Config
+	rootDev *blockdev.Device
+	hostA   *net.Host
+	hostB   *net.Host
+	safeEPA *safetcp.Endpoint
+	safeEPB *safetcp.Endpoint
+	fsSafe  bool
+	tcpSafe bool
+}
+
+// Interface names the kernel declares in its registry.
+const (
+	IfaceFS     = safefs.IfaceName
+	IfaceStream = safetcp.IfaceName
+)
+
+// legacyFSModule is the registry descriptor for the boot-time file
+// system: behind the VFS it is already modular (Step 1, which the
+// paper credits VFS with), but nothing more.
+type legacyFSModule struct{}
+
+func (legacyFSModule) ModuleName() string { return "extlike" }
+func (legacyFSModule) Implements() module.Interface {
+	return module.Interface{Name: IfaceFS, Version: 1,
+		Doc: "file system behind the VFS modular interface", Methods: []string{"Mount"}}
+}
+func (legacyFSModule) Level() module.SafetyLevel { return module.LevelModular }
+
+// New boots a legacy-configuration kernel.
+func New(cfg Config) (*Kernel, kbase.Errno) {
+	cfg.fill()
+	k := &Kernel{
+		cfg:      cfg,
+		Registry: module.NewRegistry(),
+		Checker:  own.NewChecker(own.PolicyRecord),
+		Task:     kbase.NewTask(),
+		Sim:      net.NewSim(cfg.Seed + 100),
+	}
+	if cfg.CaptureOops {
+		k.Recorder = &kbase.OopsRecorder{}
+		kbase.InstallRecorder(k.Recorder)
+	}
+
+	// Storage: extlike on a fresh device, mounted at /.
+	k.rootDev = blockdev.New(blockdev.Config{
+		Blocks: cfg.DiskBlocks, BlockSize: cfg.BlockSize,
+		Rng: kbase.NewRng(cfg.Seed + 1),
+	})
+	if _, err := extlike.Mkfs(k.rootDev, extlike.MkfsOptions{}); err != kbase.EOK {
+		return nil, err
+	}
+	k.VFS = vfs.New(nil)
+	for _, fs := range []vfs.FileSystemType{
+		&ramfs.FS{}, &extlike.FS{}, &overlaylike.FS{}, &safefs.FS{SyncOnCommit: true},
+	} {
+		if err := k.VFS.RegisterFS(fs); err != kbase.EOK {
+			return nil, err
+		}
+	}
+	if err := k.VFS.Mount(k.Task, "/", "extlike", &extlike.MountData{Dev: k.rootDev}); err != kbase.EOK {
+		return nil, err
+	}
+
+	// Network: two linked hosts on the legacy stack.
+	k.hostA = k.Sim.AddHost(1)
+	k.hostB = k.Sim.AddHost(2)
+	k.Sim.Link(1, 2, net.LinkParams{Delay: 1, LossProb: 0.01})
+
+	// Registry: declare the interfaces, bind the boot modules.
+	for _, iface := range []module.Interface{
+		{Name: IfaceFS, Version: 1, Doc: "file system", Methods: []string{"Mount"}},
+		{Name: IfaceStream, Version: 1, Doc: "stream transport", Methods: []string{"Listen", "Connect"}},
+	} {
+		if err := k.Registry.Declare(iface); err != kbase.EOK {
+			return nil, err
+		}
+	}
+	if err := k.Registry.Bind(legacyFSModule{}); err != kbase.EOK {
+		return nil, err
+	}
+	if err := k.Registry.Bind(safetcp.LegacyModule{}); err != kbase.EOK {
+		return nil, err
+	}
+	return k, kbase.EOK
+}
+
+// Close uninstalls the kernel's oops recorder.
+func (k *Kernel) Close() {
+	if k.Recorder != nil {
+		kbase.InstallRecorder(nil)
+	}
+}
+
+// FSSafe reports whether the root file system has been upgraded.
+func (k *Kernel) FSSafe() bool { return k.fsSafe }
+
+// TCPSafe reports whether the transport has been upgraded.
+func (k *Kernel) TCPSafe() bool { return k.tcpSafe }
+
+// Hosts returns the kernel's two network hosts.
+func (k *Kernel) Hosts() (*net.Host, *net.Host) { return k.hostA, k.hostB }
+
+// SafeEndpoints returns the safe transport endpoints (nil before
+// UpgradeTCP).
+func (k *Kernel) SafeEndpoints() (*safetcp.Endpoint, *safetcp.Endpoint) {
+	return k.safeEPA, k.safeEPB
+}
+
+// fixedFS adapts a pre-built superblock so an already-populated file
+// system instance can be mounted into a VFS.
+type fixedFS struct {
+	name string
+	sb   *vfs.SuperBlock
+}
+
+func (f *fixedFS) Name() string { return f.name }
+func (f *fixedFS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+	return f.sb, kbase.EOK
+}
+
+// UpgradeFS performs the paper's module replacement on the root file
+// system: build a safefs volume on a new device, copy the live tree
+// into it, swap the mount, and record the swap in the registry. The
+// old device is left intact (rollback insurance).
+func (k *Kernel) UpgradeFS() kbase.Errno {
+	if k.fsSafe {
+		return kbase.EALREADY
+	}
+	newDev := blockdev.New(blockdev.Config{
+		Blocks: k.cfg.DiskBlocks, BlockSize: k.cfg.BlockSize,
+		Rng: kbase.NewRng(k.cfg.Seed + 2),
+	})
+	if err := safefs.Format(newDev); err != kbase.EOK {
+		return err
+	}
+	fsType := &safefs.FS{SyncOnCommit: true}
+	newSB, err := fsType.Mount(k.Task, &safefs.MountData{Disk: newDev, Checker: k.Checker})
+	if err != kbase.EOK {
+		return err
+	}
+	// Copy the live tree through a staging VFS.
+	staging := vfs.New(nil)
+	if err := staging.RegisterFS(&fixedFS{name: "staging", sb: newSB}); err != kbase.EOK {
+		return err
+	}
+	if err := staging.Mount(k.Task, "/", "staging", nil); err != kbase.EOK {
+		return err
+	}
+	if err := k.copyTree(k.VFS, staging, "/"); err != kbase.EOK {
+		return err
+	}
+	// Swap the root mount.
+	if err := k.VFS.Unmount(k.Task, "/"); err != kbase.EOK {
+		return err
+	}
+	if err := k.VFS.RegisterFS(&fixedFS{name: "safefs-root", sb: newSB}); err != kbase.EOK {
+		return err
+	}
+	if err := k.VFS.Mount(k.Task, "/", "safefs-root", nil); err != kbase.EOK {
+		return err
+	}
+	if _, err := k.Registry.Swap(safefs.Module{}, module.SwapPolicy{}); err != kbase.EOK {
+		return err
+	}
+	k.fsSafe = true
+	return kbase.EOK
+}
+
+// copyTree recursively copies path (a directory) from src to dst.
+func (k *Kernel) copyTree(src, dst *vfs.VFS, path string) kbase.Errno {
+	ents, err := src.ReadDir(k.Task, path)
+	if err != kbase.EOK {
+		return err
+	}
+	for _, e := range ents {
+		child := path + "/" + e.Name
+		if path == "/" {
+			child = "/" + e.Name
+		}
+		if e.Mode.IsDir() {
+			if err := dst.Mkdir(k.Task, child); err != kbase.EOK && err != kbase.EEXIST {
+				return err
+			}
+			if err := k.copyTree(src, dst, child); err != kbase.EOK {
+				return err
+			}
+			continue
+		}
+		st, err := src.Stat(k.Task, child)
+		if err != kbase.EOK {
+			return err
+		}
+		data := make([]byte, st.Size)
+		fd, err := src.Open(k.Task, child, vfs.ORdOnly)
+		if err != kbase.EOK {
+			return err
+		}
+		if _, err := src.Pread(k.Task, fd, data, 0); err != kbase.EOK {
+			src.Close(fd)
+			return err
+		}
+		src.Close(fd)
+		ofd, err := dst.Open(k.Task, child, vfs.OWrOnly|vfs.OCreate|vfs.OTrunc)
+		if err != kbase.EOK {
+			return err
+		}
+		if len(data) > 0 {
+			if _, err := dst.Write(k.Task, ofd, data); err != kbase.EOK {
+				dst.Close(ofd)
+				return err
+			}
+		}
+		dst.Close(ofd)
+	}
+	return kbase.EOK
+}
+
+// UpgradeTCP installs the ownership-safe transport on both hosts via
+// the modular StreamProto interface and records the swap.
+func (k *Kernel) UpgradeTCP() kbase.Errno {
+	if k.tcpSafe {
+		return kbase.EALREADY
+	}
+	k.safeEPA = safetcp.Attach(k.hostA, k.Checker)
+	k.safeEPB = safetcp.Attach(k.hostB, k.Checker)
+	if _, err := k.Registry.Swap(safetcp.Module{}, module.SwapPolicy{}); err != kbase.EOK {
+		return err
+	}
+	k.tcpSafe = true
+	return kbase.EOK
+}
+
+// ReportCard renders the per-module safety standing.
+func (k *Kernel) ReportCard() string {
+	return audit.ReportCard(k.Registry)
+}
+
+// Figure1 renders the landscape with this kernel's current position.
+func (k *Kernel) Figure1(kernelLoC []audit.ModuleLoC) string {
+	row := audit.KernelFigure1Row("safelinux-sim", k.Registry, kernelLoC)
+	return audit.RenderFigure1(audit.Figure1Systems(), &row)
+}
+
+// Describe summarizes the kernel state in one line.
+func (k *Kernel) Describe() string {
+	fs, tcp := "extlike(modular)", "legacy-tcp"
+	if k.fsSafe {
+		fs = "safefs(verified)"
+	}
+	if k.tcpSafe {
+		tcp = "safetcp(ownership-safe)"
+	}
+	return fmt.Sprintf("kernel[fs=%s stream=%s min-level=%s]", fs, tcp, k.Registry.MinLevel())
+}

@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-parallel check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full suite, then again under the race detector (the concurrency
+# stress tests in pkg/safelinux and the sharded-cache tests are only
+# meaningful with -race).
+test:
+	$(GO) test ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration of every benchmark: catches bit-rot in bench code
+# without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# The I/O-path scaling numbers (see DESIGN.md and BENCH_ioshard.json).
+bench-parallel:
+	$(GO) test -run xxx -bench Parallel -cpu 1,4,8 .
+
+check: build vet test

@@ -10,14 +10,30 @@
 // subset, and a block may be torn (partially applied) at a configured
 // granularity, exactly the failure envelope journaling file systems
 // are designed for.
+//
+// Concurrency model (blk-mq style): device state is lock-striped into
+// NumShards shards keyed by block % NumShards. Each shard owns the
+// pending-write submission queue and the durable slots for its blocks,
+// so reads and writes to different shards never contend. A global
+// atomic sequence number stamps every cached write, which lets the
+// whole-device operations (Flush, Crash, Snapshot) reconstruct the
+// exact global issue order the crash model depends on.
 package blockdev
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
 )
+
+// NumShards is the lock-striping factor for device state. Sixteen
+// shards keeps per-shard contention negligible for the goroutine
+// counts the benchmarks use while keeping whole-device operations
+// (flush, crash, snapshot) cheap.
+const NumShards = 16
 
 // Config describes a simulated device.
 type Config struct {
@@ -59,12 +75,24 @@ type Stats struct {
 	TornBlocks uint64
 	// DroppedWrites counts cached writes lost to crashes.
 	DroppedWrites uint64
+	// Plugs counts Unplug submissions that batched at least one write.
+	Plugs uint64
 }
 
-// pendingWrite is one cached, not-yet-durable write.
+// pendingWrite is one cached, not-yet-durable write. seq is the
+// global issue order across all shards.
 type pendingWrite struct {
+	seq   uint64
 	block uint64
 	data  []byte
+}
+
+// shard is one stripe of device state: the submission queue plus the
+// durable slots for blocks hashed to it. durable slots live in the
+// device-wide slice but slot b is guarded by shard(b)'s mutex.
+type shard struct {
+	mu      sync.Mutex
+	pending []pendingWrite
 }
 
 // Device is a simulated block device. All methods are safe for
@@ -72,12 +100,21 @@ type pendingWrite struct {
 type Device struct {
 	cfg Config
 
-	mu      sync.Mutex
-	durable [][]byte // nil entry = all-zero block
-	pending []pendingWrite
-	stats   Stats
+	shards  [NumShards]shard
+	durable [][]byte // nil entry = all-zero block; slot b guarded by shards[b%NumShards]
+	seq     atomic.Uint64
 
-	// fault injection
+	reads   atomic.Uint64
+	writes  atomic.Uint64
+	flushes atomic.Uint64
+	crashes atomic.Uint64
+	torn    atomic.Uint64
+	dropped atomic.Uint64
+	plugs   atomic.Uint64
+
+	// fault injection, guarded by ctl (never held together with a
+	// shard lock except ctl -> shard).
+	ctl        sync.Mutex
 	failReads  int // fail the next N reads with EIO
 	failWrites int
 	badBlocks  map[uint64]bool
@@ -98,6 +135,41 @@ func New(cfg Config) *Device {
 	}
 }
 
+func (d *Device) shard(block uint64) *shard {
+	return &d.shards[block%NumShards]
+}
+
+// lockAll acquires every shard lock in index order, for whole-device
+// operations. The fixed order keeps shard locks deadlock-free.
+func (d *Device) lockAll() {
+	for i := range d.shards {
+		d.shards[i].mu.Lock()
+	}
+}
+
+func (d *Device) unlockAll() {
+	for i := range d.shards {
+		d.shards[i].mu.Unlock()
+	}
+}
+
+// pendingInOrderLocked returns every cached write sorted by global
+// issue order. Caller holds all shard locks.
+func (d *Device) pendingInOrderLocked() []pendingWrite {
+	var all []pendingWrite
+	for i := range d.shards {
+		all = append(all, d.shards[i].pending...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].seq < all[b].seq })
+	return all
+}
+
+func (d *Device) clearPendingLocked() {
+	for i := range d.shards {
+		d.shards[i].pending = nil
+	}
+}
+
 // BlockSize returns bytes per block.
 func (d *Device) BlockSize() int { return d.cfg.BlockSize }
 
@@ -106,37 +178,73 @@ func (d *Device) Blocks() uint64 { return d.cfg.Blocks }
 
 // Stats returns a snapshot of the device counters.
 func (d *Device) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return Stats{
+		Reads:         d.reads.Load(),
+		Writes:        d.writes.Load(),
+		Flushes:       d.flushes.Load(),
+		Crashes:       d.crashes.Load(),
+		TornBlocks:    d.torn.Load(),
+		DroppedWrites: d.dropped.Load(),
+		Plugs:         d.plugs.Load(),
+	}
 }
 
 // SetReadOnly marks the device read-only; writes fail with EROFS.
 func (d *Device) SetReadOnly(ro bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
 	d.readOnly = ro
 }
 
 // FailNextReads makes the next n reads fail with EIO.
 func (d *Device) FailNextReads(n int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
 	d.failReads = n
 }
 
 // FailNextWrites makes the next n writes fail with EIO.
 func (d *Device) FailNextWrites(n int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
 	d.failWrites = n
 }
 
 // MarkBad makes a specific block permanently unreadable/unwritable.
 func (d *Device) MarkBad(block uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
 	d.badBlocks[block] = true
+}
+
+// readFault applies the read-side fault model for one block.
+func (d *Device) readFault(block uint64) kbase.Errno {
+	d.ctl.Lock()
+	defer d.ctl.Unlock()
+	if d.failReads > 0 {
+		d.failReads--
+		return kbase.EIO
+	}
+	if d.badBlocks[block] {
+		return kbase.EIO
+	}
+	return kbase.EOK
+}
+
+// writeFault applies the write-side fault model for one block.
+// Caller holds d.ctl.
+func (d *Device) writeFaultLocked(block uint64) kbase.Errno {
+	if d.readOnly {
+		return kbase.EROFS
+	}
+	if d.failWrites > 0 {
+		d.failWrites--
+		return kbase.EIO
+	}
+	if d.badBlocks[block] {
+		return kbase.EIO
+	}
+	return kbase.EOK
 }
 
 // Read copies block into buf, observing the write cache (a read sees
@@ -146,26 +254,29 @@ func (d *Device) Read(block uint64, buf []byte) kbase.Errno {
 	if len(buf) != d.cfg.BlockSize {
 		return kbase.EINVAL
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if block >= d.cfg.Blocks {
 		return kbase.EINVAL
 	}
-	if d.failReads > 0 {
-		d.failReads--
-		return kbase.EIO
+	if err := d.readFault(block); err != kbase.EOK {
+		return err
 	}
-	if d.badBlocks[block] {
-		return kbase.EIO
-	}
-	d.stats.Reads++
+	d.reads.Add(1)
 	d.cfg.Clock.Advance(d.cfg.ReadCost)
-	// Most recent cached write wins.
-	for i := len(d.pending) - 1; i >= 0; i-- {
-		if d.pending[i].block == block {
-			copy(buf, d.pending[i].data)
-			return kbase.EOK
+	s := d.shard(block)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Most recent cached write wins — by global sequence, since
+	// concurrent submitters may append to the shard queue slightly out
+	// of seq order.
+	var newest *pendingWrite
+	for i := range s.pending {
+		if s.pending[i].block == block && (newest == nil || s.pending[i].seq > newest.seq) {
+			newest = &s.pending[i]
 		}
+	}
+	if newest != nil {
+		copy(buf, newest.data)
+		return kbase.EOK
 	}
 	if d.durable[block] == nil {
 		for i := range buf {
@@ -183,64 +294,69 @@ func (d *Device) Write(block uint64, data []byte) kbase.Errno {
 	if len(data) != d.cfg.BlockSize {
 		return kbase.EINVAL
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	if block >= d.cfg.Blocks {
 		return kbase.EINVAL
 	}
-	if d.readOnly {
-		return kbase.EROFS
+	d.ctl.Lock()
+	err := d.writeFaultLocked(block)
+	d.ctl.Unlock()
+	if err != kbase.EOK {
+		return err
 	}
-	if d.failWrites > 0 {
-		d.failWrites--
-		return kbase.EIO
-	}
-	if d.badBlocks[block] {
-		return kbase.EIO
-	}
-	d.stats.Writes++
+	d.writes.Add(1)
 	d.cfg.Clock.Advance(d.cfg.WriteCost)
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	d.pending = append(d.pending, pendingWrite{block: block, data: cp})
+	w := pendingWrite{seq: d.seq.Add(1), block: block, data: cp}
+	s := d.shard(block)
+	s.mu.Lock()
+	s.pending = append(s.pending, w)
+	s.mu.Unlock()
 	return kbase.EOK
 }
 
 // Flush commits every cached write to durable storage, in order. It
 // is the device-level barrier (FUA/flush).
 func (d *Device) Flush() kbase.Errno {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Flushes++
+	d.flushes.Add(1)
 	d.cfg.Clock.Advance(d.cfg.FlushCost)
-	for _, w := range d.pending {
+	d.lockAll()
+	defer d.unlockAll()
+	// Apply in global issue order so the last write to a block wins
+	// even when concurrent submitters raced on the shard queue.
+	for _, w := range d.pendingInOrderLocked() {
 		d.durable[w.block] = w.data
 	}
-	d.pending = nil
+	d.clearPendingLocked()
 	return kbase.EOK
 }
 
 // PendingWrites returns the number of cached, non-durable writes.
 func (d *Device) PendingWrites() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return len(d.pending)
+	d.lockAll()
+	defer d.unlockAll()
+	n := 0
+	for i := range d.shards {
+		n += len(d.shards[i].pending)
+	}
+	return n
 }
 
 // Crash simulates power loss: each cached write is independently
 // applied or dropped, and an applied write may be torn — only a
 // prefix of its TornWriteUnit-sized fragments lands. The write cache
-// is then discarded. Determinism comes from the device Rng.
+// is then discarded. Determinism comes from the device Rng, which is
+// consumed in global issue order.
 func (d *Device) Crash() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Crashes++
-	for _, w := range d.pending {
+	d.crashes.Add(1)
+	d.lockAll()
+	defer d.unlockAll()
+	for _, w := range d.pendingInOrderLocked() {
 		switch {
 		case d.cfg.Rng.Bool(0.5): // dropped entirely
-			d.stats.DroppedWrites++
+			d.dropped.Add(1)
 		case d.cfg.Rng.Bool(0.25): // applied torn
-			d.stats.TornBlocks++
+			d.torn.Add(1)
 			dst := d.durableFor(w.block)
 			unit := d.cfg.TornWriteUnit
 			keep := (1 + d.cfg.Rng.Intn(maxInt(d.cfg.BlockSize/unit-1, 1))) * unit
@@ -249,38 +365,40 @@ func (d *Device) Crash() {
 			d.durable[w.block] = w.data
 		}
 	}
-	d.pending = nil
+	d.clearPendingLocked()
 }
 
 // CrashApplyNone simulates a crash where no cached write survives —
 // the worst case for durability testing.
 func (d *Device) CrashApplyNone() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Crashes++
-	d.stats.DroppedWrites += uint64(len(d.pending))
-	d.pending = nil
+	d.crashes.Add(1)
+	d.lockAll()
+	defer d.unlockAll()
+	for i := range d.shards {
+		d.dropped.Add(uint64(len(d.shards[i].pending)))
+	}
+	d.clearPendingLocked()
 }
 
 // CrashApplySubset applies exactly the cached writes whose indices are
 // in keep (in issue order) and drops the rest — used by the
 // exhaustive crash explorer to enumerate every crash state.
 func (d *Device) CrashApplySubset(keep map[int]bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Crashes++
-	for i, w := range d.pending {
+	d.crashes.Add(1)
+	d.lockAll()
+	defer d.unlockAll()
+	for i, w := range d.pendingInOrderLocked() {
 		if keep[i] {
 			d.durable[w.block] = w.data
 		} else {
-			d.stats.DroppedWrites++
+			d.dropped.Add(1)
 		}
 	}
-	d.pending = nil
+	d.clearPendingLocked()
 }
 
 // durableFor returns a mutable durable image for block, materializing
-// a zero block if needed. Caller holds d.mu.
+// a zero block if needed. Caller holds the block's shard lock.
 func (d *Device) durableFor(block uint64) []byte {
 	if d.durable[block] == nil {
 		d.durable[block] = make([]byte, d.cfg.BlockSize)
@@ -292,11 +410,12 @@ func (d *Device) durableFor(block uint64) []byte {
 // explorer can rewind the device. The snapshot is independent of
 // future device mutation.
 func (d *Device) Snapshot() *Snapshot {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.lockAll()
+	defer d.unlockAll()
+	pending := d.pendingInOrderLocked()
 	s := &Snapshot{
 		durable: make([][]byte, len(d.durable)),
-		pending: make([]pendingWrite, len(d.pending)),
+		pending: make([]pendingWrite, len(pending)),
 	}
 	for i, b := range d.durable {
 		if b != nil {
@@ -305,18 +424,18 @@ func (d *Device) Snapshot() *Snapshot {
 			s.durable[i] = cp
 		}
 	}
-	for i, w := range d.pending {
+	for i, w := range pending {
 		cp := make([]byte, len(w.data))
 		copy(cp, w.data)
-		s.pending[i] = pendingWrite{block: w.block, data: cp}
+		s.pending[i] = pendingWrite{seq: w.seq, block: w.block, data: cp}
 	}
 	return s
 }
 
 // Restore rewinds the device to a snapshot taken from it.
 func (d *Device) Restore(s *Snapshot) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.lockAll()
+	defer d.unlockAll()
 	if len(s.durable) != len(d.durable) {
 		panic(fmt.Sprintf("blockdev: restoring snapshot of %d blocks onto %d-block device",
 			len(s.durable), len(d.durable)))
@@ -329,11 +448,19 @@ func (d *Device) Restore(s *Snapshot) {
 			d.durable[i] = cp
 		}
 	}
-	d.pending = make([]pendingWrite, len(s.pending))
-	for i, w := range s.pending {
+	d.clearPendingLocked()
+	var maxSeq uint64
+	for _, w := range s.pending {
 		cp := make([]byte, len(w.data))
 		copy(cp, w.data)
-		d.pending[i] = pendingWrite{block: w.block, data: cp}
+		sh := d.shard(w.block)
+		sh.pending = append(sh.pending, pendingWrite{seq: w.seq, block: w.block, data: cp})
+		if w.seq > maxSeq {
+			maxSeq = w.seq
+		}
+	}
+	if d.seq.Load() < maxSeq {
+		d.seq.Store(maxSeq)
 	}
 }
 
@@ -345,6 +472,103 @@ type Snapshot struct {
 
 // PendingCount returns the number of cached writes in the snapshot.
 func (s *Snapshot) PendingCount() int { return len(s.pending) }
+
+// Plug collects writes locally without touching any device lock, then
+// Unplug submits them grouped by shard — the analogue of Linux block
+// plugging, used by writeback (bufcache.SyncDirty) and the journal
+// commit path to amortize lock traffic for multi-block submissions.
+// A Plug is single-goroutine state; it is not safe for concurrent use.
+type Plug struct {
+	d      *Device
+	blocks []uint64
+	datas  [][]byte
+}
+
+// Plug starts a batched submission.
+func (d *Device) Plug() *Plug { return &Plug{d: d} }
+
+// Write queues one block write on the plug. Argument validation
+// happens immediately; the fault model and durability semantics apply
+// at Unplug time. The data is copied now, so the caller may reuse the
+// buffer.
+func (p *Plug) Write(block uint64, data []byte) kbase.Errno {
+	if len(data) != p.d.cfg.BlockSize {
+		return kbase.EINVAL
+	}
+	if block >= p.d.cfg.Blocks {
+		return kbase.EINVAL
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.blocks = append(p.blocks, block)
+	p.datas = append(p.datas, cp)
+	return kbase.EOK
+}
+
+// Queued returns the number of writes waiting on the plug.
+func (p *Plug) Queued() int { return len(p.blocks) }
+
+// Unplug submits every queued write, grouped so each shard's lock is
+// taken at most once. It returns the per-write results (aligned with
+// the Write call order) and the first non-EOK result, and resets the
+// plug for reuse. Writes that fail the fault model are not submitted;
+// the rest are, so a partial failure behaves exactly like the same
+// sequence of plain Write calls.
+func (p *Plug) Unplug() ([]kbase.Errno, kbase.Errno) {
+	if len(p.blocks) == 0 {
+		return nil, kbase.EOK
+	}
+	d := p.d
+	n := len(p.blocks)
+	results := make([]kbase.Errno, n)
+	writes := make([]pendingWrite, 0, n)
+
+	d.ctl.Lock()
+	for i, b := range p.blocks {
+		results[i] = d.writeFaultLocked(b)
+	}
+	d.ctl.Unlock()
+
+	first := kbase.EOK
+	accepted := 0
+	for i := range results {
+		if results[i] != kbase.EOK {
+			if first == kbase.EOK {
+				first = results[i]
+			}
+			continue
+		}
+		accepted++
+		writes = append(writes, pendingWrite{
+			seq:   d.seq.Add(1),
+			block: p.blocks[i],
+			data:  p.datas[i],
+		})
+	}
+	if accepted > 0 {
+		d.writes.Add(uint64(accepted))
+		d.cfg.Clock.Advance(d.cfg.WriteCost * uint64(accepted))
+		d.plugs.Add(1)
+		// Group by shard so each shard lock is taken once.
+		var byShard [NumShards][]pendingWrite
+		for _, w := range writes {
+			idx := w.block % NumShards
+			byShard[idx] = append(byShard[idx], w)
+		}
+		for i := range byShard {
+			if len(byShard[i]) == 0 {
+				continue
+			}
+			s := &d.shards[i]
+			s.mu.Lock()
+			s.pending = append(s.pending, byShard[i]...)
+			s.mu.Unlock()
+		}
+	}
+	p.blocks = p.blocks[:0]
+	p.datas = p.datas[:0]
+	return results, first
+}
 
 func maxInt(a, b int) int {
 	if a > b {

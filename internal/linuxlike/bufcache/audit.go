@@ -156,12 +156,15 @@ func FlagString(f Flag) string {
 // CheckLive audits every buffer currently in the cache against the
 // rules, returning one report line per violating buffer.
 func (c *Cache) CheckLive(rules []Rule) []string {
-	c.mu.Lock()
-	bhs := make([]*BufferHead, 0, len(c.buffers))
-	for _, bh := range c.buffers {
-		bhs = append(bhs, bh)
+	bhs := make([]*BufferHead, 0, c.Cached())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, bh := range s.buffers {
+			bhs = append(bhs, bh)
+		}
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	sort.Slice(bhs, func(i, j int) bool { return bhs[i].Block < bhs[j].Block })
 	var out []string
 	for _, bh := range bhs {

@@ -10,15 +10,26 @@
 // actually meaningful — the quantitative backdrop for the paper's
 // claim that "not all of the combinations are valid, but even
 // determining which are can be complicated".
+//
+// Concurrency model: the cache is lock-striped into NumShards shards
+// keyed by block % NumShards; each shard owns its buffers map, LRU
+// list, and dirty set, so lookups of different blocks never contend.
+// BufferHead reference counts are atomic (get_bh/put_bh touch no
+// lock), and the capacity bound is a cache-wide atomic with per-shard
+// eviction, approximating a global LRU the way per-CPU pagevecs do.
 package bufcache
 
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"safelinux/internal/linuxlike/blockdev"
 	"safelinux/internal/linuxlike/kbase"
 )
+
+// NumShards is the lock-striping factor of the cache.
+const NumShards = 16
 
 // Flag is one buffer_head state bit. The set mirrors Linux's
 // enum bh_state_bits.
@@ -66,9 +77,13 @@ type BufferHead struct {
 	mu    sync.Mutex // b_uptodate_lock analogue; guards flags only
 	flags Flag
 
+	// ioMu serializes the read-in path (Bread) so two tasks missing on
+	// the same block do not both copy from the device into Data.
+	ioMu sync.Mutex
+
 	cache    *Cache
-	refcount int
-	elem     *list.Element
+	refcount atomic.Int32
+	elem     *list.Element // guarded by the owning shard's mutex
 
 	// JournalData is the void*-style b_private field: the journal
 	// hangs its per-buffer state here and the file system must not
@@ -120,44 +135,45 @@ func (bh *BufferHead) Uptodate() bool { return bh.TestFlag(BHUptodate) }
 // Dirty reports BHDirty.
 func (bh *BufferHead) Dirty() bool { return bh.TestFlag(BHDirty) }
 
-// Get increments the reference count (get_bh).
-func (bh *BufferHead) Get() {
-	bh.cache.mu.Lock()
-	bh.refcount++
-	bh.cache.mu.Unlock()
-}
+// Get increments the reference count (get_bh). Lock-free: only
+// holders of a live reference may call Get, so the count cannot race
+// a 0→1 revival (that transition happens only inside GetBlk under the
+// shard lock).
+func (bh *BufferHead) Get() { bh.refcount.Add(1) }
 
 // Put releases a reference (brelse / put_bh). Over-releasing raises a
 // generic oops, as brelse would warn.
 func (bh *BufferHead) Put() {
-	bh.cache.mu.Lock()
-	if bh.refcount == 0 {
-		bh.cache.mu.Unlock()
+	if bh.refcount.Add(-1) < 0 {
+		bh.refcount.Add(1) // restore so the cache state stays sane
 		kbase.Oops(kbase.OopsGeneric, "bufcache", "brelse of free buffer %d", bh.Block)
-		return
 	}
-	bh.refcount--
-	bh.cache.mu.Unlock()
 }
 
 // Refcount returns the current reference count.
-func (bh *BufferHead) Refcount() int {
-	bh.cache.mu.Lock()
-	defer bh.cache.mu.Unlock()
-	return bh.refcount
-}
+func (bh *BufferHead) Refcount() int { return int(bh.refcount.Load()) }
 
-// Cache is the buffer cache over one block device.
-type Cache struct {
-	dev *blockdev.Device
-
+// cacheShard is one stripe of the cache: the buffers hashed to it,
+// their LRU order, and the dirty subset.
+type cacheShard struct {
 	mu      sync.Mutex
 	buffers map[uint64]*BufferHead
 	lru     *list.List // front = most recent
 	dirty   map[uint64]*BufferHead
-	maxBufs int
 
-	stats CacheStats
+	hits      uint64
+	misses    uint64
+	writeback uint64
+	evictions uint64
+}
+
+// Cache is the buffer cache over one block device.
+type Cache struct {
+	dev     *blockdev.Device
+	maxBufs int          // cache-wide capacity (0 = unbounded)
+	size    atomic.Int64 // total buffers across shards
+
+	shards [NumShards]cacheShard
 }
 
 // CacheStats counts cache activity.
@@ -171,13 +187,17 @@ type CacheStats struct {
 // NewCache creates a cache over dev holding at most maxBufs buffers
 // (0 means unbounded).
 func NewCache(dev *blockdev.Device, maxBufs int) *Cache {
-	return &Cache{
-		dev:     dev,
-		buffers: make(map[uint64]*BufferHead),
-		lru:     list.New(),
-		dirty:   make(map[uint64]*BufferHead),
-		maxBufs: maxBufs,
+	c := &Cache{dev: dev, maxBufs: maxBufs}
+	for i := range c.shards {
+		c.shards[i].buffers = make(map[uint64]*BufferHead)
+		c.shards[i].lru = list.New()
+		c.shards[i].dirty = make(map[uint64]*BufferHead)
 	}
+	return c
+}
+
+func (c *Cache) shard(block uint64) *cacheShard {
+	return &c.shards[block%NumShards]
 }
 
 // Device returns the underlying block device.
@@ -185,9 +205,17 @@ func (c *Cache) Device() *blockdev.Device { return c.dev }
 
 // Stats returns a snapshot of cache counters.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var st CacheStats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Writeback += s.writeback
+		st.Evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // GetBlk returns the buffer for block without reading it from disk
@@ -196,27 +224,76 @@ func (c *Cache) GetBlk(block uint64) (*BufferHead, kbase.Errno) {
 	if block >= c.dev.Blocks() {
 		return nil, kbase.EINVAL
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if bh, ok := c.buffers[block]; ok {
-		c.stats.Hits++
-		bh.refcount++
-		c.lru.MoveToFront(bh.elem)
+	s := c.shard(block)
+	s.mu.Lock()
+	if bh, ok := s.buffers[block]; ok {
+		s.hits++
+		bh.refcount.Add(1)
+		s.lru.MoveToFront(bh.elem)
+		s.mu.Unlock()
 		return bh, kbase.EOK
 	}
-	c.stats.Misses++
-	if err := c.makeRoomLocked(); err != kbase.EOK {
-		return nil, err
+	s.misses++
+	if c.maxBufs > 0 && int(c.size.Load()) >= c.maxBufs {
+		if !c.evictOneLocked(s) {
+			// Nothing evictable in this block's shard; hunt the
+			// others without holding our shard lock.
+			s.mu.Unlock()
+			if !c.evictAnyShard() {
+				return nil, kbase.ENOBUFS
+			}
+			s.mu.Lock()
+			if bh, ok := s.buffers[block]; ok {
+				// Someone else cached it while we hunted.
+				bh.refcount.Add(1)
+				s.lru.MoveToFront(bh.elem)
+				s.mu.Unlock()
+				return bh, kbase.EOK
+			}
+		}
 	}
 	bh := &BufferHead{
-		Block:    block,
-		Data:     make([]byte, c.dev.BlockSize()),
-		cache:    c,
-		refcount: 1,
+		Block: block,
+		Data:  make([]byte, c.dev.BlockSize()),
+		cache: c,
 	}
-	bh.elem = c.lru.PushFront(bh)
-	c.buffers[block] = bh
+	bh.refcount.Store(1)
+	bh.elem = s.lru.PushFront(bh)
+	s.buffers[block] = bh
+	c.size.Add(1)
+	s.mu.Unlock()
 	return bh, kbase.EOK
+}
+
+// evictOneLocked evicts one clean unreferenced buffer from s's LRU
+// tail. Caller holds s.mu.
+func (c *Cache) evictOneLocked(s *cacheShard) bool {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
+		bh := e.Value.(*BufferHead)
+		if bh.refcount.Load() == 0 && !bh.Dirty() {
+			s.lru.Remove(e)
+			delete(s.buffers, bh.Block)
+			s.evictions++
+			c.size.Add(-1)
+			return true
+		}
+	}
+	return false
+}
+
+// evictAnyShard tries each shard in turn until one eviction succeeds.
+// Caller holds no shard lock.
+func (c *Cache) evictAnyShard() bool {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		ok := c.evictOneLocked(s)
+		s.mu.Unlock()
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // Bread returns an uptodate buffer for block, reading from disk if
@@ -227,11 +304,16 @@ func (c *Cache) Bread(block uint64) (*BufferHead, kbase.Errno) {
 		return nil, err
 	}
 	if !bh.Uptodate() {
-		if err := c.dev.Read(block, bh.Data); err != kbase.EOK {
-			bh.Put()
-			return nil, err
+		bh.ioMu.Lock()
+		if !bh.Uptodate() { // recheck: a racing Bread may have filled it
+			if err := c.dev.Read(block, bh.Data); err != kbase.EOK {
+				bh.ioMu.Unlock()
+				bh.Put()
+				return nil, err
+			}
+			bh.SetFlag(BHUptodate | BHMapped | BHReq)
 		}
-		bh.SetFlag(BHUptodate | BHMapped | BHReq)
+		bh.ioMu.Unlock()
 	}
 	return bh, kbase.EOK
 }
@@ -249,9 +331,10 @@ func (c *Cache) BreadLegacy(block uint64) *BufferHead {
 
 // noteDirty puts bh on the dirty list.
 func (c *Cache) noteDirty(bh *BufferHead) {
-	c.mu.Lock()
-	c.dirty[bh.Block] = bh
-	c.mu.Unlock()
+	s := c.shard(bh.Block)
+	s.mu.Lock()
+	s.dirty[bh.Block] = bh
+	s.mu.Unlock()
 }
 
 // WriteBuffer synchronously writes one buffer to disk and clears its
@@ -270,27 +353,64 @@ func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
 	}
 	bh.ClearFlag(BHDirty | BHNew)
 	bh.SetFlag(BHReq)
-	c.mu.Lock()
-	delete(c.dirty, bh.Block)
-	c.stats.Writeback++
-	c.mu.Unlock()
+	s := c.shard(bh.Block)
+	s.mu.Lock()
+	delete(s.dirty, bh.Block)
+	s.writeback++
+	s.mu.Unlock()
 	return kbase.EOK
 }
 
 // SyncDirty writes all dirty buffers and issues a device flush
-// barrier (sync_dirty_buffers + blkdev_issue_flush).
+// barrier (sync_dirty_buffers + blkdev_issue_flush). The writes are
+// submitted through a device plug so each device shard's lock is
+// taken once for the whole batch.
 func (c *Cache) SyncDirty() kbase.Errno {
-	c.mu.Lock()
-	toWrite := make([]*BufferHead, 0, len(c.dirty))
-	for _, bh := range c.dirty {
-		toWrite = append(toWrite, bh)
-	}
-	c.mu.Unlock()
-	var firstErr kbase.Errno = kbase.EOK
-	for _, bh := range toWrite {
-		if err := c.WriteBuffer(bh); err != kbase.EOK && firstErr == kbase.EOK {
-			firstErr = err
+	var toWrite []*BufferHead
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, bh := range s.dirty {
+			toWrite = append(toWrite, bh)
 		}
+		s.mu.Unlock()
+	}
+	var firstErr kbase.Errno = kbase.EOK
+	plug := c.dev.Plug()
+	queued := make([]*BufferHead, 0, len(toWrite))
+	for _, bh := range toWrite {
+		if !bh.TestFlag(BHMapped) && !bh.TestFlag(BHNew) {
+			kbase.Oops(kbase.OopsSemantic, "bufcache",
+				"submit of unmapped buffer %d (flags %04x)", bh.Block, bh.Flags())
+			if firstErr == kbase.EOK {
+				firstErr = kbase.EINVAL
+			}
+			continue
+		}
+		if err := plug.Write(bh.Block, bh.Data); err != kbase.EOK {
+			if firstErr == kbase.EOK {
+				firstErr = err
+			}
+			continue
+		}
+		queued = append(queued, bh)
+	}
+	results, _ := plug.Unplug()
+	for i, bh := range queued {
+		if results[i] != kbase.EOK {
+			bh.SetFlag(BHWriteEIO)
+			if firstErr == kbase.EOK {
+				firstErr = results[i]
+			}
+			continue
+		}
+		bh.ClearFlag(BHDirty | BHNew)
+		bh.SetFlag(BHReq)
+		s := c.shard(bh.Block)
+		s.mu.Lock()
+		delete(s.dirty, bh.Block)
+		s.writeback++
+		s.mu.Unlock()
 	}
 	if err := c.dev.Flush(); err != kbase.EOK && firstErr == kbase.EOK {
 		firstErr = err
@@ -300,52 +420,42 @@ func (c *Cache) SyncDirty() kbase.Errno {
 
 // DirtyCount returns the number of dirty buffers.
 func (c *Cache) DirtyCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.dirty)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.dirty)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Forget drops a buffer from the cache without writing it
 // (bforget) — used by the journal for revoked blocks.
 func (c *Cache) Forget(bh *BufferHead) {
 	bh.ClearFlag(BHDirty)
-	c.mu.Lock()
-	delete(c.dirty, bh.Block)
-	c.mu.Unlock()
+	s := c.shard(bh.Block)
+	s.mu.Lock()
+	delete(s.dirty, bh.Block)
+	s.mu.Unlock()
 }
 
 // Invalidate drops every clean, unreferenced buffer; used after a
 // simulated crash so stale cached state cannot mask lost writes.
 // Dirty or referenced buffers are dropped too — a crash destroys RAM.
 func (c *Cache) Invalidate() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.buffers = make(map[uint64]*BufferHead)
-	c.dirty = make(map[uint64]*BufferHead)
-	c.lru.Init()
-}
-
-// makeRoomLocked evicts clean unreferenced buffers from the LRU tail
-// until a slot is free. Caller holds c.mu.
-func (c *Cache) makeRoomLocked() kbase.Errno {
-	if c.maxBufs == 0 || len(c.buffers) < c.maxBufs {
-		return kbase.EOK
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.buffers = make(map[uint64]*BufferHead)
+		s.dirty = make(map[uint64]*BufferHead)
+		s.lru.Init()
+		s.mu.Unlock()
 	}
-	for e := c.lru.Back(); e != nil; e = e.Prev() {
-		bh := e.Value.(*BufferHead)
-		if bh.refcount == 0 && !bh.Dirty() {
-			c.lru.Remove(e)
-			delete(c.buffers, bh.Block)
-			c.stats.Evictions++
-			return kbase.EOK
-		}
-	}
-	return kbase.ENOBUFS
+	c.size.Store(0)
 }
 
 // Cached returns the number of buffers currently in the cache.
 func (c *Cache) Cached() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.buffers)
+	return int(c.size.Load())
 }

@@ -157,9 +157,10 @@ func TestDirtyBufferNotEvicted(t *testing.T) {
 	if _, err := c.GetBlk(2); err != kbase.EOK {
 		t.Fatalf("GetBlk: %v", err)
 	}
-	c.mu.Lock()
-	_, dirtyStill := c.buffers[0]
-	c.mu.Unlock()
+	s := c.shard(0)
+	s.mu.Lock()
+	_, dirtyStill := s.buffers[0]
+	s.mu.Unlock()
 	if !dirtyStill {
 		t.Fatalf("dirty buffer was evicted")
 	}

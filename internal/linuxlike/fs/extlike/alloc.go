@@ -12,8 +12,11 @@ import (
 
 // bitmapAlloc finds the first clear bit in the bitmap starting at
 // device block start spanning nBlocks, with at most limit valid bits.
-// It sets the bit under handle h and returns the bit index.
+// It sets the bit under handle h and returns the bit index. allocMu
+// serializes the scan-and-set against concurrent allocators.
 func (inst *fsInstance) bitmapAlloc(task *kbase.Task, h *journal.Handle, start, nBlocks, limit uint64) (uint64, kbase.Errno) {
+	inst.allocMu.Lock(task)
+	defer inst.allocMu.Unlock(task)
 	bs := inst.cache.Device().BlockSize()
 	bitsPerBlock := uint64(bs) * 8
 	for b := uint64(0); b < nBlocks; b++ {
@@ -56,6 +59,8 @@ func (inst *fsInstance) bitmapAlloc(task *kbase.Task, h *journal.Handle, start, 
 // Double-free of a bit is a corruption oops, as ext4 would report via
 // ext4_error.
 func (inst *fsInstance) bitmapFree(task *kbase.Task, h *journal.Handle, start, idx uint64) kbase.Errno {
+	inst.allocMu.Lock(task)
+	defer inst.allocMu.Unlock(task)
 	bs := inst.cache.Device().BlockSize()
 	bitsPerBlock := uint64(bs) * 8
 	bh, err := inst.cache.Bread(start + idx/bitsPerBlock)
@@ -114,6 +119,7 @@ func (inst *fsInstance) freeIno(task *kbase.Task, h *journal.Handle, ino uint64)
 }
 
 // countFreeBits scans a bitmap and counts clear bits below limit.
+// Caller holds allocMu.
 func (inst *fsInstance) countFreeBits(start, nBlocks, limit uint64) (uint64, kbase.Errno) {
 	bs := inst.cache.Device().BlockSize()
 	bitsPerBlock := uint64(bs) * 8

@@ -37,6 +37,22 @@ type MountData struct {
 	CacheSize int
 }
 
+// Lock classes for the fine-grained locking scheme. The big fs lock
+// is gone; the hierarchy is
+//
+//	rename > dir_inode > dir_inode#1 > file_inode > alloc
+//
+// with the journal handle opened only after every inode lock is held
+// (handle holders must never block on an inode lock, or they would
+// deadlock against the journal's commit gate). The alloc lock is a
+// leaf taken around bitmap scans while a handle is open.
+var (
+	renameClass = kbase.NewLockClass("extlike.rename")
+	dirClass    = kbase.NewLockClass("extlike.dir_inode")
+	fileClass   = kbase.NewLockClass("extlike.file_inode")
+	allocClass  = kbase.NewLockClass("extlike.alloc")
+)
+
 // fsInstance is one mounted extlike file system.
 type fsInstance struct {
 	fs    *FS
@@ -45,7 +61,16 @@ type fsInstance struct {
 	geo   Geometry
 	vsb   *vfs.SuperBlock
 
-	mu     sync.Mutex // the big fs lock
+	// renameMu serializes every operation that must hold more than
+	// one directory-inode lock (rename, rmdir). With at most one
+	// dir lock per task outside renameMu, no cycle can form at the
+	// dir level — the same job s_vfs_rename_mutex does in Linux.
+	renameMu *kbase.KMutex
+	// allocMu guards both allocation bitmaps (scan-and-set and
+	// free-bit counting).
+	allocMu *kbase.KMutex
+
+	imu    sync.Mutex // guards inodes (the icache table) only
 	inodes map[uint64]*vfs.Inode
 }
 
@@ -71,10 +96,12 @@ func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
 		return nil, kbase.EUCLEAN
 	}
 	inst := &fsInstance{
-		fs:     f,
-		cache:  cache,
-		geo:    geo,
-		inodes: make(map[uint64]*vfs.Inode),
+		fs:       f,
+		cache:    cache,
+		geo:      geo,
+		renameMu: kbase.NewKMutex(renameClass),
+		allocMu:  kbase.NewKMutex(allocClass),
+		inodes:   make(map[uint64]*vfs.Inode),
 	}
 	inst.jnl = journal.New(cache, geo.SB.JournalStart, geo.SB.JournalLen)
 	// Crash recovery on every mount; clean mounts replay nothing.
@@ -83,9 +110,7 @@ func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
 	}
 	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
 	inst.vsb = vsb
-	inst.mu.Lock()
 	root, err := inst.iget(task, geo.SB.RootIno)
-	inst.mu.Unlock()
 	if err != kbase.EOK {
 		return nil, err
 	}
@@ -139,12 +164,12 @@ type inodeOps struct {
 
 func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	ei, err := einodeOf(dir)
 	if err != kbase.EOK {
 		return kbase.ErrPtr[vfs.Inode](err)
 	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	ents, err := inst.readDir(task, ei)
 	if err != kbase.EOK {
 		return kbase.ErrPtr[vfs.Inode](err)
@@ -165,12 +190,12 @@ func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vf
 		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
 	}
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	ei, err := einodeOf(dir)
 	if err != kbase.EOK {
 		return kbase.ErrPtr[vfs.Inode](err)
 	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	ents, err := inst.readDir(task, ei)
 	if err != kbase.EOK {
 		return kbase.ErrPtr[vfs.Inode](err)
@@ -212,25 +237,27 @@ func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Ino
 }
 
 func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
-	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	return inst.removeEntry(task, dir, name, false)
+	return o.inst.removeEntry(task, dir, name, false)
 }
 
 func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
+	// Rmdir locks two directory inodes (parent then child), so it
+	// must serialize against other multi-dir lockers.
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.renameMu.Lock(task)
+	defer inst.renameMu.Unlock(task)
 	return inst.removeEntry(task, dir, name, true)
 }
 
-// removeEntry implements unlink and rmdir. Caller holds inst.mu.
+// removeEntry implements unlink and rmdir. For wantDir the caller
+// holds renameMu (two dir locks are about to be taken).
 func (inst *fsInstance) removeEntry(task *kbase.Task, dir *vfs.Inode, name string, wantDir bool) kbase.Errno {
 	ei, err := einodeOf(dir)
 	if err != kbase.EOK {
 		return err
 	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	ents, err := inst.readDir(task, ei)
 	if err != kbase.EOK {
 		return err
@@ -255,6 +282,13 @@ func (inst *fsInstance) removeEntry(task *kbase.Task, dir *vfs.Inode, name strin
 	if err != kbase.EOK {
 		return err
 	}
+	if isDir {
+		// Child directory nests under the parent's class.
+		cei.lock.LockNested(task, 1)
+	} else {
+		cei.lock.Lock(task)
+	}
+	defer cei.lock.Unlock(task)
 	if wantDir {
 		sub, err := inst.readDir(task, cei)
 		if err != kbase.EOK {
@@ -289,7 +323,9 @@ func (inst *fsInstance) removeEntry(task *kbase.Task, dir *vfs.Inode, name strin
 		if err := inst.freeIno(task, h, target.Ino); err != kbase.EOK {
 			return err
 		}
+		inst.imu.Lock()
 		delete(inst.inodes, target.Ino)
+		inst.imu.Unlock()
 	}
 	if err := inst.writeDiskInode(task, h, target.Ino, &cei.di); err != kbase.EOK {
 		return err
@@ -303,8 +339,11 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 		return kbase.EINVAL
 	}
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	// All renames serialize on renameMu: they may hold two dir
+	// locks at once, and no topological order between arbitrary
+	// directories exists without it.
+	inst.renameMu.Lock(task)
+	defer inst.renameMu.Unlock(task)
 	oei, err := einodeOf(oldDir)
 	if err != kbase.EOK {
 		return err
@@ -312,6 +351,13 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	nei, err := einodeOf(newDir)
 	if err != kbase.EOK {
 		return err
+	}
+	sameDir := oei == nei
+	oei.lock.Lock(task)
+	defer oei.lock.Unlock(task)
+	if !sameDir {
+		nei.lock.LockNested(task, 1)
+		defer nei.lock.Unlock(task)
 	}
 	oldEnts, err := inst.readDir(task, oei)
 	if err != kbase.EOK {
@@ -323,7 +369,6 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	}
 	moving := oldEnts[oi]
 
-	sameDir := oei == nei
 	newEnts := oldEnts
 	if !sameDir {
 		newEnts, err = inst.readDir(task, nei)
@@ -332,23 +377,32 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 		}
 	}
 
-	h := inst.begin()
-	defer h.Stop()
-
-	if ni := dirFind(newEnts, newName); ni >= 0 {
+	// Resolve and lock a replaced target BEFORE opening the journal
+	// handle: handle holders must never block on an inode lock.
+	var xei *einode
+	ni := dirFind(newEnts, newName)
+	if ni >= 0 {
 		existing := newEnts[ni]
 		if existing.Mode == modeDirDisk {
 			return kbase.EISDIR
 		}
-		// Replace: drop the target like unlink does.
 		exVi, err := inst.iget(task, existing.Ino)
 		if err != kbase.EOK {
 			return err
 		}
-		xei, err := einodeOf(exVi)
-		if err != kbase.EOK {
+		if xei, err = einodeOf(exVi); err != kbase.EOK {
 			return err
 		}
+		xei.lock.Lock(task)
+		defer xei.lock.Unlock(task)
+	}
+
+	h := inst.begin()
+	defer h.Stop()
+
+	if ni >= 0 {
+		// Replace: drop the target like unlink does.
+		existing := newEnts[ni]
 		xei.di.Nlink--
 		if xei.di.Nlink == 0 {
 			if !inst.fs.LeakOnUnlink {
@@ -359,7 +413,9 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 			if err := inst.freeIno(task, h, existing.Ino); err != kbase.EOK {
 				return err
 			}
+			inst.imu.Lock()
 			delete(inst.inodes, existing.Ino)
+			inst.imu.Unlock()
 		}
 		if err := inst.writeDiskInode(task, h, existing.Ino, &xei.di); err != kbase.EOK {
 			return err
@@ -392,12 +448,12 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 
 func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kbase.Errno) {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	ei, err := einodeOf(dir)
 	if err != kbase.EOK {
 		return nil, err
 	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	ents, err := inst.readDir(task, ei)
 	if err != kbase.EOK {
 		return nil, err
@@ -433,23 +489,22 @@ type fileOps struct {
 
 func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64) (int, kbase.Errno) {
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	ei, err := einodeOf(ino)
 	if err != kbase.EOK {
 		return 0, err
 	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	return inst.readFileRange(task, ei, buf, off)
 }
 
 func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (any, kbase.Errno) {
 	inst := fo.inst
-	inst.mu.Lock() // released in WriteEnd — the legacy protocol spans calls
 	ei, err := einodeOf(ino)
 	if err != kbase.EOK {
-		inst.mu.Unlock()
 		return nil, err
 	}
+	ei.lock.Lock(task) // released in WriteEnd — the legacy protocol spans calls
 	h := inst.begin()
 	if inst.fs.ConfuseWriteEnd {
 		return &confusedToken{ei: ei, h: h}, kbase.EOK
@@ -462,13 +517,13 @@ func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data [
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
 			"write_copy private is %T, not *writeToken", private)
-		fo.abortWrite(private)
+		fo.abortWrite(task, ino, private)
 		return 0, kbase.EUCLEAN
 	}
 	n, err := fo.inst.writeFileRange(task, tok.h, tok.ei, data, off)
 	if err != kbase.EOK {
 		tok.h.Stop()
-		fo.inst.mu.Unlock()
+		tok.ei.lock.Unlock(task)
 	}
 	return n, err
 }
@@ -478,7 +533,7 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
 			"write_end private is %T, not *writeToken", private)
-		fo.abortWrite(private)
+		fo.abortWrite(task, ino, private)
 		return kbase.EUCLEAN
 	}
 	inst := fo.inst
@@ -498,28 +553,31 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 	} else {
 		inst.commit()
 	}
-	inst.mu.Unlock()
+	tok.ei.lock.Unlock(task)
 	return err
 }
 
 // abortWrite cleans up when the token was type-confused: we can still
-// salvage the handle if the confused value carries one.
-func (fo *fileOps) abortWrite(private any) {
+// salvage the handle if the confused value carries one, and the inode
+// lock is recovered from the inode itself since the token is useless.
+func (fo *fileOps) abortWrite(task *kbase.Task, ino *vfs.Inode, private any) {
 	if ct, ok := private.(*confusedToken); ok {
 		ct.h.Stop()
 	}
 	fo.inst.commit()
-	fo.inst.mu.Unlock()
+	if ei, err := einodeOf(ino); err == kbase.EOK {
+		ei.lock.Unlock(task)
+	}
 }
 
 func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.Errno {
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	ei, err := einodeOf(ino)
 	if err != kbase.EOK {
 		return err
 	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	h := inst.begin()
 	defer h.Stop()
 	if size < int64(ei.di.Size) {
@@ -538,8 +596,14 @@ func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.
 
 func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	ei, err := einodeOf(ino)
+	if err != kbase.EOK {
+		return err
+	}
+	// Hold the inode lock so an in-flight write to this file has
+	// fully landed before we commit and write back.
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
 	if err := inst.commit(); err != kbase.EOK {
 		return err
 	}
@@ -550,8 +614,8 @@ func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
 // SuperBlockOps.
 
 func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.allocMu.Lock(task)
+	defer inst.allocMu.Unlock(task)
 	freeB, err := inst.countFreeBits(inst.geo.SB.BBMStart, inst.geo.SB.BBMBlocks, inst.geo.SB.TotalBlocks)
 	if err != kbase.EOK {
 		return vfs.StatFS{}, err
@@ -570,8 +634,8 @@ func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
 }
 
 func (inst *fsInstance) SyncFS(task *kbase.Task) kbase.Errno {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	// No instance-wide lock: the journal's commit gate quiesces
+	// metadata, and SyncDirty snapshots the dirty set on its own.
 	if err := inst.commit(); err != kbase.EOK {
 		return err
 	}

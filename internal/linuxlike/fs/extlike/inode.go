@@ -12,7 +12,11 @@ import (
 // as i_private does.
 type einode struct {
 	ino uint64
-	di  diskInode
+	// lock is the per-inode mutex (i_rwsem's stand-in). It guards di
+	// and the inode's directory/file content. Class is dir_inode or
+	// file_inode by mode; child directories lock with subclass 1.
+	lock *kbase.KMutex
+	di   diskInode
 }
 
 // einodeOf performs the legacy untyped downcast of Inode.Private.
@@ -63,8 +67,12 @@ func (inst *fsInstance) writeDiskInode(task *kbase.Task, h *journal.Handle, ino 
 }
 
 // iget returns the in-memory vfs.Inode for ino, loading it from disk
-// on first use. Caller holds inst.mu.
+// on first use. It takes the itable lock itself; callers may hold any
+// inode locks (imu nests inside them and is never held across a
+// kbase lock acquisition).
 func (inst *fsInstance) iget(task *kbase.Task, ino uint64) (*vfs.Inode, kbase.Errno) {
+	inst.imu.Lock()
+	defer inst.imu.Unlock()
 	if vi, ok := inst.inodes[ino]; ok {
 		return vi, kbase.EOK
 	}
@@ -75,14 +83,16 @@ func (inst *fsInstance) iget(task *kbase.Task, ino uint64) (*vfs.Inode, kbase.Er
 	if di.Nlink == 0 && ino != RootIno {
 		return nil, kbase.ESTALE
 	}
-	ei := &einode{ino: ino, di: di}
 	var mode vfs.FileMode
+	lockClass := fileClass
 	switch di.Mode {
 	case modeDirDisk:
 		mode = vfs.ModeDir
+		lockClass = dirClass
 	default:
 		mode = vfs.ModeRegular
 	}
+	ei := &einode{ino: ino, lock: kbase.NewKMutex(lockClass), di: di}
 	vi := &vfs.Inode{
 		Ino:     ino,
 		Mode:    mode,

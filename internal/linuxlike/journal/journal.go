@@ -50,11 +50,24 @@ type Journal struct {
 	size  uint64 // journal region length in blocks
 
 	mu       sync.Mutex
-	seq      uint64 // next transaction sequence number
-	tailSeq  uint64 // oldest not-yet-checkpointed sequence
-	writePos uint64 // next free journal block (offset within region)
+	cond     *sync.Cond // signaled on handle drain and gate release
+	seq      uint64     // next transaction sequence number
+	tailSeq  uint64     // oldest not-yet-checkpointed sequence
+	writePos uint64     // next free journal block (offset within region)
 	running  *Tx
 	revoked  map[uint64]uint64 // home block -> seq at which revoked
+
+	// gate is the commit/checkpoint barrier: while set, Begin blocks,
+	// so no new handle can mutate a buffer whose data is being written
+	// to the journal or synced by a checkpoint. gateSeq is the
+	// sequence being committed (0 for a checkpoint gate); lastDoneSeq
+	// and lastErr publish the outcome of the last finished commit so
+	// that concurrent Commit callers — whose updates rode in that
+	// transaction — can return its result (group commit).
+	gate        bool
+	gateSeq     uint64
+	lastDoneSeq uint64
+	lastErr     kbase.Errno
 
 	stats Stats
 }
@@ -92,14 +105,17 @@ func New(cache *bufcache.Cache, start, size uint64) *Journal {
 	if size < 4 {
 		panic("journal: region too small")
 	}
-	return &Journal{
+	j := &Journal{
 		cache:   cache,
 		start:   start,
 		size:    size,
 		seq:     1,
 		tailSeq: 1,
 		revoked: make(map[uint64]uint64),
+		lastErr: kbase.EOK,
 	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
 }
 
 // Stats returns a snapshot of journal counters.
@@ -130,10 +146,16 @@ func (j *Journal) writeSuperLocked() kbase.Errno {
 }
 
 // Begin opens a handle on the running transaction, creating one if
-// needed (journal_start).
+// needed (journal_start). While a commit or checkpoint is in flight
+// Begin blocks, so a new handle can never mutate buffer data that the
+// journal is concurrently writing out — the jbd2 analogue of starting
+// the next transaction only once the previous one is locked down.
 func (j *Journal) Begin() *Handle {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	for j.gate {
+		j.cond.Wait()
+	}
 	if j.running == nil {
 		j.running = &Tx{j: j, seq: j.seq, inTx: make(map[uint64]bool)}
 		j.seq++
@@ -204,9 +226,13 @@ func (h *Handle) Stop() {
 		return
 	}
 	h.done = true
-	h.tx.j.mu.Lock()
+	j := h.tx.j
+	j.mu.Lock()
 	h.tx.handles--
-	h.tx.j.mu.Unlock()
+	if h.tx.handles == 0 {
+		j.cond.Broadcast() // wake committers waiting for the drain
+	}
+	j.mu.Unlock()
 }
 
 // Commit force-commits the running transaction synchronously
@@ -214,16 +240,54 @@ func (h *Handle) Stop() {
 // flush, write commit block, flush again, then write the home
 // locations through the buffer cache (without flushing them — that is
 // Checkpoint's job).
+//
+// Under concurrency this is a blocking group commit: if other tasks
+// still hold open handles on the transaction, Commit waits for them
+// to Stop (their updates then ride in this commit); if another task
+// is already committing the transaction our updates are in, Commit
+// waits for that commit and returns its outcome.
 func (j *Journal) Commit() kbase.Errno {
 	j.mu.Lock()
-	tx := j.running
-	if tx == nil {
-		j.mu.Unlock()
-		return kbase.EOK // nothing to commit
+	defer j.mu.Unlock()
+	for {
+		if j.gate {
+			// A commit or checkpoint is in flight. Our caller's
+			// updates, if any, are in that transaction or an earlier
+			// one (Begin blocks while gated, so nothing newer can
+			// exist yet). Wait for the round and report its result.
+			seq := j.gateSeq
+			for j.gate && j.gateSeq == seq {
+				j.cond.Wait()
+			}
+			if seq != 0 && j.lastDoneSeq == seq {
+				return j.lastErr
+			}
+			continue // checkpoint gate, or tx reinstated on ENOSPC
+		}
+		tx := j.running
+		if tx == nil {
+			return kbase.EOK // nothing to commit
+		}
+		// Become the committer: raise the gate (no new Begins), then
+		// wait for live handles to drain.
+		j.gate = true
+		j.gateSeq = tx.seq
+		for tx.handles > 0 {
+			j.cond.Wait()
+		}
+		return j.commitGatedLocked(tx)
 	}
-	if tx.handles > 0 {
-		j.mu.Unlock()
-		return kbase.EBUSY
+}
+
+// commitGatedLocked writes tx out. Caller holds j.mu and the gate;
+// tx has no open handles. The gate is released before returning.
+func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
+	finish := func(err kbase.Errno) kbase.Errno {
+		j.lastDoneSeq = tx.seq
+		j.lastErr = err
+		j.gate = false
+		j.cond.Broadcast()
+		return err
 	}
 	tx.closed = true
 	j.running = nil
@@ -241,7 +305,8 @@ func (j *Journal) Commit() kbase.Errno {
 		// checkpoints. Reinstate the transaction.
 		tx.closed = false
 		j.running = tx
-		j.mu.Unlock()
+		j.gate = false
+		j.cond.Broadcast()
 		return kbase.ENOSPC
 	}
 
@@ -258,15 +323,13 @@ func (j *Journal) Commit() kbase.Errno {
 		binary.LittleEndian.PutUint64(desc[20+8*i:], bh.Block)
 	}
 	if err := dev.Write(pos, desc); err != kbase.EOK {
-		j.mu.Unlock()
-		return err
+		return finish(err)
 	}
 	pos++
 	// Data blocks.
 	for _, bh := range tx.buffers {
 		if err := dev.Write(pos, bh.Data); err != kbase.EOK {
-			j.mu.Unlock()
-			return err
+			return finish(err)
 		}
 		crc.Write(bh.Data)
 		pos++
@@ -283,15 +346,13 @@ func (j *Journal) Commit() kbase.Errno {
 			binary.LittleEndian.PutUint64(rev[20+8*i:], home)
 		}
 		if err := dev.Write(pos, rev); err != kbase.EOK {
-			j.mu.Unlock()
-			return err
+			return finish(err)
 		}
 		pos++
 	}
 	// Barrier: journal body durable before commit record.
 	if err := dev.Flush(); err != kbase.EOK {
-		j.mu.Unlock()
-		return err
+		return finish(err)
 	}
 	// Commit record.
 	com := make([]byte, bs)
@@ -300,13 +361,11 @@ func (j *Journal) Commit() kbase.Errno {
 	binary.LittleEndian.PutUint64(com[8:], tx.seq)
 	binary.LittleEndian.PutUint32(com[16:], crc.Sum32())
 	if err := dev.Write(pos, com); err != kbase.EOK {
-		j.mu.Unlock()
-		return err
+		return finish(err)
 	}
 	pos++
 	if err := dev.Flush(); err != kbase.EOK {
-		j.mu.Unlock()
-		return err
+		return finish(err)
 	}
 	j.writePos = pos - j.start
 	for _, home := range tx.revokes {
@@ -314,27 +373,51 @@ func (j *Journal) Commit() kbase.Errno {
 	}
 	j.stats.Commits++
 	buffers := tx.buffers
-	j.mu.Unlock()
 
 	// Home writes: through the cache, unflushed. A crash between here
-	// and Checkpoint is exactly what recovery must repair.
+	// and Checkpoint is exactly what recovery must repair. j.mu is
+	// dropped (WriteBuffer takes cache locks) but the gate stays up,
+	// so no new handle can mutate these buffers mid-write.
+	j.mu.Unlock()
+	var homeErr kbase.Errno = kbase.EOK
 	for _, bh := range buffers {
 		bh.JournalData = nil
 		if err := j.cache.WriteBuffer(bh); err != kbase.EOK {
-			return err
+			homeErr = err
+			break
 		}
 	}
-	return kbase.EOK
+	j.mu.Lock()
+	return finish(homeErr)
 }
 
 // Checkpoint makes all home locations durable and resets the journal
-// region (jbd2 checkpoint + journal tail update).
+// region (jbd2 checkpoint + journal tail update). It quiesces the
+// journal first — new Begins block and live handles drain — so the
+// writeback pass cannot race buffer mutations made under a handle.
 func (j *Journal) Checkpoint() kbase.Errno {
-	if err := j.cache.SyncDirty(); err != kbase.EOK {
+	j.mu.Lock()
+	for j.gate {
+		j.cond.Wait()
+	}
+	j.gate = true
+	j.gateSeq = 0
+	for j.running != nil && j.running.handles > 0 {
+		j.cond.Wait()
+	}
+	j.mu.Unlock()
+
+	err := j.cache.SyncDirty()
+
+	j.mu.Lock()
+	defer func() {
+		j.gate = false
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	}()
+	if err != kbase.EOK {
 		return err
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	// The tail must not exclude a transaction that is still running:
 	// it will commit with its already-assigned sequence, and recovery
 	// only replays sequences at or above the tail.

@@ -2,6 +2,7 @@ package journal
 
 import (
 	"testing"
+	"time"
 
 	"safelinux/internal/linuxlike/blockdev"
 	"safelinux/internal/linuxlike/bufcache"
@@ -194,18 +195,33 @@ func TestDirtyMetadataWithoutAccessOopses(t *testing.T) {
 	h.Stop()
 }
 
-func TestCommitWithOpenHandleRefused(t *testing.T) {
+func TestCommitBlocksUntilHandleStops(t *testing.T) {
 	_, cache, j := testSetup(t)
 	h := j.Begin()
 	bh, _ := cache.Bread(51)
 	h.GetWriteAccess(bh)
+	h.DirtyMetadata(bh)
 	bh.Put()
-	if err := j.Commit(); err != kbase.EBUSY {
-		t.Fatalf("Commit with open handle: %v", err)
+	// Group commit: a concurrent Commit waits for the open handle to
+	// drain instead of failing with EBUSY, then commits the handle's
+	// updates.
+	done := make(chan kbase.Errno, 1)
+	go func() { done <- j.Commit() }()
+	select {
+	case err := <-done:
+		t.Fatalf("Commit completed with an open handle: %v", err)
+	case <-time.After(20 * time.Millisecond):
 	}
 	h.Stop()
-	if err := j.Commit(); err != kbase.EOK {
+	if err := <-done; err != kbase.EOK {
 		t.Fatalf("Commit after Stop: %v", err)
+	}
+	if got := j.Stats().Commits; got != 1 {
+		t.Fatalf("Commits = %d, want 1", got)
+	}
+	// A second Commit with nothing running is a no-op.
+	if err := j.Commit(); err != kbase.EOK {
+		t.Fatalf("idle Commit: %v", err)
 	}
 }
 
@@ -326,11 +342,13 @@ func TestCheckpointWithRunningTransaction(t *testing.T) {
 	bh.Data[0] = 0x42
 	h.DirtyMetadata(bh)
 	bh.Put()
-	// Checkpoint while the transaction is still running.
+	h.Stop()
+	// Checkpoint while the transaction is still running (created but
+	// not yet committed — Checkpoint quiesces open handles, so the
+	// handle is stopped first; the transaction itself stays running).
 	if err := j.Checkpoint(); err != kbase.EOK {
 		t.Fatalf("Checkpoint: %v", err)
 	}
-	h.Stop()
 	if err := j.Commit(); err != kbase.EOK {
 		t.Fatalf("Commit 2: %v", err)
 	}

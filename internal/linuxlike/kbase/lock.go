@@ -40,6 +40,7 @@ func lockValidationOn() bool {
 type LockClass struct {
 	name string
 	id   int
+	subs []*LockClass // lazily created nested subclasses
 }
 
 var (
@@ -53,6 +54,10 @@ var (
 func NewLockClass(name string) *LockClass {
 	classMu.Lock()
 	defer classMu.Unlock()
+	return newLockClassLocked(name)
+}
+
+func newLockClassLocked(name string) *LockClass {
 	if c, ok := classSeen[name]; ok {
 		return c
 	}
@@ -64,6 +69,28 @@ func NewLockClass(name string) *LockClass {
 
 // Name returns the class name.
 func (c *LockClass) Name() string { return c.name }
+
+// Nested returns the subclass of this class for nesting level sub, as
+// Linux's mutex_lock_nested uses to annotate places where two locks of
+// the same class are legitimately taken in a fixed order (e.g. parent
+// directory before child directory). Subclass 0 is the class itself;
+// subclass n > 0 is registered as "name#n" and participates in the
+// ordering graph as its own node, so class->class#1 is a valid edge
+// while class->class would be flagged.
+func (c *LockClass) Nested(sub int) *LockClass {
+	if sub <= 0 {
+		return c
+	}
+	classMu.Lock()
+	defer classMu.Unlock()
+	for len(c.subs) < sub {
+		c.subs = append(c.subs, nil)
+	}
+	if c.subs[sub-1] == nil {
+		c.subs[sub-1] = newLockClassLocked(fmt.Sprintf("%s#%d", c.name, sub))
+	}
+	return c.subs[sub-1]
+}
 
 // LockValidator records the observed ordering between lock classes and
 // reports violations. One global instance serves the whole kernel,
@@ -251,24 +278,36 @@ func (l *SpinLock) Unlock(task *Task) {
 type KMutex struct {
 	mu    sync.Mutex
 	class *LockClass
+	held  *LockClass // class actually acquired (may be a Nested subclass)
 }
 
 // NewKMutex creates a mutex in the given class.
 func NewKMutex(class *LockClass) *KMutex { return &KMutex{class: class} }
 
 // Lock acquires the mutex on behalf of task.
-func (m *KMutex) Lock(task *Task) {
+func (m *KMutex) Lock(task *Task) { m.LockNested(task, 0) }
+
+// LockNested acquires the mutex under subclass sub of its lock class,
+// for call sites that nest two locks of one class in a guaranteed
+// order (mutex_lock_nested in Linux). The matching Unlock releases
+// whatever subclass was acquired.
+func (m *KMutex) LockNested(task *Task, sub int) {
+	var acq *LockClass
 	if lockValidationOn() && m.class != nil {
-		globalValidator.acquire(task.ID(), m.class)
+		acq = m.class.Nested(sub)
+		globalValidator.acquire(task.ID(), acq)
 	}
 	m.mu.Lock()
+	m.held = acq
 }
 
 // Unlock releases the mutex.
 func (m *KMutex) Unlock(task *Task) {
+	acq := m.held
+	m.held = nil
 	m.mu.Unlock()
-	if lockValidationOn() && m.class != nil {
-		globalValidator.release(task.ID(), m.class)
+	if acq != nil {
+		globalValidator.release(task.ID(), acq)
 	}
 }
 

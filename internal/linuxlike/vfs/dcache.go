@@ -4,15 +4,25 @@ import (
 	"sync"
 )
 
+// dcacheShards is the number of independent dcache segments. Lookups
+// hash (dir, name) to a shard so concurrent path resolution does not
+// serialize on one lock, mirroring the kernel's per-bucket dcache
+// hash locks.
+const dcacheShards = 16
+
 // dcache is the dentry cache: (directory inode, component name) →
 // child inode. Negative entries (lookups that found nothing) are
 // cached as nil inodes, as the kernel caches negative dentries.
 type dcache struct {
+	max    int // total capacity across shards (0 = unbounded)
+	shards [dcacheShards]dcacheShard
+}
+
+type dcacheShard struct {
 	mu      sync.Mutex
 	entries map[dcacheKey]*Inode
 	hits    uint64
 	misses  uint64
-	max     int
 }
 
 type dcacheKey struct {
@@ -22,64 +32,103 @@ type dcacheKey struct {
 }
 
 func newDcache(max int) *dcache {
-	return &dcache{entries: make(map[dcacheKey]*Inode), max: max}
+	d := &dcache{max: max}
+	for i := range d.shards {
+		d.shards[i].entries = make(map[dcacheKey]*Inode)
+	}
+	return d
+}
+
+// shardFor hashes the lookup key to a shard (FNV-1a over the name,
+// mixed with the directory inode number).
+func (d *dcache) shardFor(dir uint64, name string) *dcacheShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	h ^= dir
+	return &d.shards[h%dcacheShards]
 }
 
 // lookup returns (inode, found). found=true with inode=nil is a
 // cached negative entry.
 func (d *dcache) lookup(sb *SuperBlock, dir uint64, name string) (*Inode, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	ino, ok := d.entries[dcacheKey{sb, dir, name}]
+	s := d.shardFor(dir, name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ino, ok := s.entries[dcacheKey{sb, dir, name}]
 	if ok {
-		d.hits++
+		s.hits++
 	} else {
-		d.misses++
+		s.misses++
 	}
 	return ino, ok
 }
 
 func (d *dcache) insert(sb *SuperBlock, dir uint64, name string, ino *Inode) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.max > 0 && len(d.entries) >= d.max {
-		// Crude shrink: drop everything. The kernel prunes by LRU;
-		// total invalidation is correct, just slower.
-		d.entries = make(map[dcacheKey]*Inode)
+	s := d.shardFor(dir, name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.max > 0 && len(s.entries) >= d.max/dcacheShards {
+		// Prune about an eighth of this shard. The kernel prunes by
+		// LRU; random partial eviction keeps the hot majority rather
+		// than dropping the whole cache and taking a miss storm.
+		drop := len(s.entries)/8 + 1
+		for k := range s.entries {
+			if drop == 0 {
+				break
+			}
+			delete(s.entries, k)
+			drop--
+		}
 	}
-	d.entries[dcacheKey{sb, dir, name}] = ino
+	s.entries[dcacheKey{sb, dir, name}] = ino
 }
 
 func (d *dcache) invalidate(sb *SuperBlock, dir uint64, name string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.entries, dcacheKey{sb, dir, name})
+	s := d.shardFor(dir, name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, dcacheKey{sb, dir, name})
 }
 
 // invalidateDir drops every entry under the given directory.
 func (d *dcache) invalidateDir(sb *SuperBlock, dir uint64) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for k := range d.entries {
-		if k.sb == sb && k.dir == dir {
-			delete(d.entries, k)
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if k.sb == sb && k.dir == dir {
+				delete(s.entries, k)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 // invalidateSB drops every entry of one superblock (unmount).
 func (d *dcache) invalidateSB(sb *SuperBlock) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for k := range d.entries {
-		if k.sb == sb {
-			delete(d.entries, k)
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if k.sb == sb {
+				delete(s.entries, k)
+			}
 		}
+		s.mu.Unlock()
 	}
 }
 
 func (d *dcache) stats() (hits, misses uint64, size int) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.hits, d.misses, len(d.entries)
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		size += len(s.entries)
+		s.mu.Unlock()
+	}
+	return hits, misses, size
 }

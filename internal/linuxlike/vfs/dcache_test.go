@@ -1,0 +1,101 @@
+package vfs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The dcache used to drop its entire map when it filled — one insert
+// past the cap evicted every cached dentry and the hit rate fell off
+// a cliff. Now each shard prunes ~1/8 of itself. These are white-box
+// tests pinning the sharded structure and the partial eviction.
+
+func TestDcachePartialEviction(t *testing.T) {
+	d := newDcache(160) // per-shard cap: 10
+	sb := &SuperBlock{}
+	ino := &Inode{}
+	// Overfill one specific shard.
+	target := d.shardFor(1, "x")
+	inserted := 0
+	for i := 0; inserted < 15; i++ {
+		name := fmt.Sprintf("n%d", i)
+		if d.shardFor(1, name) != target {
+			continue
+		}
+		d.insert(sb, 1, name, ino)
+		inserted++
+		target.mu.Lock()
+		n := len(target.entries)
+		target.mu.Unlock()
+		if n == 0 {
+			t.Fatalf("shard emptied after insert %d — eviction cliff is back", inserted)
+		}
+	}
+	target.mu.Lock()
+	n := len(target.entries)
+	target.mu.Unlock()
+	// Cap 10, prune len/8+1 (= 2 at the cap) per overflow: the shard
+	// must stay near its cap, never collapse toward zero.
+	if n < 5 {
+		t.Fatalf("shard holds %d entries after overfill; partial eviction should keep most", n)
+	}
+	if n > 10 {
+		t.Fatalf("shard holds %d entries, cap is 10", n)
+	}
+}
+
+func TestDcacheShardingSpreadsKeys(t *testing.T) {
+	d := newDcache(dcacheShards * 64)
+	sb := &SuperBlock{}
+	ino := &Inode{}
+	for i := 0; i < 256; i++ {
+		d.insert(sb, uint64(i%7), fmt.Sprintf("file%d", i), ino)
+	}
+	populated := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		if len(s.entries) > 0 {
+			populated++
+		}
+		s.mu.Unlock()
+	}
+	if populated < dcacheShards/2 {
+		t.Fatalf("only %d/%d shards populated — hash is not spreading", populated, dcacheShards)
+	}
+}
+
+func TestDcacheConcurrentMixedOps(t *testing.T) {
+	d := newDcache(256)
+	sb := &SuperBlock{}
+	ino := &Inode{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				name := fmt.Sprintf("f%d", i%97)
+				dir := uint64(id % 3)
+				switch i % 5 {
+				case 0:
+					d.insert(sb, dir, name, ino)
+				case 1:
+					d.lookup(sb, dir, name)
+				case 2:
+					d.invalidate(sb, dir, name)
+				case 3:
+					d.invalidateDir(sb, dir)
+				default:
+					d.stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	hits, misses, _ := d.stats()
+	if hits+misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

@@ -62,7 +62,10 @@ type BoundaryDetector interface {
 // VFS is the virtual file system switch: registered file system
 // types, the mount table, the dentry cache, and the open-file table.
 type VFS struct {
-	mu      sync.Mutex
+	// mu guards the tables below. Hot read paths (mount resolution,
+	// fd lookup) take the read side so they scale across CPUs; only
+	// registration, mount/unmount and open/close take the write side.
+	mu      sync.RWMutex
 	fstypes map[string]FileSystemType
 	mounts  []mount // sorted by descending path length
 	files   map[int]*File
@@ -138,9 +141,9 @@ func (v *VFS) Mount(task *kbase.Task, path, fstype string, data any) kbase.Errno
 	if path == "" {
 		return kbase.EINVAL
 	}
-	v.mu.Lock()
+	v.mu.RLock()
 	fs, ok := v.fstypes[fstype]
-	v.mu.Unlock()
+	v.mu.RUnlock()
 	if !ok {
 		return kbase.ENODEV
 	}
@@ -211,8 +214,8 @@ func (v *VFS) Unmount(task *kbase.Task, path string) kbase.Errno {
 // it. Mount paths are sorted longest-first, so the first prefix match
 // is the deepest mount.
 func (v *VFS) mountFor(path string) (*SuperBlock, string, kbase.Errno) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	for _, m := range v.mounts {
 		if m.path == "/" {
 			return m.sb, strings.TrimPrefix(path, "/"), kbase.EOK
@@ -354,8 +357,8 @@ func (v *VFS) Close(fd int) kbase.Errno {
 
 // file fetches an open file by descriptor.
 func (v *VFS) file(fd int) (*File, kbase.Errno) {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	f, ok := v.files[fd]
 	if !ok {
 		return nil, kbase.EBADF
@@ -365,8 +368,8 @@ func (v *VFS) file(fd int) (*File, kbase.Errno) {
 
 // OpenFiles returns the number of open descriptors.
 func (v *VFS) OpenFiles() int {
-	v.mu.Lock()
-	defer v.mu.Unlock()
+	v.mu.RLock()
+	defer v.mu.RUnlock()
 	return len(v.files)
 }
 
@@ -445,9 +448,9 @@ func (v *VFS) writeAt(task *kbase.Task, ino *Inode, data []byte, off int64) (int
 	if err != kbase.EOK {
 		return 0, err
 	}
-	v.mu.Lock()
+	v.mu.RLock()
 	det := v.detector
-	v.mu.Unlock()
+	v.mu.RUnlock()
 	if det != nil {
 		det.Check("vfs.write_private."+ino.Sb.FSType, private)
 	}

@@ -148,16 +148,27 @@ func stateErr(s BufState) kbase.Errno {
 	return kbase.EINVAL
 }
 
+// NumShards is the number of independent cache segments; blocks map
+// to shards by block % NumShards so concurrent Get/Sync traffic on
+// different blocks does not serialize on one lock (the same striping
+// the legacy cache got in its blk-mq refactor).
+const NumShards = 16
+
+// cacheShard is one lock-striped segment of the cache.
+type cacheShard struct {
+	mu      sync.Mutex
+	buffers map[uint64]*Buffer
+	dirty   map[uint64]*Buffer
+	stats   Stats
+}
+
 // Cache is the ownership-safe buffer cache over an axiomatically
 // modeled disk (the shim boundary to the unverified device).
 type Cache struct {
 	disk    spec.DiskLike
 	checker *own.Checker
 
-	mu      sync.Mutex
-	buffers map[uint64]*Buffer
-	dirty   map[uint64]*Buffer
-	stats   Stats
+	shards [NumShards]cacheShard
 }
 
 // Stats counts cache activity.
@@ -170,19 +181,30 @@ type Stats struct {
 // NewCache creates a cache over disk; ownership violations are
 // reported to checker.
 func NewCache(disk spec.DiskLike, checker *own.Checker) *Cache {
-	return &Cache{
-		disk:    disk,
-		checker: checker,
-		buffers: make(map[uint64]*Buffer),
-		dirty:   make(map[uint64]*Buffer),
+	c := &Cache{disk: disk, checker: checker}
+	for i := range c.shards {
+		c.shards[i].buffers = make(map[uint64]*Buffer)
+		c.shards[i].dirty = make(map[uint64]*Buffer)
 	}
+	return c
 }
 
-// Stats returns a snapshot.
+func (c *Cache) shard(block uint64) *cacheShard {
+	return &c.shards[block%NumShards]
+}
+
+// Stats returns a snapshot summed over all shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var out Stats
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		out.Hits += s.stats.Hits
+		out.Misses += s.stats.Misses
+		out.Writeback += s.stats.Writeback
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Get returns the buffer for block, reading it from disk on first
@@ -193,14 +215,15 @@ func (c *Cache) Get(block uint64) (*Buffer, kbase.Errno) {
 	if block >= c.disk.Blocks() {
 		return nil, kbase.EINVAL
 	}
-	c.mu.Lock()
-	if b, ok := c.buffers[block]; ok {
-		c.stats.Hits++
-		c.mu.Unlock()
+	s := c.shard(block)
+	s.mu.Lock()
+	if b, ok := s.buffers[block]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
 		return b, kbase.EOK
 	}
-	c.stats.Misses++
-	c.mu.Unlock()
+	s.stats.Misses++
+	s.mu.Unlock()
 
 	data := make([]byte, c.disk.BlockSize())
 	if err := c.disk.Read(block, data); err != kbase.EOK {
@@ -212,14 +235,14 @@ func (c *Cache) Get(block uint64) (*Buffer, kbase.Errno) {
 		data:  own.New(c.checker, fmt.Sprintf("safebuf.block.%d", block), data),
 		cache: c,
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if existing, ok := c.buffers[block]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.buffers[block]; ok {
 		// Raced with another loader; theirs wins, ours is freed.
 		b.data.Free()
 		return existing, kbase.EOK
 	}
-	c.buffers[block] = b
+	s.buffers[block] = b
 	return b, kbase.EOK
 }
 
@@ -230,10 +253,11 @@ func (c *Cache) GetZero(block uint64) (*Buffer, kbase.Errno) {
 	if block >= c.disk.Blocks() {
 		return nil, kbase.EINVAL
 	}
-	c.mu.Lock()
-	if b, ok := c.buffers[block]; ok {
-		c.stats.Hits++
-		c.mu.Unlock()
+	s := c.shard(block)
+	s.mu.Lock()
+	if b, ok := s.buffers[block]; ok {
+		s.stats.Hits++
+		s.mu.Unlock()
 		// Zero it through the capability.
 		err := b.Write(func(data []byte) {
 			for i := range data {
@@ -242,40 +266,49 @@ func (c *Cache) GetZero(block uint64) (*Buffer, kbase.Errno) {
 		})
 		return b, err
 	}
-	defer c.mu.Unlock()
+	defer s.mu.Unlock()
 	b := &Buffer{
 		Block: block,
 		state: StateDirty,
 		data:  own.New(c.checker, fmt.Sprintf("safebuf.block.%d", block), make([]byte, c.disk.BlockSize())),
 		cache: c,
 	}
-	c.buffers[block] = b
-	c.dirty[block] = b
+	s.buffers[block] = b
+	s.dirty[block] = b
 	return b, kbase.EOK
 }
 
 func (c *Cache) noteDirty(b *Buffer) {
-	c.mu.Lock()
-	c.dirty[b.Block] = b
-	c.mu.Unlock()
+	s := c.shard(b.Block)
+	s.mu.Lock()
+	s.dirty[b.Block] = b
+	s.mu.Unlock()
 }
 
 // DirtyCount returns the number of dirty buffers.
 func (c *Cache) DirtyCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.dirty)
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.dirty)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Sync writes every dirty buffer through the state machine
 // (Dirty→Writing→Clean) and issues a flush barrier.
 func (c *Cache) Sync() kbase.Errno {
-	c.mu.Lock()
-	toWrite := make([]*Buffer, 0, len(c.dirty))
-	for _, b := range c.dirty {
-		toWrite = append(toWrite, b)
+	var toWrite []*Buffer
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, b := range s.dirty {
+			toWrite = append(toWrite, b)
+		}
+		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	for _, b := range toWrite {
 		if err := c.writeOne(b); err != kbase.EOK {
 			return err
@@ -305,23 +338,27 @@ func (c *Cache) writeOne(b *Buffer) kbase.Errno {
 	if err := b.transition(StateClean); err != kbase.EOK {
 		return err
 	}
-	c.mu.Lock()
-	delete(c.dirty, b.Block)
-	c.stats.Writeback++
-	c.mu.Unlock()
+	s := c.shard(b.Block)
+	s.mu.Lock()
+	delete(s.dirty, b.Block)
+	s.stats.Writeback++
+	s.mu.Unlock()
 	return kbase.EOK
 }
 
 // Drop releases all buffers (unmount), freeing their ownership cells
 // so the leak detector sees a clean shutdown.
 func (c *Cache) Drop() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, b := range c.buffers {
-		b.data.Free()
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for _, b := range s.buffers {
+			b.data.Free()
+		}
+		s.buffers = make(map[uint64]*Buffer)
+		s.dirty = make(map[uint64]*Buffer)
+		s.mu.Unlock()
 	}
-	c.buffers = make(map[uint64]*Buffer)
-	c.dirty = make(map[uint64]*Buffer)
 }
 
 // --- module framework registration ---

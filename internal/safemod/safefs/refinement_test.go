@@ -110,10 +110,10 @@ func TestAxiomShimUnderSafefs(t *testing.T) {
 	}
 	inst := sb.Private.(*fsInstance)
 	for i := 0; i < 20; i++ {
-		inst.mu.Lock()
+		inst.nsLock.DownWrite(nil)
 		inst.do(Record{Kind: OpCreate, Path: string(rune('a' + i))})
 		inst.do(Record{Kind: OpWrite, Path: string(rune('a' + i)), Data: []byte("data")})
-		inst.mu.Unlock()
+		inst.nsLock.UpWrite(nil)
 	}
 	if v := ax.Violations(); len(v) != 0 {
 		t.Fatalf("block-I/O axioms violated: %v", v)

@@ -30,15 +30,23 @@ type MountData struct {
 	Checker *own.Checker
 }
 
+// fsLockClass is the lockdep class of the namespace rwsem.
+var fsLockClass = kbase.NewLockClass("safefs.fslock")
+
 // fsInstance is one mounted safefs.
 type fsInstance struct {
 	fs      *FS
 	checker *own.Checker
 
-	mu      sync.Mutex
-	st      *fstate
-	store   *store
-	vsb     *vfs.SuperBlock
+	// nsLock guards st and store. Pure readers (Lookup, ReadDir,
+	// Read, Statfs) take the read side and run in parallel; every
+	// mutation and log/store operation takes the write side.
+	nsLock *kbase.RWSem
+	st     *fstate
+	store  *store
+	vsb    *vfs.SuperBlock
+
+	imu     sync.Mutex // guards inodes and nextIno only
 	inodes  map[string]*vfs.Inode
 	nextIno uint64
 }
@@ -60,6 +68,7 @@ func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
 	}
 	inst := &fsInstance{
 		fs: f, checker: checker, st: st, store: store,
+		nsLock: kbase.NewRWSem(fsLockClass),
 		inodes: make(map[string]*vfs.Inode), nextIno: 2,
 	}
 	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
@@ -75,9 +84,11 @@ type snode struct {
 	path string
 }
 
-// inodeFor returns the (cached) inode for a path. Caller holds
-// inst.mu or is in Mount.
+// inodeFor returns the (cached) inode for a path. It takes the inode
+// table lock itself, so read-side namespace holders may call it.
 func (inst *fsInstance) inodeFor(path string, isDir bool) *vfs.Inode {
+	inst.imu.Lock()
+	defer inst.imu.Unlock()
 	if ino, ok := inst.inodes[path]; ok {
 		return ino
 	}
@@ -218,8 +229,8 @@ type inodeOps struct {
 
 func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownRead(task)
+	defer inst.nsLock.UpRead(task)
 	path, err := pathOf(dir, name)
 	if err != kbase.EOK {
 		return kbase.ErrPtr[vfs.Inode](err)
@@ -235,8 +246,8 @@ func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.In
 
 func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	path, err := pathOf(dir, name)
 	if err != kbase.EOK {
 		return kbase.ErrPtr[vfs.Inode](err)
@@ -257,8 +268,8 @@ func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Ino
 
 func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	path, err := pathOf(dir, name)
 	if err != kbase.EOK {
 		return err
@@ -266,14 +277,16 @@ func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.E
 	if err := inst.do(Record{Kind: OpUnlink, Path: path}); err != kbase.EOK {
 		return err
 	}
+	inst.imu.Lock()
 	delete(inst.inodes, path)
+	inst.imu.Unlock()
 	return kbase.EOK
 }
 
 func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	path, err := pathOf(dir, name)
 	if err != kbase.EOK {
 		return err
@@ -281,14 +294,16 @@ func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Er
 	if err := inst.do(Record{Kind: OpRmdir, Path: path}); err != kbase.EOK {
 		return err
 	}
+	inst.imu.Lock()
 	delete(inst.inodes, path)
+	inst.imu.Unlock()
 	return kbase.EOK
 }
 
 func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, newDir *vfs.Inode, newName string) kbase.Errno {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	oldPath, err := pathOf(oldDir, oldName)
 	if err != kbase.EOK {
 		return err
@@ -302,18 +317,20 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	}
 	// Paths moved: inode descriptors keyed by path are stale. Drop
 	// the subtree conservatively.
+	inst.imu.Lock()
 	for p := range inst.inodes {
 		if p == oldPath || p == newPath || strings.HasPrefix(p, oldPath+"/") || strings.HasPrefix(p, newPath+"/") {
 			delete(inst.inodes, p)
 		}
 	}
+	inst.imu.Unlock()
 	return kbase.EOK
 }
 
 func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kbase.Errno) {
 	inst := o.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownRead(task)
+	defer inst.nsLock.UpRead(task)
 	sn, ok := dir.Private.(*snode)
 	if !ok {
 		return nil, kbase.EUCLEAN
@@ -357,8 +374,8 @@ type fileOps struct {
 
 func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64) (int, kbase.Errno) {
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownRead(task)
+	defer inst.nsLock.UpRead(task)
 	sn, ok := ino.Private.(*snode)
 	if !ok {
 		return 0, kbase.EUCLEAN
@@ -388,8 +405,8 @@ func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data [
 		return 0, err
 	}
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	payload := make([]byte, len(data))
 	copy(payload, data)
 	if err := inst.do(Record{Kind: OpWrite, Path: plan.path, Off: off, Data: payload}); err != kbase.EOK {
@@ -409,8 +426,8 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 		return err
 	}
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownRead(task)
+	defer inst.nsLock.UpRead(task)
 	if size, e := inst.st.fileSize(plan.path); e == kbase.EOK {
 		ino.SizeWrite(task, size)
 	}
@@ -419,8 +436,8 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 
 func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.Errno {
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	sn, ok := ino.Private.(*snode)
 	if !ok {
 		return kbase.EUCLEAN
@@ -434,16 +451,16 @@ func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.
 
 func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
 	inst := fo.inst
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	return inst.store.sync()
 }
 
 // --- SuperBlockOps ---
 
 func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownRead(task)
+	defer inst.nsLock.UpRead(task)
 	return vfs.StatFS{
 		TotalBlocks: inst.store.sb.Blocks,
 		FreeBlocks:  inst.store.sb.LogLen - inst.store.logPos,
@@ -453,14 +470,14 @@ func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
 }
 
 func (inst *fsInstance) SyncFS(task *kbase.Task) kbase.Errno {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	return inst.store.sync()
 }
 
 func (inst *fsInstance) Unmount(task *kbase.Task) kbase.Errno {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
 	if err := inst.store.checkpoint(inst.st); err != kbase.EOK {
 		return err
 	}
@@ -470,8 +487,8 @@ func (inst *fsInstance) Unmount(task *kbase.Task) kbase.Errno {
 
 // Checkpoint forces a checkpoint (exposed for tooling and tests).
 func (inst *fsInstance) Checkpoint() kbase.Errno {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	inst.nsLock.DownWrite(nil)
+	defer inst.nsLock.UpWrite(nil)
 	return inst.store.checkpoint(inst.st)
 }
 

@@ -392,7 +392,7 @@ func TestCrashDuringCheckpointSurvives(t *testing.T) {
 		// subset applied (torn region).
 		root, _ := v.Resolve(task, "/")
 		inst := root.Sb.Private.(*fsInstance)
-		inst.mu.Lock()
+		inst.nsLock.DownWrite(nil)
 		payload, serr := inst.st.serialize()
 		if serr != kbase.EOK {
 			t.Fatalf("serialize: %v", serr)
@@ -405,7 +405,7 @@ func TestCrashDuringCheckpointSurvives(t *testing.T) {
 		if err := inst.store.writeCheckpoint(start, newGen, inst.store.seq-1, payload); err != kbase.EOK {
 			t.Fatalf("writeCheckpoint: %v", err)
 		}
-		inst.mu.Unlock()
+		inst.nsLock.UpWrite(nil)
 		// No flush: the checkpoint writes are pending. Random crash.
 		dev.Crash()
 

@@ -316,16 +316,16 @@ func (a *SpecAdapter) Apply(op spec.Op) kbase.Errno {
 	if err != kbase.EOK {
 		return err
 	}
-	a.inst.mu.Lock()
-	defer a.inst.mu.Unlock()
+	a.inst.nsLock.DownWrite(nil)
+	defer a.inst.nsLock.UpWrite(nil)
 	return a.inst.do(rec)
 }
 
 // Interpret implements spec.Impl: the abstraction function, reading
 // the mounted state back out as the model.
 func (a *SpecAdapter) Interpret() (Abs, kbase.Errno) {
-	a.inst.mu.Lock()
-	defer a.inst.mu.Unlock()
+	a.inst.nsLock.DownRead(nil)
+	defer a.inst.nsLock.UpRead(nil)
 	return interpretState(a.inst.st)
 }
 
@@ -349,8 +349,8 @@ func interpretState(st *fstate) (Abs, kbase.Errno) {
 
 // Sync implements spec.CrashImpl.
 func (a *SpecAdapter) Sync() kbase.Errno {
-	a.inst.mu.Lock()
-	defer a.inst.mu.Unlock()
+	a.inst.nsLock.DownWrite(nil)
+	defer a.inst.nsLock.UpWrite(nil)
 	return a.inst.store.sync()
 }
 

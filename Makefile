@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-parallel check
+.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel check
 
 all: check
 
@@ -9,6 +9,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: strict go vet plus the kerncheck multichecker
+# (see DESIGN.md "Static analysis"). kerncheck holds the safe modules
+# at zero findings and ratchets the legacy tree against
+# analysis/baseline.json.
+lint: kerncheck
+	$(GO) vet -unusedresult -copylocks -printf -bools -nilfunc -unreachable ./...
+
+kerncheck:
+	$(GO) run ./cmd/kerncheck
 
 # The full suite, then again under the race detector (the concurrency
 # stress tests in pkg/safelinux and the sharded-cache tests are only
@@ -29,4 +39,4 @@ bench-smoke:
 bench-parallel:
 	$(GO) test -run xxx -bench Parallel -cpu 1,4,8 .
 
-check: build vet test
+check: build vet lint test

@@ -1,0 +1,191 @@
+// Command kerncheck is the kernel's static-analysis multichecker: it
+// runs the five kerncheck analyzers (anyboundary, errptr, lockorder,
+// ownescape, refbalance) over every package of the module and enforces
+// the two-tier policy from DESIGN.md:
+//
+//   - strict packages (internal/safemod, internal/safety,
+//     pkg/safelinux, internal/analysis) must have ZERO findings;
+//   - everything else is ratcheted against the committed
+//     analysis/baseline.json — new violations fail, counts may only
+//     go down.
+//
+// Usage:
+//
+//	kerncheck                      # enforce (CI mode); exit 1 on violations
+//	kerncheck -report              # also print per-subsystem and CWE tables
+//	kerncheck -update-baseline     # rewrite the ratchet after paying down debt
+//	kerncheck -list                # print every finding, baselined or not
+//
+// Individual findings can be suppressed with an audited directive:
+//
+//	//kerncheck:ignore <analyzer> <reason...>
+//
+// The reason is mandatory; a bare directive is void.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"safelinux/internal/analysis"
+	"safelinux/internal/analysis/passes/anyboundary"
+	"safelinux/internal/analysis/passes/errptr"
+	"safelinux/internal/analysis/passes/lockorder"
+	"safelinux/internal/analysis/passes/ownescape"
+	"safelinux/internal/analysis/passes/refbalance"
+	"safelinux/internal/cvedb"
+)
+
+var analyzers = []*analysis.Analyzer{
+	anyboundary.Analyzer,
+	errptr.Analyzer,
+	lockorder.Analyzer,
+	ownescape.Analyzer,
+	refbalance.Analyzer,
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "analysis/baseline.json",
+			"ratchet baseline file, relative to the module root")
+		update = flag.Bool("update-baseline", false,
+			"rewrite the baseline from the current findings (after paying down debt)")
+		report = flag.Bool("report", false,
+			"print per-subsystem violation counts and the cvedb CWE categorization")
+		list   = flag.Bool("list", false, "print every finding, including baselined ones")
+		asJSON = flag.Bool("json", false, "with -report: emit the report as JSON")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kerncheck [flags] [package-prefix ...]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintln(flag.CommandLine.Output(), "\nFlags:")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(*baselinePath, *update, *report, *list, *asJSON, flag.Args()))
+}
+
+func run(baselinePath string, update, report, list, asJSON bool, prefixes []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kerncheck:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kerncheck:", err)
+		return 2
+	}
+	paths, err := analysis.ListPackages(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kerncheck:", err)
+		return 2
+	}
+	if len(prefixes) > 0 {
+		var kept []string
+		for _, p := range paths {
+			for _, pre := range prefixes {
+				if strings.HasPrefix(p, pre) || strings.HasPrefix(p, analysis.ModulePath+"/"+pre) {
+					kept = append(kept, p)
+					break
+				}
+			}
+		}
+		paths = kept
+	}
+
+	loader := analysis.NewLoader()
+	var findings []analysis.Finding
+	for _, p := range paths {
+		pkg, err := loader.LoadDir(analysis.DirForImport(root, p), p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kerncheck: %v\n", err)
+			return 2
+		}
+		fs, err := analysis.Run(analyzers, pkg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kerncheck: %v\n", err)
+			return 2
+		}
+		findings = append(findings, fs...)
+	}
+	analysis.SortFindings(findings)
+
+	if list {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+
+	bpath := filepath.Join(root, filepath.FromSlash(baselinePath))
+	if update {
+		b := analysis.NewBaseline(findings)
+		if err := b.Save(bpath); err != nil {
+			fmt.Fprintln(os.Stderr, "kerncheck:", err)
+			return 2
+		}
+		fmt.Printf("kerncheck: baseline updated: %d legacy violation(s) in %s\n", b.Total(), baselinePath)
+	}
+
+	if report {
+		rep := analysis.NewReport(findings)
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintln(os.Stderr, "kerncheck:", err)
+				return 2
+			}
+		} else {
+			fmt.Print(rep.Render())
+			fmt.Println()
+			fmt.Print(cvedb.RenderStaticFindings(findings))
+		}
+	}
+
+	fail := 0
+
+	// Tier 1: strict packages must be clean, no baseline can excuse them.
+	if strict := analysis.StrictViolations(findings); len(strict) > 0 {
+		fail = 1
+		fmt.Fprintf(os.Stderr, "kerncheck: %d violation(s) in zero-tolerance packages:\n", len(strict))
+		for _, f := range strict {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+	}
+
+	// Tier 2: the rest of the tree may not regress past the ratchet.
+	base, err := analysis.LoadBaseline(bpath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kerncheck:", err)
+		return 2
+	}
+	regressions, improvements := base.Compare(findings)
+	if len(regressions) > 0 {
+		fail = 1
+		fmt.Fprintf(os.Stderr, "kerncheck: new violations beyond the committed baseline:\n")
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		fmt.Fprintf(os.Stderr, "  (run `kerncheck -list` to see individual findings; fix them — do not\n"+
+			"   reach for -update-baseline, the ratchet only turns one way)\n")
+	}
+	if len(improvements) > 0 && !update {
+		fmt.Printf("kerncheck: %d baseline entr(ies) improved — run `kerncheck -update-baseline` to lock in:\n",
+			len(improvements))
+		for _, r := range improvements {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	if fail == 0 && !update && !report && !list {
+		fmt.Printf("kerncheck: ok (%d package(s), %d baselined legacy violation(s), 0 new)\n",
+			len(paths), base.Total())
+	}
+	return fail
+}

@@ -1,0 +1,232 @@
+// Package analysis is the kernel's static-analysis framework: a
+// self-contained re-implementation of the golang.org/x/tools
+// go/analysis Analyzer/Pass model on top of the standard library's
+// go/ast + go/types (the build environment is hermetic, so the x/tools
+// module is deliberately not a dependency).
+//
+// The framework exists to move the paper's safety steps from "found at
+// runtime by a test that happens to execute the bug" to "guaranteed at
+// compile time": each analyzer under passes/ enforces one invariant
+// that the runtime machinery (lockdep, the ownership checker, the
+// refinement engine) can only check dynamically. Legacy violations are
+// recorded in a committed ratchet baseline (analysis/baseline.json);
+// CI fails on any NEW violation, and the safe half of the tree
+// (internal/safemod, internal/safety, pkg/safelinux) is held at zero.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in reports, baselines, and
+	// kerncheck:ignore directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-paragraph description shown by kerncheck -help.
+	Doc string
+	// Run performs the check on one package and reports diagnostics
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an analyzer, mirroring
+// go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// PkgPath is the import path ("safelinux/internal/linuxlike/vfs").
+	PkgPath string
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos under category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Category: category, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding before position resolution.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Finding is one resolved violation, the unit of baselines and
+// reports.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	// Pkg is the import path of the offending package.
+	Pkg string `json:"pkg"`
+	// Pos is "file.go:line:col" with the file path relative to the
+	// package directory (stable across checkouts).
+	Pos     string `json:"pos"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: [%s/%s] %s", f.Pkg, f.Pos, f.Analyzer, f.Category, f.Message)
+}
+
+// SortFindings orders findings for stable output.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// --- suppression directives ---
+
+// ignoreDirective is the audited escape hatch, modeled on //nolint:
+//
+//	//kerncheck:ignore anyboundary reflection sink, any is inherent
+//
+// applies to findings of the named analyzer ("all" for every
+// analyzer) reported on the directive's line, the next line, or any
+// line of the declaration the directive is attached to as a doc
+// comment. Each use must carry a reason; bare directives are ignored
+// (so they cannot silently accumulate).
+const ignorePrefix = "//kerncheck:ignore "
+
+// ignoreSet records which (analyzer, line) pairs are suppressed in
+// one file.
+type ignoreSet struct {
+	// byLine maps line -> analyzer names ("all" wildcards).
+	byLine map[int][]string
+}
+
+// collectIgnores scans a file's comments for directives. Directives in
+// a declaration's doc comment suppress the whole declaration's span.
+func collectIgnores(fset *token.FileSet, file *ast.File) ignoreSet {
+	set := ignoreSet{byLine: make(map[int][]string)}
+	mark := func(line int, name string) {
+		set.byLine[line] = append(set.byLine[line], name)
+	}
+	directive := func(c *ast.Comment) (string, bool) {
+		if !strings.HasPrefix(c.Text, ignorePrefix) {
+			return "", false
+		}
+		rest := strings.TrimPrefix(c.Text, ignorePrefix)
+		parts := strings.Fields(rest)
+		if len(parts) < 2 {
+			// No reason given: directive is void by design.
+			return "", false
+		}
+		return parts[0], true
+	}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			name, ok := directive(c)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			mark(line, name)
+			mark(line+1, name)
+		}
+	}
+	// Doc-comment directives cover the full declaration span.
+	for _, decl := range file.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			name, ok := directive(c)
+			if !ok {
+				continue
+			}
+			from := fset.Position(decl.Pos()).Line
+			to := fset.Position(decl.End()).Line
+			for line := from; line <= to; line++ {
+				mark(line, name)
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) suppressed(analyzer string, line int) bool {
+	for _, name := range s.byLine[line] {
+		if name == analyzer || name == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies analyzers to pkg and returns the surviving findings,
+// sorted. Suppressed diagnostics (kerncheck:ignore) are dropped here,
+// so they never reach baselines or strict enforcement.
+func Run(analyzers []*Analyzer, pkg *Package) ([]Finding, error) {
+	ignores := make(map[*token.File]ignoreSet)
+	for _, f := range pkg.Files {
+		ignores[pkg.Fset.File(f.Pos())] = collectIgnores(pkg.Fset, f)
+	}
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.Path,
+		}
+		pass.report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if tf := pkg.Fset.File(d.Pos); tf != nil {
+				if set, ok := ignores[tf]; ok && set.suppressed(a.Name, pos.Line) {
+					return
+				}
+			}
+			out = append(out, Finding{
+				Analyzer: a.Name,
+				Category: d.Category,
+				Pkg:      pkg.Path,
+				Pos:      fmt.Sprintf("%s:%d:%d", shortFile(pos.Filename), pos.Line, pos.Column),
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	SortFindings(out)
+	return out, nil
+}
+
+// shortFile strips directories from a file path: baseline entries must
+// not depend on where the repo is checked out.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed ratchet: per-analyzer, per-package legacy
+// violation counts. CI compares a fresh run against it — a count above
+// baseline anywhere fails the build (a NEW violation crept in), while
+// counts below baseline are improvements the developer should lock in
+// with -update-baseline. Strict packages are not baselined at all:
+// they must be at zero.
+type Baseline struct {
+	// Counts maps analyzer name -> package path -> violation count.
+	Counts map[string]map[string]int `json:"counts"`
+}
+
+// NewBaseline builds a baseline from findings, excluding strict
+// packages (which may not carry legacy debt).
+func NewBaseline(findings []Finding) Baseline {
+	b := Baseline{Counts: make(map[string]map[string]int)}
+	for _, f := range findings {
+		if StrictPackage(f.Pkg) {
+			continue
+		}
+		m := b.Counts[f.Analyzer]
+		if m == nil {
+			m = make(map[string]int)
+			b.Counts[f.Analyzer] = m
+		}
+		m[f.Pkg]++
+	}
+	return b
+}
+
+// Total sums all baselined violations.
+func (b Baseline) Total() int {
+	n := 0
+	for _, m := range b.Counts {
+		for _, c := range m {
+			n += c
+		}
+	}
+	return n
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline (useful for bootstrapping), not an error.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Baseline{Counts: map[string]map[string]int{}}, nil
+	}
+	if err != nil {
+		return Baseline{}, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Baseline{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if b.Counts == nil {
+		b.Counts = map[string]map[string]int{}
+	}
+	return b, nil
+}
+
+// Save writes the baseline as stable, diff-friendly JSON.
+func (b Baseline) Save(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Regression is one package whose violation count exceeds baseline.
+type Regression struct {
+	Analyzer string
+	Pkg      string
+	Have     int
+	Allowed  int
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s: %d violation(s), baseline allows %d", r.Pkg, r.Analyzer, r.Have, r.Allowed)
+}
+
+// Compare checks findings against the baseline. It returns the
+// regressions (new violations — build breakers) and improvements
+// (baseline entries now overshooting reality — the ratchet should be
+// tightened with -update-baseline).
+func (b Baseline) Compare(findings []Finding) (regressions []Regression, improvements []Regression) {
+	have := NewBaseline(findings)
+	for analyzer, pkgs := range have.Counts {
+		for pkg, n := range pkgs {
+			allowed := b.Counts[analyzer][pkg]
+			if n > allowed {
+				regressions = append(regressions, Regression{Analyzer: analyzer, Pkg: pkg, Have: n, Allowed: allowed})
+			}
+		}
+	}
+	for analyzer, pkgs := range b.Counts {
+		for pkg, allowed := range pkgs {
+			if n := have.Counts[analyzer][pkg]; n < allowed {
+				improvements = append(improvements, Regression{Analyzer: analyzer, Pkg: pkg, Have: n, Allowed: allowed})
+			}
+		}
+	}
+	sortRegressions(regressions)
+	sortRegressions(improvements)
+	return regressions, improvements
+}
+
+func sortRegressions(rs []Regression) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Pkg != rs[j].Pkg {
+			return rs[i].Pkg < rs[j].Pkg
+		}
+		return rs[i].Analyzer < rs[j].Analyzer
+	})
+}
+
+// strictPrefixes are the package subtrees held at zero findings: the
+// safe half of the tree must stay lint-clean, with no baseline debt.
+var strictPrefixes = []string{
+	ModulePath + "/internal/safemod",
+	ModulePath + "/internal/safety",
+	ModulePath + "/pkg/safelinux",
+	ModulePath + "/internal/analysis",
+}
+
+// StrictPackage reports whether pkg is in the zero-tolerance set.
+func StrictPackage(pkg string) bool {
+	for _, p := range strictPrefixes {
+		if pkg == p || strings.HasPrefix(pkg, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// StrictViolations filters findings down to those in strict packages;
+// any of these fails the build regardless of baseline.
+func StrictViolations(findings []Finding) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		if StrictPackage(f.Pkg) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

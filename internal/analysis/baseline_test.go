@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func fnd(analyzer, pkg string) Finding {
+	return Finding{Analyzer: analyzer, Category: "x", Pkg: pkg, Pos: "f.go:1:1", Message: "m"}
+}
+
+func TestBaselineCompare(t *testing.T) {
+	vfsPkg := ModulePath + "/internal/linuxlike/vfs"
+	netPkg := ModulePath + "/internal/linuxlike/net"
+	jrnPkg := ModulePath + "/internal/linuxlike/journal"
+	base := NewBaseline([]Finding{
+		fnd("errptr", vfsPkg), fnd("errptr", vfsPkg),
+		fnd("anyboundary", netPkg),
+	})
+	if base.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", base.Total())
+	}
+
+	// One extra errptr in vfs and a first lockorder in journal regress;
+	// anyboundary in net holds steady.
+	regs, imps := base.Compare([]Finding{
+		fnd("errptr", vfsPkg), fnd("errptr", vfsPkg), fnd("errptr", vfsPkg),
+		fnd("anyboundary", netPkg),
+		fnd("lockorder", jrnPkg),
+	})
+	if len(imps) != 0 {
+		t.Errorf("improvements = %v, want none", imps)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2", regs)
+	}
+	if regs[0].Pkg != jrnPkg || regs[0].Have != 1 || regs[0].Allowed != 0 {
+		t.Errorf("regression[0] = %+v", regs[0])
+	}
+	if regs[1].Pkg != vfsPkg || regs[1].Have != 3 || regs[1].Allowed != 2 {
+		t.Errorf("regression[1] = %+v", regs[1])
+	}
+
+	// Paying down debt shows up as improvements, never regressions.
+	regs, imps = base.Compare([]Finding{fnd("errptr", vfsPkg), fnd("anyboundary", netPkg)})
+	if len(regs) != 0 {
+		t.Errorf("regressions = %v, want none", regs)
+	}
+	if len(imps) != 1 || imps[0].Pkg != vfsPkg || imps[0].Have != 1 || imps[0].Allowed != 2 {
+		t.Errorf("improvements = %v", imps)
+	}
+}
+
+func TestNewBaselineExcludesStrictPackages(t *testing.T) {
+	b := NewBaseline([]Finding{
+		fnd("errptr", ModulePath+"/internal/safemod/safefs"),
+		fnd("errptr", ModulePath+"/internal/safety/typedapi"),
+		fnd("errptr", ModulePath+"/pkg/safelinux"),
+		fnd("errptr", ModulePath+"/internal/linuxlike/vfs"),
+	})
+	if b.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 (strict packages must not be baselined)", b.Total())
+	}
+}
+
+func TestStrictViolations(t *testing.T) {
+	fs := []Finding{
+		fnd("errptr", ModulePath+"/internal/safemod/safefs"),
+		fnd("errptr", ModulePath+"/internal/linuxlike/vfs"),
+		fnd("ownescape", ModulePath+"/internal/safety/own"),
+	}
+	strict := StrictViolations(fs)
+	if len(strict) != 2 {
+		t.Fatalf("StrictViolations = %v, want 2", strict)
+	}
+	// A prefix match must be on path boundaries, not substrings.
+	if StrictPackage(ModulePath + "/internal/safetynet") {
+		t.Error("safetynet wrongly classified as strict")
+	}
+	if !StrictPackage(ModulePath + "/internal/analysis/passes/errptr") {
+		t.Error("analysis subtree should be strict")
+	}
+}
+
+func TestBaselineRoundTripAndMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	b := NewBaseline([]Finding{fnd("errptr", ModulePath+"/internal/linuxlike/vfs")})
+	if err := b.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if got.Total() != 1 {
+		t.Errorf("round-tripped Total = %d", got.Total())
+	}
+	empty, err := LoadBaseline(filepath.Join(dir, "missing.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline(missing) = %v, want empty baseline", err)
+	}
+	if empty.Total() != 0 {
+		t.Errorf("missing baseline Total = %d", empty.Total())
+	}
+}
+
+func TestSubsystem(t *testing.T) {
+	cases := map[string]string{
+		ModulePath + "/internal/linuxlike/vfs":        "vfs",
+		ModulePath + "/internal/linuxlike/fs/extlike": "extlike",
+		ModulePath + "/internal/safemod/safefs":       "safefs",
+		ModulePath + "/pkg/safelinux":                 "safelinux",
+		ModulePath + "/cmd/kerncheck":                 "kerncheck",
+	}
+	for in, want := range cases {
+		if got := Subsystem(in); got != want {
+			t.Errorf("Subsystem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,275 @@
+// Package anyboundary implements the kerncheck analyzer for the
+// paper's step 2 (type safety at module boundaries): it flags
+// `any`/`interface{}` crossing an exported API — untyped parameters,
+// results, and struct fields invite the C-style void*-confusion the
+// typed API layer (safety/typedapi) exists to remove — plus type
+// assertions on `any`-typed values, which are the receive side of the
+// same confusion.
+//
+// Exemptions, so the analyzer targets real boundaries:
+//   - a final variadic `...any` (the printf idiom);
+//   - methods that implement an interface defined elsewhere — the
+//     interface declaration itself is flagged, once, in its defining
+//     package, so implementers are not blamed for a contract they do
+//     not own.
+package anyboundary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"safelinux/internal/analysis"
+)
+
+// Analyzer flags any/interface{} crossing exported boundaries.
+var Analyzer = &analysis.Analyzer{
+	Name: "anyboundary",
+	Doc: "flags any/interface{} parameters, results, and fields on exported API " +
+		"boundaries, and type assertions on any-typed values (paper step 2: replace " +
+		"void*-style interfaces with typed APIs)",
+	Run: run,
+}
+
+// isBareAny reports whether t is the empty interface itself (any /
+// interface{}), as opposed to a named type whose underlying happens to
+// be empty (a deliberate abstraction).
+func isBareAny(t types.Type) bool {
+	iface, ok := t.(*types.Interface)
+	return ok && iface.Empty()
+}
+
+func run(pass *analysis.Pass) error {
+	ifaces := collectInterfaces(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDecl(pass, ifaces, d)
+			case *ast.GenDecl:
+				if d.Tok == token.TYPE {
+					for _, spec := range d.Specs {
+						checkTypeSpec(pass, spec.(*ast.TypeSpec))
+					}
+				}
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok {
+				return true
+			}
+			checkTypeAssert(pass, ta)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTypeAssert flags the receive side of cross-module type
+// confusion: a type assertion (or switch) whose operand is an
+// any-typed FIELD declared in another package — the `ino.Private.(*T)`
+// downcast every vfs client performs. Asserts on locals, parameters,
+// and same-package fields are the package's internal business; the
+// declaration-side checks already blame the any-typed surface itself.
+func checkTypeAssert(pass *analysis.Pass, ta *ast.TypeAssertExpr) {
+	x := ta.X
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		x = p.X
+	}
+	sel, ok := x.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || !isBareAny(obj.Type()) {
+		return
+	}
+	if obj.Pkg() == nil || obj.Pkg().Path() == pass.PkgPath {
+		return
+	}
+	kind := "type assertion"
+	if ta.Type == nil {
+		kind = "type switch"
+	}
+	pass.Reportf(ta.Pos(), "type-assert",
+		"%s on any-typed field %s declared in %s: the untyped boundary forces every "+
+			"client to downcast; add a typed accessor or migrate the field",
+		kind, obj.Name(), obj.Pkg().Path())
+}
+
+// collectInterfaces gathers the named interface types visible to this
+// package (its own scope plus direct imports) for the
+// implements-exemption.
+func collectInterfaces(pass *analysis.Pass) []*types.Interface {
+	var out []*types.Interface
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for _, imp := range pass.Pkg.Imports() {
+		scopes = append(scopes, imp.Scope())
+	}
+	for _, scope := range scopes {
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok && !iface.Empty() {
+				out = append(out, iface)
+			}
+		}
+	}
+	return out
+}
+
+// implementsRequiredMethod reports whether recv implements some known
+// interface that declares a method named name — in which case the
+// method's signature is the interface's fault, not the implementer's.
+func implementsRequiredMethod(ifaces []*types.Interface, recv types.Type, name string) bool {
+	ptr := types.NewPointer(recv)
+	for _, iface := range ifaces {
+		declares := false
+		for i := 0; i < iface.NumMethods(); i++ {
+			if iface.Method(i).Name() == name {
+				declares = true
+				break
+			}
+		}
+		if !declares {
+			continue
+		}
+		if types.Implements(recv, iface) || types.Implements(ptr, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkFuncDecl(pass *analysis.Pass, ifaces []*types.Interface, d *ast.FuncDecl) {
+	if !d.Name.IsExported() {
+		return
+	}
+	if d.Recv != nil {
+		recvType := receiverNamed(pass, d)
+		if recvType == nil || !recvType.Obj().Exported() {
+			return // method on unexported type: not a module boundary
+		}
+		if implementsRequiredMethod(ifaces, recvType, d.Name.Name) {
+			return
+		}
+	}
+	checkFieldList(pass, d.Type.Params, "parameter", d.Name.Name, true)
+	checkFieldList(pass, d.Type.Results, "result", d.Name.Name, false)
+}
+
+// receiverNamed resolves the receiver's named type.
+func receiverNamed(pass *analysis.Pass, d *ast.FuncDecl) *types.Named {
+	if len(d.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := pass.Info.Types[d.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func checkFieldList(pass *analysis.Pass, fl *ast.FieldList, kind, fn string, allowVariadic bool) {
+	if fl == nil {
+		return
+	}
+	for i, field := range fl.List {
+		if allowVariadic && i == len(fl.List)-1 {
+			if _, ok := field.Type.(*ast.Ellipsis); ok {
+				continue // final ...any: the printf idiom
+			}
+		}
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isBareAny(tv.Type) {
+			continue
+		}
+		pass.Reportf(field.Type.Pos(), "signature",
+			"exported %s %s has any-typed %s; give it a concrete type or a typedapi wrapper",
+			funcKind(kind), fn, kind)
+	}
+}
+
+func funcKind(kind string) string {
+	if kind == "parameter" || kind == "result" {
+		return "func"
+	}
+	return kind
+}
+
+func checkTypeSpec(pass *analysis.Pass, spec *ast.TypeSpec) {
+	if !spec.Name.IsExported() {
+		return
+	}
+	switch t := spec.Type.(type) {
+	case *ast.StructType:
+		for _, field := range t.Fields.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || !isBareAny(tv.Type) {
+				continue
+			}
+			exported := len(field.Names) == 0 // embedded
+			for _, n := range field.Names {
+				if n.IsExported() {
+					exported = true
+				}
+			}
+			if !exported {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "field",
+				"exported struct %s has any-typed exported field; this is the void*-style "+
+					"escape hatch the typed API layer replaces", spec.Name.Name)
+		}
+	case *ast.InterfaceType:
+		for _, m := range t.Methods.List {
+			ft, ok := m.Type.(*ast.FuncType)
+			if !ok {
+				continue // embedded interface
+			}
+			name := spec.Name.Name
+			if len(m.Names) > 0 {
+				name = spec.Name.Name + "." + m.Names[0].Name
+			}
+			checkInterfaceMethod(pass, ft, name)
+		}
+	}
+}
+
+// checkInterfaceMethod blames any-typed contract terms on the
+// interface declaration (implementers are exempted in checkFuncDecl).
+func checkInterfaceMethod(pass *analysis.Pass, ft *ast.FuncType, name string) {
+	report := func(fl *ast.FieldList, kind string, allowVariadic bool) {
+		if fl == nil {
+			return
+		}
+		for i, field := range fl.List {
+			if allowVariadic && i == len(fl.List)-1 {
+				if _, ok := field.Type.(*ast.Ellipsis); ok {
+					continue
+				}
+			}
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || !isBareAny(tv.Type) {
+				continue
+			}
+			pass.Reportf(field.Type.Pos(), "interface",
+				"interface method %s requires an any-typed %s from every implementer; "+
+					"retype the contract (typedapi.Result, a concrete struct, or a generic)", name, kind)
+		}
+	}
+	report(ft.Params, "parameter", true)
+	report(ft.Results, "result", false)
+}

@@ -1,0 +1,12 @@
+package anyboundary_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/anyboundary"
+)
+
+func TestAnyboundary(t *testing.T) {
+	analysistest.Run(t, anyboundary.Analyzer, analysistest.TestdataDir("a"), "a")
+}

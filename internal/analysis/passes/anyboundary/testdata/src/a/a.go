@@ -1,0 +1,61 @@
+package a
+
+import "safelinux/internal/linuxlike/vfs"
+
+// Declaration side: bare any on exported surfaces.
+
+func Stash(v any) { _ = v } // want `exported func Stash has any-typed parameter`
+
+func Fetch() any { return nil } // want `exported func Fetch has any-typed result`
+
+type Box struct {
+	Payload any // want `exported struct Box has any-typed exported field`
+	hidden  any // unexported field: the package's internal business
+}
+
+type Codec interface {
+	Encode(v any) []byte // want `interface method Codec\.Encode requires an any-typed parameter`
+}
+
+// JSONCodec implements Codec: the contract is blamed once at its
+// declaration above, not at every implementer.
+type JSONCodec struct{}
+
+func (JSONCodec) Encode(v any) []byte { return nil }
+
+// Opaque is a named empty interface — a deliberate abstraction, not
+// the bare-any escape hatch.
+type Opaque interface{}
+
+type Handle struct {
+	Ref Opaque
+}
+
+func Printf(format string, args ...any) { _ = format } // final variadic: the printf idiom
+
+func internal(v any) { _ = v } // unexported func: not a module boundary
+
+type secret struct{}
+
+func (secret) Do(v any) { _ = v } // method on an unexported type
+
+// Receive side: downcasts of another package's any-typed field.
+
+func Downcast(ino *vfs.Inode) (*Box, bool) {
+	b, ok := ino.Private.(*Box) // want `type assertion on any-typed field Private declared in safelinux/internal/linuxlike/vfs`
+	return b, ok
+}
+
+func Switching(ino *vfs.Inode) int {
+	switch ino.Private.(type) { // want `type switch on any-typed field Private declared in safelinux/internal/linuxlike/vfs`
+	case *Box:
+		return 1
+	}
+	return 0
+}
+
+// Same-package field: intra-package plumbing is not a boundary crossing.
+func localAssert(b Box) (int, bool) {
+	n, ok := b.Payload.(int)
+	return n, ok
+}

@@ -1,0 +1,12 @@
+package errptr_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/errptr"
+)
+
+func TestErrptr(t *testing.T) {
+	analysistest.Run(t, errptr.Analyzer, analysistest.TestdataDir("a"), "a")
+}

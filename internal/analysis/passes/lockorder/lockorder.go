@@ -1,0 +1,475 @@
+// Package lockorder implements the kerncheck analyzer that lifts the
+// runtime lockdep's ordering discipline to compile time. The runtime
+// validator (kbase.LockValidator) only sees the interleavings a test
+// happens to execute; this pass instead builds a static map from lock
+// variables to their kbase.LockClass names and walks every function,
+// tracking the held-class set in source order, to find acquisitions
+// that invert the documented hierarchy
+//
+//	extlike.rename > extlike.dir_inode > extlike.dir_inode#1 >
+//	extlike.file_inode > extlike.alloc
+//
+// (outermost first). Because one lock variable can carry several
+// possible classes (extlike's per-inode mutex is dir_inode or
+// file_inode depending on mode), an acquisition is reported only when
+// EVERY ranked (held-class, acquired-class) pair inverts — the
+// analyzer prefers missing an ambiguous inversion to crying wolf on a
+// mode-dependent one the runtime validator still covers.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"safelinux/internal/analysis"
+)
+
+// Analyzer reports statically-determinable lock-order inversions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "builds a static lock-acquisition graph from kbase.NewLockClass / Lock / " +
+		"LockNested call sites and reports acquisitions that invert the lockdep " +
+		"hierarchy (rename > dir > file > alloc) where the holder set is determinable",
+	Run: run,
+}
+
+const kbasePkg = analysis.ModulePath + "/internal/linuxlike/kbase"
+
+// Rank orders the known lock classes, outermost (acquired first)
+// to innermost. Classes not listed are unranked and never reported.
+var Rank = map[string]int{
+	"extlike.rename":      0,
+	"extlike.dir_inode":   1,
+	"extlike.dir_inode#1": 2,
+	"extlike.file_inode":  3,
+	"extlike.alloc":       4,
+}
+
+// classSet is the set of possible LockClass names of one variable.
+type classSet map[string]bool
+
+func (s classSet) names() string {
+	var out []string
+	for n := range s {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "|")
+}
+
+type state struct {
+	pass *analysis.Pass
+	// classVars maps LockClass-typed objects to their possible names.
+	classVars map[types.Object]classSet
+	// lockVars maps lock-typed objects (KMutex/SpinLock/RWSem vars and
+	// fields) to the possible class names they were constructed with.
+	lockVars map[types.Object]classSet
+}
+
+func run(pass *analysis.Pass) error {
+	st := &state{
+		pass:      pass,
+		classVars: make(map[types.Object]classSet),
+		lockVars:  make(map[types.Object]classSet),
+	}
+	st.collectClasses()
+	st.collectLocks()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				st.checkFunc(fd.Body)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				st.checkFunc(fl.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// kbaseFunc resolves callee to a kbase function/method name, or "".
+func (st *state) kbaseFunc(fun ast.Expr) string {
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return ""
+	}
+	fn, ok := st.pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != kbasePkg {
+		return ""
+	}
+	return fn.Name()
+}
+
+// exprObj resolves the object a variable-like expression denotes: an
+// identifier's var, or a field selection's field.
+func (st *state) exprObj(e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return st.exprObj(x.X)
+	case *ast.Ident:
+		if obj := st.pass.Info.Uses[x]; obj != nil {
+			return obj
+		}
+		return st.pass.Info.Defs[x]
+	case *ast.SelectorExpr:
+		return st.pass.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// classesOfExpr evaluates an expression to the class names it can
+// carry: a direct NewLockClass("lit") call, or a class-typed
+// variable/field tracked in classVars.
+func (st *state) classesOfExpr(e ast.Expr) classSet {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return st.classesOfExpr(x.X)
+	case *ast.CallExpr:
+		if st.kbaseFunc(x.Fun) == "NewLockClass" && len(x.Args) == 1 {
+			if lit, ok := x.Args[0].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					return classSet{name: true}
+				}
+			}
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if obj := st.exprObj(e); obj != nil {
+			return st.classVars[obj]
+		}
+	}
+	return nil
+}
+
+// collectClasses seeds classVars from NewLockClass calls and
+// propagates through simple variable-to-variable assignments to a
+// fixpoint (extlike's `lockClass := fileClass; ... lockClass =
+// dirClass` idiom).
+func (st *state) collectClasses() {
+	type edge struct{ dst, src types.Object }
+	var edges []edge
+	record := func(dst ast.Expr, src ast.Expr) {
+		obj := st.exprObj(dst)
+		if obj == nil || !isClassType(obj.Type()) {
+			return
+		}
+		if names := st.classesOfExpr(src); names != nil {
+			set := st.classVars[obj]
+			if set == nil {
+				set = classSet{}
+				st.classVars[obj] = set
+			}
+			for n := range names {
+				set[n] = true
+			}
+			return
+		}
+		if srcObj := st.exprObj(src); srcObj != nil {
+			edges = append(edges, edge{dst: obj, src: srcObj})
+		}
+	}
+	for _, file := range st.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						record(x.Lhs[i], x.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						record(x.Names[i], x.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Propagate assignment edges to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			src := st.classVars[e.src]
+			if len(src) == 0 {
+				continue
+			}
+			dst := st.classVars[e.dst]
+			if dst == nil {
+				dst = classSet{}
+				st.classVars[e.dst] = dst
+			}
+			for n := range src {
+				if !dst[n] {
+					dst[n] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// collectLocks maps lock variables and struct fields to class names by
+// finding NewKMutex/NewSpinLock/NewRWSem construction sites, in both
+// assignment and composite-literal position.
+func (st *state) collectLocks() {
+	record := func(target types.Object, call *ast.CallExpr) {
+		if target == nil {
+			return
+		}
+		switch st.kbaseFunc(call.Fun) {
+		case "NewKMutex", "NewSpinLock", "NewRWSem":
+		default:
+			return
+		}
+		if len(call.Args) != 1 {
+			return
+		}
+		names := st.classesOfExpr(call.Args[0])
+		if len(names) == 0 {
+			return
+		}
+		set := st.lockVars[target]
+		if set == nil {
+			set = classSet{}
+			st.lockVars[target] = set
+		}
+		for n := range names {
+			set[n] = true
+		}
+	}
+	for _, file := range st.pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) == len(x.Rhs) {
+					for i := range x.Lhs {
+						if call, ok := x.Rhs[i].(*ast.CallExpr); ok {
+							record(st.exprObj(x.Lhs[i]), call)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) == len(x.Values) {
+					for i := range x.Names {
+						if call, ok := x.Values[i].(*ast.CallExpr); ok {
+							record(st.exprObj(x.Names[i]), call)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range x.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					call, ok := kv.Value.(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok {
+						record(st.pass.Info.Uses[key], call)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isClassType(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "LockClass" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == kbasePkg
+}
+
+// heldLock is one entry of the simulated held stack.
+type heldLock struct {
+	obj     types.Object
+	classes classSet
+}
+
+// acquireMethods maps kbase lock methods to whether they acquire.
+var acquireMethods = map[string]bool{
+	"Lock": true, "LockNested": true, "DownRead": true, "DownWrite": true,
+}
+var releaseMethods = map[string]bool{
+	"Unlock": true, "UpRead": true, "UpWrite": true,
+}
+
+// checkFunc walks one function body in source order, maintaining the
+// held set. Deferred releases are correctly ignored (the lock stays
+// held to function end); branches are walked linearly, which the
+// all-pairs reporting rule keeps sound against false positives.
+func (st *state) checkFunc(body *ast.BlockStmt) {
+	var held []heldLock
+	var walkStmt func(s ast.Stmt)
+	scanExpr := func(e ast.Expr, deferred bool) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // analyzed separately
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := st.kbaseFunc(sel)
+			if releaseMethods[name] && !deferred {
+				obj := st.exprObj(sel.X)
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].obj == obj {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+				return true
+			}
+			if !acquireMethods[name] || deferred {
+				return true
+			}
+			obj := st.exprObj(sel.X)
+			classes := st.lockVars[obj]
+			if name == "LockNested" && len(call.Args) == 2 {
+				classes = nestedClasses(classes, call.Args[1])
+			}
+			st.checkAcquire(call.Pos(), held, classes)
+			held = append(held, heldLock{obj: obj, classes: classes})
+			return true
+		})
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch x := s.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, sub := range x.List {
+				walkStmt(sub)
+			}
+		case *ast.ExprStmt:
+			scanExpr(x.X, false)
+		case *ast.DeferStmt:
+			scanExpr(x.Call, true)
+		case *ast.GoStmt:
+			// Runs on another task: not part of this held chain.
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				scanExpr(rhs, false)
+			}
+		case *ast.DeclStmt:
+			if gd, ok := x.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							scanExpr(v, false)
+						}
+					}
+				}
+			}
+		case *ast.IfStmt:
+			walkStmt(x.Init)
+			walkStmt(x.Body)
+			walkStmt(x.Else)
+		case *ast.ForStmt:
+			walkStmt(x.Init)
+			walkStmt(x.Body)
+			walkStmt(x.Post)
+		case *ast.RangeStmt:
+			walkStmt(x.Body)
+		case *ast.SwitchStmt:
+			walkStmt(x.Init)
+			walkStmt(x.Body)
+		case *ast.TypeSwitchStmt:
+			walkStmt(x.Init)
+			walkStmt(x.Body)
+		case *ast.SelectStmt:
+			walkStmt(x.Body)
+		case *ast.CaseClause:
+			for _, sub := range x.Body {
+				walkStmt(sub)
+			}
+		case *ast.CommClause:
+			for _, sub := range x.Body {
+				walkStmt(sub)
+			}
+		case *ast.LabeledStmt:
+			walkStmt(x.Stmt)
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				scanExpr(r, false)
+			}
+		}
+	}
+	walkStmt(body)
+}
+
+// nestedClasses applies LockNested's subclass suffix ("name#n") when
+// the subclass argument is a constant.
+func nestedClasses(classes classSet, arg ast.Expr) classSet {
+	lit, ok := arg.(*ast.BasicLit)
+	if !ok || lit.Kind != token.INT {
+		return nil // dynamic subclass: class undeterminable
+	}
+	n, err := strconv.Atoi(lit.Value)
+	if err != nil || n <= 0 {
+		return classes // subclass 0 is the class itself
+	}
+	out := classSet{}
+	for name := range classes {
+		out[name+"#"+strconv.Itoa(n)] = true
+	}
+	return out
+}
+
+// checkAcquire reports when acquiring `classes` while holding `held`
+// definitely inverts the rank order: at least one (held, acquired)
+// pair is ranked, and every ranked pair has the acquired class ranked
+// strictly outer (lower rank) than the held class.
+func (st *state) checkAcquire(pos token.Pos, held []heldLock, classes classSet) {
+	if len(classes) == 0 {
+		return
+	}
+	for _, h := range held {
+		ranked, inverted := 0, 0
+		for hc := range h.classes {
+			hr, ok := Rank[hc]
+			if !ok {
+				continue
+			}
+			for ac := range classes {
+				ar, ok := Rank[ac]
+				if !ok {
+					continue
+				}
+				ranked++
+				if ar < hr {
+					inverted++
+				}
+			}
+		}
+		if ranked > 0 && inverted == ranked {
+			st.pass.Reportf(pos, "inversion",
+				"acquiring lock class %s while holding %s inverts the lockdep order "+
+					"(rename > dir > file > alloc); runtime lockdep would report this "+
+					"only on an executing path", classes.names(), h.classes.names())
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package a
+
+import "safelinux/internal/linuxlike/kbase"
+
+var (
+	renameClass = kbase.NewLockClass("extlike.rename")
+	dirClass    = kbase.NewLockClass("extlike.dir_inode")
+	fileClass   = kbase.NewLockClass("extlike.file_inode")
+	allocClass  = kbase.NewLockClass("extlike.alloc")
+	localClass  = kbase.NewLockClass("a.unranked")
+)
+
+type fs struct {
+	renameMu *kbase.KMutex
+	allocMu  *kbase.KMutex
+	localMu  *kbase.SpinLock
+	fileSem  *kbase.RWSem
+}
+
+func newFS() *fs {
+	return &fs{
+		renameMu: kbase.NewKMutex(renameClass),
+		allocMu:  kbase.NewKMutex(allocClass),
+		localMu:  kbase.NewSpinLock(localClass),
+		fileSem:  kbase.NewRWSem(fileClass),
+	}
+}
+
+// Outermost-first is the documented hierarchy: rename, then alloc.
+func goodOrder(task *kbase.Task, f *fs) {
+	f.renameMu.Lock(task)
+	f.allocMu.Lock(task)
+	f.allocMu.Unlock(task)
+	f.renameMu.Unlock(task)
+}
+
+// Deferred unlocks keep the lock held to function end; acquiring an
+// inner class after is still in order.
+func deferredOrder(task *kbase.Task, f *fs) {
+	f.renameMu.Lock(task)
+	defer f.renameMu.Unlock(task)
+	f.allocMu.Lock(task)
+	defer f.allocMu.Unlock(task)
+}
+
+func badOrder(task *kbase.Task, f *fs) {
+	f.allocMu.Lock(task)
+	f.renameMu.Lock(task) // want `acquiring lock class extlike\.rename while holding extlike\.alloc inverts the lockdep order`
+	f.renameMu.Unlock(task)
+	f.allocMu.Unlock(task)
+}
+
+// alloc (innermost) under the file rwsem is the right way around.
+func semThenAlloc(task *kbase.Task, f *fs) {
+	f.fileSem.DownWrite(task)
+	defer f.fileSem.UpWrite(task)
+	f.allocMu.Lock(task)
+	f.allocMu.Unlock(task)
+}
+
+func badSemOrder(task *kbase.Task, f *fs) {
+	f.allocMu.Lock(task)
+	f.fileSem.DownRead(task) // want `acquiring lock class extlike\.file_inode while holding extlike\.alloc inverts the lockdep order`
+	f.fileSem.UpRead(task)
+	f.allocMu.Unlock(task)
+}
+
+// An unranked class never participates in a report.
+func unrankedIsQuiet(task *kbase.Task, f *fs) {
+	f.allocMu.Lock(task)
+	f.localMu.Lock(task)
+	f.localMu.Unlock(task)
+	f.allocMu.Unlock(task)
+}
+
+// A plain unlock removes the class from the held set.
+func releaseClearsHeld(task *kbase.Task, f *fs) {
+	f.allocMu.Lock(task)
+	f.allocMu.Unlock(task)
+	f.renameMu.Lock(task)
+	f.renameMu.Unlock(task)
+}
+
+// Classes flow through local variables too.
+func localVars(task *kbase.Task) {
+	inner := kbase.NewKMutex(allocClass)
+	outer := kbase.NewKMutex(renameClass)
+	inner.Lock(task)
+	outer.Lock(task) // want `acquiring lock class extlike\.rename while holding extlike\.alloc inverts the lockdep order`
+	outer.Unlock(task)
+	inner.Unlock(task)
+}
+
+// LockNested with a constant subclass shifts the class to name#n,
+// which ranks inside the parent class: the double-lock idiom.
+func nestedChild(task *kbase.Task) {
+	parent := kbase.NewKMutex(dirClass)
+	child := kbase.NewKMutex(dirClass)
+	parent.Lock(task)
+	child.LockNested(task, 1)
+	child.Unlock(task)
+	parent.Unlock(task)
+}

@@ -1,0 +1,173 @@
+// Package ownescape implements the kerncheck analyzer for the paper's
+// step 3 (single-owner discipline): it flags the shared-mutable
+// escapes that the safety/own capability types exist to close.
+//
+// Two escape shapes are reported:
+//
+//  1. shared-struct: an exported function or method (on an exported
+//     type) takes or returns a raw pointer to one of the kernel's
+//     known shared-mutable structs (*bufcache.BufferHead, *vfs.Inode)
+//     that is DEFINED IN ANOTHER PACKAGE. The defining package may
+//     traffic in its own type — that is its implementation — but a
+//     second package accepting or handing out the raw pointer is
+//     exactly the cross-module mutable aliasing own.Owned/Mut/Ref
+//     capabilities replace.
+//
+//  2. alias-return: an exported function returns `x.field` (or a
+//     slice expression over it) where field is a []byte — handing the
+//     caller a writable alias of an internal buffer. Returning a
+//     fresh slice is fine; returning the backing store is not.
+//
+// Parameters of type []byte are deliberately NOT flagged: by
+// convention they are borrowed for the duration of the call
+// (io.Reader-style), and flagging them would bury the real escapes.
+package ownescape
+
+import (
+	"go/ast"
+	"go/types"
+
+	"safelinux/internal/analysis"
+)
+
+// Analyzer flags shared-mutable structs escaping across package
+// boundaries without safety/own capabilities.
+var Analyzer = &analysis.Analyzer{
+	Name: "ownescape",
+	Doc: "flags shared mutable structs (*BufferHead, *Inode) passed across package " +
+		"boundaries and returns of internal []byte aliases; cross-module mutable " +
+		"state should move through safety/own capabilities (paper step 3)",
+	Run: run,
+}
+
+// watchedStructs are the known shared-mutable kernel structs, keyed by
+// defining package path then type name.
+var watchedStructs = map[string]map[string]bool{
+	analysis.ModulePath + "/internal/linuxlike/bufcache": {"BufferHead": true},
+	analysis.ModulePath + "/internal/linuxlike/vfs":      {"Inode": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !exportedBoundary(pass, fd) {
+				continue
+			}
+			checkSignature(pass, fd)
+			checkAliasReturns(pass, fd)
+		}
+	}
+	return nil
+}
+
+// exportedBoundary reports whether fd is part of the package's
+// exported API surface: an exported function, or an exported method on
+// an exported named type.
+func exportedBoundary(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	tv, ok := pass.Info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Exported()
+}
+
+// watchedPtr resolves t to (pkgPath, typeName) when it is a pointer to
+// a watched struct.
+func watchedPtr(t types.Type) (string, string, bool) {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return "", "", false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", "", false
+	}
+	pkg, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	if watchedStructs[pkg][name] {
+		return pkg, name, true
+	}
+	return "", "", false
+}
+
+func checkSignature(pass *analysis.Pass, fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			defPkg, name, ok := watchedPtr(tv.Type)
+			if !ok || defPkg == pass.PkgPath {
+				continue // the defining package owns its type
+			}
+			pass.Reportf(field.Type.Pos(), "shared-struct",
+				"exported %s %s of *%s shares %s's mutable struct across the package "+
+					"boundary without a safety/own capability (own.Owned/Mut/Ref)",
+				kind, fd.Name.Name, name, defPkg)
+		}
+	}
+	check(fd.Type.Params, "func")
+	check(fd.Type.Results, "func result")
+}
+
+// checkAliasReturns flags `return x.f` (or x.f[i:j]) where f is a
+// []byte field: the caller receives a writable alias of internal
+// state.
+func checkAliasReturns(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			base := res
+			if se, ok := base.(*ast.SliceExpr); ok {
+				base = se.X
+			}
+			sel, ok := base.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() {
+				continue
+			}
+			slice, ok := obj.Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			basic, ok := slice.Elem().(*types.Basic)
+			if !ok || basic.Kind() != types.Byte && basic.Kind() != types.Uint8 {
+				continue
+			}
+			pass.Reportf(res.Pos(), "alias-return",
+				"exported %s returns an alias of the internal []byte field %s; "+
+					"return a copy or hand out an own.Ref borrow", fd.Name.Name, obj.Name())
+		}
+		return true
+	})
+}

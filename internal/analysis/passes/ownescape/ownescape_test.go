@@ -1,0 +1,12 @@
+package ownescape_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/ownescape"
+)
+
+func TestOwnescape(t *testing.T) {
+	analysistest.Run(t, ownescape.Analyzer, analysistest.TestdataDir("a"), "a")
+}

@@ -1,0 +1,12 @@
+package refbalance_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/refbalance"
+)
+
+func TestRefbalance(t *testing.T) {
+	analysistest.Run(t, refbalance.Analyzer, analysistest.TestdataDir("a"), "a")
+}

@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"safelinux/internal/analysis"
+	"safelinux/internal/analysis/passes/anyboundary"
+	"safelinux/internal/analysis/passes/errptr"
+	"safelinux/internal/analysis/passes/lockorder"
+	"safelinux/internal/analysis/passes/ownescape"
+	"safelinux/internal/analysis/passes/refbalance"
+)
+
+// TestRatchet is the committed-baseline invariant as a test: a full
+// kerncheck run over the module must produce zero findings in strict
+// packages and no package/analyzer count above analysis/baseline.json.
+// The counts may only go down — if this fails after your change, fix
+// the new violation instead of touching the baseline.
+func TestRatchet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	analyzers := []*analysis.Analyzer{
+		anyboundary.Analyzer,
+		errptr.Analyzer,
+		lockorder.Analyzer,
+		ownescape.Analyzer,
+		refbalance.Analyzer,
+	}
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	paths, err := analysis.ListPackages(root)
+	if err != nil {
+		t.Fatalf("ListPackages: %v", err)
+	}
+	loader := analysis.NewLoader()
+	var findings []analysis.Finding
+	for _, p := range paths {
+		pkg, err := loader.LoadDir(analysis.DirForImport(root, p), p)
+		if err != nil {
+			t.Fatalf("load %s: %v", p, err)
+		}
+		fs, err := analysis.Run(analyzers, pkg)
+		if err != nil {
+			t.Fatalf("run on %s: %v", p, err)
+		}
+		findings = append(findings, fs...)
+	}
+
+	for _, f := range analysis.StrictViolations(findings) {
+		t.Errorf("strict package violation: %s", f)
+	}
+
+	base, err := analysis.LoadBaseline(filepath.Join(root, "analysis", "baseline.json"))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	if base.Total() == 0 {
+		t.Fatal("committed baseline is empty; run `go run ./cmd/kerncheck -update-baseline`")
+	}
+	regressions, _ := base.Compare(findings)
+	for _, r := range regressions {
+		t.Errorf("ratchet regression: %s", r)
+	}
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the aggregate view emitted by `kerncheck -report`: how many
+// violations of each analyzer remain, per subsystem. It feeds the
+// cvedb Figure-2-style categorization (each analyzer maps to a CWE
+// class over there; this package stays CWE-agnostic).
+type Report struct {
+	// PerSubsystem maps subsystem -> analyzer -> count.
+	PerSubsystem map[string]map[string]int `json:"per_subsystem"`
+	// PerAnalyzer maps analyzer -> total count.
+	PerAnalyzer map[string]int `json:"per_analyzer"`
+	// Total is the overall violation count.
+	Total int `json:"total"`
+}
+
+// Subsystem reduces an import path to the subsystem bucket used in
+// reports: the last meaningful path element under internal/ or pkg/
+// grouping trees ("safelinux/internal/linuxlike/vfs" -> "vfs",
+// "safelinux/internal/safemod/safefs" -> "safefs").
+func Subsystem(pkgPath string) string {
+	p := strings.TrimPrefix(pkgPath, ModulePath+"/")
+	p = strings.TrimPrefix(p, "internal/")
+	p = strings.TrimPrefix(p, "pkg/")
+	p = strings.TrimPrefix(p, "linuxlike/")
+	p = strings.TrimPrefix(p, "safemod/")
+	// fs/extlike and friends: keep the concrete leaf.
+	if i := strings.LastIndexByte(p, '/'); i >= 0 {
+		p = p[i+1:]
+	}
+	if p == "" {
+		return ModulePath
+	}
+	return p
+}
+
+// NewReport aggregates findings into a report.
+func NewReport(findings []Finding) Report {
+	r := Report{
+		PerSubsystem: make(map[string]map[string]int),
+		PerAnalyzer:  make(map[string]int),
+	}
+	for _, f := range findings {
+		sub := Subsystem(f.Pkg)
+		m := r.PerSubsystem[sub]
+		if m == nil {
+			m = make(map[string]int)
+			r.PerSubsystem[sub] = m
+		}
+		m[f.Analyzer]++
+		r.PerAnalyzer[f.Analyzer]++
+		r.Total++
+	}
+	return r
+}
+
+// Render produces the human-readable table for -report.
+func (r Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kerncheck report: %d violation(s)\n", r.Total)
+
+	analyzers := make([]string, 0, len(r.PerAnalyzer))
+	for a := range r.PerAnalyzer {
+		analyzers = append(analyzers, a)
+	}
+	sort.Strings(analyzers)
+
+	subs := make([]string, 0, len(r.PerSubsystem))
+	for s := range r.PerSubsystem {
+		subs = append(subs, s)
+	}
+	// Worst subsystems first; ties alphabetical.
+	sort.Slice(subs, func(i, j int) bool {
+		ti, tj := 0, 0
+		for _, n := range r.PerSubsystem[subs[i]] {
+			ti += n
+		}
+		for _, n := range r.PerSubsystem[subs[j]] {
+			tj += n
+		}
+		if ti != tj {
+			return ti > tj
+		}
+		return subs[i] < subs[j]
+	})
+
+	for _, s := range subs {
+		total := 0
+		for _, n := range r.PerSubsystem[s] {
+			total += n
+		}
+		fmt.Fprintf(&b, "  %-12s %3d", s, total)
+		var parts []string
+		for _, a := range analyzers {
+			if n := r.PerSubsystem[s][a]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", a, n))
+			}
+		}
+		fmt.Fprintf(&b, "  (%s)\n", strings.Join(parts, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package cvedb
+
+import (
+	"strings"
+	"testing"
+
+	"safelinux/internal/analysis"
+)
+
+func staticFinding(analyzer, category string) analysis.Finding {
+	return analysis.Finding{
+		Analyzer: analyzer, Category: category,
+		Pkg: "safelinux/internal/linuxlike/vfs", Pos: "vfs.go:1:1", Message: "m",
+	}
+}
+
+func TestCWEForFinding(t *testing.T) {
+	cases := []struct {
+		analyzer, category string
+		want               int
+	}{
+		{"anyboundary", "signature", 843},
+		{"anyboundary", "type-assert", 843},
+		{"errptr", "errptr-call", 824},
+		{"lockorder", "inversion", 667},
+		{"ownescape", "shared-struct", 362},
+		{"refbalance", "leak", 401},
+		{"refbalance", "over-release", 415},
+	}
+	for _, c := range cases {
+		cwe, ok := CWEForFinding(staticFinding(c.analyzer, c.category))
+		if !ok {
+			t.Errorf("%s/%s: no CWE", c.analyzer, c.category)
+			continue
+		}
+		if cwe.ID != c.want {
+			t.Errorf("%s/%s -> CWE-%d, want CWE-%d", c.analyzer, c.category, cwe.ID, c.want)
+		}
+		if cwe.Name == "" || cwe.Prevention == "" {
+			t.Errorf("CWE-%d missing taxonomy fields: %+v", cwe.ID, cwe)
+		}
+	}
+	if _, ok := CWEForFinding(staticFinding("unknown", "x")); ok {
+		t.Error("unknown analyzer mapped to a CWE")
+	}
+}
+
+func TestCategorizeStatic(t *testing.T) {
+	buckets := CategorizeStatic([]analysis.Finding{
+		staticFinding("errptr", "errptr-call"),
+		staticFinding("errptr", "errptr-call"),
+		staticFinding("refbalance", "leak"),
+		staticFinding("refbalance", "over-release"),
+		staticFinding("unknown", "x"),
+	})
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %+v, want 3", buckets)
+	}
+	if buckets[0].CWE.ID != 824 || buckets[0].Count != 2 {
+		t.Errorf("top bucket = %+v, want CWE-824 x2", buckets[0])
+	}
+}
+
+func TestRenderStaticFindings(t *testing.T) {
+	out := RenderStaticFindings([]analysis.Finding{
+		staticFinding("lockorder", "inversion"),
+	})
+	if !strings.Contains(out, "CWE-667") || !strings.Contains(out, "total: 1") {
+		t.Errorf("render output missing CWE row or total:\n%s", out)
+	}
+	if empty := RenderStaticFindings(nil); !strings.Contains(empty, "none") {
+		t.Errorf("empty render = %q", empty)
+	}
+}

@@ -21,6 +21,7 @@ package bufcache
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -141,12 +142,36 @@ func (bh *BufferHead) Dirty() bool { return bh.TestFlag(BHDirty) }
 // shard lock).
 func (bh *BufferHead) Get() { bh.refcount.Add(1) }
 
-// Put releases a reference (brelse / put_bh). Over-releasing raises a
-// generic oops, as brelse would warn.
-func (bh *BufferHead) Put() {
-	if bh.refcount.Add(-1) < 0 {
-		bh.refcount.Add(1) // restore so the cache state stays sane
-		kbase.Oops(kbase.OopsGeneric, "bufcache", "brelse of free buffer %d", bh.Block)
+// OverReleaseError reports a Put on a buffer whose reference count
+// was already zero — the double-free (CWE-415) shape for refcounted
+// objects. It carries enough context for an audit trail; the oops is
+// still raised so legacy callers that ignore the return keep the old
+// crash-on-misuse behavior.
+type OverReleaseError struct {
+	Block    uint64
+	Refcount int // count observed at the failed release (always 0)
+}
+
+func (e *OverReleaseError) Error() string {
+	return fmt.Sprintf("bufcache: over-release of buffer %d (refcount %d)", e.Block, e.Refcount)
+}
+
+// Put releases a reference (brelse / put_bh). A release of a buffer
+// nobody holds returns *OverReleaseError and raises a generic oops, as
+// brelse would warn. The CAS loop never publishes a negative count, so
+// unlike a blind Add(-1)+restore there is no window where a concurrent
+// reader observes the corrupted value.
+func (bh *BufferHead) Put() error {
+	for {
+		old := bh.refcount.Load()
+		if old <= 0 {
+			kbase.Oops(kbase.OopsGeneric, "bufcache", "brelse of free buffer %d", bh.Block)
+			bh.cache.overReleases.Add(1)
+			return &OverReleaseError{Block: bh.Block, Refcount: int(old)}
+		}
+		if bh.refcount.CompareAndSwap(old, old-1) {
+			return nil
+		}
 	}
 }
 
@@ -169,19 +194,21 @@ type cacheShard struct {
 
 // Cache is the buffer cache over one block device.
 type Cache struct {
-	dev     *blockdev.Device
-	maxBufs int          // cache-wide capacity (0 = unbounded)
-	size    atomic.Int64 // total buffers across shards
+	dev          *blockdev.Device
+	maxBufs      int           // cache-wide capacity (0 = unbounded)
+	size         atomic.Int64  // total buffers across shards
+	overReleases atomic.Uint64 // Put calls rejected with OverReleaseError
 
 	shards [NumShards]cacheShard
 }
 
 // CacheStats counts cache activity.
 type CacheStats struct {
-	Hits      uint64
-	Misses    uint64
-	Writeback uint64
-	Evictions uint64
+	Hits         uint64
+	Misses       uint64
+	Writeback    uint64
+	Evictions    uint64
+	OverReleases uint64 // Put calls rejected with OverReleaseError
 }
 
 // NewCache creates a cache over dev holding at most maxBufs buffers
@@ -215,6 +242,7 @@ func (c *Cache) Stats() CacheStats {
 		st.Evictions += s.evictions
 		s.mu.Unlock()
 	}
+	st.OverReleases = c.overReleases.Load()
 	return st
 }
 

@@ -122,6 +122,32 @@ func TestBrelseOverRelease(t *testing.T) {
 	}
 }
 
+func TestPutReturnsTypedOverReleaseError(t *testing.T) {
+	rec := installRecorder(t)
+	c := testCache(t, 0)
+	bh, _ := c.GetBlk(3)
+	if err := bh.Put(); err != nil {
+		t.Fatalf("balanced Put returned %v", err)
+	}
+	err := bh.Put() // over-release
+	ore, ok := err.(*OverReleaseError)
+	if !ok {
+		t.Fatalf("over-release Put returned %T, want *OverReleaseError", err)
+	}
+	if ore.Block != 3 || ore.Refcount != 0 {
+		t.Fatalf("OverReleaseError = %+v", ore)
+	}
+	if bh.Refcount() != 0 {
+		t.Fatalf("refcount corrupted to %d by rejected Put", bh.Refcount())
+	}
+	if got := c.Stats().OverReleases; got != 1 {
+		t.Fatalf("Stats().OverReleases = %d", got)
+	}
+	if rec.Count(kbase.OopsGeneric) != 1 {
+		t.Fatalf("oops count = %d", rec.Count(kbase.OopsGeneric))
+	}
+}
+
 func TestLRUEviction(t *testing.T) {
 	c := testCache(t, 4)
 	var held []*BufferHead

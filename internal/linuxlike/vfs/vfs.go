@@ -290,10 +290,10 @@ func (v *VFS) lookupCached(task *kbase.Task, dir *Inode, name string) (*Inode, k
 		}
 		return ino, kbase.EOK
 	}
-	child := dir.Ops.Lookup(task, dir, name)
-	// The ERR_PTR dance, exactly as every VFS call site does it.
-	if kbase.IsErr(child) {
-		e := kbase.PtrErr(child)
+	// Typed-first dispatch: converted file systems return a Result,
+	// legacy ones go through the ERR_PTR shim in typed.go.
+	child, e := opsLookup(task, dir, name).Get()
+	if e != kbase.EOK {
 		if e == kbase.ENOENT {
 			v.dcache.insert(dir.Sb, dir.Ino, name, nil) // negative entry
 		}
@@ -316,9 +316,9 @@ func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) 
 		if perr != kbase.EOK {
 			return -1, perr
 		}
-		created := parent.Ops.Create(task, parent, name, ModeRegular)
-		if kbase.IsErr(created) {
-			return -1, kbase.PtrErr(created)
+		created, cerr := opsCreate(task, parent, name, ModeRegular).Get()
+		if cerr != kbase.EOK {
+			return -1, cerr
 		}
 		v.dcache.invalidate(parent.Sb, parent.Ino, name)
 		ino = created
@@ -548,9 +548,8 @@ func (v *VFS) Mkdir(task *kbase.Task, path string) kbase.Errno {
 	if _, e := v.lookupCached(task, parent, name); e == kbase.EOK {
 		return kbase.EEXIST
 	}
-	ino := parent.Ops.Mkdir(task, parent, name)
-	if kbase.IsErr(ino) {
-		return kbase.PtrErr(ino)
+	if _, e := opsMkdir(task, parent, name).Get(); e != kbase.EOK {
+		return e
 	}
 	v.dcache.invalidate(parent.Sb, parent.Ino, name)
 	return kbase.EOK

@@ -107,7 +107,7 @@ func (inst *fsInstance) inodeFor(path string, isDir bool) *vfs.Inode {
 		Nlink:   1,
 		ILock:   kbase.NewSpinLock(vfs.ILockClass),
 		Sb:      inst.vsb,
-		Ops:     &inodeOps{inst: inst},
+		Ops:     vfs.AdaptTyped(&inodeOps{inst: inst}),
 		FileOps: &fileOps{inst: inst},
 		Private: &snode{path: path},
 	}
@@ -122,7 +122,7 @@ func (inst *fsInstance) inodeFor(path string, isDir bool) *vfs.Inode {
 
 // pathOf joins a directory inode and a child name.
 func pathOf(dir *vfs.Inode, name string) (string, kbase.Errno) {
-	sn, ok := dir.Private.(*snode)
+	sn, ok := vfs.PrivateAs[*snode](dir)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "inode private is %T", dir.Private)
 		return "", kbase.EUCLEAN
@@ -221,49 +221,53 @@ func (inst *fsInstance) do(r Record) kbase.Errno {
 	return kbase.EOK
 }
 
-// --- InodeOps ---
+// --- InodeOps (typed) ---
 
+// inodeOps implements vfs.TypedInodeOps: safefs is a converted file
+// system, so Lookup/Create/Mkdir return typedapi.Result and no errno
+// ever rides inside an inode pointer. inodeFor registers it through
+// vfs.AdaptTyped for legacy callers.
 type inodeOps struct {
 	inst *fsInstance
 }
 
-func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+func (o *inodeOps) LookupTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
 	inst := o.inst
 	inst.nsLock.DownRead(task)
 	defer inst.nsLock.UpRead(task)
 	path, err := pathOf(dir, name)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	if inst.st.dirs[path] {
-		return inst.inodeFor(path, true)
+		return typedapi.Ok(inst.inodeFor(path, true))
 	}
 	if _, ok := inst.st.files[path]; ok {
-		return inst.inodeFor(path, false)
+		return typedapi.Ok(inst.inodeFor(path, false))
 	}
-	return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+	return typedapi.Err[*vfs.Inode](kbase.ENOENT)
 }
 
-func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+func (o *inodeOps) CreateTyped(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) typedapi.Result[*vfs.Inode] {
 	inst := o.inst
 	inst.nsLock.DownWrite(task)
 	defer inst.nsLock.UpWrite(task)
 	path, err := pathOf(dir, name)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	kind := OpCreate
 	if mode.IsDir() {
 		kind = OpMkdir
 	}
 	if err := inst.do(Record{Kind: kind, Path: path}); err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
-	return inst.inodeFor(path, mode.IsDir())
+	return typedapi.Ok(inst.inodeFor(path, mode.IsDir()))
 }
 
-func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
-	return o.Create(task, dir, name, vfs.ModeDir)
+func (o *inodeOps) MkdirTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
+	return o.CreateTyped(task, dir, name, vfs.ModeDir)
 }
 
 func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
@@ -331,7 +335,7 @@ func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kb
 	inst := o.inst
 	inst.nsLock.DownRead(task)
 	defer inst.nsLock.UpRead(task)
-	sn, ok := dir.Private.(*snode)
+	sn, ok := vfs.PrivateAs[*snode](dir)
 	if !ok {
 		return nil, kbase.EUCLEAN
 	}
@@ -376,7 +380,7 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 	inst := fo.inst
 	inst.nsLock.DownRead(task)
 	defer inst.nsLock.UpRead(task)
-	sn, ok := ino.Private.(*snode)
+	sn, ok := vfs.PrivateAs[*snode](ino)
 	if !ok {
 		return 0, kbase.EUCLEAN
 	}
@@ -384,7 +388,7 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 }
 
 func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (any, kbase.Errno) {
-	sn, ok := ino.Private.(*snode)
+	sn, ok := vfs.PrivateAs[*snode](ino)
 	if !ok {
 		return nil, kbase.EUCLEAN
 	}
@@ -438,7 +442,7 @@ func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.
 	inst := fo.inst
 	inst.nsLock.DownWrite(task)
 	defer inst.nsLock.UpWrite(task)
-	sn, ok := ino.Private.(*snode)
+	sn, ok := vfs.PrivateAs[*snode](ino)
 	if !ok {
 		return kbase.EUCLEAN
 	}
@@ -494,7 +498,7 @@ func (inst *fsInstance) Checkpoint() kbase.Errno {
 
 // InstanceOf extracts the safefs instance from a mounted superblock.
 func InstanceOf(sb *vfs.SuperBlock) (interface{ Checkpoint() kbase.Errno }, bool) {
-	inst, ok := sb.Private.(*fsInstance)
+	inst, ok := vfs.SBPrivateAs[*fsInstance](sb)
 	return inst, ok
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"safelinux/internal/linuxlike/blockdev"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
 	"safelinux/internal/safety/own"
 	"safelinux/internal/safety/spec"
 )
@@ -306,7 +307,11 @@ func (a *SpecAdapter) Reset() kbase.Errno {
 	if err != kbase.EOK {
 		return err
 	}
-	a.inst = sb.Private.(*fsInstance)
+	inst, ok := vfs.SBPrivateAs[*fsInstance](sb)
+	if !ok {
+		return kbase.EUCLEAN
+	}
+	a.inst = inst
 	return kbase.EOK
 }
 
@@ -406,7 +411,11 @@ func (a *SpecAdapter) ForEachCrash(check func(recovered Abs) bool) (int, kbase.E
 		if err != kbase.EOK {
 			return tried, err
 		}
-		recovered, err := interpretState(sb.Private.(*fsInstance).st)
+		inst, ok := vfs.SBPrivateAs[*fsInstance](sb)
+		if !ok {
+			return tried, kbase.EUCLEAN
+		}
+		recovered, err := interpretState(inst.st)
 		if err != kbase.EOK {
 			return tried, err
 		}

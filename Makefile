@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel check
+.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace check
 
 all: check
 
@@ -38,5 +38,10 @@ bench-smoke:
 # The I/O-path scaling numbers (see DESIGN.md and BENCH_ioshard.json).
 bench-parallel:
 	$(GO) test -run xxx -bench Parallel -cpu 1,4,8 .
+
+# Tracepoint overhead: disabled vs enabled vs attached-probe on the
+# parallel I/O mix (see DESIGN.md "Observability" and BENCH_trace.json).
+bench-trace:
+	$(GO) run ./cmd/ktrace bench -out BENCH_trace.json
 
 check: build vet lint test

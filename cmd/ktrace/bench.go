@@ -1,0 +1,226 @@
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"safelinux/internal/linuxlike/blockdev"
+	"safelinux/internal/linuxlike/ebpflike"
+	"safelinux/internal/linuxlike/fs/extlike"
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+	"safelinux/internal/linuxlike/vfs"
+)
+
+// The tracepoint overhead benchmark: the parallel read-heavy I/O mix
+// from bench_parallel_test.go, run three times — tracepoints disabled
+// (the permanent cost of instrumentation being compiled in), all
+// enabled (events recorded into the ring), and with a verified
+// keep-all program attached to the hottest tracepoint (probe execution
+// on every event). A separate microbench measures the disabled emit
+// gate itself, from which the disabled configurations's overhead share
+// is estimated — the number the "≤5% disabled" acceptance gate reads.
+
+// BenchResult is the BENCH_trace.json schema.
+type BenchResult struct {
+	Bench               string  `json:"bench"`
+	DisabledNsOp        float64 `json:"disabled_ns_op"`
+	EnabledNsOp         float64 `json:"enabled_ns_op"`
+	AttachedNsOp        float64 `json:"attached_ns_op"`
+	GateNsPerEmit       float64 `json:"gate_ns_per_emit"`
+	EmitsPerOp          float64 `json:"emits_per_op"`
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
+	AttachedOverheadPct float64 `json:"attached_overhead_pct"`
+}
+
+const benchWorkerSlots = 64
+
+// benchSetup builds a populated extlike volume: one directory and one
+// 2048-byte file per worker slot.
+func benchSetup() (*vfs.VFS, error) {
+	dev := blockdev.New(blockdev.Config{
+		Blocks: 32768, BlockSize: 512, Rng: kbase.NewRng(42),
+	})
+	if _, err := extlike.Mkfs(dev, extlike.MkfsOptions{}); err.IsError() {
+		return nil, fmt.Errorf("mkfs: %v", err)
+	}
+	v := vfs.New(nil)
+	task := kbase.NewTask()
+	if err := v.RegisterFS(&extlike.FS{}); err.IsError() {
+		return nil, fmt.Errorf("register: %v", err)
+	}
+	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err.IsError() {
+		return nil, fmt.Errorf("mount: %v", err)
+	}
+	payload := make([]byte, 2048)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < benchWorkerSlots; i++ {
+		dir := fmt.Sprintf("/w%d", i)
+		if err := v.Mkdir(task, dir); err.IsError() {
+			return nil, fmt.Errorf("mkdir: %v", err)
+		}
+		fd, err := v.Open(task, dir+"/data", vfs.OWrOnly|vfs.OCreate)
+		if err.IsError() {
+			return nil, fmt.Errorf("open: %v", err)
+		}
+		if _, err := v.Pwrite(task, fd, payload, 0); err.IsError() {
+			return nil, fmt.Errorf("pwrite: %v", err)
+		}
+		v.Close(fd)
+	}
+	return v, nil
+}
+
+// benchParallelIO is the measured loop: 13/16 pread, 2/16 stat, 1/16
+// pwrite, each worker on its own file.
+func benchParallelIO(b *testing.B, v *vfs.VFS) {
+	var nextWorker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int(nextWorker.Add(1)-1) % benchWorkerSlots
+		task := kbase.NewTask()
+		path := fmt.Sprintf("/w%d/data", id)
+		fd, err := v.Open(task, path, vfs.ORdWr)
+		if err.IsError() {
+			b.Errorf("open %s: %v", path, err)
+			return
+		}
+		defer v.Close(fd)
+		buf := make([]byte, 512)
+		i := 0
+		for pb.Next() {
+			off := int64(i%4) * 512
+			switch i % 16 {
+			case 15:
+				if _, err := v.Pwrite(task, fd, buf, off); err.IsError() {
+					b.Errorf("pwrite: %v", err)
+					return
+				}
+			case 5, 11:
+				if _, err := v.Stat(task, path); err.IsError() {
+					b.Errorf("stat: %v", err)
+					return
+				}
+			default:
+				if _, err := v.Pread(task, fd, buf, off); err.IsError() {
+					b.Errorf("pread: %v", err)
+					return
+				}
+			}
+			i++
+		}
+	})
+}
+
+// runMode benchmarks one tracing configuration on a fresh volume and
+// returns ns/op plus the trace events emitted per benchmark op.
+func runMode(setup func() (cleanup func(), err error)) (nsOp, emitsPerOp float64, err error) {
+	v, err := benchSetup()
+	if err != nil {
+		return 0, 0, err
+	}
+	cleanup, err := setup()
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cleanup()
+	before := ktrace.Buffer().Emitted()
+	var n int
+	res := testing.Benchmark(func(b *testing.B) {
+		n = b.N
+		benchParallelIO(b, v)
+	})
+	emitted := ktrace.Buffer().Emitted() - before
+	if n > 0 {
+		emitsPerOp = float64(emitted) / float64(n)
+	}
+	return float64(res.NsPerOp()), emitsPerOp, nil
+}
+
+// keepAllProgram is the attached-probe configuration's filter: a
+// verified program that inspects nothing and keeps every event, so the
+// benchmark isolates probe-execution cost.
+func keepAllProgram() (*ebpflike.Program, error) {
+	return ebpflike.Verify([]ebpflike.Inst{
+		{Op: ebpflike.OpMov, Dst: 0, Imm: 1},
+		{Op: ebpflike.OpRet, Dst: 0},
+	}, ktrace.EventCtxSize)
+}
+
+func runBench() (*BenchResult, error) {
+	prevLV := kbase.SetLockValidation(false)
+	defer kbase.SetLockValidation(prevLV)
+
+	res := &BenchResult{Bench: "parallel-io-13r-2s-1w"}
+
+	// Disabled: every tracepoint off; emits are one atomic load.
+	nsOp, _, err := runMode(func() (func(), error) {
+		return func() {}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.DisabledNsOp = nsOp
+
+	// Enabled: every tracepoint records into the ring.
+	nsOp, emits, err := runMode(func() (func(), error) {
+		ktrace.EnableAll()
+		return ktrace.DisableAll, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.EnabledNsOp = nsOp
+	res.EmitsPerOp = emits
+
+	// Attached: all enabled, plus a verified keep-all program on the
+	// hottest tracepoint in this mix (the buffer cache lookup).
+	nsOp, _, err = runMode(func() (func(), error) {
+		prog, perr := keepAllProgram()
+		if perr != nil {
+			return nil, perr
+		}
+		tp := ktrace.Lookup("bufcache:get")
+		if tp == nil {
+			return nil, fmt.Errorf("bufcache:get tracepoint not registered")
+		}
+		probe, kerr := ktrace.Attach(tp, prog)
+		if kerr != kbase.EOK {
+			return nil, fmt.Errorf("attach: %v", kerr)
+		}
+		ktrace.EnableAll()
+		return func() {
+			ktrace.DisableAll()
+			probe.Detach()
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.AttachedNsOp = nsOp
+
+	// The gate microbench: one disabled-tracepoint emit.
+	gate := ktrace.New("bench:gate")
+	gateRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gate.Emit(0, uint64(i), 0)
+		}
+	})
+	res.GateNsPerEmit = float64(gateRes.NsPerOp())
+	if res.GateNsPerEmit == 0 {
+		// NsPerOp truncates to integer nanoseconds; recover sub-ns
+		// resolution from the raw totals.
+		res.GateNsPerEmit = float64(gateRes.T.Nanoseconds()) / float64(gateRes.N)
+	}
+
+	if res.DisabledNsOp > 0 {
+		res.DisabledOverheadPct = 100 * res.GateNsPerEmit * res.EmitsPerOp / res.DisabledNsOp
+		res.EnabledOverheadPct = 100 * (res.EnabledNsOp - res.DisabledNsOp) / res.DisabledNsOp
+		res.AttachedOverheadPct = 100 * (res.AttachedNsOp - res.DisabledNsOp) / res.DisabledNsOp
+	}
+	return res, nil
+}

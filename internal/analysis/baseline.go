@@ -131,6 +131,7 @@ var strictPrefixes = []string{
 	ModulePath + "/internal/safety",
 	ModulePath + "/pkg/safelinux",
 	ModulePath + "/internal/analysis",
+	ModulePath + "/internal/linuxlike/ktrace",
 }
 
 // StrictPackage reports whether pkg is in the zero-tolerance set.

@@ -27,6 +27,16 @@ import (
 	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// Tracepoints (args documented in DESIGN.md's catalog): submission
+// and completion are one event on this synchronous device.
+var (
+	tpRead  = ktrace.New("blockdev:read")  // a0=block
+	tpWrite = ktrace.New("blockdev:write") // a0=block, a1=1 if plugged batch
+	tpFlush = ktrace.New("blockdev:flush") // a0=writes made durable
+	tpCrash = ktrace.New("blockdev:crash") // a0=writes dropped, a1=blocks torn
 )
 
 // NumShards is the lock-striping factor for device state. Sixteen
@@ -176,7 +186,9 @@ func (d *Device) BlockSize() int { return d.cfg.BlockSize }
 // Blocks returns the device capacity in blocks.
 func (d *Device) Blocks() uint64 { return d.cfg.Blocks }
 
-// Stats returns a snapshot of the device counters.
+// Stats returns a snapshot of the device counters. It is the legacy
+// shim over the same counters CollectMetrics registers on the unified
+// metrics plane.
 func (d *Device) Stats() Stats {
 	return Stats{
 		Reads:         d.reads.Load(),
@@ -187,6 +199,19 @@ func (d *Device) Stats() Stats {
 		DroppedWrites: d.dropped.Load(),
 		Plugs:         d.plugs.Load(),
 	}
+}
+
+// CollectMetrics enumerates the device counters for the ktrace
+// metrics registry (register with m.Register("blockdev", d.CollectMetrics)).
+func (d *Device) CollectMetrics(emit func(name string, value uint64)) {
+	emit("reads", d.reads.Load())
+	emit("writes", d.writes.Load())
+	emit("flushes", d.flushes.Load())
+	emit("crashes", d.crashes.Load())
+	emit("torn_blocks", d.torn.Load())
+	emit("dropped_writes", d.dropped.Load())
+	emit("plugs", d.plugs.Load())
+	emit("pending_writes", uint64(d.PendingWrites()))
 }
 
 // SetReadOnly marks the device read-only; writes fail with EROFS.
@@ -262,6 +287,7 @@ func (d *Device) Read(block uint64, buf []byte) kbase.Errno {
 	}
 	d.reads.Add(1)
 	d.cfg.Clock.Advance(d.cfg.ReadCost)
+	tpRead.Emit(0, block, 0)
 	s := d.shard(block)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -305,6 +331,7 @@ func (d *Device) Write(block uint64, data []byte) kbase.Errno {
 	}
 	d.writes.Add(1)
 	d.cfg.Clock.Advance(d.cfg.WriteCost)
+	tpWrite.Emit(0, block, 0)
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	w := pendingWrite{seq: d.seq.Add(1), block: block, data: cp}
@@ -324,10 +351,12 @@ func (d *Device) Flush() kbase.Errno {
 	defer d.unlockAll()
 	// Apply in global issue order so the last write to a block wins
 	// even when concurrent submitters raced on the shard queue.
-	for _, w := range d.pendingInOrderLocked() {
+	pending := d.pendingInOrderLocked()
+	for _, w := range pending {
 		d.durable[w.block] = w.data
 	}
 	d.clearPendingLocked()
+	tpFlush.Emit(0, uint64(len(pending)), 0)
 	return kbase.EOK
 }
 
@@ -366,6 +395,7 @@ func (d *Device) Crash() {
 		}
 	}
 	d.clearPendingLocked()
+	tpCrash.Emit(0, d.dropped.Load(), d.torn.Load())
 }
 
 // CrashApplyNone simulates a crash where no cached write survives —
@@ -549,6 +579,11 @@ func (p *Plug) Unplug() ([]kbase.Errno, kbase.Errno) {
 		d.writes.Add(uint64(accepted))
 		d.cfg.Clock.Advance(d.cfg.WriteCost * uint64(accepted))
 		d.plugs.Add(1)
+		if tpWrite.Enabled() {
+			for _, w := range writes {
+				tpWrite.Emit(0, w.block, 1)
+			}
+		}
 		// Group by shard so each shard lock is taken once.
 		var byShard [NumShards][]pendingWrite
 		for _, w := range writes {

@@ -27,6 +27,14 @@ import (
 
 	"safelinux/internal/linuxlike/blockdev"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// Tracepoints (args documented in DESIGN.md's catalog).
+var (
+	tpGet       = ktrace.New("bufcache:get")       // a0=block, a1=1 on cache hit
+	tpPut       = ktrace.New("bufcache:put")       // a0=block, a1=refcount before release
+	tpWriteback = ktrace.New("bufcache:writeback") // a0=block
 )
 
 // NumShards is the lock-striping factor of the cache.
@@ -162,6 +170,7 @@ func (e *OverReleaseError) Error() string {
 // unlike a blind Add(-1)+restore there is no window where a concurrent
 // reader observes the corrupted value.
 func (bh *BufferHead) Put() error {
+	tpPut.Emit(0, bh.Block, uint64(uint32(bh.refcount.Load())))
 	for {
 		old := bh.refcount.Load()
 		if old <= 0 {
@@ -230,7 +239,22 @@ func (c *Cache) shard(block uint64) *cacheShard {
 // Device returns the underlying block device.
 func (c *Cache) Device() *blockdev.Device { return c.dev }
 
-// Stats returns a snapshot of cache counters.
+// CollectMetrics enumerates the cache counters for the ktrace metrics
+// registry (register with m.Register("bufcache", c.CollectMetrics)).
+func (c *Cache) CollectMetrics(emit func(name string, value uint64)) {
+	st := c.Stats()
+	emit("hits", st.Hits)
+	emit("misses", st.Misses)
+	emit("writeback", st.Writeback)
+	emit("evictions", st.Evictions)
+	emit("over_releases", st.OverReleases)
+	emit("cached", uint64(c.Cached()))
+	emit("dirty", uint64(c.DirtyCount()))
+}
+
+// Stats returns a snapshot of cache counters. It is the legacy shim
+// over the same counters CollectMetrics registers on the unified
+// metrics plane.
 func (c *Cache) Stats() CacheStats {
 	var st CacheStats
 	for i := range c.shards {
@@ -259,9 +283,11 @@ func (c *Cache) GetBlk(block uint64) (*BufferHead, kbase.Errno) {
 		bh.refcount.Add(1)
 		s.lru.MoveToFront(bh.elem)
 		s.mu.Unlock()
+		tpGet.Emit(0, block, 1)
 		return bh, kbase.EOK
 	}
 	s.misses++
+	tpGet.Emit(0, block, 0)
 	if c.maxBufs > 0 && int(c.size.Load()) >= c.maxBufs {
 		if !c.evictOneLocked(s) {
 			// Nothing evictable in this block's shard; hunt the
@@ -386,6 +412,7 @@ func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
 	delete(s.dirty, bh.Block)
 	s.writeback++
 	s.mu.Unlock()
+	tpWriteback.Emit(0, bh.Block, 0)
 	return kbase.EOK
 }
 
@@ -439,6 +466,7 @@ func (c *Cache) SyncDirty() kbase.Errno {
 		delete(s.dirty, bh.Block)
 		s.writeback++
 		s.mu.Unlock()
+		tpWriteback.Emit(0, bh.Block, 0)
 	}
 	if err := c.dev.Flush(); err != kbase.EOK && firstErr == kbase.EOK {
 		firstErr = err

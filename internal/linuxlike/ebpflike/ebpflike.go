@@ -242,3 +242,8 @@ func (p *Program) Run(ctx []byte) (uint64, kbase.Errno) {
 
 // Len returns the instruction count.
 func (p *Program) Len() int { return len(p.insts) }
+
+// CtxSize returns the context size the program was verified against.
+// Attachment points (ktrace) use it to check the program's bounds fit
+// the context window they actually provide.
+func (p *Program) CtxSize() int { return p.ctxSize }

@@ -30,6 +30,14 @@ import (
 
 	"safelinux/internal/linuxlike/bufcache"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// Tracepoints (args documented in DESIGN.md's catalog).
+var (
+	tpBegin      = ktrace.New("journal:begin")      // a0=txn seq
+	tpCommit     = ktrace.New("journal:commit")     // a0=txn seq, a1=blocks logged, a2=errno
+	tpCheckpoint = ktrace.New("journal:checkpoint") // a0=new tail seq
 )
 
 // Block kinds within the journal area.
@@ -118,11 +126,24 @@ func New(cache *bufcache.Cache, start, size uint64) *Journal {
 	return j
 }
 
-// Stats returns a snapshot of journal counters.
+// Stats returns a snapshot of journal counters. It is the legacy shim
+// over the same counters CollectMetrics registers on the unified
+// metrics plane.
 func (j *Journal) Stats() Stats {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.stats
+}
+
+// CollectMetrics enumerates the journal counters for the ktrace
+// metrics registry (register with m.Register("journal", j.CollectMetrics)).
+func (j *Journal) CollectMetrics(emit func(name string, value uint64)) {
+	st := j.Stats()
+	emit("commits", st.Commits)
+	emit("blocks_logged", st.BlocksLogged)
+	emit("checkpoints", st.Checkpoints)
+	emit("replayed", st.Replayed)
+	emit("revokes", st.Revokes)
 }
 
 // Format initializes the journal superblock on disk.
@@ -161,6 +182,7 @@ func (j *Journal) Begin() *Handle {
 		j.seq++
 	}
 	j.running.handles++
+	tpBegin.Emit(0, j.running.seq, 0)
 	return &Handle{tx: j.running}
 }
 
@@ -287,6 +309,7 @@ func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
 		j.lastErr = err
 		j.gate = false
 		j.cond.Broadcast()
+		tpCommit.Emit4(0, tx.seq, uint64(len(tx.buffers)), uint64(err), 0)
 		return err
 	}
 	tx.closed = true
@@ -428,6 +451,7 @@ func (j *Journal) Checkpoint() kbase.Errno {
 	j.writePos = 1
 	j.revoked = make(map[uint64]uint64)
 	j.stats.Checkpoints++
+	tpCheckpoint.Emit(0, j.tailSeq, 0)
 	return j.writeSuperLocked()
 }
 

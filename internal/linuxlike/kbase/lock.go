@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Lock primitives with optional validation.
@@ -38,9 +39,10 @@ func lockValidationOn() bool {
 // LockClass identifies a family of locks for ordering purposes, e.g.
 // all inode i_lock instances share one class, as in Linux lockdep.
 type LockClass struct {
-	name string
-	id   int
-	subs []*LockClass // lazily created nested subclasses
+	name  string
+	id    int
+	subs  []*LockClass // lazily created nested subclasses
+	stats classStats   // lockstat counters (see lockstat.go)
 }
 
 var (
@@ -248,9 +250,10 @@ func (t *Task) ID() int64 {
 // SpinLock is the kernel spinlock. In simulation it is a mutex; the
 // distinction matters only for documentation and lock classes.
 type SpinLock struct {
-	mu    sync.Mutex
-	class *LockClass
-	task  *Task
+	mu        sync.Mutex
+	class     *LockClass
+	task      *Task
+	holdStart time.Time // lockstat hold sample; guarded by mu
 }
 
 // NewSpinLock creates a spinlock in the given class.
@@ -261,12 +264,28 @@ func (l *SpinLock) Lock(task *Task) {
 	if lockValidationOn() && l.class != nil {
 		globalValidator.acquire(task.ID(), l.class)
 	}
-	l.mu.Lock()
+	if l.class != nil && lockStatEnabled.Load() {
+		s := &l.class.stats
+		s.acquisitions.Add(1)
+		if !l.mu.TryLock() {
+			t0 := time.Now()
+			l.mu.Lock()
+			s.noteWait(time.Since(t0))
+		}
+		l.holdStart = time.Now()
+	} else {
+		l.mu.Lock()
+		l.holdStart = time.Time{}
+	}
 	l.task = task
 }
 
 // Unlock releases the spinlock.
 func (l *SpinLock) Unlock(task *Task) {
+	if l.class != nil && !l.holdStart.IsZero() {
+		l.class.stats.noteHold(time.Since(l.holdStart))
+		l.holdStart = time.Time{}
+	}
 	l.task = nil
 	l.mu.Unlock()
 	if lockValidationOn() && l.class != nil {
@@ -276,9 +295,11 @@ func (l *SpinLock) Unlock(task *Task) {
 
 // KMutex is the kernel sleeping mutex.
 type KMutex struct {
-	mu    sync.Mutex
-	class *LockClass
-	held  *LockClass // class actually acquired (may be a Nested subclass)
+	mu        sync.Mutex
+	class     *LockClass
+	held      *LockClass // class actually acquired (may be a Nested subclass)
+	statClass *LockClass // class charged by lockstat; guarded by mu
+	holdStart time.Time  // lockstat hold sample; guarded by mu
 }
 
 // NewKMutex creates a mutex in the given class.
@@ -297,12 +318,35 @@ func (m *KMutex) LockNested(task *Task, sub int) {
 		acq = m.class.Nested(sub)
 		globalValidator.acquire(task.ID(), acq)
 	}
-	m.mu.Lock()
+	if m.class != nil && lockStatEnabled.Load() {
+		sc := m.class
+		if sub > 0 {
+			sc = m.class.Nested(sub)
+		}
+		s := &sc.stats
+		s.acquisitions.Add(1)
+		if !m.mu.TryLock() {
+			t0 := time.Now()
+			m.mu.Lock()
+			s.noteWait(time.Since(t0))
+		}
+		m.statClass = sc
+		m.holdStart = time.Now()
+	} else {
+		m.mu.Lock()
+		m.statClass = nil
+		m.holdStart = time.Time{}
+	}
 	m.held = acq
 }
 
 // Unlock releases the mutex.
 func (m *KMutex) Unlock(task *Task) {
+	if m.statClass != nil && !m.holdStart.IsZero() {
+		m.statClass.stats.noteHold(time.Since(m.holdStart))
+		m.statClass = nil
+		m.holdStart = time.Time{}
+	}
 	acq := m.held
 	m.held = nil
 	m.mu.Unlock()
@@ -313,19 +357,32 @@ func (m *KMutex) Unlock(task *Task) {
 
 // RWSem is the kernel reader/writer semaphore.
 type RWSem struct {
-	mu    sync.RWMutex
-	class *LockClass
+	mu        sync.RWMutex
+	class     *LockClass
+	holdStart time.Time // lockstat write-hold sample; guarded by mu (write side)
 }
 
 // NewRWSem creates a rwsem in the given class.
 func NewRWSem(class *LockClass) *RWSem { return &RWSem{class: class} }
 
-// DownRead acquires shared.
+// DownRead acquires shared. Lockstat counts shared acquisitions and
+// wait time but not hold time: concurrent readers would race on any
+// per-sem hold sample, and read holds do not exclude anyone anyway.
 func (s *RWSem) DownRead(task *Task) {
 	if lockValidationOn() && s.class != nil {
 		globalValidator.acquire(task.ID(), s.class)
 	}
-	s.mu.RLock()
+	if s.class != nil && lockStatEnabled.Load() {
+		st := &s.class.stats
+		st.readAcquires.Add(1)
+		if !s.mu.TryRLock() {
+			t0 := time.Now()
+			s.mu.RLock()
+			st.noteWait(time.Since(t0))
+		}
+	} else {
+		s.mu.RLock()
+	}
 }
 
 // UpRead releases shared.
@@ -341,11 +398,27 @@ func (s *RWSem) DownWrite(task *Task) {
 	if lockValidationOn() && s.class != nil {
 		globalValidator.acquire(task.ID(), s.class)
 	}
-	s.mu.Lock()
+	if s.class != nil && lockStatEnabled.Load() {
+		st := &s.class.stats
+		st.acquisitions.Add(1)
+		if !s.mu.TryLock() {
+			t0 := time.Now()
+			s.mu.Lock()
+			st.noteWait(time.Since(t0))
+		}
+		s.holdStart = time.Now()
+	} else {
+		s.mu.Lock()
+		s.holdStart = time.Time{}
+	}
 }
 
 // UpWrite releases exclusive.
 func (s *RWSem) UpWrite(task *Task) {
+	if s.class != nil && !s.holdStart.IsZero() {
+		s.class.stats.noteHold(time.Since(s.holdStart))
+		s.holdStart = time.Time{}
+	}
 	s.mu.Unlock()
 	if lockValidationOn() && s.class != nil {
 		globalValidator.release(task.ID(), s.class)

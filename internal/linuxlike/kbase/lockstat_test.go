@@ -1,0 +1,194 @@
+package kbase
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// withLockStat runs a test with lockstat on and validation off (the
+// configuration the CLI and benches use), restoring both after.
+func withLockStat(t *testing.T) {
+	t.Helper()
+	prevLV := SetLockValidation(false)
+	prevLS := SetLockStat(true)
+	ResetLockStats()
+	t.Cleanup(func() {
+		SetLockStat(prevLS)
+		SetLockValidation(prevLV)
+	})
+}
+
+func findClass(t *testing.T, name string) LockClassStats {
+	t.Helper()
+	for _, s := range LockStats() {
+		if s.Class == name {
+			return s
+		}
+	}
+	t.Fatalf("class %q not in LockStats()", name)
+	return LockClassStats{}
+}
+
+func TestLockStatDisabledCountsNothing(t *testing.T) {
+	prevLS := SetLockStat(false)
+	defer SetLockStat(prevLS)
+	ResetLockStats()
+	cls := NewLockClass("lockstat.test.disabled")
+	l := NewSpinLock(cls)
+	task := NewTask()
+	for i := 0; i < 100; i++ {
+		l.Lock(task)
+		l.Unlock(task)
+	}
+	for _, s := range LockStats() {
+		if s.Class == "lockstat.test.disabled" {
+			t.Fatalf("disabled lockstat recorded traffic: %+v", s)
+		}
+	}
+}
+
+// TestLockStatContention drives a deliberately contended spinlock from
+// many goroutines, each holding it long enough that others must block,
+// and checks every counter moves the right way.
+func TestLockStatContention(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.contended")
+	l := NewSpinLock(cls)
+
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task := NewTask()
+			for i := 0; i < perG; i++ {
+				l.Lock(task)
+				time.Sleep(20 * time.Microsecond) // hold window forces overlap
+				l.Unlock(task)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := findClass(t, "lockstat.test.contended")
+	if s.Acquisitions != goroutines*perG {
+		t.Fatalf("acquisitions = %d, want %d", s.Acquisitions, goroutines*perG)
+	}
+	if s.Contended == 0 {
+		t.Fatal("no contention recorded on a deliberately contended lock")
+	}
+	if s.Contended > s.Acquisitions {
+		t.Fatalf("contended %d > acquisitions %d", s.Contended, s.Acquisitions)
+	}
+	if s.WaitNs == 0 || s.MaxWaitNs == 0 {
+		t.Fatalf("contention with zero wait time: %+v", s)
+	}
+	if s.WaitNs < s.MaxWaitNs {
+		t.Fatalf("wait total %d < wait max %d", s.WaitNs, s.MaxWaitNs)
+	}
+	if s.HoldNs == 0 || s.MaxHoldNs == 0 {
+		t.Fatalf("no hold time recorded: %+v", s)
+	}
+	// Each hold was >= 20µs, so the total must be at least the sum.
+	if min := uint64(goroutines * perG * 20_000); s.HoldNs < min {
+		t.Fatalf("hold total %dns < floor %dns", s.HoldNs, min)
+	}
+}
+
+// TestLockStatHoldAccounting checks the uncontended path: acquisitions
+// and hold time tick, contention does not.
+func TestLockStatHoldAccounting(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.hold")
+	l := NewSpinLock(cls)
+	task := NewTask()
+	l.Lock(task)
+	time.Sleep(time.Millisecond)
+	l.Unlock(task)
+
+	s := findClass(t, "lockstat.test.hold")
+	if s.Acquisitions != 1 || s.Contended != 0 {
+		t.Fatalf("uncontended lock: %+v", s)
+	}
+	if s.HoldNs < uint64(time.Millisecond) {
+		t.Fatalf("hold %dns < the 1ms the lock was held", s.HoldNs)
+	}
+	if s.MaxHoldNs != s.HoldNs {
+		t.Fatalf("single hold: max %d != total %d", s.MaxHoldNs, s.HoldNs)
+	}
+}
+
+// TestLockStatKMutexNested: LockNested(sub) charges the subclass, so
+// the PR 1 dir_inode / dir_inode#1 split is visible per subclass.
+func TestLockStatKMutexNested(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.kmutex")
+	m1 := NewKMutex(cls)
+	m2 := NewKMutex(cls)
+	task := NewTask()
+
+	m1.Lock(task)
+	m2.LockNested(task, 1)
+	m2.Unlock(task)
+	m1.Unlock(task)
+
+	base := findClass(t, "lockstat.test.kmutex")
+	sub := findClass(t, "lockstat.test.kmutex#1")
+	if base.Acquisitions != 1 {
+		t.Fatalf("base acquisitions = %d, want 1", base.Acquisitions)
+	}
+	if sub.Acquisitions != 1 {
+		t.Fatalf("subclass acquisitions = %d, want 1", sub.Acquisitions)
+	}
+	if base.HoldNs == 0 || sub.HoldNs == 0 {
+		t.Fatalf("missing hold time: base=%+v sub=%+v", base, sub)
+	}
+}
+
+// TestLockStatRWSem: write side gets full accounting, read side counts
+// acquisitions.
+func TestLockStatRWSem(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.rwsem")
+	s := NewRWSem(cls)
+	task := NewTask()
+
+	s.DownWrite(task)
+	s.UpWrite(task)
+	for i := 0; i < 5; i++ {
+		s.DownRead(task)
+		s.UpRead(task)
+	}
+
+	st := findClass(t, "lockstat.test.rwsem")
+	if st.Acquisitions != 1 {
+		t.Fatalf("write acquisitions = %d, want 1", st.Acquisitions)
+	}
+	if st.ReadAcquires != 5 {
+		t.Fatalf("read acquires = %d, want 5", st.ReadAcquires)
+	}
+	if st.HoldNs == 0 {
+		t.Fatal("write hold not recorded")
+	}
+}
+
+func TestResetLockStats(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.reset")
+	l := NewSpinLock(cls)
+	task := NewTask()
+	l.Lock(task)
+	l.Unlock(task)
+	if findClass(t, "lockstat.test.reset").Acquisitions != 1 {
+		t.Fatal("setup acquisition not recorded")
+	}
+	ResetLockStats()
+	for _, s := range LockStats() {
+		if s.Class == "lockstat.test.reset" {
+			t.Fatalf("reset left traffic: %+v", s)
+		}
+	}
+}

@@ -38,6 +38,11 @@ type OopsEvent struct {
 	Kind   OopsKind
 	Module string
 	Msg    string
+	// Trace is the flight-recorder dump captured at the oops site: the
+	// most recent trace events, newest last, each pre-rendered as one
+	// line. Populated only while a trace provider is installed (see
+	// SetOopsTraceFn; ktrace.EnableFlightRecorder installs one).
+	Trace []string
 }
 
 func (e OopsEvent) String() string {
@@ -54,7 +59,52 @@ type OopsRecorder struct {
 var (
 	recorderMu sync.RWMutex
 	recorder   *OopsRecorder
+
+	// oopsTraceFn, when installed, is invoked at every Oops/BUG site to
+	// snapshot the flight recorder into the event. oopsObserver, when
+	// installed, sees every failure as it happens (before the recorder
+	// captures it) — ktrace uses it to emit the kernel:oops tracepoint,
+	// so the crash itself lands in the trace stream.
+	oopsHookMu   sync.RWMutex
+	oopsTraceFn  func() []string
+	oopsObserver func(kind OopsKind, module string)
 )
+
+// SetOopsTraceFn installs f as the flight-recorder snapshot provider
+// consulted at every Oops/BUG, returning the previous provider. Pass
+// nil to uninstall.
+func SetOopsTraceFn(f func() []string) func() []string {
+	oopsHookMu.Lock()
+	defer oopsHookMu.Unlock()
+	prev := oopsTraceFn
+	oopsTraceFn = f
+	return prev
+}
+
+// SetOopsObserver installs f to be called at every Oops/BUG site,
+// returning the previous observer. Pass nil to uninstall.
+func SetOopsObserver(f func(kind OopsKind, module string)) func(kind OopsKind, module string) {
+	oopsHookMu.Lock()
+	defer oopsHookMu.Unlock()
+	prev := oopsObserver
+	oopsObserver = f
+	return prev
+}
+
+// finalizeOops runs the observer and attaches the flight-recorder
+// dump. The observer runs first so the oops event itself is the last
+// entry of the captured trace.
+func finalizeOops(e *OopsEvent) {
+	oopsHookMu.RLock()
+	obs, tf := oopsObserver, oopsTraceFn
+	oopsHookMu.RUnlock()
+	if obs != nil {
+		obs(e.Kind, e.Module)
+	}
+	if tf != nil {
+		e.Trace = tf()
+	}
+}
 
 // InstallRecorder installs rec as the kernel oops sink and returns the
 // previous recorder (possibly nil).
@@ -110,6 +160,7 @@ func (r *OopsRecorder) record(e OopsEvent) {
 // responsible for unwinding); otherwise it panics.
 func Oops(kind OopsKind, module, format string, args ...any) {
 	e := OopsEvent{Kind: kind, Module: module, Msg: fmt.Sprintf(format, args...)}
+	finalizeOops(&e)
 	recorderMu.RLock()
 	rec := recorder
 	recorderMu.RUnlock()
@@ -125,6 +176,7 @@ func Oops(kind OopsKind, module, format string, args ...any) {
 // still attribute the failure.
 func BUG(module, format string, args ...any) {
 	e := OopsEvent{Kind: OopsGeneric, Module: module, Msg: fmt.Sprintf(format, args...)}
+	finalizeOops(&e)
 	recorderMu.RLock()
 	rec := recorder
 	recorderMu.RUnlock()

@@ -1,0 +1,126 @@
+package ktrace
+
+import (
+	"fmt"
+	"sync"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// The flight recorder: on a kernel oops, the most recent trace events
+// are snapshotted into the oops report, so a crash names not just the
+// failing module but the operations that led up to it — the black box
+// the fault-injection campaigns read to attribute failures.
+
+// tpOops is emitted at every Oops/BUG while the flight recorder is
+// installed: a0 = oops kind index (see oopsKindIndex), a1 = FNV-1a
+// hash of the module name (events carry no strings beyond the
+// tracepoint name).
+var tpOops = New("kernel:oops")
+
+var (
+	flightMu    sync.Mutex
+	flightDepth int
+	flightPrev  func() []string
+	flightPrevO func(kbase.OopsKind, string)
+	flightOn    bool
+)
+
+// DefaultFlightDepth is the number of events a flight-recorder dump
+// carries when EnableFlightRecorder is given a depth of 0.
+const DefaultFlightDepth = 32
+
+// EnableFlightRecorder installs the flight recorder: every tracepoint
+// is enabled, and every subsequent Oops/BUG captures the last depth
+// trace events into its report (OopsEvent.Trace) after emitting the
+// kernel:oops tracepoint. Idempotent; pair with DisableFlightRecorder.
+func EnableFlightRecorder(depth int) {
+	flightMu.Lock()
+	defer flightMu.Unlock()
+	if flightOn {
+		if depth > 0 {
+			flightDepth = depth
+		}
+		return
+	}
+	if depth <= 0 {
+		depth = DefaultFlightDepth
+	}
+	flightDepth = depth
+	flightOn = true
+	EnableAll()
+	flightPrevO = kbase.SetOopsObserver(func(kind kbase.OopsKind, module string) {
+		tpOops.Emit(0, uint64(oopsKindIndex(kind)), fnv1a(module))
+	})
+	flightPrev = kbase.SetOopsTraceFn(func() []string {
+		flightMu.Lock()
+		d := flightDepth
+		flightMu.Unlock()
+		return FormatEvents(ring().Last(d))
+	})
+}
+
+// DisableFlightRecorder uninstalls the hooks and drops the enable
+// references EnableFlightRecorder took.
+func DisableFlightRecorder() {
+	flightMu.Lock()
+	defer flightMu.Unlock()
+	if !flightOn {
+		return
+	}
+	flightOn = false
+	kbase.SetOopsTraceFn(flightPrev)
+	kbase.SetOopsObserver(flightPrevO)
+	flightPrev, flightPrevO = nil, nil
+	DisableAll()
+}
+
+// FormatEvents renders events one per line, oldest first, in the
+// fixed "seq name task a0 a1 a2 a3" shape the oops dump uses.
+func FormatEvents(evs []Event) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = fmt.Sprintf("#%d %s task=%d a0=%d a1=%d a2=%d a3=%d",
+			e.Seq, e.Name, e.Task, e.A0, e.A1, e.A2, e.A3)
+	}
+	return out
+}
+
+// oopsKindIndex maps an oops kind to a stable small integer for the
+// kernel:oops tracepoint argument.
+func oopsKindIndex(k kbase.OopsKind) int {
+	switch k {
+	case kbase.OopsNullDeref:
+		return 1
+	case kbase.OopsUseAfterFree:
+		return 2
+	case kbase.OopsDoubleFree:
+		return 3
+	case kbase.OopsOutOfBounds:
+		return 4
+	case kbase.OopsTypeConfusion:
+		return 5
+	case kbase.OopsDataRace:
+		return 6
+	case kbase.OopsDeadlock:
+		return 7
+	case kbase.OopsLeak:
+		return 8
+	case kbase.OopsSemantic:
+		return 9
+	case kbase.OopsCorruption:
+		return 10
+	default:
+		return 0
+	}
+}
+
+// fnv1a hashes a string for tracepoint arguments.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

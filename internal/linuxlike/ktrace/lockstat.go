@@ -1,0 +1,73 @@
+package ktrace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Lockstat surfacing. The accounting lives in kbase next to the lock
+// primitives (it must — ktrace sits above kbase in the import graph);
+// ktrace renders it and feeds it into the metrics plane, so `ktrace
+// lockstat` and the exporters are the one place contention becomes
+// visible.
+
+// EnableLockStat turns on per-LockClass accounting kernel-wide and
+// returns the previous setting.
+func EnableLockStat() bool { return kbase.SetLockStat(true) }
+
+// DisableLockStat turns accounting off and returns the previous
+// setting.
+func DisableLockStat() bool { return kbase.SetLockStat(false) }
+
+// RenderLockStat renders the lockstat table, lockstat(8)-style: one
+// row per lock class that saw traffic, sorted by name, with
+// contention counts and wait/hold-time totals and maxima.
+func RenderLockStat() string {
+	stats := kbase.LockStats()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %12s %10s %10s %12s %10s %12s %10s\n",
+		"class", "acquisitions", "reads", "contended", "wait-total", "wait-max", "hold-total", "hold-max")
+	for _, s := range stats {
+		fmt.Fprintf(&b, "%-24s %12d %10d %10d %12s %10s %12s %10s\n",
+			s.Class, s.Acquisitions, s.ReadAcquires, s.Contended,
+			fmtNs(s.WaitNs), fmtNs(s.MaxWaitNs), fmtNs(s.HoldNs), fmtNs(s.MaxHoldNs))
+	}
+	if len(stats) == 0 {
+		b.WriteString("(no lock traffic recorded — is lockstat enabled?)\n")
+	}
+	return b.String()
+}
+
+func fmtNs(ns uint64) string {
+	d := time.Duration(ns)
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	}
+}
+
+// RegisterLockStat registers the lockstat table under the "lockstat"
+// subsystem: per class, <class>.acquisitions, .reads, .contended,
+// .wait_ns, .hold_ns.
+func RegisterLockStat(m *Metrics) {
+	m.Register("lockstat", func(emit func(string, uint64)) {
+		for _, s := range kbase.LockStats() {
+			emit(s.Class+".acquisitions", s.Acquisitions)
+			if s.ReadAcquires > 0 {
+				emit(s.Class+".reads", s.ReadAcquires)
+			}
+			emit(s.Class+".contended", s.Contended)
+			emit(s.Class+".wait_ns", s.WaitNs)
+			emit(s.Class+".hold_ns", s.HoldNs)
+		}
+	})
+}

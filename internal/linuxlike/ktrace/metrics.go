@@ -1,0 +1,145 @@
+package ktrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The unified metrics plane.
+//
+// Before ktrace every subsystem grew its own Stats() accessor with
+// its own struct, and nothing could enumerate "all the counters of
+// this kernel". A Metrics registry inverts that: subsystems register
+// a collector that emits (name, value) pairs, and the registry renders
+// them all as a /proc-style text table or JSON. The old Stats()
+// accessors survive as thin shims over the same counters, so existing
+// callers keep working while the registry becomes the one surface
+// tooling reads.
+
+// CollectorFunc enumerates a subsystem's counters by calling emit for
+// each. Collectors must be safe to call at any time from any
+// goroutine; they read live atomics or take the subsystem's own locks.
+type CollectorFunc func(emit func(name string, value uint64))
+
+// Metric is one gathered sample.
+type Metric struct {
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+	Value     uint64 `json:"value"`
+}
+
+// Metrics is a registry of subsystem collectors.
+type Metrics struct {
+	mu         sync.Mutex
+	collectors map[string][]CollectorFunc
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{collectors: make(map[string][]CollectorFunc)}
+}
+
+// Register adds a collector under a subsystem name. Multiple
+// collectors may share a subsystem (e.g. two mounted file systems);
+// their samples are merged.
+func (m *Metrics) Register(subsystem string, c CollectorFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.collectors[subsystem] = append(m.collectors[subsystem], c)
+}
+
+// Gather runs every collector and returns the samples sorted by
+// (subsystem, name). Samples with the same subsystem and name (two
+// instances of one subsystem) are summed.
+func (m *Metrics) Gather() []Metric {
+	m.mu.Lock()
+	subs := make(map[string][]CollectorFunc, len(m.collectors))
+	for k, v := range m.collectors {
+		subs[k] = append([]CollectorFunc(nil), v...)
+	}
+	m.mu.Unlock()
+
+	acc := make(map[string]map[string]uint64)
+	for sub, cs := range subs {
+		vals := make(map[string]uint64)
+		for _, c := range cs {
+			c(func(name string, value uint64) { vals[name] += value })
+		}
+		acc[sub] = vals
+	}
+	var out []Metric
+	for sub, vals := range acc {
+		for name, v := range vals {
+			out = append(out, Metric{Subsystem: sub, Name: name, Value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subsystem != out[j].Subsystem {
+			return out[i].Subsystem < out[j].Subsystem
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// RenderText renders the /proc-style table: one "subsystem.name value"
+// line per sample, sorted.
+func (m *Metrics) RenderText() string {
+	var b strings.Builder
+	for _, s := range m.Gather() {
+		fmt.Fprintf(&b, "%s.%s %d\n", s.Subsystem, s.Name, s.Value)
+	}
+	return b.String()
+}
+
+// RenderJSON renders the samples as a nested JSON object
+// {subsystem: {name: value}}.
+func (m *Metrics) RenderJSON() ([]byte, error) {
+	obj := make(map[string]map[string]uint64)
+	for _, s := range m.Gather() {
+		sub := obj[s.Subsystem]
+		if sub == nil {
+			sub = make(map[string]uint64)
+			obj[s.Subsystem] = sub
+		}
+		sub[s.Name] = s.Value
+	}
+	return json.MarshalIndent(obj, "", "  ")
+}
+
+// Lookup returns the gathered value of one metric and whether it was
+// present.
+func (m *Metrics) Lookup(subsystem, name string) (uint64, bool) {
+	for _, s := range m.Gather() {
+		if s.Subsystem == subsystem && s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// RegisterBuiltin registers ktrace's own planes on a registry: per-
+// tracepoint hit/filter counters under "ktrace", and the lockstat
+// table under "lockstat" (see RegisterLockStat for the naming).
+func RegisterBuiltin(m *Metrics) {
+	m.Register("ktrace", CollectTracepoints)
+	RegisterLockStat(m)
+}
+
+// CollectTracepoints emits hits and filtered counts for every
+// declared tracepoint that has seen at least one event.
+func CollectTracepoints(emit func(name string, value uint64)) {
+	for _, tp := range List() {
+		h, f := tp.Hits(), tp.Filtered()
+		if h == 0 && f == 0 {
+			continue
+		}
+		emit(tp.Name()+".hits", h)
+		if f > 0 {
+			emit(tp.Name()+".filtered", f)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package ktrace
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// The trace ring buffer.
+//
+// Reservation is a single fetch-add on a global sequence counter —
+// the same discipline ftrace's ring_buffer_lock_reserve uses — and
+// publication is one atomic pointer store into a sharded slot array.
+// Consecutive events land in different shards, so concurrent emitters
+// do not fight over one cache line of slots, and a reader never locks
+// anything: it snapshots the published pointers and sorts by sequence
+// number. Old events are overwritten in place on wraparound, which is
+// exactly the flight-recorder semantics the oops dump wants.
+
+// RingShards is the slot-striping factor of the ring.
+const RingShards = 16
+
+// DefaultRingPerShard is the default per-shard slot count (total
+// default capacity: RingShards * DefaultRingPerShard events).
+const DefaultRingPerShard = 512
+
+// Ring is a fixed-capacity, lock-free trace event buffer.
+type Ring struct {
+	seq    atomic.Uint64
+	mask   uint64 // perShard - 1 (perShard is a power of two)
+	shards [RingShards][]atomic.Pointer[Event]
+}
+
+// NewRing creates a ring holding RingShards*perShard events; perShard
+// is rounded up to a power of two (minimum 8).
+func NewRing(perShard int) *Ring {
+	n := 8
+	for n < perShard {
+		n <<= 1
+	}
+	r := &Ring{mask: uint64(n - 1)}
+	for i := range r.shards {
+		r.shards[i] = make([]atomic.Pointer[Event], n)
+	}
+	return r
+}
+
+// Cap returns the total event capacity.
+func (r *Ring) Cap() int { return RingShards * int(r.mask+1) }
+
+// write assigns ev its global sequence number and publishes it,
+// overwriting the oldest event in its slot on wraparound.
+func (r *Ring) write(ev *Event) {
+	s := r.seq.Add(1)
+	ev.Seq = s
+	r.shards[s%RingShards][(s/RingShards)&r.mask].Store(ev)
+}
+
+// Emitted returns the total number of events ever written (including
+// those since overwritten).
+func (r *Ring) Emitted() uint64 { return r.seq.Load() }
+
+// Snapshot returns every live event in ascending sequence order. It
+// takes no locks; events published concurrently with the snapshot may
+// or may not be included.
+func (r *Ring) Snapshot() []Event {
+	out := make([]Event, 0, 64)
+	for i := range r.shards {
+		for j := range r.shards[i] {
+			if ev := r.shards[i][j].Load(); ev != nil {
+				out = append(out, *ev)
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// Last returns the most recent n live events in ascending sequence
+// order (fewer if the ring holds fewer).
+func (r *Ring) Last(n int) []Event {
+	all := r.Snapshot()
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Reset discards all published events. Emits racing a Reset may
+// survive it; the sequence counter is never rewound, so ordering
+// stays monotonic.
+func (r *Ring) Reset() {
+	for i := range r.shards {
+		for j := range r.shards[i] {
+			r.shards[i][j].Store(nil)
+		}
+	}
+}
+
+// The package-level ring every tracepoint publishes into.
+var ringPtr atomic.Pointer[Ring]
+
+func init() {
+	ringPtr.Store(NewRing(DefaultRingPerShard))
+}
+
+func ring() *Ring { return ringPtr.Load() }
+
+// Buffer returns the current global trace ring.
+func Buffer() *Ring { return ring() }
+
+// ResizeBuffer replaces the global ring with a fresh one holding
+// RingShards*perShard events and returns it. In-flight emits may
+// still land in the old ring.
+func ResizeBuffer(perShard int) *Ring {
+	r := NewRing(perShard)
+	ringPtr.Store(r)
+	return r
+}

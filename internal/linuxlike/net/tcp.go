@@ -2,6 +2,13 @@ package net
 
 import (
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// Tracepoints for the legacy TCP-lite path (catalog in DESIGN.md).
+var (
+	tpTCPSend = ktrace.New("net:tcp_send") // a0=bytes queued, a1=local port
+	tpTCPRecv = ktrace.New("net:tcp_recv") // a0=bytes drained, a1=local port
 )
 
 // Legacy TCP-lite. The transmission control block (TCB) is attached
@@ -320,6 +327,7 @@ func (t *TCB) tcbSend(data []byte) kbase.Errno {
 			return kbase.EPIPE
 		}
 		t.sendBuf = append(t.sendBuf, data...)
+		tpTCPSend.Emit(0, uint64(len(data)), uint64(t.sock.LocalPort))
 		t.pump()
 		return kbase.EOK
 	default:
@@ -337,6 +345,7 @@ func (t *TCB) tcbRecv(buf []byte) (int, kbase.Errno) {
 	}
 	n := copy(buf, t.recvBuf)
 	t.recvBuf = t.recvBuf[n:]
+	tpTCPRecv.Emit(0, uint64(n), uint64(t.sock.LocalPort))
 	return n, kbase.EOK
 }
 

@@ -6,7 +6,12 @@ import (
 	"sync"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 )
+
+// Tracepoints (args documented in DESIGN.md's catalog). vfs:lookup
+// covers the dcache too: a1 says whether the dentry cache answered.
+var tpLookup = ktrace.New("vfs:lookup") // a0=dir ino, a1=1 on dcache hit
 
 // Open flags, mirroring the fcntl constants the simulated kernel
 // understands.
@@ -285,11 +290,13 @@ func (v *VFS) resolveParent(task *kbase.Task, path string, wantParent bool) (*In
 // Lookup and caching the result (including negatives).
 func (v *VFS) lookupCached(task *kbase.Task, dir *Inode, name string) (*Inode, kbase.Errno) {
 	if ino, ok := v.dcache.lookup(dir.Sb, dir.Ino, name); ok {
+		tpLookup.Emit(task.ID(), dir.Ino, 1)
 		if ino == nil {
 			return nil, kbase.ENOENT
 		}
 		return ino, kbase.EOK
 	}
+	tpLookup.Emit(task.ID(), dir.Ino, 0)
 	// Typed-first dispatch: converted file systems return a Result,
 	// legacy ones go through the ERR_PTR shim in typed.go.
 	child, e := opsLookup(task, dir, name).Get()
@@ -303,8 +310,21 @@ func (v *VFS) lookupCached(task *kbase.Task, dir *Inode, name string) (*Inode, k
 	return child, kbase.EOK
 }
 
-// DcacheStats reports dentry cache hits, misses, and size.
+// DcacheStats reports dentry cache hits, misses, and size. It is the
+// legacy shim over the same counters CollectMetrics registers on the
+// unified metrics plane.
 func (v *VFS) DcacheStats() (hits, misses uint64, size int) { return v.dcache.stats() }
+
+// CollectMetrics enumerates the VFS counters — dentry cache and open-
+// file table — for the ktrace metrics registry (register with
+// m.Register("vfs", v.CollectMetrics)).
+func (v *VFS) CollectMetrics(emit func(name string, value uint64)) {
+	hits, misses, size := v.dcache.stats()
+	emit("dcache_hits", hits)
+	emit("dcache_misses", misses)
+	emit("dcache_size", uint64(size))
+	emit("open_files", uint64(v.OpenFiles()))
+}
 
 // Open opens path, honoring OCreate/OExcl/OTrunc, and returns a file
 // descriptor.

@@ -14,9 +14,16 @@ import (
 	"sync"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/safety/module"
 	"safelinux/internal/safety/own"
 	"safelinux/internal/safety/spec"
+)
+
+// Tracepoints for the ownership-safe cache (catalog in DESIGN.md).
+var (
+	tpSafeGet       = ktrace.New("safebuf:get")       // a0=block, a1=1 on hit
+	tpSafeWriteback = ktrace.New("safebuf:writeback") // a0=block
 )
 
 // BufState is the explicit buffer state machine. Compare with the
@@ -193,7 +200,18 @@ func (c *Cache) shard(block uint64) *cacheShard {
 	return &c.shards[block%NumShards]
 }
 
-// Stats returns a snapshot summed over all shards.
+// CollectMetrics enumerates the cache counters for the ktrace metrics
+// registry (register with m.Register("safebuf", c.CollectMetrics)).
+func (c *Cache) CollectMetrics(emit func(name string, value uint64)) {
+	st := c.Stats()
+	emit("hits", st.Hits)
+	emit("misses", st.Misses)
+	emit("writeback", st.Writeback)
+	emit("dirty", uint64(c.DirtyCount()))
+}
+
+// Stats returns a snapshot summed over all shards. It is the legacy
+// shim over the same counters CollectMetrics registers.
 func (c *Cache) Stats() Stats {
 	var out Stats
 	for i := range c.shards {
@@ -220,10 +238,12 @@ func (c *Cache) Get(block uint64) (*Buffer, kbase.Errno) {
 	if b, ok := s.buffers[block]; ok {
 		s.stats.Hits++
 		s.mu.Unlock()
+		tpSafeGet.Emit(0, block, 1)
 		return b, kbase.EOK
 	}
 	s.stats.Misses++
 	s.mu.Unlock()
+	tpSafeGet.Emit(0, block, 0)
 
 	data := make([]byte, c.disk.BlockSize())
 	if err := c.disk.Read(block, data); err != kbase.EOK {
@@ -343,6 +363,7 @@ func (c *Cache) writeOne(b *Buffer) kbase.Errno {
 	delete(s.dirty, b.Block)
 	s.stats.Writeback++
 	s.mu.Unlock()
+	tpSafeWriteback.Emit(0, b.Block, 0)
 	return kbase.EOK
 }
 

@@ -4,8 +4,15 @@ import (
 	"fmt"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/linuxlike/net"
 	"safelinux/internal/safety/own"
+)
+
+// Tracepoints for the ownership-safe transport (catalog in DESIGN.md).
+var (
+	tpSafeSend = ktrace.New("safetcp:send") // a0=bytes queued, a1=local port
+	tpSafeRecv = ktrace.New("safetcp:recv") // a0=bytes drained, a1=local port
 )
 
 // Transport tuning, matching the legacy stack so performance
@@ -308,6 +315,7 @@ func (c *Conn) Send(data []byte) kbase.Errno {
 			return kbase.EPIPE
 		}
 		c.sendBuf = append(c.sendBuf, data...)
+		tpSafeSend.Emit(0, uint64(len(data)), uint64(c.localPort))
 		c.pump()
 		return kbase.EOK
 	default:
@@ -339,6 +347,7 @@ func (c *Conn) Recv(buf []byte) (int, kbase.Errno) {
 		}
 	}
 	if total > 0 {
+		tpSafeRecv.Emit(0, uint64(total), uint64(c.localPort))
 		return total, kbase.EOK
 	}
 	if c.peerFIN || c.state == Closed {

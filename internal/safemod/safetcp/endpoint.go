@@ -59,8 +59,19 @@ func Attach(host *net.Host, checker *own.Checker) *Endpoint {
 	return ep
 }
 
-// Stats returns a snapshot of endpoint counters.
+// Stats returns a snapshot of endpoint counters. It is the legacy
+// shim over the same counters CollectMetrics registers.
 func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
+
+// CollectMetrics enumerates the endpoint counters for the ktrace
+// metrics registry (register with m.Register("safetcp", ...)).
+func (ep *Endpoint) CollectMetrics(emit func(name string, value uint64)) {
+	emit("segments", ep.stats.Segments)
+	emit("bad_segments", ep.stats.BadSegment)
+	emit("no_conn", ep.stats.NoConn)
+	emit("conns", uint64(len(ep.conns)))
+	emit("listeners", uint64(len(ep.listeners)))
+}
 
 // Checker returns the ownership checker observing this endpoint.
 func (ep *Endpoint) Checker() *own.Checker { return ep.checker }

@@ -1,6 +1,17 @@
 package own
 
-import "sync"
+import (
+	"sync"
+
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// Tracepoints for the ownership layer (catalog in DESIGN.md). Labels
+// travel as FNV-1a hashes: events carry no strings.
+var (
+	tpMove   = ktrace.New("own:move")   // a0=label hash, a1=new generation
+	tpBorrow = ktrace.New("own:borrow") // a0=label hash, a1=1 exclusive / 0 shared
+)
 
 // cell is the shared heart of one owned value: the payload plus the
 // dynamic capability state. All three capability types point at the
@@ -145,6 +156,9 @@ func (o Owned[T]) Move() Owned[T] {
 	}
 	c.nextGen++
 	c.owner = c.nextGen
+	if tpMove.Enabled() {
+		tpMove.Emit(0, ktrace.Hash(c.label), c.nextGen)
+	}
 	return Owned[T]{c: c, gen: c.nextGen}
 }
 
@@ -197,6 +211,9 @@ func (o Owned[T]) BorrowMut() (Mut[T], bool) {
 		return Mut[T]{}, false
 	}
 	c.writer = true
+	if tpBorrow.Enabled() {
+		tpBorrow.Emit(0, ktrace.Hash(c.label), 1)
+	}
 	return Mut[T]{c: c, released: new(bool)}, true
 }
 
@@ -217,6 +234,9 @@ func (o Owned[T]) Borrow() (Ref[T], bool) {
 		return Ref[T]{}, false
 	}
 	c.readers++
+	if tpBorrow.Enabled() {
+		tpBorrow.Emit(0, ktrace.Hash(c.label), 0)
+	}
 	return Ref[T]{c: c, released: new(bool)}, true
 }
 

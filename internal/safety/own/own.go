@@ -22,10 +22,33 @@ package own
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 )
+
+// tpViolation fires once per recorded contract violation: a0 = label
+// hash, a1 = violation kind index (position in allViolationKinds).
+var tpViolation = ktrace.New("own:violation")
+
+// allViolationKinds fixes an enumeration order for the taxonomy, used
+// both by the violation tracepoint's kind index and by CollectMetrics.
+var allViolationKinds = []ViolationKind{
+	VNullUse, VUseAfterMove, VUseAfterFree, VDoubleFree, VBorrowConflict,
+	VOwnerAccessDuringMut, VMutateWhileShared, VCalleeFree, VStaleBorrow,
+	VFreeWhileBorrowed, VLeak,
+}
+
+func violationIndex(k ViolationKind) uint64 {
+	for i, v := range allViolationKinds {
+		if v == k {
+			return uint64(i)
+		}
+	}
+	return uint64(len(allViolationKinds))
+}
 
 // ViolationKind classifies an ownership-contract violation.
 type ViolationKind string
@@ -109,6 +132,9 @@ func (c *Checker) report(v Violation) {
 	c.mu.Lock()
 	c.violations = append(c.violations, v)
 	c.mu.Unlock()
+	if tpViolation.Enabled() {
+		tpViolation.Emit(0, ktrace.Hash(v.Label), violationIndex(v.Kind))
+	}
 	if c.policy == PolicyPanic {
 		panic("own: " + v.String())
 	}
@@ -185,6 +211,25 @@ func (c *Checker) CheckLeaks() []string {
 		c.report(Violation{Kind: VLeak, Label: l, Op: "CheckLeaks", Detail: "owned value never freed"})
 	}
 	return leaked
+}
+
+// CollectMetrics enumerates checker counters — total and per-kind
+// violation counts plus live cells — for the ktrace metrics registry
+// (register with m.Register("own", c.CollectMetrics)). Kind names use
+// underscores ("use_after_free") to fit the metric grammar.
+func (c *Checker) CollectMetrics(emit func(name string, value uint64)) {
+	c.mu.Lock()
+	perKind := make(map[ViolationKind]uint64, len(allViolationKinds))
+	for _, v := range c.violations {
+		perKind[v.Kind]++
+	}
+	total := uint64(len(c.violations))
+	c.mu.Unlock()
+	emit("violations", total)
+	for _, k := range allViolationKinds {
+		emit(strings.ReplaceAll(string(k), "-", "_"), perKind[k])
+	}
+	emit("live_cells", uint64(c.LiveCount()))
 }
 
 // LiveCount returns the number of live (unfreed) cells.

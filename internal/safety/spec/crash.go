@@ -36,6 +36,7 @@ type CrashImpl[S any] interface {
 // advancing the durability floor.
 func CheckCrashConsistency[S any](sp Spec[S], impl CrashImpl[S], workload []Op, syncEvery int) Report {
 	rep := Report{Spec: sp.Name + "+crash"}
+	defer func() { emitCheck(&rep) }()
 	if err := impl.Reset(); err != kbase.EOK {
 		rep.Failures = append(rep.Failures, Failure{Kind: FailOracle, Want: "Reset EOK", Got: err.String()})
 		return rep

@@ -25,7 +25,21 @@ import (
 	"strings"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 )
+
+// tpSpecCheck fires once per completed refinement check (Check and
+// CheckCrashConsistency): a0 = FNV-1a hash of the spec name, a1 =
+// steps replayed, a2 = failures found.
+var tpSpecCheck = ktrace.New("spec:check")
+
+// emitCheck publishes a finished report to the tracepoint.
+func emitCheck(rep *Report) {
+	if tpSpecCheck.Enabled() {
+		tpSpecCheck.Emit4(0, ktrace.Hash(rep.Spec),
+			uint64(rep.Steps), uint64(len(rep.Failures)), 0)
+	}
+}
 
 // Op is one abstract operation: a name plus arguments. Both the model
 // and the implementation interpret it.
@@ -116,6 +130,7 @@ func (r Report) Ok() bool { return len(r.Failures) == 0 }
 // failure (the trace is most useful minimal).
 func Check[S any](sp Spec[S], impl Impl[S], ops []Op) Report {
 	rep := Report{Spec: sp.Name}
+	defer func() { emitCheck(&rep) }()
 	if err := impl.Reset(); err != kbase.EOK {
 		rep.Failures = append(rep.Failures, Failure{
 			Kind: FailOracle, Want: "Reset EOK", Got: err.String(),

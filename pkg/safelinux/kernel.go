@@ -18,6 +18,7 @@ import (
 	"safelinux/internal/linuxlike/fs/overlaylike"
 	"safelinux/internal/linuxlike/fs/ramfs"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/linuxlike/net"
 	"safelinux/internal/linuxlike/vfs"
 	"safelinux/internal/safemod/safefs"
@@ -285,6 +286,29 @@ func (k *Kernel) UpgradeTCP() kbase.Errno {
 	}
 	k.tcpSafe = true
 	return kbase.EOK
+}
+
+// RegisterMetrics wires every live subsystem into a ktrace metrics
+// registry: the root block device, the VFS/dcache, the ownership
+// checker, the root file system's journal and buffer cache (legacy
+// configuration), the safe transport endpoints (after UpgradeTCP), and
+// the ktrace built-ins (tracepoint hit counts, lockstat). Call again
+// after an upgrade to pick up newly installed modules.
+func (k *Kernel) RegisterMetrics(m *ktrace.Metrics) {
+	m.Register("blockdev", k.rootDev.CollectMetrics)
+	m.Register("vfs", k.VFS.CollectMetrics)
+	m.Register("own", k.Checker.CollectMetrics)
+	if root, err := k.VFS.Resolve(k.Task, "/"); err == kbase.EOK {
+		if inst, ok := extlike.InstanceOf(root.Sb); ok {
+			m.Register("journal", inst.Journal().CollectMetrics)
+			m.Register("bufcache", inst.Cache().CollectMetrics)
+		}
+	}
+	if k.safeEPA != nil {
+		m.Register("safetcp", k.safeEPA.CollectMetrics)
+		m.Register("safetcp", k.safeEPB.CollectMetrics)
+	}
+	ktrace.RegisterBuiltin(m)
 }
 
 // ReportCard renders the per-module safety standing.

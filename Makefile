@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace check
+.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace bench-kio check
 
 all: check
 
@@ -43,5 +43,11 @@ bench-parallel:
 # parallel I/O mix (see DESIGN.md "Observability" and BENCH_trace.json).
 bench-trace:
 	$(GO) run ./cmd/ktrace bench -out BENCH_trace.json
+
+# Async I/O engine: sync vs async at QD 1/8/32, copy accounting, and
+# the tracepoint gate share (see DESIGN.md "Async I/O" and
+# BENCH_kio.json; single-core hosts — read the caveat field).
+bench-kio:
+	$(GO) run ./cmd/kiobench -out BENCH_kio.json
 
 check: build vet lint test

@@ -132,6 +132,7 @@ var strictPrefixes = []string{
 	ModulePath + "/pkg/safelinux",
 	ModulePath + "/internal/analysis",
 	ModulePath + "/internal/linuxlike/ktrace",
+	ModulePath + "/internal/linuxlike/kio",
 }
 
 // StrictPackage reports whether pkg is in the zero-tolerance set.

@@ -1,7 +1,7 @@
 // Package refbalance implements the kerncheck analyzer for BufferHead
 // reference counting — the "over-release still oopses at runtime"
 // path of the paper's §4.4. Per function and per variable it matches
-// acquisitions (Cache.GetBlk / Bread / BreadLegacy, BufferHead.Get)
+// acquisitions (Cache.GetBlk / Bread, BufferHead.Get)
 // against releases (BufferHead.Put, plain or deferred) and reports:
 //
 //   - leak: a buffer acquired into a variable that is never released
@@ -40,7 +40,7 @@ const bufcachePkg = analysis.ModulePath + "/internal/linuxlike/bufcache"
 // acquireFuncs are the bufcache entry points that hand the caller a
 // new reference.
 var acquireFuncs = map[string]bool{
-	"GetBlk": true, "Bread": true, "BreadLegacy": true,
+	"GetBlk": true, "Bread": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -127,7 +127,7 @@ func identObj(pass *analysis.Pass, id *ast.Ident) types.Object {
 	return pass.Info.Uses[id]
 }
 
-// isAcquireCall reports calls of bufcache.Cache.GetBlk/Bread/BreadLegacy.
+// isAcquireCall reports calls of bufcache.Cache.GetBlk/Bread.
 func isAcquireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {

@@ -33,7 +33,7 @@ func deferAndPlain(c *bufcache.Cache) {
 }
 
 func doublePut(c *bufcache.Cache) {
-	bh := c.BreadLegacy(3)
+	bh, _ := c.Bread(3)
 	bh.MarkDirty()
 	bh.Put()
 	bh.Put() // want `buffer bh is released twice on this path`

@@ -320,6 +320,21 @@ func (d *Device) Write(block uint64, data []byte) kbase.Errno {
 	if len(data) != d.cfg.BlockSize {
 		return kbase.EINVAL
 	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return d.WriteOwned(block, cp)
+}
+
+// WriteOwned caches one block write WITHOUT copying: the device takes
+// ownership of data, which the caller must not read or mutate again
+// (the buffer may become the durable image itself). This is the
+// zero-copy submission path the kio engine's ownership-move writes use
+// (§4.3: ownership transfer is message passing without the copy);
+// Write is the defensive-copy wrapper over it.
+func (d *Device) WriteOwned(block uint64, data []byte) kbase.Errno {
+	if len(data) != d.cfg.BlockSize {
+		return kbase.EINVAL
+	}
 	if block >= d.cfg.Blocks {
 		return kbase.EINVAL
 	}
@@ -332,9 +347,7 @@ func (d *Device) Write(block uint64, data []byte) kbase.Errno {
 	d.writes.Add(1)
 	d.cfg.Clock.Advance(d.cfg.WriteCost)
 	tpWrite.Emit(0, block, 0)
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	w := pendingWrite{seq: d.seq.Add(1), block: block, data: cp}
+	w := pendingWrite{seq: d.seq.Add(1), block: block, data: data}
 	s := d.shard(block)
 	s.mu.Lock()
 	s.pending = append(s.pending, w)
@@ -388,7 +401,7 @@ func (d *Device) Crash() {
 			d.torn.Add(1)
 			dst := d.durableFor(w.block)
 			unit := d.cfg.TornWriteUnit
-			keep := (1 + d.cfg.Rng.Intn(maxInt(d.cfg.BlockSize/unit-1, 1))) * unit
+			keep := (1 + d.cfg.Rng.Intn(max(d.cfg.BlockSize/unit-1, 1))) * unit
 			copy(dst[:keep], w.data[:keep])
 		default: // applied fully
 			d.durable[w.block] = w.data
@@ -535,6 +548,23 @@ func (p *Plug) Write(block uint64, data []byte) kbase.Errno {
 	return kbase.EOK
 }
 
+// WriteOwned queues one block write on the plug WITHOUT copying: the
+// plug (and, after Unplug, the device) takes ownership of data, which
+// the caller must not touch again. The kio engine's ownership-move
+// submit path uses this so a moved page reaches the durable image with
+// zero copies.
+func (p *Plug) WriteOwned(block uint64, data []byte) kbase.Errno {
+	if len(data) != p.d.cfg.BlockSize {
+		return kbase.EINVAL
+	}
+	if block >= p.d.cfg.Blocks {
+		return kbase.EINVAL
+	}
+	p.blocks = append(p.blocks, block)
+	p.datas = append(p.datas, data)
+	return kbase.EOK
+}
+
 // Queued returns the number of writes waiting on the plug.
 func (p *Plug) Queued() int { return len(p.blocks) }
 
@@ -603,11 +633,4 @@ func (p *Plug) Unplug() ([]kbase.Errno, kbase.Errno) {
 	p.blocks = p.blocks[:0]
 	p.datas = p.datas[:0]
 	return results, first
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -27,6 +27,7 @@ import (
 
 	"safelinux/internal/linuxlike/blockdev"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/kio"
 	"safelinux/internal/linuxlike/ktrace"
 )
 
@@ -208,8 +209,17 @@ type Cache struct {
 	size         atomic.Int64  // total buffers across shards
 	overReleases atomic.Uint64 // Put calls rejected with OverReleaseError
 
+	// engine, when set, switches SyncDirty to async writeback: every
+	// dirty buffer is submitted before the first completion is waited
+	// on, with one barrier closing the batch.
+	engine atomic.Pointer[kio.Engine]
+
 	shards [NumShards]cacheShard
 }
+
+// SetEngine routes SyncDirty through the kio engine (nil restores the
+// synchronous plug path). The engine must drive the cache's device.
+func (c *Cache) SetEngine(e *kio.Engine) { c.engine.Store(e) }
 
 // CacheStats counts cache activity.
 type CacheStats struct {
@@ -372,17 +382,6 @@ func (c *Cache) Bread(block uint64) (*BufferHead, kbase.Errno) {
 	return bh, kbase.EOK
 }
 
-// BreadLegacy is the ERR_PTR-returning variant used by legacy
-// modules: on failure the result encodes the errno as a pointer and
-// the caller must check kbase.IsErr. (§4.2's type-confusion hazard.)
-func (c *Cache) BreadLegacy(block uint64) *BufferHead {
-	bh, err := c.Bread(block)
-	if err != kbase.EOK {
-		return kbase.ErrPtr[BufferHead](err)
-	}
-	return bh
-}
-
 // noteDirty puts bh on the dirty list.
 func (c *Cache) noteDirty(bh *BufferHead) {
 	s := c.shard(bh.Block)
@@ -430,6 +429,9 @@ func (c *Cache) SyncDirty() kbase.Errno {
 		}
 		s.mu.Unlock()
 	}
+	if e := c.engine.Load(); e != nil {
+		return c.syncDirtyAsync(e, toWrite)
+	}
 	var firstErr kbase.Errno = kbase.EOK
 	plug := c.dev.Plug()
 	queued := make([]*BufferHead, 0, len(toWrite))
@@ -470,6 +472,60 @@ func (c *Cache) SyncDirty() kbase.Errno {
 	}
 	if err := c.dev.Flush(); err != kbase.EOK && firstErr == kbase.EOK {
 		firstErr = err
+	}
+	return firstErr
+}
+
+// syncDirtyAsync is SyncDirty's engine path: every dirty buffer is
+// submitted (incrementally, so the workers start writing while later
+// buffers are still being flag-checked) before any completion is
+// reaped, and one barrier SQE replaces the trailing device flush.
+func (c *Cache) syncDirtyAsync(e *kio.Engine, toWrite []*BufferHead) kbase.Errno {
+	var firstErr kbase.Errno = kbase.EOK
+	b := e.NewBatch()
+	queued := make([]*BufferHead, 0, len(toWrite))
+	for _, bh := range toWrite {
+		if !bh.TestFlag(BHMapped) && !bh.TestFlag(BHNew) {
+			kbase.Oops(kbase.OopsSemantic, "bufcache",
+				"submit of unmapped buffer %d (flags %04x)", bh.Block, bh.Flags())
+			if firstErr == kbase.EOK {
+				firstErr = kbase.EINVAL
+			}
+			continue
+		}
+		if err := b.Write(bh.Block, bh.Data, uint64(len(queued))); err != kbase.EOK {
+			if firstErr == kbase.EOK {
+				firstErr = err
+			}
+			continue
+		}
+		queued = append(queued, bh)
+		b.Submit()
+	}
+	b.Barrier(0)
+	for _, cqe := range b.Submit().Wait() {
+		if cqe.Op == kio.OpFlush {
+			if cqe.Err != kbase.EOK && firstErr == kbase.EOK {
+				firstErr = cqe.Err
+			}
+			continue
+		}
+		bh := queued[cqe.User]
+		if cqe.Err != kbase.EOK {
+			bh.SetFlag(BHWriteEIO)
+			if firstErr == kbase.EOK {
+				firstErr = cqe.Err
+			}
+			continue
+		}
+		bh.ClearFlag(BHDirty | BHNew)
+		bh.SetFlag(BHReq)
+		s := c.shard(bh.Block)
+		s.mu.Lock()
+		delete(s.dirty, bh.Block)
+		s.writeback++
+		s.mu.Unlock()
+		tpWriteback.Emit(0, bh.Block, 0)
 	}
 	return firstErr
 }

@@ -192,19 +192,16 @@ func TestDirtyBufferNotEvicted(t *testing.T) {
 	}
 }
 
-func TestBreadLegacyErrPtr(t *testing.T) {
+func TestBreadReportsIOFailure(t *testing.T) {
 	c := testCache(t, 0)
 	c.Device().FailNextReads(1)
-	bh := c.BreadLegacy(4)
-	if !kbase.IsErr(bh) {
-		t.Fatalf("legacy bread did not return ERR_PTR on I/O failure")
+	bh, err := c.Bread(4)
+	if err != kbase.EIO {
+		t.Fatalf("Bread on failing device = (%v, %v), want EIO", bh, err)
 	}
-	if kbase.PtrErr(bh) != kbase.EIO {
-		t.Fatalf("PtrErr = %v", kbase.PtrErr(bh))
-	}
-	ok := c.BreadLegacy(4)
-	if kbase.IsErr(ok) {
-		t.Fatalf("legacy bread failed on healthy device")
+	ok, err := c.Bread(4)
+	if err != kbase.EOK {
+		t.Fatalf("Bread failed on healthy device: %v", err)
 	}
 	ok.Put()
 }

@@ -8,6 +8,7 @@ import (
 	"safelinux/internal/linuxlike/journal"
 	"safelinux/internal/linuxlike/kbase"
 	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safety/typedapi"
 )
 
 // FS is the extlike file system type. The exported knobs inject the
@@ -130,7 +131,7 @@ func InstanceOf(sb *vfs.SuperBlock) (interface {
 	Journal() *journal.Journal
 	Cache() *bufcache.Cache
 }, bool) {
-	inst, ok := sb.Private.(*fsInstance)
+	inst, ok := vfs.SBPrivateAs[*fsInstance](sb)
 	return inst, ok
 }
 
@@ -157,57 +158,60 @@ func (inst *fsInstance) commit() kbase.Errno {
 	return err
 }
 
-// inodeOps implements vfs.InodeOps.
+// inodeOps implements vfs.TypedInodeOps: extlike is a converted file
+// system, so Lookup/Create/Mkdir return typedapi.Result and no errno
+// ever travels inside an inode pointer. It is wrapped with
+// vfs.AdaptTyped for legacy callers.
 type inodeOps struct {
 	inst *fsInstance
 }
 
-func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+func (o *inodeOps) LookupTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
 	inst := o.inst
 	ei, err := einodeOf(dir)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	ei.lock.Lock(task)
 	defer ei.lock.Unlock(task)
 	ents, err := inst.readDir(task, ei)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	i := dirFind(ents, name)
 	if i < 0 {
-		return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+		return typedapi.Err[*vfs.Inode](kbase.ENOENT)
 	}
 	child, err := inst.iget(task, ents[i].Ino)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
-	return child
+	return typedapi.Ok(child)
 }
 
-func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+func (o *inodeOps) CreateTyped(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) typedapi.Result[*vfs.Inode] {
 	if len(name) == 0 || len(name) > vfs.MaxNameLen {
-		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
+		return typedapi.Err[*vfs.Inode](kbase.EINVAL)
 	}
 	inst := o.inst
 	ei, err := einodeOf(dir)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	ei.lock.Lock(task)
 	defer ei.lock.Unlock(task)
 	ents, err := inst.readDir(task, ei)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	if dirFind(ents, name) >= 0 {
-		return kbase.ErrPtr[vfs.Inode](kbase.EEXIST)
+		return typedapi.Err[*vfs.Inode](kbase.EEXIST)
 	}
 	h := inst.begin()
 	defer h.Stop()
 	ino, err := inst.allocIno(task, h)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	diskMode, nlink := modeRegDisk, uint16(1)
 	if mode.IsDir() {
@@ -215,25 +219,25 @@ func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vf
 	}
 	di := diskInode{Mode: diskMode, Nlink: nlink}
 	if err := inst.writeDiskInode(task, h, ino, &di); err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	ents = append(ents, dirent{Ino: ino, Mode: diskMode, Name: name})
 	if err := inst.writeDir(task, h, dir, ei, ents); err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	h.Stop()
 	if err := inst.commit(); err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	child, err := inst.iget(task, ino)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
-	return child
+	return typedapi.Ok(child)
 }
 
-func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
-	return o.Create(task, dir, name, vfs.ModeDir)
+func (o *inodeOps) MkdirTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
+	return o.CreateTyped(task, dir, name, vfs.ModeDir)
 }
 
 func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {

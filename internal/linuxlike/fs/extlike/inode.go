@@ -19,9 +19,10 @@ type einode struct {
 	di   diskInode
 }
 
-// einodeOf performs the legacy untyped downcast of Inode.Private.
+// einodeOf downcasts Inode.Private through the vfs accessor, so the
+// untyped boundary is crossed only in the package that declares it.
 func einodeOf(ino *vfs.Inode) (*einode, kbase.Errno) {
-	ei, ok := ino.Private.(*einode)
+	ei, ok := vfs.PrivateAs[*einode](ino)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
 			"inode %d private is %T, not *einode", ino.Ino, ino.Private)
@@ -100,7 +101,7 @@ func (inst *fsInstance) iget(task *kbase.Task, ino uint64) (*vfs.Inode, kbase.Er
 		ILock:   kbase.NewSpinLock(vfs.ILockClass),
 		ISize:   int64(di.Size),
 		Sb:      inst.vsb,
-		Ops:     &inodeOps{inst: inst},
+		Ops:     vfs.AdaptTyped(&inodeOps{inst: inst}),
 		FileOps: &fileOps{inst: inst},
 		Private: ei,
 	}

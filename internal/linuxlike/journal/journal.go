@@ -30,7 +30,9 @@ import (
 
 	"safelinux/internal/linuxlike/bufcache"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/kio"
 	"safelinux/internal/linuxlike/ktrace"
+	"safelinux/internal/safety/own"
 )
 
 // Tracepoints (args documented in DESIGN.md's catalog).
@@ -53,9 +55,10 @@ const (
 // Journal manages a contiguous journal region of the block device
 // underlying cache.
 type Journal struct {
-	cache *bufcache.Cache
-	start uint64 // first journal block (superblock)
-	size  uint64 // journal region length in blocks
+	cache  *bufcache.Cache
+	start  uint64      // first journal block (superblock)
+	size   uint64      // journal region length in blocks
+	engine *kio.Engine // nil = synchronous commit path
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled on handle drain and gate release
@@ -144,6 +147,19 @@ func (j *Journal) CollectMetrics(emit func(name string, value uint64)) {
 	emit("checkpoints", st.Checkpoints)
 	emit("replayed", st.Replayed)
 	emit("revokes", st.Revokes)
+}
+
+// SetEngine switches Commit to the overlapped async path: log-block
+// writes are submitted to the kio engine incrementally while the
+// descriptor and checksum are still being built, and Commit blocks
+// only on the two barriers the jbd2 protocol requires (body before
+// commit record, commit record before returning). The engine must
+// drive the same device the journal's cache does. Pass nil to restore
+// the synchronous path.
+func (j *Journal) SetEngine(e *kio.Engine) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.engine = e
 }
 
 // Format initializes the journal superblock on disk.
@@ -334,6 +350,9 @@ func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
 	}
 
 	pos := j.start + j.writePos
+	if j.engine != nil {
+		return j.commitAsyncLocked(tx, finish, pos)
+	}
 	crc := crc32.NewIEEE()
 
 	// Descriptor.
@@ -390,7 +409,14 @@ func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
 	if err := dev.Flush(); err != kbase.EOK {
 		return finish(err)
 	}
-	j.writePos = pos - j.start
+	return j.finishCommitLocked(tx, finish, pos)
+}
+
+// finishCommitLocked records the committed transaction's bookkeeping
+// and writes the home locations through the cache. Caller holds j.mu
+// and the gate; the journal image through endPos is durable.
+func (j *Journal) finishCommitLocked(tx *Tx, finish func(kbase.Errno) kbase.Errno, endPos uint64) kbase.Errno {
+	j.writePos = endPos - j.start
 	for _, home := range tx.revokes {
 		j.revoked[home] = tx.seq
 	}
@@ -412,6 +438,110 @@ func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
 	}
 	j.mu.Lock()
 	return finish(homeErr)
+}
+
+// commitAsyncLocked is the overlapped commit path (engine set): the
+// transaction's data blocks are submitted to the kio engine one by one
+// — the engine's workers write them out while this goroutine is still
+// checksumming the next buffer and building the descriptor — then a
+// single barrier SQE stands in for the body flush. Only the commit
+// record keeps a strict dependency: it is submitted after the body
+// barrier completes and followed by its own barrier, preserving
+// exactly the jbd2 ordering (body durable before commit record, commit
+// record durable before Commit returns). Caller holds j.mu and the
+// gate; the gate is what lets the engine read bh.Data without a copy
+// racing anything — no handle can mutate a committing buffer.
+func (j *Journal) commitAsyncLocked(tx *Tx, finish func(kbase.Errno) kbase.Errno, pos uint64) kbase.Errno {
+	bs := j.cache.Device().BlockSize()
+	crc := crc32.NewIEEE()
+
+	// drain joins a batch and returns its first error, freeing the
+	// replacement pages ownership-move completions hand back (the
+	// ticket holder owns them; the journal has no use for the blanks).
+	drain := func(b *kio.Batch) kbase.Errno {
+		first := kbase.EOK
+		for _, cqe := range b.Submit().Wait() {
+			if cqe.Page.Valid() {
+				cqe.Page.Free()
+			}
+			if cqe.Err != kbase.EOK && first == kbase.EOK {
+				first = cqe.Err
+			}
+		}
+		return first
+	}
+
+	body := j.engine.NewBatch()
+	dataPos := pos + 1
+	for i, bh := range tx.buffers {
+		if err := body.Write(dataPos+uint64(i), bh.Data, uint64(i)); err != kbase.EOK {
+			body.Barrier(0)
+			drain(body)
+			return finish(err)
+		}
+		// Incremental dispatch: the engine starts on this block while
+		// the loop checksums it and moves to the next.
+		body.Submit()
+		crc.Write(bh.Data)
+		j.stats.BlocksLogged++
+	}
+	next := dataPos + uint64(len(tx.buffers))
+
+	// Descriptor and revoke blocks are journal-owned buffers never
+	// touched again after submit: move them into the engine (§4.3
+	// zero-copy submission) instead of copying.
+	desc := make([]byte, bs)
+	binary.LittleEndian.PutUint32(desc[0:], magic)
+	binary.LittleEndian.PutUint32(desc[4:], kindDesc)
+	binary.LittleEndian.PutUint64(desc[8:], tx.seq)
+	binary.LittleEndian.PutUint32(desc[16:], uint32(len(tx.buffers)))
+	for i, bh := range tx.buffers {
+		binary.LittleEndian.PutUint64(desc[20+8*i:], bh.Block)
+	}
+	if err := body.WriteOwned(pos, own.New(nil, "journal:desc", desc), 0); err != kbase.EOK {
+		body.Barrier(0)
+		drain(body)
+		return finish(err)
+	}
+	if len(tx.revokes) > 0 {
+		rev := make([]byte, bs)
+		binary.LittleEndian.PutUint32(rev[0:], magic)
+		binary.LittleEndian.PutUint32(rev[4:], kindRevoke)
+		binary.LittleEndian.PutUint64(rev[8:], tx.seq)
+		binary.LittleEndian.PutUint32(rev[16:], uint32(len(tx.revokes)))
+		for i, home := range tx.revokes {
+			binary.LittleEndian.PutUint64(rev[20+8*i:], home)
+		}
+		if err := body.WriteOwned(next, own.New(nil, "journal:revoke", rev), 0); err != kbase.EOK {
+			body.Barrier(0)
+			drain(body)
+			return finish(err)
+		}
+		next++
+	}
+	// Barrier: journal body durable before the commit record. drain
+	// reports the first failed submission in submit order.
+	body.Barrier(0)
+	if err := drain(body); err != kbase.EOK {
+		return finish(err)
+	}
+
+	// Commit record, with its own completion dependency.
+	com := make([]byte, bs)
+	binary.LittleEndian.PutUint32(com[0:], magic)
+	binary.LittleEndian.PutUint32(com[4:], kindCommit)
+	binary.LittleEndian.PutUint64(com[8:], tx.seq)
+	binary.LittleEndian.PutUint32(com[16:], crc.Sum32())
+	record := j.engine.NewBatch()
+	if err := record.WriteOwned(next, own.New(nil, "journal:commit", com), 0); err != kbase.EOK {
+		return finish(err)
+	}
+	next++
+	record.Barrier(0)
+	if err := drain(record); err != kbase.EOK {
+		return finish(err)
+	}
+	return j.finishCommitLocked(tx, finish, next)
 }
 
 // Checkpoint makes all home locations durable and resets the journal

@@ -1,0 +1,91 @@
+package kio
+
+import "sync"
+import "sync/atomic"
+
+// The completion ring.
+//
+// Producers use the ktrace ring discipline — one fetch-add on a
+// sequence counter to reserve a slot, one atomic pointer store to
+// publish — so completing workers never contend on a lock. Unlike the
+// trace ring, the CQ has a consuming reader with ordering guarantees
+// (io_uring's CQ head), so slots form a single power-of-two array
+// indexed by sequence rather than ktrace's striped shards: the reader
+// walks sequences in order, and a slot whose published sequence has
+// already lapped the cursor means completions outran reaping — those
+// entries are gone and counted as overflows, the flight-recorder
+// wraparound semantics applied to completions.
+
+// cqSlot is one published completion: the sequence it was reserved
+// under plus the payload.
+type cqSlot struct {
+	seq uint64
+	cqe CQE
+}
+
+type cq struct {
+	seq       atomic.Uint64 // last reserved sequence (first is 1)
+	mask      uint64
+	slots     []atomic.Pointer[cqSlot]
+	overflows atomic.Uint64
+
+	// reader state: single consumer, serialized by mu so concurrent
+	// Reap calls do not interleave cursors.
+	mu     sync.Mutex
+	cursor uint64 // last sequence consumed
+}
+
+func newCQ(capacity int) *cq {
+	n := 8
+	for n < capacity {
+		n <<= 1
+	}
+	return &cq{mask: uint64(n - 1), slots: make([]atomic.Pointer[cqSlot], n)}
+}
+
+// push publishes one completion. Lock-free: fetch-add reserve, pointer
+// publish, wraparound overwrite.
+func (q *cq) push(cqe CQE) {
+	s := q.seq.Add(1)
+	q.slots[s&q.mask].Store(&cqSlot{seq: s, cqe: cqe})
+}
+
+// reap consumes up to maxN completions in sequence order. It stops
+// early at a slot whose producer has reserved but not yet published
+// (that completion will be seen by the next reap); it skips over
+// overwritten entries, counting them as overflows.
+func (q *cq) reap(maxN int) []CQE {
+	if maxN <= 0 {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []CQE
+	for len(out) < maxN {
+		want := q.cursor + 1
+		latest := q.seq.Load()
+		if want > latest {
+			break // nothing reserved beyond the cursor
+		}
+		if latest > q.mask {
+			// The oldest sequence that can still be live in the ring.
+			if oldest := latest - q.mask; want < oldest {
+				q.overflows.Add(oldest - want)
+				q.cursor = oldest - 1
+				continue
+			}
+		}
+		slot := q.slots[want&q.mask].Load()
+		if slot == nil || slot.seq < want {
+			break // reserved but not yet published; retry next reap
+		}
+		if slot.seq > want {
+			// Lapped between the sequence load and the slot load; the
+			// next iteration's oldest-live check accounts the loss.
+			continue
+		}
+		out = append(out, slot.cqe)
+		q.cursor = want
+	}
+	return out
+}

@@ -18,6 +18,7 @@ import (
 	"safelinux/internal/linuxlike/fs/overlaylike"
 	"safelinux/internal/linuxlike/fs/ramfs"
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/kio"
 	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/linuxlike/net"
 	"safelinux/internal/linuxlike/vfs"
@@ -36,6 +37,12 @@ type Config struct {
 	// CaptureOops installs an oops recorder so failures are captured
 	// instead of panicking (default true).
 	CaptureOops bool
+	// AsyncIO boots the kernel with a kio engine on the root device:
+	// journal commits overlap log-block submission with checksumming,
+	// and buffer-cache writeback goes through batched async writes.
+	AsyncIO bool
+	// IOWorkers sizes the kio worker pool (default 4, AsyncIO only).
+	IOWorkers int
 }
 
 func (c *Config) fill() {
@@ -56,14 +63,15 @@ type Kernel struct {
 	Recorder *kbase.OopsRecorder
 	Task     *kbase.Task
 
-	cfg     Config
-	rootDev *blockdev.Device
-	hostA   *net.Host
-	hostB   *net.Host
-	safeEPA *safetcp.Endpoint
-	safeEPB *safetcp.Endpoint
-	fsSafe  bool
-	tcpSafe bool
+	cfg      Config
+	rootDev  *blockdev.Device
+	ioEngine *kio.Engine
+	hostA    *net.Host
+	hostB    *net.Host
+	safeEPA  *safetcp.Endpoint
+	safeEPB  *safetcp.Endpoint
+	fsSafe   bool
+	tcpSafe  bool
 }
 
 // Interface names the kernel declares in its registry.
@@ -119,6 +127,22 @@ func New(cfg Config) (*Kernel, kbase.Errno) {
 		return nil, err
 	}
 
+	// Async I/O: one kio engine over the root device, shared by the
+	// journal (overlapped commit) and the buffer cache (batched
+	// writeback). The mount recovered the journal synchronously above,
+	// so the engine only ever sees steady-state traffic.
+	if cfg.AsyncIO {
+		k.ioEngine = kio.New(k.rootDev, kio.Config{
+			Workers: cfg.IOWorkers, Checker: k.Checker,
+		})
+		if root, err := k.VFS.Resolve(k.Task, "/"); err == kbase.EOK {
+			if inst, ok := extlike.InstanceOf(root.Sb); ok {
+				inst.Journal().SetEngine(k.ioEngine)
+				inst.Cache().SetEngine(k.ioEngine)
+			}
+		}
+	}
+
 	// Network: two linked hosts on the legacy stack.
 	k.hostA = k.Sim.AddHost(1)
 	k.hostB = k.Sim.AddHost(2)
@@ -142,12 +166,19 @@ func New(cfg Config) (*Kernel, kbase.Errno) {
 	return k, kbase.EOK
 }
 
-// Close uninstalls the kernel's oops recorder.
+// Close shuts down the async I/O engine (draining in-flight
+// submissions) and uninstalls the kernel's oops recorder.
 func (k *Kernel) Close() {
+	if k.ioEngine != nil {
+		k.ioEngine.Close()
+	}
 	if k.Recorder != nil {
 		kbase.InstallRecorder(nil)
 	}
 }
+
+// IOEngine returns the kio engine, or nil when AsyncIO is off.
+func (k *Kernel) IOEngine() *kio.Engine { return k.ioEngine }
 
 // FSSafe reports whether the root file system has been upgraded.
 func (k *Kernel) FSSafe() bool { return k.fsSafe }
@@ -307,6 +338,9 @@ func (k *Kernel) RegisterMetrics(m *ktrace.Metrics) {
 	if k.safeEPA != nil {
 		m.Register("safetcp", k.safeEPA.CollectMetrics)
 		m.Register("safetcp", k.safeEPB.CollectMetrics)
+	}
+	if k.ioEngine != nil {
+		m.Register("kio", k.ioEngine.CollectMetrics)
 	}
 	ktrace.RegisterBuiltin(m)
 }

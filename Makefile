@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace bench-kio check
+.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net check
 
 all: check
 
@@ -49,5 +49,13 @@ bench-trace:
 # BENCH_kio.json; single-core hosts — read the caveat field).
 bench-kio:
 	$(GO) run ./cmd/kiobench -out BENCH_kio.json
+
+# Hardened TCP under loss: adaptive vs fixed RTO goodput/retransmits
+# plus the 200+-schedule legacy-vs-safetcp differential sweep (see
+# DESIGN.md "Networking" and BENCH_net.json). Exits non-zero if the
+# adaptive RTO loses to the fixed RTO at 5% loss or any schedule
+# diverges.
+bench-net:
+	$(GO) run ./cmd/netbench -out BENCH_net.json
 
 check: build vet lint test

@@ -1,0 +1,404 @@
+// Differential network fuzzing: the legacy TCP stack and safetcp run
+// the same transfer under the same deterministic fault schedule —
+// seeded loss, duplication, reordering, corruption, bandwidth shaping
+// and partitions — and must agree on the outcome: the byte stream
+// arrives intact, or the connection dies with a typed reset. Any
+// other pairing (one delivers while the other stalls, one corrupts,
+// reset errnos disagree) is a divergence, and the ktrace flight
+// recorder's last events for both legs are attached to the report.
+//
+// The two stacks consume the link's RNG differently (different wire
+// formats, different segment counts), so per-packet fates are not
+// comparable — only end-to-end outcomes are. That is the point: the
+// schedules assert behavioral equivalence of the stacks, not
+// packet-level lockstep.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+	"safelinux/internal/linuxlike/net"
+	"safelinux/internal/safemod/safetcp"
+	"safelinux/internal/safety/own"
+)
+
+// Outcome classes for one stack's run of a schedule.
+const (
+	// NetDelivered: every payload byte arrived intact and the
+	// receiver saw a clean EOF.
+	NetDelivered = "delivered"
+	// NetReset: the connection died with a typed reset
+	// (ECONNRESET/ETIMEDOUT) before completing.
+	NetReset = "reset"
+	// NetCorrupt: the receiver saw EOF but the bytes were wrong —
+	// never acceptable, even if both stacks agree.
+	NetCorrupt = "corrupt"
+	// NetStalled: the step budget ran out with neither delivery nor
+	// a typed reset — a hung connection.
+	NetStalled = "stalled"
+)
+
+// NetSchedule is one deterministic fault schedule: a seed, a link
+// fault model, optional partition timing, and a transfer size.
+type NetSchedule struct {
+	Name        string
+	Seed        uint64
+	Link        net.LinkParams
+	Bytes       int
+	PartitionAt uint64 // jiffy at which to cut the link (0 = never)
+	HealAt      uint64 // jiffy at which to heal it (0 = never)
+	OneWay      bool   // cut only client→server, not both ways
+	MaxSteps    int
+}
+
+// NetOutcome is what one stack did under a schedule.
+type NetOutcome struct {
+	Class       string
+	Reset       kbase.Errno // non-EOK when Class == NetReset
+	Got         int         // payload bytes the receiver accepted
+	Retransmits uint64
+	Steps       int
+}
+
+func (o NetOutcome) String() string {
+	s := fmt.Sprintf("%s got=%d retrans=%d steps=%d", o.Class, o.Got, o.Retransmits, o.Steps)
+	if o.Reset != kbase.EOK {
+		s += fmt.Sprintf(" errno=%v", o.Reset)
+	}
+	return s
+}
+
+// NetDivergence is a schedule on which the stacks disagreed, with the
+// flight-recorder tail of each leg.
+type NetDivergence struct {
+	Schedule    NetSchedule
+	Legacy      NetOutcome
+	Safe        NetOutcome
+	LegacyTrace []string
+	SafeTrace   []string
+}
+
+// NetReport aggregates a differential sweep.
+type NetReport struct {
+	Schedules   int
+	LegacyClass map[string]int
+	SafeClass   map[string]int
+	Divergences []NetDivergence
+}
+
+// netPayload derives the transfer bytes from the schedule seed, so
+// both legs (and any re-run) see the identical stream.
+func netPayload(s NetSchedule) []byte {
+	p := make([]byte, s.Bytes)
+	for i := range p {
+		p[i] = byte(uint64(i)*2654435761 + s.Seed*40503)
+	}
+	return p
+}
+
+// netDriver walks one leg: step the simulation, apply the partition
+// schedule, accept, close the client once established, and drain the
+// server until a terminal condition. The per-stack callbacks keep the
+// two legs structurally identical.
+type netDriver struct {
+	sim        *net.Sim
+	accept     func() bool               // try to accept; true once the server conn exists
+	cliEstab   func() bool               // client handshake finished
+	cliClose   func()                    // close the client (FIN rides behind queued data)
+	srvRecv    func([]byte) (int, kbase.Errno) // nil-safe: EAGAIN before accept
+	cliReset   func() kbase.Errno        // client's typed reset, if any
+	retransmit func() uint64
+}
+
+func (d *netDriver) run(s NetSchedule, payload []byte) NetOutcome {
+	got := make([]byte, 0, len(payload))
+	buf := make([]byte, 2048)
+	out := NetOutcome{Class: NetStalled}
+	cut, healed, closed := false, false, false
+	finish := func(class string, errno kbase.Errno, step int) NetOutcome {
+		out.Class, out.Reset, out.Steps = class, errno, step
+		out.Got = len(got)
+		out.Retransmits = d.retransmit()
+		return out
+	}
+	for step := 1; step <= s.MaxSteps; step++ {
+		now := d.sim.Clock().Now()
+		if !cut && s.PartitionAt != 0 && now >= s.PartitionAt {
+			cut = true
+			if s.OneWay {
+				d.sim.PartitionOneWay(1, 2)
+			} else {
+				d.sim.Partition(1, 2)
+			}
+		}
+		if cut && !healed && s.HealAt != 0 && now >= s.HealAt {
+			healed = true
+			d.sim.Heal(1, 2)
+		}
+		d.sim.Step()
+		d.accept()
+		if !closed && d.cliEstab() {
+			d.cliClose()
+			closed = true
+		}
+		for {
+			n, e := d.srvRecv(buf)
+			if n > 0 {
+				got = append(got, buf[:n]...)
+				continue
+			}
+			if e == kbase.EAGAIN {
+				break
+			}
+			if e == kbase.EOK { // clean EOF
+				if bytes.Equal(got, payload) {
+					return finish(NetDelivered, kbase.EOK, step)
+				}
+				return finish(NetCorrupt, kbase.EOK, step)
+			}
+			return finish(NetReset, e, step) // typed reset, post-drain
+		}
+		// The client gave up (retry exhaustion behind a partition).
+		// Once nothing is left in flight the server's world cannot
+		// change, so classify rather than spinning to the limit.
+		if errno := d.cliReset(); errno != kbase.EOK && d.sim.InFlight() == 0 {
+			return finish(NetReset, errno, step)
+		}
+	}
+	out.Got = len(got)
+	out.Steps = s.MaxSteps
+	out.Retransmits = d.retransmit()
+	return out
+}
+
+// RunLegacyNet runs one schedule through the legacy socket/TCB stack.
+func RunLegacyNet(s NetSchedule) NetOutcome {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+
+	sim := net.NewSim(s.Seed)
+	hA := sim.AddHost(1)
+	hB := sim.AddHost(2)
+	sim.Link(1, 2, s.Link)
+	lst, _ := hB.ListenTCP(80)
+	cli, _ := hA.ConnectTCP(2, 80)
+	payload := netPayload(s)
+	cli.Send(payload) // queued behind the handshake
+
+	var srv *net.Socket
+	d := &netDriver{
+		sim: sim,
+		accept: func() bool {
+			if srv == nil {
+				if c, e := lst.Accept(); e == kbase.EOK {
+					srv = c
+				}
+			}
+			return srv != nil
+		},
+		cliEstab: func() bool { return cli.Established() },
+		cliClose: func() { cli.Close() },
+		srvRecv: func(buf []byte) (int, kbase.Errno) {
+			if srv == nil {
+				return 0, kbase.EAGAIN
+			}
+			return srv.Recv(buf)
+		},
+		cliReset: func() kbase.Errno {
+			if tcb, ok := cli.TCPInfo(); ok {
+				return tcb.ResetErr
+			}
+			return kbase.EOK
+		},
+		retransmit: func() uint64 {
+			var n uint64
+			if tcb, ok := cli.TCPInfo(); ok {
+				n += tcb.Retransmits
+			}
+			if srv != nil {
+				if tcb, ok := srv.TCPInfo(); ok {
+					n += tcb.Retransmits
+				}
+			}
+			return n
+		},
+	}
+	return d.run(s, payload)
+}
+
+// RunSafeNet runs the same schedule through safetcp.
+func RunSafeNet(s NetSchedule) NetOutcome {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+
+	sim := net.NewSim(s.Seed)
+	hA := sim.AddHost(1)
+	hB := sim.AddHost(2)
+	sim.Link(1, 2, s.Link)
+	ck := own.NewChecker(own.PolicyRecord)
+	epA := safetcp.Attach(hA, ck)
+	epB := safetcp.Attach(hB, ck)
+	lst, _ := epB.Listen(80)
+	cli, _ := epA.Connect(2, 80)
+	payload := netPayload(s)
+	cli.Send(payload)
+
+	var srv *safetcp.Conn
+	d := &netDriver{
+		sim: sim,
+		accept: func() bool {
+			if srv == nil {
+				if c, e := lst.Accept(); e == kbase.EOK {
+					srv = c
+				}
+			}
+			return srv != nil
+		},
+		cliEstab: func() bool { return cli.Established() },
+		cliClose: func() { cli.Close() },
+		srvRecv: func(buf []byte) (int, kbase.Errno) {
+			if srv == nil {
+				return 0, kbase.EAGAIN
+			}
+			return srv.Recv(buf)
+		},
+		cliReset: func() kbase.Errno { return cli.ResetErr },
+		retransmit: func() uint64 {
+			n := cli.Retransmits
+			if srv != nil {
+				n += srv.Retransmits
+			}
+			return n
+		},
+	}
+	return d.run(s, payload)
+}
+
+// netEquivalent decides whether two outcomes agree. Classes must
+// match; corruption and stalls are divergences even when mirrored;
+// typed resets must carry the same errno.
+func netEquivalent(l, s NetOutcome) bool {
+	if l.Class != s.Class {
+		return false
+	}
+	switch l.Class {
+	case NetCorrupt, NetStalled:
+		return false
+	case NetReset:
+		return l.Reset == s.Reset
+	}
+	return true
+}
+
+// RunNetDiff sweeps the schedules through both stacks under the
+// flight recorder and reports every divergence with trace context.
+func RunNetDiff(schedules []NetSchedule) NetReport {
+	ktrace.EnableFlightRecorder(256)
+	defer ktrace.DisableFlightRecorder()
+	rep := NetReport{
+		Schedules:   len(schedules),
+		LegacyClass: map[string]int{},
+		SafeClass:   map[string]int{},
+	}
+	for _, s := range schedules {
+		ktrace.Buffer().Reset()
+		lo := RunLegacyNet(s)
+		ltr := ktrace.FormatEvents(ktrace.Buffer().Last(32))
+		ktrace.Buffer().Reset()
+		so := RunSafeNet(s)
+		str := ktrace.FormatEvents(ktrace.Buffer().Last(32))
+		rep.LegacyClass[lo.Class]++
+		rep.SafeClass[so.Class]++
+		if !netEquivalent(lo, so) {
+			rep.Divergences = append(rep.Divergences, NetDivergence{
+				Schedule: s, Legacy: lo, Safe: so,
+				LegacyTrace: ltr, SafeTrace: str,
+			})
+		}
+	}
+	return rep
+}
+
+// Render formats the sweep for humans (and the CI log).
+func (r *NetReport) Render() []string {
+	out := []string{
+		fmt.Sprintf("differential TCP sweep: %d schedules, %d divergences",
+			r.Schedules, len(r.Divergences)),
+		fmt.Sprintf("  legacy: %v", r.LegacyClass),
+		fmt.Sprintf("  safe:   %v", r.SafeClass),
+	}
+	for _, d := range r.Divergences {
+		out = append(out, fmt.Sprintf("  DIVERGE %s (seed %d): legacy{%s} vs safe{%s}",
+			d.Schedule.Name, d.Schedule.Seed, d.Legacy, d.Safe))
+		for _, ln := range d.LegacyTrace {
+			out = append(out, "    legacy| "+ln)
+		}
+		for _, ln := range d.SafeTrace {
+			out = append(out, "    safe  | "+ln)
+		}
+	}
+	return out
+}
+
+// netFaultClasses are the link fault models the sweep crosses with
+// seeds. Partition times are early (the handshake takes ~5 jiffies on
+// a Delay-1 link) so the cut lands mid-stream, and heals leave enough
+// retry budget to recover.
+var netFaultClasses = []struct {
+	name                string
+	link                net.LinkParams
+	partitionAt, healAt uint64
+	oneWay              bool
+	bytes               int // 0 = seed-varied 1-4KB
+}{
+	{name: "clean", link: net.LinkParams{Delay: 1}},
+	{name: "loss1", link: net.LinkParams{Delay: 1, LossProb: 0.01}},
+	{name: "loss5", link: net.LinkParams{Delay: 1, LossProb: 0.05}},
+	{name: "loss20", link: net.LinkParams{Delay: 1, LossProb: 0.20}},
+	{name: "dup", link: net.LinkParams{Delay: 1, DupProb: 0.20}},
+	{name: "reorder", link: net.LinkParams{Delay: 1, ReorderJitter: 40}},
+	{name: "corrupt", link: net.LinkParams{Delay: 1, CorruptProb: 0.10}},
+	{name: "bandwidth", link: net.LinkParams{Delay: 2, BandwidthBPJ: 256}},
+	// Partition classes move 16KB (several window-limited RTTs) so a
+	// cut at jiffy 4 lands mid-stream; a clean Delay-1 link finishes
+	// a 2KB transfer in ~3 jiffies.
+	{name: "partition-heal", link: net.LinkParams{Delay: 1}, partitionAt: 4, healAt: 120, bytes: 16384},
+	{name: "partition-oneway", link: net.LinkParams{Delay: 1}, partitionAt: 4, healAt: 120, oneWay: true, bytes: 16384},
+	{name: "partition-noheal", link: net.LinkParams{Delay: 1}, partitionAt: 4, bytes: 16384},
+	{name: "kitchen-sink", link: net.LinkParams{Delay: 1, LossProb: 0.05, DupProb: 0.05, ReorderJitter: 20, CorruptProb: 0.02}},
+}
+
+// NetSweep builds the CI schedule set: every fault class crossed with
+// seedsPerClass seeds and seed-varied transfer sizes. seedsPerClass
+// <= 0 selects the default (which yields >= 200 schedules).
+func NetSweep(seedsPerClass int) []NetSchedule {
+	if seedsPerClass <= 0 {
+		seedsPerClass = 17
+	}
+	var out []NetSchedule
+	for ci, fc := range netFaultClasses {
+		for i := 0; i < seedsPerClass; i++ {
+			seed := uint64(1000*ci + 100 + i)
+			size := fc.bytes
+			if size == 0 {
+				size = 1024 * (1 + int(seed)%4)
+			}
+			out = append(out, NetSchedule{
+				Name:        fmt.Sprintf("%s/%d", fc.name, i),
+				Seed:        seed,
+				Link:        fc.link,
+				Bytes:       size,
+				PartitionAt: fc.partitionAt,
+				HealAt:      fc.healAt,
+				OneWay:      fc.oneWay,
+				MaxSteps:    120000,
+			})
+		}
+	}
+	return out
+}

@@ -49,6 +49,7 @@ const (
 	EPROTO       Errno = 71  // protocol error
 	EOVERFLOW    Errno = 75  // value too large
 	EMSGSIZE     Errno = 90  // message too long
+	ENETUNREACH  Errno = 101 // network is unreachable (partitioned link)
 	ECONNRESET   Errno = 104 // connection reset by peer
 	ENOBUFS      Errno = 105 // no buffer space available
 	EISCONN      Errno = 106 // already connected
@@ -70,7 +71,8 @@ var errnoNames = map[Errno]string{
 	ENOSPC: "ENOSPC", EROFS: "EROFS", EPIPE: "EPIPE",
 	ENAMETOOLONG: "ENAMETOOLONG", ENOSYS: "ENOSYS", ENOTEMPTY: "ENOTEMPTY",
 	ELOOP: "ELOOP", EPROTO: "EPROTO", EOVERFLOW: "EOVERFLOW",
-	EMSGSIZE: "EMSGSIZE", ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS",
+	EMSGSIZE: "EMSGSIZE", ENETUNREACH: "ENETUNREACH",
+	ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS",
 	EISCONN: "EISCONN", ENOTCONN: "ENOTCONN", ETIMEDOUT: "ETIMEDOUT",
 	ECONNREFUSED: "ECONNREFUSED", EALREADY: "EALREADY",
 	EINPROGRESS: "EINPROGRESS", ESTALE: "ESTALE", EUCLEAN: "EUCLEAN",

@@ -1,0 +1,566 @@
+package net
+
+import (
+	"bytes"
+	"testing"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// sendAll is a test helper: queue payload and pump the sim until the
+// receiver has drained exactly the payload (or the step limit hits).
+func sendAll(t *testing.T, sim *Sim, src, dst *Socket, payload []byte, limit int) []byte {
+	t.Helper()
+	if err := src.Send(payload); err != kbase.EOK {
+		t.Fatalf("Send: %v", err)
+	}
+	var got []byte
+	buf := make([]byte, 2048)
+	sim.RunUntil(func() bool {
+		for {
+			n, _ := dst.Recv(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		return len(got) >= len(payload)
+	}, limit)
+	return got
+}
+
+func patterned(n int, k byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i)*k + k
+	}
+	return p
+}
+
+// --- Satellite 1: duplicates and out-of-order segments always re-ACK
+// rcvNext. ---
+
+func TestDuplicateSegmentReAcks(t *testing.T) {
+	sim, a, b := pair(t, 21, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	if got := sendAll(t, sim, c, srv, []byte("hello"), 2000); string(got) != "hello" {
+		t.Fatalf("transfer: %q", got)
+	}
+	stcb := srv.Private.(*TCB)
+	// Replay an already-consumed (duplicate) data segment straight
+	// into the server TCB and check an ACK goes on the wire.
+	before := sim.Stats().Sent
+	stcb.handle(tcpSegment{
+		SrcPort: c.LocalPort, DstPort: srv.LocalPort,
+		Seq: stcb.rcvNext - 5, Ack: stcb.sendNext, Flags: FlagACK,
+		Wnd: 0xFFFF, Payload: []byte("hello"),
+	})
+	if sim.Stats().Sent != before+1 {
+		t.Fatalf("duplicate segment not re-ACKed: sent %d -> %d", before, sim.Stats().Sent)
+	}
+	if stcb.rcvNext != stcb.rcvNext { // no advance happened implicitly
+		t.Fatal("unreachable")
+	}
+}
+
+func TestOutOfOrderSegmentReAcksAndReassembles(t *testing.T) {
+	sim, a, b := pair(t, 22, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	ctcb := c.Private.(*TCB)
+	stcb := srv.Private.(*TCB)
+	// Deliver segment 2 before segment 1, directly.
+	base := stcb.rcvNext
+	before := sim.Stats().Sent
+	stcb.handle(tcpSegment{
+		SrcPort: c.LocalPort, DstPort: srv.LocalPort,
+		Seq: base + 4, Ack: stcb.sendNext, Flags: FlagACK,
+		Wnd: 0xFFFF, Payload: []byte("tail"),
+	})
+	if sim.Stats().Sent != before+1 {
+		t.Fatalf("out-of-order segment not re-ACKed")
+	}
+	if stcb.rcvNext != base {
+		t.Fatalf("out-of-order segment advanced rcvNext")
+	}
+	if len(stcb.reasm) != 1 {
+		t.Fatalf("segment not queued for reassembly: %d", len(stcb.reasm))
+	}
+	// Now the hole fills; both segments should deliver in order.
+	stcb.handle(tcpSegment{
+		SrcPort: c.LocalPort, DstPort: srv.LocalPort,
+		Seq: base, Ack: stcb.sendNext, Flags: FlagACK,
+		Wnd: 0xFFFF, Payload: []byte("head"),
+	})
+	buf := make([]byte, 16)
+	n, _ := srv.Recv(buf)
+	if string(buf[:n]) != "headtail" {
+		t.Fatalf("reassembly produced %q", buf[:n])
+	}
+	if stcb.rcvNext != base+8 {
+		t.Fatalf("rcvNext = base+%d, want base+8", stcb.rcvNext-base)
+	}
+	_ = ctcb
+}
+
+// --- Satellite 2: data queued before the handshake completes drains
+// as soon as the connection is promoted. ---
+
+func TestConnectThenImmediateSend(t *testing.T) {
+	sim, a, b := pair(t, 23, LinkParams{Delay: 2})
+	l, _ := b.ListenTCP(80)
+	c, _ := a.ConnectTCP(b.Addr(), 80)
+	// Queue data while still in SynSent — before any handshake packet
+	// has even been delivered.
+	if c.Established() {
+		t.Fatal("established too early")
+	}
+	payload := patterned(3000, 5)
+	if err := c.Send(payload); err != kbase.EOK {
+		t.Fatalf("Send in %s: %v", c.State(), err)
+	}
+	var srv *Socket
+	var got []byte
+	buf := make([]byte, 1024)
+	ok := sim.RunUntil(func() bool {
+		if srv == nil {
+			if s, e := l.Accept(); e == kbase.EOK {
+				srv = s
+			}
+			return false
+		}
+		for {
+			n, _ := srv.Recv(buf)
+			if n == 0 {
+				break
+			}
+			got = append(got, buf[:n]...)
+		}
+		return len(got) >= len(payload)
+	}, 10000)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("pre-handshake send: %d/%d bytes, ok=%v", len(got), len(payload), ok)
+	}
+}
+
+// --- Satellite 3: a reordered old ACK must not regress lastAck or
+// corrupt duplicate-ACK counting. ---
+
+func TestOldAckIgnored(t *testing.T) {
+	sim, a, b := pair(t, 24, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	if got := sendAll(t, sim, c, srv, patterned(2048, 3), 5000); len(got) != 2048 {
+		t.Fatalf("transfer: %d", len(got))
+	}
+	ctcb := c.Private.(*TCB)
+	last := ctcb.lastAck
+	dups := ctcb.dupAcks
+	// An old ACK from earlier in the stream arrives late (reordered).
+	ctcb.handle(tcpSegment{
+		SrcPort: srv.LocalPort, DstPort: c.LocalPort,
+		Seq: ctcb.rcvNext, Ack: last - 512, Flags: FlagACK, Wnd: 0xFFFF,
+	})
+	if ctcb.lastAck != last {
+		t.Fatalf("old ACK regressed lastAck: %d -> %d", last, ctcb.lastAck)
+	}
+	if ctcb.dupAcks != dups {
+		t.Fatalf("old ACK corrupted dupAcks: %d -> %d", dups, ctcb.dupAcks)
+	}
+}
+
+func TestTransferWithReorderJitterBeyondRTO(t *testing.T) {
+	// Jitter larger than the adaptive RTO forces real reordering:
+	// old ACKs arrive after newer ones, and data segments swap.
+	sim, a, b := pair(t, 25, LinkParams{Delay: 1, ReorderJitter: 40})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(16384, 7)
+	got := sendAll(t, sim, c, srv, payload, 60000)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reordered transfer corrupted: %d/%d bytes", len(got), len(payload))
+	}
+}
+
+// --- Satellite 4: transmit errors surface through stats instead of
+// vanishing. ---
+
+func TestTxErrorsSurfaced(t *testing.T) {
+	sim, a, b := pair(t, 26, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	sim.Partition(a.Addr(), b.Addr())
+	c.Send([]byte("into the void"))
+	sim.Run(100)
+	ctcb := c.Private.(*TCB)
+	if ctcb.TxErrors == 0 {
+		t.Fatalf("partitioned transmit not counted on the TCB")
+	}
+	if a.Stats().TxErrors == 0 {
+		t.Fatalf("partitioned transmit not counted on the host")
+	}
+	if sim.Stats().PartitionDrops == 0 {
+		t.Fatalf("sim did not count partition drops")
+	}
+	_ = srv
+}
+
+// --- Close-path state machine. ---
+
+func TestSimultaneousClose(t *testing.T) {
+	sim, a, b := pair(t, 27, LinkParams{Delay: 2})
+	c, srv := connectPair(t, sim, a, b, 80)
+	// Both sides close in the same jiffy: FINs cross on the wire.
+	c.Close()
+	srv.Close()
+	ctcb := c.Private.(*TCB)
+	stcb := srv.Private.(*TCB)
+	sawClosing := false
+	ok := sim.RunUntil(func() bool {
+		if ctcb.State == StateClosing || stcb.State == StateClosing {
+			sawClosing = true
+		}
+		return c.Closed() && srv.Closed()
+	}, 5000)
+	if !ok {
+		t.Fatalf("simultaneous close stuck: c=%s srv=%s", c.State(), srv.State())
+	}
+	if !sawClosing {
+		t.Fatalf("simultaneous close never passed through Closing")
+	}
+}
+
+func TestFinRetransmissionAfterLoss(t *testing.T) {
+	sim, a, b := pair(t, 28, LinkParams{Delay: 1, LossProb: 0.4})
+	c, srv := connectPair(t, sim, a, b, 80)
+	c.Send([]byte("last words"))
+	c.Close()
+	buf := make([]byte, 64)
+	var got []byte
+	var eof bool
+	ok := sim.RunUntil(func() bool {
+		n, e := srv.Recv(buf)
+		if n > 0 {
+			got = append(got, buf[:n]...)
+		} else if e == kbase.EOK && len(got) == 10 {
+			eof = true
+			srv.Close()
+		}
+		return eof && srv.Closed()
+	}, 60000)
+	if !ok || string(got) != "last words" {
+		t.Fatalf("close under loss: got=%q ok=%v c=%s srv=%s", got, ok, c.State(), srv.State())
+	}
+}
+
+func TestRecvAfterFinDrainsBufferedData(t *testing.T) {
+	sim, a, b := pair(t, 29, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(2000, 9)
+	c.Send(payload)
+	c.Close()
+	// Let everything (data + FIN) land before the first Recv.
+	sim.RunUntil(func() bool {
+		tcb := srv.Private.(*TCB)
+		return tcb.peerFIN
+	}, 5000)
+	var got []byte
+	buf := make([]byte, 512)
+	for {
+		n, e := srv.Recv(buf)
+		if n > 0 {
+			got = append(got, buf[:n]...)
+			continue
+		}
+		if e != kbase.EOK {
+			t.Fatalf("recv after FIN: %v", e)
+		}
+		break // EOF only after the buffer drained
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("buffered data truncated at FIN: %d/%d", len(got), len(payload))
+	}
+}
+
+func TestResetOnRetryExhaustion(t *testing.T) {
+	sim, a, b := pair(t, 30, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	sim.Partition(a.Addr(), b.Addr())
+	c.Send([]byte("doomed"))
+	ok := sim.RunUntil(func() bool { return c.Closed() }, 100000)
+	if !ok {
+		t.Fatalf("partitioned sender never gave up: %s", c.State())
+	}
+	ctcb := c.Private.(*TCB)
+	if ctcb.ResetErr != kbase.ETIMEDOUT {
+		t.Fatalf("ResetErr = %v, want ETIMEDOUT", ctcb.ResetErr)
+	}
+	if err := c.Send([]byte("x")); err != kbase.ETIMEDOUT {
+		t.Fatalf("send after timeout reset: %v", err)
+	}
+	if _, err := c.Recv(make([]byte, 8)); err != kbase.ETIMEDOUT {
+		t.Fatalf("recv after timeout reset: %v", err)
+	}
+	_ = srv
+}
+
+func TestPeerResetSurfacesAfterDrain(t *testing.T) {
+	sim, a, b := pair(t, 31, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	if got := sendAll(t, sim, c, srv, []byte("keep this"), 2000); string(got) != "keep this" {
+		t.Fatalf("transfer: %q", got)
+	}
+	c.Send([]byte("more"))
+	sim.RunUntil(func() bool { return srv.BufferedRecv() == 4 }, 2000)
+	// Inject a RST at the server.
+	stcb := srv.Private.(*TCB)
+	stcb.handle(tcpSegment{Flags: FlagRST})
+	buf := make([]byte, 16)
+	n, e := srv.Recv(buf)
+	if n != 4 || string(buf[:n]) != "more" || e != kbase.EOK {
+		t.Fatalf("buffered data lost on reset: n=%d %q err=%v", n, buf[:n], e)
+	}
+	if _, e := srv.Recv(buf); e != kbase.ECONNRESET {
+		t.Fatalf("reset not surfaced after drain: %v", e)
+	}
+}
+
+func TestTimeWaitAbsorbsLostFinalAck(t *testing.T) {
+	sim, a, b := pair(t, 32, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	ctcb := c.Private.(*TCB)
+	c.Close()
+	srv.Close()
+	// Active closer must pass through TIME_WAIT and linger there.
+	sawTimeWait := false
+	var twEntered uint64
+	ok := sim.RunUntil(func() bool {
+		if ctcb.State == StateTimeWait && !sawTimeWait {
+			sawTimeWait = true
+			twEntered = sim.Clock().Now()
+		}
+		return c.Closed() && srv.Closed()
+	}, 5000)
+	if !ok {
+		t.Fatalf("close stuck: c=%s srv=%s", c.State(), srv.State())
+	}
+	if !sawTimeWait {
+		t.Fatalf("active closer skipped TIME_WAIT")
+	}
+	if held := sim.Clock().Now() - twEntered; held < TimeWaitJiffies {
+		t.Fatalf("TIME_WAIT held %d jiffies, want >= %d", held, TimeWaitJiffies)
+	}
+	// While in TIME_WAIT a retransmitted FIN gets re-ACKed.
+	sim2, a2, b2 := pair(t, 33, LinkParams{Delay: 1})
+	c2, srv2 := connectPair(t, sim2, a2, b2, 80)
+	ct2 := c2.Private.(*TCB)
+	c2.Close()
+	srv2.Close()
+	sim2.RunUntil(func() bool { return ct2.State == StateTimeWait }, 5000)
+	before := sim2.Stats().Sent
+	ct2.handle(tcpSegment{
+		SrcPort: srv2.LocalPort, DstPort: c2.LocalPort,
+		Seq: ct2.rcvNext - 1, Ack: ct2.sendNext, Flags: FlagFIN | FlagACK, Wnd: 0xFFFF,
+	})
+	if sim2.Stats().Sent != before+1 {
+		t.Fatalf("retransmitted FIN in TIME_WAIT not re-ACKed")
+	}
+}
+
+// --- Flow control. ---
+
+func TestReceiveWindowBackpressure(t *testing.T) {
+	sim := NewSim(34)
+	a := sim.AddHost(1)
+	b := sim.AddHost(2)
+	b.SetTCPTuning(TCPTuning{RecvWindow: 1024})
+	sim.Link(1, 2, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(10000, 11)
+	c.Send(payload)
+	// Receiver does not read: the sender must stall near the window.
+	sim.Run(2000)
+	if buffered := srv.BufferedRecv(); buffered > 1024+MSS {
+		t.Fatalf("sender overran the receive window: %d bytes buffered", buffered)
+	}
+	ctcb := c.Private.(*TCB)
+	if len(ctcb.sendBuf) == 0 {
+		t.Fatalf("sender drained its buffer through a closed window")
+	}
+	// Now the reader wakes up; the transfer completes.
+	var got []byte
+	buf := make([]byte, 512)
+	ok := sim.RunUntil(func() bool {
+		if n, _ := srv.Recv(buf); n > 0 {
+			got = append(got, buf[:n]...)
+		}
+		return len(got) >= len(payload)
+	}, 60000)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("windowed transfer: %d/%d ok=%v", len(got), len(payload), ok)
+	}
+}
+
+func TestZeroWindowProbe(t *testing.T) {
+	sim := NewSim(35)
+	a := sim.AddHost(1)
+	b := sim.AddHost(2)
+	b.SetTCPTuning(TCPTuning{RecvWindow: 512})
+	sim.Link(1, 2, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(4096, 13)
+	c.Send(payload)
+	sim.Run(3000) // window fills; probes keep the connection alive
+	ctcb := c.Private.(*TCB)
+	if ctcb.ZeroWndProbes == 0 {
+		t.Fatalf("closed window never probed")
+	}
+	var got []byte
+	buf := make([]byte, 256)
+	ok := sim.RunUntil(func() bool {
+		if n, _ := srv.Recv(buf); n > 0 {
+			got = append(got, buf[:n]...)
+		}
+		return len(got) >= len(payload)
+	}, 120000)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("zero-window transfer: %d/%d ok=%v", len(got), len(payload), ok)
+	}
+}
+
+// --- Adversarial links. ---
+
+func TestTransferSurvivesCorruption(t *testing.T) {
+	sim, a, b := pair(t, 36, LinkParams{Delay: 1, CorruptProb: 0.15})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(12000, 17)
+	got := sendAll(t, sim, c, srv, payload, 120000)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("corruption leaked into the stream: %d/%d", len(got), len(payload))
+	}
+	if sim.Stats().Corrupted == 0 {
+		t.Fatalf("corruption model inert")
+	}
+}
+
+func TestPartitionHealRecovers(t *testing.T) {
+	sim, a, b := pair(t, 37, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(6000, 19)
+	c.Send(payload)
+	sim.Run(5)
+	sim.Partition(a.Addr(), b.Addr())
+	sim.Run(60) // outage shorter than retry exhaustion
+	sim.Heal(a.Addr(), b.Addr())
+	var got []byte
+	buf := make([]byte, 512)
+	ok := sim.RunUntil(func() bool {
+		if n, _ := srv.Recv(buf); n > 0 {
+			got = append(got, buf[:n]...)
+		}
+		return len(got) >= len(payload)
+	}, 60000)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("healed transfer: %d/%d ok=%v", len(got), len(payload), ok)
+	}
+}
+
+func TestOneWayPartition(t *testing.T) {
+	sim, a, b := pair(t, 38, LinkParams{Delay: 1})
+	c, srv := connectPair(t, sim, a, b, 80)
+	// Cut only the server->client direction: data flows, ACKs do not.
+	sim.PartitionOneWay(b.Addr(), a.Addr())
+	c.Send(patterned(1024, 23))
+	sim.Run(100)
+	if srv.BufferedRecv() == 0 {
+		t.Fatalf("forward direction should still deliver")
+	}
+	ctcb := c.Private.(*TCB)
+	if len(ctcb.unacked) == 0 && len(ctcb.sendBuf) == 0 {
+		t.Fatalf("sender believes data was acked across a cut return path")
+	}
+	sim.Heal(b.Addr(), a.Addr())
+	ok := sim.RunUntil(func() bool {
+		ct := c.Private.(*TCB)
+		return len(ct.unacked) == 0 && len(ct.sendBuf) == 0
+	}, 60000)
+	if !ok {
+		t.Fatalf("sender never recovered after heal")
+	}
+}
+
+func TestBandwidthShapingDelaysDelivery(t *testing.T) {
+	// A 64 B/jiffy link serializes a 4 KiB burst over ~70 jiffies;
+	// an unshaped link delivers it in a handful.
+	run := func(bw uint64) uint64 {
+		sim := NewSim(39)
+		a := sim.AddHost(1)
+		b := sim.AddHost(2)
+		sim.Link(1, 2, LinkParams{Delay: 1, BandwidthBPJ: bw})
+		l, _ := b.ListenTCP(80)
+		c, _ := a.ConnectTCP(2, 80)
+		var srv *Socket
+		sim.RunUntil(func() bool {
+			if srv == nil {
+				if s, e := l.Accept(); e == kbase.EOK {
+					srv = s
+				}
+			}
+			return srv != nil && c.Established()
+		}, 2000)
+		start := sim.Clock().Now()
+		payload := patterned(4096, 29)
+		c.Send(payload)
+		var got []byte
+		buf := make([]byte, 512)
+		sim.RunUntil(func() bool {
+			if n, _ := srv.Recv(buf); n > 0 {
+				got = append(got, buf[:n]...)
+			}
+			return len(got) >= len(payload)
+		}, 120000)
+		if len(got) != len(payload) {
+			t.Fatalf("bw=%d transfer incomplete: %d", bw, len(got))
+		}
+		return sim.Clock().Now() - start
+	}
+	shaped := run(64)
+	unshaped := run(0)
+	if shaped <= unshaped {
+		t.Fatalf("bandwidth shaping inert: shaped=%d unshaped=%d jiffies", shaped, unshaped)
+	}
+}
+
+// --- Adaptive RTO. ---
+
+func TestAdaptiveRTOConverges(t *testing.T) {
+	sim, a, b := pair(t, 40, LinkParams{Delay: 10})
+	c, srv := connectPair(t, sim, a, b, 80)
+	payload := patterned(8192, 31)
+	got := sendAll(t, sim, c, srv, payload, 60000)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("transfer: %d/%d", len(got), len(payload))
+	}
+	ctcb := c.Private.(*TCB)
+	// RTT on this path is ~20+ jiffies; the estimator must sit above
+	// it (no spurious retransmission storm) but well under MaxRTO.
+	if rto := ctcb.rto(); rto < 20 || rto > 128 {
+		t.Fatalf("estimator did not converge: rto=%d", rto)
+	}
+	// On a clean high-RTT link the adaptive sender should retransmit
+	// (almost) nothing, while a fixed 16-jiffy RTO storms: every data
+	// segment's timer fires before its 20-jiffy ACK returns.
+	simF := NewSim(40)
+	aF := simF.AddHost(1)
+	bF := simF.AddHost(2)
+	aF.SetTCPTuning(TCPTuning{FixedRTO: true})
+	bF.SetTCPTuning(TCPTuning{FixedRTO: true})
+	simF.Link(1, 2, LinkParams{Delay: 10})
+	cF, srvF := connectPair(t, simF, aF, bF, 80)
+	gotF := sendAll(t, simF, cF, srvF, payload, 60000)
+	if !bytes.Equal(gotF, payload) {
+		t.Fatalf("fixed-RTO transfer: %d/%d", len(gotF), len(payload))
+	}
+	fixed := cF.Private.(*TCB).Retransmits
+	adaptive := ctcb.Retransmits
+	if adaptive >= fixed {
+		t.Fatalf("adaptive RTO (%d retransmits) not better than fixed (%d) on a 20-jiffy-RTT path",
+			adaptive, fixed)
+	}
+}

@@ -23,12 +23,17 @@ const (
 )
 
 // ipHeaderLen is the fixed IP-lite header size: src(4) dst(4)
-// proto(1) pad(1) totalLen(2).
-const ipHeaderLen = 12
+// proto(1) pad(1) totalLen(2) pad(2) crc(4). Like real IPv4, the
+// header carries its own checksum so a link that corrupts a length
+// or address field produces a dropped packet, not a parser walking
+// off the buffer.
+const ipHeaderLen = 16
 
 // tcpHeaderLen is the fixed TCP-lite header: ports(4) seq(4) ack(4)
-// flags(1) pad(1) window(2).
-const tcpHeaderLen = 16
+// flags(1) pad(1) window(2) crc(4). The window is a real advertised
+// receive window (flow control) and the checksum covers header and
+// payload, so a corrupted segment is dropped instead of delivered.
+const tcpHeaderLen = 20
 
 // udpHeaderLen is the fixed UDP-lite header: ports(4) length(2) pad(2).
 const udpHeaderLen = 8
@@ -56,19 +61,36 @@ func MakeIP(src, dst Addr, proto byte, transport []byte) Packet {
 	le.PutUint32(p[4:], uint32(dst))
 	p[8] = proto
 	le.PutUint16(p[10:], uint16(ipHeaderLen+len(transport)))
+	le.PutUint32(p[12:], ipChecksum(p))
 	copy(p[ipHeaderLen:], transport)
 	return p
 }
 
-// ParseIP validates and splits an IP-lite packet. Malformed packets
-// raise an out-of-bounds oops (the legacy parser would have walked
-// off the buffer) and are reported via EPROTO.
+// ipChecksum is FNV-1a over the header bytes preceding the crc field
+// (the header-only scope real IPv4 uses; transports checksum their
+// own payload).
+func ipChecksum(p Packet) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < 12; i++ {
+		h ^= uint32(p[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// ParseIP validates and splits an IP-lite packet. A failed header
+// checksum (bit rot on the wire) is a silent drop via EPROTO;
+// structurally malformed packets that pass it raise an out-of-bounds
+// oops (the legacy parser would have walked off the buffer).
 func ParseIP(p Packet) (src, dst Addr, proto byte, payload []byte, err kbase.Errno) {
 	if len(p) < ipHeaderLen {
 		kbase.Oops(kbase.OopsOutOfBounds, "net", "runt IP packet: %d bytes", len(p))
 		return 0, 0, 0, nil, kbase.EPROTO
 	}
 	le := binary.LittleEndian
+	if le.Uint32(p[12:]) != ipChecksum(p) {
+		return 0, 0, 0, nil, kbase.EPROTO // corrupted in flight: drop
+	}
 	total := int(le.Uint16(p[10:]))
 	if total > len(p) || total < ipHeaderLen {
 		kbase.Oops(kbase.OopsOutOfBounds, "net", "IP length %d of %d", total, len(p))
@@ -82,6 +104,7 @@ type tcpSegment struct {
 	SrcPort, DstPort uint16
 	Seq, Ack         uint32
 	Flags            byte
+	Wnd              uint16 // advertised receive window (bytes)
 	Payload          []byte
 }
 
@@ -93,9 +116,25 @@ func (s *tcpSegment) marshal() []byte {
 	le.PutUint32(b[4:], s.Seq)
 	le.PutUint32(b[8:], s.Ack)
 	b[12] = s.Flags
-	le.PutUint16(b[14:], 0xFFFF) // fixed advertised window
+	le.PutUint16(b[14:], s.Wnd)
 	copy(b[tcpHeaderLen:], s.Payload)
+	le.PutUint32(b[16:], tcpChecksum(b))
 	return b
+}
+
+// tcpChecksum is FNV-1a over the header (excluding the crc field
+// itself) and payload — the legacy stack's answer to link corruption.
+func tcpChecksum(b []byte) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < 16; i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	for i := tcpHeaderLen; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= 16777619
+	}
+	return h
 }
 
 func parseTCP(b []byte) (tcpSegment, kbase.Errno) {
@@ -104,12 +143,16 @@ func parseTCP(b []byte) (tcpSegment, kbase.Errno) {
 		return tcpSegment{}, kbase.EPROTO
 	}
 	le := binary.LittleEndian
+	if le.Uint32(b[16:]) != tcpChecksum(b) {
+		return tcpSegment{}, kbase.EPROTO // corrupted in flight: drop
+	}
 	return tcpSegment{
 		SrcPort: le.Uint16(b[0:]),
 		DstPort: le.Uint16(b[2:]),
 		Seq:     le.Uint32(b[4:]),
 		Ack:     le.Uint32(b[8:]),
 		Flags:   b[12],
+		Wnd:     le.Uint16(b[14:]),
 		Payload: b[tcpHeaderLen:],
 	}, kbase.EOK
 }

@@ -6,12 +6,18 @@ import (
 	"safelinux/internal/linuxlike/kbase"
 )
 
-// LinkParams model one direction of a link.
+// LinkParams model one direction of a link. Beyond the original
+// delay/loss/dup/jitter knobs, a link can corrupt packets in flight
+// (CorruptProb) and serialize them through a finite bandwidth
+// (BandwidthBPJ), so queueing delay grows with offered load the way a
+// saturated NIC's does.
 type LinkParams struct {
 	Delay         uint64  // jiffies of propagation delay (min 1)
 	LossProb      float64 // probability a packet is dropped
 	DupProb       float64 // probability a packet is duplicated
 	ReorderJitter uint64  // extra random delay 0..Jitter added per packet
+	CorruptProb   float64 // probability one byte of the packet is flipped in flight
+	BandwidthBPJ  uint64  // bytes per jiffy the link can carry (0 = infinite)
 }
 
 // inFlight is one packet scheduled for delivery.
@@ -23,12 +29,14 @@ type inFlight struct {
 }
 
 // Sim is the deterministic network simulator: hosts, links, in-flight
-// packets, and the clock.
+// packets, partitions, and the clock.
 type Sim struct {
 	clock   *kbase.Clock
 	rng     *kbase.Rng
 	hosts   map[Addr]*Host
 	links   map[[2]Addr]LinkParams
+	cuts    map[[2]Addr]bool   // partitioned directions (src,dst)
+	busy    map[[2]Addr]uint64 // per-direction link busy-until (bandwidth shaping)
 	flight  []inFlight
 	nextSeq uint64
 
@@ -37,10 +45,12 @@ type Sim struct {
 
 // SimStats counts simulator activity.
 type SimStats struct {
-	Sent       uint64
-	Delivered  uint64
-	Dropped    uint64
-	Duplicated uint64
+	Sent           uint64
+	Delivered      uint64
+	Dropped        uint64
+	Duplicated     uint64
+	Corrupted      uint64
+	PartitionDrops uint64
 }
 
 // NewSim creates a simulator with a deterministic seed.
@@ -50,6 +60,8 @@ func NewSim(seed uint64) *Sim {
 		rng:   kbase.NewRng(seed),
 		hosts: make(map[Addr]*Host),
 		links: make(map[[2]Addr]LinkParams),
+		cuts:  make(map[[2]Addr]bool),
+		busy:  make(map[[2]Addr]uint64),
 	}
 }
 
@@ -75,16 +87,62 @@ func (s *Sim) Link(a, b Addr, p LinkParams) {
 	s.links[[2]Addr{b, a}] = p
 }
 
+// Partition cuts the link between a and b in both directions. Packets
+// already in flight still deliver (they are on the wire); new sends
+// fail with ENETUNREACH.
+func (s *Sim) Partition(a, b Addr) {
+	s.cuts[[2]Addr{a, b}] = true
+	s.cuts[[2]Addr{b, a}] = true
+}
+
+// PartitionOneWay cuts only the a→b direction, modeling an
+// asymmetric-route failure: b's packets still reach a.
+func (s *Sim) PartitionOneWay(a, b Addr) {
+	s.cuts[[2]Addr{a, b}] = true
+}
+
+// Heal restores both directions between a and b.
+func (s *Sim) Heal(a, b Addr) {
+	delete(s.cuts, [2]Addr{a, b})
+	delete(s.cuts, [2]Addr{b, a})
+}
+
+// Partitioned reports whether the a→b direction is currently cut.
+func (s *Sim) Partitioned(a, b Addr) bool { return s.cuts[[2]Addr{a, b}] }
+
 // send schedules a packet from src to dst, applying the link model.
 func (s *Sim) send(src, dst Addr, pkt Packet) kbase.Errno {
-	lp, ok := s.links[[2]Addr{src, dst}]
+	dir := [2]Addr{src, dst}
+	lp, ok := s.links[dir]
 	if !ok {
 		return kbase.ENODEV
+	}
+	if s.cuts[dir] {
+		s.stats.PartitionDrops++
+		return kbase.ENETUNREACH
 	}
 	s.stats.Sent++
 	if s.rng.Bool(lp.LossProb) {
 		s.stats.Dropped++
 		return kbase.EOK // loss is silent, as on the wire
+	}
+	// Bandwidth shaping: a finite link serializes packets, so each one
+	// waits for the wire to drain before its propagation delay starts.
+	now := s.clock.Now()
+	var txDone uint64
+	if lp.BandwidthBPJ > 0 {
+		txTime := (uint64(len(pkt)) + lp.BandwidthBPJ - 1) / lp.BandwidthBPJ
+		if txTime == 0 {
+			txTime = 1
+		}
+		start := now
+		if s.busy[dir] > start {
+			start = s.busy[dir]
+		}
+		txDone = start + txTime
+		s.busy[dir] = txDone
+	} else {
+		txDone = now
 	}
 	deliver := func() {
 		delay := lp.Delay
@@ -94,8 +152,14 @@ func (s *Sim) send(src, dst Addr, pkt Packet) kbase.Errno {
 		s.nextSeq++
 		cp := make(Packet, len(pkt))
 		copy(cp, pkt)
+		if s.rng.Bool(lp.CorruptProb) && len(cp) > 0 {
+			// An adversarial or faulty link flips one byte somewhere in
+			// the packet — header, length field, or payload.
+			s.stats.Corrupted++
+			cp[s.rng.Intn(len(cp))] ^= byte(1 << uint(s.rng.Intn(8)))
+		}
 		s.flight = append(s.flight, inFlight{
-			at: s.clock.Now() + delay, seq: s.nextSeq, dst: dst, pkt: cp,
+			at: txDone + delay, seq: s.nextSeq, dst: dst, pkt: cp,
 		})
 	}
 	deliver()

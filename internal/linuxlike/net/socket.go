@@ -1,6 +1,8 @@
 package net
 
 import (
+	"sort"
+
 	"safelinux/internal/linuxlike/kbase"
 )
 
@@ -39,6 +41,13 @@ type udpState struct {
 	from  []Addr
 }
 
+// TCPTuning adjusts per-host TCP behavior; applied to TCBs created
+// after SetTCPTuning.
+type TCPTuning struct {
+	FixedRTO   bool // disable the RTT estimator; fixed RTOJiffies timeout
+	RecvWindow int  // receive window in bytes (0 = DefaultRecvWnd)
+}
+
 // Host is one network endpoint: address, port table, dispatch.
 type Host struct {
 	sim       *Sim
@@ -47,6 +56,7 @@ type Host struct {
 	listeners map[uint16]*Socket
 	udpSocks  map[uint16]*Socket
 	nextPort  uint16
+	tcpTuning TCPTuning
 
 	// streamProto, when installed, handles all TCP-protocol traffic
 	// through the modular interface (see modular.go).
@@ -65,6 +75,7 @@ type HostStats struct {
 	BadPacket uint64
 	NoSocket  uint64
 	Filtered  uint64
+	TxErrors  uint64 // transmits the link refused (no route, partition)
 }
 
 func newHost(s *Sim, addr Addr) *Host {
@@ -83,6 +94,9 @@ func (h *Host) Addr() Addr { return h.addr }
 
 // Stats returns a snapshot of host counters.
 func (h *Host) Stats() HostStats { return h.stats }
+
+// SetTCPTuning installs tuning applied to subsequently created TCBs.
+func (h *Host) SetTCPTuning(tn TCPTuning) { h.tcpTuning = tn }
 
 func (h *Host) ephemeralPort() uint16 {
 	for {
@@ -233,6 +247,7 @@ func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
 		}
 		ctcb := newTCB(child, StateSynRcvd)
 		ctcb.rcvNext = seg.Seq + 1
+		ctcb.peerWnd = uint32(seg.Wnd)
 		child.Private = ctcb
 		h.registerConn(child)
 		l.pending[key] = child
@@ -259,16 +274,42 @@ func (h *Host) dispatchUDP(src Addr, dg udpDatagram) {
 	st.from = append(st.from, src)
 }
 
-// tick advances every TCP socket's timers.
+// tick advances every TCP socket's timers in deterministic (port,
+// peer) order, then reaps fully closed connections from the port
+// table so their ports can be reused and the table cannot grow
+// without bound under churn.
 func (h *Host) tick(now uint64) {
 	if h.streamProto != nil {
 		h.streamProto.Tick(now)
 	}
-	for _, m := range h.conns {
-		for _, s := range m {
+	ports := make([]uint16, 0, len(h.conns))
+	for p := range h.conns {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, port := range ports {
+		m := h.conns[port]
+		keys := make([]connKey, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].raddr != keys[j].raddr {
+				return keys[i].raddr < keys[j].raddr
+			}
+			return keys[i].rport < keys[j].rport
+		})
+		for _, k := range keys {
+			s := m[k]
 			if tcb, ok := s.Private.(*TCB); ok {
 				tcb.tick(now)
+				if tcb.State == StateClosed {
+					delete(m, k)
+				}
 			}
+		}
+		if len(m) == 0 {
+			delete(h.conns, port)
 		}
 	}
 }
@@ -395,6 +436,14 @@ func (s *Socket) Established() bool {
 func (s *Socket) Closed() bool {
 	tcb, ok := s.Private.(*TCB)
 	return ok && tcb.State == StateClosed
+}
+
+// TCPInfo returns the socket's TCB when this is a TCP connection —
+// the typed accessor out-of-package code should use instead of
+// downcasting Private (keeps the kerncheck anyboundary ratchet flat).
+func (s *Socket) TCPInfo() (*TCB, bool) {
+	tcb, ok := s.Private.(*TCB)
+	return tcb, ok
 }
 
 // BufferedRecv returns the number of bytes waiting in the receive

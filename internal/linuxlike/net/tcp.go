@@ -7,8 +7,10 @@ import (
 
 // Tracepoints for the legacy TCP-lite path (catalog in DESIGN.md).
 var (
-	tpTCPSend = ktrace.New("net:tcp_send") // a0=bytes queued, a1=local port
-	tpTCPRecv = ktrace.New("net:tcp_recv") // a0=bytes drained, a1=local port
+	tpTCPSend    = ktrace.New("net:tcp_send")   // a0=bytes queued, a1=local port
+	tpTCPRecv    = ktrace.New("net:tcp_recv")   // a0=bytes drained, a1=local port
+	tpTCPTxErr   = ktrace.New("net:tx_err")     // a0=errno, a1=local port
+	tpTCPRetrans = ktrace.New("net:retransmit") // a0=seq, a1=local port
 )
 
 // Legacy TCP-lite. The transmission control block (TCB) is attached
@@ -18,17 +20,27 @@ var (
 
 // TCP tuning constants.
 const (
-	MSS           = 512 // max segment payload
-	RTOJiffies    = 16  // retransmission timeout
-	MaxRetries    = 12  // retransmissions before reset
-	SendWindowSeg = 8   // max unacked segments
+	MSS             = 512  // max segment payload
+	RTOJiffies      = 16   // the legacy fixed RTO (FixedRTO tuning)
+	InitialRTO      = 32   // conservative pre-sample RTO; the estimator adapts down
+	MinRTO          = 4    // adaptive RTO floor
+	MaxRTO          = 256  // adaptive RTO / backoff ceiling
+	MaxRetries      = 12   // retransmissions before reset
+	SendWindowSeg   = 8    // max unacked segments
+	DefaultRecvWnd  = 4096 // default advertised receive window (bytes)
+	TimeWaitJiffies = 128  // 2MSL in simulator jiffies
+	maxReasmSegs    = 32   // out-of-order reassembly queue bound
 )
+
+// Mod-2^32 sequence comparisons, as RFC 793 arithmetic requires: a
+// reordered ACK from before a wrap must still compare "older".
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
 
 // TCPState is a TCB connection state.
 type TCPState uint8
 
-// TCP connection states (TIME_WAIT elided: the simulator has no
-// delayed duplicates older than a connection).
+// TCP connection states.
 const (
 	StateClosed TCPState = iota
 	StateListen
@@ -39,6 +51,8 @@ const (
 	StateFinWait2
 	StateCloseWait
 	StateLastAck
+	StateClosing
+	StateTimeWait
 )
 
 var tcpStateNames = map[TCPState]string{
@@ -46,9 +60,55 @@ var tcpStateNames = map[TCPState]string{
 	StateSynRcvd: "SynRcvd", StateEstablished: "Established",
 	StateFinWait1: "FinWait1", StateFinWait2: "FinWait2",
 	StateCloseWait: "CloseWait", StateLastAck: "LastAck",
+	StateClosing: "Closing", StateTimeWait: "TimeWait",
 }
 
 func (s TCPState) String() string { return tcpStateNames[s] }
+
+// rttEstimator is the Jacobson/Karvels estimator in the kernel's
+// scaled-integer form: srtt8 holds srtt<<3 and rttvar4 holds
+// rttvar<<2, so RTO = srtt + 4*rttvar = srtt8>>3 + rttvar4.
+type rttEstimator struct {
+	srtt8   int64
+	rttvar4 int64
+	init    bool
+}
+
+func (e *rttEstimator) sample(m int64) {
+	if m < 1 {
+		m = 1
+	}
+	if !e.init {
+		e.init = true
+		e.srtt8 = m << 3
+		e.rttvar4 = m << 1
+		return
+	}
+	err := m - e.srtt8>>3
+	e.srtt8 += err
+	if err < 0 {
+		err = -err
+	}
+	e.rttvar4 += err - e.rttvar4>>2
+}
+
+func (e *rttEstimator) rto() uint64 {
+	if !e.init {
+		// No sample yet: start high and adapt down, as Linux's 1s
+		// initial RTO does. Starting below the path RTT would trip
+		// Karn's deadlock: every segment retransmits spuriously, so
+		// no segment is ever cleanly sampled.
+		return InitialRTO
+	}
+	r := e.srtt8>>3 + e.rttvar4
+	if r < MinRTO {
+		r = MinRTO
+	}
+	if r > MaxRTO {
+		r = MaxRTO
+	}
+	return uint64(r)
+}
 
 // unackedSeg is one transmitted-but-unacknowledged segment.
 type unackedSeg struct {
@@ -56,6 +116,7 @@ type unackedSeg struct {
 	flags    byte
 	payload  []byte
 	deadline uint64
+	sentAt   uint64 // first-transmission time, for RTT sampling
 	retries  int
 }
 
@@ -69,30 +130,78 @@ type TCB struct {
 	sendNext  uint32
 	sendBuf   []byte // accepted but not yet segmented
 	unacked   []unackedSeg
+	inFlight  int    // unacked payload bytes
+	peerWnd   uint32 // peer's last advertised receive window
+	probeAt   uint64 // earliest time for the next zero-window probe
 	finQueued bool
 	finSent   bool
 
 	// Receive side.
-	rcvNext uint32
-	recvBuf []byte
-	peerFIN bool
+	recvWnd    int // our receive window (bytes)
+	rcvNext    uint32
+	recvBuf    []byte
+	reasm      []tcpSegment // out-of-order segments awaiting rcvNext
+	reasmBytes int
+	peerFIN    bool
+	finPending bool   // FIN seen beyond rcvNext, waiting on reassembly
+	finSeq     uint32 // sequence of the pending FIN
 
-	// Fast retransmit.
-	lastAck uint32
-	dupAcks int
+	// Retransmission.
+	rtt      rttEstimator
+	fixedRTO bool // tuning: disable the estimator (pre-hardening behavior)
+	lastAck  uint32
+	dupAcks  int
+
+	// Close path.
+	timeWaitAt uint64
 
 	// Diagnostics.
-	Retransmits uint64
-	ResetReason string
+	Retransmits   uint64
+	TxErrors      uint64
+	ZeroWndProbes uint64
+	ResetErr      kbase.Errno // typed reason the connection died, if it did
+	ResetReason   string
 }
 
-// newTCB creates a TCB in the given state.
+// newTCB creates a TCB in the given state, honoring host tuning.
 func newTCB(s *Socket, st TCPState) *TCB {
-	return &TCB{sock: s, State: st}
+	t := &TCB{sock: s, State: st, recvWnd: DefaultRecvWnd}
+	if s.host != nil {
+		t.fixedRTO = s.host.tcpTuning.FixedRTO
+		if s.host.tcpTuning.RecvWindow > 0 {
+			t.recvWnd = s.host.tcpTuning.RecvWindow
+		}
+	}
+	return t
+}
+
+// rto returns the current retransmission timeout.
+func (t *TCB) rto() uint64 {
+	if t.fixedRTO {
+		return RTOJiffies
+	}
+	return t.rtt.rto()
+}
+
+// advertiseWnd computes the receive window to put on the wire: what
+// remains of recvWnd after buffered in-order and reassembly bytes.
+func (t *TCB) advertiseWnd() uint16 {
+	w := t.recvWnd - len(t.recvBuf) - t.reasmBytes
+	if w < 0 {
+		w = 0
+	}
+	if w > 0xFFFF {
+		w = 0xFFFF
+	}
+	return uint16(w)
 }
 
 // transmit sends a segment now and, if it consumes sequence space,
-// tracks it for retransmission.
+// tracks it for retransmission. Link errors (no route, partition) are
+// surfaced through stats and the net:tx_err tracepoint instead of
+// being silently dropped; the segment stays tracked, so the
+// retransmission timer retries it and eventually resets the
+// connection if the outage persists.
 func (t *TCB) transmit(flags byte, seq uint32, payload []byte, track bool) {
 	seg := tcpSegment{
 		SrcPort: t.sock.LocalPort,
@@ -100,17 +209,29 @@ func (t *TCB) transmit(flags byte, seq uint32, payload []byte, track bool) {
 		Seq:     seq,
 		Ack:     t.rcvNext,
 		Flags:   flags,
+		Wnd:     t.advertiseWnd(),
 		Payload: payload,
 	}
 	host := t.sock.host
-	host.sim.send(host.addr, t.sock.RemoteAddr, MakeIP(host.addr, t.sock.RemoteAddr, ProtoTCP, seg.marshal()))
+	err := host.sim.send(host.addr, t.sock.RemoteAddr,
+		MakeIP(host.addr, t.sock.RemoteAddr, ProtoTCP, seg.marshal()))
+	if err != kbase.EOK {
+		t.TxErrors++
+		host.stats.TxErrors++
+		tpTCPTxErr.Emit(0, uint64(err), uint64(t.sock.LocalPort))
+	}
 	if track {
+		now := host.sim.clock.Now()
 		t.unacked = append(t.unacked, unackedSeg{
 			seq: seq, flags: flags, payload: payload,
-			deadline: host.sim.clock.Now() + RTOJiffies,
+			deadline: now + t.rto(), sentAt: now,
 		})
+		t.inFlight += len(payload)
 	}
 }
+
+// sendAck emits a pure ACK for rcvNext with the current window.
+func (t *TCB) sendAck() { t.transmit(FlagACK, t.sendNext, nil, false) }
 
 // connect starts the three-way handshake.
 func (t *TCB) connect() {
@@ -133,10 +254,17 @@ func seqLen(flags byte, payload []byte) uint32 {
 
 // handle processes one inbound segment.
 func (t *TCB) handle(seg tcpSegment) {
+	now := t.sock.host.sim.clock.Now()
 	if seg.Flags&FlagRST != 0 {
 		t.State = StateClosed
+		t.ResetErr = kbase.ECONNRESET
 		t.ResetReason = "peer reset"
 		return
+	}
+	// Window update: believe the advertisement on any segment that is
+	// not an old reordered ACK.
+	if seg.Flags&FlagACK != 0 && !seqLT(seg.Ack, t.lastAck) {
+		t.peerWnd = uint32(seg.Wnd)
 	}
 	switch t.State {
 	case StateSynSent:
@@ -144,7 +272,7 @@ func (t *TCB) handle(seg tcpSegment) {
 			t.rcvNext = seg.Seq + 1
 			t.ackAdvance(seg.Ack)
 			t.State = StateEstablished
-			t.transmit(FlagACK, t.sendNext, nil, false)
+			t.sendAck()
 			t.pump()
 		}
 	case StateSynRcvd:
@@ -152,14 +280,26 @@ func (t *TCB) handle(seg tcpSegment) {
 			t.ackAdvance(seg.Ack)
 			t.State = StateEstablished
 			t.sock.host.promote(t.sock)
-			// Fall through to process any piggybacked data.
+			// Process any piggybacked data, then drain anything queued
+			// via tcbSend before establishment — without the pump the
+			// pre-accept bytes sat unsent until an unrelated event.
 			t.handleData(seg)
+			t.progressClose()
+			t.pump()
 		}
-	case StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait, StateLastAck:
+	case StateTimeWait:
+		// The peer retransmitted its FIN: our final ACK was lost.
+		// Re-ACK and restart 2MSL.
+		if seg.Flags&FlagFIN != 0 {
+			t.sendAck()
+			t.timeWaitAt = now + TimeWaitJiffies
+		}
+	case StateEstablished, StateFinWait1, StateFinWait2, StateCloseWait,
+		StateLastAck, StateClosing:
 		if seg.Flags&FlagSYN != 0 {
 			// Duplicate or retransmitted SYN in a synchronized
 			// state: the peer missed our ACK; re-send it.
-			t.transmit(FlagACK, t.sendNext, nil, false)
+			t.sendAck()
 			return
 		}
 		if seg.Flags&FlagACK != 0 {
@@ -171,61 +311,163 @@ func (t *TCB) handle(seg tcpSegment) {
 	}
 }
 
-// handleData accepts in-order payload and FIN.
+// handleData accepts payload and FIN. In-order payload is delivered
+// (and drains the reassembly queue); out-of-order payload is queued
+// for reassembly; duplicates are dropped. Every segment that carried
+// payload or FIN is acknowledged — in-order advancing the ACK,
+// anything else re-ACKing rcvNext so the sender sees duplicate ACKs
+// and can fast-retransmit the hole.
 func (t *TCB) handleData(seg tcpSegment) {
-	advanced := false
+	now := t.sock.host.sim.clock.Now()
 	if len(seg.Payload) > 0 {
-		if seg.Seq == t.rcvNext {
+		end := seg.Seq + uint32(len(seg.Payload))
+		switch {
+		case seg.Seq == t.rcvNext:
+			// In order. Accepted even when it overruns the advertised
+			// window (the sender's zero-window probes land here);
+			// flow control is enforced by honest advertisements, not
+			// by discarding delivered bytes.
 			t.recvBuf = append(t.recvBuf, seg.Payload...)
-			t.rcvNext += uint32(len(seg.Payload))
-			advanced = true
+			t.rcvNext = end
+			t.drainReasm()
+		case seqLT(seg.Seq, t.rcvNext) && seqGT(end, t.rcvNext):
+			// Partial overlap: accept the unseen tail.
+			t.recvBuf = append(t.recvBuf, seg.Payload[t.rcvNext-seg.Seq:]...)
+			t.rcvNext = end
+			t.drainReasm()
+		case seqGT(seg.Seq, t.rcvNext):
+			t.enqueueReasm(seg)
 		}
-		// Out-of-order or duplicate: re-ack rcvNext below.
+		// Entirely old data: fall through to the re-ACK.
 	}
-	if seg.Flags&FlagFIN != 0 && seg.Seq+uint32(len(seg.Payload)) == t.rcvNext {
-		t.rcvNext++
-		t.peerFIN = true
-		advanced = true
-		switch t.State {
-		case StateEstablished:
-			t.State = StateCloseWait
-		case StateFinWait1:
-			// Simultaneous close; our FIN unacked yet.
-			t.State = StateLastAck
-		case StateFinWait2:
-			t.State = StateClosed
+	if seg.Flags&FlagFIN != 0 && !t.peerFIN {
+		finSeq := seg.Seq + uint32(len(seg.Payload))
+		if finSeq == t.rcvNext {
+			t.processFIN(now)
+		} else if seqGT(finSeq, t.rcvNext) {
+			// FIN beyond a hole: remember it until reassembly fills in.
+			t.finPending = true
+			t.finSeq = finSeq
 		}
 	}
-	if len(seg.Payload) > 0 || seg.Flags&FlagFIN != 0 || !advanced && len(seg.Payload) > 0 {
-		t.transmit(FlagACK, t.sendNext, nil, false)
+	if len(seg.Payload) > 0 || seg.Flags&FlagFIN != 0 {
+		t.sendAck()
 	}
 }
 
-// ackAdvance drops acknowledged segments, resets retransmission
-// backoff on progress, and fast-retransmits the head segment after
-// three duplicate ACKs.
+// enqueueReasm inserts an out-of-order segment into the bounded
+// reassembly queue, deduplicating by sequence number.
+func (t *TCB) enqueueReasm(seg tcpSegment) {
+	for _, r := range t.reasm {
+		if r.Seq == seg.Seq {
+			return
+		}
+	}
+	if len(t.reasm) >= maxReasmSegs {
+		return // queue full: drop, the retransmission will return
+	}
+	i := 0
+	for i < len(t.reasm) && seqLT(t.reasm[i].Seq, seg.Seq) {
+		i++
+	}
+	t.reasm = append(t.reasm, tcpSegment{})
+	copy(t.reasm[i+1:], t.reasm[i:])
+	t.reasm[i] = seg
+	t.reasmBytes += len(seg.Payload)
+}
+
+// drainReasm moves now-in-order segments from the reassembly queue to
+// the receive buffer and applies a pending FIN once it lines up.
+func (t *TCB) drainReasm() {
+	for changed := true; changed; {
+		changed = false
+		kept := t.reasm[:0]
+		for _, r := range t.reasm {
+			end := r.Seq + uint32(len(r.Payload))
+			switch {
+			case !seqGT(end, t.rcvNext):
+				// Entirely old: drop.
+				t.reasmBytes -= len(r.Payload)
+			case !seqGT(r.Seq, t.rcvNext):
+				// Overlaps rcvNext: consume the unseen part.
+				t.recvBuf = append(t.recvBuf, r.Payload[t.rcvNext-r.Seq:]...)
+				t.rcvNext = end
+				t.reasmBytes -= len(r.Payload)
+				changed = true
+			default:
+				kept = append(kept, r)
+			}
+		}
+		t.reasm = kept
+	}
+	if t.finPending && !t.peerFIN && t.finSeq == t.rcvNext {
+		t.processFIN(t.sock.host.sim.clock.Now())
+	}
+}
+
+// processFIN consumes the peer's FIN at rcvNext and moves the close
+// state machine.
+func (t *TCB) processFIN(now uint64) {
+	t.rcvNext++
+	t.peerFIN = true
+	t.finPending = false
+	switch t.State {
+	case StateEstablished, StateSynRcvd:
+		t.State = StateCloseWait
+	case StateFinWait1:
+		// Simultaneous close: both FINs crossed, ours not yet acked.
+		t.State = StateClosing
+	case StateFinWait2:
+		t.enterTimeWait(now)
+	}
+}
+
+// enterTimeWait starts the 2MSL quarantine that absorbs a lost final
+// ACK: the peer's retransmitted FIN finds us still here to re-ACK.
+func (t *TCB) enterTimeWait(now uint64) {
+	t.State = StateTimeWait
+	t.timeWaitAt = now + TimeWaitJiffies
+}
+
+// ackAdvance drops acknowledged segments, samples RTT per Karn's rule
+// (never from a retransmitted segment), re-arms only the head
+// segment's timer on progress, and fast-retransmits after three
+// duplicate ACKs. Old reordered ACKs (mod-2^32 behind lastAck) are
+// ignored so they cannot regress lastAck and corrupt the
+// duplicate-ACK count.
 func (t *TCB) ackAdvance(ack uint32) {
+	if seqLT(ack, t.lastAck) {
+		return // reordered old ACK: ignore entirely
+	}
+	now := t.sock.host.sim.clock.Now()
 	kept := t.unacked[:0]
+	inFlight := 0
 	progressed := false
 	for _, u := range t.unacked {
-		if u.seq+seqLen(u.flags, u.payload) <= ack {
+		if !seqGT(u.seq+seqLen(u.flags, u.payload), ack) {
 			if u.flags&FlagFIN != 0 {
-				t.finAcked()
+				t.finAcked(now)
+			}
+			if u.retries == 0 && !t.fixedRTO {
+				t.rtt.sample(int64(now - u.sentAt))
 			}
 			progressed = true
 			continue
 		}
 		kept = append(kept, u)
+		inFlight += len(u.payload)
 	}
 	t.unacked = kept
-	now := t.sock.host.sim.clock.Now()
+	t.inFlight = inFlight
 	switch {
 	case progressed:
-		// Progress: restart the clock on the new head.
 		t.dupAcks = 0
-		for i := range t.unacked {
-			t.unacked[i].retries = 0
-			t.unacked[i].deadline = now + RTOJiffies
+		// Re-arm the clock on the new head only — restarting every
+		// outstanding timer on each ACK (the old behavior) meant a
+		// steadily-acking peer could keep a lost tail segment's timer
+		// from ever firing.
+		if len(t.unacked) > 0 {
+			t.unacked[0].deadline = now + t.rto()
 		}
 	case ack == t.lastAck && len(t.unacked) > 0:
 		t.dupAcks++
@@ -234,7 +476,9 @@ func (t *TCB) ackAdvance(ack uint32) {
 			t.retransmitSeg(&t.unacked[0], now)
 		}
 	}
-	t.lastAck = ack
+	if seqGT(ack, t.lastAck) {
+		t.lastAck = ack
+	}
 }
 
 // retransmitSeg resends one tracked segment and re-arms its timer
@@ -247,26 +491,35 @@ func (t *TCB) retransmitSeg(u *unackedSeg, now uint64) {
 	if shift > 5 {
 		shift = 5
 	}
-	u.deadline = now + RTOJiffies<<shift
+	backoff := t.rto() << shift
+	if backoff > MaxRTO {
+		backoff = MaxRTO
+	}
+	u.deadline = now + backoff
 	t.Retransmits++
+	tpTCPRetrans.Emit(0, uint64(u.seq), uint64(t.sock.LocalPort))
 	seg := tcpSegment{
 		SrcPort: t.sock.LocalPort, DstPort: t.sock.RemotePort,
-		Seq: u.seq, Ack: t.rcvNext, Flags: u.flags, Payload: u.payload,
+		Seq: u.seq, Ack: t.rcvNext, Flags: u.flags,
+		Wnd: t.advertiseWnd(), Payload: u.payload,
 	}
 	host := t.sock.host
-	host.sim.send(host.addr, t.sock.RemoteAddr,
+	err := host.sim.send(host.addr, t.sock.RemoteAddr,
 		MakeIP(host.addr, t.sock.RemoteAddr, ProtoTCP, seg.marshal()))
+	if err != kbase.EOK {
+		t.TxErrors++
+		host.stats.TxErrors++
+		tpTCPTxErr.Emit(0, uint64(err), uint64(t.sock.LocalPort))
+	}
 }
 
 // finAcked handles our FIN being acknowledged.
-func (t *TCB) finAcked() {
+func (t *TCB) finAcked(now uint64) {
 	switch t.State {
 	case StateFinWait1:
-		if t.peerFIN {
-			t.State = StateClosed
-		} else {
-			t.State = StateFinWait2
-		}
+		t.State = StateFinWait2
+	case StateClosing:
+		t.enterTimeWait(now)
 	case StateLastAck:
 		t.State = StateClosed
 	}
@@ -281,16 +534,31 @@ func (t *TCB) progressClose() {
 	}
 }
 
-// pump segments the send buffer up to the window.
+// canSendData reports whether the connection may still emit payload:
+// established, or closing with our FIN not yet on the wire (the FIN
+// waits for the send buffer to drain).
+func (t *TCB) canSendData() bool {
+	switch t.State {
+	case StateEstablished, StateCloseWait:
+		return true
+	case StateFinWait1, StateLastAck, StateClosing:
+		return !t.finSent
+	}
+	return false
+}
+
+// pump segments the send buffer up to both the segment window and the
+// peer's advertised byte window.
 func (t *TCB) pump() {
-	if t.State != StateEstablished && t.State != StateCloseWait {
+	if !t.canSendData() {
 		return
 	}
 	for len(t.sendBuf) > 0 && len(t.unacked) < SendWindowSeg {
-		n := len(t.sendBuf)
-		if n > MSS {
-			n = MSS
+		room := int(t.peerWnd) - t.inFlight
+		if room <= 0 {
+			break // closed window: tick() probes it open
 		}
+		n := min(len(t.sendBuf), MSS, room)
 		chunk := make([]byte, n)
 		copy(chunk, t.sendBuf[:n])
 		t.sendBuf = t.sendBuf[n:]
@@ -300,9 +568,19 @@ func (t *TCB) pump() {
 	t.progressClose()
 }
 
-// tick retransmits expired segments; too many retries resets the
-// connection.
+// tick drives timers: TIME_WAIT expiry, retransmission (too many
+// retries resets the connection with a typed ETIMEDOUT), zero-window
+// probes, and the send pump.
 func (t *TCB) tick(now uint64) {
+	if t.State == StateTimeWait {
+		if now >= t.timeWaitAt {
+			t.State = StateClosed
+		}
+		return
+	}
+	if t.State == StateClosed || t.State == StateListen {
+		return
+	}
 	for i := range t.unacked {
 		u := &t.unacked[i]
 		if u.deadline > now {
@@ -310,11 +588,25 @@ func (t *TCB) tick(now uint64) {
 		}
 		if u.retries >= MaxRetries {
 			t.State = StateClosed
+			t.ResetErr = kbase.ETIMEDOUT
 			t.ResetReason = "retransmission limit"
 			t.transmit(FlagRST, t.sendNext, nil, false)
 			return
 		}
 		t.retransmitSeg(u, now)
+	}
+	// Zero-window probe: the peer advertised no room and everything
+	// sent is acked, so nothing will ever trigger a window update.
+	// Send one byte (tracked, so it retries like any segment); the
+	// receiver soft-accepts it and its ACK carries the fresh window.
+	if t.canSendData() && len(t.sendBuf) > 0 && len(t.unacked) == 0 &&
+		t.peerWnd == 0 && now >= t.probeAt {
+		chunk := []byte{t.sendBuf[0]}
+		t.sendBuf = t.sendBuf[1:]
+		t.ZeroWndProbes++
+		t.transmit(FlagACK, t.sendNext, chunk, true)
+		t.sendNext++
+		t.probeAt = now + t.rto()
 	}
 	t.pump()
 }
@@ -331,21 +623,36 @@ func (t *TCB) tcbSend(data []byte) kbase.Errno {
 		t.pump()
 		return kbase.EOK
 	default:
+		if t.ResetErr != kbase.EOK {
+			return t.ResetErr
+		}
 		return kbase.ENOTCONN
 	}
 }
 
-// tcbRecv drains up to len(buf) received bytes.
+// tcbRecv drains up to len(buf) received bytes. Buffered data always
+// drains first; only then does a typed reset (ECONNRESET/ETIMEDOUT)
+// or a clean EOF surface.
 func (t *TCB) tcbRecv(buf []byte) (int, kbase.Errno) {
 	if len(t.recvBuf) == 0 {
+		if t.ResetErr != kbase.EOK {
+			return 0, t.ResetErr
+		}
 		if t.peerFIN || t.State == StateClosed {
 			return 0, kbase.EOK // clean EOF
 		}
 		return 0, kbase.EAGAIN
 	}
+	wndBefore := t.advertiseWnd()
 	n := copy(buf, t.recvBuf)
 	t.recvBuf = t.recvBuf[n:]
 	tpTCPRecv.Emit(0, uint64(n), uint64(t.sock.LocalPort))
+	// Window update: if the drain reopened a window the peer saw as
+	// (nearly) closed, tell it now rather than waiting for its probe.
+	if wndBefore < MSS && t.advertiseWnd() >= MSS &&
+		t.State != StateClosed && t.State != StateListen && t.State != StateTimeWait {
+		t.sendAck()
+	}
 	return n, kbase.EOK
 }
 

@@ -11,19 +11,32 @@ import (
 
 // Tracepoints for the ownership-safe transport (catalog in DESIGN.md).
 var (
-	tpSafeSend = ktrace.New("safetcp:send") // a0=bytes queued, a1=local port
-	tpSafeRecv = ktrace.New("safetcp:recv") // a0=bytes drained, a1=local port
+	tpSafeSend    = ktrace.New("safetcp:send")       // a0=bytes queued, a1=local port
+	tpSafeRecv    = ktrace.New("safetcp:recv")       // a0=bytes drained, a1=local port
+	tpSafeTxErr   = ktrace.New("safetcp:tx_err")     // a0=errno, a1=local port
+	tpSafeRetrans = ktrace.New("safetcp:retransmit") // a0=seq, a1=local port
 )
 
 // Transport tuning, matching the legacy stack so performance
-// comparisons are apples-to-apples.
+// comparisons — and the differential fuzz harness — are
+// apples-to-apples.
 const (
-	MSS           = 512
-	RTOJiffies    = 16
-	MaxRetries    = 12
-	SendWindowSeg = 8
-	maxBackoff    = 5
+	MSS             = 512
+	RTOJiffies      = 16 // the legacy fixed RTO (FixedRTO tuning)
+	InitialRTO      = 32 // conservative pre-sample RTO; the estimator adapts down
+	MinRTO          = 4
+	MaxRTO          = 256
+	MaxRetries      = 12
+	SendWindowSeg   = 8
+	DefaultRecvWnd  = 4096
+	TimeWaitJiffies = 128
+	maxBackoff      = 5
+	maxReasmSegs    = 32
 )
+
+// Mod-2^32 sequence comparisons (RFC 793 arithmetic).
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+func seqGT(a, b uint32) bool { return int32(a-b) > 0 }
 
 // State is the connection state.
 type State uint8
@@ -38,11 +51,14 @@ const (
 	FinWait2
 	CloseWait
 	LastAck
+	Closing
+	TimeWait
 )
 
 var stateNames = [...]string{
 	"Closed", "SynSent", "SynRcvd", "Established",
 	"FinWait1", "FinWait2", "CloseWait", "LastAck",
+	"Closing", "TimeWait",
 }
 
 func (s State) String() string {
@@ -52,12 +68,58 @@ func (s State) String() string {
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
+// rttEstimator is the Jacobson estimator in scaled-integer form:
+// srtt8 holds srtt<<3 and rttvar4 holds rttvar<<2, so
+// RTO = srtt + 4*rttvar = srtt8>>3 + rttvar4.
+type rttEstimator struct {
+	srtt8   int64
+	rttvar4 int64
+	init    bool
+}
+
+func (e *rttEstimator) sample(m int64) {
+	if m < 1 {
+		m = 1
+	}
+	if !e.init {
+		e.init = true
+		e.srtt8 = m << 3
+		e.rttvar4 = m << 1
+		return
+	}
+	err := m - e.srtt8>>3
+	e.srtt8 += err
+	if err < 0 {
+		err = -err
+	}
+	e.rttvar4 += err - e.rttvar4>>2
+}
+
+func (e *rttEstimator) rto() uint64 {
+	if !e.init {
+		// No sample yet: start high and adapt down (Linux's initial
+		// RTO is a conservative 1s for the same reason). Starting
+		// below the path RTT trips Karn's deadlock: every segment
+		// retransmits spuriously, so none is ever cleanly sampled.
+		return InitialRTO
+	}
+	r := e.srtt8>>3 + e.rttvar4
+	if r < MinRTO {
+		r = MinRTO
+	}
+	if r > MaxRTO {
+		r = MaxRTO
+	}
+	return uint64(r)
+}
+
 // unacked is one in-flight segment awaiting acknowledgment.
 type unacked struct {
 	seq      uint32
 	flags    Flags
 	payload  []byte
 	deadline uint64
+	sentAt   uint64 // first-transmission time, for RTT sampling
 	retries  int
 }
 
@@ -72,6 +134,14 @@ func seqSpan(f Flags, payload []byte) uint32 {
 	return n
 }
 
+// reasmSeg is one out-of-order payload waiting for the hole before it
+// to fill. Payloads stay plain bytes here; ownership transfer to the
+// receive queue happens only when the bytes become deliverable.
+type reasmSeg struct {
+	seq     uint32
+	payload []byte
+}
+
 // Conn is one connection. All state is concrete and private; there
 // is no untyped escape hatch.
 type Conn struct {
@@ -82,25 +152,47 @@ type Conn struct {
 
 	state State
 
+	// Send side.
 	sendNext           uint32
 	sendBuf            []byte
 	flight             []unacked
+	inFlight           int    // unacked payload bytes
+	peerWnd            uint32 // peer's last advertised window
+	probeAt            uint64 // earliest next zero-window probe
 	finQueued, finSent bool
 
+	// Receive side.
+	recvWnd int // our receive window (bytes)
 	rcvNext uint32
 	// recvQ holds received payloads as owned buffers (sharing model
 	// 1: the network layer hands ownership to the connection; Recv
 	// hands it onward to the caller and frees).
-	recvQ   []own.Owned[[]byte]
-	recvOff int // bytes already consumed from recvQ[0]
-	peerFIN bool
+	recvQ      []own.Owned[[]byte]
+	recvOff    int // bytes already consumed from recvQ[0]
+	recvBytes  int // total undelivered bytes across recvQ
+	reasm      []reasmSeg
+	reasmBytes int
+	peerFIN    bool
+	finPending bool
+	finSeq     uint32
 
-	lastAck uint32
-	dupAcks int
+	// Retransmission.
+	rtt      rttEstimator
+	fixedRTO bool
+	lastAck  uint32
+	dupAcks  int
 
-	// Retransmits counts retransmitted segments (diagnostics).
-	Retransmits uint64
-	// ResetReason is set when the connection dies abnormally.
+	// Close path.
+	timeWaitAt uint64
+
+	// Diagnostics.
+	Retransmits   uint64
+	TxErrors      uint64
+	ZeroWndProbes uint64
+	// ResetErr is the typed reason the connection died abnormally
+	// (ECONNRESET on a peer reset, ETIMEDOUT on retry exhaustion).
+	ResetErr kbase.Errno
+	// ResetReason is the human-readable companion to ResetErr.
 	ResetReason string
 }
 
@@ -113,28 +205,66 @@ func (c *Conn) Established() bool { return c.state == Established }
 // Closed reports a fully shut-down connection.
 func (c *Conn) Closed() bool { return c.state == Closed }
 
+// rto returns the current retransmission timeout.
+func (c *Conn) rto() uint64 {
+	if c.fixedRTO {
+		return RTOJiffies
+	}
+	return c.rtt.rto()
+}
+
+// advertiseWnd computes the window to put on the wire.
+func (c *Conn) advertiseWnd() uint16 {
+	w := c.recvWnd - c.recvBytes - c.reasmBytes
+	if w < 0 {
+		w = 0
+	}
+	if w > 0xFFFF {
+		w = 0xFFFF
+	}
+	return uint16(w)
+}
+
 // send emits one segment; tracked segments enter the flight window.
+// Link errors are surfaced through endpoint stats and the
+// safetcp:tx_err tracepoint; the segment stays tracked so the
+// retransmission timer carries it across the outage.
 func (c *Conn) send(f Flags, seq uint32, payload []byte, track bool) {
 	seg := Segment{
 		SrcPort: c.localPort, DstPort: c.remotePort,
-		Seq: seq, Ack: c.rcvNext, Flags: f, Payload: payload,
+		Seq: seq, Ack: c.rcvNext, Flags: f,
+		Wnd: c.advertiseWnd(), Payload: payload,
 	}
-	c.ep.host.SendIP(c.remoteAddr, net.ProtoTCP, seg.Marshal())
+	if err := c.ep.host.SendIP(c.remoteAddr, net.ProtoTCP, seg.Marshal()); err != kbase.EOK {
+		c.TxErrors++
+		c.ep.stats.TxErrors++
+		tpSafeTxErr.Emit(0, uint64(err), uint64(c.localPort))
+	}
 	if track {
+		now := c.ep.host.Now()
 		c.flight = append(c.flight, unacked{
 			seq: seq, flags: f, payload: payload,
-			deadline: c.ep.host.Now() + RTOJiffies,
+			deadline: now + c.rto(), sentAt: now,
 		})
+		c.inFlight += len(payload)
 	}
 }
 
+// sendAck emits a pure ACK carrying the current window.
+func (c *Conn) sendAck() { c.send(Flags{ACK: true}, c.sendNext, nil, false) }
+
 // handle processes one validated inbound segment.
 func (c *Conn) handle(seg Segment) {
+	now := c.ep.host.Now()
 	if seg.Flags.RST {
 		c.state = Closed
+		c.ResetErr = kbase.ECONNRESET
 		c.ResetReason = "peer reset"
-		c.drainRecvQ()
 		return
+	}
+	// Window update on any segment that is not an old reordered ACK.
+	if seg.Flags.ACK && !seqLT(seg.Ack, c.lastAck) {
+		c.peerWnd = uint32(seg.Wnd)
 	}
 	switch c.state {
 	case SynSent:
@@ -142,7 +272,7 @@ func (c *Conn) handle(seg Segment) {
 			c.rcvNext = seg.Seq + 1
 			c.ackAdvance(seg.Ack)
 			c.state = Established
-			c.send(Flags{ACK: true}, c.sendNext, nil, false)
+			c.sendAck()
 			c.pump()
 		}
 	case SynRcvd:
@@ -150,12 +280,23 @@ func (c *Conn) handle(seg Segment) {
 			c.ackAdvance(seg.Ack)
 			c.state = Established
 			c.ep.promote(c)
+			// Piggybacked data first, then drain anything queued via
+			// Send before the handshake completed.
 			c.handleData(seg)
+			c.progressClose()
+			c.pump()
 		}
-	case Established, FinWait1, FinWait2, CloseWait, LastAck:
+	case TimeWait:
+		// Retransmitted FIN: our final ACK was lost. Re-ACK, restart
+		// 2MSL.
+		if seg.Flags.FIN {
+			c.sendAck()
+			c.timeWaitAt = now + TimeWaitJiffies
+		}
+	case Established, FinWait1, FinWait2, CloseWait, LastAck, Closing:
 		if seg.Flags.SYN {
 			// Peer missed our handshake ACK; re-send it.
-			c.send(Flags{ACK: true}, c.sendNext, nil, false)
+			c.sendAck()
 			return
 		}
 		if seg.Flags.ACK {
@@ -167,58 +308,156 @@ func (c *Conn) handle(seg Segment) {
 	}
 }
 
-// handleData accepts in-order payload (as an owned buffer) and FIN.
+// deliver moves deliverable payload bytes into the owned receive
+// queue (ownership transfer: the connection owns the cell until Recv
+// hands the bytes to the caller).
+func (c *Conn) deliver(seq uint32, payload []byte) {
+	cell := own.New(c.ep.checker,
+		fmt.Sprintf("safetcp.rx.%d.%d", c.localPort, seq), payload)
+	c.recvQ = append(c.recvQ, cell)
+	c.recvBytes += len(payload)
+	c.rcvNext = seq + uint32(len(payload))
+}
+
+// handleData accepts payload and FIN: in-order payload delivers (and
+// drains reassembly), out-of-order payload queues, and every segment
+// carrying payload or FIN is re-ACKed so the sender sees duplicate
+// ACKs for holes.
 func (c *Conn) handleData(seg Segment) {
+	now := c.ep.host.Now()
 	if len(seg.Payload) > 0 {
-		if seg.Seq == c.rcvNext {
-			// Ownership transfer: the payload buffer is owned by the
-			// connection from here on.
-			cell := own.New(c.ep.checker,
-				fmt.Sprintf("safetcp.rx.%d.%d", c.localPort, seg.Seq), seg.Payload)
-			c.recvQ = append(c.recvQ, cell)
-			c.rcvNext += uint32(len(seg.Payload))
+		end := seg.Seq + uint32(len(seg.Payload))
+		switch {
+		case seg.Seq == c.rcvNext:
+			// In order; accepted even past the advertised window (the
+			// peer's zero-window probes land here).
+			c.deliver(seg.Seq, seg.Payload)
+			c.drainReasm()
+		case seqLT(seg.Seq, c.rcvNext) && seqGT(end, c.rcvNext):
+			// Partial overlap: deliver the unseen tail.
+			c.deliver(c.rcvNext, seg.Payload[c.rcvNext-seg.Seq:])
+			c.drainReasm()
+		case seqGT(seg.Seq, c.rcvNext):
+			c.enqueueReasm(seg.Seq, seg.Payload)
 		}
 	}
-	if seg.Flags.FIN && seg.Seq+uint32(len(seg.Payload)) == c.rcvNext {
-		c.rcvNext++
-		c.peerFIN = true
-		switch c.state {
-		case Established:
-			c.state = CloseWait
-		case FinWait1:
-			c.state = LastAck
-		case FinWait2:
-			c.state = Closed
+	if seg.Flags.FIN && !c.peerFIN {
+		finSeq := seg.Seq + uint32(len(seg.Payload))
+		if finSeq == c.rcvNext {
+			c.processFIN(now)
+		} else if seqGT(finSeq, c.rcvNext) {
+			c.finPending = true
+			c.finSeq = finSeq
 		}
 	}
 	if len(seg.Payload) > 0 || seg.Flags.FIN {
-		c.send(Flags{ACK: true}, c.sendNext, nil, false)
+		c.sendAck()
 	}
 }
 
-// ackAdvance retires acknowledged flight entries, resets backoff on
-// progress, and fast-retransmits after three duplicate ACKs.
+// enqueueReasm inserts an out-of-order payload into the bounded
+// reassembly queue, deduplicating by sequence number.
+func (c *Conn) enqueueReasm(seq uint32, payload []byte) {
+	for _, r := range c.reasm {
+		if r.seq == seq {
+			return
+		}
+	}
+	if len(c.reasm) >= maxReasmSegs {
+		return // full: drop, the retransmission will return
+	}
+	i := 0
+	for i < len(c.reasm) && seqLT(c.reasm[i].seq, seq) {
+		i++
+	}
+	c.reasm = append(c.reasm, reasmSeg{})
+	copy(c.reasm[i+1:], c.reasm[i:])
+	c.reasm[i] = reasmSeg{seq: seq, payload: payload}
+	c.reasmBytes += len(payload)
+}
+
+// drainReasm delivers now-in-order reassembly segments and applies a
+// pending FIN once it lines up with rcvNext.
+func (c *Conn) drainReasm() {
+	for changed := true; changed; {
+		changed = false
+		kept := c.reasm[:0]
+		for _, r := range c.reasm {
+			end := r.seq + uint32(len(r.payload))
+			switch {
+			case !seqGT(end, c.rcvNext):
+				c.reasmBytes -= len(r.payload)
+			case !seqGT(r.seq, c.rcvNext):
+				c.reasmBytes -= len(r.payload)
+				c.deliver(c.rcvNext, r.payload[c.rcvNext-r.seq:])
+				changed = true
+			default:
+				kept = append(kept, r)
+			}
+		}
+		c.reasm = kept
+	}
+	if c.finPending && !c.peerFIN && c.finSeq == c.rcvNext {
+		c.processFIN(c.ep.host.Now())
+	}
+}
+
+// processFIN consumes the peer's FIN at rcvNext.
+func (c *Conn) processFIN(now uint64) {
+	c.rcvNext++
+	c.peerFIN = true
+	c.finPending = false
+	switch c.state {
+	case Established, SynRcvd:
+		c.state = CloseWait
+	case FinWait1:
+		// Simultaneous close: both FINs crossed, ours not yet acked.
+		c.state = Closing
+	case FinWait2:
+		c.enterTimeWait(now)
+	}
+}
+
+// enterTimeWait starts the 2MSL quarantine that absorbs a lost final
+// ACK.
+func (c *Conn) enterTimeWait(now uint64) {
+	c.state = TimeWait
+	c.timeWaitAt = now + TimeWaitJiffies
+}
+
+// ackAdvance retires acknowledged flight entries, samples RTT per
+// Karn's rule, re-arms only the head timer on progress, and
+// fast-retransmits after three duplicate ACKs. Old reordered ACKs are
+// ignored so they cannot regress lastAck.
 func (c *Conn) ackAdvance(ack uint32) {
+	if seqLT(ack, c.lastAck) {
+		return
+	}
+	now := c.ep.host.Now()
 	kept := c.flight[:0]
+	inFlight := 0
 	progressed := false
 	for _, u := range c.flight {
-		if u.seq+seqSpan(u.flags, u.payload) <= ack {
+		if !seqGT(u.seq+seqSpan(u.flags, u.payload), ack) {
 			if u.flags.FIN {
-				c.finAcked()
+				c.finAcked(now)
+			}
+			if u.retries == 0 && !c.fixedRTO {
+				c.rtt.sample(int64(now - u.sentAt))
 			}
 			progressed = true
 			continue
 		}
 		kept = append(kept, u)
+		inFlight += len(u.payload)
 	}
 	c.flight = kept
-	now := c.ep.host.Now()
+	c.inFlight = inFlight
 	switch {
 	case progressed:
 		c.dupAcks = 0
-		for i := range c.flight {
-			c.flight[i].retries = 0
-			c.flight[i].deadline = now + RTOJiffies
+		if len(c.flight) > 0 {
+			c.flight[0].deadline = now + c.rto()
 		}
 	case ack == c.lastAck && len(c.flight) > 0:
 		c.dupAcks++
@@ -227,17 +466,17 @@ func (c *Conn) ackAdvance(ack uint32) {
 			c.retransmit(&c.flight[0], now)
 		}
 	}
-	c.lastAck = ack
+	if seqGT(ack, c.lastAck) {
+		c.lastAck = ack
+	}
 }
 
-func (c *Conn) finAcked() {
+func (c *Conn) finAcked(now uint64) {
 	switch c.state {
 	case FinWait1:
-		if c.peerFIN {
-			c.state = Closed
-		} else {
-			c.state = FinWait2
-		}
+		c.state = FinWait2
+	case Closing:
+		c.enterTimeWait(now)
 	case LastAck:
 		c.state = Closed
 	}
@@ -251,16 +490,30 @@ func (c *Conn) progressClose() {
 	}
 }
 
-// pump segments the send buffer up to the window.
+// canSendData reports whether payload may still go out: established,
+// or closing with our FIN not yet on the wire.
+func (c *Conn) canSendData() bool {
+	switch c.state {
+	case Established, CloseWait:
+		return true
+	case FinWait1, LastAck, Closing:
+		return !c.finSent
+	}
+	return false
+}
+
+// pump segments the send buffer up to both the segment window and the
+// peer's advertised byte window.
 func (c *Conn) pump() {
-	if c.state != Established && c.state != CloseWait {
+	if !c.canSendData() {
 		return
 	}
 	for len(c.sendBuf) > 0 && len(c.flight) < SendWindowSeg {
-		n := len(c.sendBuf)
-		if n > MSS {
-			n = MSS
+		room := int(c.peerWnd) - c.inFlight
+		if room <= 0 {
+			break // closed window: tick() probes it open
 		}
+		n := min(len(c.sendBuf), MSS, room)
 		chunk := make([]byte, n)
 		copy(chunk, c.sendBuf[:n])
 		c.sendBuf = c.sendBuf[n:]
@@ -279,17 +532,38 @@ func (c *Conn) retransmit(u *unacked, now uint64) {
 	if shift > maxBackoff {
 		shift = maxBackoff
 	}
-	u.deadline = now + RTOJiffies<<shift
+	backoff := c.rto() << shift
+	if backoff > MaxRTO {
+		backoff = MaxRTO
+	}
+	u.deadline = now + backoff
 	c.Retransmits++
+	tpSafeRetrans.Emit(0, uint64(u.seq), uint64(c.localPort))
 	seg := Segment{
 		SrcPort: c.localPort, DstPort: c.remotePort,
-		Seq: u.seq, Ack: c.rcvNext, Flags: u.flags, Payload: u.payload,
+		Seq: u.seq, Ack: c.rcvNext, Flags: u.flags,
+		Wnd: c.advertiseWnd(), Payload: u.payload,
 	}
-	c.ep.host.SendIP(c.remoteAddr, net.ProtoTCP, seg.Marshal())
+	if err := c.ep.host.SendIP(c.remoteAddr, net.ProtoTCP, seg.Marshal()); err != kbase.EOK {
+		c.TxErrors++
+		c.ep.stats.TxErrors++
+		tpSafeTxErr.Emit(0, uint64(err), uint64(c.localPort))
+	}
 }
 
-// tick drives retransmission timers.
+// tick drives timers: TIME_WAIT expiry, retransmission (retry
+// exhaustion resets the connection with a typed ETIMEDOUT),
+// zero-window probes, and the send pump.
 func (c *Conn) tick(now uint64) {
+	if c.state == TimeWait {
+		if now >= c.timeWaitAt {
+			c.state = Closed
+		}
+		return
+	}
+	if c.state == Closed {
+		return
+	}
 	for i := range c.flight {
 		u := &c.flight[i]
 		if u.deadline > now {
@@ -297,12 +571,23 @@ func (c *Conn) tick(now uint64) {
 		}
 		if u.retries >= MaxRetries {
 			c.state = Closed
+			c.ResetErr = kbase.ETIMEDOUT
 			c.ResetReason = "retransmission limit"
 			c.send(Flags{RST: true}, c.sendNext, nil, false)
-			c.drainRecvQ()
 			return
 		}
 		c.retransmit(u, now)
+	}
+	// Zero-window probe: one tracked byte keeps the window-update
+	// channel alive; the receiver soft-accepts it.
+	if c.canSendData() && len(c.sendBuf) > 0 && len(c.flight) == 0 &&
+		c.peerWnd == 0 && now >= c.probeAt {
+		chunk := []byte{c.sendBuf[0]}
+		c.sendBuf = c.sendBuf[1:]
+		c.ZeroWndProbes++
+		c.send(Flags{ACK: true}, c.sendNext, chunk, true)
+		c.sendNext++
+		c.probeAt = now + c.rto()
 	}
 	c.pump()
 }
@@ -319,15 +604,21 @@ func (c *Conn) Send(data []byte) kbase.Errno {
 		c.pump()
 		return kbase.EOK
 	default:
+		if c.ResetErr != kbase.EOK {
+			return c.ResetErr
+		}
 		return kbase.ENOTCONN
 	}
 }
 
 // Recv moves received bytes into buf. Ownership of fully-consumed
 // buffers ends here (they are freed); partially-consumed buffers
-// remain owned by the connection. (0, EOK) with a peer FIN is EOF;
-// EAGAIN means no data yet.
+// remain owned by the connection. Buffered data always drains before
+// a typed reset or EOF surfaces: (0, EOK) with a peer FIN is EOF,
+// (0, ECONNRESET/ETIMEDOUT) is an abnormal close, EAGAIN means no
+// data yet.
 func (c *Conn) Recv(buf []byte) (int, kbase.Errno) {
+	wndBefore := c.advertiseWnd()
 	total := 0
 	for total < len(buf) && len(c.recvQ) > 0 {
 		cell := c.recvQ[0]
@@ -347,8 +638,18 @@ func (c *Conn) Recv(buf []byte) (int, kbase.Errno) {
 		}
 	}
 	if total > 0 {
+		c.recvBytes -= total
 		tpSafeRecv.Emit(0, uint64(total), uint64(c.localPort))
+		// Window update: tell a blocked peer the window reopened
+		// instead of waiting for its probe.
+		if wndBefore < MSS && c.advertiseWnd() >= MSS &&
+			c.state != Closed && c.state != TimeWait {
+			c.sendAck()
+		}
 		return total, kbase.EOK
+	}
+	if c.ResetErr != kbase.EOK {
+		return 0, c.ResetErr
 	}
 	if c.peerFIN || c.state == Closed {
 		return 0, kbase.EOK
@@ -357,19 +658,7 @@ func (c *Conn) Recv(buf []byte) (int, kbase.Errno) {
 }
 
 // Buffered returns bytes waiting to be Recv'd.
-func (c *Conn) Buffered() int {
-	n := 0
-	for i, cell := range c.recvQ {
-		cell.Read(func(data []byte) {
-			if i == 0 {
-				n += len(data) - c.recvOff
-			} else {
-				n += len(data)
-			}
-		})
-	}
-	return n
-}
+func (c *Conn) Buffered() int { return c.recvBytes }
 
 // Close starts an orderly shutdown.
 func (c *Conn) Close() kbase.Errno {
@@ -390,11 +679,12 @@ func (c *Conn) Close() kbase.Errno {
 }
 
 // drainRecvQ frees undelivered owned buffers so nothing leaks when a
-// connection dies.
+// connection is torn down before its data was consumed.
 func (c *Conn) drainRecvQ() {
 	for _, cell := range c.recvQ {
 		cell.Free()
 	}
 	c.recvQ = nil
 	c.recvOff = 0
+	c.recvBytes = 0
 }

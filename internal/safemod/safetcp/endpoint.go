@@ -1,11 +1,20 @@
 package safetcp
 
 import (
+	"sort"
+
 	"safelinux/internal/linuxlike/kbase"
 	"safelinux/internal/linuxlike/net"
 	"safelinux/internal/safety/module"
 	"safelinux/internal/safety/own"
 )
+
+// Tuning adjusts endpoint-wide connection behavior; applied to
+// connections created after SetTuning.
+type Tuning struct {
+	FixedRTO   bool // disable the RTT estimator; fixed RTOJiffies timeout
+	RecvWindow int  // receive window in bytes (0 = DefaultRecvWnd)
+}
 
 // Endpoint is one host's safetcp instance, attached through the
 // net.StreamProto modular interface. It owns every connection on the
@@ -17,6 +26,7 @@ type Endpoint struct {
 	conns     map[connKey]*Conn
 	listeners map[uint16]*Listener
 	nextPort  uint16
+	tuning    Tuning
 
 	stats EndpointStats
 }
@@ -26,6 +36,7 @@ type EndpointStats struct {
 	Segments   uint64
 	BadSegment uint64
 	NoConn     uint64
+	TxErrors   uint64 // transmits the link refused (no route, partition)
 }
 
 type connKey struct {
@@ -69,12 +80,29 @@ func (ep *Endpoint) CollectMetrics(emit func(name string, value uint64)) {
 	emit("segments", ep.stats.Segments)
 	emit("bad_segments", ep.stats.BadSegment)
 	emit("no_conn", ep.stats.NoConn)
+	emit("tx_errors", ep.stats.TxErrors)
 	emit("conns", uint64(len(ep.conns)))
 	emit("listeners", uint64(len(ep.listeners)))
 }
 
 // Checker returns the ownership checker observing this endpoint.
 func (ep *Endpoint) Checker() *own.Checker { return ep.checker }
+
+// SetTuning installs tuning applied to subsequently created
+// connections.
+func (ep *Endpoint) SetTuning(tn Tuning) { ep.tuning = tn }
+
+// newConn builds a connection honoring the endpoint tuning.
+func (ep *Endpoint) newConn(lport uint16, raddr net.Addr, rport uint16, st State) *Conn {
+	c := &Conn{
+		ep: ep, localPort: lport, remoteAddr: raddr, remotePort: rport,
+		state: st, recvWnd: DefaultRecvWnd, fixedRTO: ep.tuning.FixedRTO,
+	}
+	if ep.tuning.RecvWindow > 0 {
+		c.recvWnd = ep.tuning.RecvWindow
+	}
+	return c
+}
 
 // ProtoName implements net.StreamProto.
 func (ep *Endpoint) ProtoName() string { return "safetcp" }
@@ -101,14 +129,9 @@ func (ep *Endpoint) HandleSegment(src net.Addr, payload []byte) {
 			child.send(Flags{SYN: true, ACK: true}, child.sendNext-1, nil, false)
 			return
 		}
-		child := &Conn{
-			ep:         ep,
-			localPort:  seg.DstPort,
-			remoteAddr: src,
-			remotePort: seg.SrcPort,
-			state:      SynRcvd,
-			rcvNext:    seg.Seq + 1,
-		}
+		child := ep.newConn(seg.DstPort, src, seg.SrcPort, SynRcvd)
+		child.rcvNext = seg.Seq + 1
+		child.peerWnd = uint32(seg.Wnd)
 		ep.conns[key] = child
 		l.pending[key] = child
 		child.send(Flags{SYN: true, ACK: true}, 0, nil, true)
@@ -118,10 +141,33 @@ func (ep *Endpoint) HandleSegment(src net.Addr, payload []byte) {
 	ep.stats.NoConn++
 }
 
-// Tick implements net.StreamProto.
+// Tick implements net.StreamProto. Connections tick in deterministic
+// key order; fully closed ones are reaped from the table (and any
+// listener pending map) so ports recycle and the table stays bounded.
 func (ep *Endpoint) Tick(now uint64) {
-	for _, c := range ep.conns {
+	keys := make([]connKey, 0, len(ep.conns))
+	for k := range ep.conns {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.lport != b.lport {
+			return a.lport < b.lport
+		}
+		if a.raddr != b.raddr {
+			return a.raddr < b.raddr
+		}
+		return a.rport < b.rport
+	})
+	for _, k := range keys {
+		c := ep.conns[k]
 		c.tick(now)
+		if c.state == Closed {
+			delete(ep.conns, k)
+			if l, ok := ep.listeners[k.lport]; ok {
+				delete(l.pending, k)
+			}
+		}
 	}
 }
 
@@ -174,13 +220,7 @@ func (ep *Endpoint) Listen(port uint16) (*Listener, kbase.Errno) {
 // Connect opens a connection to raddr:rport; the handshake completes
 // as the simulation steps.
 func (ep *Endpoint) Connect(raddr net.Addr, rport uint16) (*Conn, kbase.Errno) {
-	c := &Conn{
-		ep:         ep,
-		localPort:  ep.ephemeralPort(),
-		remoteAddr: raddr,
-		remotePort: rport,
-		state:      SynSent,
-	}
+	c := ep.newConn(ep.ephemeralPort(), raddr, rport, SynSent)
 	ep.conns[connKey{lport: c.localPort, raddr: raddr, rport: rport}] = c
 	c.send(Flags{SYN: true}, 0, nil, true)
 	c.sendNext = 1

@@ -56,13 +56,14 @@ type Segment struct {
 	SrcPort, DstPort uint16
 	Seq, Ack         uint32
 	Flags            Flags
+	Wnd              uint16 // advertised receive window (bytes)
 	Payload          []byte
 }
 
 // headerLen is the wire header: ports(4) seq(4) ack(4) flags(1)
-// pad(1) payloadLen(2) crc(4) = 20 bytes. Unlike the legacy format,
-// the payload length is explicit and checksummed.
-const headerLen = 20
+// pad(1) payloadLen(2) wnd(2) crc(4) = 22 bytes. Unlike the legacy
+// format, the payload length is explicit and checksummed.
+const headerLen = 22
 
 // Marshal serializes the segment.
 func (s *Segment) Marshal() []byte {
@@ -74,8 +75,9 @@ func (s *Segment) Marshal() []byte {
 	le.PutUint32(b[8:], s.Ack)
 	b[12] = s.Flags.encode()
 	le.PutUint16(b[14:], uint16(len(s.Payload)))
+	le.PutUint16(b[16:], s.Wnd)
 	copy(b[headerLen:], s.Payload)
-	le.PutUint32(b[16:], checksum(b))
+	le.PutUint32(b[18:], checksum(b))
 	return b
 }
 
@@ -86,7 +88,7 @@ func checksum(b []byte) uint32 {
 		h ^= uint32(x)
 		h *= 16777619
 	}
-	for i := 0; i < 16; i++ {
+	for i := 0; i < 18; i++ {
 		mix(b[i])
 	}
 	for i := headerLen; i < len(b); i++ {
@@ -107,7 +109,7 @@ func ParseSegment(b []byte) typedapi.Result[Segment] {
 	if headerLen+payloadLen != len(b) {
 		return typedapi.Err[Segment](kbase.EPROTO)
 	}
-	if le.Uint32(b[16:]) != checksum(b) {
+	if le.Uint32(b[18:]) != checksum(b) {
 		return typedapi.Err[Segment](kbase.EPROTO)
 	}
 	seg := Segment{
@@ -116,6 +118,7 @@ func ParseSegment(b []byte) typedapi.Result[Segment] {
 		Seq:     le.Uint32(b[4:]),
 		Ack:     le.Uint32(b[8:]),
 		Flags:   decodeFlags(b[12]),
+		Wnd:     le.Uint16(b[16:]),
 	}
 	if payloadLen > 0 {
 		seg.Payload = make([]byte, payloadLen)

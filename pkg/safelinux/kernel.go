@@ -43,6 +43,10 @@ type Config struct {
 	AsyncIO bool
 	// IOWorkers sizes the kio worker pool (default 4, AsyncIO only).
 	IOWorkers int
+	// Link is the fault model for the link between the kernel's two
+	// hosts. The zero value selects the historical default of a
+	// 1-jiffy, 1%-loss link.
+	Link net.LinkParams
 }
 
 func (c *Config) fill() {
@@ -51,6 +55,9 @@ func (c *Config) fill() {
 	}
 	if c.BlockSize == 0 {
 		c.BlockSize = 512
+	}
+	if c.Link == (net.LinkParams{}) {
+		c.Link = net.LinkParams{Delay: 1, LossProb: 0.01}
 	}
 }
 
@@ -146,7 +153,7 @@ func New(cfg Config) (*Kernel, kbase.Errno) {
 	// Network: two linked hosts on the legacy stack.
 	k.hostA = k.Sim.AddHost(1)
 	k.hostB = k.Sim.AddHost(2)
-	k.Sim.Link(1, 2, net.LinkParams{Delay: 1, LossProb: 0.01})
+	k.Sim.Link(1, 2, cfg.Link)
 
 	// Registry: declare the interfaces, bind the boot modules.
 	for _, iface := range []module.Interface{
@@ -193,6 +200,24 @@ func (k *Kernel) Hosts() (*net.Host, *net.Host) { return k.hostA, k.hostB }
 // UpgradeTCP).
 func (k *Kernel) SafeEndpoints() (*safetcp.Endpoint, *safetcp.Endpoint) {
 	return k.safeEPA, k.safeEPB
+}
+
+// PartitionNet cuts the link between the kernel's two hosts — both
+// directions, or only host A → host B when oneWay is set. In-flight
+// packets still deliver; new sends fail with ENETUNREACH. Established
+// connections retransmit until HealNet, or die with a typed
+// ETIMEDOUT reset when the retry budget runs out.
+func (k *Kernel) PartitionNet(oneWay bool) {
+	if oneWay {
+		k.Sim.PartitionOneWay(k.hostA.Addr(), k.hostB.Addr())
+		return
+	}
+	k.Sim.Partition(k.hostA.Addr(), k.hostB.Addr())
+}
+
+// HealNet restores the link after PartitionNet.
+func (k *Kernel) HealNet() {
+	k.Sim.Heal(k.hostA.Addr(), k.hostB.Addr())
 }
 
 // fixedFS adapts a pre-built superblock so an already-populated file

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net check
+.PHONY: all build vet lint kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-swap panic-storm check
 
 all: check
 
@@ -57,5 +57,20 @@ bench-kio:
 # diverges.
 bench-net:
 	$(GO) run ./cmd/netbench -out BENCH_net.json
+
+# Live hot-swap under load: extlike->safefs and tcb->safetcp on a
+# running kernel with a sustained mixed workload (see DESIGN.md
+# "Compartments & hot-swap" and BENCH_swap.json). Exits non-zero if
+# any in-flight operation is dropped or fails across a swap.
+bench-swap:
+	$(GO) run ./cmd/swapbench -out BENCH_swap.json
+
+# The faultinject campaign: a seeded storm of injected panics kills
+# every compartment at least once under load; bystander workloads must
+# record zero failures and the plane must converge back to healthy.
+# Run under the race detector — the quarantine/restart window is where
+# the interesting interleavings live.
+panic-storm:
+	$(GO) test -race -run TestPanicStormConvergence -count 5 ./pkg/safelinux/
 
 check: build vet lint test

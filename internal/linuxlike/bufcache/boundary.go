@@ -1,0 +1,80 @@
+package bufcache
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Crash containment for the buffer cache: the public cache operations
+// route through an installable boundary, so a panic in cache internals
+// (flag-protocol BUGs, a poisoned buffer) is recovered at the caller's
+// line and converted to a typed error. Satisfied by
+// *compartment.Compartment via its Run method; structural typing keeps
+// this package free of a safety-layer import.
+//
+// Only the outermost entry points are guarded — doBread calls doGetBlk
+// directly, never the public wrapper, so a hot-swap drain cannot
+// deadlock on a nested entry.
+type Boundary interface {
+	Run(op string, fn func() kbase.Errno) kbase.Errno
+}
+
+type boundaryBox struct{ b Boundary }
+
+// SetBoundary installs (or, with nil, removes) the containment
+// boundary around the public cache surface.
+func (c *Cache) SetBoundary(b Boundary) {
+	if b == nil {
+		c.boundary.Store(nil)
+		return
+	}
+	c.boundary.Store(&boundaryBox{b: b})
+}
+
+func (c *Cache) guardBuf(op string, fn func() (*BufferHead, kbase.Errno)) (*BufferHead, kbase.Errno) {
+	box := c.boundary.Load()
+	if box == nil {
+		return fn()
+	}
+	var bh *BufferHead
+	err := box.b.Run(op, func() kbase.Errno {
+		var e kbase.Errno
+		bh, e = fn()
+		return e
+	})
+	if err != kbase.EOK {
+		return nil, err
+	}
+	return bh, kbase.EOK
+}
+
+// GetBlk returns the buffer for block without reading it from disk
+// (getblk). The returned buffer holds a new reference.
+func (c *Cache) GetBlk(block uint64) (*BufferHead, kbase.Errno) {
+	return c.guardBuf("getblk", func() (*BufferHead, kbase.Errno) { return c.doGetBlk(block) })
+}
+
+// Bread returns an uptodate buffer for block, reading from disk if
+// necessary (bread).
+func (c *Cache) Bread(block uint64) (*BufferHead, kbase.Errno) {
+	return c.guardBuf("bread", func() (*BufferHead, kbase.Errno) { return c.doBread(block) })
+}
+
+// WriteBuffer synchronously writes one buffer to disk and clears its
+// dirty bit (sync_dirty_buffer for a single bh).
+func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
+	box := c.boundary.Load()
+	if box == nil {
+		return c.doWriteBuffer(bh)
+	}
+	return box.b.Run("write_buffer", func() kbase.Errno { return c.doWriteBuffer(bh) })
+}
+
+// SyncDirty writes all dirty buffers and issues a device flush
+// barrier (sync_dirty_buffers + blkdev_issue_flush).
+func (c *Cache) SyncDirty() kbase.Errno {
+	box := c.boundary.Load()
+	if box == nil {
+		return c.doSyncDirty()
+	}
+	return box.b.Run("sync_dirty", func() kbase.Errno { return c.doSyncDirty() })
+}

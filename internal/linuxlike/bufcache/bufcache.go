@@ -214,6 +214,10 @@ type Cache struct {
 	// on, with one barrier closing the batch.
 	engine atomic.Pointer[kio.Engine]
 
+	// boundary, when installed, wraps the public cache operations in a
+	// crash-containment compartment (see boundary.go).
+	boundary atomic.Pointer[boundaryBox]
+
 	shards [NumShards]cacheShard
 }
 
@@ -280,9 +284,9 @@ func (c *Cache) Stats() CacheStats {
 	return st
 }
 
-// GetBlk returns the buffer for block without reading it from disk
+// doGetBlk returns the buffer for block without reading it from disk
 // (getblk). The returned buffer holds a new reference.
-func (c *Cache) GetBlk(block uint64) (*BufferHead, kbase.Errno) {
+func (c *Cache) doGetBlk(block uint64) (*BufferHead, kbase.Errno) {
 	if block >= c.dev.Blocks() {
 		return nil, kbase.EINVAL
 	}
@@ -360,10 +364,10 @@ func (c *Cache) evictAnyShard() bool {
 	return false
 }
 
-// Bread returns an uptodate buffer for block, reading from disk if
+// doBread returns an uptodate buffer for block, reading from disk if
 // necessary (bread).
-func (c *Cache) Bread(block uint64) (*BufferHead, kbase.Errno) {
-	bh, err := c.GetBlk(block)
+func (c *Cache) doBread(block uint64) (*BufferHead, kbase.Errno) {
+	bh, err := c.doGetBlk(block)
 	if err != kbase.EOK {
 		return nil, err
 	}
@@ -390,9 +394,9 @@ func (c *Cache) noteDirty(bh *BufferHead) {
 	s.mu.Unlock()
 }
 
-// WriteBuffer synchronously writes one buffer to disk and clears its
+// doWriteBuffer synchronously writes one buffer to disk and clears its
 // dirty bit (sync_dirty_buffer for a single bh).
-func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
+func (c *Cache) doWriteBuffer(bh *BufferHead) kbase.Errno {
 	if !bh.TestFlag(BHMapped) && !bh.TestFlag(BHNew) {
 		// Writing an unmapped buffer is the classic flag-protocol
 		// violation; Linux would hit a BUG in submit_bh.
@@ -415,11 +419,11 @@ func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
 	return kbase.EOK
 }
 
-// SyncDirty writes all dirty buffers and issues a device flush
+// doSyncDirty writes all dirty buffers and issues a device flush
 // barrier (sync_dirty_buffers + blkdev_issue_flush). The writes are
 // submitted through a device plug so each device shard's lock is
 // taken once for the whole batch.
-func (c *Cache) SyncDirty() kbase.Errno {
+func (c *Cache) doSyncDirty() kbase.Errno {
 	var toWrite []*BufferHead
 	for i := range c.shards {
 		s := &c.shards[i]

@@ -54,6 +54,7 @@ const (
 	ENOBUFS      Errno = 105 // no buffer space available
 	EISCONN      Errno = 106 // already connected
 	ENOTCONN     Errno = 107 // not connected
+	ESHUTDOWN    Errno = 108 // endpoint shut down (quarantined compartment)
 	ETIMEDOUT    Errno = 110 // connection timed out
 	ECONNREFUSED Errno = 111 // connection refused
 	EALREADY     Errno = 114 // operation already in progress
@@ -72,7 +73,7 @@ var errnoNames = map[Errno]string{
 	ENAMETOOLONG: "ENAMETOOLONG", ENOSYS: "ENOSYS", ENOTEMPTY: "ENOTEMPTY",
 	ELOOP: "ELOOP", EPROTO: "EPROTO", EOVERFLOW: "EOVERFLOW",
 	EMSGSIZE: "EMSGSIZE", ENETUNREACH: "ENETUNREACH",
-	ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS",
+	ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS", ESHUTDOWN: "ESHUTDOWN",
 	EISCONN: "EISCONN", ENOTCONN: "ENOTCONN", ETIMEDOUT: "ETIMEDOUT",
 	ECONNREFUSED: "ECONNREFUSED", EALREADY: "EALREADY",
 	EINPROGRESS: "EINPROGRESS", ESTALE: "ESTALE", EUCLEAN: "EUCLEAN",

@@ -227,7 +227,14 @@ var (
 )
 
 // Task represents a kernel thread of execution for lock tracking.
-type Task struct{ id int64 }
+type Task struct {
+	id int64
+	// super marks a trusted-core (supervisor) task: crash-containment
+	// boundaries let it through directly, which is how the compartment
+	// supervisor restarts a subsystem and how a hot swap copies state
+	// while ordinary callers are held at the drained boundary.
+	super bool
+}
 
 // NewTask registers a new kernel task.
 func NewTask() *Task {
@@ -239,6 +246,14 @@ func NewTask() *Task {
 	return t
 }
 
+// NewSupervisorTask registers a trusted-core task that bypasses
+// compartment boundaries (see Task.Supervisor).
+func NewSupervisorTask() *Task {
+	t := NewTask()
+	t.super = true
+	return t
+}
+
 // ID returns the task id.
 func (t *Task) ID() int64 {
 	if t == nil {
@@ -246,6 +261,10 @@ func (t *Task) ID() int64 {
 	}
 	return t.id
 }
+
+// Supervisor reports whether this is a trusted-core task that
+// compartment boundaries must not gate.
+func (t *Task) Supervisor() bool { return t != nil && t.super }
 
 // SpinLock is the kernel spinlock. In simulation it is a mutex; the
 // distinction matters only for documentation and lock classes.

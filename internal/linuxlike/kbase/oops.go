@@ -116,6 +116,32 @@ func InstallRecorder(rec *OopsRecorder) *OopsRecorder {
 	return prev
 }
 
+// RecorderInstalled reports whether an oops recorder is currently
+// installed — crash-containment boundaries consult this before
+// reporting a recovered panic through Oops (which would itself panic
+// with no recorder, defeating the containment).
+func RecorderInstalled() bool {
+	recorderMu.RLock()
+	defer recorderMu.RUnlock()
+	return recorder != nil
+}
+
+// PanicReport is the typed panic value BUG throws after running the
+// oops machinery. A crash-containment boundary that recovers one knows
+// the kernel:oops tracepoint was already emitted, the flight recorder
+// already snapshotted, and the recorder (if any) already updated — so
+// it must convert the panic to a typed error WITHOUT reporting a
+// second oops. Recovering any other panic value means the failure has
+// not been reported yet.
+type PanicReport struct{ Event OopsEvent }
+
+// String renders the same "BUG: ..." line the untyped panic used to
+// carry, so logs and recovered-panic messages are unchanged.
+func (p *PanicReport) String() string { return "BUG: " + p.Event.String() }
+
+// Error makes a recovered PanicReport usable as an error.
+func (p *PanicReport) Error() string { return p.String() }
+
 // Events returns a copy of all recorded events.
 func (r *OopsRecorder) Events() []OopsEvent {
 	r.mu.Lock()
@@ -173,7 +199,8 @@ func Oops(kind OopsKind, module, format string, args ...any) {
 
 // BUG reports an unrecoverable invariant violation. It always panics;
 // the recorder, if any, captures the event first so campaigns can
-// still attribute the failure.
+// still attribute the failure. The panic value is a *PanicReport so a
+// compartment boundary recovering it knows the oops path already ran.
 func BUG(module, format string, args ...any) {
 	e := OopsEvent{Kind: OopsGeneric, Module: module, Msg: fmt.Sprintf(format, args...)}
 	finalizeOops(&e)
@@ -183,7 +210,7 @@ func BUG(module, format string, args ...any) {
 	if rec != nil {
 		rec.record(e)
 	}
-	panic("BUG: " + e.String())
+	panic(&PanicReport{Event: e})
 }
 
 // WarnOn records a non-fatal warning event if cond is true, mirroring

@@ -130,7 +130,10 @@ func (b *Batch) enqueue(s *sqe) {
 
 // Submit dispatches every SQE enqueued since the last Submit and
 // returns the batch's Ticket. Submitting on a closed engine completes
-// the SQEs immediately with ENODEV.
+// the SQEs immediately with ENODEV; a containment boundary that
+// rejects the dispatch (contained fault, quarantined engine) likewise
+// completes every SQE with its typed errno through the normal CQE
+// path, so no submitter is left blocked in Wait.
 func (b *Batch) Submit() *Ticket {
 	if len(b.pending) == 0 {
 		return b.t
@@ -138,6 +141,18 @@ func (b *Batch) Submit() *Ticket {
 	batch := b.pending
 	b.pending = nil
 	clear(b.lastWrite)
+	if box := b.e.boundary.Load(); box != nil {
+		if err := box.b.Run("submit", func() kbase.Errno {
+			b.e.batches.Add(1)
+			b.e.send(batch)
+			return kbase.EOK
+		}); err != kbase.EOK {
+			for _, s := range batch {
+				b.e.complete(s, err)
+			}
+		}
+		return b.t
+	}
 	b.e.batches.Add(1)
 	b.e.send(batch)
 	return b.t

@@ -194,6 +194,10 @@ type Engine struct {
 	smu    sync.RWMutex
 	closed bool
 
+	// boundary, when installed, wraps batch submission in a
+	// crash-containment compartment (see boundary.go).
+	boundary atomic.Pointer[boundaryBox]
+
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	reaped    atomic.Uint64

@@ -80,11 +80,42 @@ func (p *Probe) Detach() {
 	p.tp.Disable()
 }
 
+// ProbeGuard is the crash-containment hook for probe evaluation:
+// when installed, every program run crosses it, so a panic inside the
+// ebpflike machine quarantines the observability compartment (fail
+// open: the event is kept) instead of crashing the emitting kernel
+// path. Satisfied by compartment.Compartment.GuardProbe. The guard's
+// compartment must be quiet — probe evaluation happens inside
+// tracepoint emission, and a boundary that emitted tracepoints from
+// here would recurse.
+type ProbeGuard func(run func() bool) bool
+
+var probeGuard atomic.Pointer[ProbeGuard]
+
+// SetProbeGuard installs (or, with nil, removes) the containment
+// guard around ebpflike probe evaluation.
+func SetProbeGuard(g ProbeGuard) {
+	if g == nil {
+		probeGuard.Store(nil)
+		return
+	}
+	probeGuard.Store(&g)
+}
+
 // keep runs the program over the event and returns the verdict. A
 // runtime fault (register-relative out-of-bounds read, division by a
 // zero register) keeps the event and counts an error: a broken
-// observer must not hide kernel activity.
+// observer must not hide kernel activity. The same fail-open rule
+// extends to the containment guard: a contained panic or a
+// quarantined observability compartment keeps the event.
 func (p *Probe) keep(ev *Event) bool {
+	if g := probeGuard.Load(); g != nil {
+		return (*g)(func() bool { return p.run(ev) })
+	}
+	return p.run(ev)
+}
+
+func (p *Probe) run(ev *Event) bool {
 	ctx := ev.CtxBytes()
 	ret, err := p.prog.Run(ctx[:])
 	if err != kbase.EOK {

@@ -1,0 +1,69 @@
+package net
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Crash containment for the network stack.
+//
+// The host's protocol machinery — legacy TCB handling or an installed
+// StreamProto like safetcp — runs entirely inside two entry points
+// driven by the simulator: receive (inbound segment dispatch) and tick
+// (timers). Routing those through a containment boundary means a panic
+// anywhere in protocol code is recovered at the dispatch line: the
+// compartment quarantines, subsequent packets are dropped (counted in
+// HostStats.Contained) instead of crashing the kernel, and the
+// supervisor rebuilds the stack with ResetStreams + a fresh protocol
+// attach.
+//
+// Socket-level calls (Send/Recv/Accept) are NOT individually guarded:
+// a caller that wants containment for a whole client interaction wraps
+// it in one boundary entry (see safelinux.Kernel.StreamRoundTrip),
+// which also makes hot-swap drains align with interaction boundaries —
+// a drain never lands between a connect and its close.
+
+// Boundary is the containment hook, satisfied by
+// *compartment.Compartment (structural typing keeps this package free
+// of a safety-layer import).
+type Boundary interface {
+	Run(op string, fn func() kbase.Errno) kbase.Errno
+}
+
+type boundaryBox struct{ b Boundary }
+
+// SetBoundary installs (or, with nil, removes) the containment
+// boundary around the host's packet and timer dispatch.
+func (h *Host) SetBoundary(b Boundary) {
+	if b == nil {
+		h.boundary.Store(nil)
+		return
+	}
+	h.boundary.Store(&boundaryBox{b: b})
+}
+
+// guardRx wraps one dispatch through the boundary. A contained fault
+// or a quarantined compartment surfaces as a dropped packet/tick,
+// counted in stats.Contained.
+func (h *Host) guardRx(op string, fn func()) {
+	box := h.boundary.Load()
+	if box == nil {
+		fn()
+		return
+	}
+	if err := box.b.Run(op, func() kbase.Errno { fn(); return kbase.EOK }); err != kbase.EOK {
+		h.stats.Contained++
+	}
+}
+
+// ResetStreams tears the protocol state down to a clean slate: every
+// TCP connection, listener and pending handshake is discarded and any
+// modular stream protocol is uninstalled (UDP sockets survive — they
+// hold no protocol state machine). The containment supervisor calls
+// this while the boundary is drained, then re-attaches the protocol
+// the registry currently binds. Existing sockets turn dead: their
+// operations fail as the crash semantics of the stack that died.
+func (h *Host) ResetStreams() {
+	h.conns = make(map[uint16]map[connKey]*Socket)
+	h.listeners = make(map[uint16]*Socket)
+	h.streamProto = nil
+}

@@ -2,6 +2,7 @@ package net
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
 )
@@ -65,6 +66,10 @@ type Host struct {
 	// filter, when installed, screens every inbound packet.
 	filter PacketFilter
 
+	// boundary, when installed, wraps packet and timer dispatch in a
+	// crash-containment compartment (see boundary.go).
+	boundary atomic.Pointer[boundaryBox]
+
 	// Oops attribution.
 	stats HostStats
 }
@@ -76,6 +81,7 @@ type HostStats struct {
 	NoSocket  uint64
 	Filtered  uint64
 	TxErrors  uint64 // transmits the link refused (no route, partition)
+	Contained uint64 // dispatches dropped by the containment boundary
 }
 
 func newHost(s *Sim, addr Addr) *Host {
@@ -176,8 +182,14 @@ func (h *Host) promote(child *Socket) {
 	}
 }
 
-// receive dispatches one inbound packet.
+// receive dispatches one inbound packet through the containment
+// boundary (when installed): a panic in protocol code drops the
+// packet and quarantines the stack instead of crashing the kernel.
 func (h *Host) receive(pkt Packet) {
+	h.guardRx("rx", func() { h.doReceive(pkt) })
+}
+
+func (h *Host) doReceive(pkt Packet) {
 	h.stats.Received++
 	if h.filter != nil && !h.filter(pkt) {
 		h.stats.Filtered++
@@ -279,6 +291,10 @@ func (h *Host) dispatchUDP(src Addr, dg udpDatagram) {
 // table so their ports can be reused and the table cannot grow
 // without bound under churn.
 func (h *Host) tick(now uint64) {
+	h.guardRx("tick", func() { h.doTick(now) })
+}
+
+func (h *Host) doTick(now uint64) {
 	if h.streamProto != nil {
 		h.streamProto.Tick(now)
 	}

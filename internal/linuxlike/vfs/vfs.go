@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
 	"safelinux/internal/linuxlike/ktrace"
@@ -31,6 +32,11 @@ const (
 type File struct {
 	Inode *Inode
 	Flags int
+
+	// path is the canonical path the descriptor was opened by; the
+	// hot-swap migration uses it to re-point the descriptor at the
+	// file's copy on the new file system (RemapDescriptors).
+	path string
 
 	mu  sync.Mutex
 	pos int64
@@ -79,6 +85,10 @@ type VFS struct {
 	clock   *kbase.Clock
 
 	detector BoundaryDetector
+
+	// boundary, when installed, wraps every public operation in a
+	// crash-containment compartment (see boundary.go).
+	boundary atomic.Pointer[boundaryBox]
 }
 
 // InstrumentBoundaries installs a type-confusion detector on the
@@ -139,9 +149,9 @@ func CleanPath(p string) string {
 	return "/" + strings.Join(stack, "/")
 }
 
-// Mount mounts fstype at path with fs-specific data. Path must be "/"
+// doMount mounts fstype at path with fs-specific data. Path must be "/"
 // or an existing directory on an already-mounted file system.
-func (v *VFS) Mount(task *kbase.Task, path, fstype string, data any) kbase.Errno {
+func (v *VFS) doMount(task *kbase.Task, path, fstype string, data any) kbase.Errno {
 	path = CleanPath(path)
 	if path == "" {
 		return kbase.EINVAL
@@ -153,7 +163,7 @@ func (v *VFS) Mount(task *kbase.Task, path, fstype string, data any) kbase.Errno
 		return kbase.ENODEV
 	}
 	if path != "/" {
-		ino, err := v.Resolve(task, path)
+		ino, err := v.doResolve(task, path)
 		if err != kbase.EOK {
 			return err
 		}
@@ -183,8 +193,8 @@ func (v *VFS) Mount(task *kbase.Task, path, fstype string, data any) kbase.Errno
 	return kbase.EOK
 }
 
-// Unmount detaches the file system at path.
-func (v *VFS) Unmount(task *kbase.Task, path string) kbase.Errno {
+// doUnmount detaches the file system at path.
+func (v *VFS) doUnmount(task *kbase.Task, path string) kbase.Errno {
 	path = CleanPath(path)
 	v.mu.Lock()
 	idx := -1
@@ -235,8 +245,8 @@ func (v *VFS) mountFor(path string) (*SuperBlock, string, kbase.Errno) {
 	return nil, "", kbase.ENOENT
 }
 
-// Resolve walks path to an inode.
-func (v *VFS) Resolve(task *kbase.Task, path string) (*Inode, kbase.Errno) {
+// doResolve walks path to an inode.
+func (v *VFS) doResolve(task *kbase.Task, path string) (*Inode, kbase.Errno) {
 	ino, _, _, err := v.resolveParent(task, path, false)
 	return ino, err
 }
@@ -326,10 +336,10 @@ func (v *VFS) CollectMetrics(emit func(name string, value uint64)) {
 	emit("open_files", uint64(v.OpenFiles()))
 }
 
-// Open opens path, honoring OCreate/OExcl/OTrunc, and returns a file
+// doOpen opens path, honoring OCreate/OExcl/OTrunc, and returns a file
 // descriptor.
-func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) {
-	ino, err := v.Resolve(task, path)
+func (v *VFS) doOpen(task *kbase.Task, path string, flags int) (int, kbase.Errno) {
+	ino, err := v.doResolve(task, path)
 	switch {
 	case err == kbase.ENOENT && flags&OCreate != 0:
 		_, parent, name, perr := v.resolveParent(task, path, true)
@@ -350,7 +360,7 @@ func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) 
 	if ino.Mode.IsDir() && flags&accessMask != ORdOnly {
 		return -1, kbase.EISDIR
 	}
-	f := &File{Inode: ino, Flags: flags}
+	f := &File{Inode: ino, Flags: flags, path: CleanPath(path)}
 	if flags&OTrunc != 0 && f.writable() && ino.Mode.IsRegular() {
 		if err := ino.FileOps.Truncate(task, ino, 0); err != kbase.EOK {
 			return -1, err
@@ -364,8 +374,8 @@ func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) 
 	return fd, kbase.EOK
 }
 
-// Close closes a descriptor.
-func (v *VFS) Close(fd int) kbase.Errno {
+// doClose closes a descriptor.
+func (v *VFS) doClose(fd int) kbase.Errno {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if _, ok := v.files[fd]; !ok {
@@ -393,8 +403,8 @@ func (v *VFS) OpenFiles() int {
 	return len(v.files)
 }
 
-// Read reads from the file position.
-func (v *VFS) Read(task *kbase.Task, fd int, buf []byte) (int, kbase.Errno) {
+// doRead reads from the file position.
+func (v *VFS) doRead(task *kbase.Task, fd int, buf []byte) (int, kbase.Errno) {
 	f, err := v.file(fd)
 	if err != kbase.EOK {
 		return 0, err
@@ -409,8 +419,8 @@ func (v *VFS) Read(task *kbase.Task, fd int, buf []byte) (int, kbase.Errno) {
 	return n, e
 }
 
-// Pread reads at an explicit offset without moving the position.
-func (v *VFS) Pread(task *kbase.Task, fd int, buf []byte, off int64) (int, kbase.Errno) {
+// doPread reads at an explicit offset without moving the position.
+func (v *VFS) doPread(task *kbase.Task, fd int, buf []byte, off int64) (int, kbase.Errno) {
 	f, err := v.file(fd)
 	if err != kbase.EOK {
 		return 0, err
@@ -424,10 +434,10 @@ func (v *VFS) Pread(task *kbase.Task, fd int, buf []byte, off int64) (int, kbase
 	return f.Inode.FileOps.Read(task, f.Inode, buf, off)
 }
 
-// Write writes at the file position (or end, with OAppend) using the
+// doWrite writes at the file position (or end, with OAppend) using the
 // legacy write_begin / write_copy / write_end protocol — the VFS
 // ferries the file system's untyped private state between the calls.
-func (v *VFS) Write(task *kbase.Task, fd int, data []byte) (int, kbase.Errno) {
+func (v *VFS) doWrite(task *kbase.Task, fd int, data []byte) (int, kbase.Errno) {
 	f, err := v.file(fd)
 	if err != kbase.EOK {
 		return 0, err
@@ -447,8 +457,8 @@ func (v *VFS) Write(task *kbase.Task, fd int, data []byte) (int, kbase.Errno) {
 	return n, e
 }
 
-// Pwrite writes at an explicit offset.
-func (v *VFS) Pwrite(task *kbase.Task, fd int, data []byte, off int64) (int, kbase.Errno) {
+// doPwrite writes at an explicit offset.
+func (v *VFS) doPwrite(task *kbase.Task, fd int, data []byte, off int64) (int, kbase.Errno) {
 	f, err := v.file(fd)
 	if err != kbase.EOK {
 		return 0, err
@@ -492,8 +502,8 @@ const (
 	SeekEnd = 2
 )
 
-// Lseek repositions the file offset.
-func (v *VFS) Lseek(task *kbase.Task, fd int, off int64, whence int) (int64, kbase.Errno) {
+// doLseek repositions the file offset.
+func (v *VFS) doLseek(task *kbase.Task, fd int, off int64, whence int) (int64, kbase.Errno) {
 	f, err := v.file(fd)
 	if err != kbase.EOK {
 		return 0, err
@@ -519,8 +529,8 @@ func (v *VFS) Lseek(task *kbase.Task, fd int, off int64, whence int) (int64, kba
 	return np, kbase.EOK
 }
 
-// Fsync flushes one file.
-func (v *VFS) Fsync(task *kbase.Task, fd int) kbase.Errno {
+// doFsync flushes one file.
+func (v *VFS) doFsync(task *kbase.Task, fd int) kbase.Errno {
 	f, err := v.file(fd)
 	if err != kbase.EOK {
 		return err
@@ -528,12 +538,12 @@ func (v *VFS) Fsync(task *kbase.Task, fd int) kbase.Errno {
 	return f.Inode.FileOps.Fsync(task, f.Inode)
 }
 
-// Truncate sets a file's size by path.
-func (v *VFS) Truncate(task *kbase.Task, path string, size int64) kbase.Errno {
+// doTruncate sets a file's size by path.
+func (v *VFS) doTruncate(task *kbase.Task, path string, size int64) kbase.Errno {
 	if size < 0 {
 		return kbase.EINVAL
 	}
-	ino, err := v.Resolve(task, path)
+	ino, err := v.doResolve(task, path)
 	if err != kbase.EOK {
 		return err
 	}
@@ -543,9 +553,9 @@ func (v *VFS) Truncate(task *kbase.Task, path string, size int64) kbase.Errno {
 	return ino.FileOps.Truncate(task, ino, size)
 }
 
-// Stat returns metadata for path.
-func (v *VFS) Stat(task *kbase.Task, path string) (Stat, kbase.Errno) {
-	ino, err := v.Resolve(task, path)
+// doStat returns metadata for path.
+func (v *VFS) doStat(task *kbase.Task, path string) (Stat, kbase.Errno) {
+	ino, err := v.doResolve(task, path)
 	if err != kbase.EOK {
 		return Stat{}, err
 	}
@@ -559,8 +569,8 @@ func (v *VFS) Stat(task *kbase.Task, path string) (Stat, kbase.Errno) {
 	}, kbase.EOK
 }
 
-// Mkdir creates a directory.
-func (v *VFS) Mkdir(task *kbase.Task, path string) kbase.Errno {
+// doMkdir creates a directory.
+func (v *VFS) doMkdir(task *kbase.Task, path string) kbase.Errno {
 	_, parent, name, err := v.resolveParent(task, path, true)
 	if err != kbase.EOK {
 		return err
@@ -575,8 +585,8 @@ func (v *VFS) Mkdir(task *kbase.Task, path string) kbase.Errno {
 	return kbase.EOK
 }
 
-// Rmdir removes an empty directory.
-func (v *VFS) Rmdir(task *kbase.Task, path string) kbase.Errno {
+// doRmdir removes an empty directory.
+func (v *VFS) doRmdir(task *kbase.Task, path string) kbase.Errno {
 	_, parent, name, err := v.resolveParent(task, path, true)
 	if err != kbase.EOK {
 		return err
@@ -588,8 +598,8 @@ func (v *VFS) Rmdir(task *kbase.Task, path string) kbase.Errno {
 	return kbase.EOK
 }
 
-// Unlink removes a file.
-func (v *VFS) Unlink(task *kbase.Task, path string) kbase.Errno {
+// doUnlink removes a file.
+func (v *VFS) doUnlink(task *kbase.Task, path string) kbase.Errno {
 	_, parent, name, err := v.resolveParent(task, path, true)
 	if err != kbase.EOK {
 		return err
@@ -601,8 +611,8 @@ func (v *VFS) Unlink(task *kbase.Task, path string) kbase.Errno {
 	return kbase.EOK
 }
 
-// Rename moves oldPath to newPath. Cross-mount renames return EXDEV.
-func (v *VFS) Rename(task *kbase.Task, oldPath, newPath string) kbase.Errno {
+// doRename moves oldPath to newPath. Cross-mount renames return EXDEV.
+func (v *VFS) doRename(task *kbase.Task, oldPath, newPath string) kbase.Errno {
 	_, oldParent, oldName, err := v.resolveParent(task, oldPath, true)
 	if err != kbase.EOK {
 		return err
@@ -626,9 +636,9 @@ func (v *VFS) Rename(task *kbase.Task, oldPath, newPath string) kbase.Errno {
 	return kbase.EOK
 }
 
-// ReadDir lists a directory.
-func (v *VFS) ReadDir(task *kbase.Task, path string) ([]DirEntry, kbase.Errno) {
-	ino, err := v.Resolve(task, path)
+// doReadDir lists a directory.
+func (v *VFS) doReadDir(task *kbase.Task, path string) ([]DirEntry, kbase.Errno) {
+	ino, err := v.doResolve(task, path)
 	if err != kbase.EOK {
 		return nil, err
 	}
@@ -643,9 +653,9 @@ func (v *VFS) ReadDir(task *kbase.Task, path string) ([]DirEntry, kbase.Errno) {
 	return ents, kbase.EOK
 }
 
-// Statfs reports usage of the file system owning path.
-func (v *VFS) Statfs(task *kbase.Task, path string) (StatFS, kbase.Errno) {
-	ino, err := v.Resolve(task, path)
+// doStatfs reports usage of the file system owning path.
+func (v *VFS) doStatfs(task *kbase.Task, path string) (StatFS, kbase.Errno) {
+	ino, err := v.doResolve(task, path)
 	if err != kbase.EOK {
 		return StatFS{}, err
 	}
@@ -655,8 +665,8 @@ func (v *VFS) Statfs(task *kbase.Task, path string) (StatFS, kbase.Errno) {
 	return ino.Sb.Ops.Statfs(task)
 }
 
-// SyncAll flushes every mounted file system.
-func (v *VFS) SyncAll(task *kbase.Task) kbase.Errno {
+// doSyncAll flushes every mounted file system.
+func (v *VFS) doSyncAll(task *kbase.Task) kbase.Errno {
 	v.mu.Lock()
 	sbs := make([]*SuperBlock, 0, len(v.mounts))
 	for _, m := range v.mounts {

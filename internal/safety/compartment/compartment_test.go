@@ -1,0 +1,541 @@
+package compartment
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+func TestDoPassesThroughErrno(t *testing.T) {
+	c := New("fs")
+	task := kbase.NewTask()
+	if err := c.Do(task, "ok", func() kbase.Errno { return kbase.EOK }); err != kbase.EOK {
+		t.Fatalf("Do = %v, want EOK", err)
+	}
+	if err := c.Do(task, "noent", func() kbase.Errno { return kbase.ENOENT }); err != kbase.ENOENT {
+		t.Fatalf("Do = %v, want ENOENT (subsystem errnos pass through)", err)
+	}
+	if c.State() != Healthy {
+		t.Fatalf("state = %v after clean calls, want Healthy", c.State())
+	}
+}
+
+func TestPanicContainedAsEFAULT(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("fs")
+	err := c.Do(kbase.NewTask(), "boom", func() kbase.Errno {
+		panic("wild pointer")
+	})
+	if err != kbase.EFAULT {
+		t.Fatalf("contained panic: Do = %v, want EFAULT", err)
+	}
+	if c.State() != Quarantined {
+		t.Fatalf("state = %v after fault, want Quarantined", c.State())
+	}
+	f := c.LastFault()
+	if f == nil || !strings.Contains(f.Panic, "wild pointer") {
+		t.Fatalf("LastFault = %+v, want panic message retained", f)
+	}
+}
+
+func TestQuarantinedCallsFailFastWithoutBlocking(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("net")
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+
+	done := make(chan kbase.Errno, 1)
+	go func() {
+		done <- c.Do(kbase.NewTask(), "after", func() kbase.Errno { return kbase.EOK })
+	}()
+	select {
+	case err := <-done:
+		if err != kbase.ESHUTDOWN {
+			t.Fatalf("quarantined Do = %v, want ESHUTDOWN", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("call into quarantined compartment blocked; want fail-fast")
+	}
+}
+
+func TestExecReturnsZeroValueOnContainment(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("fs")
+	task := kbase.NewTask()
+	v, err := Exec(c, task, "read", func() (int, kbase.Errno) { return 42, kbase.EOK })
+	if v != 42 || err != kbase.EOK {
+		t.Fatalf("Exec = (%d, %v), want (42, EOK)", v, err)
+	}
+	v, err = Exec(c, task, "read", func() (int, kbase.Errno) { panic("die") })
+	if v != 0 || err != kbase.EFAULT {
+		t.Fatalf("Exec after panic = (%d, %v), want (0, EFAULT)", v, err)
+	}
+}
+
+// TestOopsReportedExactlyOnce is the satellite-2 layering check: a raw
+// panic recovered at the boundary reports one oops; a *kbase.PanicReport
+// (thrown by kbase.BUG, which already ran the oops machinery) reports
+// none at the boundary — one total, no double-count.
+func TestOopsReportedExactlyOnce(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+
+	// Raw panic: boundary must report it.
+	c := New("fs")
+	c.Do(kbase.NewTask(), "raw", func() kbase.Errno { panic("raw panic") })
+	if got := rec.Count(""); got != 1 {
+		t.Fatalf("raw panic: %d oops events recorded, want exactly 1", got)
+	}
+	if f := c.LastFault(); f.Reported {
+		t.Fatalf("raw panic marked Reported; boundary was the reporter")
+	}
+
+	// BUG panic: kbase already recorded it; boundary must not re-report.
+	rec.Reset()
+	c2 := New("net")
+	c2.Do(kbase.NewTask(), "bug", func() kbase.Errno {
+		kbase.BUG("tcb", "refcount underflow")
+		return kbase.EOK
+	})
+	if got := rec.Count(""); got != 1 {
+		t.Fatalf("BUG panic: %d oops events recorded, want exactly 1 (no boundary double-report)", got)
+	}
+	lf := c2.LastFault()
+	if !lf.Reported {
+		t.Fatalf("BUG panic not marked Reported; boundary would double-report")
+	}
+	if !strings.Contains(lf.Panic, "refcount underflow") {
+		t.Fatalf("fault lost the BUG message: %+v", lf)
+	}
+}
+
+// TestOopsOnceWithFlightRecorder asserts the kernel:oops tracepoint
+// fires exactly once per contained fault even with the full flight
+// recorder installed — the integration the satellite names.
+func TestOopsOnceWithFlightRecorder(t *testing.T) {
+	rec := &kbase.OopsRecorder{}
+	prev := kbase.InstallRecorder(rec)
+	defer kbase.InstallRecorder(prev)
+	ktrace.EnableFlightRecorder(0)
+	defer ktrace.DisableFlightRecorder()
+
+	tpOops := ktrace.Lookup("kernel:oops")
+	if tpOops == nil {
+		t.Fatal("kernel:oops tracepoint not declared")
+	}
+	before := tpOops.Hits()
+
+	c := New("fs")
+	c.Do(kbase.NewTask(), "bug", func() kbase.Errno {
+		kbase.BUG("extlike", "bad inode")
+		return kbase.EOK
+	})
+	if got := tpOops.Hits() - before; got != 1 {
+		t.Fatalf("kernel:oops emitted %d times for one contained BUG, want 1", got)
+	}
+	evs := rec.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d oops events, want 1", len(evs))
+	}
+	if len(evs[0].Trace) == 0 {
+		t.Fatalf("oops event missing flight-recorder snapshot")
+	}
+
+	before = tpOops.Hits()
+	c2 := New("net")
+	c2.Do(kbase.NewTask(), "raw", func() kbase.Errno { panic("raw") })
+	if got := tpOops.Hits() - before; got != 1 {
+		t.Fatalf("kernel:oops emitted %d times for one contained raw panic, want 1", got)
+	}
+}
+
+func TestContainmentWithoutRecorderStillContains(t *testing.T) {
+	// No recorder installed: the boundary must not call Oops (which
+	// would panic) — containment still converts the fault to EFAULT.
+	prev := kbase.InstallRecorder(nil)
+	defer kbase.InstallRecorder(prev)
+
+	c := New("fs")
+	err := c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	if err != kbase.EFAULT {
+		t.Fatalf("Do = %v, want EFAULT even with no recorder", err)
+	}
+	if c.State() != Quarantined {
+		t.Fatalf("state = %v, want Quarantined", c.State())
+	}
+}
+
+func TestPoisonEnumerationAtFault(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("fs")
+	c.SetPoisonFn(func() []string { return []string{"safefs:/a", "safefs:/b"} })
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	f := c.LastFault()
+	if len(f.Poisoned) != 2 || f.Poisoned[0] != "safefs:/a" {
+		t.Fatalf("Poisoned = %v, want the enumerated labels", f.Poisoned)
+	}
+}
+
+func TestInjectPanicCountdown(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("buf")
+	c.InjectPanic(3)
+	task := kbase.NewTask()
+	ok := func() kbase.Errno { return kbase.EOK }
+	if err := c.Do(task, "1", ok); err != kbase.EOK {
+		t.Fatalf("entry 1 = %v", err)
+	}
+	if err := c.Do(task, "2", ok); err != kbase.EOK {
+		t.Fatalf("entry 2 = %v", err)
+	}
+	if err := c.Do(task, "3", ok); err != kbase.EFAULT {
+		t.Fatalf("entry 3 = %v, want EFAULT (injected)", err)
+	}
+	if c.State() != Quarantined {
+		t.Fatalf("state = %v, want Quarantined", c.State())
+	}
+}
+
+func TestSupervisorBypassesGate(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("fs")
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	// Quarantined for normal tasks, open for the supervisor.
+	sup := kbase.NewSupervisorTask()
+	if err := c.Do(sup, "rebuild", func() kbase.Errno { return kbase.EOK }); err != kbase.EOK {
+		t.Fatalf("supervisor Do on quarantined compartment = %v, want EOK", err)
+	}
+}
+
+func TestDrainBlocksEntriesAndReleases(t *testing.T) {
+	c := New("fs")
+	task := kbase.NewTask()
+
+	// Occupy the compartment with a slow call.
+	inside := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		c.Do(task, "slow", func() kbase.Errno {
+			close(inside)
+			<-release
+			return kbase.EOK
+		})
+	}()
+	<-inside
+
+	// Drain from another goroutine; it must wait for the slow call.
+	drained := make(chan kbase.Errno, 1)
+	go func() { drained <- c.BeginDrain(Draining) }()
+
+	// Give the drainer time to close the gate, then verify a new entry
+	// queues rather than failing.
+	for c.State() != Draining {
+		time.Sleep(time.Millisecond)
+	}
+	queued := make(chan kbase.Errno, 1)
+	go func() {
+		queued <- c.Do(kbase.NewTask(), "queued", func() kbase.Errno { return kbase.EOK })
+	}()
+	select {
+	case err := <-queued:
+		t.Fatalf("entry during drain returned %v; want it to queue", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release) // retire the in-flight call
+	if err := <-drained; err != kbase.EOK {
+		t.Fatalf("BeginDrain = %v, want EOK", err)
+	}
+	if got := c.Inflight(); got != 0 {
+		t.Fatalf("Inflight after drain = %d, want 0", got)
+	}
+
+	epochBefore := c.Epoch()
+	c.EndDrain("swap", time.Millisecond)
+	if err := <-queued; err != kbase.EOK {
+		t.Fatalf("queued entry after EndDrain = %v, want EOK (zero dropped ops)", err)
+	}
+	if c.Epoch() != epochBefore+1 {
+		t.Fatalf("epoch = %d, want %d", c.Epoch(), epochBefore+1)
+	}
+}
+
+func TestBeginDrainTimesOutEBUSY(t *testing.T) {
+	// Not worth 5s in the suite: simulate by holding an entry open and
+	// checking concurrent drain refusal instead (state-based EBUSY).
+	c := New("fs")
+	if err := c.BeginDrain(Draining); err != kbase.EOK {
+		t.Fatalf("first BeginDrain = %v", err)
+	}
+	if err := c.BeginDrain(Draining); err != kbase.EBUSY {
+		t.Fatalf("concurrent BeginDrain = %v, want EBUSY", err)
+	}
+	c.EndDrain("swap", 0)
+}
+
+func TestPlaneAutoRestart(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	var rebuilt atomic.Int64
+	p := NewPlane()
+	c := p.Add("fs", Options{
+		Restart: func(task *kbase.Task) kbase.Errno {
+			if !task.Supervisor() {
+				t.Error("restart hook not on a supervisor task")
+			}
+			rebuilt.Add(1)
+			return kbase.EOK
+		},
+	})
+
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	p.Settle()
+	if !p.WaitHealthy("fs", 2*time.Second) {
+		t.Fatalf("compartment did not return to Healthy; state=%v", c.State())
+	}
+	if rebuilt.Load() != 1 {
+		t.Fatalf("restart hook ran %d times, want 1", rebuilt.Load())
+	}
+	if err := c.Do(kbase.NewTask(), "after", func() kbase.Errno { return kbase.EOK }); err != kbase.EOK {
+		t.Fatalf("Do after restart = %v, want EOK", err)
+	}
+	if got := len(p.Faults()); got != 1 {
+		t.Fatalf("fault log has %d entries, want 1", got)
+	}
+}
+
+func TestManualRestartClearsQuarantine(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	p := NewPlane()
+	p.SetAutoRestart(false)
+	c := p.Add("net", Options{
+		Restart: func(task *kbase.Task) kbase.Errno { return kbase.EOK },
+	})
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	if c.State() != Quarantined {
+		t.Fatalf("state = %v, want Quarantined (auto-restart off)", c.State())
+	}
+	if err := c.Do(kbase.NewTask(), "q", func() kbase.Errno { return kbase.EOK }); err != kbase.ESHUTDOWN {
+		t.Fatalf("quarantined Do = %v, want ESHUTDOWN", err)
+	}
+	if err := p.Restart("net"); err != kbase.EOK {
+		t.Fatalf("Restart = %v", err)
+	}
+	if err := c.Do(kbase.NewTask(), "after", func() kbase.Errno { return kbase.EOK }); err != kbase.EOK {
+		t.Fatalf("Do after manual restart = %v, want EOK", err)
+	}
+}
+
+func TestFailedRestartStaysQuarantined(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	p := NewPlane()
+	p.SetAutoRestart(false)
+	fail := true
+	c := p.Add("fs", Options{
+		Restart: func(task *kbase.Task) kbase.Errno {
+			if fail {
+				return kbase.EIO
+			}
+			return kbase.EOK
+		},
+	})
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	if err := p.Restart("fs"); err != kbase.EIO {
+		t.Fatalf("failed Restart = %v, want EIO", err)
+	}
+	if c.State() != Quarantined {
+		t.Fatalf("state after failed restart = %v, want Quarantined", c.State())
+	}
+	fail = false
+	if err := p.Restart("fs"); err != kbase.EOK {
+		t.Fatalf("second Restart = %v", err)
+	}
+	if c.State() != Healthy {
+		t.Fatalf("state = %v, want Healthy", c.State())
+	}
+}
+
+// TestConcurrentTrafficDuringFaultAndRestart hammers the boundary from
+// many goroutines while faults and restarts cycle — the -race exercise
+// for the gate.
+func TestConcurrentTrafficDuringFaultAndRestart(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	p := NewPlane()
+	c := p.Add("fs", Options{
+		Restart: func(task *kbase.Task) kbase.Errno { return kbase.EOK },
+	})
+
+	const workers = 8
+	const opsPerWorker = 200
+	var wg sync.WaitGroup
+	var ok, shutdown, fault atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			task := kbase.NewTask()
+			for i := 0; i < opsPerWorker; i++ {
+				err := c.Do(task, "op", func() kbase.Errno { return kbase.EOK })
+				switch err {
+				case kbase.EOK:
+					ok.Add(1)
+				case kbase.ESHUTDOWN:
+					shutdown.Add(1)
+				case kbase.EFAULT:
+					fault.Add(1)
+				default:
+					t.Errorf("unexpected errno %v", err)
+				}
+			}
+		}(w)
+	}
+	// Fire a few injected faults while traffic flows.
+	for k := 0; k < 5; k++ {
+		time.Sleep(2 * time.Millisecond)
+		c.InjectPanic(1)
+	}
+	wg.Wait()
+	p.Settle()
+	if !p.WaitHealthy("fs", 5*time.Second) {
+		t.Fatalf("plane did not converge to Healthy; state=%v", c.State())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no operation succeeded under fault storm")
+	}
+	t.Logf("ok=%d shutdown=%d fault=%d faultsLogged=%d",
+		ok.Load(), shutdown.Load(), fault.Load(), len(p.Faults()))
+}
+
+// TestSwapUnderConcurrentLoadZeroDrops is the drain-protocol property
+// the bench enforces: every operation issued around a drain completes
+// with EOK — queued, never dropped.
+func TestSwapUnderConcurrentLoadZeroDrops(t *testing.T) {
+	c := New("fs")
+	const workers = 8
+	const opsPerWorker = 300
+	var wg sync.WaitGroup
+	var failed atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task := kbase.NewTask()
+			for i := 0; i < opsPerWorker; i++ {
+				if err := c.Do(task, "op", func() kbase.Errno { return kbase.EOK }); err != kbase.EOK {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	for s := 0; s < 3; s++ {
+		time.Sleep(time.Millisecond)
+		start := time.Now()
+		if err := c.BeginDrain(Draining); err != kbase.EOK {
+			t.Fatalf("swap %d: BeginDrain = %v", s, err)
+		}
+		if got := c.Inflight(); got != 0 {
+			t.Fatalf("swap %d: inflight = %d during drained window", s, got)
+		}
+		c.EndDrain("swap", time.Since(start))
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d operations failed across 3 swaps, want 0", failed.Load())
+	}
+	if got := c.Epoch(); got != 3 {
+		t.Fatalf("epoch = %d after 3 swaps, want 3", got)
+	}
+}
+
+func TestGuardProbeFailsOpen(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	c := New("ebpf")
+	c.SetQuiet(true)
+	if keep := c.GuardProbe(func() bool { return false }); keep {
+		t.Fatal("GuardProbe ignored the program verdict")
+	}
+	if keep := c.GuardProbe(func() bool { panic("bad program") }); !keep {
+		t.Fatal("GuardProbe did not fail open on contained panic")
+	}
+	if c.State() != Quarantined {
+		t.Fatalf("state = %v, want Quarantined", c.State())
+	}
+	// Quarantined: fail open without running the program.
+	ran := false
+	if keep := c.GuardProbe(func() bool { ran = true; return false }); !keep || ran {
+		t.Fatalf("quarantined GuardProbe keep=%v ran=%v, want fail-open without running", keep, ran)
+	}
+}
+
+func TestMetricsCollection(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	p := NewPlane()
+	p.SetAutoRestart(false)
+	c := p.Add("fs", Options{Restart: func(task *kbase.Task) kbase.Errno { return kbase.EOK }})
+	m := ktrace.NewMetrics()
+	p.RegisterMetrics(m)
+
+	c.Do(kbase.NewTask(), "ok", func() kbase.Errno { return kbase.EOK })
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	c.Do(kbase.NewTask(), "rejected", func() kbase.Errno { return kbase.EOK })
+
+	for _, want := range []struct {
+		name string
+		val  uint64
+	}{
+		{"entered", 2}, {"rejected", 1}, {"faults", 1},
+		{"state", uint64(Quarantined)},
+	} {
+		got, ok := m.Lookup("compartment_fs", want.name)
+		if !ok || got != want.val {
+			t.Errorf("compartment_fs/%s = %d (ok=%v), want %d", want.name, got, ok, want.val)
+		}
+	}
+	if got, ok := m.Lookup("compartment", "faults_logged"); !ok || got != 1 {
+		t.Errorf("compartment/faults_logged = %d (ok=%v), want 1", got, ok)
+	}
+}
+
+func TestEnterTracepointCarriesEpoch(t *testing.T) {
+	tpEnter.Enable()
+	defer tpEnter.Disable()
+	c := New("tp-test")
+	before := tpEnter.Hits()
+	c.Do(kbase.NewTask(), "op", func() kbase.Errno { return kbase.EOK })
+	if tpEnter.Hits() != before+1 {
+		t.Fatalf("enter tracepoint did not fire")
+	}
+	c.SetQuiet(true)
+	c.Do(kbase.NewTask(), "op", func() kbase.Errno { return kbase.EOK })
+	if tpEnter.Hits() != before+1 {
+		t.Fatalf("quiet compartment emitted enter tracepoint")
+	}
+}

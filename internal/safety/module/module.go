@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
 )
@@ -97,21 +98,39 @@ type Event struct {
 	Detail string
 }
 
-// binding is the active implementation of one interface.
+// modBox wraps a Module so the active implementation can live behind
+// an atomic pointer (atomic.Pointer needs a concrete element type, and
+// Module is an interface).
+type modBox struct{ m Module }
+
+// binding is the active implementation of one interface. The iface
+// descriptor is immutable after creation; the module pointer and the
+// access counter are atomic so Lookup — the hot path every
+// cross-compartment call resolves through — never takes the registry
+// write lock and never blocks behind an in-progress Swap.
 type binding struct {
-	iface  Interface
-	module Module
+	iface Interface
+	mod   atomic.Pointer[modBox]
 	// accesses counts Lookup calls, the modularity-discipline signal.
-	accesses uint64
+	accesses atomic.Uint64
 }
 
 // Registry is the kernel's interface switchboard.
+//
+// Locking: mu guards the map *structure* (Declare/Bind/Unbind mutate
+// it; Lookup holds it only in read mode long enough to find the
+// binding). The binding payload is swapped with an atomic CAS, so a
+// hot-swap under load serializes against concurrent Swaps without
+// ever making a concurrent Lookup wait. The audit trail has its own
+// lock because Swap appends to it without holding mu in write mode.
 type Registry struct {
 	mu       sync.RWMutex
 	declared map[string]Interface
 	bindings map[string]*binding
-	trail    []Event
-	seq      uint64
+
+	trailMu sync.Mutex
+	trail   []Event
+	seq     uint64
 }
 
 // NewRegistry creates an empty registry.
@@ -123,6 +142,8 @@ func NewRegistry() *Registry {
 }
 
 func (r *Registry) record(kind, iface, module, detail string) {
+	r.trailMu.Lock()
+	defer r.trailMu.Unlock()
 	r.seq++
 	r.trail = append(r.trail, Event{
 		Seq: r.seq, Kind: kind, Iface: iface, Module: module, Detail: detail,
@@ -164,7 +185,9 @@ func (r *Registry) Bind(m Module) kbase.Errno {
 	if _, bound := r.bindings[iface.Name]; bound {
 		return kbase.EBUSY
 	}
-	r.bindings[iface.Name] = &binding{iface: decl, module: m}
+	b := &binding{iface: decl}
+	b.mod.Store(&modBox{m: m})
+	r.bindings[iface.Name] = b
 	r.record("bind", iface.Name, m.ModuleName(), m.Level().String())
 	return kbase.EOK
 }
@@ -180,26 +203,37 @@ type SwapPolicy struct {
 // replacement must implement the same interface version and must not
 // regress the safety level unless the policy allows it. It returns
 // the displaced module.
+//
+// Swap holds mu only in read mode: the binding's module pointer is
+// replaced with a CAS loop, so concurrent Lookups proceed unblocked
+// and racing Swaps serialize against each other through the CAS (each
+// retry re-checks the regression rule against the then-current
+// module).
 func (r *Registry) Swap(m Module, policy SwapPolicy) (Module, kbase.Errno) {
 	iface := m.Implements()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	b, ok := r.bindings[iface.Name]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, kbase.ENOENT
 	}
 	if b.iface.Version != iface.Version {
 		return nil, kbase.EPROTO
 	}
-	if m.Level() < b.module.Level() && !policy.AllowRegression {
-		return nil, kbase.EPERM
+	newBox := &modBox{m: m}
+	for {
+		oldBox := b.mod.Load()
+		if m.Level() < oldBox.m.Level() && !policy.AllowRegression {
+			return nil, kbase.EPERM
+		}
+		if b.mod.CompareAndSwap(oldBox, newBox) {
+			old := oldBox.m
+			r.record("swap", iface.Name, m.ModuleName(),
+				fmt.Sprintf("%s->%s (%s->%s)", old.ModuleName(), m.ModuleName(),
+					old.Level(), m.Level()))
+			return old, kbase.EOK
+		}
 	}
-	old := b.module
-	b.module = m
-	r.record("swap", iface.Name, m.ModuleName(),
-		fmt.Sprintf("%s->%s (%s->%s)", old.ModuleName(), m.ModuleName(),
-			old.Level(), m.Level()))
-	return old, kbase.EOK
 }
 
 // Unbind removes the implementation of an interface and returns it.
@@ -211,21 +245,25 @@ func (r *Registry) Unbind(ifaceName string) (Module, kbase.Errno) {
 		return nil, kbase.ENOENT
 	}
 	delete(r.bindings, ifaceName)
-	r.record("unbind", ifaceName, b.module.ModuleName(), "")
-	return b.module, kbase.EOK
+	m := b.mod.Load().m
+	r.record("unbind", ifaceName, m.ModuleName(), "")
+	return m, kbase.EOK
 }
 
 // Lookup returns the active module for an interface. This is the only
-// sanctioned way for callers to reach an implementation.
+// sanctioned way for callers to reach an implementation. It is safe
+// against a concurrent Swap and never blocks behind one: the map is
+// consulted under the read lock and the module pointer is one atomic
+// load.
 func (r *Registry) Lookup(ifaceName string) (Module, kbase.Errno) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
 	b, ok := r.bindings[ifaceName]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, kbase.ENOENT
 	}
-	b.accesses++
-	return b.module, kbase.EOK
+	b.accesses.Add(1)
+	return b.mod.Load().m, kbase.EOK
 }
 
 // Get resolves an interface to a concrete Go interface type T,
@@ -260,11 +298,12 @@ func (r *Registry) Inventory() []Binding {
 	defer r.mu.RUnlock()
 	out := make([]Binding, 0, len(r.bindings))
 	for _, b := range r.bindings {
+		m := b.mod.Load().m
 		out = append(out, Binding{
 			Iface:    b.iface,
-			Module:   b.module.ModuleName(),
-			Level:    b.module.Level(),
-			Accesses: b.accesses,
+			Module:   m.ModuleName(),
+			Level:    m.Level(),
+			Accesses: b.accesses.Load(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Iface.Name < out[j].Iface.Name })
@@ -273,8 +312,8 @@ func (r *Registry) Inventory() []Binding {
 
 // Trail returns a copy of the audit trail.
 func (r *Registry) Trail() []Event {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	r.trailMu.Lock()
+	defer r.trailMu.Unlock()
 	out := make([]Event, len(r.trail))
 	copy(out, r.trail)
 	return out
@@ -290,7 +329,7 @@ func (r *Registry) MinLevel() SafetyLevel {
 		return LevelLegacy
 	}
 	for _, b := range r.bindings {
-		if l := b.module.Level(); l < min {
+		if l := b.mod.Load().m.Level(); l < min {
 			min = l
 		}
 	}

@@ -232,6 +232,32 @@ func (c *Checker) CollectMetrics(emit func(name string, value uint64)) {
 	emit("live_cells", uint64(c.LiveCount()))
 }
 
+// LiveLabels returns the labels of live (unfreed) cells whose label
+// starts with prefix, sorted. A crash-containment supervisor calls
+// this when a compartment faults: the cells the dead compartment still
+// owns are exactly the shared state it may have left poisoned, and the
+// labels name them ("safefs:/a/b", "safetcp:recv:...") for the
+// quarantine report.
+func (c *Checker) LiveLabels(prefix string) []string {
+	c.mu.Lock()
+	cells := make([]cellInfo, 0, len(c.cells))
+	for ci := range c.cells {
+		cells = append(cells, ci)
+	}
+	c.mu.Unlock()
+	var live []string
+	for _, ci := range cells {
+		if ci.cellFreed() {
+			continue
+		}
+		if l := ci.cellLabel(); strings.HasPrefix(l, prefix) {
+			live = append(live, l)
+		}
+	}
+	sort.Strings(live)
+	return live
+}
+
 // LiveCount returns the number of live (unfreed) cells.
 func (c *Checker) LiveCount() int {
 	c.mu.Lock()

@@ -25,6 +25,7 @@ import (
 	"safelinux/internal/safemod/safefs"
 	"safelinux/internal/safemod/safetcp"
 	"safelinux/internal/safety/audit"
+	"safelinux/internal/safety/compartment"
 	"safelinux/internal/safety/module"
 	"safelinux/internal/safety/own"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// hosts. The zero value selects the historical default of a
 	// 1-jiffy, 1%-loss link.
 	Link net.LinkParams
+	// Compartments boots the kernel with crash-containment boundaries
+	// around every swappable subsystem (fs, net, buffer cache, kio,
+	// ebpf probes) and a supervisor plane that quarantines and restarts
+	// faulted compartments. Required for HotSwap. See compartments.go.
+	Compartments bool
 }
 
 func (c *Config) fill() {
@@ -69,9 +75,13 @@ type Kernel struct {
 	Checker  *own.Checker
 	Recorder *kbase.OopsRecorder
 	Task     *kbase.Task
+	// Plane is the containment supervisor (nil unless
+	// Config.Compartments was set).
+	Plane *compartment.Plane
 
 	cfg      Config
 	rootDev  *blockdev.Device
+	safeDev  *blockdev.Device // safefs root device (nil before UpgradeFS)
 	ioEngine *kio.Engine
 	hostA    *net.Host
 	hostB    *net.Host
@@ -170,12 +180,22 @@ func New(cfg Config) (*Kernel, kbase.Errno) {
 	if err := k.Registry.Bind(safetcp.LegacyModule{}); err != kbase.EOK {
 		return nil, err
 	}
+
+	// Containment: wrap every swappable subsystem in a compartment
+	// boundary and start the supervisor plane (compartments.go).
+	if cfg.Compartments {
+		k.enableCompartments()
+	}
 	return k, kbase.EOK
 }
 
 // Close shuts down the async I/O engine (draining in-flight
 // submissions) and uninstalls the kernel's oops recorder.
 func (k *Kernel) Close() {
+	if k.Plane != nil {
+		k.Plane.Settle()
+		ktrace.SetProbeGuard(nil)
+	}
 	if k.ioEngine != nil {
 		k.ioEngine.Close()
 	}
@@ -235,11 +255,27 @@ func (f *fixedFS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errn
 // UpgradeFS performs the paper's module replacement on the root file
 // system: build a safefs volume on a new device, copy the live tree
 // into it, swap the mount, and record the swap in the registry. The
-// old device is left intact (rollback insurance).
+// old device is left intact (rollback insurance). For the same swap
+// performed live under load, drained through the containment plane,
+// see HotSwap.
 func (k *Kernel) UpgradeFS() kbase.Errno {
 	if k.fsSafe {
 		return kbase.EALREADY
 	}
+	if err := k.migrateFS(k.Task); err != kbase.EOK {
+		return err
+	}
+	if _, err := k.Registry.Swap(safefs.Module{}, module.SwapPolicy{}); err != kbase.EOK {
+		return err
+	}
+	return kbase.EOK
+}
+
+// migrateFS is the extlike→safefs migration body, shared by UpgradeFS
+// (offline, caller's task) and HotSwap (under drain, supervisor task —
+// every VFS call below must carry task so it bypasses the drained fs
+// gate instead of deadlocking against it).
+func (k *Kernel) migrateFS(task *kbase.Task) kbase.Errno {
 	newDev := blockdev.New(blockdev.Config{
 		Blocks: k.cfg.DiskBlocks, BlockSize: k.cfg.BlockSize,
 		Rng: kbase.NewRng(k.cfg.Seed + 2),
@@ -248,7 +284,7 @@ func (k *Kernel) UpgradeFS() kbase.Errno {
 		return err
 	}
 	fsType := &safefs.FS{SyncOnCommit: true}
-	newSB, err := fsType.Mount(k.Task, &safefs.MountData{Disk: newDev, Checker: k.Checker})
+	newSB, err := fsType.Mount(task, &safefs.MountData{Disk: newDev, Checker: k.Checker})
 	if err != kbase.EOK {
 		return err
 	}
@@ -257,32 +293,43 @@ func (k *Kernel) UpgradeFS() kbase.Errno {
 	if err := staging.RegisterFS(&fixedFS{name: "staging", sb: newSB}); err != kbase.EOK {
 		return err
 	}
-	if err := staging.Mount(k.Task, "/", "staging", nil); err != kbase.EOK {
+	if err := staging.Mount(task, "/", "staging", nil); err != kbase.EOK {
 		return err
 	}
-	if err := k.copyTree(k.VFS, staging, "/"); err != kbase.EOK {
+	if err := k.copyTree(task, k.VFS, staging, "/"); err != kbase.EOK {
+		return err
+	}
+	// Descriptors held open across a live swap migrate with it: each is
+	// re-pointed at its path's copy on the new file system, position
+	// intact, so the unmount below finds no open files and callers
+	// released from the drain continue on the fds they already hold.
+	oldRoot, err := k.VFS.Resolve(task, "/")
+	if err != kbase.EOK {
+		return err
+	}
+	if _, err := k.VFS.RemapDescriptors(oldRoot.Sb, func(p string) (*vfs.Inode, kbase.Errno) {
+		return staging.Resolve(task, p)
+	}); err != kbase.EOK {
 		return err
 	}
 	// Swap the root mount.
-	if err := k.VFS.Unmount(k.Task, "/"); err != kbase.EOK {
+	if err := k.VFS.Unmount(task, "/"); err != kbase.EOK {
 		return err
 	}
 	if err := k.VFS.RegisterFS(&fixedFS{name: "safefs-root", sb: newSB}); err != kbase.EOK {
 		return err
 	}
-	if err := k.VFS.Mount(k.Task, "/", "safefs-root", nil); err != kbase.EOK {
+	if err := k.VFS.Mount(task, "/", "safefs-root", nil); err != kbase.EOK {
 		return err
 	}
-	if _, err := k.Registry.Swap(safefs.Module{}, module.SwapPolicy{}); err != kbase.EOK {
-		return err
-	}
+	k.safeDev = newDev
 	k.fsSafe = true
 	return kbase.EOK
 }
 
 // copyTree recursively copies path (a directory) from src to dst.
-func (k *Kernel) copyTree(src, dst *vfs.VFS, path string) kbase.Errno {
-	ents, err := src.ReadDir(k.Task, path)
+func (k *Kernel) copyTree(task *kbase.Task, src, dst *vfs.VFS, path string) kbase.Errno {
+	ents, err := src.ReadDir(task, path)
 	if err != kbase.EOK {
 		return err
 	}
@@ -292,54 +339,64 @@ func (k *Kernel) copyTree(src, dst *vfs.VFS, path string) kbase.Errno {
 			child = "/" + e.Name
 		}
 		if e.Mode.IsDir() {
-			if err := dst.Mkdir(k.Task, child); err != kbase.EOK && err != kbase.EEXIST {
+			if err := dst.Mkdir(task, child); err != kbase.EOK && err != kbase.EEXIST {
 				return err
 			}
-			if err := k.copyTree(src, dst, child); err != kbase.EOK {
+			if err := k.copyTree(task, src, dst, child); err != kbase.EOK {
 				return err
 			}
 			continue
 		}
-		st, err := src.Stat(k.Task, child)
+		st, err := src.Stat(task, child)
 		if err != kbase.EOK {
 			return err
 		}
 		data := make([]byte, st.Size)
-		fd, err := src.Open(k.Task, child, vfs.ORdOnly)
+		fd, err := src.Open(task, child, vfs.ORdOnly)
 		if err != kbase.EOK {
 			return err
 		}
-		if _, err := src.Pread(k.Task, fd, data, 0); err != kbase.EOK {
-			src.Close(fd)
+		if _, err := src.Pread(task, fd, data, 0); err != kbase.EOK {
+			src.CloseAs(task, fd)
 			return err
 		}
-		src.Close(fd)
-		ofd, err := dst.Open(k.Task, child, vfs.OWrOnly|vfs.OCreate|vfs.OTrunc)
+		src.CloseAs(task, fd)
+		ofd, err := dst.Open(task, child, vfs.OWrOnly|vfs.OCreate|vfs.OTrunc)
 		if err != kbase.EOK {
 			return err
 		}
 		if len(data) > 0 {
-			if _, err := dst.Write(k.Task, ofd, data); err != kbase.EOK {
-				dst.Close(ofd)
+			if _, err := dst.Write(task, ofd, data); err != kbase.EOK {
+				dst.CloseAs(task, ofd)
 				return err
 			}
 		}
-		dst.Close(ofd)
+		dst.CloseAs(task, ofd)
 	}
 	return kbase.EOK
 }
 
 // UpgradeTCP installs the ownership-safe transport on both hosts via
-// the modular StreamProto interface and records the swap.
+// the modular StreamProto interface and records the swap. For the
+// same swap performed live under load, see HotSwap.
 func (k *Kernel) UpgradeTCP() kbase.Errno {
 	if k.tcpSafe {
 		return kbase.EALREADY
 	}
-	k.safeEPA = safetcp.Attach(k.hostA, k.Checker)
-	k.safeEPB = safetcp.Attach(k.hostB, k.Checker)
+	if err := k.migrateTCP(k.Task); err != kbase.EOK {
+		return err
+	}
 	if _, err := k.Registry.Swap(safetcp.Module{}, module.SwapPolicy{}); err != kbase.EOK {
 		return err
 	}
+	return kbase.EOK
+}
+
+// migrateTCP is the legacy→safetcp migration body, shared by
+// UpgradeTCP (offline) and HotSwap (under drain).
+func (k *Kernel) migrateTCP(task *kbase.Task) kbase.Errno {
+	k.safeEPA = safetcp.Attach(k.hostA, k.Checker)
+	k.safeEPB = safetcp.Attach(k.hostB, k.Checker)
 	k.tcpSafe = true
 	return kbase.EOK
 }
@@ -366,6 +423,9 @@ func (k *Kernel) RegisterMetrics(m *ktrace.Metrics) {
 	}
 	if k.ioEngine != nil {
 		m.Register("kio", k.ioEngine.CollectMetrics)
+	}
+	if k.Plane != nil {
+		k.Plane.RegisterMetrics(m)
 	}
 	ktrace.RegisterBuiltin(m)
 }

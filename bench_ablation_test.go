@@ -35,7 +35,7 @@ func benchSafefsSync(b *testing.B, syncOnCommit bool) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&safefs.FS{SyncOnCommit: syncOnCommit})
-	if err := v.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev}); err.IsError() {
+	if err := v.Mount(task, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev})); err.IsError() {
 		b.Fatalf("mount: %v", err)
 	}
 	b.ResetTimer()
@@ -80,7 +80,7 @@ func dcacheKernel(b *testing.B, depth int) (*vfs.VFS, *kbase.Task, string) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&ramfs.FS{})
-	if err := v.Mount(task, "/", "ramfs", nil); err.IsError() {
+	if err := v.Mount(task, "/", "ramfs", vfs.MountData{}); err.IsError() {
 		b.Fatalf("mount: %v", err)
 	}
 	path := ""
@@ -139,7 +139,7 @@ func benchExtlikeCache(b *testing.B, cacheSize int) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&extlike.FS{})
-	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev, CacheSize: cacheSize}); err.IsError() {
+	if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev, CacheSize: cacheSize})); err.IsError() {
 		b.Fatalf("mount: %v", err)
 	}
 	b.ResetTimer()
@@ -174,7 +174,7 @@ func BenchmarkAblationSafefsCheckpoint(b *testing.B) {
 			v := vfs.New(nil)
 			task := kbase.NewTask()
 			v.RegisterFS(&safefs.FS{SyncOnCommit: false})
-			if err := v.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev}); err.IsError() {
+			if err := v.Mount(task, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev})); err.IsError() {
 				b.Fatalf("mount: %v", err)
 			}
 			payload := make([]byte, 512)

@@ -266,7 +266,7 @@ func fsBenchSetup(b *testing.B, fsName string) (*vfs.VFS, *kbase.Task) {
 			b.Fatalf("mkfs: %v", err)
 		}
 		v.RegisterFS(&extlike.FS{})
-		if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err.IsError() {
+		if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err.IsError() {
 			b.Fatalf("mount: %v", err)
 		}
 	case "safefs":
@@ -274,7 +274,7 @@ func fsBenchSetup(b *testing.B, fsName string) (*vfs.VFS, *kbase.Task) {
 			b.Fatalf("format: %v", err)
 		}
 		v.RegisterFS(&safefs.FS{SyncOnCommit: true})
-		if err := v.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev}); err.IsError() {
+		if err := v.Mount(task, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev})); err.IsError() {
 			b.Fatalf("mount: %v", err)
 		}
 	}

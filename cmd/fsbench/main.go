@@ -56,16 +56,20 @@ func run(fsName string, mix workload.FSMix, ops int, seed, blocks uint64) (workl
 		if _, err := extlike.Mkfs(dev, extlike.MkfsOptions{}); err.IsError() {
 			fatal("mkfs", err)
 		}
-		v.RegisterFS(&extlike.FS{})
-		if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err.IsError() {
+		if err := v.RegisterFS(&extlike.FS{}); err.IsError() {
+			fatal("register", err)
+		}
+		if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err.IsError() {
 			fatal("mount", err)
 		}
 	case "safefs":
 		if err := safefs.Format(dev); err.IsError() {
 			fatal("format", err)
 		}
-		v.RegisterFS(&safefs.FS{SyncOnCommit: true})
-		if err := v.Mount(task, "/", "safefs", &safefs.MountData{Disk: dev}); err.IsError() {
+		if err := v.RegisterFS(&safefs.FS{SyncOnCommit: true}); err.IsError() {
+			fatal("register", err)
+		}
+		if err := v.Mount(task, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev})); err.IsError() {
 			fatal("mount", err)
 		}
 	}

@@ -41,8 +41,10 @@ func buildVolume(fs *extlike.FS, crash bool) *blockdev.Device {
 	}
 	v := vfs.New(nil)
 	task := kbase.NewTask()
-	v.RegisterFS(fs)
-	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err.IsError() {
+	if err := v.RegisterFS(fs); err.IsError() {
+		fatal("register", err)
+	}
+	if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err.IsError() {
 		fatal("mount", err)
 	}
 	w := workload.NewFS(workload.FSConfig{Seed: 5, Ops: 400, Mix: workload.MetadataHeavyMix()})

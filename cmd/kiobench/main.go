@@ -145,15 +145,21 @@ func measureDeviceTime(qd int) float64 {
 	start := clock.Now()
 	if qd == 0 {
 		for i := 0; i < writes; i++ {
-			dev.Write(uint64(i)%benchBlocks, buf)
-			dev.Flush()
+			if err := dev.Write(uint64(i)%benchBlocks, buf); err != kbase.EOK {
+				die("write", err)
+			}
+			if err := dev.Flush(); err != kbase.EOK {
+				die("flush", err)
+			}
 		}
 	} else {
 		e := kio.New(dev, kio.Config{Workers: 4})
 		defer e.Close()
 		batch := e.NewBatch()
 		for i := 0; i < writes; i++ {
-			batch.Write(uint64(i)%benchBlocks, buf, 0)
+			if err := batch.Write(uint64(i)%benchBlocks, buf, 0); err != kbase.EOK {
+				die("batch write", err)
+			}
 			if (i+1)%qd == 0 {
 				batch.Barrier(0)
 				batch.Submit().Wait()
@@ -164,6 +170,13 @@ func measureDeviceTime(qd int) float64 {
 		batch.Submit().Wait()
 	}
 	return float64(clock.Now()-start) / float64(writes)
+}
+
+// die aborts the benchmark: a measured loop that swallowed an I/O
+// error would go on to report a meaningless number.
+func die(what string, err kbase.Errno) {
+	fmt.Fprintf(os.Stderr, "kiobench: %s: %v\n", what, err)
+	os.Exit(1)
 }
 
 // nsPerOp recovers sub-ns resolution lost to NsPerOp's truncation.
@@ -259,7 +272,9 @@ func measureGate(asyncNs float64) map[string]float64 {
 	buf := make([]byte, benchBlockSize)
 	batch := e.NewBatch()
 	for i := 0; i < writes; i++ {
-		batch.Write(uint64(i)%benchBlocks, buf, 0)
+		if err := batch.Write(uint64(i)%benchBlocks, buf, 0); err != kbase.EOK {
+			die("batch write", err)
+		}
 		if (i+1)%qd == 0 {
 			batch.Barrier(0)
 			batch.Submit().Wait()

@@ -51,7 +51,7 @@ func benchSetup() (*vfs.VFS, error) {
 	if err := v.RegisterFS(&extlike.FS{}); err.IsError() {
 		return nil, fmt.Errorf("register: %v", err)
 	}
-	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err.IsError() {
+	if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err.IsError() {
 		return nil, fmt.Errorf("mount: %v", err)
 	}
 	payload := make([]byte, 2048)
@@ -70,7 +70,9 @@ func benchSetup() (*vfs.VFS, error) {
 		if _, err := v.Pwrite(task, fd, payload, 0); err.IsError() {
 			return nil, fmt.Errorf("pwrite: %v", err)
 		}
-		v.Close(fd)
+		if err := v.Close(fd); err.IsError() {
+			return nil, fmt.Errorf("close: %v", err)
+		}
 	}
 	return v, nil
 }

@@ -83,7 +83,9 @@ func legacyTransfer(loss float64, fixed bool) (NetRun, error) {
 	lst, _ := hB.ListenTCP(80)
 	cli, _ := hA.ConnectTCP(2, 80)
 	want := payload()
-	cli.Send(want)
+	if err := cli.Send(want); err != kbase.EOK {
+		return NetRun{}, fmt.Errorf("legacy send: %v", err)
+	}
 
 	var srv *net.Socket
 	var got []byte
@@ -131,7 +133,9 @@ func safeTransfer(loss float64, fixed bool) (NetRun, error) {
 	lst, _ := epB.Listen(80)
 	cli, _ := epA.Connect(2, 80)
 	want := payload()
-	cli.Send(want)
+	if err := cli.Send(want); err != kbase.EOK {
+		return NetRun{}, fmt.Errorf("safetcp send: %v", err)
+	}
 
 	var srv *safetcp.Conn
 	var got []byte

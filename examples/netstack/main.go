@@ -54,10 +54,13 @@ func legacyPhase(rec *kbase.OopsRecorder) {
 	fmt.Printf("bulk transfer: %d bytes, integrity=%v, sim stats=%+v\n",
 		res.Bytes, res.Integrity, sim.Stats())
 
-	// The pathology: any kernel code can stomp the untyped field.
-	fmt.Println("stomping srv.Private with a foreign value...")
-	srv.Private = "not a TCB"
-	c.Send([]byte("this segment will hit the confused socket"))
+	// The pathology, via the explicit fault-injection hook: the
+	// private field itself is unexported now, so a stomp must be
+	// deliberate rather than an accident any kernel code can commit.
+	fmt.Println("injecting a foreign value into srv's private state...")
+	srv.InjectConfusedState()
+	// The send itself succeeds — the confusion detonates on delivery.
+	_ = c.Send([]byte("this segment will hit the confused socket"))
 	sim.Run(100)
 	fmt.Printf("kernel oopses after stomp: %d", rec.Count(kbase.OopsTypeConfusion))
 	for _, e := range rec.Events() {

@@ -40,7 +40,7 @@ func main() {
 	n, err := k.VFS.Read(k.Task, fd, buf)
 	check(err, "read")
 	fmt.Printf("read back through safefs: %q\n", buf[:n])
-	k.VFS.Close(fd)
+	check(k.VFS.Close(fd), "close")
 
 	// Migrate the transport too, then show where the kernel stands.
 	check(k.UpgradeTCP(), "upgrade tcp")

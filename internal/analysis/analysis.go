@@ -8,10 +8,12 @@
 // runtime by a test that happens to execute the bug" to "guaranteed at
 // compile time": each analyzer under passes/ enforces one invariant
 // that the runtime machinery (lockdep, the ownership checker, the
-// refinement engine) can only check dynamically. Legacy violations are
-// recorded in a committed ratchet baseline (analysis/baseline.json);
-// CI fails on any NEW violation, and the safe half of the tree
-// (internal/safemod, internal/safety, pkg/safelinux) is held at zero.
+// refinement engine) can only check dynamically. Legacy violations
+// were once carried by a committed ratchet baseline
+// (analysis/baseline.json, 70 findings at introduction); the baseline
+// has been drained and deleted, and CI now fails on ANY finding
+// anywhere in the tree. The Baseline type remains for future debt —
+// see cmd/kerncheck for the enforcement policy.
 package analysis
 
 import (

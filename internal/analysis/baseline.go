@@ -115,6 +115,65 @@ func (b Baseline) Compare(findings []Finding) (regressions []Regression, improve
 	return regressions, improvements
 }
 
+// StaleEntry is a baseline entry whose package was not seen by the
+// current run — typically a package that was renamed or deleted. Stale
+// entries are dangerous, not just untidy: a rename silently carries
+// its debt allowance to nowhere while the renamed package's findings
+// show up as regressions against a zero entry, and a later rename
+// *back* would resurrect the allowance.
+type StaleEntry struct {
+	Analyzer string
+	Pkg      string
+	Allowed  int
+}
+
+func (e StaleEntry) String() string {
+	return fmt.Sprintf("%s: %s: baseline allows %d, but the package no longer exists", e.Pkg, e.Analyzer, e.Allowed)
+}
+
+// Stale returns baseline entries referring to packages absent from
+// pkgs (the module's current package list), sorted.
+func (b Baseline) Stale(pkgs []string) []StaleEntry {
+	known := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		known[p] = true
+	}
+	var out []StaleEntry
+	for analyzer, m := range b.Counts {
+		for pkg, allowed := range m {
+			if !known[pkg] {
+				out = append(out, StaleEntry{Analyzer: analyzer, Pkg: pkg, Allowed: allowed})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// Prune removes the given stale entries in place and reports how many
+// were dropped. Emptied analyzer maps are removed too, keeping the
+// serialized form minimal.
+func (b Baseline) Prune(stale []StaleEntry) int {
+	n := 0
+	for _, e := range stale {
+		if m, ok := b.Counts[e.Analyzer]; ok {
+			if _, ok := m[e.Pkg]; ok {
+				delete(m, e.Pkg)
+				n++
+			}
+			if len(m) == 0 {
+				delete(b.Counts, e.Analyzer)
+			}
+		}
+	}
+	return n
+}
+
 func sortRegressions(rs []Regression) {
 	sort.Slice(rs, func(i, j int) bool {
 		if rs[i].Pkg != rs[j].Pkg {

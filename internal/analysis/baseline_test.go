@@ -105,6 +105,50 @@ func TestBaselineRoundTripAndMissingFile(t *testing.T) {
 	}
 }
 
+// TestBaselineStaleEntries: entries for packages that no longer exist
+// must be surfaced (a rename would otherwise keep its debt allowance
+// parked on a ghost path) and removable with Prune.
+func TestBaselineStaleEntries(t *testing.T) {
+	vfsPkg := ModulePath + "/internal/linuxlike/vfs"
+	ghost := ModulePath + "/internal/linuxlike/oldfs"
+	ghost2 := ModulePath + "/internal/gone"
+	base := NewBaseline([]Finding{
+		fnd("errptr", vfsPkg),
+		fnd("errptr", ghost), fnd("errptr", ghost),
+		fnd("anyboundary", ghost2),
+	})
+
+	stale := base.Stale([]string{vfsPkg})
+	if len(stale) != 2 {
+		t.Fatalf("Stale = %v, want 2 entries", stale)
+	}
+	// Sorted by package, then analyzer.
+	if stale[0].Pkg != ghost2 || stale[0].Allowed != 1 {
+		t.Errorf("stale[0] = %+v", stale[0])
+	}
+	if stale[1].Pkg != ghost || stale[1].Analyzer != "errptr" || stale[1].Allowed != 2 {
+		t.Errorf("stale[1] = %+v", stale[1])
+	}
+
+	if n := base.Prune(stale); n != 2 {
+		t.Fatalf("Prune = %d, want 2", n)
+	}
+	if base.Total() != 1 {
+		t.Errorf("Total after prune = %d, want 1", base.Total())
+	}
+	if _, ok := base.Counts["anyboundary"]; ok {
+		t.Error("emptied analyzer map not removed")
+	}
+	if len(base.Stale([]string{vfsPkg})) != 0 {
+		t.Error("stale entries survived Prune")
+	}
+
+	// A live-package entry is never stale.
+	if len(base.Stale([]string{vfsPkg, ghost, ghost2})) != 0 {
+		t.Error("entries for existing packages reported stale")
+	}
+}
+
 func TestSubsystem(t *testing.T) {
 	cases := map[string]string{
 		ModulePath + "/internal/linuxlike/vfs":        "vfs",

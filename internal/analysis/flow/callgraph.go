@@ -1,0 +1,228 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Node is one function (or method) declared in the analyzed package,
+// with everything the may-sleep oracle needs: its statically resolved
+// callees and two conservative bits. Calls made inside function
+// literals declared in the body are attributed to the declaring
+// function — an over-approximation (creating a closure is not calling
+// it), chosen because this tree's dominant idiom is passing a literal
+// to a same-statement gate (`v.guard(task, op, func() { ... })`)
+// which does run it.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	// Callees are the statically resolved call targets, both
+	// in-package (followed transitively) and cross-package (consulted
+	// against the sleeper seed list only).
+	Callees map[*types.Func]bool
+	// Dynamic records a call through an interface method, a method
+	// value, or any other function value. The callee set is unknown,
+	// so the oracle treats the function as may-sleep.
+	Dynamic bool
+	// ChanOp records a direct channel operation that can block: a
+	// send, a receive, ranging over a channel, or a select with no
+	// default clause.
+	ChanOp bool
+}
+
+// CallGraph is the per-package call graph.
+type CallGraph struct {
+	Nodes map[*types.Func]*Node
+}
+
+// NewCallGraph builds the call graph of one package from its parsed
+// files and type information.
+func NewCallGraph(info *types.Info, files []*ast.File) *CallGraph {
+	cg := &CallGraph{Nodes: make(map[*types.Func]*Node)}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			n := &Node{Fn: fn, Decl: fd, Callees: make(map[*types.Func]bool)}
+			cg.Nodes[fn] = n
+			collectCalls(info, fd.Body, n)
+		}
+	}
+	return cg
+}
+
+// collectCalls records every call, channel operation, and dynamic
+// dispatch in body on n, descending into function literals.
+func collectCalls(info *types.Info, body ast.Node, n *Node) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			callee, dynamic := ResolveCall(info, node)
+			if callee != nil {
+				n.Callees[callee] = true
+			} else if dynamic {
+				n.Dynamic = true
+			}
+		case *ast.SendStmt:
+			n.ChanOp = true
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				n.ChanOp = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(node.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					n.ChanOp = true
+				}
+			}
+		case *ast.SelectStmt:
+			// The comm operations belong to the select: they block
+			// only when the select as a whole does (no default
+			// clause). Walk the clause internals manually so a
+			// `case <-ch:` under a default-carrying select is not
+			// misread as an unconditional blocking receive.
+			if BlockingSelect(node) {
+				n.ChanOp = true
+			}
+			for _, c := range node.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				collectCommOperands(info, cc.Comm, n)
+				for _, st := range cc.Body {
+					collectCalls(info, st, n)
+				}
+			}
+			return false
+		case *ast.GoStmt:
+			// The spawned goroutine sleeps on its own stack; the `go`
+			// statement itself never blocks the spawner. Skip the
+			// call so `go worker()` does not mark the caller
+			// may-sleep, but keep walking the argument expressions.
+			for _, a := range node.Call.Args {
+				collectCalls(info, a, n)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// collectCommOperands walks the operand expressions of a select comm
+// statement (the channel and value of a send, the channel of a
+// receive) for nested calls, without treating the comm op itself as a
+// standalone channel operation.
+func collectCommOperands(info *types.Info, comm ast.Stmt, n *Node) {
+	switch comm := comm.(type) {
+	case nil:
+	case *ast.SendStmt:
+		collectCalls(info, comm.Chan, n)
+		collectCalls(info, comm.Value, n)
+	case *ast.ExprStmt:
+		if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			collectCalls(info, u.X, n)
+		}
+	case *ast.AssignStmt:
+		for _, l := range comm.Lhs {
+			collectCalls(info, l, n)
+		}
+		for _, r := range comm.Rhs {
+			if u, ok := r.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+				collectCalls(info, u.X, n)
+			}
+		}
+	}
+}
+
+// BlockingSelect reports whether a select statement can block: true
+// unless it has a default clause.
+func BlockingSelect(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveCall resolves a call expression to its static callee. The
+// second result reports a dynamic call (interface dispatch, function
+// value, method value) whose target cannot be resolved; conversions
+// and builtin calls return (nil, false).
+func ResolveCall(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fun := ast.Unparen(call.Fun)
+	// Generic instantiation: f[T](...) parses as an index expression.
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			return obj, false
+		case *types.Builtin, *types.TypeName, nil:
+			return nil, false
+		default:
+			// A variable (or parameter) of function type: dynamic.
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				return nil, true
+			}
+			return nil, false
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				if types.IsInterface(sel.Recv()) {
+					return nil, true // interface dispatch
+				}
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					return fn, false
+				}
+			case types.MethodExpr:
+				// (T).Method(recv, ...): a static call.
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					return fn, false
+				}
+			case types.FieldVal:
+				// Calling a func-typed struct field: dynamic.
+				return nil, true
+			}
+			return nil, false
+		}
+		// Package-qualified reference (pkg.Func) or type conversion.
+		switch obj := info.Uses[fun.Sel].(type) {
+		case *types.Func:
+			return obj, false
+		case *types.TypeName, nil:
+			return nil, false
+		default:
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				return nil, true
+			}
+			return nil, false
+		}
+	case *ast.FuncLit:
+		// Immediately invoked literal; its body is walked anyway.
+		return nil, false
+	default:
+		// Conversions like ([]byte)(s), or exotic callees. If it
+		// types as a function value, it is a dynamic call.
+		if t := info.TypeOf(call.Fun); t != nil {
+			if _, ok := t.Underlying().(*types.Signature); ok {
+				return nil, true
+			}
+		}
+		return nil, false
+	}
+}

@@ -1,0 +1,404 @@
+// Package flow is the shared flow-analysis layer under kerncheck's
+// second-generation passes: a lightweight intraprocedural CFG plus a
+// per-package call graph with a may-sleep oracle. It deliberately
+// stays far simpler than golang.org/x/tools/go/cfg — the kernel tree
+// it analyzes uses structured control flow only, so the builder
+// handles if/for/range/switch/select/return/break/continue and treats
+// the (absent) goto conservatively.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of simple statements. Nodes holds
+// simple statements and the header expressions of control statements
+// (an if condition, a switch tag). Two whole statements appear as
+// block nodes by design, mirroring x/tools/go/cfg: *ast.RangeStmt
+// (its header performs the iteration, possibly a blocking channel
+// receive) and *ast.SelectStmt (the select header is where blocking
+// happens). Analyses must walk block nodes with Inspect, which stops
+// at those headers and at function literals instead of descending
+// into nested bodies.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry is the
+// first block; Exit is a synthetic empty block every return and
+// falling-off-the-end path reaches. Defers collects the call
+// expressions of defer statements in source order; they run at every
+// exit, so flow-sensitive analyses usually treat their effects as
+// live from the defer statement to Exit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	Defers []*ast.CallExpr
+}
+
+// NewCFG builds the CFG of body. A nil body (declaration without a
+// definition) yields a graph with only entry and exit.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cfg.Exit)
+	return b.cfg
+}
+
+type loopFrame struct {
+	label string
+	brk   *Block // break target
+	cont  *Block // continue target; nil for switch/select frames
+}
+
+type builder struct {
+	cfg    *CFG
+	cur    *Block
+	frames []loopFrame
+	// label pending for the next loop/switch statement, so
+	// `outer: for { ... break outer ... }` resolves.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// jump ends the current block with an edge to dst and leaves the
+// builder on a fresh unreachable block (so statements after a return
+// still get parsed without corrupting reachable flow).
+func (b *builder) jump(dst *Block) {
+	b.cur.Succs = append(b.cur.Succs, dst)
+	b.cur = b.newBlock()
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) findFrame(label string, wantCont bool) *loopFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if wantCont && f.cont == nil {
+			continue // switch/select frames have no continue target
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchStmt(nil, nil, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s.Call)
+	default:
+		// Simple statements: expr, assign, incdec, send, go, decl,
+		// empty. All recorded verbatim.
+		b.add(s)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil {
+			b.jump(f.brk)
+		} else {
+			b.jump(b.cfg.Exit) // malformed; stay conservative
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil {
+			b.jump(f.cont)
+		} else {
+			b.jump(b.cfg.Exit)
+		}
+	case token.FALLTHROUGH:
+		// Handled by switchStmt wiring clause i to clause i+1; the
+		// statement itself carries no other effect.
+	case token.GOTO:
+		// No goto in the analyzed tree; treat as leaving the
+		// function so a may-analysis stays sound for everything it
+		// does model.
+		b.jump(b.cfg.Exit)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	condBlk := b.cur
+
+	thenBlk := b.newBlock()
+	b.edge(condBlk, thenBlk)
+	join := b.newBlock()
+
+	b.cur = thenBlk
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, join)
+
+	if s.Else != nil {
+		elseBlk := b.newBlock()
+		b.edge(condBlk, elseBlk)
+		b.cur = elseBlk
+		b.stmt(s.Else)
+		b.edge(b.cur, join)
+	} else {
+		b.edge(condBlk, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock() // continue target: post statement, then head
+
+	body := b.newBlock()
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: post})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, post)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	// The RangeStmt itself is the head node (documented exception):
+	// the iteration — including a blocking receive when ranging over
+	// a channel — happens here. Inspect stops at it.
+	head.Nodes = append(head.Nodes, s)
+
+	after := b.newBlock()
+	body := b.newBlock()
+	b.edge(head, body)
+	b.edge(head, after)
+
+	b.frames = append(b.frames, loopFrame{label: label, brk: after, cont: head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.edge(b.cur, head)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	if init != nil {
+		b.stmt(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: join})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		fallsThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+			}
+			b.stmt(st)
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+			b.cur = b.newBlock()
+		}
+		b.edge(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	// The SelectStmt is a head node (documented exception): blocking
+	// happens at the select header when no case is ready and there is
+	// no default. Inspect stops at it; clause bodies get own blocks.
+	b.add(s)
+	head := b.cur
+	join := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, brk: join})
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		// The comm operation itself blocks (or not) at the select
+		// header, which is already a head node; emit only its
+		// operand expressions here so passes do not misread the
+		// clause as an unconditional channel op.
+		switch comm := cc.Comm.(type) {
+		case nil:
+		case *ast.SendStmt:
+			b.add(comm.Chan)
+			b.add(comm.Value)
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				b.add(u.X)
+			} else {
+				b.stmt(comm)
+			}
+		case *ast.AssignStmt:
+			for _, l := range comm.Lhs {
+				b.add(l)
+			}
+			for _, r := range comm.Rhs {
+				if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					b.add(u.X)
+				}
+			}
+		default:
+			b.stmt(comm)
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// Inspect walks one block node the way flow-based passes need: it
+// descends into expressions but stops at the boundaries the CFG has
+// already expanded elsewhere — a *ast.RangeStmt head visits only its
+// operands (key/value/X), a *ast.SelectStmt head visits nothing, and
+// function literal bodies are skipped (their execution is not part of
+// this function's flow at the point of creation).
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	switch n := n.(type) {
+	case *ast.RangeStmt:
+		if !f(n) {
+			return
+		}
+		if n.Key != nil {
+			Inspect(n.Key, f)
+		}
+		if n.Value != nil {
+			Inspect(n.Value, f)
+		}
+		Inspect(n.X, f)
+	case *ast.SelectStmt:
+		f(n)
+	default:
+		ast.Inspect(n, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				f(n)
+				return false
+			}
+			return f(n)
+		})
+	}
+}

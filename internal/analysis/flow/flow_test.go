@@ -1,0 +1,253 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheck parses and typechecks one synthetic file.
+func typecheck(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+func funcNamed(t *testing.T, cg *CallGraph, name string) *types.Func {
+	t.Helper()
+	for fn := range cg.Nodes {
+		if fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q in call graph", name)
+	return nil
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	_, f, _ := typecheck(t, `package x
+func f() int {
+	a := 1
+	b := a + 2
+	return b
+}`)
+	cfg := NewCFG(f.Decls[0].(*ast.FuncDecl).Body)
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(cfg.Entry.Nodes))
+	}
+	if len(cfg.Entry.Succs) != 1 || cfg.Entry.Succs[0] != cfg.Exit {
+		t.Fatalf("entry should flow straight to exit")
+	}
+}
+
+func TestCFGBranchAndLoop(t *testing.T) {
+	_, f, _ := typecheck(t, `package x
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			s += i
+		} else {
+			s -= i
+		}
+		if s > 100 {
+			break
+		}
+	}
+	return s
+}`)
+	cfg := NewCFG(f.Decls[0].(*ast.FuncDecl).Body)
+	// Every reachable block must eventually reach exit; walk forward
+	// from entry and verify exit is found.
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	if !seen[cfg.Exit] {
+		t.Fatalf("exit unreachable from entry")
+	}
+	// The loop must contain a back edge: some reachable block has a
+	// successor already on the path (head).
+	back := false
+	for b := range seen {
+		for _, s := range b.Succs {
+			if s != b && seen[s] && s.Index < b.Index {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Fatalf("no back edge for the for loop")
+	}
+}
+
+func TestCFGDefers(t *testing.T) {
+	_, f, _ := typecheck(t, `package x
+func f() {
+	defer g()
+	defer h()
+}
+func g() {}
+func h() {}`)
+	cfg := NewCFG(f.Decls[0].(*ast.FuncDecl).Body)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	_, f, _ := typecheck(t, `package x
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i*j > 10 {
+				break outer
+			}
+		}
+	}
+}`)
+	// Must not panic or mis-wire; reachability of exit is the check.
+	cfg := NewCFG(f.Decls[0].(*ast.FuncDecl).Body)
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	if !seen[cfg.Exit] {
+		t.Fatalf("exit unreachable with labeled break")
+	}
+}
+
+const sleepSrc = `package x
+
+import "sync"
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+func sleeps() { mu.Lock() }
+func viaHelper() { sleeps() }
+func pure(a, b int) int { return a + b }
+
+// Mutual recursion with no sleeper on the cycle.
+func even(n int) bool { if n == 0 { return true }; return odd(n - 1) }
+func odd(n int) bool { if n == 0 { return false }; return even(n - 1) }
+
+// Recursion that does reach a sleeper.
+func countdown(n int) { if n > 0 { mu.Lock(); countdown(n - 1) } }
+
+// Channel operations block.
+func recvs() int { return <-ch }
+func selects() { select { case <-ch: } }
+func selectsDefault() { select { case <-ch: default: } }
+
+// Method value: the call is dynamic, so conservative may-sleep.
+func methodValue() { f := mu.Lock; f() }
+
+type doer interface{ Do() }
+
+// Interface dispatch: unknown callee, conservative may-sleep.
+func dispatch(d doer) { d.Do() }
+
+// Spawning a goroutine does not block the spawner.
+func spawns() { go sleeps() }
+`
+
+func TestSleepOracle(t *testing.T) {
+	_, f, info := typecheck(t, sleepSrc)
+	cg := NewCallGraph(info, []*ast.File{f})
+	o := NewSleepOracle(cg)
+
+	cases := []struct {
+		fn   string
+		want bool
+	}{
+		{"sleeps", true},
+		{"viaHelper", true}, // transitive through in-package call
+		{"pure", false},
+		{"even", false}, // recursion without a sleeper terminates as non-sleeping
+		{"odd", false},
+		{"countdown", true}, // recursion with a sleeper on the cycle
+		{"recvs", true},
+		{"selects", true},
+		{"selectsDefault", false}, // default clause: non-blocking
+		{"methodValue", true},     // dynamic call fallback
+		{"dispatch", true},        // interface dispatch fallback
+		{"spawns", false},         // go stmt does not block the spawner
+	}
+	for _, c := range cases {
+		fn := funcNamed(t, cg, c.fn)
+		if got := o.MaySleep(fn); got != c.want {
+			t.Errorf("MaySleep(%s) = %v, want %v (reason %q)", c.fn, got, c.want, o.SleepReason(fn))
+		}
+	}
+	if r := o.SleepReason(funcNamed(t, cg, "viaHelper")); !strings.Contains(r, "sync.Mutex") && !strings.Contains(r, "sleeps") {
+		t.Errorf("SleepReason(viaHelper) = %q, want mention of the sleeping callee", r)
+	}
+}
+
+func TestResolveCallKinds(t *testing.T) {
+	_, f, info := typecheck(t, sleepSrc)
+	cg := NewCallGraph(info, []*ast.File{f})
+
+	// viaHelper's only callee is the static in-package sleeps.
+	vh := cg.Nodes[funcNamed(t, cg, "viaHelper")]
+	if len(vh.Callees) != 1 || vh.Dynamic {
+		t.Fatalf("viaHelper: callees=%v dynamic=%v, want 1 static callee", vh.Callees, vh.Dynamic)
+	}
+	// methodValue resolves no static callee; the call is dynamic.
+	mv := cg.Nodes[funcNamed(t, cg, "methodValue")]
+	if !mv.Dynamic {
+		t.Fatalf("methodValue: want Dynamic for method-value call")
+	}
+	// dispatch is dynamic via interface method.
+	dp := cg.Nodes[funcNamed(t, cg, "dispatch")]
+	if !dp.Dynamic {
+		t.Fatalf("dispatch: want Dynamic for interface dispatch")
+	}
+	// sleeps' callee is the cross-package (*sync.Mutex).Lock seed.
+	sl := cg.Nodes[funcNamed(t, cg, "sleeps")]
+	found := false
+	for callee := range sl.Callees {
+		if IsSleeperSeed(callee) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sleeps: (*sync.Mutex).Lock not resolved as a seed callee")
+	}
+}

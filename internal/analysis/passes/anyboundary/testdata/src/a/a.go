@@ -1,6 +1,6 @@
 package a
 
-import "safelinux/internal/linuxlike/vfs"
+import "container/list"
 
 // Declaration side: bare any on exported surfaces.
 
@@ -39,15 +39,18 @@ type secret struct{}
 
 func (secret) Do(v any) { _ = v } // method on an unexported type
 
-// Receive side: downcasts of another package's any-typed field.
+// Receive side: downcasts of another package's any-typed field. The
+// kernel tree no longer exposes one (the vfs private slots went
+// behind typed accessors), so the stdlib's container/list — the
+// classic Value-field offender — stands in.
 
-func Downcast(ino *vfs.Inode) (*Box, bool) {
-	b, ok := ino.Private.(*Box) // want `type assertion on any-typed field Private declared in safelinux/internal/linuxlike/vfs`
+func Downcast(e *list.Element) (*Box, bool) {
+	b, ok := e.Value.(*Box) // want `type assertion on any-typed field Value declared in container/list`
 	return b, ok
 }
 
-func Switching(ino *vfs.Inode) int {
-	switch ino.Private.(type) { // want `type switch on any-typed field Private declared in safelinux/internal/linuxlike/vfs`
+func Switching(e *list.Element) int {
+	switch e.Value.(type) { // want `type switch on any-typed field Value declared in container/list`
 	case *Box:
 		return 1
 	}

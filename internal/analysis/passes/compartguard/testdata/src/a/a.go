@@ -1,0 +1,76 @@
+// Testdata for compartguard's boundary-discipline rule, shaped like
+// the bufcache idiom: a Boundary interface, gate helpers, and
+// unexported doX internals.
+package a
+
+type errno int
+
+const eok errno = 0
+
+// Boundary is the compartment hook, like vfs/bufcache/net/kio's.
+type Boundary interface {
+	Run(op string, fn func() errno) errno
+}
+
+type box struct{ b Boundary }
+
+// Cache is the compartmentalized subsystem.
+type Cache struct{ boundary *box }
+
+// SetBoundary installs the containment boundary.
+func (c *Cache) SetBoundary(b Boundary) { c.boundary = &box{b: b} }
+
+// guard is a gate: it invokes the Boundary method.
+func (c *Cache) guard(op string, fn func() errno) errno {
+	if c.boundary == nil {
+		return fn()
+	}
+	return c.boundary.b.Run(op, fn)
+}
+
+func (c *Cache) doRead() errno  { return eok }
+func (c *Cache) doWrite() errno { return eok }
+func (c *Cache) doSync() errno  { return eok }
+
+// Read routes through the gate: the sanctioned shape.
+func (c *Cache) Read() errno {
+	return c.guard("read", func() errno { return c.doRead() })
+}
+
+// Write uses the inline-gate shape (kio.Submit): it is itself a gate,
+// so its no-boundary fallback may call the internal directly.
+func (c *Cache) Write() errno {
+	if c.boundary == nil {
+		return c.doWrite()
+	}
+	return c.boundary.b.Run("write", func() errno { return c.doWrite() })
+}
+
+// Sync routes correctly...
+func (c *Cache) Sync() errno {
+	return c.guard("sync", func() errno { return c.doSync() })
+}
+
+// ...but FastSync bypasses the gate: the containment plane never sees
+// this entry point.
+func (c *Cache) FastSync() errno {
+	return c.doSync() // want `bypasses the compartment boundary`
+}
+
+// wrapper is an unexported bypass: calling a guarded internal outside
+// a gate literal makes it guarded too.
+func (c *Cache) wrapper() errno { return c.doRead() }
+
+// ReadUnsafe reaches the guarded internal through the wrapper.
+func (c *Cache) ReadUnsafe() errno {
+	return c.wrapper() // want `bypasses the compartment boundary`
+}
+
+// Stats touches nothing guarded: exported non-gate paths that stay
+// off the doX internals are fine.
+func (c *Cache) Stats() int { return 0 }
+
+// Suppression requires a reason, like every kerncheck directive.
+func (c *Cache) Audited() errno {
+	return c.doSync() //kerncheck:ignore compartguard exercised by the suppression test
+}

@@ -1,0 +1,11 @@
+// Testdata for compartguard's import-ban rule: this package is loaded
+// under a synthetic internal/linuxlike import path, so importing the
+// compartment package is the violation.
+package b
+
+import (
+	"safelinux/internal/safety/compartment" // want `legacy package .* imports .*compartment`
+)
+
+// Use keeps the import live.
+func Use() *compartment.Compartment { return compartment.New("b") }

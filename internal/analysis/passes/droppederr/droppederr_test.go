@@ -1,0 +1,12 @@
+package droppederr_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/droppederr"
+)
+
+func TestDroppedErr(t *testing.T) {
+	analysistest.Run(t, droppederr.Analyzer, analysistest.TestdataDir("a"), "a")
+}

@@ -1,0 +1,57 @@
+// Testdata for the droppederr analyzer: discarded error/errno results
+// at exported boundaries.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// Sync is an exported errno-returning operation.
+func Sync() kbase.Errno { return kbase.EOK }
+
+// Close is an exported error-returning operation.
+func Close() error { return errors.New("x") }
+
+// Write returns a count and an errno.
+func Write(p []byte) (int, kbase.Errno) { return len(p), kbase.EOK }
+
+// Notify returns nothing: discarding is meaningless and fine.
+func Notify() {}
+
+// step is unexported: local style, not an exported boundary.
+func step() kbase.Errno { return kbase.EOK }
+
+func bad() {
+	Sync()     // want `result of Sync contains a kbase\.Errno that is silently discarded`
+	Close()    // want `result of Close contains a error that is silently discarded`
+	Write(nil) // want `result of Write contains a kbase\.Errno that is silently discarded`
+}
+
+func good() {
+	if err := Sync(); err != kbase.EOK {
+		return
+	}
+	_ = Sync() // the audited opt-out
+	_ = Close()
+	if _, err := Write(nil); err != kbase.EOK {
+		return
+	}
+	Notify()
+	step()           // unexported callee: not policed
+	fmt.Println("x") // standard-library callee: out of scope
+	defer Close()
+	go func() { Close() }() // want `result of Close contains a error`
+}
+
+// A deferred call has no frame to return into.
+func deferred() {
+	defer Sync()
+}
+
+// Suppression requires a reason, like every kerncheck directive.
+func suppressed() {
+	Sync() //kerncheck:ignore droppederr exercised by the suppression test
+}

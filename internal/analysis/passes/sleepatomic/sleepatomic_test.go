@@ -1,0 +1,12 @@
+package sleepatomic_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/sleepatomic"
+)
+
+func TestSleepAtomic(t *testing.T) {
+	analysistest.Run(t, sleepatomic.Analyzer, analysistest.TestdataDir("a"), "a")
+}

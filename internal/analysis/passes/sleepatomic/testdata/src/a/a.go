@@ -1,0 +1,155 @@
+// Testdata for the sleepatomic analyzer: sleeping while holding a
+// kbase.SpinLock, the might_sleep discipline.
+package a
+
+import (
+	"safelinux/internal/linuxlike/kbase"
+)
+
+var (
+	spinClass  = kbase.NewLockClass("a.spin")
+	mutexClass = kbase.NewLockClass("a.mutex")
+	semClass   = kbase.NewLockClass("a.sem")
+)
+
+type dev struct {
+	spin  *kbase.SpinLock
+	spin2 *kbase.SpinLock
+	mu    *kbase.KMutex
+	sem   *kbase.RWSem
+	ch    chan int
+}
+
+func newDev() *dev {
+	return &dev{
+		spin:  kbase.NewSpinLock(spinClass),
+		spin2: kbase.NewSpinLock(spinClass),
+		mu:    kbase.NewKMutex(mutexClass),
+		sem:   kbase.NewRWSem(semClass),
+		ch:    make(chan int),
+	}
+}
+
+// A short non-blocking critical section is the intended use.
+func good(task *kbase.Task, d *dev) int {
+	d.spin.Lock(task)
+	v := 1 + 1
+	d.spin.Unlock(task)
+	d.mu.Lock(task) // sleeping lock with no spinlock held: fine
+	d.mu.Unlock(task)
+	return v
+}
+
+func badMutexUnderSpin(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	d.mu.Lock(task) // want `possible sleep while holding spinlock d\.spin`
+	d.mu.Unlock(task)
+	d.spin.Unlock(task)
+}
+
+func sleepHelper(task *kbase.Task, d *dev) {
+	d.mu.Lock(task)
+	d.mu.Unlock(task)
+}
+
+// The sleep is reached transitively through an in-package helper.
+func badTransitive(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	defer d.spin.Unlock(task)
+	sleepHelper(task, d) // want `possible sleep while holding spinlock d\.spin`
+}
+
+func badChannelRecv(task *kbase.Task, d *dev) int {
+	d.spin.Lock(task)
+	v := <-d.ch // want `possible sleep while holding spinlock d\.spin`
+	d.spin.Unlock(task)
+	return v
+}
+
+func badChannelSend(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	d.ch <- 1 // want `possible sleep while holding spinlock d\.spin`
+	d.spin.Unlock(task)
+}
+
+// A deferred Unlock holds the lock to function exit.
+func badDeferredUnlock(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	defer d.spin.Unlock(task)
+	d.sem.DownRead(task) // want `possible sleep while holding spinlock d\.spin`
+	d.sem.UpRead(task)
+}
+
+// Releasing before the sleep is fine.
+func goodAfterUnlock(task *kbase.Task, d *dev) int {
+	d.spin.Lock(task)
+	d.spin.Unlock(task)
+	return <-d.ch
+}
+
+type op interface{ Do() }
+
+// Interface dispatch: unknown callee, conservative may-sleep.
+func badDynamic(task *kbase.Task, d *dev, o op) {
+	d.spin.Lock(task)
+	o.Do() // want `possible sleep while holding spinlock d\.spin`
+	d.spin.Unlock(task)
+}
+
+// The lock may be held on one inbound path: still a finding.
+func badMayHold(task *kbase.Task, d *dev, cond bool) {
+	if cond {
+		d.spin.Lock(task)
+	}
+	d.mu.Lock(task) // want `possible sleep while holding spinlock d\.spin`
+	d.mu.Unlock(task)
+	if cond {
+		d.spin.Unlock(task)
+	}
+}
+
+// Both locks held: the diagnostic names the full held set.
+func badNested(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	d.spin2.Lock(task)
+	d.mu.Lock(task) // want `possible sleep while holding spinlock d\.spin, d\.spin2`
+	d.mu.Unlock(task)
+	d.spin2.Unlock(task)
+	d.spin.Unlock(task)
+}
+
+// Spawning a goroutine that sleeps does not block the spawner.
+func goodSpawn(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	go sleepHelper(task, d)
+	d.spin.Unlock(task)
+}
+
+// A select with a default clause cannot block.
+func goodSelectDefault(task *kbase.Task, d *dev) int {
+	d.spin.Lock(task)
+	defer d.spin.Unlock(task)
+	select {
+	case v := <-d.ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func badSelect(task *kbase.Task, d *dev) int {
+	d.spin.Lock(task)
+	defer d.spin.Unlock(task)
+	select { // want `possible sleep while holding spinlock d\.spin`
+	case v := <-d.ch:
+		return v
+	}
+}
+
+// Suppression requires a reason, like every kerncheck directive.
+func suppressed(task *kbase.Task, d *dev) {
+	d.spin.Lock(task)
+	d.mu.Lock(task) //kerncheck:ignore sleepatomic exercised by the suppression test
+	d.mu.Unlock(task)
+	d.spin.Unlock(task)
+}

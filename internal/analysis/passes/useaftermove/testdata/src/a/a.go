@@ -1,0 +1,105 @@
+// Testdata for the useaftermove analyzer: stale own.Owned handles
+// after Move() or a transfer-sink call.
+package a
+
+import (
+	"safelinux/internal/safety/own"
+)
+
+var checker = own.NewChecker(own.PolicyRecord)
+
+type engine struct{}
+
+// WriteOwned mimics kio's transfer sink: the argument's ownership
+// moves into the engine.
+func (e *engine) WriteOwned(block uint64, page own.Owned[[]byte]) bool {
+	moved := page.Move()
+	return moved.Valid()
+}
+
+func fresh() own.Owned[[]byte] {
+	return own.New(checker, "page", make([]byte, 512))
+}
+
+// Move then reuse: the classic bug.
+func badMoveThenUse() {
+	page := fresh()
+	next := page.Move()
+	page.Read(func([]byte) {}) // want `use of page after move`
+	next.Free()
+}
+
+// Double move is also a use of the stale handle.
+func badDoubleMove() {
+	page := fresh()
+	a := page.Move()
+	b := page.Move() // want `use of page after move`
+	a.Free()
+	_ = b
+}
+
+// Passing the handle to a sink transfers ownership.
+func badSinkThenUse(e *engine) {
+	page := fresh()
+	e.WriteOwned(7, page)
+	page.Free() // want `use of page after move`
+}
+
+// Reassignment installs a fresh handle and clears the state.
+func goodReassign(e *engine) {
+	page := fresh()
+	e.WriteOwned(7, page)
+	page = fresh()
+	page.Free()
+}
+
+// Using the moved-to handle is fine; only the source went stale.
+func goodMoveTarget() {
+	page := fresh()
+	next := page.Move()
+	next.Read(func([]byte) {})
+	next.Free()
+}
+
+// The move happens on only one branch: a may-moved path still counts.
+func badMayMove(e *engine, cond bool) {
+	page := fresh()
+	if cond {
+		e.WriteOwned(7, page)
+	}
+	page.Free() // want `use of page after move`
+}
+
+// Both branches reassign before the use: no finding.
+func goodBranchReassign(e *engine, cond bool) {
+	page := fresh()
+	if cond {
+		e.WriteOwned(7, page)
+		page = fresh()
+	}
+	page.Free()
+}
+
+// A loop that moves and reassigns each iteration is the intended
+// producer shape.
+func goodLoop(e *engine) {
+	for i := 0; i < 4; i++ {
+		page := fresh()
+		e.WriteOwned(uint64(i), page)
+	}
+}
+
+// A loop that moves without reassigning trips on the next iteration.
+func badLoop(e *engine) {
+	page := fresh()
+	for i := 0; i < 4; i++ {
+		e.WriteOwned(uint64(i), page) // want `use of page after move`
+	}
+}
+
+// Suppression requires a reason, like every kerncheck directive.
+func suppressed(e *engine) {
+	page := fresh()
+	e.WriteOwned(7, page)
+	page.Free() //kerncheck:ignore useaftermove exercised by the suppression test
+}

@@ -1,0 +1,317 @@
+// Package useaftermove implements a borrow-checker-lite for the §4.3
+// zero-copy path: flow-sensitive use-after-move on own.Owned values.
+// Ownership moves when a handle calls Move() or when the handle is
+// passed as an argument to any function — the tree's convention for
+// transfer sinks like kio's Batch.WriteOwned ("the caller's handles
+// go stale at this call"). Any later use of the stale variable on a
+// may-moved path is reported; reassigning the variable installs a
+// fresh handle and clears the state.
+//
+// The analysis is per function body (function literals are analyzed
+// independently); a variable whose address is taken or that is
+// captured by a nested literal escapes the model and is not tracked.
+package useaftermove
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"safelinux/internal/analysis"
+	"safelinux/internal/analysis/flow"
+)
+
+const ownedType = "safelinux/internal/safety/own.Owned"
+
+// Analyzer flags uses of own.Owned handles after their ownership
+// moved.
+var Analyzer = &analysis.Analyzer{
+	Name: "useaftermove",
+	Doc: "flags flow-sensitive use-after-move on own.Owned values: after Move() " +
+		"or passing the handle to a transfer sink (Batch.WriteOwned and friends) " +
+		"the variable is stale; reassign it before using it again",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath == "safelinux/internal/safety/own" {
+		// The capability implementation manipulates its own handles
+		// (value receivers of type Owned) in ways the caller-side
+		// model does not apply to.
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Type, fd.Body)
+			// Function literals get their own independent analysis.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Type, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isOwned reports whether t is own.Owned[...] (any instantiation).
+func isOwned(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path()+"."+named.Obj().Name() == ownedType
+}
+
+// checker is the per-body analysis state.
+type checker struct {
+	pass    *analysis.Pass
+	body    *ast.BlockStmt
+	ftype   *ast.FuncType
+	escaped map[*types.Var]bool
+}
+
+// tracked reports whether obj is an own.Owned variable belonging to
+// this body (declared in it or one of its parameters) that has not
+// escaped the model.
+func (c *checker) tracked(obj *types.Var) bool {
+	if obj == nil || obj.IsField() || !isOwned(obj.Type()) || c.escaped[obj] {
+		return false
+	}
+	if c.ftype.Pos() <= obj.Pos() && obj.Pos() <= c.body.End() {
+		// Declared in this body or its parameter list — but not
+		// inside a nested literal, whose subtree this analysis never
+		// walks (its uses land in the literal's own analysis).
+		return true
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	c := &checker{pass: pass, body: body, ftype: ftype, escaped: map[*types.Var]bool{}}
+	c.findEscapes()
+
+	cfg := flow.NewCFG(body)
+	in := make([]map[*types.Var]bool, len(cfg.Blocks))
+	out := make([]map[*types.Var]bool, len(cfg.Blocks))
+	preds := make([][]int, len(cfg.Blocks))
+	for i := range cfg.Blocks {
+		in[i] = map[*types.Var]bool{}
+		out[i] = map[*types.Var]bool{}
+	}
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b.Index)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			newIn := map[*types.Var]bool{}
+			for _, p := range preds[b.Index] {
+				for v := range out[p] {
+					newIn[v] = true
+				}
+			}
+			newOut := c.transfer(b, newIn, false)
+			if !sameVars(newIn, in[b.Index]) || !sameVars(newOut, out[b.Index]) {
+				in[b.Index] = newIn
+				out[b.Index] = newOut
+				changed = true
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		c.transfer(b, in[b.Index], true)
+	}
+}
+
+func sameVars(a, b map[*types.Var]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// findEscapes removes address-taken and literal-captured variables
+// from the model.
+func (c *checker) findEscapes() {
+	ast.Inspect(c.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+						c.escaped[v] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Everything an inner literal references is out of this
+			// body's model (shared state; the literal may run at any
+			// time).
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+						c.escaped[v] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// walkState is the per-transfer mutable state.
+type walkState struct {
+	moved  map[*types.Var]bool
+	report bool
+}
+
+func (c *checker) transfer(b *flow.Block, moved map[*types.Var]bool, report bool) map[*types.Var]bool {
+	st := &walkState{moved: map[*types.Var]bool{}, report: report}
+	for v := range moved {
+		st.moved[v] = true
+	}
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			c.walk(n.X, st)
+			c.resetTarget(n.Key, st)
+			c.resetTarget(n.Value, st)
+		case *ast.SelectStmt:
+			// Comm operands are emitted into clause blocks by the CFG.
+		default:
+			c.walk(n, st)
+		}
+	}
+	return st.moved
+}
+
+// resetTarget clears moved state for an assignment target, or walks
+// it as a use when it is not a plain variable.
+func (c *checker) resetTarget(e ast.Expr, st *walkState) {
+	if e == nil {
+		return
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if v := c.varOf(id); v != nil {
+			delete(st.moved, v)
+		}
+		return
+	}
+	c.walk(e, st)
+}
+
+// varOf resolves an identifier to the variable it names, whether the
+// occurrence is a use or its definition.
+func (c *checker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// use records one read of id, reporting if its handle already moved.
+func (c *checker) use(id *ast.Ident, st *walkState) {
+	v, ok := c.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		// A defining occurrence installs a fresh handle.
+		if v, ok := c.pass.Info.Defs[id].(*types.Var); ok {
+			delete(st.moved, v)
+		}
+		return
+	}
+	if !c.tracked(v) {
+		return
+	}
+	if st.moved[v] && st.report {
+		c.pass.Reportf(id.Pos(), "useaftermove",
+			"use of %s after move: ownership was transferred; reassign before reuse", id.Name)
+	}
+}
+
+// move marks id's handle as moved (after its use check).
+func (c *checker) move(id *ast.Ident, st *walkState) {
+	if v, ok := c.pass.Info.Uses[id].(*types.Var); ok && c.tracked(v) {
+		st.moved[v] = true
+	}
+}
+
+// walk dispatches events over one simple node, intercepting the
+// constructs where event order matters.
+func (c *checker) walk(n ast.Node, st *walkState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false // analyzed independently
+		case *ast.AssignStmt:
+			for _, r := range m.Rhs {
+				c.walk(r, st)
+			}
+			for _, l := range m.Lhs {
+				c.resetTarget(l, st)
+			}
+			return false
+		case *ast.CallExpr:
+			c.call(m, st)
+			return false
+		case *ast.Ident:
+			c.use(m, st)
+		}
+		return true
+	})
+}
+
+// call handles one call expression: the receiver of Move() and every
+// owned argument are used then moved; everything else is a use.
+func (c *checker) call(call *ast.CallExpr, st *walkState) {
+	fun := ast.Unparen(call.Fun)
+	switch fun := fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if v, ok := c.pass.Info.Uses[id].(*types.Var); ok && c.tracked(v) {
+				c.use(id, st)
+				if fun.Sel.Name == "Move" {
+					st.moved[v] = true
+				}
+			} else {
+				c.walk(fun.X, st)
+			}
+		} else {
+			c.walk(fun.X, st)
+		}
+	default:
+		c.walk(fun, st)
+	}
+	for _, a := range call.Args {
+		if id, ok := ast.Unparen(a).(*ast.Ident); ok {
+			if v, ok := c.pass.Info.Uses[id].(*types.Var); ok && c.tracked(v) {
+				// Passing the handle transfers ownership: a use now,
+				// stale afterwards.
+				c.use(id, st)
+				c.move(id, st)
+				continue
+			}
+		}
+		c.walk(a, st)
+	}
+}

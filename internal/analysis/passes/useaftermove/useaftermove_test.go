@@ -1,0 +1,12 @@
+package useaftermove_test
+
+import (
+	"testing"
+
+	"safelinux/internal/analysis/analysistest"
+	"safelinux/internal/analysis/passes/useaftermove"
+)
+
+func TestUseAfterMove(t *testing.T) {
+	analysistest.Run(t, useaftermove.Analyzer, analysistest.TestdataDir("a"), "a")
+}

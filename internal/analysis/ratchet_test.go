@@ -1,32 +1,43 @@
 package analysis_test
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 
 	"safelinux/internal/analysis"
 	"safelinux/internal/analysis/passes/anyboundary"
+	"safelinux/internal/analysis/passes/compartguard"
+	"safelinux/internal/analysis/passes/droppederr"
 	"safelinux/internal/analysis/passes/errptr"
 	"safelinux/internal/analysis/passes/lockorder"
 	"safelinux/internal/analysis/passes/ownescape"
 	"safelinux/internal/analysis/passes/refbalance"
+	"safelinux/internal/analysis/passes/sleepatomic"
+	"safelinux/internal/analysis/passes/useaftermove"
 )
 
-// TestRatchet is the committed-baseline invariant as a test: a full
-// kerncheck run over the module must produce zero findings in strict
-// packages and no package/analyzer count above analysis/baseline.json.
-// The counts may only go down — if this fails after your change, fix
-// the new violation instead of touching the baseline.
-func TestRatchet(t *testing.T) {
+// TestZeroFindings is the retired ratchet's end state as a test: a
+// full nine-pass kerncheck run over the module must produce zero
+// findings anywhere, and the legacy baseline file must stay deleted.
+// The baseline walked 70 legacy findings down to zero over six PRs;
+// if this fails after your change, fix the new violation (or suppress
+// it with an audited //kerncheck:ignore directive) — do not resurrect
+// analysis/baseline.json.
+func TestZeroFindings(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module")
 	}
 	analyzers := []*analysis.Analyzer{
 		anyboundary.Analyzer,
+		compartguard.Analyzer,
+		droppederr.Analyzer,
 		errptr.Analyzer,
 		lockorder.Analyzer,
 		ownescape.Analyzer,
 		refbalance.Analyzer,
+		sleepatomic.Analyzer,
+		useaftermove.Analyzer,
 	}
 	root, err := analysis.FindModuleRoot(".")
 	if err != nil {
@@ -50,19 +61,11 @@ func TestRatchet(t *testing.T) {
 		findings = append(findings, fs...)
 	}
 
-	for _, f := range analysis.StrictViolations(findings) {
-		t.Errorf("strict package violation: %s", f)
+	for _, f := range findings {
+		t.Errorf("zero-findings policy violation: %s", f)
 	}
 
-	base, err := analysis.LoadBaseline(filepath.Join(root, "analysis", "baseline.json"))
-	if err != nil {
-		t.Fatalf("LoadBaseline: %v", err)
-	}
-	if base.Total() == 0 {
-		t.Fatal("committed baseline is empty; run `go run ./cmd/kerncheck -update-baseline`")
-	}
-	regressions, _ := base.Compare(findings)
-	for _, r := range regressions {
-		t.Errorf("ratchet regression: %s", r)
+	if _, err := os.Stat(filepath.Join(root, "analysis", "baseline.json")); !os.IsNotExist(err) {
+		t.Errorf("analysis/baseline.json exists; the ratchet is retired — the tree runs at zero findings")
 	}
 }

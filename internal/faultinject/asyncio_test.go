@@ -37,13 +37,13 @@ func journalWrite(t *testing.T, cache *bufcache.Cache, j *journal.Journal, block
 	if err != kbase.EOK {
 		t.Fatalf("Bread(%d): %v", block, err)
 	}
-	if err := h.GetWriteAccess(bh); err != kbase.EOK {
+	if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
 		t.Fatalf("GetWriteAccess(%d): %v", block, err)
 	}
 	for i := range bh.Data {
 		bh.Data[i] = fill
 	}
-	h.DirtyMetadata(bh)
+	h.DirtyMetadata(bh.Meta())
 	bh.Put()
 	h.Stop()
 }

@@ -187,7 +187,7 @@ func RunLegacyNet(s NetSchedule) NetOutcome {
 	lst, _ := hB.ListenTCP(80)
 	cli, _ := hA.ConnectTCP(2, 80)
 	payload := netPayload(s)
-	cli.Send(payload) // queued behind the handshake
+	_ = cli.Send(payload) // queued behind the handshake; delivery is what the diff checks
 
 	var srv *net.Socket
 	d := &netDriver{
@@ -201,7 +201,7 @@ func RunLegacyNet(s NetSchedule) NetOutcome {
 			return srv != nil
 		},
 		cliEstab: func() bool { return cli.Established() },
-		cliClose: func() { cli.Close() },
+		cliClose: func() { _ = cli.Close() },
 		srvRecv: func(buf []byte) (int, kbase.Errno) {
 			if srv == nil {
 				return 0, kbase.EAGAIN
@@ -246,7 +246,7 @@ func RunSafeNet(s NetSchedule) NetOutcome {
 	lst, _ := epB.Listen(80)
 	cli, _ := epA.Connect(2, 80)
 	payload := netPayload(s)
-	cli.Send(payload)
+	_ = cli.Send(payload) // queued behind the handshake; delivery is what the diff checks
 
 	var srv *safetcp.Conn
 	d := &netDriver{
@@ -260,7 +260,7 @@ func RunSafeNet(s NetSchedule) NetOutcome {
 			return srv != nil
 		},
 		cliEstab: func() bool { return cli.Established() },
-		cliClose: func() { cli.Close() },
+		cliClose: func() { _ = cli.Close() },
 		srvRecv: func(buf []byte) (int, kbase.Errno) {
 			if srv == nil {
 				return 0, kbase.EAGAIN

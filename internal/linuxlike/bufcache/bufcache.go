@@ -20,7 +20,6 @@
 package bufcache
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -93,13 +92,61 @@ type BufferHead struct {
 
 	cache    *Cache
 	refcount atomic.Int32
-	elem     *list.Element // guarded by the owning shard's mutex
 
-	// JournalData is the void*-style b_private field: the journal
-	// hangs its per-buffer state here and the file system must not
-	// touch it, a contract enforced only by convention.
-	JournalData any
+	// Intrusive LRU links, guarded by the owning shard's mutex. A
+	// typed intrusive list replaces the old container/list, whose
+	// any-typed Element.Value forced a cast on every eviction.
+	lruPrev, lruNext *BufferHead
+
+	// journalSeq replaces the void*-style JournalData (b_private)
+	// field: the journal records the owning transaction's sequence
+	// through the typed accessors below, so the cache/journal crossing
+	// is no longer an untyped any that other components could stomp.
+	// Zero means "not joined to any transaction"; guarded by mu.
+	journalSeq uint64
 }
+
+// SetJournalSeq records the journal transaction bh has joined — the
+// typed successor of the b_private breadcrumb.
+func (bh *BufferHead) SetJournalSeq(seq uint64) {
+	bh.mu.Lock()
+	bh.journalSeq = seq
+	bh.mu.Unlock()
+}
+
+// JournalSeq returns the transaction sequence recorded on bh, or 0 if
+// the buffer is not part of a running transaction.
+func (bh *BufferHead) JournalSeq() uint64 {
+	bh.mu.Lock()
+	defer bh.mu.Unlock()
+	return bh.journalSeq
+}
+
+// ClearJournalSeq removes the transaction breadcrumb (commit time).
+func (bh *BufferHead) ClearJournalSeq() {
+	bh.mu.Lock()
+	bh.journalSeq = 0
+	bh.mu.Unlock()
+}
+
+// MetaRef is the capability a buffer holder presents to the journal
+// when registering the buffer as transaction metadata. Only bufcache
+// can mint one (the field is unexported), so a *BufferHead obtained
+// outside the cache's get/bread surface cannot be journaled, and the
+// journal's exported API no longer traffics in the shared raw pointer.
+type MetaRef struct {
+	bh *BufferHead
+}
+
+// Meta mints the journaling capability for bh.
+func (bh *BufferHead) Meta() MetaRef { return MetaRef{bh: bh} }
+
+// Head returns the underlying buffer. bufcache is the owning package
+// of BufferHead, so this is the one audited unwrap point.
+func (r MetaRef) Head() *BufferHead { return r.bh }
+
+// Valid reports whether the capability wraps a live buffer.
+func (r MetaRef) Valid() bool { return r.bh != nil }
 
 // TestFlag reports whether f is set.
 func (bh *BufferHead) TestFlag(f Flag) bool {
@@ -188,12 +235,55 @@ func (bh *BufferHead) Put() error {
 // Refcount returns the current reference count.
 func (bh *BufferHead) Refcount() int { return int(bh.refcount.Load()) }
 
+// lruList is a typed intrusive LRU list of buffer heads (front =
+// most recent). Links live inside BufferHead, so traversal and
+// removal never cast through an any-typed container element.
+type lruList struct {
+	front, back *BufferHead
+}
+
+func (l *lruList) pushFront(bh *BufferHead) {
+	bh.lruPrev = nil
+	bh.lruNext = l.front
+	if l.front != nil {
+		l.front.lruPrev = bh
+	}
+	l.front = bh
+	if l.back == nil {
+		l.back = bh
+	}
+}
+
+func (l *lruList) remove(bh *BufferHead) {
+	if bh.lruPrev != nil {
+		bh.lruPrev.lruNext = bh.lruNext
+	} else {
+		l.front = bh.lruNext
+	}
+	if bh.lruNext != nil {
+		bh.lruNext.lruPrev = bh.lruPrev
+	} else {
+		l.back = bh.lruPrev
+	}
+	bh.lruPrev, bh.lruNext = nil, nil
+}
+
+func (l *lruList) moveToFront(bh *BufferHead) {
+	if l.front == bh {
+		return
+	}
+	l.remove(bh)
+	l.pushFront(bh)
+}
+
+func (l *lruList) init() { l.front, l.back = nil, nil }
+
 // cacheShard is one stripe of the cache: the buffers hashed to it,
 // their LRU order, and the dirty subset.
 type cacheShard struct {
 	mu      sync.Mutex
 	buffers map[uint64]*BufferHead
-	lru     *list.List // front = most recent
+	lru     lruList
 	dirty   map[uint64]*BufferHead
 
 	hits      uint64
@@ -240,7 +330,6 @@ func NewCache(dev *blockdev.Device, maxBufs int) *Cache {
 	c := &Cache{dev: dev, maxBufs: maxBufs}
 	for i := range c.shards {
 		c.shards[i].buffers = make(map[uint64]*BufferHead)
-		c.shards[i].lru = list.New()
 		c.shards[i].dirty = make(map[uint64]*BufferHead)
 	}
 	return c
@@ -295,7 +384,7 @@ func (c *Cache) doGetBlk(block uint64) (*BufferHead, kbase.Errno) {
 	if bh, ok := s.buffers[block]; ok {
 		s.hits++
 		bh.refcount.Add(1)
-		s.lru.MoveToFront(bh.elem)
+		s.lru.moveToFront(bh)
 		s.mu.Unlock()
 		tpGet.Emit(0, block, 1)
 		return bh, kbase.EOK
@@ -314,7 +403,7 @@ func (c *Cache) doGetBlk(block uint64) (*BufferHead, kbase.Errno) {
 			if bh, ok := s.buffers[block]; ok {
 				// Someone else cached it while we hunted.
 				bh.refcount.Add(1)
-				s.lru.MoveToFront(bh.elem)
+				s.lru.moveToFront(bh)
 				s.mu.Unlock()
 				return bh, kbase.EOK
 			}
@@ -326,7 +415,7 @@ func (c *Cache) doGetBlk(block uint64) (*BufferHead, kbase.Errno) {
 		cache: c,
 	}
 	bh.refcount.Store(1)
-	bh.elem = s.lru.PushFront(bh)
+	s.lru.pushFront(bh)
 	s.buffers[block] = bh
 	c.size.Add(1)
 	s.mu.Unlock()
@@ -336,10 +425,9 @@ func (c *Cache) doGetBlk(block uint64) (*BufferHead, kbase.Errno) {
 // evictOneLocked evicts one clean unreferenced buffer from s's LRU
 // tail. Caller holds s.mu.
 func (c *Cache) evictOneLocked(s *cacheShard) bool {
-	for e := s.lru.Back(); e != nil; e = e.Prev() {
-		bh := e.Value.(*BufferHead)
+	for bh := s.lru.back; bh != nil; bh = bh.lruPrev {
 		if bh.refcount.Load() == 0 && !bh.Dirty() {
-			s.lru.Remove(e)
+			s.lru.remove(bh)
 			delete(s.buffers, bh.Block)
 			s.evictions++
 			c.size.Add(-1)
@@ -376,7 +464,7 @@ func (c *Cache) doBread(block uint64) (*BufferHead, kbase.Errno) {
 		if !bh.Uptodate() { // recheck: a racing Bread may have filled it
 			if err := c.dev.Read(block, bh.Data); err != kbase.EOK {
 				bh.ioMu.Unlock()
-				bh.Put()
+				_ = bh.Put() // brelse-style release; over-release is already oopsed
 				return nil, err
 			}
 			bh.SetFlag(BHUptodate | BHMapped | BHReq)
@@ -565,7 +653,7 @@ func (c *Cache) Invalidate() {
 		s.mu.Lock()
 		s.buffers = make(map[uint64]*BufferHead)
 		s.dirty = make(map[uint64]*BufferHead)
-		s.lru.Init()
+		s.lru.init()
 		s.mu.Unlock()
 	}
 	c.size.Store(0)

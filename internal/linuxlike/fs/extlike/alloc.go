@@ -32,25 +32,25 @@ func (inst *fsInstance) bitmapAlloc(task *kbase.Task, h *journal.Handle, start, 
 			for bit := 0; bit < 8; bit++ {
 				idx := base + uint64(i*8+bit)
 				if idx >= limit {
-					bh.Put()
+					_ = bh.Put() // brelse-style release; over-release is already oopsed
 					return 0, kbase.ENOSPC
 				}
 				if bh.Data[i]&(1<<bit) == 0 {
-					if err := h.GetWriteAccess(bh); err != kbase.EOK {
-						bh.Put()
+					if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
+						_ = bh.Put() // brelse-style release; over-release is already oopsed
 						return 0, err
 					}
 					bh.Data[i] |= 1 << bit
-					if err := h.DirtyMetadata(bh); err != kbase.EOK {
-						bh.Put()
+					if err := h.DirtyMetadata(bh.Meta()); err != kbase.EOK {
+						_ = bh.Put() // brelse-style release; over-release is already oopsed
 						return 0, err
 					}
-					bh.Put()
+					_ = bh.Put() // brelse-style release; over-release is already oopsed
 					return idx, kbase.EOK
 				}
 			}
 		}
-		bh.Put()
+		_ = bh.Put() // brelse-style release; over-release is already oopsed
 	}
 	return 0, kbase.ENOSPC
 }
@@ -74,11 +74,11 @@ func (inst *fsInstance) bitmapFree(task *kbase.Task, h *journal.Handle, start, i
 		kbase.Oops(kbase.OopsDoubleFree, "extlike", "bitmap double free of bit %d", idx)
 		return kbase.EUCLEAN
 	}
-	if err := h.GetWriteAccess(bh); err != kbase.EOK {
+	if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
 		return err
 	}
 	bh.Data[byteIdx] &^= bit
-	return h.DirtyMetadata(bh)
+	return h.DirtyMetadata(bh.Meta())
 }
 
 // allocBlock allocates one data block and returns its device block
@@ -141,7 +141,7 @@ func (inst *fsInstance) countFreeBits(start, nBlocks, limit uint64) (uint64, kba
 				}
 			}
 		}
-		bh.Put()
+		_ = bh.Put() // brelse-style release; over-release is already oopsed
 	}
 	return free, kbase.EOK
 }

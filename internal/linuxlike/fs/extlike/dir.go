@@ -67,15 +67,15 @@ func (inst *fsInstance) journalDirData(task *kbase.Task, h *journal.Handle, ei *
 		if err != kbase.EOK {
 			return err
 		}
-		if err := h.GetWriteAccess(bh); err != kbase.EOK {
-			bh.Put()
+		if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
+			_ = bh.Put() // brelse-style release; over-release is already oopsed
 			return err
 		}
-		if err := h.DirtyMetadata(bh); err != kbase.EOK {
-			bh.Put()
+		if err := h.DirtyMetadata(bh.Meta()); err != kbase.EOK {
+			_ = bh.Put() // brelse-style release; over-release is already oopsed
 			return err
 		}
-		bh.Put()
+		_ = bh.Put() // brelse-style release; over-release is already oopsed
 	}
 	return kbase.EOK
 }

@@ -31,7 +31,7 @@ type FS struct {
 // Name implements vfs.FileSystemType.
 func (f *FS) Name() string { return "extlike" }
 
-// MountData is what the untyped mount data argument must contain.
+// MountData is what the mount data envelope must contain.
 type MountData struct {
 	Dev *blockdev.Device
 	// CacheSize bounds the buffer cache (0 = unbounded).
@@ -75,12 +75,12 @@ type fsInstance struct {
 	inodes map[uint64]*vfs.Inode
 }
 
-// Mount implements vfs.FileSystemType. data must be a *MountData —
+// Mount implements vfs.FileSystemType. data must wrap a *MountData —
 // checked with the legacy any-downcast, oopsing on confusion.
-func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
-	md, ok := data.(*MountData)
+func (f *FS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase.Errno) {
+	md, ok := vfs.MountDataAs[*MountData](data)
 	if !ok || md.Dev == nil {
-		kbase.Oops(kbase.OopsTypeConfusion, "extlike", "mount data is %T, not *MountData", data)
+		kbase.Oops(kbase.OopsTypeConfusion, "extlike", "mount data is not *extlike.MountData")
 		return nil, kbase.EINVAL
 	}
 	cache := bufcache.NewCache(md.Dev, md.CacheSize)
@@ -109,7 +109,8 @@ func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
 	if _, err := inst.jnl.Recover(); err != kbase.EOK {
 		return nil, err
 	}
-	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
+	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst}
+	vfs.SetSBPrivate(vsb, inst)
 	inst.vsb = vsb
 	root, err := inst.iget(task, geo.SB.RootIno)
 	if err != kbase.EOK {
@@ -474,7 +475,7 @@ func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kb
 }
 
 // writeToken carries state from WriteBegin to WriteEnd through the
-// VFS's untyped ferry.
+// VFS's WriteState ferry.
 type writeToken struct {
 	ei *einode
 	h  *journal.Handle
@@ -502,25 +503,25 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 	return inst.readFileRange(task, ei, buf, off)
 }
 
-func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (any, kbase.Errno) {
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (vfs.WriteState, kbase.Errno) {
 	inst := fo.inst
 	ei, err := einodeOf(ino)
 	if err != kbase.EOK {
-		return nil, err
+		return vfs.WriteState{}, err
 	}
 	ei.lock.Lock(task) // released in WriteEnd — the legacy protocol spans calls
 	h := inst.begin()
 	if inst.fs.ConfuseWriteEnd {
-		return &confusedToken{ei: ei, h: h}, kbase.EOK
+		return vfs.NewWriteState(&confusedToken{ei: ei, h: h}), kbase.EOK
 	}
-	return &writeToken{ei: ei, h: h}, kbase.EOK
+	return vfs.NewWriteState(&writeToken{ei: ei, h: h}), kbase.EOK
 }
 
-func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
-	tok, ok := private.(*writeToken)
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private vfs.WriteState) (int, kbase.Errno) {
+	tok, ok := vfs.WriteStateAs[*writeToken](private)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
-			"write_copy private is %T, not *writeToken", private)
+			"write_copy private is not *writeToken")
 		fo.abortWrite(task, ino, private)
 		return 0, kbase.EUCLEAN
 	}
@@ -532,11 +533,11 @@ func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data [
 	return n, err
 }
 
-func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, private any) kbase.Errno {
-	tok, ok := private.(*writeToken)
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, private vfs.WriteState) kbase.Errno {
+	tok, ok := vfs.WriteStateAs[*writeToken](private)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
-			"write_end private is %T, not *writeToken", private)
+			"write_end private is not *writeToken")
 		fo.abortWrite(task, ino, private)
 		return kbase.EUCLEAN
 	}
@@ -564,8 +565,8 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 // abortWrite cleans up when the token was type-confused: we can still
 // salvage the handle if the confused value carries one, and the inode
 // lock is recovered from the inode itself since the token is useless.
-func (fo *fileOps) abortWrite(task *kbase.Task, ino *vfs.Inode, private any) {
-	if ct, ok := private.(*confusedToken); ok {
+func (fo *fileOps) abortWrite(task *kbase.Task, ino *vfs.Inode, private vfs.WriteState) {
+	if ct, ok := vfs.WriteStateAs[*confusedToken](private); ok {
 		ct.h.Stop()
 	}
 	fo.inst.commit()

@@ -32,7 +32,7 @@ func mount(t *testing.T, dev *blockdev.Device, fs *extlike.FS) (*vfs.VFS, *kbase
 	if err := v.RegisterFS(fs); err != kbase.EOK {
 		t.Fatalf("RegisterFS: %v", err)
 	}
-	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+	if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err != kbase.EOK {
 		t.Fatalf("Mount: %v", err)
 	}
 	return v, task
@@ -108,7 +108,7 @@ func TestMountRejectsForeignDevice(t *testing.T) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&extlike.FS{})
-	if err := v.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EUCLEAN {
+	if err := v.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err != kbase.EUCLEAN {
 		t.Fatalf("mount of unformatted device: %v", err)
 	}
 }
@@ -120,7 +120,7 @@ func TestMountDataTypeConfusion(t *testing.T) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&extlike.FS{})
-	if err := v.Mount(task, "/", "extlike", "oops-wrong-type"); err != kbase.EINVAL {
+	if err := v.Mount(task, "/", "extlike", vfs.NewMountData("oops-wrong-type")); err != kbase.EINVAL {
 		t.Fatalf("mount with wrong data: %v", err)
 	}
 	if rec.Count(kbase.OopsTypeConfusion) != 1 {

@@ -205,7 +205,7 @@ func (inst *fsInstance) markBlocks(ei *einode, seen map[uint64]bool, rep *FsckRe
 		for i := 0; i < ptrs; i++ {
 			mark(leU64(ibh.Data[i*8:]))
 		}
-		ibh.Put()
+		_ = ibh.Put() // brelse-style release; over-release is already oopsed
 	}
 	return kbase.EOK
 }

@@ -8,8 +8,8 @@ import (
 )
 
 // einode is the in-memory inode private state: a cached copy of the
-// on-disk inode. It hangs off vfs.Inode.Private as an untyped value,
-// as i_private does.
+// on-disk inode. It hangs off the vfs inode's private slot, as
+// i_private does, reached only through the typed accessors.
 type einode struct {
 	ino uint64
 	// lock is the per-inode mutex (i_rwsem's stand-in). It guards di
@@ -25,7 +25,7 @@ func einodeOf(ino *vfs.Inode) (*einode, kbase.Errno) {
 	ei, ok := vfs.PrivateAs[*einode](ino)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "extlike",
-			"inode %d private is %T, not *einode", ino.Ino, ino.Private)
+			"inode %d private is not *einode", ino.Ino)
 		return nil, kbase.EUCLEAN
 	}
 	return ei, kbase.EOK
@@ -60,11 +60,11 @@ func (inst *fsInstance) writeDiskInode(task *kbase.Task, h *journal.Handle, ino 
 		return err
 	}
 	defer bh.Put()
-	if err := h.GetWriteAccess(bh); err != kbase.EOK {
+	if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
 		return err
 	}
 	di.encode(bh.Data[off : off+DiskInodeSize])
-	return h.DirtyMetadata(bh)
+	return h.DirtyMetadata(bh.Meta())
 }
 
 // iget returns the in-memory vfs.Inode for ino, loading it from disk
@@ -101,10 +101,10 @@ func (inst *fsInstance) iget(task *kbase.Task, ino uint64) (*vfs.Inode, kbase.Er
 		ILock:   kbase.NewSpinLock(vfs.ILockClass),
 		ISize:   int64(di.Size),
 		Sb:      inst.vsb,
-		Ops:     vfs.AdaptTyped(&inodeOps{inst: inst}),
+		Ops:     &inodeOps{inst: inst},
 		FileOps: &fileOps{inst: inst},
-		Private: ei,
 	}
+	vfs.SetPrivate(vi, ei)
 	inst.inodes[ino] = vi
 	return vi, kbase.EOK
 }
@@ -162,11 +162,11 @@ func (inst *fsInstance) blockFor(task *kbase.Task, h *journal.Handle, ei *einode
 		if err := inst.zeroBlock(nb); err != kbase.EOK {
 			return 0, err
 		}
-		if err := h.GetWriteAccess(ibh); err != kbase.EOK {
+		if err := h.GetWriteAccess(ibh.Meta()); err != kbase.EOK {
 			return 0, err
 		}
 		putU64(ibh.Data[idx*8:], nb)
-		if err := h.DirtyMetadata(ibh); err != kbase.EOK {
+		if err := h.DirtyMetadata(ibh.Meta()); err != kbase.EOK {
 			return 0, err
 		}
 		blk = nb
@@ -223,7 +223,7 @@ func (inst *fsInstance) readFileRange(task *kbase.Task, ei *einode, buf []byte, 
 				return n, err
 			}
 			copy(buf[n:n+want], bh.Data[inBlock:])
-			bh.Put()
+			_ = bh.Put() // brelse-style release; over-release is already oopsed
 		}
 		n += want
 	}
@@ -265,7 +265,7 @@ func (inst *fsInstance) writeFileRange(task *kbase.Task, h *journal.Handle, ei *
 		}
 		copy(bh.Data[inBlock:], data[n:n+want])
 		bh.MarkDirty()
-		bh.Put()
+		_ = bh.Put() // brelse-style release; over-release is already oopsed
 		n += want
 	}
 	return n, kbase.EOK
@@ -302,12 +302,12 @@ func (inst *fsInstance) truncateBlocks(task *kbase.Task, h *journal.Handle, ei *
 				continue
 			}
 			if err := inst.freeBlock(task, h, blk); err != kbase.EOK {
-				ibh.Put()
+				_ = ibh.Put() // brelse-style release; over-release is already oopsed
 				return err
 			}
 			if !dirtied {
-				if err := h.GetWriteAccess(ibh); err != kbase.EOK {
-					ibh.Put()
+				if err := h.GetWriteAccess(ibh.Meta()); err != kbase.EOK {
+					_ = ibh.Put() // brelse-style release; over-release is already oopsed
 					return err
 				}
 				dirtied = true
@@ -315,26 +315,26 @@ func (inst *fsInstance) truncateBlocks(task *kbase.Task, h *journal.Handle, ei *
 			putU64(ibh.Data[idx*8:], 0)
 		}
 		if dirtied {
-			if err := h.DirtyMetadata(ibh); err != kbase.EOK {
-				ibh.Put()
+			if err := h.DirtyMetadata(ibh.Meta()); err != kbase.EOK {
+				_ = ibh.Put() // brelse-style release; over-release is already oopsed
 				return err
 			}
 		}
 		if keep <= NumDirect {
 			// Whole indirect tree gone.
 			if err := inst.freeBlock(task, h, ei.di.Indirect); err != kbase.EOK {
-				ibh.Put()
+				_ = ibh.Put() // brelse-style release; over-release is already oopsed
 				return err
 			}
 			// The indirect block may be reused as data; revoke it.
 			if err := h.Revoke(ei.di.Indirect); err != kbase.EOK {
-				ibh.Put()
+				_ = ibh.Put() // brelse-style release; over-release is already oopsed
 				return err
 			}
 			inst.cache.Forget(ibh)
 			ei.di.Indirect = 0
 		}
-		ibh.Put()
+		_ = ibh.Put() // brelse-style release; over-release is already oopsed
 	}
 	return kbase.EOK
 }

@@ -6,8 +6,10 @@
 // (".wh.<name>" files, as original overlayfs did).
 //
 // Directory renames return EXDEV, as mainline overlayfs does without
-// redirect_dir. The implementation follows the legacy kernel style of
-// its siblings: untyped Inode.Private state and ERR_PTR returns.
+// redirect_dir. The implementation uses the typed inode operation
+// table: layer calls return typedapi.Result, per-inode state crosses
+// through the vfs private accessors, and the write protocol rides in
+// WriteState envelopes.
 package overlaylike
 
 import (
@@ -16,6 +18,7 @@ import (
 
 	"safelinux/internal/linuxlike/kbase"
 	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safety/typedapi"
 )
 
 // WhiteoutPrefix marks deleted lower entries in the upper layer.
@@ -58,10 +61,10 @@ type childKey struct {
 }
 
 // Mount implements vfs.FileSystemType.
-func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
-	md, ok := data.(*MountData)
+func (f *FS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase.Errno) {
+	md, ok := vfs.MountDataAs[*MountData](data)
 	if !ok || md.Upper == nil || md.Lower == nil {
-		kbase.Oops(kbase.OopsTypeConfusion, "overlaylike", "mount data is %T", data)
+		kbase.Oops(kbase.OopsTypeConfusion, "overlaylike", "mount data is not *overlaylike.MountData")
 		return nil, kbase.EINVAL
 	}
 	inst := &fsInstance{
@@ -70,7 +73,8 @@ func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
 		nextIno:  2,
 		children: make(map[childKey]*vfs.Inode),
 	}
-	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
+	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst}
+	vfs.SetSBPrivate(vsb, inst)
 	inst.vsb = vsb
 	root := inst.newInode(1, vfs.ModeDir, &ovlNode{
 		upper: md.Upper.Root,
@@ -89,8 +93,8 @@ func (inst *fsInstance) newInode(ino uint64, mode vfs.FileMode, node *ovlNode) *
 		Sb:      inst.vsb,
 		Ops:     &inodeOps{inst: inst},
 		FileOps: &fileOps{inst: inst},
-		Private: node,
 	}
+	vfs.SetPrivate(vi, node)
 	if eff := node.effective(); eff != nil {
 		vi.ISize = eff.SizeRead(nil)
 	}
@@ -114,26 +118,21 @@ func (n *ovlNode) effective() *vfs.Inode {
 }
 
 func nodeOf(ino *vfs.Inode) (*ovlNode, kbase.Errno) {
-	n, ok := ino.Private.(*ovlNode)
+	n, ok := vfs.PrivateAs[*ovlNode](ino)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "overlaylike",
-			"inode %d private is %T, not *ovlNode", ino.Ino, ino.Private)
+			"inode %d private is not *ovlNode", ino.Ino)
 		return nil, kbase.EUCLEAN
 	}
 	return n, kbase.EOK
 }
 
-// layerLookup runs a Lookup on a layer inode, translating the
-// ERR_PTR convention to (inode, errno).
+// layerLookup runs a typed Lookup on a layer inode.
 func layerLookup(task *kbase.Task, dir *vfs.Inode, name string) (*vfs.Inode, kbase.Errno) {
 	if dir == nil {
 		return nil, kbase.ENOENT
 	}
-	child := dir.Ops.Lookup(task, dir, name)
-	if kbase.IsErr(child) {
-		return nil, kbase.PtrErr(child)
-	}
-	return child, kbase.EOK
+	return dir.Ops.LookupTyped(task, dir, name).Get()
 }
 
 // hasWhiteout reports whether upper dir carries a whiteout for name.
@@ -145,24 +144,24 @@ func hasWhiteout(task *kbase.Task, upper *vfs.Inode, name string) bool {
 	return err == kbase.EOK
 }
 
-// inodeOps implements vfs.InodeOps.
+// inodeOps implements vfs.TypedInodeOps.
 type inodeOps struct {
 	inst *fsInstance
 }
 
-func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+func (o *inodeOps) LookupTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
 	inst := o.inst
 	if strings.HasPrefix(name, WhiteoutPrefix) {
-		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
+		return typedapi.Err[*vfs.Inode](kbase.EINVAL)
 	}
 	dn, err := nodeOf(dir)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	var upperChild, lowerChild *vfs.Inode
 	if dn.upper != nil {
 		if hasWhiteout(task, dn.upper, name) {
-			return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+			return typedapi.Err[*vfs.Inode](kbase.ENOENT)
 		}
 		upperChild, _ = layerLookup(task, dn.upper, name)
 	}
@@ -170,7 +169,7 @@ func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.In
 		lowerChild, _ = layerLookup(task, dn.lower, name)
 	}
 	if upperChild == nil && lowerChild == nil {
-		return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+		return typedapi.Err[*vfs.Inode](kbase.ENOENT)
 	}
 	// A non-dir upper entry shadows the lower entirely.
 	if upperChild != nil && !upperChild.Mode.IsDir() {
@@ -187,9 +186,10 @@ func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.In
 	key := childKey{dir: dir.Ino, name: name}
 	if vi, ok := inst.children[key]; ok {
 		// Refresh layer pointers (copy-up may have happened).
-		vn := vi.Private.(*ovlNode)
-		vn.upper, vn.lower = upperChild, lowerChild
-		return vi
+		if vn, ok := vfs.PrivateAs[*ovlNode](vi); ok {
+			vn.upper, vn.lower = upperChild, lowerChild
+		}
+		return typedapi.Ok(vi)
 	}
 	eff := upperChild
 	if eff == nil {
@@ -200,7 +200,7 @@ func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.In
 	})
 	inst.nextIno++
 	inst.children[key] = vi
-	return vi
+	return typedapi.Ok(vi)
 }
 
 // ensureUpperDir guarantees that the overlay dir inode has an upper
@@ -220,10 +220,10 @@ func (inst *fsInstance) ensureUpperDir(task *kbase.Task, dir *vfs.Inode) (*vfs.I
 	if err != kbase.EOK {
 		return nil, err
 	}
-	made := parentUpper.Ops.Mkdir(task, parentUpper, dn.name)
-	if kbase.IsErr(made) {
-		if e := kbase.PtrErr(made); e != kbase.EEXIST {
-			return nil, e
+	made, merr := parentUpper.Ops.MkdirTyped(task, parentUpper, dn.name).Get()
+	if merr != kbase.EOK {
+		if merr != kbase.EEXIST {
+			return nil, merr
 		}
 		existing, e := layerLookup(task, parentUpper, dn.name)
 		if e != kbase.EOK {
@@ -255,9 +255,9 @@ func (inst *fsInstance) copyUp(task *kbase.Task, ovl *vfs.Inode) kbase.Errno {
 	if err != kbase.EOK {
 		return err
 	}
-	upperFile := parentUpper.Ops.Create(task, parentUpper, n.name, vfs.ModeRegular)
-	if kbase.IsErr(upperFile) {
-		return kbase.PtrErr(upperFile)
+	upperFile, cerr := parentUpper.Ops.CreateTyped(task, parentUpper, n.name, vfs.ModeRegular).Get()
+	if cerr != kbase.EOK {
+		return cerr
 	}
 	// Copy content through the layers' file ops.
 	size := n.lower.SizeRead(task)
@@ -291,33 +291,34 @@ func writeThrough(task *kbase.Task, ino *vfs.Inode, data []byte, off int64) kbas
 	return ino.FileOps.WriteEnd(task, ino, off, n, private)
 }
 
-func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+func (o *inodeOps) CreateTyped(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) typedapi.Result[*vfs.Inode] {
 	inst := o.inst
 	if strings.HasPrefix(name, WhiteoutPrefix) {
-		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
+		return typedapi.Err[*vfs.Inode](kbase.EINVAL)
 	}
 	// Existence check in the merged view.
-	if existing := o.Lookup(task, dir, name); !kbase.IsErr(existing) {
-		return kbase.ErrPtr[vfs.Inode](kbase.EEXIST)
+	if _, e := o.LookupTyped(task, dir, name).Get(); e == kbase.EOK {
+		return typedapi.Err[*vfs.Inode](kbase.EEXIST)
 	}
 	upperDir, err := inst.ensureUpperDir(task, dir)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	// Clear any whiteout.
 	if hasWhiteout(task, upperDir, name) {
 		if e := upperDir.Ops.Unlink(task, upperDir, WhiteoutPrefix+name); e != kbase.EOK {
-			return kbase.ErrPtr[vfs.Inode](e)
+			return typedapi.Err[*vfs.Inode](e)
 		}
 	}
 	var made *vfs.Inode
+	var merr kbase.Errno
 	if mode.IsDir() {
-		made = upperDir.Ops.Mkdir(task, upperDir, name)
+		made, merr = upperDir.Ops.MkdirTyped(task, upperDir, name).Get()
 	} else {
-		made = upperDir.Ops.Create(task, upperDir, name, mode)
+		made, merr = upperDir.Ops.CreateTyped(task, upperDir, name, mode).Get()
 	}
-	if kbase.IsErr(made) {
-		return made
+	if merr != kbase.EOK {
+		return typedapi.Err[*vfs.Inode](merr)
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -327,11 +328,11 @@ func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vf
 	})
 	inst.nextIno++
 	inst.children[key] = vi
-	return vi
+	return typedapi.Ok(vi)
 }
 
-func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
-	return o.Create(task, dir, name, vfs.ModeDir)
+func (o *inodeOps) MkdirTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
+	return o.CreateTyped(task, dir, name, vfs.ModeDir)
 }
 
 func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
@@ -344,9 +345,9 @@ func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Er
 
 func (inst *fsInstance) remove(task *kbase.Task, dir *vfs.Inode, name string, wantDir bool) kbase.Errno {
 	ops := &inodeOps{inst: inst}
-	target := ops.Lookup(task, dir, name)
-	if kbase.IsErr(target) {
-		return kbase.PtrErr(target)
+	target, terr := ops.LookupTyped(task, dir, name).Get()
+	if terr != kbase.EOK {
+		return terr
 	}
 	if wantDir != target.Mode.IsDir() {
 		if wantDir {
@@ -403,9 +404,8 @@ func (inst *fsInstance) remove(task *kbase.Task, dir *vfs.Inode, name string, wa
 		if err != kbase.EOK {
 			return err
 		}
-		wh := upperDir.Ops.Create(task, upperDir, WhiteoutPrefix+name, vfs.ModeRegular)
-		if kbase.IsErr(wh) {
-			return kbase.PtrErr(wh)
+		if _, e := upperDir.Ops.CreateTyped(task, upperDir, WhiteoutPrefix+name, vfs.ModeRegular).Get(); e != kbase.EOK {
+			return e
 		}
 	}
 	inst.mu.Lock()
@@ -416,16 +416,16 @@ func (inst *fsInstance) remove(task *kbase.Task, dir *vfs.Inode, name string, wa
 
 func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, newDir *vfs.Inode, newName string) kbase.Errno {
 	inst := o.inst
-	src := o.Lookup(task, oldDir, oldName)
-	if kbase.IsErr(src) {
-		return kbase.PtrErr(src)
+	src, serr := o.LookupTyped(task, oldDir, oldName).Get()
+	if serr != kbase.EOK {
+		return serr
 	}
 	if src.Mode.IsDir() {
 		// No redirect_dir support: directory renames cross layers.
 		return kbase.EXDEV
 	}
 	// Replace semantics: an existing non-dir target is removed.
-	if existing := o.Lookup(task, newDir, newName); !kbase.IsErr(existing) {
+	if existing, e := o.LookupTyped(task, newDir, newName).Get(); e == kbase.EOK {
 		if existing.Mode.IsDir() {
 			return kbase.EISDIR
 		}
@@ -458,9 +458,8 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	}
 	// Whiteout the old name if a lower entry shines through.
 	if sn.lower != nil {
-		wh := oldUpper.Ops.Create(task, oldUpper, WhiteoutPrefix+oldName, vfs.ModeRegular)
-		if kbase.IsErr(wh) {
-			return kbase.PtrErr(wh)
+		if _, e := oldUpper.Ops.CreateTyped(task, oldUpper, WhiteoutPrefix+oldName, vfs.ModeRegular).Get(); e != kbase.EOK {
+			return e
 		}
 	}
 	inst.mu.Lock()
@@ -508,11 +507,11 @@ func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kb
 }
 
 // ovlToken carries the upper layer's private write state plus the
-// overlay inode through the VFS's untyped ferry.
+// overlay inode through the VFS's WriteState ferry.
 type ovlToken struct {
 	ovl          *vfs.Inode
 	upper        *vfs.Inode
-	upperPrivate any
+	upperPrivate vfs.WriteState
 }
 
 // fileOps implements vfs.FileOps.
@@ -532,36 +531,36 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 	return eff.FileOps.Read(task, eff, buf, off)
 }
 
-func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, cnt int) (any, kbase.Errno) {
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, cnt int) (vfs.WriteState, kbase.Errno) {
 	if err := fo.inst.copyUp(task, ino); err != kbase.EOK {
-		return nil, err
+		return vfs.WriteState{}, err
 	}
 	n, err := nodeOf(ino)
 	if err != kbase.EOK {
-		return nil, err
+		return vfs.WriteState{}, err
 	}
 	private, err := n.upper.FileOps.WriteBegin(task, n.upper, off, cnt)
 	if err != kbase.EOK {
-		return nil, err
+		return vfs.WriteState{}, err
 	}
-	return &ovlToken{ovl: ino, upper: n.upper, upperPrivate: private}, kbase.EOK
+	return vfs.NewWriteState(&ovlToken{ovl: ino, upper: n.upper, upperPrivate: private}), kbase.EOK
 }
 
-func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
-	tok, ok := private.(*ovlToken)
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private vfs.WriteState) (int, kbase.Errno) {
+	tok, ok := vfs.WriteStateAs[*ovlToken](private)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "overlaylike",
-			"write_copy private is %T, not *ovlToken", private)
+			"write_copy private is not *ovlToken")
 		return 0, kbase.EUCLEAN
 	}
 	return tok.upper.FileOps.WriteCopy(task, tok.upper, off, data, tok.upperPrivate)
 }
 
-func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, cnt int, private any) kbase.Errno {
-	tok, ok := private.(*ovlToken)
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, cnt int, private vfs.WriteState) kbase.Errno {
+	tok, ok := vfs.WriteStateAs[*ovlToken](private)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "overlaylike",
-			"write_end private is %T, not *ovlToken", private)
+			"write_end private is not *ovlToken")
 		return kbase.EUCLEAN
 	}
 	err := tok.upper.FileOps.WriteEnd(task, tok.upper, off, cnt, tok.upperPrivate)

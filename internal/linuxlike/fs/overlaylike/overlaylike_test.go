@@ -18,11 +18,11 @@ func setup(t *testing.T) (v *vfs.VFS, task *kbase.Task, upper, lower *vfs.SuperB
 
 	rfs := &ramfs.FS{}
 	var err kbase.Errno
-	lower, err = rfs.Mount(task, nil)
+	lower, err = rfs.Mount(task, vfs.MountData{})
 	if err != kbase.EOK {
 		t.Fatalf("lower mount: %v", err)
 	}
-	upper, err = rfs.Mount(task, nil)
+	upper, err = rfs.Mount(task, vfs.MountData{})
 	if err != kbase.EOK {
 		t.Fatalf("upper mount: %v", err)
 	}
@@ -30,7 +30,7 @@ func setup(t *testing.T) (v *vfs.VFS, task *kbase.Task, upper, lower *vfs.SuperB
 	// Populate the lower layer directly through a scratch VFS.
 	lv := vfs.New(nil)
 	lv.RegisterFS(&sbFS{name: "fixed-lower", sb: lower})
-	if err := lv.Mount(task, "/", "fixed-lower", nil); err != kbase.EOK {
+	if err := lv.Mount(task, "/", "fixed-lower", vfs.MountData{}); err != kbase.EOK {
 		t.Fatalf("scratch mount: %v", err)
 	}
 	mustWrite(t, lv, task, "/pre", "lower-content")
@@ -41,7 +41,7 @@ func setup(t *testing.T) (v *vfs.VFS, task *kbase.Task, upper, lower *vfs.SuperB
 
 	v = vfs.New(nil)
 	v.RegisterFS(&overlaylike.FS{})
-	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{Upper: upper, Lower: lower}); err != kbase.EOK {
+	if err := v.Mount(task, "/", "overlaylike", vfs.NewMountData(&overlaylike.MountData{Upper: upper, Lower: lower})); err != kbase.EOK {
 		t.Fatalf("overlay mount: %v", err)
 	}
 	return v, task, upper, lower
@@ -55,7 +55,7 @@ type sbFS struct {
 }
 
 func (f *sbFS) Name() string { return f.name }
-func (f *sbFS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+func (f *sbFS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase.Errno) {
 	return f.sb, kbase.EOK
 }
 
@@ -103,8 +103,8 @@ func TestWriteTriggersCopyUp(t *testing.T) {
 		t.Fatalf("overlay read = %q", got)
 	}
 	// The lower layer is untouched.
-	lu := lower.Root.Ops.Lookup(task, lower.Root, "pre")
-	if kbase.IsErr(lu) {
+	lu, lerr := lower.Root.Ops.LookupTyped(task, lower.Root, "pre").Get()
+	if lerr != kbase.EOK {
 		t.Fatalf("lower lost its file")
 	}
 	buf := make([]byte, 64)
@@ -113,8 +113,7 @@ func TestWriteTriggersCopyUp(t *testing.T) {
 		t.Fatalf("lower mutated: %q", buf[:n])
 	}
 	// The upper layer holds the copy.
-	uu := upper.Root.Ops.Lookup(task, upper.Root, "pre")
-	if kbase.IsErr(uu) {
+	if _, uerr := upper.Root.Ops.LookupTyped(task, upper.Root, "pre").Get(); uerr != kbase.EOK {
 		t.Fatalf("no upper copy after copy-up")
 	}
 }
@@ -145,8 +144,7 @@ func TestUnlinkLowerCreatesWhiteout(t *testing.T) {
 		t.Fatalf("unlinked lower file visible: %v", err)
 	}
 	// Whiteout marker exists in the upper layer.
-	wh := upper.Root.Ops.Lookup(task, upper.Root, overlaylike.WhiteoutPrefix+"pre")
-	if kbase.IsErr(wh) {
+	if _, werr := upper.Root.Ops.LookupTyped(task, upper.Root, overlaylike.WhiteoutPrefix+"pre").Get(); werr != kbase.EOK {
 		t.Fatalf("whiteout not created")
 	}
 	// ReadDir must not show it.
@@ -192,8 +190,8 @@ func TestCreateInLowerOnlyDirectory(t *testing.T) {
 		t.Fatalf("read = %q", got)
 	}
 	// Upper chain /dir was materialized.
-	ud := upper.Root.Ops.Lookup(task, upper.Root, "dir")
-	if kbase.IsErr(ud) || !ud.Mode.IsDir() {
+	ud, uderr := upper.Root.Ops.LookupTyped(task, upper.Root, "dir").Get()
+	if uderr != kbase.EOK || !ud.Mode.IsDir() {
 		t.Fatalf("upper dir not materialized")
 	}
 	// Lower sibling still visible (merged dir).
@@ -247,7 +245,7 @@ func TestTruncateCopiesUp(t *testing.T) {
 		t.Fatalf("truncated = %q", got)
 	}
 	// Lower unchanged.
-	lu := lower.Root.Ops.Lookup(task, lower.Root, "pre")
+	lu, _ := lower.Root.Ops.LookupTyped(task, lower.Root, "pre").Get()
 	if lu.SizeRead(task) != int64(len("lower-content")) {
 		t.Fatalf("lower size changed: %d", lu.SizeRead(task))
 	}
@@ -267,8 +265,7 @@ func TestUpperOnlyFileUnlink(t *testing.T) {
 		t.Fatalf("Unlink: %v", err)
 	}
 	// No whiteout needed: nothing in lower.
-	wh := upper.Root.Ops.Lookup(task, upper.Root, overlaylike.WhiteoutPrefix+"uonly")
-	if !kbase.IsErr(wh) {
+	if _, werr := upper.Root.Ops.LookupTyped(task, upper.Root, overlaylike.WhiteoutPrefix+"uonly").Get(); werr == kbase.EOK {
 		t.Fatalf("needless whiteout created")
 	}
 }
@@ -346,7 +343,7 @@ func TestOverlayMountBadData(t *testing.T) {
 	prev := kbase.InstallRecorder(rec)
 	defer kbase.InstallRecorder(prev)
 	fs := &overlaylike.FS{}
-	if _, err := fs.Mount(kbase.NewTask(), "garbage"); err != kbase.EINVAL {
+	if _, err := fs.Mount(kbase.NewTask(), vfs.NewMountData("garbage")); err != kbase.EINVAL {
 		t.Fatalf("bad mount data: %v", err)
 	}
 	if rec.Count(kbase.OopsTypeConfusion) != 1 {

@@ -1,9 +1,9 @@
 // Package ramfs is the simplest file system of the simulated kernel:
-// all state in memory, no backing device. It is written in the legacy
-// style — per-inode state hangs off Inode.Private as an untyped value
-// and is type-asserted back on every operation, and WriteBegin hands
-// WriteEnd a private token through the VFS exactly as the paper's
-// §4.2 example describes.
+// all state in memory, no backing device. Per-inode state hangs off
+// the inode's private slot via the vfs.SetPrivate/PrivateAs accessors,
+// and WriteBegin hands WriteEnd a private token through the VFS in a
+// WriteState envelope — the paper's §4.2 protocol, with the downcasts
+// confined to audited accessors instead of sprinkled at every site.
 //
 // ramfs serves three roles: the baseline file system for VFS tests,
 // the lower layer for overlaylike, and the host for injected
@@ -15,6 +15,7 @@ import (
 
 	"safelinux/internal/linuxlike/kbase"
 	"safelinux/internal/linuxlike/vfs"
+	"safelinux/internal/safety/typedapi"
 )
 
 // node is ramfs's per-inode private state.
@@ -48,11 +49,11 @@ type fsInstance struct {
 }
 
 // Mount implements vfs.FileSystemType. data is unused.
-func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+func (f *FS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase.Errno) {
 	inst := &fsInstance{fs: f, nextIno: 2} // ino 1 is the root
 	sb := &vfs.SuperBlock{FSType: f.Name()}
 	inst.sb = sb
-	sb.Private = inst
+	vfs.SetSBPrivate(sb, inst)
 	sb.Ops = inst
 	root := inst.newInode(1, vfs.ModeDir)
 	sb.Root = root
@@ -65,13 +66,13 @@ func (inst *fsInstance) newInode(ino uint64, mode vfs.FileMode) *vfs.Inode {
 		n.children = make(map[string]*vfs.Inode)
 	}
 	i := &vfs.Inode{
-		Ino:     ino,
-		Mode:    mode,
-		Nlink:   1,
-		ILock:   kbase.NewSpinLock(vfs.ILockClass),
-		Sb:      inst.sb,
-		Private: n,
+		Ino:   ino,
+		Mode:  mode,
+		Nlink: 1,
+		ILock: kbase.NewSpinLock(vfs.ILockClass),
+		Sb:    inst.sb,
 	}
+	vfs.SetPrivate(i, n)
 	ops := &inodeOps{inst: inst}
 	i.Ops = ops
 	i.FileOps = &fileOps{inst: inst}
@@ -89,58 +90,59 @@ func (inst *fsInstance) allocIno() uint64 {
 	return ino
 }
 
-// nodeOf performs the legacy untyped downcast of Inode.Private.
-// A wrong dynamic type means another component stomped on Private;
-// that is a type-confusion oops, after which the operation fails.
+// nodeOf downcasts the inode's private state through the vfs
+// accessor. A wrong dynamic type means another component stomped on
+// the slot; that is a type-confusion oops, after which the operation
+// fails.
 func nodeOf(ino *vfs.Inode) (*node, kbase.Errno) {
-	n, ok := ino.Private.(*node)
+	n, ok := vfs.PrivateAs[*node](ino)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "ramfs",
-			"inode %d private is %T, not *node", ino.Ino, ino.Private)
+			"inode %d private is not *node", ino.Ino)
 		return nil, kbase.EUCLEAN
 	}
 	return n, kbase.EOK
 }
 
-// inodeOps implements vfs.InodeOps.
+// inodeOps implements vfs.TypedInodeOps.
 type inodeOps struct {
 	inst *fsInstance
 }
 
-func (o *inodeOps) Lookup(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
+func (o *inodeOps) LookupTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
 	n, err := nodeOf(dir)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	child, ok := n.children[name]
 	if !ok {
-		return kbase.ErrPtr[vfs.Inode](kbase.ENOENT)
+		return typedapi.Err[*vfs.Inode](kbase.ENOENT)
 	}
-	return child
+	return typedapi.Ok(child)
 }
 
-func (o *inodeOps) Create(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) *vfs.Inode {
+func (o *inodeOps) CreateTyped(task *kbase.Task, dir *vfs.Inode, name string, mode vfs.FileMode) typedapi.Result[*vfs.Inode] {
 	if len(name) == 0 || len(name) > vfs.MaxNameLen {
-		return kbase.ErrPtr[vfs.Inode](kbase.EINVAL)
+		return typedapi.Err[*vfs.Inode](kbase.EINVAL)
 	}
 	n, err := nodeOf(dir)
 	if err != kbase.EOK {
-		return kbase.ErrPtr[vfs.Inode](err)
+		return typedapi.Err[*vfs.Inode](err)
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, exists := n.children[name]; exists {
-		return kbase.ErrPtr[vfs.Inode](kbase.EEXIST)
+		return typedapi.Err[*vfs.Inode](kbase.EEXIST)
 	}
 	child := o.inst.newInode(o.inst.allocIno(), mode)
 	n.children[name] = child
-	return child
+	return typedapi.Ok(child)
 }
 
-func (o *inodeOps) Mkdir(task *kbase.Task, dir *vfs.Inode, name string) *vfs.Inode {
-	return o.Create(task, dir, name, vfs.ModeDir)
+func (o *inodeOps) MkdirTyped(task *kbase.Task, dir *vfs.Inode, name string) typedapi.Result[*vfs.Inode] {
+	return o.CreateTyped(task, dir, name, vfs.ModeDir)
 }
 
 func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
@@ -248,8 +250,8 @@ func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kb
 	return out, kbase.EOK
 }
 
-// writeToken is what WriteBegin hands to WriteEnd through the VFS —
-// the custom-data-through-void* protocol of §4.2.
+// writeToken is what WriteBegin hands to WriteEnd through the VFS,
+// inside the WriteState envelope — the custom-data protocol of §4.2.
 type writeToken struct {
 	node    *node
 	reserve int
@@ -281,25 +283,24 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 	return cnt, kbase.EOK
 }
 
-func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, cnt int) (any, kbase.Errno) {
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, cnt int) (vfs.WriteState, kbase.Errno) {
 	n, err := nodeOf(ino)
 	if err != kbase.EOK {
-		return nil, err
+		return vfs.WriteState{}, err
 	}
-	tok := &writeToken{node: n, reserve: cnt}
 	if fo.inst.fs.ConfuseWriteEnd {
-		// Injected bug: return the wrong dynamic type. The VFS
-		// ferries it blindly; WriteEnd's cast will misfire.
-		return &confusedToken{node: n, reserve: cnt}, kbase.EOK
+		// Injected bug: wrap the wrong dynamic type. The VFS ferries
+		// the envelope blindly; WriteEnd's unwrap will misfire.
+		return vfs.NewWriteState(&confusedToken{node: n, reserve: cnt}), kbase.EOK
 	}
-	return tok, kbase.EOK
+	return vfs.NewWriteState(&writeToken{node: n, reserve: cnt}), kbase.EOK
 }
 
-func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
-	tok, ok := private.(*writeToken)
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private vfs.WriteState) (int, kbase.Errno) {
+	tok, ok := vfs.WriteStateAs[*writeToken](private)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "ramfs",
-			"write_copy private is %T, not *writeToken", private)
+			"write_copy private is not *writeToken")
 		return 0, kbase.EUCLEAN
 	}
 	n := tok.node
@@ -315,11 +316,11 @@ func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data [
 	return len(data), kbase.EOK
 }
 
-func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, cnt int, private any) kbase.Errno {
-	tok, ok := private.(*writeToken)
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, cnt int, private vfs.WriteState) kbase.Errno {
+	tok, ok := vfs.WriteStateAs[*writeToken](private)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "ramfs",
-			"write_end private is %T, not *writeToken", private)
+			"write_end private is not *writeToken")
 		return kbase.EUCLEAN
 	}
 	n := tok.node

@@ -15,7 +15,7 @@ func mountRamfs(t *testing.T, fs *ramfs.FS) (*vfs.VFS, *kbase.Task) {
 	if err := v.RegisterFS(fs); err != kbase.EOK {
 		t.Fatalf("RegisterFS: %v", err)
 	}
-	if err := v.Mount(task, "/", "ramfs", nil); err != kbase.EOK {
+	if err := v.Mount(task, "/", "ramfs", vfs.MountData{}); err != kbase.EOK {
 		t.Fatalf("Mount: %v", err)
 	}
 	return v, task
@@ -87,7 +87,7 @@ func TestPrivateStomp(t *testing.T) {
 	if err != kbase.EOK {
 		t.Fatalf("Resolve: %v", err)
 	}
-	ino.Private = "not a node" // the stomp
+	vfs.SetPrivate(ino, "not a node") // the stomp, now through the audited setter
 	if _, err := v.Pread(task, fd, make([]byte, 4), 0); err != kbase.EUCLEAN {
 		t.Fatalf("read after stomp = %v, want EUCLEAN", err)
 	}
@@ -114,8 +114,7 @@ func TestCreateEmptyNameRejected(t *testing.T) {
 	if err != kbase.EOK {
 		t.Fatalf("Resolve /: %v", err)
 	}
-	created := ino.Ops.Create(task, ino, "", vfs.ModeRegular)
-	if !kbase.IsErr(created) || kbase.PtrErr(created) != kbase.EINVAL {
+	if _, cerr := ino.Ops.CreateTyped(task, ino, "", vfs.ModeRegular).Get(); cerr != kbase.EINVAL {
 		t.Fatalf("empty-name create not rejected")
 	}
 }

@@ -118,14 +118,14 @@ func TestAsyncCommitGroupCommit(t *testing.T) {
 				errs <- err
 				return
 			}
-			if err := h.GetWriteAccess(bh); err != kbase.EOK {
+			if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
 				errs <- err
 				return
 			}
 			for i := range bh.Data {
 				bh.Data[i] = byte(w)
 			}
-			h.DirtyMetadata(bh)
+			h.DirtyMetadata(bh.Meta())
 			bh.Put()
 			h.Stop()
 			errs <- j.Commit()

@@ -17,9 +17,10 @@
 // replays committed transactions in sequence order and stops at the
 // first gap, honoring revoke records.
 //
-// The package is written in the legacy shared-structure style: the
-// journal hangs its per-buffer state off BufferHead.JournalData (the
-// b_private analogue) and manipulates buffer flags directly.
+// Buffers join a transaction through the bufcache.MetaRef capability
+// (only the cache can mint one), and the journal's per-buffer state
+// rides in the typed JournalSeq breadcrumb rather than a void*-style
+// any field — the audited replacements for jbd2's b_private idiom.
 package journal
 
 import (
@@ -202,13 +203,21 @@ func (j *Journal) Begin() *Handle {
 	return &Handle{tx: j.running}
 }
 
-// GetWriteAccess declares intent to modify bh under this handle
-// (jbd2_journal_get_write_access). The buffer joins the transaction.
-func (h *Handle) GetWriteAccess(bh *bufcache.BufferHead) kbase.Errno {
+// GetWriteAccess declares intent to modify the referenced buffer
+// under this handle (jbd2_journal_get_write_access). The buffer joins
+// the transaction. Taking a bufcache.MetaRef instead of the raw
+// *BufferHead keeps the shared struct from crossing the package
+// boundary: only the cache can mint the capability.
+func (h *Handle) GetWriteAccess(ref bufcache.MetaRef) kbase.Errno {
 	if h.done {
 		kbase.Oops(kbase.OopsUseAfterFree, "journal", "write access on closed handle")
 		return kbase.EINVAL
 	}
+	if !ref.Valid() {
+		kbase.Oops(kbase.OopsSemantic, "journal", "write access with nil buffer capability")
+		return kbase.EINVAL
+	}
+	bh := ref.Head()
 	tx := h.tx
 	tx.j.mu.Lock()
 	defer tx.j.mu.Unlock()
@@ -218,16 +227,21 @@ func (h *Handle) GetWriteAccess(bh *bufcache.BufferHead) kbase.Errno {
 	if !tx.inTx[bh.Block] {
 		tx.inTx[bh.Block] = true
 		tx.buffers = append(tx.buffers, bh)
-		bh.JournalData = tx.seq // b_private-style breadcrumb
+		bh.SetJournalSeq(tx.seq) // typed b_private-style breadcrumb
 	}
 	return kbase.EOK
 }
 
-// DirtyMetadata marks bh as journal-dirty metadata
+// DirtyMetadata marks the referenced buffer as journal-dirty metadata
 // (jbd2_journal_dirty_metadata). The buffer must have joined the
 // transaction first; violating that protocol is a semantic oops, as
 // jbd2 would J_ASSERT.
-func (h *Handle) DirtyMetadata(bh *bufcache.BufferHead) kbase.Errno {
+func (h *Handle) DirtyMetadata(ref bufcache.MetaRef) kbase.Errno {
+	if !ref.Valid() {
+		kbase.Oops(kbase.OopsSemantic, "journal", "dirty_metadata with nil buffer capability")
+		return kbase.EINVAL
+	}
+	bh := ref.Head()
 	tx := h.tx
 	tx.j.mu.Lock()
 	joined := tx.inTx[bh.Block]
@@ -430,7 +444,7 @@ func (j *Journal) finishCommitLocked(tx *Tx, finish func(kbase.Errno) kbase.Errn
 	j.mu.Unlock()
 	var homeErr kbase.Errno = kbase.EOK
 	for _, bh := range buffers {
-		bh.JournalData = nil
+		bh.ClearJournalSeq()
 		if err := j.cache.WriteBuffer(bh); err != kbase.EOK {
 			homeErr = err
 			break

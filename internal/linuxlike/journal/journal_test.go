@@ -28,13 +28,13 @@ func writeVia(t *testing.T, cache *bufcache.Cache, j *Journal, block uint64, fil
 	if err != kbase.EOK {
 		t.Fatalf("Bread(%d): %v", block, err)
 	}
-	if err := h.GetWriteAccess(bh); err != kbase.EOK {
+	if err := h.GetWriteAccess(bh.Meta()); err != kbase.EOK {
 		t.Fatalf("GetWriteAccess: %v", err)
 	}
 	for i := range bh.Data {
 		bh.Data[i] = fill
 	}
-	if err := h.DirtyMetadata(bh); err != kbase.EOK {
+	if err := h.DirtyMetadata(bh.Meta()); err != kbase.EOK {
 		t.Fatalf("DirtyMetadata: %v", err)
 	}
 	bh.Put()
@@ -153,9 +153,9 @@ func TestRevokePreventsReplay(t *testing.T) {
 	}
 	// Txn needs at least one buffer to be meaningful; touch another.
 	bh, _ := cache.Bread(45)
-	h.GetWriteAccess(bh)
+	h.GetWriteAccess(bh.Meta())
 	bh.Data[0] = 0x0E
-	h.DirtyMetadata(bh)
+	h.DirtyMetadata(bh.Meta())
 	bh.Put()
 	h.Stop()
 	if err := j.Commit(); err != kbase.EOK {
@@ -185,7 +185,7 @@ func TestDirtyMetadataWithoutAccessOopses(t *testing.T) {
 	_, cache, j := testSetup(t)
 	h := j.Begin()
 	bh, _ := cache.Bread(50)
-	if err := h.DirtyMetadata(bh); err != kbase.EINVAL {
+	if err := h.DirtyMetadata(bh.Meta()); err != kbase.EINVAL {
 		t.Fatalf("DirtyMetadata without access: %v", err)
 	}
 	if rec.Count(kbase.OopsSemantic) != 1 {
@@ -199,8 +199,8 @@ func TestCommitBlocksUntilHandleStops(t *testing.T) {
 	_, cache, j := testSetup(t)
 	h := j.Begin()
 	bh, _ := cache.Bread(51)
-	h.GetWriteAccess(bh)
-	h.DirtyMetadata(bh)
+	h.GetWriteAccess(bh.Meta())
+	h.DirtyMetadata(bh.Meta())
 	bh.Put()
 	// Group commit: a concurrent Commit waits for the open handle to
 	// drain instead of failing with EBUSY, then commits the handle's
@@ -338,9 +338,9 @@ func TestCheckpointWithRunningTransaction(t *testing.T) {
 	}
 	h := j.Begin()
 	bh, _ := cache.Bread(41)
-	h.GetWriteAccess(bh)
+	h.GetWriteAccess(bh.Meta())
 	bh.Data[0] = 0x42
-	h.DirtyMetadata(bh)
+	h.DirtyMetadata(bh.Meta())
 	bh.Put()
 	h.Stop()
 	// Checkpoint while the transaction is still running (created but

@@ -38,12 +38,14 @@ func NewArena(module string) *Arena {
 }
 
 // Alloc registers obj as live. Passing an already-live object is a
-// substrate bug and panics.
-func (a *Arena) Alloc(obj any) {
+// substrate bug and panics. Go has no generic methods, so the typed
+// entry points are package functions over the arena; the dynamically
+// typed tracking map stays an internal detail.
+func Alloc[T comparable](a *Arena, obj T) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if s, ok := a.state[obj]; ok && s == ObjLive {
-		panic("kbase: Arena.Alloc of live object")
+		panic("kbase: Arena Alloc of live object")
 	}
 	a.state[obj] = ObjLive
 	a.allocs++
@@ -51,7 +53,7 @@ func (a *Arena) Alloc(obj any) {
 
 // Free marks obj freed. Freeing an already-freed object raises a
 // double-free oops; freeing an unknown object raises a generic oops.
-func (a *Arena) Free(obj any) {
+func Free[T comparable](a *Arena, obj T) {
 	a.mu.Lock()
 	s, ok := a.state[obj]
 	if ok && s == ObjLive {
@@ -71,7 +73,7 @@ func (a *Arena) Free(obj any) {
 // Access validates that obj is live before a use. A freed object
 // raises a use-after-free oops and returns false; callers in legacy
 // style typically ignore the return value, which is the point.
-func (a *Arena) Access(obj any) bool {
+func Access[T comparable](a *Arena, obj T) bool {
 	a.mu.Lock()
 	s, ok := a.state[obj]
 	a.mu.Unlock()

@@ -18,12 +18,12 @@ func TestArenaUseAfterFree(t *testing.T) {
 	rec := withRecorder(t)
 	a := NewArena("testmod")
 	obj := &fakeInode{ino: 1}
-	a.Alloc(obj)
-	if !a.Access(obj) {
+	Alloc(a, obj)
+	if !Access(a, obj) {
 		t.Fatalf("live object reported dead")
 	}
-	a.Free(obj)
-	if a.Access(obj) {
+	Free(a, obj)
+	if Access(a, obj) {
 		t.Fatalf("freed object reported live")
 	}
 	if rec.Count(OopsUseAfterFree) != 1 {
@@ -35,9 +35,9 @@ func TestArenaDoubleFree(t *testing.T) {
 	rec := withRecorder(t)
 	a := NewArena("testmod")
 	obj := &fakeInode{ino: 2}
-	a.Alloc(obj)
-	a.Free(obj)
-	a.Free(obj)
+	Alloc(a, obj)
+	Free(a, obj)
+	Free(a, obj)
 	if rec.Count(OopsDoubleFree) != 1 {
 		t.Fatalf("double-free oops count = %d, want 1", rec.Count(OopsDoubleFree))
 	}
@@ -46,7 +46,7 @@ func TestArenaDoubleFree(t *testing.T) {
 func TestArenaFreeUnallocated(t *testing.T) {
 	rec := withRecorder(t)
 	a := NewArena("testmod")
-	a.Free(&fakeInode{})
+	Free(a, &fakeInode{})
 	if rec.Count(OopsGeneric) != 1 {
 		t.Fatalf("generic oops count = %d, want 1", rec.Count(OopsGeneric))
 	}
@@ -55,8 +55,8 @@ func TestArenaFreeUnallocated(t *testing.T) {
 func TestArenaLeakCheck(t *testing.T) {
 	rec := withRecorder(t)
 	a := NewArena("testmod")
-	a.Alloc(&fakeInode{ino: 1})
-	a.Alloc(&fakeInode{ino: 2})
+	Alloc(a, &fakeInode{ino: 1})
+	Alloc(a, &fakeInode{ino: 2})
 	if n := a.CheckLeaks(); n != 2 {
 		t.Fatalf("CheckLeaks = %d, want 2", n)
 	}
@@ -70,9 +70,9 @@ func TestArenaStats(t *testing.T) {
 	a := NewArena("testmod")
 	objs := []*fakeInode{{ino: 1}, {ino: 2}, {ino: 3}}
 	for _, o := range objs {
-		a.Alloc(o)
+		Alloc(a, o)
 	}
-	a.Free(objs[0])
+	Free(a, objs[0])
 	allocs, frees := a.Stats()
 	if allocs != 3 || frees != 1 {
 		t.Fatalf("Stats = (%d, %d), want (3, 1)", allocs, frees)
@@ -86,10 +86,10 @@ func TestArenaReallocAfterFree(t *testing.T) {
 	withRecorder(t)
 	a := NewArena("testmod")
 	obj := &fakeInode{ino: 9}
-	a.Alloc(obj)
-	a.Free(obj)
-	a.Alloc(obj) // slab reuse of the same address
-	if !a.Access(obj) {
+	Alloc(a, obj)
+	Free(a, obj)
+	Alloc(a, obj) // slab reuse of the same address
+	if !Access(a, obj) {
 		t.Fatalf("reallocated object reported dead")
 	}
 }
@@ -98,13 +98,13 @@ func TestArenaAllocLivePanics(t *testing.T) {
 	withRecorder(t)
 	a := NewArena("testmod")
 	obj := &fakeInode{}
-	a.Alloc(obj)
+	Alloc(a, obj)
 	defer func() {
 		if recover() == nil {
 			t.Fatalf("Alloc of live object did not panic")
 		}
 	}()
-	a.Alloc(obj)
+	Alloc(a, obj)
 }
 
 func TestOopsWithoutRecorderPanics(t *testing.T) {
@@ -160,12 +160,12 @@ func TestArenaAccountingProperty(t *testing.T) {
 			if alloc || len(live) == 0 {
 				id++
 				o := &fakeInode{ino: id}
-				a.Alloc(o)
+				Alloc(a, o)
 				live = append(live, o)
 			} else {
 				o := live[len(live)-1]
 				live = live[:len(live)-1]
-				a.Free(o)
+				Free(a, o)
 			}
 		}
 		allocs, frees := a.Stats()

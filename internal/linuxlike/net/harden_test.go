@@ -46,7 +46,7 @@ func TestDuplicateSegmentReAcks(t *testing.T) {
 	if got := sendAll(t, sim, c, srv, []byte("hello"), 2000); string(got) != "hello" {
 		t.Fatalf("transfer: %q", got)
 	}
-	stcb := srv.Private.(*TCB)
+	stcb := srv.private.(*TCB)
 	// Replay an already-consumed (duplicate) data segment straight
 	// into the server TCB and check an ACK goes on the wire.
 	before := sim.Stats().Sent
@@ -66,8 +66,8 @@ func TestDuplicateSegmentReAcks(t *testing.T) {
 func TestOutOfOrderSegmentReAcksAndReassembles(t *testing.T) {
 	sim, a, b := pair(t, 22, LinkParams{Delay: 1})
 	c, srv := connectPair(t, sim, a, b, 80)
-	ctcb := c.Private.(*TCB)
-	stcb := srv.Private.(*TCB)
+	ctcb := c.private.(*TCB)
+	stcb := srv.private.(*TCB)
 	// Deliver segment 2 before segment 1, directly.
 	base := stcb.rcvNext
 	before := sim.Stats().Sent
@@ -151,7 +151,7 @@ func TestOldAckIgnored(t *testing.T) {
 	if got := sendAll(t, sim, c, srv, patterned(2048, 3), 5000); len(got) != 2048 {
 		t.Fatalf("transfer: %d", len(got))
 	}
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	last := ctcb.lastAck
 	dups := ctcb.dupAcks
 	// An old ACK from earlier in the stream arrives late (reordered).
@@ -188,7 +188,7 @@ func TestTxErrorsSurfaced(t *testing.T) {
 	sim.Partition(a.Addr(), b.Addr())
 	c.Send([]byte("into the void"))
 	sim.Run(100)
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	if ctcb.TxErrors == 0 {
 		t.Fatalf("partitioned transmit not counted on the TCB")
 	}
@@ -209,8 +209,8 @@ func TestSimultaneousClose(t *testing.T) {
 	// Both sides close in the same jiffy: FINs cross on the wire.
 	c.Close()
 	srv.Close()
-	ctcb := c.Private.(*TCB)
-	stcb := srv.Private.(*TCB)
+	ctcb := c.private.(*TCB)
+	stcb := srv.private.(*TCB)
 	sawClosing := false
 	ok := sim.RunUntil(func() bool {
 		if ctcb.State == StateClosing || stcb.State == StateClosing {
@@ -257,7 +257,7 @@ func TestRecvAfterFinDrainsBufferedData(t *testing.T) {
 	c.Close()
 	// Let everything (data + FIN) land before the first Recv.
 	sim.RunUntil(func() bool {
-		tcb := srv.Private.(*TCB)
+		tcb := srv.private.(*TCB)
 		return tcb.peerFIN
 	}, 5000)
 	var got []byte
@@ -287,7 +287,7 @@ func TestResetOnRetryExhaustion(t *testing.T) {
 	if !ok {
 		t.Fatalf("partitioned sender never gave up: %s", c.State())
 	}
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	if ctcb.ResetErr != kbase.ETIMEDOUT {
 		t.Fatalf("ResetErr = %v, want ETIMEDOUT", ctcb.ResetErr)
 	}
@@ -309,7 +309,7 @@ func TestPeerResetSurfacesAfterDrain(t *testing.T) {
 	c.Send([]byte("more"))
 	sim.RunUntil(func() bool { return srv.BufferedRecv() == 4 }, 2000)
 	// Inject a RST at the server.
-	stcb := srv.Private.(*TCB)
+	stcb := srv.private.(*TCB)
 	stcb.handle(tcpSegment{Flags: FlagRST})
 	buf := make([]byte, 16)
 	n, e := srv.Recv(buf)
@@ -324,7 +324,7 @@ func TestPeerResetSurfacesAfterDrain(t *testing.T) {
 func TestTimeWaitAbsorbsLostFinalAck(t *testing.T) {
 	sim, a, b := pair(t, 32, LinkParams{Delay: 1})
 	c, srv := connectPair(t, sim, a, b, 80)
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	c.Close()
 	srv.Close()
 	// Active closer must pass through TIME_WAIT and linger there.
@@ -349,7 +349,7 @@ func TestTimeWaitAbsorbsLostFinalAck(t *testing.T) {
 	// While in TIME_WAIT a retransmitted FIN gets re-ACKed.
 	sim2, a2, b2 := pair(t, 33, LinkParams{Delay: 1})
 	c2, srv2 := connectPair(t, sim2, a2, b2, 80)
-	ct2 := c2.Private.(*TCB)
+	ct2 := c2.private.(*TCB)
 	c2.Close()
 	srv2.Close()
 	sim2.RunUntil(func() bool { return ct2.State == StateTimeWait }, 5000)
@@ -379,7 +379,7 @@ func TestReceiveWindowBackpressure(t *testing.T) {
 	if buffered := srv.BufferedRecv(); buffered > 1024+MSS {
 		t.Fatalf("sender overran the receive window: %d bytes buffered", buffered)
 	}
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	if len(ctcb.sendBuf) == 0 {
 		t.Fatalf("sender drained its buffer through a closed window")
 	}
@@ -407,7 +407,7 @@ func TestZeroWindowProbe(t *testing.T) {
 	payload := patterned(4096, 13)
 	c.Send(payload)
 	sim.Run(3000) // window fills; probes keep the connection alive
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	if ctcb.ZeroWndProbes == 0 {
 		t.Fatalf("closed window never probed")
 	}
@@ -471,13 +471,13 @@ func TestOneWayPartition(t *testing.T) {
 	if srv.BufferedRecv() == 0 {
 		t.Fatalf("forward direction should still deliver")
 	}
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	if len(ctcb.unacked) == 0 && len(ctcb.sendBuf) == 0 {
 		t.Fatalf("sender believes data was acked across a cut return path")
 	}
 	sim.Heal(b.Addr(), a.Addr())
 	ok := sim.RunUntil(func() bool {
-		ct := c.Private.(*TCB)
+		ct := c.private.(*TCB)
 		return len(ct.unacked) == 0 && len(ct.sendBuf) == 0
 	}, 60000)
 	if !ok {
@@ -537,7 +537,7 @@ func TestAdaptiveRTOConverges(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("transfer: %d/%d", len(got), len(payload))
 	}
-	ctcb := c.Private.(*TCB)
+	ctcb := c.private.(*TCB)
 	// RTT on this path is ~20+ jiffies; the estimator must sit above
 	// it (no spurious retransmission storm) but well under MaxRTO.
 	if rto := ctcb.rto(); rto < 20 || rto > 128 {
@@ -557,7 +557,7 @@ func TestAdaptiveRTOConverges(t *testing.T) {
 	if !bytes.Equal(gotF, payload) {
 		t.Fatalf("fixed-RTO transfer: %d/%d", len(gotF), len(payload))
 	}
-	fixed := cF.Private.(*TCB).Retransmits
+	fixed := cF.private.(*TCB).Retransmits
 	adaptive := ctcb.Retransmits
 	if adaptive >= fixed {
 		t.Fatalf("adaptive RTO (%d retransmits) not better than fixed (%d) on a 20-jiffy-RTT path",

@@ -106,7 +106,7 @@ func TestDataSurvivesLossAndReorder(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("lossy transfer corrupted")
 	}
-	tcb := c.Private.(*TCB)
+	tcb := c.private.(*TCB)
 	if tcb.Retransmits == 0 {
 		t.Fatalf("loss model never triggered retransmission")
 	}
@@ -171,7 +171,7 @@ func TestConnectToClosedPortTimesOut(t *testing.T) {
 	if !ok {
 		t.Fatalf("SYN to closed port never gave up: %s", c.State())
 	}
-	tcb := c.Private.(*TCB)
+	tcb := c.private.(*TCB)
 	if tcb.ResetReason == "" {
 		t.Fatalf("no reset reason recorded")
 	}
@@ -232,7 +232,7 @@ func TestPrivateStompDetected(t *testing.T) {
 	sim, a, b := pair(t, 9, LinkParams{Delay: 1})
 	c, srv := connectPair(t, sim, a, b, 80)
 	// Another "component" stomps the socket's private state.
-	srv.Private = &udpState{}
+	srv.private = &udpState{}
 	c.Send([]byte("data"))
 	sim.Run(50)
 	if rec.Count(kbase.OopsTypeConfusion) == 0 {

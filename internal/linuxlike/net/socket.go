@@ -22,14 +22,27 @@ type Socket struct {
 	RemoteAddr Addr
 	RemotePort uint16
 
-	// Private is protocol-specific state: *TCB for TCP, *udpState
-	// for UDP. Untyped, shared, stomp-able.
-	Private any
+	// private is protocol-specific state: *TCB for TCP, *udpState
+	// for UDP. Still dynamically typed underneath, but unexported:
+	// foreign code can no longer stomp it, and the in-package
+	// downcasts below are the only crossings.
+	private any
 
 	// Listener state.
 	acceptQ []*Socket
 	pending map[connKey]*Socket
 }
+
+// InjectConfusedState deliberately replaces the socket's private
+// protocol state with a foreign value — the §4.2 stomp, preserved as
+// an explicit fault-injection hook for demos and tests now that the
+// field itself is unexported and cannot be stomped from outside.
+func (s *Socket) InjectConfusedState() {
+	s.private = confusedState{}
+}
+
+// confusedState is the wrong-type value InjectConfusedState plants.
+type confusedState struct{}
 
 type connKey struct {
 	raddr Addr
@@ -128,7 +141,7 @@ func (h *Host) ListenTCP(port uint16) (*Socket, kbase.Errno) {
 		host: h, Proto: ProtoTCP, LocalPort: port,
 		pending: make(map[connKey]*Socket),
 	}
-	s.Private = newTCB(s, StateListen)
+	s.private = newTCB(s, StateListen)
 	h.listeners[port] = s
 	return s, kbase.EOK
 }
@@ -141,7 +154,7 @@ func (h *Host) ConnectTCP(raddr Addr, rport uint16) (*Socket, kbase.Errno) {
 		LocalPort: h.ephemeralPort(), RemoteAddr: raddr, RemotePort: rport,
 	}
 	tcb := newTCB(s, StateClosed)
-	s.Private = tcb
+	s.private = tcb
 	h.registerConn(s)
 	tcb.connect()
 	return s, kbase.EOK
@@ -155,7 +168,7 @@ func (h *Host) BindUDP(port uint16) (*Socket, kbase.Errno) {
 	if _, dup := h.udpSocks[port]; dup {
 		return nil, kbase.EEXIST
 	}
-	s := &Socket{host: h, Proto: ProtoUDP, LocalPort: port, Private: &udpState{}}
+	s := &Socket{host: h, Proto: ProtoUDP, LocalPort: port, private: &udpState{}}
 	h.udpSocks[port] = s
 	return s, kbase.EOK
 }
@@ -232,10 +245,10 @@ func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
 			// The generic layer reaches into TCP state directly —
 			// the §4.1 pathology. A stomped Private is type
 			// confusion, detected only at the assertion.
-			tcb, ok := s.Private.(*TCB)
+			tcb, ok := s.private.(*TCB)
 			if !ok {
 				kbase.Oops(kbase.OopsTypeConfusion, "net",
-					"socket %d private is %T, not *TCB", s.LocalPort, s.Private)
+					"socket %d private is %T, not *TCB", s.LocalPort, s.private)
 				return
 			}
 			tcb.handle(seg)
@@ -247,7 +260,7 @@ func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
 		if _, dup := l.pending[key]; dup {
 			// Retransmitted SYN: resend SYN|ACK via the pending child.
 			if child, ok := l.pending[key]; ok {
-				ctcb := child.Private.(*TCB)
+				ctcb := child.private.(*TCB)
 				ctcb.rcvNext = seg.Seq + 1
 				ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, false)
 			}
@@ -260,7 +273,7 @@ func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
 		ctcb := newTCB(child, StateSynRcvd)
 		ctcb.rcvNext = seg.Seq + 1
 		ctcb.peerWnd = uint32(seg.Wnd)
-		child.Private = ctcb
+		child.private = ctcb
 		h.registerConn(child)
 		l.pending[key] = child
 		ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, true)
@@ -276,10 +289,10 @@ func (h *Host) dispatchUDP(src Addr, dg udpDatagram) {
 		h.stats.NoSocket++
 		return
 	}
-	st, ok := s.Private.(*udpState)
+	st, ok := s.private.(*udpState)
 	if !ok {
 		kbase.Oops(kbase.OopsTypeConfusion, "net",
-			"udp socket %d private is %T, not *udpState", s.LocalPort, s.Private)
+			"udp socket %d private is %T, not *udpState", s.LocalPort, s.private)
 		return
 	}
 	st.queue = append(st.queue, dg)
@@ -317,7 +330,7 @@ func (h *Host) doTick(now uint64) {
 		})
 		for _, k := range keys {
 			s := m[k]
-			if tcb, ok := s.Private.(*TCB); ok {
+			if tcb, ok := s.private.(*TCB); ok {
 				tcb.tick(now)
 				if tcb.State == StateClosed {
 					delete(m, k)
@@ -336,9 +349,9 @@ func (h *Host) doTick(now uint64) {
 func (s *Socket) Send(data []byte) kbase.Errno {
 	switch s.Proto {
 	case ProtoTCP:
-		tcb, ok := s.Private.(*TCB)
+		tcb, ok := s.private.(*TCB)
 		if !ok {
-			kbase.Oops(kbase.OopsTypeConfusion, "net", "Send: private is %T", s.Private)
+			kbase.Oops(kbase.OopsTypeConfusion, "net", "Send: private is %T", s.private)
 			return kbase.EUCLEAN
 		}
 		return tcb.tcbSend(data)
@@ -352,9 +365,9 @@ func (s *Socket) Send(data []byte) kbase.Errno {
 func (s *Socket) Recv(buf []byte) (int, kbase.Errno) {
 	switch s.Proto {
 	case ProtoTCP:
-		tcb, ok := s.Private.(*TCB)
+		tcb, ok := s.private.(*TCB)
 		if !ok {
-			kbase.Oops(kbase.OopsTypeConfusion, "net", "Recv: private is %T", s.Private)
+			kbase.Oops(kbase.OopsTypeConfusion, "net", "Recv: private is %T", s.private)
 			return 0, kbase.EUCLEAN
 		}
 		return tcb.tcbRecv(buf)
@@ -380,9 +393,9 @@ func (s *Socket) RecvFrom(buf []byte) (int, Addr, uint16, kbase.Errno) {
 	if s.Proto != ProtoUDP {
 		return 0, 0, 0, kbase.EPROTO
 	}
-	st, ok := s.Private.(*udpState)
+	st, ok := s.private.(*udpState)
 	if !ok {
-		kbase.Oops(kbase.OopsTypeConfusion, "net", "RecvFrom: private is %T", s.Private)
+		kbase.Oops(kbase.OopsTypeConfusion, "net", "RecvFrom: private is %T", s.private)
 		return 0, 0, 0, kbase.EUCLEAN
 	}
 	if len(st.queue) == 0 {
@@ -417,9 +430,9 @@ func (s *Socket) Close() kbase.Errno {
 			delete(s.host.listeners, s.LocalPort)
 			return kbase.EOK
 		}
-		tcb, ok := s.Private.(*TCB)
+		tcb, ok := s.private.(*TCB)
 		if !ok {
-			kbase.Oops(kbase.OopsTypeConfusion, "net", "Close: private is %T", s.Private)
+			kbase.Oops(kbase.OopsTypeConfusion, "net", "Close: private is %T", s.private)
 			return kbase.EUCLEAN
 		}
 		tcb.tcbClose()
@@ -433,7 +446,7 @@ func (s *Socket) Close() kbase.Errno {
 
 // State reports the TCP state name (or "udp"/"?" otherwise).
 func (s *Socket) State() string {
-	if tcb, ok := s.Private.(*TCB); ok {
+	if tcb, ok := s.private.(*TCB); ok {
 		return tcb.State.String()
 	}
 	if s.Proto == ProtoUDP {
@@ -444,13 +457,13 @@ func (s *Socket) State() string {
 
 // Established reports whether a TCP socket finished its handshake.
 func (s *Socket) Established() bool {
-	tcb, ok := s.Private.(*TCB)
+	tcb, ok := s.private.(*TCB)
 	return ok && tcb.State == StateEstablished
 }
 
 // Closed reports whether the connection is fully shut down.
 func (s *Socket) Closed() bool {
-	tcb, ok := s.Private.(*TCB)
+	tcb, ok := s.private.(*TCB)
 	return ok && tcb.State == StateClosed
 }
 
@@ -458,14 +471,14 @@ func (s *Socket) Closed() bool {
 // the typed accessor out-of-package code should use instead of
 // downcasting Private (keeps the kerncheck anyboundary ratchet flat).
 func (s *Socket) TCPInfo() (*TCB, bool) {
-	tcb, ok := s.Private.(*TCB)
+	tcb, ok := s.private.(*TCB)
 	return tcb, ok
 }
 
 // BufferedRecv returns the number of bytes waiting in the receive
 // buffer — generic code reading TCP internals, again.
 func (s *Socket) BufferedRecv() int {
-	if tcb, ok := s.Private.(*TCB); ok {
+	if tcb, ok := s.private.(*TCB); ok {
 		return len(tcb.recvBuf)
 	}
 	return 0

@@ -69,7 +69,7 @@ func guardRet[T any](v *VFS, task *kbase.Task, op string, fn func() (T, kbase.Er
 
 // Mount mounts fstype at path with fs-specific data. Path must be "/"
 // or an existing directory on an already-mounted file system.
-func (v *VFS) Mount(task *kbase.Task, path, fstype string, data any) kbase.Errno {
+func (v *VFS) Mount(task *kbase.Task, path, fstype string, data MountData) kbase.Errno {
 	return v.guard(task, "mount", func() kbase.Errno { return v.doMount(task, path, fstype, data) })
 }
 

@@ -25,7 +25,7 @@ func TestBoundaryDetectorLearnsAndEnforces(t *testing.T) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&ramfs.FS{})
-	v.Mount(task, "/", "ramfs", nil)
+	v.Mount(task, "/", "ramfs", vfs.MountData{})
 	v.InstrumentBoundaries(det)
 	fd, _ := v.Open(task, "/train", vfs.OWrOnly|vfs.OCreate)
 	for i := 0; i < 5; i++ {
@@ -42,7 +42,7 @@ func TestBoundaryDetectorLearnsAndEnforces(t *testing.T) {
 	// Phase 2: the same detector observes a confused module.
 	v2 := vfs.New(nil)
 	v2.RegisterFS(&ramfs.FS{ConfuseWriteEnd: true})
-	v2.Mount(task, "/", "ramfs", nil)
+	v2.Mount(task, "/", "ramfs", vfs.MountData{})
 	v2.InstrumentBoundaries(det)
 	fd2, _ := v2.Open(task, "/victim", vfs.OWrOnly|vfs.OCreate)
 	v2.Write(task, fd2, []byte("boom"))
@@ -72,7 +72,7 @@ func TestBoundaryDetectorPerFSTypes(t *testing.T) {
 	for _, name := range []string{"a", "b"} {
 		v := vfs.New(nil)
 		v.RegisterFS(&ramfs.FS{})
-		v.Mount(task, "/", "ramfs", nil)
+		v.Mount(task, "/", "ramfs", vfs.MountData{})
 		v.InstrumentBoundaries(det)
 		fd, _ := v.Open(task, "/"+name, vfs.OWrOnly|vfs.OCreate)
 		v.Write(task, fd, []byte(name))

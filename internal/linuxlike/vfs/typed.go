@@ -5,20 +5,18 @@ import (
 	"safelinux/internal/safety/typedapi"
 )
 
-// Typed inode operations: the Step-2 migration path away from the
-// ERR_PTR methods of InodeOps. A converted file system implements
-// TypedInodeOps — Lookup/Create/Mkdir return typedapi.Result, so no
-// error ever travels inside a pointer — and registers it with
-// AdaptTyped. The VFS dispatches typed-first at its call sites, so a
-// converted file system never touches the ERR_PTR convention at all;
-// the compatibility shim below is the single place the two styles
-// meet, and it lives here in the legacy layer where kerncheck's
-// errptr ratchet tracks it.
+// Typed inode operations: the completed Step-2 migration away from
+// the ERR_PTR methods the original InodeOps table carried. Every file
+// system implements TypedInodeOps directly — Lookup/Create/Mkdir
+// return typedapi.Result, so no error ever travels inside a pointer —
+// and the legacy table, the adapter shim, and the ERR_PTR
+// encode/decode helpers are gone. kerncheck's errptr pass now runs at
+// zero findings tree-wide and enforces that the convention never
+// returns.
 
-// TypedInodeOps is the typed inode_operations table. The non-creating
-// methods keep their InodeOps signatures (they already return plain
-// Errno); the three ERR_PTR methods are replaced by Result-returning
-// variants.
+// TypedInodeOps is the inode_operations table. The non-creating
+// methods return plain Errno; the three methods that yield an inode
+// return Result-carrying variants.
 type TypedInodeOps interface {
 	// LookupTyped resolves name within dir.
 	LookupTyped(task *kbase.Task, dir *Inode, name string) typedapi.Result[*Inode]
@@ -36,87 +34,30 @@ type TypedInodeOps interface {
 	ReadDir(task *kbase.Task, dir *Inode) ([]DirEntry, kbase.Errno)
 }
 
-// typedAdapter bridges a TypedInodeOps to the legacy InodeOps table
-// for unconverted callers. The embedded interface also keeps the
-// typed methods visible, so the VFS's typed-first dispatch finds them.
-type typedAdapter struct {
-	TypedInodeOps
+// SetPrivate hangs the owning file system's per-inode state on ino.
+// Together with PrivateAs it is the only crossing into the
+// dynamically-typed i_private field.
+func SetPrivate[T any](ino *Inode, v T) {
+	ino.private = v
 }
 
-func (a typedAdapter) Lookup(task *kbase.Task, dir *Inode, name string) *Inode {
-	return errPtrOf(a.LookupTyped(task, dir, name))
-}
-
-func (a typedAdapter) Create(task *kbase.Task, dir *Inode, name string, mode FileMode) *Inode {
-	return errPtrOf(a.CreateTyped(task, dir, name, mode))
-}
-
-func (a typedAdapter) Mkdir(task *kbase.Task, dir *Inode, name string) *Inode {
-	return errPtrOf(a.MkdirTyped(task, dir, name))
-}
-
-// errPtrOf lowers a Result to the ERR_PTR convention — the one audited
-// place a typed file system's errors get folded back into pointers.
-func errPtrOf(r typedapi.Result[*Inode]) *Inode {
-	ino, err := r.Get()
-	if err != kbase.EOK {
-		return kbase.ErrPtr[Inode](err)
-	}
-	return ino
-}
-
-// AdaptTyped wraps a typed operation table as a legacy InodeOps. The
-// returned value still satisfies TypedInodeOps, so VFS paths that
-// dispatch typed-first bypass the shim entirely.
-func AdaptTyped(ops TypedInodeOps) InodeOps {
-	return typedAdapter{TypedInodeOps: ops}
-}
-
-// opsLookup is the VFS-internal typed-first dispatch for Lookup.
-func opsLookup(task *kbase.Task, dir *Inode, name string) typedapi.Result[*Inode] {
-	if t, ok := dir.Ops.(TypedInodeOps); ok {
-		return t.LookupTyped(task, dir, name)
-	}
-	return resultOf(dir.Ops.Lookup(task, dir, name))
-}
-
-// opsCreate is the typed-first dispatch for Create.
-func opsCreate(task *kbase.Task, dir *Inode, name string, mode FileMode) typedapi.Result[*Inode] {
-	if t, ok := dir.Ops.(TypedInodeOps); ok {
-		return t.CreateTyped(task, dir, name, mode)
-	}
-	return resultOf(dir.Ops.Create(task, dir, name, mode))
-}
-
-// opsMkdir is the typed-first dispatch for Mkdir.
-func opsMkdir(task *kbase.Task, dir *Inode, name string) typedapi.Result[*Inode] {
-	if t, ok := dir.Ops.(TypedInodeOps); ok {
-		return t.MkdirTyped(task, dir, name)
-	}
-	return resultOf(dir.Ops.Mkdir(task, dir, name))
-}
-
-// resultOf lifts a legacy ERR_PTR return into a Result — the decode
-// half of the shim, likewise confined to this file.
-func resultOf(ino *Inode) typedapi.Result[*Inode] {
-	if kbase.IsErr(ino) {
-		return typedapi.Err[*Inode](kbase.PtrErr(ino))
-	}
-	return typedapi.Ok(ino)
-}
-
-// PrivateAs downcasts ino.Private, the i_private analogue, to the
-// owning file system's state type. Converted file systems use this
-// accessor instead of asserting on the any-typed field directly, so
-// the unavoidable downcast happens in exactly one audited place — the
-// package that declares the untyped field.
+// PrivateAs downcasts the i_private analogue to the owning file
+// system's state type. File systems use this accessor instead of
+// asserting on an exposed any field, so the unavoidable downcast
+// happens in exactly one audited place — the package that declares
+// the untyped field.
 func PrivateAs[T any](ino *Inode) (T, bool) {
-	v, ok := ino.Private.(T)
+	v, ok := ino.private.(T)
 	return v, ok
+}
+
+// SetSBPrivate is SetPrivate for the superblock's s_fs_info analogue.
+func SetSBPrivate[T any](sb *SuperBlock, v T) {
+	sb.private = v
 }
 
 // SBPrivateAs is PrivateAs for the superblock's s_fs_info analogue.
 func SBPrivateAs[T any](sb *SuperBlock) (T, bool) {
-	v, ok := sb.Private.(T)
+	v, ok := sb.private.(T)
 	return v, ok
 }

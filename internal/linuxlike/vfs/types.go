@@ -1,9 +1,13 @@
 // Package vfs implements the virtual file system layer of the
 // simulated kernel in the legacy Linux style: a shared mutable Inode
-// structure passed by pointer between the VFS and file systems, an
-// ERR_PTR-returning Lookup, a write_begin/write_end protocol that
-// hands file-system-private state through an untyped field, and an
-// i_size field whose locking contract is "maybe i_lock" (paper §4.3).
+// structure passed by pointer between the VFS and file systems, a
+// write_begin/write_end protocol that hands file-system-private state
+// between calls, and an i_size field whose locking contract is "maybe
+// i_lock" (paper §4.3). The ERR_PTR-returning operation table and the
+// bare-any private fields are gone: every file system implements
+// TypedInodeOps (errors travel in typedapi.Result, never inside
+// pointers) and per-inode state crosses the boundary through the
+// typed accessors in typed.go.
 //
 // The safety framework's Step-1 work (internal/safety/module) wraps
 // this layer in a modular interface; Steps 2-4 replace individual
@@ -61,16 +65,17 @@ type Inode struct {
 	Sb *SuperBlock
 
 	// Ops is the file system's inode operation table.
-	Ops InodeOps
+	Ops TypedInodeOps
 
 	// FileOps is the file system's file operation table.
 	FileOps FileOps
 
-	// Private is the i_private analogue: the owning file system
-	// hangs its per-inode state here as an untyped value and casts
-	// it back on every call. Nothing stops another component from
-	// stomping on it.
-	Private any
+	// private is the i_private analogue. It stays dynamically typed
+	// underneath — that is the legacy design being modeled — but the
+	// field is unexported, so every crossing of the boundary goes
+	// through SetPrivate/PrivateAs where the one audited downcast
+	// lives.
+	private any
 }
 
 // SizeRead returns ISize under ILock — the disciplined accessor that
@@ -95,44 +100,40 @@ type DirEntry struct {
 	Mode FileMode
 }
 
-// InodeOps is the inode_operations table a file system implements.
-// Lookup and Create follow the kernel's ERR_PTR convention: they
-// return a sentinel pointer (kbase.ErrPtr) on failure, which the
-// caller must test with kbase.IsErr before use.
-type InodeOps interface {
-	// Lookup resolves name within dir. Returns the inode, or an
-	// ERR_PTR sentinel (ENOENT if absent).
-	Lookup(task *kbase.Task, dir *Inode, name string) *Inode
-	// Create makes a new regular file or directory entry in dir.
-	// Returns the new inode or an ERR_PTR sentinel.
-	Create(task *kbase.Task, dir *Inode, name string, mode FileMode) *Inode
-	// Unlink removes a non-directory entry.
-	Unlink(task *kbase.Task, dir *Inode, name string) kbase.Errno
-	// Mkdir creates a directory. Returns the new inode or ERR_PTR.
-	Mkdir(task *kbase.Task, dir *Inode, name string) *Inode
-	// Rmdir removes an empty directory.
-	Rmdir(task *kbase.Task, dir *Inode, name string) kbase.Errno
-	// Rename moves oldName in oldDir to newName in newDir,
-	// replacing any existing non-directory target.
-	Rename(task *kbase.Task, oldDir *Inode, oldName string, newDir *Inode, newName string) kbase.Errno
-	// ReadDir lists dir.
-	ReadDir(task *kbase.Task, dir *Inode) ([]DirEntry, kbase.Errno)
+// WriteState carries a file system's private write-protocol state
+// from WriteBegin through WriteCopy to WriteEnd. The VFS still only
+// ferries it — the paper's §4.2 example — but the payload rides in an
+// opaque envelope instead of a bare any, so the downcast happens in
+// exactly one audited accessor (WriteStateAs) and the type-confusion
+// detector can keep watching the inner dynamic type.
+type WriteState struct {
+	v any
+}
+
+// NewWriteState wraps a file system's private write state.
+func NewWriteState[T any](v T) WriteState { return WriteState{v: v} }
+
+// WriteStateAs unwraps the state as the owning file system's type.
+func WriteStateAs[T any](s WriteState) (T, bool) {
+	v, ok := s.v.(T)
+	return v, ok
 }
 
 // FileOps is the file_operations table. The WriteBegin/WriteEnd pair
 // reproduces the paper's §4.2 example: the file system passes custom
-// state from WriteBegin to WriteEnd through an untyped value that the
-// VFS merely ferries — and must cast back, trusting it was theirs.
+// state from WriteBegin to WriteEnd in a WriteState envelope that the
+// VFS merely ferries — and the owner must unwrap, trusting it was
+// theirs.
 type FileOps interface {
 	// Read copies up to len(buf) bytes from offset off.
 	Read(task *kbase.Task, ino *Inode, buf []byte, off int64) (int, kbase.Errno)
 	// WriteBegin prepares a write of n bytes at off, returning
 	// file-system-private state that the VFS passes to WriteEnd.
-	WriteBegin(task *kbase.Task, ino *Inode, off int64, n int) (any, kbase.Errno)
+	WriteBegin(task *kbase.Task, ino *Inode, off int64, n int) (WriteState, kbase.Errno)
 	// WriteCopy transfers the payload for a prepared write.
-	WriteCopy(task *kbase.Task, ino *Inode, off int64, data []byte, private any) (int, kbase.Errno)
+	WriteCopy(task *kbase.Task, ino *Inode, off int64, data []byte, private WriteState) (int, kbase.Errno)
 	// WriteEnd completes the write started by WriteBegin.
-	WriteEnd(task *kbase.Task, ino *Inode, off int64, n int, private any) kbase.Errno
+	WriteEnd(task *kbase.Task, ino *Inode, off int64, n int, private WriteState) kbase.Errno
 	// Fsync makes the file's data and metadata durable.
 	Fsync(task *kbase.Task, ino *Inode) kbase.Errno
 	// Truncate sets the file size.
@@ -163,18 +164,35 @@ type SuperBlock struct {
 	FSType string
 	Root   *Inode
 	Ops    SuperBlockOps
-	// Private is the s_fs_info analogue.
-	Private any
+	// private is the s_fs_info analogue; SetSBPrivate/SBPrivateAs are
+	// the audited crossings.
+	private any
+}
+
+// MountData is the envelope for mount options and backing devices —
+// the void*-ish data argument of mount(2), wrapped so the downcast
+// happens in the owning file system's MountDataAs call rather than at
+// every signature.
+type MountData struct {
+	v any
+}
+
+// NewMountData wraps fs-specific mount data.
+func NewMountData[T any](v T) MountData { return MountData{v: v} }
+
+// MountDataAs unwraps mount data as the file system's own type.
+func MountDataAs[T any](d MountData) (T, bool) {
+	v, ok := d.v.(T)
+	return v, ok
 }
 
 // FileSystemType registers a mountable file system implementation.
 type FileSystemType interface {
 	// Name is the fs type name ("ramfs", "extlike", ...).
 	Name() string
-	// Mount creates a superblock instance. The untyped data argument
-	// carries mount options and backing devices, in the legacy
-	// void*-ish style.
-	Mount(task *kbase.Task, data any) (*SuperBlock, kbase.Errno)
+	// Mount creates a superblock instance; data carries mount options
+	// and backing devices in a MountData envelope.
+	Mount(task *kbase.Task, data MountData) (*SuperBlock, kbase.Errno)
 }
 
 // Stat is per-inode metadata returned by the VFS.

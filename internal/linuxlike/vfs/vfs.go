@@ -60,13 +60,15 @@ type mount struct {
 	sb   *SuperBlock
 }
 
-// BoundaryDetector is the hook a type-confusion detector implements
-// (satisfied by typedapi.Detector). The VFS reports every untyped
-// private value it ferries through the write protocol, tagged with
-// the owning file system type, so a learn-then-enforce detector can
-// catch §4.2-style confusion without the VFS knowing any concrete
-// types.
-type BoundaryDetector interface {
+// boundaryDetector is the hook a type-confusion detector implements
+// (satisfied structurally by typedapi.Detector). The VFS reports the
+// inner value of every WriteState it ferries through the write
+// protocol, tagged with the owning file system type, so a
+// learn-then-enforce detector can catch §4.2-style confusion without
+// the VFS knowing any concrete types. The contract is unexported: the
+// untyped hand-off is an implementation detail of instrumentation,
+// not part of the VFS's typed surface.
+type boundaryDetector interface {
 	Check(boundary string, v any) bool
 }
 
@@ -84,7 +86,7 @@ type VFS struct {
 	dcache  *dcache
 	clock   *kbase.Clock
 
-	detector BoundaryDetector
+	detector boundaryDetector
 
 	// boundary, when installed, wraps every public operation in a
 	// crash-containment compartment (see boundary.go).
@@ -93,7 +95,7 @@ type VFS struct {
 
 // InstrumentBoundaries installs a type-confusion detector on the
 // VFS's untyped handoffs (nil uninstalls).
-func (v *VFS) InstrumentBoundaries(d BoundaryDetector) {
+func (v *VFS) InstrumentBoundaries(d boundaryDetector) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.detector = d
@@ -151,7 +153,7 @@ func CleanPath(p string) string {
 
 // doMount mounts fstype at path with fs-specific data. Path must be "/"
 // or an existing directory on an already-mounted file system.
-func (v *VFS) doMount(task *kbase.Task, path, fstype string, data any) kbase.Errno {
+func (v *VFS) doMount(task *kbase.Task, path, fstype string, data MountData) kbase.Errno {
 	path = CleanPath(path)
 	if path == "" {
 		return kbase.EINVAL
@@ -307,9 +309,7 @@ func (v *VFS) lookupCached(task *kbase.Task, dir *Inode, name string) (*Inode, k
 		return ino, kbase.EOK
 	}
 	tpLookup.Emit(task.ID(), dir.Ino, 0)
-	// Typed-first dispatch: converted file systems return a Result,
-	// legacy ones go through the ERR_PTR shim in typed.go.
-	child, e := opsLookup(task, dir, name).Get()
+	child, e := dir.Ops.LookupTyped(task, dir, name).Get()
 	if e != kbase.EOK {
 		if e == kbase.ENOENT {
 			v.dcache.insert(dir.Sb, dir.Ino, name, nil) // negative entry
@@ -346,7 +346,7 @@ func (v *VFS) doOpen(task *kbase.Task, path string, flags int) (int, kbase.Errno
 		if perr != kbase.EOK {
 			return -1, perr
 		}
-		created, cerr := opsCreate(task, parent, name, ModeRegular).Get()
+		created, cerr := parent.Ops.CreateTyped(task, parent, name, ModeRegular).Get()
 		if cerr != kbase.EOK {
 			return -1, cerr
 		}
@@ -482,7 +482,9 @@ func (v *VFS) writeAt(task *kbase.Task, ino *Inode, data []byte, off int64) (int
 	det := v.detector
 	v.mu.RUnlock()
 	if det != nil {
-		det.Check("vfs.write_private."+ino.Sb.FSType, private)
+		// Unwrap the envelope so the detector learns the file
+		// system's own token type, not vfs.WriteState.
+		det.Check("vfs.write_private."+ino.Sb.FSType, private.v)
 	}
 	n, err := ino.FileOps.WriteCopy(task, ino, off, data, private)
 	if err != kbase.EOK {
@@ -578,7 +580,7 @@ func (v *VFS) doMkdir(task *kbase.Task, path string) kbase.Errno {
 	if _, e := v.lookupCached(task, parent, name); e == kbase.EOK {
 		return kbase.EEXIST
 	}
-	if _, e := opsMkdir(task, parent, name).Get(); e != kbase.EOK {
+	if _, e := parent.Ops.MkdirTyped(task, parent, name).Get(); e != kbase.EOK {
 		return e
 	}
 	v.dcache.invalidate(parent.Sb, parent.Ino, name)

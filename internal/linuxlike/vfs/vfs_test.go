@@ -16,7 +16,7 @@ func newKernel(t *testing.T) (*vfs.VFS, *kbase.Task) {
 	if err := v.RegisterFS(&ramfs.FS{}); err != kbase.EOK {
 		t.Fatalf("RegisterFS: %v", err)
 	}
-	if err := v.Mount(task, "/", "ramfs", nil); err != kbase.EOK {
+	if err := v.Mount(task, "/", "ramfs", vfs.MountData{}); err != kbase.EOK {
 		t.Fatalf("Mount: %v", err)
 	}
 	return v, task
@@ -251,7 +251,7 @@ func TestTruncate(t *testing.T) {
 func TestMountAtSubdirShadowsAndEXDEV(t *testing.T) {
 	v, task := newKernel(t)
 	v.Mkdir(task, "/mnt")
-	if err := v.Mount(task, "/mnt", "ramfs", nil); err != kbase.EOK {
+	if err := v.Mount(task, "/mnt", "ramfs", vfs.MountData{}); err != kbase.EOK {
 		t.Fatalf("Mount /mnt: %v", err)
 	}
 	fd, _ := v.Open(task, "/mnt/inner", vfs.OWrOnly|vfs.OCreate)
@@ -281,18 +281,18 @@ func TestMountAtSubdirShadowsAndEXDEV(t *testing.T) {
 
 func TestMountErrors(t *testing.T) {
 	v, task := newKernel(t)
-	if err := v.Mount(task, "/", "nope", nil); err != kbase.ENODEV {
+	if err := v.Mount(task, "/", "nope", vfs.MountData{}); err != kbase.ENODEV {
 		t.Fatalf("unknown fstype: %v", err)
 	}
-	if err := v.Mount(task, "/", "ramfs", nil); err != kbase.EBUSY {
+	if err := v.Mount(task, "/", "ramfs", vfs.MountData{}); err != kbase.EBUSY {
 		t.Fatalf("double mount at /: %v", err)
 	}
-	if err := v.Mount(task, "relative", "ramfs", nil); err != kbase.EINVAL {
+	if err := v.Mount(task, "relative", "ramfs", vfs.MountData{}); err != kbase.EINVAL {
 		t.Fatalf("relative mount point: %v", err)
 	}
 	fd, _ := v.Open(task, "/file", vfs.OWrOnly|vfs.OCreate)
 	v.Close(fd)
-	if err := v.Mount(task, "/file", "ramfs", nil); err != kbase.ENOTDIR {
+	if err := v.Mount(task, "/file", "ramfs", vfs.MountData{}); err != kbase.ENOTDIR {
 		t.Fatalf("mount on file: %v", err)
 	}
 }

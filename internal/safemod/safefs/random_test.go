@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/vfs"
 	"safelinux/internal/safety/spec"
 )
 
@@ -112,11 +113,11 @@ func TestRecoveryEquivalenceProperty(t *testing.T) {
 		// Crash (everything was committed per-op) and remount.
 		a.dev.CrashApplyNone()
 		fs := &FS{SyncOnCommit: true}
-		sb, merr := fs.Mount(nil, &MountData{Disk: a.dev})
+		sb, merr := fs.Mount(nil, vfs.NewMountData(&MountData{Disk: a.dev}))
 		if merr != kbase.EOK {
 			return false
 		}
-		got, err := interpretState(sb.Private.(*fsInstance).st)
+		got, err := interpretState(mustInst(sb).st)
 		if err != kbase.EOK {
 			return false
 		}

@@ -3,6 +3,7 @@ package safefs
 import (
 	"testing"
 
+	"safelinux/internal/linuxlike/vfs"
 	"safelinux/internal/safety/spec"
 )
 
@@ -104,11 +105,11 @@ func TestAxiomShimUnderSafefs(t *testing.T) {
 	if err := Format(ax); err.IsError() {
 		t.Fatalf("Format: %v", err)
 	}
-	sb, err := fs.Mount(nil, &MountData{Disk: ax})
+	sb, err := fs.Mount(nil, vfs.NewMountData(&MountData{Disk: ax}))
 	if err.IsError() {
 		t.Fatalf("Mount: %v", err)
 	}
-	inst := sb.Private.(*fsInstance)
+	inst := mustInst(sb)
 	for i := 0; i < 20; i++ {
 		inst.nsLock.DownWrite(nil)
 		inst.do(Record{Kind: OpCreate, Path: string(rune('a' + i))})

@@ -52,10 +52,10 @@ type fsInstance struct {
 }
 
 // Mount implements vfs.FileSystemType. Recovery runs on every mount.
-func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
-	md, ok := data.(*MountData)
+func (f *FS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase.Errno) {
+	md, ok := vfs.MountDataAs[*MountData](data)
 	if !ok || md.Disk == nil {
-		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "mount data is %T, not *MountData", data)
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "mount data is not *safefs.MountData")
 		return nil, kbase.EINVAL
 	}
 	checker := md.Checker
@@ -71,7 +71,8 @@ func (f *FS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
 		nsLock: kbase.NewRWSem(fsLockClass),
 		inodes: make(map[string]*vfs.Inode), nextIno: 2,
 	}
-	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst, Private: inst}
+	vsb := &vfs.SuperBlock{FSType: f.Name(), Ops: inst}
+	vfs.SetSBPrivate(vsb, inst)
 	inst.vsb = vsb
 	vsb.Root = inst.inodeFor("", true)
 	return vsb, kbase.EOK
@@ -107,10 +108,10 @@ func (inst *fsInstance) inodeFor(path string, isDir bool) *vfs.Inode {
 		Nlink:   1,
 		ILock:   kbase.NewSpinLock(vfs.ILockClass),
 		Sb:      inst.vsb,
-		Ops:     vfs.AdaptTyped(&inodeOps{inst: inst}),
+		Ops:     &inodeOps{inst: inst},
 		FileOps: &fileOps{inst: inst},
-		Private: &snode{path: path},
 	}
+	vfs.SetPrivate(ino, &snode{path: path})
 	if !isDir {
 		if size, err := inst.st.fileSize(path); err == kbase.EOK {
 			ino.ISize = size
@@ -124,7 +125,7 @@ func (inst *fsInstance) inodeFor(path string, isDir bool) *vfs.Inode {
 func pathOf(dir *vfs.Inode, name string) (string, kbase.Errno) {
 	sn, ok := vfs.PrivateAs[*snode](dir)
 	if !ok {
-		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "inode private is %T", dir.Private)
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "inode private is not *snode")
 		return "", kbase.EUCLEAN
 	}
 	if name == "" || strings.Contains(name, "/") || len(name) > vfs.MaxNameLen {
@@ -362,8 +363,8 @@ func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kb
 // --- FileOps ---
 
 // writePlan is the typed token payload carried from WriteBegin to
-// WriteEnd: the Step-2 replacement for the void* handoff, even though
-// the VFS ferry itself is still untyped.
+// WriteEnd: the Step-2 replacement for the void* handoff, now riding
+// inside the VFS's WriteState envelope.
 type writePlan struct {
 	path string
 	off  int64
@@ -387,21 +388,22 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 	return inst.st.readFile(sn.path, buf, off)
 }
 
-func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (any, kbase.Errno) {
+func (fo *fileOps) WriteBegin(task *kbase.Task, ino *vfs.Inode, off int64, n int) (vfs.WriteState, kbase.Errno) {
 	sn, ok := vfs.PrivateAs[*snode](ino)
 	if !ok {
-		return nil, kbase.EUCLEAN
+		return vfs.WriteState{}, kbase.EUCLEAN
 	}
 	if off < 0 || n < 0 {
-		return nil, kbase.EINVAL
+		return vfs.WriteState{}, kbase.EINVAL
 	}
-	return typedapi.Issue(writeIssuer, writePlan{path: sn.path, off: off, n: n}), kbase.EOK
+	tok := typedapi.Issue(writeIssuer, writePlan{path: sn.path, off: off, n: n})
+	return vfs.NewWriteState(tok), kbase.EOK
 }
 
-func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private any) (int, kbase.Errno) {
-	tok, ok := private.(*typedapi.Token[writePlan])
+func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data []byte, private vfs.WriteState) (int, kbase.Errno) {
+	tok, ok := vfs.WriteStateAs[*typedapi.Token[writePlan]](private)
 	if !ok {
-		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "write_copy private is %T", private)
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "write_copy private is not a write token")
 		return 0, kbase.EUCLEAN
 	}
 	plan, err := tok.Peek(writeIssuer)
@@ -419,10 +421,10 @@ func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data [
 	return len(data), kbase.EOK
 }
 
-func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, private any) kbase.Errno {
-	tok, ok := private.(*typedapi.Token[writePlan])
+func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, private vfs.WriteState) kbase.Errno {
+	tok, ok := vfs.WriteStateAs[*typedapi.Token[writePlan]](private)
 	if !ok {
-		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "write_end private is %T", private)
+		kbase.Oops(kbase.OopsTypeConfusion, "safefs", "write_end private is not a write token")
 		return kbase.EUCLEAN
 	}
 	plan, err := tok.Redeem(writeIssuer)

@@ -102,7 +102,7 @@ func mountSafefs(t *testing.T, dev *blockdev.Device, ck *own.Checker, syncOnComm
 	if err := v.RegisterFS(&FS{SyncOnCommit: syncOnCommit}); err != kbase.EOK {
 		t.Fatalf("RegisterFS: %v", err)
 	}
-	if err := v.Mount(task, "/", "safefs", &MountData{Disk: dev, Checker: ck}); err != kbase.EOK {
+	if err := v.Mount(task, "/", "safefs", vfs.NewMountData(&MountData{Disk: dev, Checker: ck})); err != kbase.EOK {
 		t.Fatalf("Mount: %v", err)
 	}
 	return v, task
@@ -328,12 +328,22 @@ func TestMountGarbageDevice(t *testing.T) {
 	defer kbase.InstallRecorder(prev)
 	dev := blockdev.New(blockdev.Config{Blocks: 64, BlockSize: 256, Rng: kbase.NewRng(1)})
 	fs := &FS{}
-	if _, err := fs.Mount(nil, &MountData{Disk: dev}); err != kbase.EUCLEAN {
+	if _, err := fs.Mount(nil, vfs.NewMountData(&MountData{Disk: dev})); err != kbase.EUCLEAN {
 		t.Fatalf("mount of unformatted device: %v", err)
 	}
-	if _, err := fs.Mount(nil, "wrong type"); err != kbase.EINVAL {
+	if _, err := fs.Mount(nil, vfs.NewMountData("wrong type")); err != kbase.EINVAL {
 		t.Fatalf("mount with confused data: %v", err)
 	}
+}
+
+// mustInst unwraps the superblock's fsInstance through the typed
+// accessor.
+func mustInst(sb *vfs.SuperBlock) *fsInstance {
+	inst, ok := vfs.SBPrivateAs[*fsInstance](sb)
+	if !ok {
+		panic("superblock private is not *fsInstance")
+	}
+	return inst
 }
 
 func TestModuleMetadata(t *testing.T) {
@@ -391,7 +401,7 @@ func TestCrashDuringCheckpointSurvives(t *testing.T) {
 		// write the checkpoint blocks, then crash with a random
 		// subset applied (torn region).
 		root, _ := v.Resolve(task, "/")
-		inst := root.Sb.Private.(*fsInstance)
+		inst := mustInst(root.Sb)
 		inst.nsLock.DownWrite(nil)
 		payload, serr := inst.st.serialize()
 		if serr != kbase.EOK {

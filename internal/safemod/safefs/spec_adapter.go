@@ -303,7 +303,7 @@ func (a *SpecAdapter) Reset() kbase.Errno {
 	}
 	a.checker = own.NewChecker(own.PolicyRecord)
 	fs := &FS{SyncOnCommit: a.SyncOnCommit}
-	sb, err := fs.Mount(nil, &MountData{Disk: a.dev, Checker: a.checker})
+	sb, err := fs.Mount(nil, vfs.NewMountData(&MountData{Disk: a.dev, Checker: a.checker}))
 	if err != kbase.EOK {
 		return err
 	}
@@ -407,7 +407,7 @@ func (a *SpecAdapter) ForEachCrash(check func(recovered Abs) bool) (int, kbase.E
 		// Remount a throwaway instance on the crashed image.
 		ck := own.NewChecker(own.PolicyRecord)
 		fs := &FS{SyncOnCommit: a.SyncOnCommit}
-		sb, err := fs.Mount(nil, &MountData{Disk: a.dev, Checker: ck})
+		sb, err := fs.Mount(nil, vfs.NewMountData(&MountData{Disk: a.dev, Checker: ck}))
 		if err != kbase.EOK {
 			return tried, err
 		}

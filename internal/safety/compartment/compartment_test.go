@@ -322,6 +322,35 @@ func TestPlaneAutoRestart(t *testing.T) {
 	}
 }
 
+// TestFailedAutoRestartLandsInFaultLog: an auto-restart whose hook
+// fails must be recorded, not silently dropped — the compartment stays
+// quarantined and the log has to say why (regression test for the
+// droppederr finding on the supervisor's restart goroutine).
+func TestFailedAutoRestartLandsInFaultLog(t *testing.T) {
+	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
+	defer kbase.InstallRecorder(rec)
+
+	p := NewPlane()
+	c := p.Add("fs", Options{
+		Restart: func(task *kbase.Task) kbase.Errno { return kbase.EIO },
+	})
+
+	c.Do(kbase.NewTask(), "boom", func() kbase.Errno { panic("die") })
+	p.Settle()
+	if c.State() != Quarantined {
+		t.Fatalf("state = %v after failed restart, want Quarantined", c.State())
+	}
+	faults := p.Faults()
+	if len(faults) != 2 {
+		t.Fatalf("fault log has %d entries, want 2 (crash + failed restart)", len(faults))
+	}
+	last := faults[1]
+	if !strings.Contains(last.Panic, "auto-restart failed") ||
+		!strings.Contains(last.Panic, kbase.EIO.Error()) {
+		t.Fatalf("failed-restart entry = %+v, want auto-restart failure with EIO", last)
+	}
+}
+
 func TestManualRestartClearsQuarantine(t *testing.T) {
 	rec := kbase.InstallRecorder(&kbase.OopsRecorder{})
 	defer kbase.InstallRecorder(rec)

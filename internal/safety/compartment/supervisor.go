@@ -124,7 +124,19 @@ func (p *Plane) onFault(c *Compartment, f Fault) {
 	if auto && canRestart {
 		go func() {
 			defer p.pending.Done()
-			p.Restart(c.name)
+			if err := p.Restart(c.name); err != kbase.EOK {
+				// A failed auto-restart must not vanish: the compartment
+				// is still quarantined, and a fault log that showed only
+				// the original crash would read as a clean recovery.
+				p.mu.Lock()
+				p.faults = append(p.faults, Fault{
+					Compartment: c.name,
+					Epoch:       f.Epoch,
+					Panic:       "auto-restart failed: " + err.Error(),
+					Reported:    true, // no oops site: the hook returned, not panicked
+				})
+				p.mu.Unlock()
+			}
 		}()
 	}
 }

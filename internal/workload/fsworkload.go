@@ -187,7 +187,7 @@ func (w *FSWorkload) Run(v *vfs.VFS, task *kbase.Task) FSStats {
 			path := w.freshName(w.randDir(), "f")
 			fd, err := v.Open(task, path, vfs.OWrOnly|vfs.OCreate|vfs.OExcl)
 			if err == kbase.EOK {
-				v.Close(fd)
+				_ = v.Close(fd) // workload records per-op status via note(op, err)
 				w.files = append(w.files, path)
 			}
 			note(op, err)
@@ -204,7 +204,7 @@ func (w *FSWorkload) Run(v *vfs.VFS, task *kbase.Task) FSStats {
 				var wrote int
 				wrote, err = v.Pwrite(task, fd, buf[:n], off)
 				stats.BytesWritten += int64(wrote)
-				v.Close(fd)
+				_ = v.Close(fd) // workload records per-op status via note(op, err)
 			}
 			note(op, err)
 		case "read":
@@ -217,7 +217,7 @@ func (w *FSWorkload) Run(v *vfs.VFS, task *kbase.Task) FSStats {
 				var n int
 				n, err = v.Pread(task, fd, buf, int64(w.rng.Intn(4*w.cfg.MaxWriteSize)))
 				stats.BytesRead += int64(n)
-				v.Close(fd)
+				_ = v.Close(fd) // workload records per-op status via note(op, err)
 			}
 			note(op, err)
 		case "mkdir":
@@ -267,7 +267,7 @@ func (w *FSWorkload) Run(v *vfs.VFS, task *kbase.Task) FSStats {
 			fd, err := v.Open(task, path, vfs.ORdOnly)
 			if err == kbase.EOK {
 				err = v.Fsync(task, fd)
-				v.Close(fd)
+				_ = v.Close(fd) // workload records per-op status via note(op, err)
 			}
 			note(op, err)
 		case "truncate":

@@ -16,7 +16,7 @@ func ramKernel(t *testing.T) (*vfs.VFS, *kbase.Task) {
 	v := vfs.New(nil)
 	task := kbase.NewTask()
 	v.RegisterFS(&ramfs.FS{})
-	if err := v.Mount(task, "/", "ramfs", nil); err != kbase.EOK {
+	if err := v.Mount(task, "/", "ramfs", vfs.MountData{}); err != kbase.EOK {
 		t.Fatalf("Mount: %v", err)
 	}
 	return v, task

@@ -36,6 +36,7 @@ import (
 	"safelinux/internal/linuxlike/kio"
 	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/linuxlike/net"
+	"safelinux/internal/linuxlike/vfs"
 	"safelinux/internal/safemod/safefs"
 	"safelinux/internal/safemod/safetcp"
 	"safelinux/internal/safety/compartment"
@@ -122,14 +123,16 @@ func (k *Kernel) wireRootFS(task *kbase.Task) {
 // log — exactly the path a reboot would take, minus the reboot.
 func (k *Kernel) restartFS(task *kbase.Task) kbase.Errno {
 	k.VFS.CloseAll()
-	k.VFS.DropMount("/")
+	// Force-detach: crash semantics. ENOENT here just means the dead
+	// instance never finished mounting — either way the slate is clean.
+	_ = k.VFS.DropMount("/")
 	if k.fsSafe {
-		data := &safefs.MountData{Disk: k.safeDev, Checker: k.Checker}
+		data := vfs.NewMountData(&safefs.MountData{Disk: k.safeDev, Checker: k.Checker})
 		if err := k.VFS.Mount(task, "/", "safefs", data); err != kbase.EOK {
 			return err
 		}
 	} else {
-		if err := k.VFS.Mount(task, "/", "extlike", &extlike.MountData{Dev: k.rootDev}); err != kbase.EOK {
+		if err := k.VFS.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: k.rootDev})); err != kbase.EOK {
 			return err
 		}
 	}

@@ -32,7 +32,7 @@ func TestConcurrentTasksOnSafefs(t *testing.T) {
 	v := vfs.New(nil)
 	setupTask := kbase.NewTask()
 	v.RegisterFS(&safefs.FS{SyncOnCommit: false})
-	if err := v.Mount(setupTask, "/", "safefs", &safefs.MountData{Disk: dev, Checker: ck}); err != kbase.EOK {
+	if err := v.Mount(setupTask, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev, Checker: ck})); err != kbase.EOK {
 		t.Fatalf("mount: %v", err)
 	}
 
@@ -77,7 +77,7 @@ func TestConcurrentTasksOnSafefs(t *testing.T) {
 	}
 	v2 := vfs.New(nil)
 	v2.RegisterFS(&safefs.FS{})
-	if err := v2.Mount(setupTask, "/", "safefs", &safefs.MountData{Disk: dev}); err != kbase.EOK {
+	if err := v2.Mount(setupTask, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev})); err != kbase.EOK {
 		t.Fatalf("remount: %v", err)
 	}
 	ents2, err := v2.ReadDir(setupTask, "/")
@@ -98,7 +98,7 @@ func TestConcurrentTasksOnExtlike(t *testing.T) {
 	v := vfs.New(nil)
 	setupTask := kbase.NewTask()
 	v.RegisterFS(&extlike.FS{})
-	if err := v.Mount(setupTask, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+	if err := v.Mount(setupTask, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err != kbase.EOK {
 		t.Fatalf("mount: %v", err)
 	}
 

@@ -59,7 +59,7 @@ func TestOverlayOverExtlike(t *testing.T) {
 	// Populate the base image.
 	base := vfs.New(nil)
 	base.RegisterFS(&extlike.FS{})
-	if err := base.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+	if err := base.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err != kbase.EOK {
 		t.Fatalf("mount base: %v", err)
 	}
 	base.Mkdir(task, "/etc")
@@ -72,7 +72,7 @@ func TestOverlayOverExtlike(t *testing.T) {
 	lowerSB := lowerRoot.Sb
 
 	// Upper: fresh ramfs instance.
-	upperSB, err := (&ramfs.FS{}).Mount(task, nil)
+	upperSB, err := (&ramfs.FS{}).Mount(task, vfs.MountData{})
 	if err != kbase.EOK {
 		t.Fatalf("mount upper: %v", err)
 	}
@@ -80,9 +80,9 @@ func TestOverlayOverExtlike(t *testing.T) {
 	// The union.
 	v := vfs.New(nil)
 	v.RegisterFS(&overlaylike.FS{})
-	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{
+	if err := v.Mount(task, "/", "overlaylike", vfs.NewMountData(&overlaylike.MountData{
 		Upper: upperSB, Lower: lowerSB,
-	}); err != kbase.EOK {
+	})); err != kbase.EOK {
 		t.Fatalf("mount overlay: %v", err)
 	}
 
@@ -133,13 +133,13 @@ func TestOverlayOverExtlike(t *testing.T) {
 func TestOverlayOverSafefs(t *testing.T) {
 	task := kbase.NewTask()
 	// Lower: ramfs with a preloaded file.
-	lowerSB, err := (&ramfs.FS{}).Mount(task, nil)
+	lowerSB, err := (&ramfs.FS{}).Mount(task, vfs.MountData{})
 	if err != kbase.EOK {
 		t.Fatalf("lower: %v", err)
 	}
 	lv := vfs.New(nil)
 	lv.RegisterFS(&fixedFS{name: "low", sb: lowerSB})
-	lv.Mount(task, "/", "low", nil)
+	lv.Mount(task, "/", "low", vfs.MountData{})
 	writeThrough(t, lv, task, "/base", "from-below")
 
 	// Upper: safefs on a device.
@@ -148,16 +148,16 @@ func TestOverlayOverSafefs(t *testing.T) {
 		t.Fatalf("format: %v", err)
 	}
 	ck := own.NewChecker(own.PolicyRecord)
-	upperSB, err := (&safefs.FS{SyncOnCommit: true}).Mount(task, &safefs.MountData{Disk: dev, Checker: ck})
+	upperSB, err := (&safefs.FS{SyncOnCommit: true}).Mount(task, vfs.NewMountData(&safefs.MountData{Disk: dev, Checker: ck}))
 	if err != kbase.EOK {
 		t.Fatalf("upper: %v", err)
 	}
 
 	v := vfs.New(nil)
 	v.RegisterFS(&overlaylike.FS{})
-	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{
+	if err := v.Mount(task, "/", "overlaylike", vfs.NewMountData(&overlaylike.MountData{
 		Upper: upperSB, Lower: lowerSB,
-	}); err != kbase.EOK {
+	})); err != kbase.EOK {
 		t.Fatalf("overlay: %v", err)
 	}
 
@@ -170,13 +170,13 @@ func TestOverlayOverSafefs(t *testing.T) {
 	// Crash the upper device: the copy-up was committed per-op, so a
 	// remount of the upper layer retains it.
 	dev.CrashApplyNone()
-	upperSB2, err := (&safefs.FS{SyncOnCommit: true}).Mount(task, &safefs.MountData{Disk: dev})
+	upperSB2, err := (&safefs.FS{SyncOnCommit: true}).Mount(task, vfs.NewMountData(&safefs.MountData{Disk: dev}))
 	if err != kbase.EOK {
 		t.Fatalf("remount upper: %v", err)
 	}
 	uv := vfs.New(nil)
 	uv.RegisterFS(&fixedFS{name: "up", sb: upperSB2})
-	uv.Mount(task, "/", "up", nil)
+	uv.Mount(task, "/", "up", vfs.MountData{})
 	if got := readThrough(t, uv, task, "/base"); got != "modified-above" {
 		t.Fatalf("copy-up lost across crash: %q", got)
 	}
@@ -197,15 +197,15 @@ func TestWorkloadOnOverlayStack(t *testing.T) {
 	extlike.Mkfs(dev, extlike.MkfsOptions{})
 	base := vfs.New(nil)
 	base.RegisterFS(&extlike.FS{})
-	base.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev})
+	base.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev}))
 	lowerRoot, _ := base.Resolve(task, "/")
-	upperSB, _ := (&ramfs.FS{}).Mount(task, nil)
+	upperSB, _ := (&ramfs.FS{}).Mount(task, vfs.MountData{})
 
 	v := vfs.New(nil)
 	v.RegisterFS(&overlaylike.FS{})
-	if err := v.Mount(task, "/", "overlaylike", &overlaylike.MountData{
+	if err := v.Mount(task, "/", "overlaylike", vfs.NewMountData(&overlaylike.MountData{
 		Upper: upperSB, Lower: lowerRoot.Sb,
-	}); err != kbase.EOK {
+	})); err != kbase.EOK {
 		t.Fatalf("overlay: %v", err)
 	}
 	stats := workload.NewFS(workload.FSConfig{Seed: 8, Ops: 600, Mix: workload.MetadataHeavyMix()}).Run(v, task)
@@ -225,12 +225,12 @@ func TestBulkDataIntegrityThroughStack(t *testing.T) {
 	extlike.Mkfs(dev, extlike.MkfsOptions{})
 	base := vfs.New(nil)
 	base.RegisterFS(&extlike.FS{})
-	base.Mount(task, "/", "extlike", &extlike.MountData{Dev: dev})
+	base.Mount(task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev}))
 	lowerRoot, _ := base.Resolve(task, "/")
-	upperSB, _ := (&ramfs.FS{}).Mount(task, nil)
+	upperSB, _ := (&ramfs.FS{}).Mount(task, vfs.MountData{})
 	v := vfs.New(nil)
 	v.RegisterFS(&overlaylike.FS{})
-	v.Mount(task, "/", "overlaylike", &overlaylike.MountData{Upper: upperSB, Lower: lowerRoot.Sb})
+	v.Mount(task, "/", "overlaylike", vfs.NewMountData(&overlaylike.MountData{Upper: upperSB, Lower: lowerRoot.Sb}))
 
 	payload := make([]byte, 32*1024)
 	for i := range payload {

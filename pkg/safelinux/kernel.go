@@ -140,7 +140,7 @@ func New(cfg Config) (*Kernel, kbase.Errno) {
 			return nil, err
 		}
 	}
-	if err := k.VFS.Mount(k.Task, "/", "extlike", &extlike.MountData{Dev: k.rootDev}); err != kbase.EOK {
+	if err := k.VFS.Mount(k.Task, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: k.rootDev})); err != kbase.EOK {
 		return nil, err
 	}
 
@@ -248,7 +248,7 @@ type fixedFS struct {
 }
 
 func (f *fixedFS) Name() string { return f.name }
-func (f *fixedFS) Mount(task *kbase.Task, data any) (*vfs.SuperBlock, kbase.Errno) {
+func (f *fixedFS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase.Errno) {
 	return f.sb, kbase.EOK
 }
 
@@ -284,7 +284,7 @@ func (k *Kernel) migrateFS(task *kbase.Task) kbase.Errno {
 		return err
 	}
 	fsType := &safefs.FS{SyncOnCommit: true}
-	newSB, err := fsType.Mount(task, &safefs.MountData{Disk: newDev, Checker: k.Checker})
+	newSB, err := fsType.Mount(task, vfs.NewMountData(&safefs.MountData{Disk: newDev, Checker: k.Checker}))
 	if err != kbase.EOK {
 		return err
 	}
@@ -293,7 +293,7 @@ func (k *Kernel) migrateFS(task *kbase.Task) kbase.Errno {
 	if err := staging.RegisterFS(&fixedFS{name: "staging", sb: newSB}); err != kbase.EOK {
 		return err
 	}
-	if err := staging.Mount(task, "/", "staging", nil); err != kbase.EOK {
+	if err := staging.Mount(task, "/", "staging", vfs.MountData{}); err != kbase.EOK {
 		return err
 	}
 	if err := k.copyTree(task, k.VFS, staging, "/"); err != kbase.EOK {
@@ -319,7 +319,7 @@ func (k *Kernel) migrateFS(task *kbase.Task) kbase.Errno {
 	if err := k.VFS.RegisterFS(&fixedFS{name: "safefs-root", sb: newSB}); err != kbase.EOK {
 		return err
 	}
-	if err := k.VFS.Mount(task, "/", "safefs-root", nil); err != kbase.EOK {
+	if err := k.VFS.Mount(task, "/", "safefs-root", vfs.MountData{}); err != kbase.EOK {
 		return err
 	}
 	k.safeDev = newDev
@@ -357,21 +357,25 @@ func (k *Kernel) copyTree(task *kbase.Task, src, dst *vfs.VFS, path string) kbas
 			return err
 		}
 		if _, err := src.Pread(task, fd, data, 0); err != kbase.EOK {
-			src.CloseAs(task, fd)
+			_ = src.CloseAs(task, fd) // cleanup on a read-only fd; the Pread error wins
 			return err
 		}
-		src.CloseAs(task, fd)
+		_ = src.CloseAs(task, fd) // read-only fd: nothing buffered to lose
 		ofd, err := dst.Open(task, child, vfs.OWrOnly|vfs.OCreate|vfs.OTrunc)
 		if err != kbase.EOK {
 			return err
 		}
 		if len(data) > 0 {
 			if _, err := dst.Write(task, ofd, data); err != kbase.EOK {
-				dst.CloseAs(task, ofd)
+				_ = dst.CloseAs(task, ofd) // cleanup; the Write error wins
 				return err
 			}
 		}
-		dst.CloseAs(task, ofd)
+		// The destination was written: a failed close here is a lost
+		// write the migration must not paper over.
+		if err := dst.CloseAs(task, ofd); err != kbase.EOK {
+			return err
+		}
 	}
 	return kbase.EOK
 }

@@ -121,7 +121,7 @@ func TestStressMixedOpsExtlike(t *testing.T) {
 	v := vfs.New(nil)
 	setupTask := kbase.NewTask()
 	v.RegisterFS(&extlike.FS{})
-	if err := v.Mount(setupTask, "/", "extlike", &extlike.MountData{Dev: dev}); err != kbase.EOK {
+	if err := v.Mount(setupTask, "/", "extlike", vfs.NewMountData(&extlike.MountData{Dev: dev})); err != kbase.EOK {
 		t.Fatalf("mount: %v", err)
 	}
 
@@ -159,7 +159,7 @@ func TestStressMixedOpsSafefs(t *testing.T) {
 	v := vfs.New(nil)
 	setupTask := kbase.NewTask()
 	v.RegisterFS(&safefs.FS{SyncOnCommit: false})
-	if err := v.Mount(setupTask, "/", "safefs", &safefs.MountData{Disk: dev, Checker: ck}); err != kbase.EOK {
+	if err := v.Mount(setupTask, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev, Checker: ck})); err != kbase.EOK {
 		t.Fatalf("mount: %v", err)
 	}
 
@@ -184,7 +184,7 @@ func TestStressMixedOpsSafefs(t *testing.T) {
 	}
 	v2 := vfs.New(nil)
 	v2.RegisterFS(&safefs.FS{})
-	if err := v2.Mount(setupTask, "/", "safefs", &safefs.MountData{Disk: dev}); err != kbase.EOK {
+	if err := v2.Mount(setupTask, "/", "safefs", vfs.NewMountData(&safefs.MountData{Disk: dev})); err != kbase.EOK {
 		t.Fatalf("remount: %v", err)
 	}
 	buf := make([]byte, 64)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json vet-strict kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-swap panic-storm check
+.PHONY: all build vet lint lint-json vet-strict kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-swap bench-all panic-storm check
 
 all: check
 
@@ -47,10 +47,13 @@ bench-smoke:
 bench-parallel:
 	$(GO) test -run xxx -bench Parallel -cpu 1,4,8 .
 
-# Tracepoint overhead: disabled vs enabled vs attached-probe on the
-# parallel I/O mix (see DESIGN.md "Observability" and BENCH_trace.json).
+# Latency-plane overhead per tier (disabled / hist / hist+span /
+# span-full / all-tracepoints / attached-probe) on the parallel I/O mix
+# (see DESIGN.md "Observability v2" and BENCH_trace.json). -gate
+# enforces the budget: disabled-gate overhead < 1% of op time and the
+# full hist+span tier ≤ 5%; the target fails on a regression.
 bench-trace:
-	$(GO) run ./cmd/ktrace bench -out BENCH_trace.json
+	$(GO) run ./cmd/ktrace bench -out BENCH_trace.json -gate
 
 # Async I/O engine: sync vs async at QD 1/8/32, copy accounting, and
 # the tracepoint gate share (see DESIGN.md "Async I/O" and
@@ -72,6 +75,12 @@ bench-net:
 # any in-flight operation is dropped or fails across a swap.
 bench-swap:
 	$(GO) run ./cmd/swapbench -out BENCH_swap.json
+
+# Regenerate every benchmark artifact, then fold them into
+# BENCH_all.json — one machine-readable snapshot of the whole
+# performance surface, keyed by benchmark name.
+bench-all: bench-trace bench-kio bench-net bench-swap
+	$(GO) run ./cmd/benchall -out BENCH_all.json
 
 # The faultinject campaign: a seeded storm of injected panics kills
 # every compartment at least once under load; bystander workloads must

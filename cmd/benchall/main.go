@@ -1,0 +1,72 @@
+// Command benchall folds every per-subsystem benchmark artifact
+// (BENCH_*.json) into one snapshot, BENCH_all.json, keyed by the
+// artifact's stem ("trace", "kio", "net", ...). Each payload is
+// embedded verbatim — this command aggregates, it does not reinterpret
+// — so downstream tooling reads one file with every schema intact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_all.json", "output file (- for stdout)")
+	dir := flag.String("dir", ".", "directory to scan for BENCH_*.json")
+	flag.Parse()
+
+	matches, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(matches)
+
+	all := make(map[string]json.RawMessage)
+	for _, path := range matches {
+		stem := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+		if stem == "all" {
+			continue // never fold a previous aggregate into itself
+		}
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var payload json.RawMessage
+		if err := json.Unmarshal(blob, &payload); err != nil {
+			fatal(fmt.Errorf("%s: %v", path, err))
+		}
+		all[stem] = payload
+	}
+	if len(all) == 0 {
+		fatal(fmt.Errorf("no BENCH_*.json artifacts found in %s", *dir))
+	}
+
+	blob, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	var stems []string
+	for s := range all {
+		stems = append(stems, s)
+	}
+	sort.Strings(stems)
+	fmt.Printf("wrote %s (%d artifacts: %s)\n", *out, len(all), strings.Join(stems, ", "))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchall: %v\n", err)
+	os.Exit(1)
+}

@@ -13,26 +13,64 @@ import (
 	"safelinux/internal/linuxlike/vfs"
 )
 
-// The tracepoint overhead benchmark: the parallel read-heavy I/O mix
-// from bench_parallel_test.go, run three times — tracepoints disabled
-// (the permanent cost of instrumentation being compiled in), all
-// enabled (events recorded into the ring), and with a verified
-// keep-all program attached to the hottest tracepoint (probe execution
-// on every event). A separate microbench measures the disabled emit
-// gate itself, from which the disabled configurations's overhead share
-// is estimated — the number the "≤5% disabled" acceptance gate reads.
+// The trace overhead benchmark (BENCH_trace.json, schema 2): the
+// parallel read-heavy I/O mix from bench_parallel_test.go run once per
+// latency-plane tier —
+//
+//	disabled   every plane off; the permanent cost of the gates
+//	hist       op histograms on (sampled at the default 1-in-32)
+//	hist_span  histograms + span tracing at the default sampling
+//	span_full  histograms + spans with sampling off (every root)
+//	enabled    every tracepoint recording into the ring
+//	attached   enabled, plus a verified keep-all probe on the hottest
+//
+// plus a microbench of the disabled emit gate, from which the disabled
+// tier's overhead share is estimated. Two acceptance gates read this
+// file: disabled-gate overhead < 1% and hist_span overhead ≤ 5%.
+//
+// v1Baseline pins the numbers the v1 emit path produced on this same
+// mix before the flat-ring rewrite (per-emit interface{} boxing and a
+// mutex-guarded ring): the before/after record for the emit-cost work.
 
-// BenchResult is the BENCH_trace.json schema.
+// V1Baseline is the frozen v1 (schema 1) measurement.
+type V1Baseline struct {
+	DisabledNsOp  float64 `json:"disabled_ns_op"`
+	EnabledNsOp   float64 `json:"enabled_ns_op"`
+	AttachedNsOp  float64 `json:"attached_ns_op"`
+	GateNsPerEmit float64 `json:"gate_ns_per_emit"`
+}
+
+var v1Baseline = V1Baseline{
+	DisabledNsOp:  355,
+	EnabledNsOp:   628,
+	AttachedNsOp:  662,
+	GateNsPerEmit: 0.33,
+}
+
+// BenchResult is the BENCH_trace.json schema (version 2).
 type BenchResult struct {
-	Bench               string  `json:"bench"`
-	DisabledNsOp        float64 `json:"disabled_ns_op"`
-	EnabledNsOp         float64 `json:"enabled_ns_op"`
-	AttachedNsOp        float64 `json:"attached_ns_op"`
-	GateNsPerEmit       float64 `json:"gate_ns_per_emit"`
-	EmitsPerOp          float64 `json:"emits_per_op"`
+	Bench  string `json:"bench"`
+	Schema int    `json:"schema"`
+
+	DisabledNsOp float64 `json:"disabled_ns_op"`
+	HistNsOp     float64 `json:"hist_ns_op"`
+	HistSpanNsOp float64 `json:"hist_span_ns_op"`
+	SpanFullNsOp float64 `json:"span_full_ns_op"`
+	EnabledNsOp  float64 `json:"enabled_ns_op"`
+	AttachedNsOp float64 `json:"attached_ns_op"`
+
+	GateNsPerEmit float64 `json:"gate_ns_per_emit"`
+	EmitsPerOp    float64 `json:"emits_per_op"`
+	SampleShift   uint32  `json:"sample_shift"`
+
 	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	HistOverheadPct     float64 `json:"hist_overhead_pct"`
+	HistSpanOverheadPct float64 `json:"hist_span_overhead_pct"`
+	SpanFullOverheadPct float64 `json:"span_full_overhead_pct"`
 	EnabledOverheadPct  float64 `json:"enabled_overhead_pct"`
 	AttachedOverheadPct float64 `json:"attached_overhead_pct"`
+
+	V1 V1Baseline `json:"v1_baseline"`
 }
 
 const benchWorkerSlots = 64
@@ -157,9 +195,14 @@ func runBench() (*BenchResult, error) {
 	prevLV := kbase.SetLockValidation(false)
 	defer kbase.SetLockValidation(prevLV)
 
-	res := &BenchResult{Bench: "parallel-io-13r-2s-1w"}
+	res := &BenchResult{
+		Bench:       "parallel-io-13r-2s-1w",
+		Schema:      2,
+		SampleShift: ktrace.SampleShift(),
+		V1:          v1Baseline,
+	}
 
-	// Disabled: every tracepoint off; emits are one atomic load.
+	// Disabled: every plane off; emits are one atomic load.
 	nsOp, _, err := runMode(func() (func(), error) {
 		return func() {}, nil
 	})
@@ -167,6 +210,49 @@ func runBench() (*BenchResult, error) {
 		return nil, err
 	}
 	res.DisabledNsOp = nsOp
+
+	// Histograms: op latency distributions, default sampling.
+	nsOp, _, err = runMode(func() (func(), error) {
+		ktrace.SetHistograms(true)
+		return func() { ktrace.SetHistograms(false) }, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.HistNsOp = nsOp
+
+	// Histograms + spans at the default root sampling: the full v2
+	// latency plane as a production build would run it. The 5% gate
+	// reads this tier.
+	nsOp, _, err = runMode(func() (func(), error) {
+		ktrace.SetHistograms(true)
+		ktrace.SetSpans(true)
+		return func() {
+			ktrace.SetSpans(false)
+			ktrace.SetHistograms(false)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.HistSpanNsOp = nsOp
+
+	// Spans with sampling off: every root traced — the debugging
+	// configuration, priced honestly.
+	nsOp, _, err = runMode(func() (func(), error) {
+		prevShift := ktrace.SetSampleShift(0)
+		ktrace.SetHistograms(true)
+		ktrace.SetSpans(true)
+		return func() {
+			ktrace.SetSpans(false)
+			ktrace.SetHistograms(false)
+			ktrace.SetSampleShift(prevShift)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SpanFullNsOp = nsOp
 
 	// Enabled: every tracepoint records into the ring.
 	nsOp, emits, err := runMode(func() (func(), error) {
@@ -220,9 +306,15 @@ func runBench() (*BenchResult, error) {
 	}
 
 	if res.DisabledNsOp > 0 {
+		over := func(nsOp float64) float64 {
+			return 100 * (nsOp - res.DisabledNsOp) / res.DisabledNsOp
+		}
 		res.DisabledOverheadPct = 100 * res.GateNsPerEmit * res.EmitsPerOp / res.DisabledNsOp
-		res.EnabledOverheadPct = 100 * (res.EnabledNsOp - res.DisabledNsOp) / res.DisabledNsOp
-		res.AttachedOverheadPct = 100 * (res.AttachedNsOp - res.DisabledNsOp) / res.DisabledNsOp
+		res.HistOverheadPct = over(res.HistNsOp)
+		res.HistSpanOverheadPct = over(res.HistSpanNsOp)
+		res.SpanFullOverheadPct = over(res.SpanFullNsOp)
+		res.EnabledOverheadPct = over(res.EnabledNsOp)
+		res.AttachedOverheadPct = over(res.AttachedNsOp)
 	}
 	return res, nil
 }

@@ -36,6 +36,12 @@ func main() {
 		err = cmdMetrics(args)
 	case "attach":
 		err = cmdAttach(args)
+	case "record":
+		err = cmdRecord(args)
+	case "hist":
+		err = cmdHist(args)
+	case "top":
+		err = cmdTop(args)
 	case "bench":
 		err = cmdBench(args)
 	case "-h", "--help", "help":
@@ -59,7 +65,10 @@ commands:
   lockstat  run a contended workload with lock accounting, print the table
   metrics   run a workload, print the unified metrics plane
   attach    attach a verified filter program to a tracepoint, run, report
-  bench     measure tracepoint overhead, write BENCH_trace.json
+  record    stream the event ring through a consumer while the workload runs
+  hist      run a workload with op histograms, print latency distributions
+  top       run a workload with op histograms, rank ops by total time
+  bench     measure latency-plane overhead per tier, write BENCH_trace.json
 
 run "ktrace <command> -h" for per-command flags
 `)
@@ -196,6 +205,14 @@ func cmdMetrics(args []string) error {
 		ktrace.EnableAll()
 		defer ktrace.DisableAll()
 	}
+	// Arm the histogram plane so the percentile rows carry data: the
+	// metrics command exists to show everything the registry exports.
+	prevShift := ktrace.SetSampleShift(0)
+	ktrace.SetHistograms(true)
+	defer func() {
+		ktrace.SetHistograms(false)
+		ktrace.SetSampleShift(prevShift)
+	}()
 	m := ktrace.NewMetrics()
 	k.RegisterMetrics(m)
 	runFSWorkload(k, *ops, *seed)
@@ -276,6 +293,7 @@ func cmdAttach(args []string) error {
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "BENCH_trace.json", "output file (- for stdout)")
+	gate := fs.Bool("gate", false, "enforce the latency-plane budget (disabled <1%, hist+span ≤5%)")
 	fs.Parse(args)
 
 	res, err := runBench()
@@ -289,17 +307,39 @@ func cmdBench(args []string) error {
 	blob = append(blob, '\n')
 	if *out == "-" {
 		os.Stdout.Write(blob)
-		return nil
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", *out)
-	fmt.Printf("parallel I/O ns/op: disabled=%.0f enabled=%.0f attached=%.0f\n",
-		res.DisabledNsOp, res.EnabledNsOp, res.AttachedNsOp)
-	fmt.Printf("overhead vs disabled: enabled=%+.1f%% attached=%+.1f%%\n",
+	fmt.Printf("parallel I/O ns/op: disabled=%.0f hist=%.0f hist+span=%.0f span-full=%.0f enabled=%.0f attached=%.0f\n",
+		res.DisabledNsOp, res.HistNsOp, res.HistSpanNsOp, res.SpanFullNsOp,
+		res.EnabledNsOp, res.AttachedNsOp)
+	fmt.Printf("overhead vs disabled: hist=%+.1f%% hist+span=%+.1f%% span-full=%+.1f%% enabled=%+.1f%% attached=%+.1f%%\n",
+		res.HistOverheadPct, res.HistSpanOverheadPct, res.SpanFullOverheadPct,
 		res.EnabledOverheadPct, res.AttachedOverheadPct)
 	fmt.Printf("disabled gate: %.2f ns/emit, est. %.2f%% of op time (%.1f emits/op)\n",
 		res.GateNsPerEmit, res.DisabledOverheadPct, res.EmitsPerOp)
+	fmt.Printf("v1 baseline (pre-rewrite): disabled=%.0f enabled=%.0f attached=%.0f gate=%.2f ns/emit\n",
+		res.V1.DisabledNsOp, res.V1.EnabledNsOp, res.V1.AttachedNsOp, res.V1.GateNsPerEmit)
+	if *gate {
+		// The budget gate `make bench-trace` enforces. Benchmarks
+		// jitter, so the gate reads the estimated shares, not raw
+		// ns/op deltas (which can go negative run to run).
+		var violations []string
+		if res.DisabledOverheadPct >= 1.0 {
+			violations = append(violations,
+				fmt.Sprintf("disabled-gate overhead %.2f%% >= 1%%", res.DisabledOverheadPct))
+		}
+		if res.HistSpanOverheadPct > 5.0 {
+			violations = append(violations,
+				fmt.Sprintf("hist+span overhead %.1f%% > 5%%", res.HistSpanOverheadPct))
+		}
+		if len(violations) > 0 {
+			return fmt.Errorf("budget gate failed: %s", strings.Join(violations, "; "))
+		}
+		fmt.Println("budget gate: ok")
+	}
 	return nil
 }

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"time"
+
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// The v2 front-ends over the latency plane: record streams the event
+// ring through a trace_pipe-style consumer while the workload runs,
+// hist prints the op latency distributions, and top ranks ops by
+// where the time went.
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	ops := fs.Int("ops", 2000, "workload operations to run")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	limit := fs.Int("limit", 40, "events to print before switching to counting")
+	spans := fs.Bool("spans", false, "trace spans (default sampling) instead of all tracepoints")
+	fs.Parse(args)
+
+	k, err := bootKernel(*seed, 8192)
+	if err != nil {
+		return err
+	}
+	defer k.Close()
+
+	if *spans {
+		ktrace.SetHistograms(true)
+		ktrace.SetSpans(true)
+		defer ktrace.SetSpans(false)
+		defer ktrace.SetHistograms(false)
+	} else {
+		ktrace.EnableAll()
+		defer ktrace.DisableAll()
+	}
+
+	// The consumer attaches before the workload starts and polls
+	// concurrently, exactly like a reader sitting on trace_pipe: the
+	// emitters never wait for it, and whatever it cannot keep up with
+	// is accounted as drops, not backpressure.
+	c := ktrace.Buffer().NewConsumer()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var printed, consumed int
+	go func() {
+		defer close(done)
+		stopping := false
+		for {
+			evs := c.Poll(256)
+			if len(evs) == 0 {
+				if stopping {
+					return // workload finished and the ring is drained
+				}
+				select {
+				case <-stop:
+					stopping = true
+				case <-time.After(200 * time.Microsecond):
+				}
+				continue
+			}
+			for _, line := range ktrace.FormatEvents(evs) {
+				if printed < *limit {
+					fmt.Println(line)
+					printed++
+				}
+			}
+			consumed += len(evs)
+		}
+	}()
+
+	stats := runFSWorkload(k, *ops, *seed)
+	close(stop)
+	<-done
+
+	fmt.Printf("\nworkload: %s\n", stats)
+	fmt.Printf("streamed %d events (%d printed, limit %d), dropped %d, still pending %d\n",
+		consumed, printed, *limit, c.Dropped(), c.Pending())
+	return nil
+}
+
+// opRows snapshots every op that recorded at least one sample.
+func opRows() []struct {
+	name string
+	view ktrace.HistView
+} {
+	var rows []struct {
+		name string
+		view ktrace.HistView
+	}
+	for _, op := range ktrace.Ops() {
+		v := op.Hist().View()
+		if v.Count == 0 {
+			continue
+		}
+		rows = append(rows, struct {
+			name string
+			view ktrace.HistView
+		}{op.Name(), v})
+	}
+	return rows
+}
+
+func cmdHist(args []string) error {
+	fs := flag.NewFlagSet("hist", flag.ExitOnError)
+	ops := fs.Int("ops", 4000, "workload operations to run")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	shift := fs.Uint("shift", 0, "root sample shift (0 = record every op)")
+	fs.Parse(args)
+
+	k, err := bootKernel(*seed, 8192)
+	if err != nil {
+		return err
+	}
+	defer k.Close()
+
+	prevShift := ktrace.SetSampleShift(uint32(*shift))
+	defer ktrace.SetSampleShift(prevShift)
+	ktrace.SetHistograms(true)
+	defer ktrace.SetHistograms(false)
+
+	runFSWorkload(k, *ops, *seed)
+
+	rows := opRows()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	fmt.Printf("%-28s %10s %10s %10s %10s %10s %10s\n",
+		"op", "count", "p50", "p90", "p99", "p999", "max")
+	for _, r := range rows {
+		fmt.Printf("%-28s %10d %10s %10s %10s %10s %10s\n",
+			r.name, r.view.Count,
+			fmtNs(r.view.P50), fmtNs(r.view.P90), fmtNs(r.view.P99),
+			fmtNs(r.view.P999), fmtNs(r.view.Max))
+	}
+	if len(rows) == 0 {
+		fmt.Println("(no op recorded a sample)")
+	}
+	return nil
+}
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	ops := fs.Int("ops", 4000, "workload operations to run")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	n := fs.Int("n", 10, "rows to print")
+	shift := fs.Uint("shift", 0, "root sample shift (0 = record every op)")
+	fs.Parse(args)
+
+	k, err := bootKernel(*seed, 8192)
+	if err != nil {
+		return err
+	}
+	defer k.Close()
+
+	prevShift := ktrace.SetSampleShift(uint32(*shift))
+	defer ktrace.SetSampleShift(prevShift)
+	ktrace.SetHistograms(true)
+	defer ktrace.SetHistograms(false)
+
+	runFSWorkload(k, *ops, *seed)
+
+	rows := opRows()
+	// latencytop ordering: total time absorbed, not call count — a
+	// rare-but-slow op outranks a hot-but-cheap one.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].view.Sum > rows[j].view.Sum })
+	if len(rows) > *n {
+		rows = rows[:*n]
+	}
+	fmt.Printf("%-28s %10s %12s %10s %10s %10s\n",
+		"op", "count", "total", "mean", "p99", "max")
+	for _, r := range rows {
+		mean := uint64(0)
+		if r.view.Count > 0 {
+			mean = r.view.Sum / r.view.Count
+		}
+		fmt.Printf("%-28s %10d %12s %10s %10s %10s\n",
+			r.name, r.view.Count, fmtNs(r.view.Sum), fmtNs(mean),
+			fmtNs(r.view.P99), fmtNs(r.view.Max))
+	}
+	if len(rows) == 0 {
+		fmt.Println("(no op recorded a sample)")
+	}
+	return nil
+}
+
+// fmtNs mirrors the ktrace-internal renderer for CLI tables.
+func fmtNs(ns uint64) string {
+	switch {
+	case ns == 0:
+		return "0"
+	case ns < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case ns < 1_000_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	}
+}

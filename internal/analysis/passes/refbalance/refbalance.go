@@ -40,7 +40,7 @@ const bufcachePkg = analysis.ModulePath + "/internal/linuxlike/bufcache"
 // acquireFuncs are the bufcache entry points that hand the caller a
 // new reference.
 var acquireFuncs = map[string]bool{
-	"GetBlk": true, "Bread": true,
+	"GetBlk": true, "Bread": true, "BreadCtx": true,
 }
 
 func run(pass *analysis.Pass) error {

@@ -59,6 +59,14 @@ func (c *Cache) Bread(block uint64) (*BufferHead, kbase.Errno) {
 	return c.guardBuf("bread", func() (*BufferHead, kbase.Errno) { return c.doBread(block) })
 }
 
+// BreadCtx is Bread with task context for the latency plane: a miss
+// that fills from the device records into the bufcache:fill histogram
+// and, when the task is inside a trace, appears as a child span.
+// Same reference contract as Bread.
+func (c *Cache) BreadCtx(task *kbase.Task, block uint64) (*BufferHead, kbase.Errno) {
+	return c.guardBuf("bread", func() (*BufferHead, kbase.Errno) { return c.doBreadCtx(task, block) })
+}
+
 // WriteBuffer synchronously writes one buffer to disk and clears its
 // dirty bit (sync_dirty_buffer for a single bh).
 func (c *Cache) WriteBuffer(bh *BufferHead) kbase.Errno {
@@ -77,4 +85,17 @@ func (c *Cache) SyncDirty() kbase.Errno {
 		return c.doSyncDirty()
 	}
 	return box.b.Run("sync_dirty", func() kbase.Errno { return c.doSyncDirty() })
+}
+
+// SyncDirtyCtx is SyncDirty with task context: the whole flush is
+// timed into the bufcache:sync histogram, and on the engine path the
+// kio batch appears as a child span of the caller's trace.
+func (c *Cache) SyncDirtyCtx(task *kbase.Task) kbase.Errno {
+	t := opSync.Begin(task)
+	defer t.End()
+	box := c.boundary.Load()
+	if box == nil {
+		return c.doSyncDirtyCtx(task)
+	}
+	return box.b.Run("sync_dirty", func() kbase.Errno { return c.doSyncDirtyCtx(task) })
 }

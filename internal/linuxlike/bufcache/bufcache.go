@@ -37,6 +37,14 @@ var (
 	tpWriteback = ktrace.New("bufcache:writeback") // a0=block
 )
 
+// Latency-plane ops: a cache miss that must fill from the device, and
+// the whole dirty-sync flush (exported as bufcache.fill_ns and
+// bufcache.sync_ns histograms; span children of the calling trace).
+var (
+	opFill = ktrace.NewOp("bufcache:fill")
+	opSync = ktrace.NewOp("bufcache:sync")
+)
+
 // NumShards is the lock-striping factor of the cache.
 const NumShards = 16
 
@@ -455,23 +463,39 @@ func (c *Cache) evictAnyShard() bool {
 // doBread returns an uptodate buffer for block, reading from disk if
 // necessary (bread).
 func (c *Cache) doBread(block uint64) (*BufferHead, kbase.Errno) {
+	return c.doBreadCtx(nil, block)
+}
+
+func (c *Cache) doBreadCtx(task *kbase.Task, block uint64) (*BufferHead, kbase.Errno) {
 	bh, err := c.doGetBlk(block)
 	if err != kbase.EOK {
 		return nil, err
 	}
 	if !bh.Uptodate() {
-		bh.ioMu.Lock()
-		if !bh.Uptodate() { // recheck: a racing Bread may have filled it
-			if err := c.dev.Read(block, bh.Data); err != kbase.EOK {
-				bh.ioMu.Unlock()
-				_ = bh.Put() // brelse-style release; over-release is already oopsed
-				return nil, err
-			}
-			bh.SetFlag(BHUptodate | BHMapped | BHReq)
+		if err := c.fill(task, bh); err != kbase.EOK {
+			_ = bh.Put() // brelse-style release; over-release is already oopsed
+			return nil, err
 		}
-		bh.ioMu.Unlock()
 	}
 	return bh, kbase.EOK
+}
+
+// fill reads a missed block in from the device — the op the
+// bufcache:fill histogram times. Serialized per buffer so two tasks
+// missing on the same block do not both copy from the device.
+func (c *Cache) fill(task *kbase.Task, bh *BufferHead) kbase.Errno {
+	t := opFill.Begin(task)
+	defer t.End()
+	bh.ioMu.Lock()
+	defer bh.ioMu.Unlock()
+	if bh.Uptodate() { // recheck: a racing Bread may have filled it
+		return kbase.EOK
+	}
+	if err := c.dev.Read(bh.Block, bh.Data); err != kbase.EOK {
+		return err
+	}
+	bh.SetFlag(BHUptodate | BHMapped | BHReq)
+	return kbase.EOK
 }
 
 // noteDirty puts bh on the dirty list.
@@ -512,6 +536,10 @@ func (c *Cache) doWriteBuffer(bh *BufferHead) kbase.Errno {
 // submitted through a device plug so each device shard's lock is
 // taken once for the whole batch.
 func (c *Cache) doSyncDirty() kbase.Errno {
+	return c.doSyncDirtyCtx(nil)
+}
+
+func (c *Cache) doSyncDirtyCtx(task *kbase.Task) kbase.Errno {
 	var toWrite []*BufferHead
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -522,7 +550,7 @@ func (c *Cache) doSyncDirty() kbase.Errno {
 		s.mu.Unlock()
 	}
 	if e := c.engine.Load(); e != nil {
-		return c.syncDirtyAsync(e, toWrite)
+		return c.syncDirtyAsync(task, e, toWrite)
 	}
 	var firstErr kbase.Errno = kbase.EOK
 	plug := c.dev.Plug()
@@ -572,7 +600,9 @@ func (c *Cache) doSyncDirty() kbase.Errno {
 // submitted (incrementally, so the workers start writing while later
 // buffers are still being flag-checked) before any completion is
 // reaped, and one barrier SQE replaces the trailing device flush.
-func (c *Cache) syncDirtyAsync(e *kio.Engine, toWrite []*BufferHead) kbase.Errno {
+func (c *Cache) syncDirtyAsync(task *kbase.Task, e *kio.Engine, toWrite []*BufferHead) kbase.Errno {
+	bt := kio.OpBatch.Begin(task)
+	defer bt.End()
 	var firstErr kbase.Errno = kbase.EOK
 	b := e.NewBatch()
 	queued := make([]*BufferHead, 0, len(toWrite))

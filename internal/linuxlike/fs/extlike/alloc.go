@@ -20,7 +20,7 @@ func (inst *fsInstance) bitmapAlloc(task *kbase.Task, h *journal.Handle, start, 
 	bs := inst.cache.Device().BlockSize()
 	bitsPerBlock := uint64(bs) * 8
 	for b := uint64(0); b < nBlocks; b++ {
-		bh, err := inst.cache.Bread(start + b)
+		bh, err := inst.cache.BreadCtx(task, start+b)
 		if err != kbase.EOK {
 			return 0, err
 		}
@@ -63,7 +63,7 @@ func (inst *fsInstance) bitmapFree(task *kbase.Task, h *journal.Handle, start, i
 	defer inst.allocMu.Unlock(task)
 	bs := inst.cache.Device().BlockSize()
 	bitsPerBlock := uint64(bs) * 8
-	bh, err := inst.cache.Bread(start + idx/bitsPerBlock)
+	bh, err := inst.cache.BreadCtx(task, start+idx/bitsPerBlock)
 	if err != kbase.EOK {
 		return err
 	}

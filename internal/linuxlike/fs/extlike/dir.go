@@ -63,7 +63,7 @@ func (inst *fsInstance) journalDirData(task *kbase.Task, h *journal.Handle, ei *
 		if blk == 0 {
 			continue
 		}
-		bh, err := inst.cache.Bread(blk)
+		bh, err := inst.cache.BreadCtx(task, blk)
 		if err != kbase.EOK {
 			return err
 		}

@@ -143,18 +143,19 @@ func (inst *fsInstance) begin() *journal.Handle {
 }
 
 // commit force-commits the running transaction, checkpointing and
-// retrying once if the journal is full.
-func (inst *fsInstance) commit() kbase.Errno {
+// retrying once if the journal is full. The task carries the caller's
+// trace into the journal's latency plane.
+func (inst *fsInstance) commit(task *kbase.Task) kbase.Errno {
 	if inst.fs.SkipJournal {
 		// Injected bug: pretend durability without the journal.
 		return kbase.EOK
 	}
-	err := inst.jnl.Commit()
+	err := inst.jnl.CommitCtx(task)
 	if err == kbase.ENOSPC {
-		if err := inst.jnl.Checkpoint(); err != kbase.EOK {
+		if err := inst.jnl.CheckpointCtx(task); err != kbase.EOK {
 			return err
 		}
-		err = inst.jnl.Commit()
+		err = inst.jnl.CommitCtx(task)
 	}
 	return err
 }
@@ -227,7 +228,7 @@ func (o *inodeOps) CreateTyped(task *kbase.Task, dir *vfs.Inode, name string, mo
 		return typedapi.Err[*vfs.Inode](err)
 	}
 	h.Stop()
-	if err := inst.commit(); err != kbase.EOK {
+	if err := inst.commit(task); err != kbase.EOK {
 		return typedapi.Err[*vfs.Inode](err)
 	}
 	child, err := inst.iget(task, ino)
@@ -336,7 +337,7 @@ func (inst *fsInstance) removeEntry(task *kbase.Task, dir *vfs.Inode, name strin
 		return err
 	}
 	h.Stop()
-	return inst.commit()
+	return inst.commit(task)
 }
 
 func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, newDir *vfs.Inode, newName string) kbase.Errno {
@@ -448,7 +449,7 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 		}
 	}
 	h.Stop()
-	return inst.commit()
+	return inst.commit(task)
 }
 
 func (o *inodeOps) ReadDir(task *kbase.Task, dir *vfs.Inode) ([]vfs.DirEntry, kbase.Errno) {
@@ -554,9 +555,9 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 	err := inst.writeDiskInode(task, tok.h, tok.ei.ino, &tok.ei.di)
 	tok.h.Stop()
 	if err == kbase.EOK {
-		err = inst.commit()
+		err = inst.commit(task)
 	} else {
-		inst.commit()
+		inst.commit(task)
 	}
 	tok.ei.lock.Unlock(task)
 	return err
@@ -569,7 +570,7 @@ func (fo *fileOps) abortWrite(task *kbase.Task, ino *vfs.Inode, private vfs.Writ
 	if ct, ok := vfs.WriteStateAs[*confusedToken](private); ok {
 		ct.h.Stop()
 	}
-	fo.inst.commit()
+	fo.inst.commit(task)
 	if ei, err := einodeOf(ino); err == kbase.EOK {
 		ei.lock.Unlock(task)
 	}
@@ -596,7 +597,7 @@ func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.
 	}
 	ino.SizeWrite(task, size)
 	h.Stop()
-	return inst.commit()
+	return inst.commit(task)
 }
 
 func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
@@ -609,11 +610,11 @@ func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
 	// fully landed before we commit and write back.
 	ei.lock.Lock(task)
 	defer ei.lock.Unlock(task)
-	if err := inst.commit(); err != kbase.EOK {
+	if err := inst.commit(task); err != kbase.EOK {
 		return err
 	}
 	// Data writeback: make file data durable too.
-	return inst.cache.SyncDirty()
+	return inst.cache.SyncDirtyCtx(task)
 }
 
 // SuperBlockOps.
@@ -641,13 +642,13 @@ func (inst *fsInstance) Statfs(task *kbase.Task) (vfs.StatFS, kbase.Errno) {
 func (inst *fsInstance) SyncFS(task *kbase.Task) kbase.Errno {
 	// No instance-wide lock: the journal's commit gate quiesces
 	// metadata, and SyncDirty snapshots the dirty set on its own.
-	if err := inst.commit(); err != kbase.EOK {
+	if err := inst.commit(task); err != kbase.EOK {
 		return err
 	}
 	if inst.fs.SkipJournal {
-		return inst.cache.SyncDirty()
+		return inst.cache.SyncDirtyCtx(task)
 	}
-	return inst.jnl.Checkpoint()
+	return inst.jnl.CheckpointCtx(task)
 }
 
 func (inst *fsInstance) Unmount(task *kbase.Task) kbase.Errno {

@@ -148,7 +148,7 @@ func (inst *fsInstance) blockFor(task *kbase.Task, h *journal.Handle, ei *einode
 		}
 		ei.di.Indirect = nb
 	}
-	ibh, err := inst.cache.Bread(ei.di.Indirect)
+	ibh, err := inst.cache.BreadCtx(task, ei.di.Indirect)
 	if err != kbase.EOK {
 		return 0, err
 	}
@@ -218,7 +218,7 @@ func (inst *fsInstance) readFileRange(task *kbase.Task, ei *einode, buf []byte, 
 				buf[n+i] = 0
 			}
 		} else {
-			bh, err := inst.cache.Bread(blk)
+			bh, err := inst.cache.BreadCtx(task, blk)
 			if err != kbase.EOK {
 				return n, err
 			}
@@ -258,7 +258,7 @@ func (inst *fsInstance) writeFileRange(task *kbase.Task, h *journal.Handle, ei *
 				bh.SetFlag(bufcache.BHMapped | bufcache.BHUptodate)
 			}
 		} else {
-			bh, err = inst.cache.Bread(blk)
+			bh, err = inst.cache.BreadCtx(task, blk)
 		}
 		if err != kbase.EOK {
 			return n, err
@@ -287,7 +287,7 @@ func (inst *fsInstance) truncateBlocks(task *kbase.Task, h *journal.Handle, ei *
 		}
 	}
 	if ei.di.Indirect != 0 {
-		ibh, err := inst.cache.Bread(ei.di.Indirect)
+		ibh, err := inst.cache.BreadCtx(task, ei.di.Indirect)
 		if err != kbase.EOK {
 			return err
 		}

@@ -43,6 +43,14 @@ var (
 	tpCheckpoint = ktrace.New("journal:checkpoint") // a0=new tail seq
 )
 
+// Latency-plane ops (exported as journal.commit_ns and
+// journal.checkpoint_ns histograms; span children of the caller's
+// trace).
+var (
+	opCommit     = ktrace.NewOp("journal:commit")
+	opCheckpoint = ktrace.NewOp("journal:checkpoint")
+)
+
 // Block kinds within the journal area.
 const (
 	magic       = 0x6A424432 // "jBD2"
@@ -298,7 +306,15 @@ func (h *Handle) Stop() {
 // to Stop (their updates then ride in this commit); if another task
 // is already committing the transaction our updates are in, Commit
 // waits for that commit and returns its outcome.
-func (j *Journal) Commit() kbase.Errno {
+func (j *Journal) Commit() kbase.Errno { return j.CommitCtx(nil) }
+
+// CommitCtx is Commit with task context for the latency plane: the
+// whole group commit — including any wait for the in-flight round —
+// is timed into the journal:commit histogram and spanned as a child
+// of the caller's trace.
+func (j *Journal) CommitCtx(task *kbase.Task) kbase.Errno {
+	t := opCommit.Begin(task)
+	defer t.End()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	for {
@@ -327,13 +343,13 @@ func (j *Journal) Commit() kbase.Errno {
 		for tx.handles > 0 {
 			j.cond.Wait()
 		}
-		return j.commitGatedLocked(tx)
+		return j.commitGatedLocked(task, tx)
 	}
 }
 
 // commitGatedLocked writes tx out. Caller holds j.mu and the gate;
 // tx has no open handles. The gate is released before returning.
-func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
+func (j *Journal) commitGatedLocked(task *kbase.Task, tx *Tx) kbase.Errno {
 	finish := func(err kbase.Errno) kbase.Errno {
 		j.lastDoneSeq = tx.seq
 		j.lastErr = err
@@ -365,7 +381,7 @@ func (j *Journal) commitGatedLocked(tx *Tx) kbase.Errno {
 
 	pos := j.start + j.writePos
 	if j.engine != nil {
-		return j.commitAsyncLocked(tx, finish, pos)
+		return j.commitAsyncLocked(task, tx, finish, pos)
 	}
 	crc := crc32.NewIEEE()
 
@@ -465,7 +481,9 @@ func (j *Journal) finishCommitLocked(tx *Tx, finish func(kbase.Errno) kbase.Errn
 // record durable before Commit returns). Caller holds j.mu and the
 // gate; the gate is what lets the engine read bh.Data without a copy
 // racing anything — no handle can mutate a committing buffer.
-func (j *Journal) commitAsyncLocked(tx *Tx, finish func(kbase.Errno) kbase.Errno, pos uint64) kbase.Errno {
+func (j *Journal) commitAsyncLocked(task *kbase.Task, tx *Tx, finish func(kbase.Errno) kbase.Errno, pos uint64) kbase.Errno {
+	bt := kio.OpBatch.Begin(task)
+	defer bt.End()
 	bs := j.cache.Device().BlockSize()
 	crc := crc32.NewIEEE()
 
@@ -562,7 +580,14 @@ func (j *Journal) commitAsyncLocked(tx *Tx, finish func(kbase.Errno) kbase.Errno
 // region (jbd2 checkpoint + journal tail update). It quiesces the
 // journal first — new Begins block and live handles drain — so the
 // writeback pass cannot race buffer mutations made under a handle.
-func (j *Journal) Checkpoint() kbase.Errno {
+func (j *Journal) Checkpoint() kbase.Errno { return j.CheckpointCtx(nil) }
+
+// CheckpointCtx is Checkpoint with task context: timed into the
+// journal:checkpoint histogram, with the dirty-buffer sync appearing
+// as a bufcache child span.
+func (j *Journal) CheckpointCtx(task *kbase.Task) kbase.Errno {
+	t := opCheckpoint.Begin(task)
+	defer t.End()
 	j.mu.Lock()
 	for j.gate {
 		j.cond.Wait()
@@ -574,7 +599,7 @@ func (j *Journal) Checkpoint() kbase.Errno {
 	}
 	j.mu.Unlock()
 
-	err := j.cache.SyncDirty()
+	err := j.cache.SyncDirtyCtx(task)
 
 	j.mu.Lock()
 	defer func() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -234,6 +235,13 @@ type Task struct {
 	// supervisor restarts a subsystem and how a hot swap copies state
 	// while ordinary callers are held at the drained boundary.
 	super bool
+	// trace/span carry the task's current tracing context (ktrace span
+	// plane). They live here — as bare words, not richer types —
+	// because kbase sits below ktrace in the import graph, and the
+	// task is the only thing that travels with a request across every
+	// subsystem boundary.
+	trace atomic.Uint64
+	span  atomic.Uint64
 }
 
 // NewTask registers a new kernel task.
@@ -265,6 +273,25 @@ func (t *Task) ID() int64 {
 // Supervisor reports whether this is a trusted-core task that
 // compartment boundaries must not gate.
 func (t *Task) Supervisor() bool { return t != nil && t.super }
+
+// SpanCtx returns the task's current (trace, span) tracing context;
+// (0, 0) — no active trace — for a nil task.
+func (t *Task) SpanCtx() (trace, span uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	return t.trace.Load(), t.span.Load()
+}
+
+// SetSpanCtx installs a tracing context on the task (no-op on nil).
+// Set by the span plane on boundary entry and restored on exit.
+func (t *Task) SetSpanCtx(trace, span uint64) {
+	if t == nil {
+		return
+	}
+	t.trace.Store(trace)
+	t.span.Store(span)
+}
 
 // SpinLock is the kernel spinlock. In simulation it is a mutex; the
 // distinction matters only for documentation and lock classes.

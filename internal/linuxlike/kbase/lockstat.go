@@ -1,6 +1,7 @@
 package kbase
 
 import (
+	"math/bits"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -31,6 +32,30 @@ func SetLockStat(on bool) bool {
 // LockStatOn reports whether lockstat accounting is enabled.
 func LockStatOn() bool { return lockStatEnabled.Load() }
 
+// LockHistBuckets is the bucket count of the per-class log2 wait/hold
+// histograms: bucket i counts samples with bits.Len64(ns) == i, i.e.
+// ns in [2^(i-1), 2^i) (bucket 0 is exactly ns == 0). Coarser than
+// ktrace's log-linear histograms on purpose — this is the fully
+// inlined lock path, so the histogram must cost one extra atomic add.
+const LockHistBuckets = 65
+
+type lockHist [LockHistBuckets]atomic.Uint64
+
+func (h *lockHist) note(ns uint64) { h[bits.Len64(ns)].Add(1) }
+
+func (h *lockHist) snapshot() (out [LockHistBuckets]uint64) {
+	for i := range h {
+		out[i] = h[i].Load()
+	}
+	return out
+}
+
+func (h *lockHist) reset() {
+	for i := range h {
+		h[i].Store(0)
+	}
+}
+
 // classStats is the per-LockClass counter block. All fields are
 // atomics: emitters never share a cache line dance with a stats lock.
 type classStats struct {
@@ -41,6 +66,8 @@ type classStats struct {
 	holdNs       atomic.Uint64
 	maxHoldNs    atomic.Uint64
 	readAcquires atomic.Uint64 // RWSem shared-side acquisitions
+	waitHist     lockHist
+	holdHist     lockHist
 }
 
 func (s *classStats) noteWait(d time.Duration) {
@@ -48,12 +75,14 @@ func (s *classStats) noteWait(d time.Duration) {
 	s.contended.Add(1)
 	s.waitNs.Add(ns)
 	storeMax(&s.maxWaitNs, ns)
+	s.waitHist.note(ns)
 }
 
 func (s *classStats) noteHold(d time.Duration) {
 	ns := uint64(d)
 	s.holdNs.Add(ns)
 	storeMax(&s.maxHoldNs, ns)
+	s.holdHist.note(ns)
 }
 
 func storeMax(a *atomic.Uint64, v uint64) {
@@ -75,6 +104,10 @@ type LockClassStats struct {
 	MaxWaitNs    uint64
 	HoldNs       uint64 // total exclusive hold time
 	MaxHoldNs    uint64
+	// Log2 latency distributions (see LockHistBuckets): WaitHist over
+	// blocking waits, HoldHist over exclusive holds.
+	WaitHist [LockHistBuckets]uint64
+	HoldHist [LockHistBuckets]uint64
 }
 
 // LockStats returns a snapshot for every class that has seen at least
@@ -96,6 +129,8 @@ func LockStats() []LockClassStats {
 			MaxWaitNs:    s.maxWaitNs.Load(),
 			HoldNs:       s.holdNs.Load(),
 			MaxHoldNs:    s.maxHoldNs.Load(),
+			WaitHist:     s.waitHist.snapshot(),
+			HoldHist:     s.holdHist.snapshot(),
 		}
 		if st.Acquisitions == 0 && st.ReadAcquires == 0 {
 			continue
@@ -121,6 +156,8 @@ func ResetLockStats() {
 		s.holdNs.Store(0)
 		s.maxHoldNs.Store(0)
 		s.readAcquires.Store(0)
+		s.waitHist.reset()
+		s.holdHist.reset()
 	}
 }
 

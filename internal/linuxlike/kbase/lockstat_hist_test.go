@@ -1,0 +1,101 @@
+package kbase
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLockStatHoldHistogram: every hold lands in the log2 bucket its
+// duration selects (bucket i ⇔ bits.Len64(ns) == i) and the bucket
+// totals match the acquisition count.
+func TestLockStatHoldHistogram(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.holdhist")
+	l := NewSpinLock(cls)
+	task := NewTask()
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		l.Lock(task)
+		l.Unlock(task)
+	}
+	l.Lock(task)
+	time.Sleep(2 * time.Millisecond)
+	l.Unlock(task)
+
+	s := findClass(t, "lockstat.test.holdhist")
+	var total uint64
+	for _, c := range s.HoldHist {
+		total += c
+	}
+	if total != rounds+1 {
+		t.Fatalf("hold histogram holds %d samples, want %d", total, rounds+1)
+	}
+	// The 2ms hold must be in a bucket covering >= 1ms.
+	msBucket := bits.Len64(uint64(time.Millisecond))
+	var slow uint64
+	for i := msBucket; i < LockHistBuckets; i++ {
+		slow += s.HoldHist[i]
+	}
+	if slow == 0 {
+		t.Fatalf("2ms hold not in any >=2^%d bucket: %v", msBucket-1, s.HoldHist)
+	}
+}
+
+// TestLockStatWaitHistogram: blocked acquisitions populate WaitHist and
+// its total equals Contended exactly.
+func TestLockStatWaitHistogram(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.waithist")
+	l := NewSpinLock(cls)
+
+	const goroutines = 4
+	const perG = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			task := NewTask()
+			for i := 0; i < perG; i++ {
+				l.Lock(task)
+				time.Sleep(20 * time.Microsecond)
+				l.Unlock(task)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := findClass(t, "lockstat.test.waithist")
+	if s.Contended == 0 {
+		t.Skip("no contention observed on this run; nothing to verify")
+	}
+	var total uint64
+	for _, c := range s.WaitHist {
+		total += c
+	}
+	if total != s.Contended {
+		t.Fatalf("wait histogram holds %d samples, Contended is %d", total, s.Contended)
+	}
+}
+
+func TestLockStatResetClearsHistograms(t *testing.T) {
+	withLockStat(t)
+	cls := NewLockClass("lockstat.test.histreset")
+	l := NewSpinLock(cls)
+	task := NewTask()
+	l.Lock(task)
+	l.Unlock(task)
+	ResetLockStats()
+	for _, s := range LockStats() {
+		if s.Class != "lockstat.test.histreset" {
+			continue
+		}
+		for i, c := range s.HoldHist {
+			if c != 0 {
+				t.Fatalf("ResetLockStats left hold bucket %d = %d", i, c)
+			}
+		}
+	}
+}

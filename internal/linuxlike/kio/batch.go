@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/safety/own"
 )
 
@@ -121,6 +122,9 @@ func (b *Batch) enqueueWrite(s *sqe) {
 func (b *Batch) enqueue(s *sqe) {
 	s.t = b.t
 	s.idx = b.t.addSlot()
+	if ktrace.TimingSample() {
+		s.tNs = ktrace.NowNs()
+	}
 	b.pending = append(b.pending, s)
 	b.e.submitted.Add(1)
 	if tpSubmit.Enabled() {

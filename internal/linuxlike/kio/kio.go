@@ -47,6 +47,11 @@ var (
 	tpBarrier  = ktrace.New("kio:barrier")  // a0=SQEs drained ahead of the barrier
 )
 
+// OpBatch is the latency-plane op for one submit→wait batch (exported
+// so the journal's overlapped commit and the buffer cache's async
+// sync can span their batches as children of the caller's trace).
+var OpBatch = ktrace.NewOp("kio:batch")
+
 // Op is the SQE operation code.
 type Op uint8
 
@@ -172,7 +177,8 @@ type sqe struct {
 	owned bool   // write payload arrived by ownership move
 	page  own.Owned[[]byte]
 	t     *Ticket
-	idx   int // slot in t.results
+	idx   int   // slot in t.results
+	tNs   int64 // submit timestamp for the sqe latency histogram (0 = unsampled)
 }
 
 // Engine is the async I/O engine. All methods are safe for concurrent
@@ -207,6 +213,11 @@ type Engine struct {
 	copied    atomic.Uint64
 	copies    atomic.Uint64
 	avoided   atomic.Uint64
+
+	// sqeHist is the submit-to-complete latency distribution of
+	// sampled SQEs (see ktrace.TimingSample), exported as the
+	// kio.sqe_ns histogram metric.
+	sqeHist *ktrace.Histogram
 }
 
 // New starts an engine over backend. Close must be called to stop the
@@ -220,6 +231,7 @@ func New(backend Backend, cfg Config) *Engine {
 		workerCh: make([]chan []*sqe, cfg.Workers),
 		done:     make(chan struct{}),
 		cq:       newCQ(cfg.CQSlots),
+		sqeHist:  ktrace.NewHistogram(),
 	}
 	if ow, ok := backend.(ownedWriter); ok {
 		e.ow = ow
@@ -404,9 +416,20 @@ func (e *Engine) runGroup(g []*sqe) {
 	drain()
 }
 
+// SQEHist returns the engine's submit-to-complete latency histogram.
+func (e *Engine) SQEHist() *ktrace.Histogram { return e.sqeHist }
+
+// noteLatency records a sampled SQE's submit-to-complete time.
+func (e *Engine) noteLatency(s *sqe) {
+	if s.tNs != 0 {
+		e.sqeHist.Record(uint64(ktrace.NowNs() - s.tNs))
+	}
+}
+
 // complete publishes one completion: Ticket slot, polling ring,
 // optional callback, tracepoint.
 func (e *Engine) complete(s *sqe, err kbase.Errno) {
+	e.noteLatency(s)
 	cqe := CQE{Op: s.op, Block: s.block, User: s.user, Err: err}
 	if s.owned {
 		// Model-1 obligation: the engine received ownership at submit
@@ -430,6 +453,7 @@ func (e *Engine) complete(s *sqe, err kbase.Errno) {
 
 // completeMerged publishes a merged-write completion (no device I/O).
 func (e *Engine) completeMerged(s *sqe) {
+	e.noteLatency(s)
 	cqe := CQE{Op: s.op, Block: s.block, User: s.user, Err: kbase.EOK, Merged: true}
 	if s.owned {
 		s.page.Free()

@@ -1,0 +1,73 @@
+package ktrace
+
+import "testing"
+
+func TestCoverBitmapOps(t *testing.T) {
+	var a, b CoverBitmap
+	if a.Count() != 0 {
+		t.Fatalf("zero bitmap counts %d", a.Count())
+	}
+	a.Set(17)
+	a.Set(17) // idempotent
+	a.Set(4095)
+	a.Set(4096 + 3) // wraps into bit 3
+	if !a.Has(17) || !a.Has(4095) || !a.Has(3) {
+		t.Fatal("Set/Has round trip failed")
+	}
+	if a.Has(18) {
+		t.Fatal("unset bit reported set")
+	}
+	if a.Count() != 3 {
+		t.Fatalf("count = %d, want 3", a.Count())
+	}
+
+	b.Set(17) // overlap
+	b.Set(99)
+	if got := a.NewBits(&b); got != 1 {
+		t.Fatalf("NewBits = %d, want 1 (only bit 99 is novel)", got)
+	}
+	if got := b.NewBits(&a); got != 2 {
+		t.Fatalf("reverse NewBits = %d, want 2", got)
+	}
+	a.Merge(&b)
+	if a.Count() != 4 || !a.Has(99) {
+		t.Fatalf("merge failed: count %d", a.Count())
+	}
+	if got := a.NewBits(&b); got != 0 {
+		t.Fatalf("NewBits after merge = %d, want 0", got)
+	}
+}
+
+func TestCoverageCollection(t *testing.T) {
+	testRing(t, 8)
+	ResetCoverage()
+	EnableCoverage()
+	t.Cleanup(func() {
+		DisableCoverage()
+		ResetCoverage()
+	})
+
+	tp := New("covertest:hit")
+	other := New("covertest:silent")
+	tp.Enable()
+	defer tp.Disable()
+	tp.Emit(0, 1, 2)
+
+	snap := CoverageSnapshot()
+	if !snap.Has(CoverIndex("covertest:hit")) {
+		t.Fatal("recorded event did not mark its coverage bit")
+	}
+	if snap.Has(CoverIndex("covertest:silent")) && CoverIndex("covertest:silent") != CoverIndex("covertest:hit") {
+		t.Fatal("never-emitted tracepoint marked coverage")
+	}
+	_ = other
+
+	// Disabled collection marks nothing new.
+	DisableCoverage()
+	ResetCoverage()
+	tp.Emit(0, 1, 2)
+	snap = CoverageSnapshot()
+	if snap.Count() != 0 {
+		t.Fatal("coverage marked while disabled")
+	}
+}

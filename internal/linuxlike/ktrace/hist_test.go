@@ -1,0 +1,164 @@
+package ktrace
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestBucketMath checks the log-linear mapping invariants across the
+// value range: small values are exact, every value lands in a bucket
+// whose upper bound is >= the value, indices are monotonic, and the
+// relative rounding error is bounded by the sub-bucket width (~1/32).
+func TestBucketMath(t *testing.T) {
+	for v := uint64(0); v < histSubCount; v++ {
+		idx := bucketIdx(v)
+		if got := bucketMax(idx); got != v {
+			t.Fatalf("small value %d: bucketMax = %d, want exact", v, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 10, 1<<10 + 7,
+		1 << 20, 1 << 32, 1<<40 + 12345, 1<<63 - 1, 1 << 63, ^uint64(0)} {
+		idx := bucketIdx(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("value %d: bucket %d out of range [0,%d)", v, idx, histBuckets)
+		}
+		if idx < prev {
+			t.Fatalf("value %d: bucket %d below previous %d (not monotonic)", v, idx, prev)
+		}
+		prev = idx
+		ub := bucketMax(idx)
+		if ub < v {
+			t.Fatalf("value %d: bucketMax %d below the value", v, ub)
+		}
+		if v >= histSubCount && ub-v > v/histSubCount+1 {
+			t.Fatalf("value %d: bucketMax %d overshoots by %d (> ~1/%d relative)",
+				v, ub, ub-v, histSubCount)
+		}
+	}
+	// Dense sweep: round-tripping stays within one sub-bucket.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		v := rng.Uint64() >> uint(rng.Intn(64))
+		ub := bucketMax(bucketIdx(v))
+		if ub < v {
+			t.Fatalf("value %d: bucketMax %d below the value", v, ub)
+		}
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 1000; v++ {
+		h.Record(v)
+	}
+	view := h.View()
+	if view.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", view.Count)
+	}
+	if view.Sum != 500500 {
+		t.Fatalf("sum = %d, want 500500", view.Sum)
+	}
+	if view.Max != 1000 {
+		t.Fatalf("max = %d, want 1000", view.Max)
+	}
+	// Uniform 1..1000: each quantile must land within the bucketing's
+	// ~3% relative error of the exact value.
+	checks := []struct {
+		got, want uint64
+	}{
+		{view.P50, 500}, {view.P90, 900}, {view.P99, 990}, {view.P999, 999},
+	}
+	for _, c := range checks {
+		lo, hi := c.want-c.want/16, c.want+c.want/16
+		if c.got < lo || c.got > hi {
+			t.Fatalf("quantile = %d, want within [%d,%d] of %d", c.got, lo, hi, c.want)
+		}
+	}
+	if view.P50 > view.P90 || view.P90 > view.P99 || view.P99 > view.P999 || view.P999 > view.Max {
+		t.Fatalf("quantiles not monotonic: %+v", view)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	if v := h.View(); v.Count != 0 || v.P50 != 0 || v.Max != 0 {
+		t.Fatalf("empty histogram view not zero: %+v", v)
+	}
+	h.Record(42)
+	v := h.View()
+	if v.P50 != 42 || v.P999 != 42 || v.Max != 42 {
+		t.Fatalf("single-sample quantiles must clamp to the sample: %+v", v)
+	}
+	h.Reset()
+	if v := h.View(); v.Count != 0 {
+		t.Fatalf("Reset left %d samples", v.Count)
+	}
+}
+
+func TestHistQuantileOfSnapsToExported(t *testing.T) {
+	h := NewHistogram()
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	view := h.View()
+	if got := view.QuantileOf(0.5); got != view.P50 {
+		t.Fatalf("QuantileOf(0.5) = %d, want P50 %d", got, view.P50)
+	}
+	if got := view.QuantileOf(0.97); got != view.P99 {
+		t.Fatalf("QuantileOf(0.97) = %d, want snap to P99 %d", got, view.P99)
+	}
+	if got := view.QuantileOf(0.9); got != view.P90 {
+		t.Fatalf("QuantileOf(0.9) = %d, want P90 %d", got, view.P90)
+	}
+}
+
+// TestHistConcurrentRecord hammers one histogram from many goroutines;
+// under -race this is the wait-free recording proof, and the merged
+// totals must be exact (recording never drops a sample).
+func TestHistConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(uint64(g*perG + i))
+			}
+		}(g)
+	}
+	// Concurrent readers exercise snapshot-during-record.
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.View()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rd.Wait()
+
+	view := h.View()
+	if view.Count != goroutines*perG {
+		t.Fatalf("count = %d, want %d (samples lost)", view.Count, goroutines*perG)
+	}
+	const n = uint64(goroutines * perG)
+	if wantSum := n * (n - 1) / 2; view.Sum != wantSum {
+		t.Fatalf("sum = %d, want %d", view.Sum, wantSum)
+	}
+	if view.Max != n-1 {
+		t.Fatalf("max = %d, want %d", view.Max, n-1)
+	}
+}

@@ -73,6 +73,10 @@ func (e *Event) CtxBytes() [EventCtxSize]byte {
 type Tracepoint struct {
 	name string
 	id   uint32
+	// coverIdx is the tracepoint's bit in the coverage bitmap,
+	// precomputed at registration so the emit path never hashes a
+	// string (see coverage.go).
+	coverIdx uint32
 
 	// on is an enable count: Enable/Attach increment, Disable/Detach
 	// decrement. The emit gate is a single load of this word.
@@ -99,10 +103,21 @@ func New(name string) *Tracepoint {
 	if tp, ok := byName[name]; ok {
 		return tp
 	}
-	tp := &Tracepoint{name: name, id: uint32(len(byID))}
+	tp := &Tracepoint{name: name, id: uint32(len(byID)), coverIdx: CoverIndex(name)}
 	byName[name] = tp
 	byID = append(byID, tp)
 	return tp
+}
+
+// nameForID resolves a tracepoint id back to its name — the ring
+// stores ids, not strings, so readers resolve at snapshot time.
+func nameForID(id uint32) string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if int(id) < len(byID) {
+		return byID[id].name
+	}
+	return "?"
 }
 
 // Lookup returns the tracepoint with the given name, or nil.
@@ -202,10 +217,14 @@ func (tp *Tracepoint) Emit4(task int64, a0, a1, a2, a3 uint64) {
 }
 
 // emit is the enabled slow path: run attached programs (any verdict 0
-// filters the event), then publish into the ring.
+// filters the event), then publish into the ring. The common case —
+// no probes attached — builds no Event and allocates nothing: the
+// payload goes straight into the ring as word stores. Only a probe
+// needs the Event shape (for its fixed byte context), and that one
+// stays on the stack.
 func (tp *Tracepoint) emit(task int64, a0, a1, a2, a3 uint64) {
-	ev := Event{TPID: tp.id, Name: tp.name, Task: task, A0: a0, A1: a1, A2: a2, A3: a3}
 	if ps := tp.probes.Load(); ps != nil {
+		ev := Event{TPID: tp.id, Name: tp.name, Task: task, A0: a0, A1: a1, A2: a2, A3: a3}
 		for _, p := range *ps {
 			if !p.keep(&ev) {
 				tp.filtered.Add(1)
@@ -214,5 +233,8 @@ func (tp *Tracepoint) emit(task int64, a0, a1, a2, a3 uint64) {
 		}
 	}
 	tp.hits.Add(1)
-	ring().write(&ev)
+	if coverOn.Load() {
+		coverMark(tp.coverIdx)
+	}
+	ring().write(tp.id, task, a0, a1, a2, a3)
 }

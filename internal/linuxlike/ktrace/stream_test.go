@@ -1,0 +1,216 @@
+package ktrace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+func TestConsumerStreamsInOrder(t *testing.T) {
+	r := testRing(t, 64)
+	tp := New("stream:order")
+	tp.Enable()
+	defer tp.Disable()
+
+	c := r.NewConsumer()
+	if evs := c.Poll(0); len(evs) != 0 {
+		t.Fatalf("fresh consumer delivered %d events", len(evs))
+	}
+	const emits = 100
+	for i := 0; i < emits; i++ {
+		tp.Emit(0, uint64(i), 0)
+	}
+	evs := c.Poll(0)
+	if len(evs) != emits {
+		t.Fatalf("delivered %d events, want %d", len(evs), emits)
+	}
+	for i, e := range evs {
+		if e.A0 != uint64(i) {
+			t.Fatalf("event %d: a0 = %d, want in-order delivery", i, e.A0)
+		}
+	}
+	if c.Dropped() != 0 {
+		t.Fatalf("dropped %d with no wraparound", c.Dropped())
+	}
+	// Batched polls respect max and resume where they left off.
+	for i := 0; i < 10; i++ {
+		tp.Emit(0, uint64(emits+i), 0)
+	}
+	first := c.Poll(4)
+	rest := c.Poll(0)
+	if len(first) != 4 || len(rest) != 6 {
+		t.Fatalf("batched polls = %d + %d, want 4 + 6", len(first), len(rest))
+	}
+	if rest[0].A0 != first[3].A0+1 {
+		t.Fatal("cursor did not resume after a bounded poll")
+	}
+}
+
+// TestConsumerWraparoundDrops: a sequential emitter laps an idle
+// consumer; the drop count must be exactly emits - capacity, from
+// sequence arithmetic alone.
+func TestConsumerWraparoundDrops(t *testing.T) {
+	r := testRing(t, 8) // capacity 128
+	tp := New("stream:wrap")
+	tp.Enable()
+	defer tp.Disable()
+
+	c := r.NewConsumer()
+	const emits = 1000
+	for i := 0; i < emits; i++ {
+		tp.Emit(0, uint64(i), 0)
+	}
+	evs := c.Poll(0)
+	capN := r.Cap()
+	if len(evs) != capN {
+		t.Fatalf("delivered %d, want the surviving %d", len(evs), capN)
+	}
+	if got, want := c.Dropped(), uint64(emits-capN); got != want {
+		t.Fatalf("dropped = %d, want exactly %d", got, want)
+	}
+	if evs[0].A0 != uint64(emits-capN) {
+		t.Fatalf("oldest survivor a0 = %d, want %d", evs[0].A0, emits-capN)
+	}
+	if evs[len(evs)-1].A0 != emits-1 {
+		t.Fatalf("newest survivor a0 = %d, want %d", evs[len(evs)-1].A0, emits-1)
+	}
+	// delivered + dropped == emitted: nothing double counted.
+	if uint64(len(evs))+c.Dropped() != uint64(emits) {
+		t.Fatalf("accounting leak: %d delivered + %d dropped != %d emitted",
+			len(evs), c.Dropped(), emits)
+	}
+}
+
+// TestConsumerConcurrentSlowReader is the never-block proof, run under
+// -race: emitters hammer a small ring while a deliberately slow
+// consumer polls tiny batches. Emitters finish regardless of the
+// consumer (they share no state with it), and afterwards
+// delivered + dropped must equal emitted exactly.
+func TestConsumerConcurrentSlowReader(t *testing.T) {
+	r := testRing(t, 8) // capacity 128 — guarantees heavy wraparound
+	tp := New("stream:slowreader")
+	tp.Enable()
+	defer tp.Disable()
+
+	c := r.NewConsumer()
+	const goroutines = 4
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tp.Emit(int64(g), uint64(i), 0)
+			}
+		}(g)
+	}
+
+	var delivered uint64
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			evs := c.Poll(16) // tiny batches: the consumer cannot keep up
+			delivered += uint64(len(evs))
+			select {
+			case <-stop:
+				if len(evs) == 0 {
+					return
+				}
+			default:
+				if len(evs) == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}
+	}()
+	wg.Wait() // emitters finished — a stalled consumer can never delay this
+	close(stop)
+	rd.Wait()
+
+	total := uint64(goroutines * perG)
+	if got := r.Emitted(); got != total {
+		t.Fatalf("emitted %d, want %d", got, total)
+	}
+	if delivered+c.Dropped() != total {
+		t.Fatalf("accounting leak: %d delivered + %d dropped != %d emitted",
+			delivered, c.Dropped(), total)
+	}
+	if c.Dropped() == 0 {
+		t.Fatal("slow consumer on a tiny ring dropped nothing — the test lost its teeth")
+	}
+	if c.Pending() != 0 {
+		t.Fatalf("%d events still pending after the drain", c.Pending())
+	}
+}
+
+// TestTwoConsumersIndependentCursors: per-consumer cursors and drop
+// accounting do not interfere.
+func TestTwoConsumersIndependentCursors(t *testing.T) {
+	r := testRing(t, 8)
+	tp := New("stream:two")
+	tp.Enable()
+	defer tp.Disable()
+
+	fast := r.NewConsumer()
+	lazy := r.NewConsumer()
+	const emits = 1000
+	for i := 0; i < emits; i++ {
+		tp.Emit(0, uint64(i), 0)
+		if i%64 == 0 {
+			fast.Poll(0) // keeps up; never laps
+		}
+	}
+	fast.Poll(0)
+	if fast.Dropped() != 0 {
+		t.Fatalf("keeping-up consumer dropped %d", fast.Dropped())
+	}
+	lazyGot := len(lazy.Poll(0))
+	if want := uint64(emits - r.Cap()); lazy.Dropped() != want {
+		t.Fatalf("lazy consumer dropped %d, want %d", lazy.Dropped(), want)
+	}
+	if uint64(lazyGot)+lazy.Dropped() != emits {
+		t.Fatal("lazy consumer accounting leak")
+	}
+}
+
+// TestSpanTreeAcrossWrap: a trace whose begin events were overwritten
+// by ring wraparound still reconstructs from the surviving end events,
+// flagged honestly.
+func TestSpanTreeAcrossWrap(t *testing.T) {
+	r := latencyPlane(t, 8) // capacity 128
+	opRoot := NewOp("wraptrace:root")
+	opChild := NewOp("wraptrace:child")
+	task := kbase.NewTask()
+
+	tR := opRoot.Begin(task)
+	tC := opChild.Begin(task)
+
+	// Flood the ring so both begin events are overwritten.
+	noise := New("wraptrace:noise")
+	noise.Enable()
+	for i := 0; i < 4*r.Cap(); i++ {
+		noise.Emit(0, uint64(i), 0)
+	}
+	noise.Disable()
+
+	tC.End()
+	tR.End()
+
+	tree := SpanTree(r.Snapshot(), tR.TraceID())
+	joined := strings.Join(tree, "\n")
+	if len(tree) != 2 {
+		t.Fatalf("tree has %d lines, want 2 survivors:\n%s", len(tree), joined)
+	}
+	for _, want := range []string{"wraptrace:root", "wraptrace:child", "(begin lost)"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("wrapped tree missing %q:\n%s", want, joined)
+		}
+	}
+}

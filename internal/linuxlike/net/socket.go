@@ -5,6 +5,16 @@ import (
 	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// Latency-plane ops at the generic socket entry points. Sockets carry
+// no task pointer, so these begin root spans (nil task): every send
+// and receive is a kernel entry in its own right, and the op
+// histograms (net.send_ns, net.recv_ns) cover both protocols.
+var (
+	opSend = ktrace.NewOp("net:send")
+	opRecv = ktrace.NewOp("net:recv")
 )
 
 // The generic socket layer, in the legacy style: one Socket struct
@@ -347,6 +357,8 @@ func (h *Host) doTick(now uint64) {
 
 // Send queues data on a connected socket.
 func (s *Socket) Send(data []byte) kbase.Errno {
+	t := opSend.Begin(nil)
+	defer t.End()
 	switch s.Proto {
 	case ProtoTCP:
 		tcb, ok := s.private.(*TCB)
@@ -363,6 +375,8 @@ func (s *Socket) Send(data []byte) kbase.Errno {
 // Recv drains received bytes. (0, EOK) on a drained, peer-closed
 // stream means EOF; EAGAIN means try later.
 func (s *Socket) Recv(buf []byte) (int, kbase.Errno) {
+	t := opRecv.Begin(nil)
+	defer t.End()
 	switch s.Proto {
 	case ProtoTCP:
 		tcb, ok := s.private.(*TCB)

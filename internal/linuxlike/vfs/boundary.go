@@ -2,6 +2,7 @@ package vfs
 
 import (
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 )
 
 // Boundary is the crash-containment hook: when installed, every public
@@ -35,27 +36,60 @@ func (v *VFS) SetBoundary(b Boundary) {
 	v.boundary.Store(&boundaryBox{b: b})
 }
 
+// Every public operation has a pre-registered latency-plane Op: the
+// VFS dispatch is where user-visible latency is defined, so this is
+// where request spans root and where the per-op histograms (exported
+// as vfs.<op>_ns) are fed. Ops are identities, not strings — the
+// enabled path never hashes a name (see ktrace.Op).
+var (
+	opMount    = ktrace.NewOp("vfs:mount")
+	opUnmount  = ktrace.NewOp("vfs:unmount")
+	opResolve  = ktrace.NewOp("vfs:resolve")
+	opOpen     = ktrace.NewOp("vfs:open")
+	opClose    = ktrace.NewOp("vfs:close")
+	opRead     = ktrace.NewOp("vfs:read")
+	opPread    = ktrace.NewOp("vfs:pread")
+	opWrite    = ktrace.NewOp("vfs:write")
+	opPwrite   = ktrace.NewOp("vfs:pwrite")
+	opLseek    = ktrace.NewOp("vfs:lseek")
+	opFsync    = ktrace.NewOp("vfs:fsync")
+	opTruncate = ktrace.NewOp("vfs:truncate")
+	opStat     = ktrace.NewOp("vfs:stat")
+	opMkdir    = ktrace.NewOp("vfs:mkdir")
+	opRmdir    = ktrace.NewOp("vfs:rmdir")
+	opUnlink   = ktrace.NewOp("vfs:unlink")
+	opRename   = ktrace.NewOp("vfs:rename")
+	opReadDir  = ktrace.NewOp("vfs:readdir")
+	opStatfs   = ktrace.NewOp("vfs:statfs")
+	opSyncAll  = ktrace.NewOp("vfs:syncall")
+)
+
 // guard routes one errno-only operation through the boundary, or runs
-// it directly when no boundary is installed.
-func (v *VFS) guard(task *kbase.Task, op string, fn func() kbase.Errno) kbase.Errno {
+// it directly when no boundary is installed. It is also the span
+// root / histogram site for the operation.
+func (v *VFS) guard(task *kbase.Task, op *ktrace.Op, fn func() kbase.Errno) kbase.Errno {
+	t := op.Begin(task)
+	defer t.End()
 	box := v.boundary.Load()
 	if box == nil {
 		return fn()
 	}
-	return box.b.Do(task, op, fn)
+	return box.b.Do(task, op.Short(), fn)
 }
 
 // guardRet routes a value-returning operation through the boundary.
 // On containment the caller sees the zero value with the boundary's
 // typed error (EFAULT for a contained fault, ESHUTDOWN while
 // quarantined).
-func guardRet[T any](v *VFS, task *kbase.Task, op string, fn func() (T, kbase.Errno)) (T, kbase.Errno) {
+func guardRet[T any](v *VFS, task *kbase.Task, op *ktrace.Op, fn func() (T, kbase.Errno)) (T, kbase.Errno) {
+	t := op.Begin(task)
+	defer t.End()
 	box := v.boundary.Load()
 	if box == nil {
 		return fn()
 	}
 	var out T
-	err := box.b.Do(task, op, func() kbase.Errno {
+	err := box.b.Do(task, op.Short(), func() kbase.Errno {
 		var e kbase.Errno
 		out, e = fn()
 		return e
@@ -70,111 +104,111 @@ func guardRet[T any](v *VFS, task *kbase.Task, op string, fn func() (T, kbase.Er
 // Mount mounts fstype at path with fs-specific data. Path must be "/"
 // or an existing directory on an already-mounted file system.
 func (v *VFS) Mount(task *kbase.Task, path, fstype string, data MountData) kbase.Errno {
-	return v.guard(task, "mount", func() kbase.Errno { return v.doMount(task, path, fstype, data) })
+	return v.guard(task, opMount, func() kbase.Errno { return v.doMount(task, path, fstype, data) })
 }
 
 // Unmount detaches the file system at path.
 func (v *VFS) Unmount(task *kbase.Task, path string) kbase.Errno {
-	return v.guard(task, "unmount", func() kbase.Errno { return v.doUnmount(task, path) })
+	return v.guard(task, opUnmount, func() kbase.Errno { return v.doUnmount(task, path) })
 }
 
 // Resolve walks path to an inode.
 func (v *VFS) Resolve(task *kbase.Task, path string) (*Inode, kbase.Errno) {
-	return guardRet(v, task, "resolve", func() (*Inode, kbase.Errno) { return v.doResolve(task, path) })
+	return guardRet(v, task, opResolve, func() (*Inode, kbase.Errno) { return v.doResolve(task, path) })
 }
 
 // Open opens path, honoring OCreate/OExcl/OTrunc, and returns a file
 // descriptor.
 func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) {
-	return guardRet(v, task, "open", func() (int, kbase.Errno) { return v.doOpen(task, path, flags) })
+	return guardRet(v, task, opOpen, func() (int, kbase.Errno) { return v.doOpen(task, path, flags) })
 }
 
 // Close closes a descriptor.
 func (v *VFS) Close(fd int) kbase.Errno {
-	return v.guard(nil, "close", func() kbase.Errno { return v.doClose(fd) })
+	return v.guard(nil, opClose, func() kbase.Errno { return v.doClose(fd) })
 }
 
 // CloseAs is Close with caller-supplied task context: a supervisor
 // task closing descriptors mid-migration must bypass the drained gate
 // it is itself holding shut.
 func (v *VFS) CloseAs(task *kbase.Task, fd int) kbase.Errno {
-	return v.guard(task, "close", func() kbase.Errno { return v.doClose(fd) })
+	return v.guard(task, opClose, func() kbase.Errno { return v.doClose(fd) })
 }
 
 // Read reads from the file position.
 func (v *VFS) Read(task *kbase.Task, fd int, buf []byte) (int, kbase.Errno) {
-	return guardRet(v, task, "read", func() (int, kbase.Errno) { return v.doRead(task, fd, buf) })
+	return guardRet(v, task, opRead, func() (int, kbase.Errno) { return v.doRead(task, fd, buf) })
 }
 
 // Pread reads at an explicit offset without moving the position.
 func (v *VFS) Pread(task *kbase.Task, fd int, buf []byte, off int64) (int, kbase.Errno) {
-	return guardRet(v, task, "pread", func() (int, kbase.Errno) { return v.doPread(task, fd, buf, off) })
+	return guardRet(v, task, opPread, func() (int, kbase.Errno) { return v.doPread(task, fd, buf, off) })
 }
 
 // Write writes at the file position (or end, with OAppend) using the
 // legacy write_begin / write_copy / write_end protocol.
 func (v *VFS) Write(task *kbase.Task, fd int, data []byte) (int, kbase.Errno) {
-	return guardRet(v, task, "write", func() (int, kbase.Errno) { return v.doWrite(task, fd, data) })
+	return guardRet(v, task, opWrite, func() (int, kbase.Errno) { return v.doWrite(task, fd, data) })
 }
 
 // Pwrite writes at an explicit offset.
 func (v *VFS) Pwrite(task *kbase.Task, fd int, data []byte, off int64) (int, kbase.Errno) {
-	return guardRet(v, task, "pwrite", func() (int, kbase.Errno) { return v.doPwrite(task, fd, data, off) })
+	return guardRet(v, task, opPwrite, func() (int, kbase.Errno) { return v.doPwrite(task, fd, data, off) })
 }
 
 // Lseek repositions the file offset.
 func (v *VFS) Lseek(task *kbase.Task, fd int, off int64, whence int) (int64, kbase.Errno) {
-	return guardRet(v, task, "lseek", func() (int64, kbase.Errno) { return v.doLseek(task, fd, off, whence) })
+	return guardRet(v, task, opLseek, func() (int64, kbase.Errno) { return v.doLseek(task, fd, off, whence) })
 }
 
 // Fsync flushes one file.
 func (v *VFS) Fsync(task *kbase.Task, fd int) kbase.Errno {
-	return v.guard(task, "fsync", func() kbase.Errno { return v.doFsync(task, fd) })
+	return v.guard(task, opFsync, func() kbase.Errno { return v.doFsync(task, fd) })
 }
 
 // Truncate sets a file's size by path.
 func (v *VFS) Truncate(task *kbase.Task, path string, size int64) kbase.Errno {
-	return v.guard(task, "truncate", func() kbase.Errno { return v.doTruncate(task, path, size) })
+	return v.guard(task, opTruncate, func() kbase.Errno { return v.doTruncate(task, path, size) })
 }
 
 // Stat returns metadata for path.
 func (v *VFS) Stat(task *kbase.Task, path string) (Stat, kbase.Errno) {
-	return guardRet(v, task, "stat", func() (Stat, kbase.Errno) { return v.doStat(task, path) })
+	return guardRet(v, task, opStat, func() (Stat, kbase.Errno) { return v.doStat(task, path) })
 }
 
 // Mkdir creates a directory.
 func (v *VFS) Mkdir(task *kbase.Task, path string) kbase.Errno {
-	return v.guard(task, "mkdir", func() kbase.Errno { return v.doMkdir(task, path) })
+	return v.guard(task, opMkdir, func() kbase.Errno { return v.doMkdir(task, path) })
 }
 
 // Rmdir removes an empty directory.
 func (v *VFS) Rmdir(task *kbase.Task, path string) kbase.Errno {
-	return v.guard(task, "rmdir", func() kbase.Errno { return v.doRmdir(task, path) })
+	return v.guard(task, opRmdir, func() kbase.Errno { return v.doRmdir(task, path) })
 }
 
 // Unlink removes a file.
 func (v *VFS) Unlink(task *kbase.Task, path string) kbase.Errno {
-	return v.guard(task, "unlink", func() kbase.Errno { return v.doUnlink(task, path) })
+	return v.guard(task, opUnlink, func() kbase.Errno { return v.doUnlink(task, path) })
 }
 
 // Rename moves oldPath to newPath. Cross-mount renames return EXDEV.
 func (v *VFS) Rename(task *kbase.Task, oldPath, newPath string) kbase.Errno {
-	return v.guard(task, "rename", func() kbase.Errno { return v.doRename(task, oldPath, newPath) })
+	return v.guard(task, opRename, func() kbase.Errno { return v.doRename(task, oldPath, newPath) })
 }
 
 // ReadDir lists a directory.
 func (v *VFS) ReadDir(task *kbase.Task, path string) ([]DirEntry, kbase.Errno) {
-	return guardRet(v, task, "readdir", func() ([]DirEntry, kbase.Errno) { return v.doReadDir(task, path) })
+	return guardRet(v, task, opReadDir, func() ([]DirEntry, kbase.Errno) { return v.doReadDir(task, path) })
 }
 
 // Statfs reports usage of the file system owning path.
 func (v *VFS) Statfs(task *kbase.Task, path string) (StatFS, kbase.Errno) {
-	return guardRet(v, task, "statfs", func() (StatFS, kbase.Errno) { return v.doStatfs(task, path) })
+	return guardRet(v, task, opStatfs, func() (StatFS, kbase.Errno) { return v.doStatfs(task, path) })
 }
 
 // SyncAll flushes every mounted file system.
 func (v *VFS) SyncAll(task *kbase.Task) kbase.Errno {
-	return v.guard(task, "syncall", func() kbase.Errno { return v.doSyncAll(task) })
+	return v.guard(task, opSyncAll, func() kbase.Errno { return v.doSyncAll(task) })
 }
 
 // CloseAll force-closes every open descriptor and returns how many it

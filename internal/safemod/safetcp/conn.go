@@ -184,6 +184,7 @@ type Conn struct {
 
 	// Close path.
 	timeWaitAt uint64
+	bornAt     uint64 // creation jiffy, for the lifetime histogram
 
 	// Diagnostics.
 	Retransmits   uint64
@@ -442,8 +443,11 @@ func (c *Conn) ackAdvance(ack uint32) {
 			if u.flags.FIN {
 				c.finAcked(now)
 			}
-			if u.retries == 0 && !c.fixedRTO {
-				c.rtt.sample(int64(now - u.sentAt))
+			if u.retries == 0 {
+				rttHist.Record(now - u.sentAt)
+				if !c.fixedRTO {
+					c.rtt.sample(int64(now - u.sentAt))
+				}
 			}
 			progressed = true
 			continue

@@ -97,6 +97,7 @@ func (ep *Endpoint) newConn(lport uint16, raddr net.Addr, rport uint16, st State
 	c := &Conn{
 		ep: ep, localPort: lport, remoteAddr: raddr, remotePort: rport,
 		state: st, recvWnd: DefaultRecvWnd, fixedRTO: ep.tuning.FixedRTO,
+		bornAt: ep.host.Now(),
 	}
 	if ep.tuning.RecvWindow > 0 {
 		c.recvWnd = ep.tuning.RecvWindow
@@ -163,6 +164,7 @@ func (ep *Endpoint) Tick(now uint64) {
 		c := ep.conns[k]
 		c.tick(now)
 		if c.state == Closed {
+			lifeHist.Record(now - c.bornAt)
 			delete(ep.conns, k)
 			if l, ok := ep.listeners[k.lport]; ok {
 				delete(l.pending, k)

@@ -1,0 +1,32 @@
+package safetcp
+
+import "safelinux/internal/linuxlike/ktrace"
+
+// Transport latency distributions. Values are in jiffies — the
+// simulated network clock's unit — not nanoseconds: wall time is
+// meaningless inside the deterministic simulator, and jiffies are
+// what the RTO math itself runs on. The histograms are package-level
+// so both endpoints of a simulated pair fold into one distribution,
+// mirroring how the endpoint counters sum under the shared "safetcp"
+// metrics subsystem.
+var (
+	// rttHist samples acknowledged round trips under Karn's rule
+	// (never a retransmitted segment), including fixed-RTO
+	// connections the estimator ignores.
+	rttHist = ktrace.NewHistogram()
+	// lifeHist samples connection lifetime from creation to the tick
+	// that reaps the Closed connection.
+	lifeHist = ktrace.NewHistogram()
+)
+
+// RegisterLatency registers the transport latency histograms with the
+// metrics registry as safetcp.rtt_jiffies and
+// safetcp.conn_life_jiffies. The histograms are shared by every
+// endpoint in the process, so call this once per registry; a second
+// call reports ErrDupRegistration.
+func RegisterLatency(m *ktrace.Metrics) error {
+	if err := m.RegisterHistogram("safetcp", "rtt_jiffies", rttHist); err != nil {
+		return err
+	}
+	return m.RegisterHistogram("safetcp", "conn_life_jiffies", lifeHist)
+}

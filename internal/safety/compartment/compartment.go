@@ -155,6 +155,13 @@ type Compartment struct {
 	// fault-injection hook for the panic-storm campaign.
 	inject atomic.Int64
 
+	// op is the latency-plane op for boundary crossings
+	// (compartment:<name>): every admitted Do is timed into its
+	// histogram and joins the caller's span tree as a child span. A
+	// quiet compartment skips it for the same recursion reason it
+	// skips tracepoints.
+	op *ktrace.Op
+
 	// Counters, exported via CollectMetrics.
 	entered  atomic.Uint64 // boundary entries admitted
 	rejected atomic.Uint64 // entries refused while quarantined
@@ -166,7 +173,7 @@ type Compartment struct {
 
 // New creates a healthy compartment named name.
 func New(name string) *Compartment {
-	c := &Compartment{name: name, nameHash: ktrace.Hash(name)}
+	c := &Compartment{name: name, nameHash: ktrace.Hash(name), op: ktrace.NewOp("compartment:" + name)}
 	c.cond = sync.NewCond(&c.mu)
 	return c
 }
@@ -333,6 +340,11 @@ func (c *Compartment) Do(task *kbase.Task, op string, fn func() kbase.Errno) (er
 	if e := c.enter(task); e != kbase.EOK {
 		return e
 	}
+	var t ktrace.OpTimer
+	if !c.quiet {
+		t = c.op.Begin(task)
+	}
+	defer t.End()
 	defer c.exit(task)
 	defer func() {
 		if r := recover(); r != nil {
@@ -463,7 +475,8 @@ func (c *Compartment) BeginDrain(target State) kbase.Errno {
 	c.state = target
 	// sync.Cond has no timed wait; poll the in-flight count with a
 	// deadline instead. The gate is closed, so the count only falls.
-	deadline := time.Now().Add(DrainTimeout)
+	start := time.Now()
+	deadline := start.Add(DrainTimeout)
 	for c.inflight > 0 {
 		if time.Now().After(deadline) {
 			c.state = Healthy
@@ -474,6 +487,7 @@ func (c *Compartment) BeginDrain(target State) kbase.Errno {
 		time.Sleep(50 * time.Microsecond)
 		c.mu.Lock()
 	}
+	drainHist.Record(uint64(time.Since(start)))
 	c.drains.Add(1)
 	return kbase.EOK
 }
@@ -493,6 +507,7 @@ func (c *Compartment) EndDrain(kind string, waited time.Duration) {
 	switch kind {
 	case "swap":
 		c.swaps.Add(1)
+		swapHist.Record(uint64(waited))
 		if !c.quiet {
 			tpSwap.Emit(0, c.nameHash, uint64(waited.Microseconds()))
 		}

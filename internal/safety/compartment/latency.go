@@ -1,0 +1,27 @@
+package compartment
+
+import "safelinux/internal/linuxlike/ktrace"
+
+// Drain/swap window distributions, shared across every compartment in
+// the process (the per-compartment signal is the boundary-crossing op
+// histogram; drains are rare enough that one distribution serves).
+var (
+	// drainHist samples BeginDrain's wait for in-flight calls to
+	// retire — the window during which new entries queue.
+	drainHist = ktrace.NewHistogram()
+	// swapHist samples the full hot-swap window as reported to
+	// EndDrain("swap", waited): drain wait plus module rebind.
+	swapHist = ktrace.NewHistogram()
+)
+
+// RegisterLatency registers the drain/swap window histograms with the
+// metrics registry as compartment.drain_ns and compartment.swap_ns.
+// Call once per registry; a second call reports ErrDupRegistration.
+// (Per-compartment boundary latency is exported separately by the op
+// registry as compartment.<name>_ns.)
+func RegisterLatency(m *ktrace.Metrics) error {
+	if err := m.RegisterHistogram("compartment", "drain_ns", drainHist); err != nil {
+		return err
+	}
+	return m.RegisterHistogram("compartment", "swap_ns", swapHist)
+}

@@ -428,6 +428,19 @@ func (k *Kernel) RegisterMetrics(m *ktrace.Metrics) {
 	if k.ioEngine != nil {
 		m.Register("kio", k.ioEngine.CollectMetrics)
 	}
+	// Latency plane v2: SQE submit→complete latency is read through a
+	// live source (the engine is replaced on a kio hot-swap; a direct
+	// histogram registration would pin the old epoch's distribution),
+	// while the safetcp and compartment distributions are package-level
+	// and register once — re-registration on a post-upgrade call is the
+	// expected duplicate and is ignored.
+	m.RegisterHistSource("kio", func(emit func(string, ktrace.HistView)) {
+		if eng := k.ioEngine; eng != nil {
+			emit("sqe_ns", eng.SQEHist().View())
+		}
+	})
+	_ = safetcp.RegisterLatency(m)
+	_ = compartment.RegisterLatency(m)
 	if k.Plane != nil {
 		k.Plane.RegisterMetrics(m)
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json vet-strict kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-swap bench-all panic-storm check
+.PHONY: all build vet lint lint-json vet-strict kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-net-quick bench-swap bench-all panic-storm check
 
 all: check
 
@@ -61,13 +61,21 @@ bench-trace:
 bench-kio:
 	$(GO) run ./cmd/kiobench -out BENCH_kio.json
 
-# Hardened TCP under loss: adaptive vs fixed RTO goodput/retransmits
-# plus the 200+-schedule legacy-vs-safetcp differential sweep (see
-# DESIGN.md "Networking" and BENCH_net.json). Exits non-zero if the
-# adaptive RTO loses to the fixed RTO at 5% loss or any schedule
-# diverges.
+# The network plane benchmark (BENCH_net.json, schema v2): adaptive
+# vs fixed RTO goodput/retransmits, the 200+-schedule differential
+# sweep plus the churn differential, per-tick cost at 100k idle
+# connections vs the frozen pre-rebuild baseline (>=10x gate), 40k-
+# connection churn with port recycling and typed EADDRINUSE, and the
+# 512k-connection long-haul with per-connection memory and tick
+# budget. Exits non-zero if any gate fails or any schedule diverges.
+# See DESIGN.md "Network data plane".
 bench-net:
 	$(GO) run ./cmd/netbench -out BENCH_net.json
+
+# Same gates with the long-haul shrunk to 64k connections — the quick
+# loop for development machines.
+bench-net-quick:
+	$(GO) run ./cmd/netbench -out BENCH_net.json -longhaul-conns 64000
 
 # Live hot-swap under load: extlike->safefs and tcb->safetcp on a
 # running kernel with a sustained mixed workload (see DESIGN.md

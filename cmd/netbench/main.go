@@ -50,16 +50,22 @@ type NetRun struct {
 	Retransmits uint64  `json:"retransmits"`
 }
 
-// Result is the BENCH_net.json schema.
+// Result is the BENCH_net.json schema. Version 2 adds the C1M data
+// plane sections (tick_cost, churn, long_haul) alongside the v1
+// fields, which keep their names and meanings.
 type Result struct {
-	Experiment   string                       `json:"experiment"`
-	Date         string                       `json:"date,omitempty"`
-	Command      string                       `json:"command"`
-	Host         map[string]any               `json:"host"`
-	Link         map[string]any               `json:"link"`
-	Runs         map[string]map[string]NetRun `json:"runs"`
-	Differential map[string]any               `json:"differential_sweep"`
-	Derived      map[string]string            `json:"derived"`
+	SchemaVersion int                          `json:"schema_version"`
+	Experiment    string                       `json:"experiment"`
+	Date          string                       `json:"date,omitempty"`
+	Command       string                       `json:"command"`
+	Host          map[string]any               `json:"host"`
+	Link          map[string]any               `json:"link"`
+	Runs          map[string]map[string]NetRun `json:"runs"`
+	Differential  map[string]any               `json:"differential_sweep"`
+	TickCost      map[string]TickCost          `json:"tick_cost"`
+	Churn         map[string]ChurnResult       `json:"churn"`
+	LongHaul      map[string]LongHaul          `json:"long_haul,omitempty"`
+	Derived       map[string]string            `json:"derived"`
 }
 
 func payload() []byte {
@@ -186,12 +192,13 @@ func hostInfo() map[string]any {
 	}
 }
 
-func run(date string) (*Result, bool, error) {
+func run(date string, longHaulConns int) (*Result, bool, error) {
 	res := &Result{
-		Experiment: "hardened TCP under loss: adaptive (Jacobson/Karn) vs fixed RTO, legacy vs safetcp; differential fault sweep",
-		Date:       date,
-		Command:    "make bench-net",
-		Host:       hostInfo(),
+		SchemaVersion: 2,
+		Experiment:    "hardened TCP under loss: adaptive vs fixed RTO; differential + churn sweeps; C1M data plane (tick cost, churn, long haul)",
+		Date:          date,
+		Command:       "make bench-net",
+		Host:          hostInfo(),
 		Link: map[string]any{
 			"delay_jiffies_oneway": benchDelay,
 			"rtt_jiffies_approx":   2*benchDelay + 1,
@@ -199,8 +206,11 @@ func run(date string) (*Result, bool, error) {
 			"note": "RTT above the fixed RTO makes the fixed timer spuriously retransmit " +
 				"segments whose ACKs are in flight; the adaptive estimator converges above RTT",
 		},
-		Runs:    map[string]map[string]NetRun{"legacy": {}, "safetcp": {}},
-		Derived: map[string]string{},
+		Runs:     map[string]map[string]NetRun{"legacy": {}, "safetcp": {}},
+		TickCost: map[string]TickCost{},
+		Churn:    map[string]ChurnResult{},
+		LongHaul: map[string]LongHaul{},
+		Derived:  map[string]string{},
 	}
 
 	losses := []float64{0, 0.01, 0.05, 0.20}
@@ -233,16 +243,65 @@ func run(date string) (*Result, bool, error) {
 
 	sweep := faultinject.NetSweep(0)
 	rep := faultinject.RunNetDiff(sweep)
+	churnRep := faultinject.RunNetChurnDiff(faultinject.NetChurnSweep(0))
 	res.Differential = map[string]any{
-		"schedules":      rep.Schedules,
-		"legacy_classes": rep.LegacyClass,
-		"safe_classes":   rep.SafeClass,
-		"divergences":    len(rep.Divergences),
+		"schedules":         rep.Schedules,
+		"legacy_classes":    rep.LegacyClass,
+		"safe_classes":      rep.SafeClass,
+		"divergences":       len(rep.Divergences),
+		"churn_schedules":   churnRep.Schedules,
+		"churn_conns":       churnRep.Conns,
+		"churn_divergences": len(churnRep.Divergences),
 	}
 	if len(rep.Divergences) != 0 {
 		pass = false
 		for _, ln := range rep.Render() {
 			fmt.Fprintln(os.Stderr, ln)
+		}
+	}
+	if len(churnRep.Divergences) != 0 {
+		pass = false
+		for _, ln := range churnRep.Render() {
+			fmt.Fprintln(os.Stderr, ln)
+		}
+	}
+
+	// C1M data plane: per-tick cost at 100k idle conns must beat the
+	// frozen pre-rebuild baseline by >= 10x on both stacks; churn must
+	// recycle the port space with a typed EADDRINUSE at exhaustion;
+	// the long-haul run must hold its per-conn tick budget.
+	for _, stack := range []string{"legacy", "safetcp"} {
+		tc, err := tickCostBench(stack)
+		if err != nil {
+			return nil, false, err
+		}
+		res.TickCost[stack] = tc
+		ok := tc.Speedup >= 10
+		pass = pass && ok
+		res.Derived[stack+"_tick_cost_100k"] = fmt.Sprintf(
+			"%.0f ns/tick vs %d baseline: %.1fx (>=10x required: %v; %d timers armed idle)",
+			tc.NsPerTick, tc.BaselineNs, tc.Speedup, ok, tc.ArmedTimers)
+
+		ch, err := churnBench(stack)
+		if err != nil {
+			return nil, false, err
+		}
+		res.Churn[stack] = ch
+		pass = pass && ch.PortsRecycled && ch.EaddrinuseTyped
+		res.Derived[stack+"_churn"] = fmt.Sprintf(
+			"%d conns in %.0fms (%.0f conns/s), ports recycled=%v, typed EADDRINUSE=%v",
+			ch.TotalConns, ch.WallMs, ch.ConnsPerSec, ch.PortsRecycled, ch.EaddrinuseTyped)
+
+		if longHaulConns > 0 {
+			lh, err := longHaulBench(stack, longHaulConns)
+			if err != nil {
+				return nil, false, err
+			}
+			res.LongHaul[stack] = lh
+			pass = pass && lh.WithinBudget
+			res.Derived[stack+"_long_haul"] = fmt.Sprintf(
+				"%d concurrent conns, %.0f heap B/conn, %.2f ns/conn/tick (budget %.0f: %v)",
+				lh.Conns, lh.BytesPerConn, lh.NsPerConnTick, lh.BudgetNs, lh.WithinBudget)
 		}
 	}
 	return res, pass, nil
@@ -251,9 +310,11 @@ func run(date string) (*Result, bool, error) {
 func main() {
 	out := flag.String("out", "BENCH_net.json", "output file (- for stdout)")
 	date := flag.String("date", "", "date stamp to embed (omitted if empty)")
+	longHaul := flag.Int("longhaul-conns", longHaulHosts*longHaulPerHost,
+		"concurrent connections for the long-haul mode (0 disables it)")
 	flag.Parse()
 
-	res, pass, err := run(*date)
+	res, pass, err := run(*date, *longHaul)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
 		os.Exit(1)

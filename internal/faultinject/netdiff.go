@@ -105,11 +105,11 @@ func netPayload(s NetSchedule) []byte {
 // two legs structurally identical.
 type netDriver struct {
 	sim        *net.Sim
-	accept     func() bool               // try to accept; true once the server conn exists
-	cliEstab   func() bool               // client handshake finished
-	cliClose   func()                    // close the client (FIN rides behind queued data)
+	accept     func() bool                     // try to accept; true once the server conn exists
+	cliEstab   func() bool                     // client handshake finished
+	cliClose   func()                          // close the client (FIN rides behind queued data)
 	srvRecv    func([]byte) (int, kbase.Errno) // nil-safe: EAGAIN before accept
-	cliReset   func() kbase.Errno        // client's typed reset, if any
+	cliReset   func() kbase.Errno              // client's typed reset, if any
 	retransmit func() uint64
 }
 

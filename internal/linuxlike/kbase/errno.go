@@ -49,6 +49,7 @@ const (
 	EPROTO       Errno = 71  // protocol error
 	EOVERFLOW    Errno = 75  // value too large
 	EMSGSIZE     Errno = 90  // message too long
+	EADDRINUSE   Errno = 98  // address already in use (port space exhausted)
 	ENETUNREACH  Errno = 101 // network is unreachable (partitioned link)
 	ECONNRESET   Errno = 104 // connection reset by peer
 	ENOBUFS      Errno = 105 // no buffer space available
@@ -72,7 +73,7 @@ var errnoNames = map[Errno]string{
 	ENOSPC: "ENOSPC", EROFS: "EROFS", EPIPE: "EPIPE",
 	ENAMETOOLONG: "ENAMETOOLONG", ENOSYS: "ENOSYS", ENOTEMPTY: "ENOTEMPTY",
 	ELOOP: "ELOOP", EPROTO: "EPROTO", EOVERFLOW: "EOVERFLOW",
-	EMSGSIZE: "EMSGSIZE", ENETUNREACH: "ENETUNREACH",
+	EMSGSIZE: "EMSGSIZE", EADDRINUSE: "EADDRINUSE", ENETUNREACH: "ENETUNREACH",
 	ECONNRESET: "ECONNRESET", ENOBUFS: "ENOBUFS", ESHUTDOWN: "ESHUTDOWN",
 	EISCONN: "EISCONN", ENOTCONN: "ENOTCONN", ETIMEDOUT: "ETIMEDOUT",
 	ECONNREFUSED: "ECONNREFUSED", EALREADY: "EALREADY",

@@ -41,16 +41,30 @@ func (h *Host) SetBoundary(b Boundary) {
 	h.boundary.Store(&boundaryBox{b: b})
 }
 
-// guardRx wraps one dispatch through the boundary. A contained fault
-// or a quarantined compartment surfaces as a dropped packet/tick,
-// counted in stats.Contained.
-func (h *Host) guardRx(op string, fn func()) {
+// guardReceive gates one inbound packet dispatch through the
+// boundary. A contained fault or a quarantined compartment surfaces
+// as a dropped packet, counted in stats.Contained. With no boundary
+// installed, the dispatch runs direct — no closure, no allocation.
+func (h *Host) guardReceive(pkt Packet) {
 	box := h.boundary.Load()
 	if box == nil {
-		fn()
+		h.doReceive(pkt)
 		return
 	}
-	if err := box.b.Run(op, func() kbase.Errno { fn(); return kbase.EOK }); err != kbase.EOK {
+	if err := box.b.Run("rx", func() kbase.Errno { h.doReceive(pkt); return kbase.EOK }); err != kbase.EOK {
+		h.stats.Contained++
+	}
+}
+
+// guardTick gates one timer tick through the boundary, with the same
+// no-boundary fast path as guardReceive.
+func (h *Host) guardTick(now uint64) {
+	box := h.boundary.Load()
+	if box == nil {
+		h.doTick(now)
+		return
+	}
+	if err := box.b.Run("tick", func() kbase.Errno { h.doTick(now); return kbase.EOK }); err != kbase.EOK {
 		h.stats.Contained++
 	}
 }
@@ -63,7 +77,19 @@ func (h *Host) guardRx(op string, fn func()) {
 // the registry currently binds. Existing sockets turn dead: their
 // operations fail as the crash semantics of the stack that died.
 func (h *Host) ResetStreams() {
-	h.conns = make(map[uint16]map[connKey]*Socket)
+	h.demux = NewDemuxTable[*Socket]()
+	h.wheel = kbase.NewTimerWheel[*TCB](h.sim.clock.Now())
+	h.wheel.OnCascade = func(level, moved int) {
+		tpWheelCascade.Emit(0, uint64(level), uint64(moved))
+		wheelCascadeHist.Record(uint64(moved))
+	}
+	h.dead = h.dead[:0]
 	h.listeners = make(map[uint16]*Socket)
 	h.streamProto = nil
+	// Rebuild the port space: every TCP port frees; the surviving UDP
+	// sockets re-reserve theirs.
+	h.ports = NewPortAlloc()
+	for p := range h.udpSocks {
+		h.ports.Acquire(p)
+	}
 }

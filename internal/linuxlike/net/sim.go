@@ -31,14 +31,19 @@ type inFlight struct {
 // Sim is the deterministic network simulator: hosts, links, in-flight
 // packets, partitions, and the clock.
 type Sim struct {
-	clock   *kbase.Clock
-	rng     *kbase.Rng
-	hosts   map[Addr]*Host
-	links   map[[2]Addr]LinkParams
-	cuts    map[[2]Addr]bool   // partitioned directions (src,dst)
-	busy    map[[2]Addr]uint64 // per-direction link busy-until (bandwidth shaping)
-	flight  []inFlight
-	nextSeq uint64
+	clock    *kbase.Clock
+	rng      *kbase.Rng
+	hosts    map[Addr]*Host
+	hostList []*Host // sorted by address: the deterministic tick order
+	links    map[[2]Addr]LinkParams
+	cuts     map[[2]Addr]bool   // partitioned directions (src,dst)
+	busy     map[[2]Addr]uint64 // per-direction link busy-until (bandwidth shaping)
+	flight   []inFlight
+	nextSeq  uint64
+
+	// Step's reusable scratch: the steady path allocates nothing.
+	due     []inFlight
+	scratch []inFlight
 
 	stats SimStats
 }
@@ -75,6 +80,13 @@ func (s *Sim) Stats() SimStats { return s.stats }
 func (s *Sim) AddHost(addr Addr) *Host {
 	h := newHost(s, addr)
 	s.hosts[addr] = h
+	// Keep hostList sorted by address so Step never re-sorts.
+	i := sort.Search(len(s.hostList), func(i int) bool {
+		return s.hostList[i].addr >= addr
+	})
+	s.hostList = append(s.hostList, nil)
+	copy(s.hostList[i+1:], s.hostList[i:])
+	s.hostList[i] = h
 	return h
 }
 
@@ -171,38 +183,41 @@ func (s *Sim) send(src, dst Addr, pkt Packet) kbase.Errno {
 }
 
 // Step advances the clock one jiffy, delivers due packets in
-// deterministic order, and ticks every host's timers.
+// deterministic order, and ticks every host's timers. With nothing on
+// the wire and all connections idle, a step allocates nothing.
 func (s *Sim) Step() {
 	now := s.clock.Advance(1)
-	var due, rest []inFlight
-	for _, f := range s.flight {
-		if f.at <= now {
-			due = append(due, f)
-		} else {
-			rest = append(rest, f)
+	if len(s.flight) > 0 {
+		due := s.due[:0]
+		rest := s.scratch[:0]
+		for _, f := range s.flight {
+			if f.at <= now {
+				due = append(due, f)
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		// Swap the backing arrays so next Step reuses this one.
+		s.due, s.scratch, s.flight = due, s.flight[:0], rest
+		if len(due) > 1 {
+			sort.Slice(due, func(i, j int) bool {
+				if due[i].at != due[j].at {
+					return due[i].at < due[j].at
+				}
+				return due[i].seq < due[j].seq
+			})
+		}
+		for i, f := range due {
+			if h, ok := s.hosts[f.dst]; ok {
+				s.stats.Delivered++
+				h.receive(f.pkt)
+			}
+			due[i].pkt = nil // drop the packet reference for the GC
 		}
 	}
-	s.flight = rest
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].at != due[j].at {
-			return due[i].at < due[j].at
-		}
-		return due[i].seq < due[j].seq
-	})
-	for _, f := range due {
-		if h, ok := s.hosts[f.dst]; ok {
-			s.stats.Delivered++
-			h.receive(f.pkt)
-		}
-	}
-	// Deterministic host tick order.
-	addrs := make([]Addr, 0, len(s.hosts))
-	for a := range s.hosts {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		s.hosts[a].tick(now)
+	// Deterministic host tick order (hostList is sorted by address).
+	for _, h := range s.hostList {
+		h.tick(now)
 	}
 }
 

@@ -1,7 +1,6 @@
 package net
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"safelinux/internal/linuxlike/kbase"
@@ -15,6 +14,10 @@ import (
 var (
 	opSend = ktrace.NewOp("net:send")
 	opRecv = ktrace.NewOp("net:recv")
+
+	// tpAcceptDrop fires when a listener's bounded backlog refuses a
+	// completed handshake (a0=local port, a1=backlog drops so far).
+	tpAcceptDrop = ktrace.New("net:accept_drop")
 )
 
 // The generic socket layer, in the legacy style: one Socket struct
@@ -26,6 +29,11 @@ var (
 
 // Socket is the generic socket.
 type Socket struct {
+	// PollSource connects the socket to the readiness plane: a Poller
+	// watching this socket learns of readable data, acceptable
+	// children, and hangups without polling.
+	PollSource
+
 	host       *Host
 	Proto      byte
 	LocalPort  uint16
@@ -38,8 +46,9 @@ type Socket struct {
 	// downcasts below are the only crossings.
 	private any
 
-	// Listener state.
-	acceptQ []*Socket
+	// Listener state: a sharded bounded accept backlog plus the
+	// pending (SYN received, handshake incomplete) table.
+	backlog *Backlog[*Socket]
 	pending map[connKey]*Socket
 }
 
@@ -72,15 +81,31 @@ type TCPTuning struct {
 	RecvWindow int  // receive window in bytes (0 = DefaultRecvWnd)
 }
 
-// Host is one network endpoint: address, port table, dispatch.
+// Host is one network endpoint: address, demux table, timer wheel,
+// port space, dispatch.
 type Host struct {
-	sim       *Sim
-	addr      Addr
-	conns     map[uint16]map[connKey]*Socket // local port -> peer -> socket
+	sim  *Sim
+	addr Addr
+
+	// demux is the rx fast path: 4-tuple → socket, sharded, O(1).
+	demux *DemuxTable[*Socket]
+	// wheel holds every connection deadline; Host.tick advances it and
+	// touches only expired entries.
+	wheel *kbase.TimerWheel[*TCB]
+	// ports tracks the ephemeral space: bitmap + refcounts, O(1).
+	ports *PortAlloc
+	// dead collects connections that closed since the last tick; the
+	// tick drains it, releasing tuple and port.
+	dead []*Socket
+
 	listeners map[uint16]*Socket
 	udpSocks  map[uint16]*Socket
-	nextPort  uint16
 	tcpTuning TCPTuning
+
+	// tickNow/fireFn feed the wheel's fire callback without a per-tick
+	// closure allocation.
+	tickNow uint64
+	fireFn  func(*TCB)
 
 	// streamProto, when installed, handles all TCP-protocol traffic
 	// through the modular interface (see modular.go).
@@ -108,14 +133,21 @@ type HostStats struct {
 }
 
 func newHost(s *Sim, addr Addr) *Host {
-	return &Host{
+	h := &Host{
 		sim:       s,
 		addr:      addr,
-		conns:     make(map[uint16]map[connKey]*Socket),
+		demux:     NewDemuxTable[*Socket](),
+		wheel:     kbase.NewTimerWheel[*TCB](s.clock.Now()),
+		ports:     NewPortAlloc(),
 		listeners: make(map[uint16]*Socket),
 		udpSocks:  make(map[uint16]*Socket),
-		nextPort:  49152,
 	}
+	h.wheel.OnCascade = func(level, moved int) {
+		tpWheelCascade.Emit(0, uint64(level), uint64(moved))
+		wheelCascadeHist.Record(uint64(moved))
+	}
+	h.fireFn = func(t *TCB) { t.onTimer(h.tickNow) }
+	return h
 }
 
 // Addr returns the host address.
@@ -127,20 +159,19 @@ func (h *Host) Stats() HostStats { return h.stats }
 // SetTCPTuning installs tuning applied to subsequently created TCBs.
 func (h *Host) SetTCPTuning(tn TCPTuning) { h.tcpTuning = tn }
 
-func (h *Host) ephemeralPort() uint16 {
-	for {
-		p := h.nextPort
-		h.nextPort++
-		if h.nextPort == 0 {
-			h.nextPort = 49152
-		}
-		if _, used := h.conns[p]; !used {
-			if _, used := h.listeners[p]; !used {
-				return p
-			}
-		}
-	}
-}
+// ConnCount returns the number of live TCP connections in the demux
+// table.
+func (h *Host) ConnCount() int { return h.demux.Len() }
+
+// TimerCount returns the number of armed connection timers — idle
+// connections hold none.
+func (h *Host) TimerCount() int { return h.wheel.Len() }
+
+// WheelStats exposes the timer-wheel counters (arms, cascades, fires).
+func (h *Host) WheelStats() kbase.WheelStats { return h.wheel.Stats() }
+
+// FreePorts returns how many ephemeral ports remain.
+func (h *Host) FreePorts() int { return h.ports.Free() }
 
 // ListenTCP creates a listening socket on port.
 func (h *Host) ListenTCP(port uint16) (*Socket, kbase.Errno) {
@@ -149,19 +180,26 @@ func (h *Host) ListenTCP(port uint16) (*Socket, kbase.Errno) {
 	}
 	s := &Socket{
 		host: h, Proto: ProtoTCP, LocalPort: port,
+		backlog: NewBacklog[*Socket](0),
 		pending: make(map[connKey]*Socket),
 	}
 	s.private = newTCB(s, StateListen)
 	h.listeners[port] = s
+	h.ports.Acquire(port)
 	return s, kbase.EOK
 }
 
 // ConnectTCP opens a connection to raddr:rport. The returned socket
-// completes the handshake as the simulation steps.
+// completes the handshake as the simulation steps. EADDRINUSE when
+// the host's ephemeral port space is exhausted.
 func (h *Host) ConnectTCP(raddr Addr, rport uint16) (*Socket, kbase.Errno) {
+	port, err := h.ports.AllocEphemeral()
+	if err != kbase.EOK {
+		return nil, err
+	}
 	s := &Socket{
 		host: h, Proto: ProtoTCP,
-		LocalPort: h.ephemeralPort(), RemoteAddr: raddr, RemotePort: rport,
+		LocalPort: port, RemoteAddr: raddr, RemotePort: rport,
 	}
 	tcb := newTCB(s, StateClosed)
 	s.private = tcb
@@ -173,35 +211,84 @@ func (h *Host) ConnectTCP(raddr Addr, rport uint16) (*Socket, kbase.Errno) {
 // BindUDP creates a datagram socket on port (0 = ephemeral).
 func (h *Host) BindUDP(port uint16) (*Socket, kbase.Errno) {
 	if port == 0 {
-		port = h.ephemeralPort()
-	}
-	if _, dup := h.udpSocks[port]; dup {
-		return nil, kbase.EEXIST
+		p, err := h.ports.AllocEphemeral()
+		if err != kbase.EOK {
+			return nil, err
+		}
+		port = p
+	} else {
+		if _, dup := h.udpSocks[port]; dup {
+			return nil, kbase.EEXIST
+		}
+		h.ports.Acquire(port)
 	}
 	s := &Socket{host: h, Proto: ProtoUDP, LocalPort: port, private: &udpState{}}
 	h.udpSocks[port] = s
 	return s, kbase.EOK
 }
 
+// registerConn binds the connection's 4-tuple in the demux table. The
+// caller owns the port accounting (AllocEphemeral already holds a
+// reference; accepted children Acquire their listener's port).
 func (h *Host) registerConn(s *Socket) {
-	m := h.conns[s.LocalPort]
-	if m == nil {
-		m = make(map[connKey]*Socket)
-		h.conns[s.LocalPort] = m
-	}
-	m[connKey{s.RemoteAddr, s.RemotePort}] = s
+	h.demux.Insert(FourTuple{h.addr, s.LocalPort, s.RemoteAddr, s.RemotePort}, s)
 }
 
-// promote moves a pending child connection to the accept queue.
+// reapLater queues a closed connection for the next tick's reap:
+// tuple unbound, port released, timer canceled. Listener and UDP
+// sockets never come through here.
+func (h *Host) reapLater(s *Socket) {
+	if s.backlog != nil {
+		return
+	}
+	if tcb, ok := s.private.(*TCB); ok {
+		if tcb.reaped {
+			return
+		}
+		tcb.reaped = true
+	}
+	h.dead = append(h.dead, s)
+}
+
+func (h *Host) reapDead() {
+	for i, s := range h.dead {
+		h.demux.Delete(FourTuple{h.addr, s.LocalPort, s.RemoteAddr, s.RemotePort})
+		h.ports.Release(s.LocalPort)
+		if tcb, ok := s.private.(*TCB); ok {
+			h.wheel.Cancel(&tcb.timer)
+		}
+		h.dead[i] = nil
+	}
+	h.dead = h.dead[:0]
+}
+
+// promote moves a pending child connection to the accept backlog.
 func (h *Host) promote(child *Socket) {
 	l, ok := h.listeners[child.LocalPort]
 	if !ok {
 		return
 	}
 	key := connKey{child.RemoteAddr, child.RemotePort}
-	if _, pending := l.pending[key]; pending {
-		delete(l.pending, key)
-		l.acceptQ = append(l.acceptQ, child)
+	if _, pending := l.pending[key]; !pending {
+		return
+	}
+	delete(l.pending, key)
+	tuple := FourTuple{h.addr, child.LocalPort, child.RemoteAddr, child.RemotePort}
+	if !l.backlog.Push(tuple, child) {
+		// Backlog full: refuse the connection, as an overloaded
+		// accept queue does.
+		tpAcceptDrop.Emit(0, uint64(l.LocalPort), l.backlog.Dropped())
+		if ctcb, ok := child.private.(*TCB); ok {
+			ctcb.State = StateClosed
+			ctcb.ResetErr = kbase.ECONNREFUSED
+			ctcb.ResetReason = "accept backlog full"
+			ctcb.transmit(FlagRST, ctcb.sendNext, nil, false)
+			ctcb.rearm()
+		}
+		return
+	}
+	if l.Watched() {
+		l.PollWake(PollIn)
 	}
 }
 
@@ -209,7 +296,7 @@ func (h *Host) promote(child *Socket) {
 // boundary (when installed): a panic in protocol code drops the
 // packet and quarantines the stack instead of crashing the kernel.
 func (h *Host) receive(pkt Packet) {
-	h.guardRx("rx", func() { h.doReceive(pkt) })
+	h.guardReceive(pkt)
 }
 
 func (h *Host) doReceive(pkt Packet) {
@@ -249,31 +336,28 @@ func (h *Host) doReceive(pkt Packet) {
 }
 
 func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
-	key := connKey{src, seg.SrcPort}
-	if m, ok := h.conns[seg.DstPort]; ok {
-		if s, ok := m[key]; ok {
-			// The generic layer reaches into TCP state directly —
-			// the §4.1 pathology. A stomped Private is type
-			// confusion, detected only at the assertion.
-			tcb, ok := s.private.(*TCB)
-			if !ok {
-				kbase.Oops(kbase.OopsTypeConfusion, "net",
-					"socket %d private is %T, not *TCB", s.LocalPort, s.private)
-				return
-			}
-			tcb.handle(seg)
+	if s, ok := h.demux.Lookup(FourTuple{h.addr, seg.DstPort, src, seg.SrcPort}); ok {
+		// The generic layer reaches into TCP state directly —
+		// the §4.1 pathology. A stomped Private is type
+		// confusion, detected only at the assertion.
+		tcb, ok := s.private.(*TCB)
+		if !ok {
+			kbase.Oops(kbase.OopsTypeConfusion, "net",
+				"socket %d private is %T, not *TCB", s.LocalPort, s.private)
 			return
 		}
+		tcb.handle(seg)
+		return
 	}
 	if l, ok := h.listeners[seg.DstPort]; ok && seg.Flags&FlagSYN != 0 && seg.Flags&FlagACK == 0 {
 		// New connection attempt.
-		if _, dup := l.pending[key]; dup {
+		key := connKey{src, seg.SrcPort}
+		if child, dup := l.pending[key]; dup {
 			// Retransmitted SYN: resend SYN|ACK via the pending child.
-			if child, ok := l.pending[key]; ok {
-				ctcb := child.private.(*TCB)
-				ctcb.rcvNext = seg.Seq + 1
-				ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, false)
-			}
+			ctcb := child.private.(*TCB)
+			ctcb.rcvNext = seg.Seq + 1
+			ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, false)
+			ctcb.rearm()
 			return
 		}
 		child := &Socket{
@@ -285,9 +369,11 @@ func (h *Host) dispatchTCP(src Addr, seg tcpSegment) {
 		ctcb.peerWnd = uint32(seg.Wnd)
 		child.private = ctcb
 		h.registerConn(child)
+		h.ports.Acquire(child.LocalPort)
 		l.pending[key] = child
 		ctcb.transmit(FlagSYN|FlagACK, ctcb.iss, nil, true)
 		ctcb.sendNext = ctcb.iss + 1
+		ctcb.rearm()
 		return
 	}
 	h.stats.NoSocket++
@@ -307,53 +393,66 @@ func (h *Host) dispatchUDP(src Addr, dg udpDatagram) {
 	}
 	st.queue = append(st.queue, dg)
 	st.from = append(st.from, src)
+	if s.Watched() {
+		s.PollWake(PollIn)
+	}
 }
 
-// tick advances every TCP socket's timers in deterministic (port,
-// peer) order, then reaps fully closed connections from the port
-// table so their ports can be reused and the table cannot grow
-// without bound under churn.
+// tick advances the host's timer plane: the modular protocol (when
+// installed), then the wheel — touching only connections whose
+// deadline expired — then the dead-list reap. An all-idle host does no
+// per-connection work and allocates nothing.
 func (h *Host) tick(now uint64) {
-	h.guardRx("tick", func() { h.doTick(now) })
+	h.guardTick(now)
 }
 
 func (h *Host) doTick(now uint64) {
 	if h.streamProto != nil {
 		h.streamProto.Tick(now)
 	}
-	ports := make([]uint16, 0, len(h.conns))
-	for p := range h.conns {
-		ports = append(ports, p)
-	}
-	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
-	for _, port := range ports {
-		m := h.conns[port]
-		keys := make([]connKey, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].raddr != keys[j].raddr {
-				return keys[i].raddr < keys[j].raddr
-			}
-			return keys[i].rport < keys[j].rport
-		})
-		for _, k := range keys {
-			s := m[k]
-			if tcb, ok := s.private.(*TCB); ok {
-				tcb.tick(now)
-				if tcb.State == StateClosed {
-					delete(m, k)
-				}
-			}
-		}
-		if len(m) == 0 {
-			delete(h.conns, port)
-		}
+	h.tickNow = now
+	h.wheel.Advance(now, h.fireFn)
+	if len(h.dead) > 0 {
+		h.reapDead()
 	}
 }
 
 // --- Generic socket operations (legacy layer) ---
+
+// PollReady implements Pollable: the socket's current readiness level.
+func (s *Socket) PollReady() PollEvents {
+	var ev PollEvents
+	switch s.Proto {
+	case ProtoTCP:
+		if s.backlog != nil {
+			if s.backlog.Len() > 0 {
+				ev |= PollIn
+			}
+			return ev
+		}
+		tcb, ok := s.private.(*TCB)
+		if !ok {
+			return PollErr
+		}
+		if len(tcb.recvBuf) > 0 || tcb.peerFIN {
+			ev |= PollIn
+		}
+		switch tcb.State {
+		case StateEstablished, StateCloseWait:
+			ev |= PollOut
+		case StateClosed:
+			ev |= PollHup
+		}
+		if tcb.ResetErr != kbase.EOK {
+			ev |= PollErr
+		}
+	case ProtoUDP:
+		if st, ok := s.private.(*udpState); ok && len(st.queue) > 0 {
+			ev |= PollIn
+		}
+	}
+	return ev
+}
 
 // Send queues data on a connected socket.
 func (s *Socket) Send(data []byte) kbase.Errno {
@@ -425,14 +524,13 @@ func (s *Socket) RecvFrom(buf []byte) (int, Addr, uint16, kbase.Errno) {
 
 // Accept dequeues an established connection from a listener.
 func (s *Socket) Accept() (*Socket, kbase.Errno) {
-	if s.Proto != ProtoTCP || s.pending == nil {
+	if s.Proto != ProtoTCP || s.backlog == nil {
 		return nil, kbase.EINVAL
 	}
-	if len(s.acceptQ) == 0 {
+	c, ok := s.backlog.Pop()
+	if !ok {
 		return nil, kbase.EAGAIN
 	}
-	c := s.acceptQ[0]
-	s.acceptQ = s.acceptQ[1:]
 	return c, kbase.EOK
 }
 
@@ -440,8 +538,9 @@ func (s *Socket) Accept() (*Socket, kbase.Errno) {
 func (s *Socket) Close() kbase.Errno {
 	switch s.Proto {
 	case ProtoTCP:
-		if s.pending != nil {
+		if s.backlog != nil {
 			delete(s.host.listeners, s.LocalPort)
+			s.host.ports.Release(s.LocalPort)
 			return kbase.EOK
 		}
 		tcb, ok := s.private.(*TCB)
@@ -453,6 +552,7 @@ func (s *Socket) Close() kbase.Errno {
 		return kbase.EOK
 	case ProtoUDP:
 		delete(s.host.udpSocks, s.LocalPort)
+		s.host.ports.Release(s.LocalPort)
 		return kbase.EOK
 	}
 	return kbase.EPROTO

@@ -155,6 +155,14 @@ type TCB struct {
 	// Close path.
 	timeWaitAt uint64
 
+	// Timer plane: one intrusive wheel timer per connection, armed at
+	// the earliest of the retransmission deadlines, the zero-window
+	// probe time, and TIME_WAIT expiry. An idle established connection
+	// has no deadline and sits in no wheel slot, which is what makes a
+	// million idle connections free per tick.
+	timer  kbase.WheelTimer[*TCB]
+	reaped bool // already on the host's dead list
+
 	// Diagnostics.
 	Retransmits   uint64
 	TxErrors      uint64
@@ -166,6 +174,7 @@ type TCB struct {
 // newTCB creates a TCB in the given state, honoring host tuning.
 func newTCB(s *Socket, st TCPState) *TCB {
 	t := &TCB{sock: s, State: st, recvWnd: DefaultRecvWnd}
+	t.timer.Owner = t
 	if s.host != nil {
 		t.fixedRTO = s.host.tcpTuning.FixedRTO
 		if s.host.tcpTuning.RecvWindow > 0 {
@@ -173,6 +182,65 @@ func newTCB(s *Socket, st TCPState) *TCB {
 		}
 	}
 	return t
+}
+
+// nextDeadline computes the earliest jiffy at which this connection
+// needs its timer to fire (0 = no deadline; the timer stays unarmed).
+func (t *TCB) nextDeadline() uint64 {
+	switch t.State {
+	case StateClosed, StateListen:
+		return 0
+	case StateTimeWait:
+		return t.timeWaitAt
+	}
+	var d uint64
+	for i := range t.unacked {
+		if d == 0 || t.unacked[i].deadline < d {
+			d = t.unacked[i].deadline
+		}
+	}
+	if t.canSendData() && len(t.sendBuf) > 0 && len(t.unacked) == 0 && t.peerWnd == 0 {
+		// Zero-window probe pending: probeAt may be in the past (the
+		// wheel clamps to the next jiffy, matching the old per-jiffy
+		// "now >= probeAt" check).
+		p := t.probeAt
+		if p == 0 {
+			p = 1
+		}
+		if d == 0 || p < d {
+			d = p
+		}
+	}
+	return d
+}
+
+// rearm synchronizes the wheel with the connection's current earliest
+// deadline. Called at the end of every event that can move a deadline
+// (inbound segment, send, close, timer fire); a closed connection is
+// handed to the host's dead list instead.
+func (t *TCB) rearm() {
+	h := t.sock.host
+	if h == nil {
+		return
+	}
+	if t.State == StateClosed {
+		h.wheel.Cancel(&t.timer)
+		h.reapLater(t.sock)
+		return
+	}
+	if d := t.nextDeadline(); d == 0 {
+		h.wheel.Cancel(&t.timer)
+	} else {
+		h.wheel.Arm(&t.timer, d)
+	}
+}
+
+// pollWake pushes the socket's current readiness level to its poller,
+// if watched. Cheap no-op otherwise.
+func (t *TCB) pollWake() {
+	if s := t.sock; s != nil && s.Watched() {
+		s.PollWake(s.PollReady())
+	}
 }
 
 // rto returns the current retransmission timeout.
@@ -238,6 +306,7 @@ func (t *TCB) connect() {
 	t.State = StateSynSent
 	t.transmit(FlagSYN, t.iss, nil, true)
 	t.sendNext = t.iss + 1
+	t.rearm()
 }
 
 // seqLen is the sequence space a segment consumes.
@@ -252,8 +321,15 @@ func seqLen(flags byte, payload []byte) uint32 {
 	return n
 }
 
-// handle processes one inbound segment.
+// handle processes one inbound segment, then re-syncs the wheel timer
+// and readiness plane with whatever the segment changed.
 func (t *TCB) handle(seg tcpSegment) {
+	t.handleSeg(seg)
+	t.rearm()
+	t.pollWake()
+}
+
+func (t *TCB) handleSeg(seg tcpSegment) {
 	now := t.sock.host.sim.clock.Now()
 	if seg.Flags&FlagRST != 0 {
 		t.State = StateClosed
@@ -568,17 +644,23 @@ func (t *TCB) pump() {
 	t.progressClose()
 }
 
-// tick drives timers: TIME_WAIT expiry, retransmission (too many
-// retries resets the connection with a typed ETIMEDOUT), zero-window
-// probes, and the send pump.
-func (t *TCB) tick(now uint64) {
+// onTimer fires when the wheel reaches the connection's earliest
+// deadline. It runs exactly the checks the old per-jiffy tick ran —
+// TIME_WAIT expiry, retransmission (too many retries resets the
+// connection with a typed ETIMEDOUT), zero-window probes, the send
+// pump — but only at jiffies where a deadline actually expires, then
+// re-arms for the next one.
+func (t *TCB) onTimer(now uint64) {
 	if t.State == StateTimeWait {
 		if now >= t.timeWaitAt {
 			t.State = StateClosed
 		}
+		t.rearm()
+		t.pollWake()
 		return
 	}
 	if t.State == StateClosed || t.State == StateListen {
+		t.rearm()
 		return
 	}
 	for i := range t.unacked {
@@ -591,6 +673,8 @@ func (t *TCB) tick(now uint64) {
 			t.ResetErr = kbase.ETIMEDOUT
 			t.ResetReason = "retransmission limit"
 			t.transmit(FlagRST, t.sendNext, nil, false)
+			t.rearm()
+			t.pollWake()
 			return
 		}
 		t.retransmitSeg(u, now)
@@ -609,6 +693,7 @@ func (t *TCB) tick(now uint64) {
 		t.probeAt = now + t.rto()
 	}
 	t.pump()
+	t.rearm()
 }
 
 // tcbSend queues payload for transmission.
@@ -621,6 +706,7 @@ func (t *TCB) tcbSend(data []byte) kbase.Errno {
 		t.sendBuf = append(t.sendBuf, data...)
 		tpTCPSend.Emit(0, uint64(len(data)), uint64(t.sock.LocalPort))
 		t.pump()
+		t.rearm()
 		return kbase.EOK
 	default:
 		if t.ResetErr != kbase.EOK {
@@ -670,4 +756,5 @@ func (t *TCB) tcbClose() {
 	case StateSynSent, StateSynRcvd, StateListen:
 		t.State = StateClosed
 	}
+	t.rearm()
 }

@@ -145,10 +145,19 @@ type reasmSeg struct {
 // Conn is one connection. All state is concrete and private; there
 // is no untyped escape hatch.
 type Conn struct {
+	net.PollSource // readiness plane hookup (zero value = unwatched)
+
 	ep         *Endpoint
+	key        net.FourTuple
 	localPort  uint16
 	remoteAddr net.Addr
 	remotePort uint16
+
+	// timer is the connection's single wheel timer, armed at the
+	// earliest pending deadline (retransmission, zero-window probe, or
+	// TIME_WAIT expiry). An idle established connection holds no timer.
+	timer  kbase.WheelTimer[*Conn]
+	reaped bool
 
 	state State
 
@@ -254,8 +263,85 @@ func (c *Conn) send(f Flags, seq uint32, payload []byte, track bool) {
 // sendAck emits a pure ACK carrying the current window.
 func (c *Conn) sendAck() { c.send(Flags{ACK: true}, c.sendNext, nil, false) }
 
-// handle processes one validated inbound segment.
+// nextDeadline computes the connection's earliest pending deadline: 0
+// means nothing is scheduled and the timer stays unarmed — the idle
+// case, which is what makes a million idle connections free to tick.
+func (c *Conn) nextDeadline() uint64 {
+	switch c.state {
+	case Closed:
+		return 0
+	case TimeWait:
+		return c.timeWaitAt
+	}
+	var d uint64
+	for i := range c.flight {
+		if d == 0 || c.flight[i].deadline < d {
+			d = c.flight[i].deadline
+		}
+	}
+	if c.canSendData() && len(c.sendBuf) > 0 && len(c.flight) == 0 && c.peerWnd == 0 {
+		p := c.probeAt
+		if p == 0 {
+			p = 1 // probe due immediately; the wheel clamps to the next jiffy
+		}
+		if d == 0 || p < d {
+			d = p
+		}
+	}
+	return d
+}
+
+// rearm re-syncs the wheel timer with the connection's state. Called
+// at every event boundary (segment handled, data queued, close
+// started, timer fired). A Closed connection cancels its timer and
+// queues for the end-of-tick reap.
+func (c *Conn) rearm() {
+	if c.state == Closed {
+		c.ep.wheel.Cancel(&c.timer)
+		c.ep.reapLater(c)
+		return
+	}
+	if d := c.nextDeadline(); d == 0 {
+		c.ep.wheel.Cancel(&c.timer)
+	} else {
+		c.ep.wheel.Arm(&c.timer, d)
+	}
+}
+
+// wake pushes the connection's current readiness level to its poller.
+func (c *Conn) wake() {
+	if c.Watched() {
+		c.PollWake(c.PollReady())
+	}
+}
+
+// PollReady implements net.Pollable.
+func (c *Conn) PollReady() net.PollEvents {
+	var ev net.PollEvents
+	if c.recvBytes > 0 || c.peerFIN {
+		ev |= net.PollIn
+	}
+	switch c.state {
+	case Established, CloseWait:
+		ev |= net.PollOut
+	case Closed:
+		ev |= net.PollHup
+	}
+	if c.ResetErr != kbase.EOK {
+		ev |= net.PollErr
+	}
+	return ev
+}
+
+// handle processes one validated inbound segment, then re-syncs the
+// wheel timer and the readiness plane.
 func (c *Conn) handle(seg Segment) {
+	c.handleSeg(seg)
+	c.rearm()
+	c.wake()
+}
+
+func (c *Conn) handleSeg(seg Segment) {
 	now := c.ep.host.Now()
 	if seg.Flags.RST {
 		c.state = Closed
@@ -555,17 +641,21 @@ func (c *Conn) retransmit(u *unacked, now uint64) {
 	}
 }
 
-// tick drives timers: TIME_WAIT expiry, retransmission (retry
-// exhaustion resets the connection with a typed ETIMEDOUT),
-// zero-window probes, and the send pump.
-func (c *Conn) tick(now uint64) {
+// onTimer drives the connection's deadlines when its wheel timer
+// fires: TIME_WAIT expiry, retransmission (retry exhaustion resets
+// the connection with a typed ETIMEDOUT), zero-window probes, and the
+// send pump. It ends by re-arming at the next pending deadline.
+func (c *Conn) onTimer(now uint64) {
 	if c.state == TimeWait {
 		if now >= c.timeWaitAt {
 			c.state = Closed
 		}
+		c.rearm()
+		c.wake()
 		return
 	}
 	if c.state == Closed {
+		c.rearm()
 		return
 	}
 	for i := range c.flight {
@@ -578,6 +668,8 @@ func (c *Conn) tick(now uint64) {
 			c.ResetErr = kbase.ETIMEDOUT
 			c.ResetReason = "retransmission limit"
 			c.send(Flags{RST: true}, c.sendNext, nil, false)
+			c.rearm()
+			c.wake()
 			return
 		}
 		c.retransmit(u, now)
@@ -594,6 +686,7 @@ func (c *Conn) tick(now uint64) {
 		c.probeAt = now + c.rto()
 	}
 	c.pump()
+	c.rearm()
 }
 
 // Send queues payload bytes for transmission.
@@ -606,6 +699,7 @@ func (c *Conn) Send(data []byte) kbase.Errno {
 		c.sendBuf = append(c.sendBuf, data...)
 		tpSafeSend.Emit(0, uint64(len(data)), uint64(c.localPort))
 		c.pump()
+		c.rearm()
 		return kbase.EOK
 	default:
 		if c.ResetErr != kbase.EOK {
@@ -679,6 +773,7 @@ func (c *Conn) Close() kbase.Errno {
 		c.state = Closed
 		c.drainRecvQ()
 	}
+	c.rearm()
 	return kbase.EOK
 }
 

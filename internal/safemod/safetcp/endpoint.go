@@ -1,12 +1,21 @@
 package safetcp
 
 import (
-	"sort"
-
 	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
 	"safelinux/internal/linuxlike/net"
 	"safelinux/internal/safety/module"
 	"safelinux/internal/safety/own"
+)
+
+// Data-plane tracepoints (catalog in DESIGN.md).
+var (
+	// tpSafeCascade fires per non-empty timer-wheel cascade
+	// (a0=level, a1=timers moved).
+	tpSafeCascade = ktrace.New("safetcp:wheel_cascade")
+	// tpSafeAcceptDrop fires when a full accept backlog refuses a child
+	// (a0=port, a1=total drops).
+	tpSafeAcceptDrop = ktrace.New("safetcp:accept_drop")
 )
 
 // Tuning adjusts endpoint-wide connection behavior; applied to
@@ -19,14 +28,28 @@ type Tuning struct {
 // Endpoint is one host's safetcp instance, attached through the
 // net.StreamProto modular interface. It owns every connection on the
 // host; the generic socket layer never sees protocol state.
+//
+// The data plane mirrors the legacy stack's C1M layout, built on the
+// same shared primitives: a sharded 4-tuple demux table for O(1)
+// segment dispatch, a hierarchical timer wheel so only connections
+// with a due deadline are touched on a tick (an idle connection holds
+// no armed timer at all), a bitmap port allocator with a typed
+// EADDRINUSE on exhaustion, and a sharded bounded accept backlog.
 type Endpoint struct {
 	host    *net.Host
 	checker *own.Checker
 
-	conns     map[connKey]*Conn
+	demux     *net.DemuxTable[*Conn]
+	wheel     *kbase.TimerWheel[*Conn]
+	ports     *net.PortAlloc
+	dead      []*Conn // reaped this tick, drained after the wheel advance
 	listeners map[uint16]*Listener
-	nextPort  uint16
 	tuning    Tuning
+
+	// tickNow/fireFn let the wheel advance fire without a per-tick
+	// closure allocation.
+	tickNow uint64
+	fireFn  func(*Conn)
 
 	stats EndpointStats
 }
@@ -39,18 +62,14 @@ type EndpointStats struct {
 	TxErrors   uint64 // transmits the link refused (no route, partition)
 }
 
-type connKey struct {
-	lport uint16
-	raddr net.Addr
-	rport uint16
-}
-
-// Listener accepts inbound connections on one port.
+// Listener accepts inbound connections on one port. It embeds a
+// PollSource so a readiness consumer can wait for accept-ready.
 type Listener struct {
+	net.PollSource
 	ep      *Endpoint
 	port    uint16
-	pending map[connKey]*Conn
-	ready   []*Conn
+	pending map[net.FourTuple]*Conn
+	backlog *net.Backlog[*Conn]
 }
 
 // Attach creates an endpoint for host and installs it as the host's
@@ -62,10 +81,16 @@ func Attach(host *net.Host, checker *own.Checker) *Endpoint {
 	ep := &Endpoint{
 		host:      host,
 		checker:   checker,
-		conns:     make(map[connKey]*Conn),
+		demux:     net.NewDemuxTable[*Conn](),
+		wheel:     kbase.NewTimerWheel[*Conn](host.Now()),
+		ports:     net.NewPortAlloc(),
 		listeners: make(map[uint16]*Listener),
-		nextPort:  49152,
 	}
+	ep.wheel.OnCascade = func(level, moved int) {
+		tpSafeCascade.Emit(0, uint64(level), uint64(moved))
+		cascadeHist.Record(uint64(moved))
+	}
+	ep.fireFn = func(c *Conn) { c.onTimer(ep.tickNow) }
 	host.InstallStreamProto(ep)
 	return ep
 }
@@ -74,6 +99,18 @@ func Attach(host *net.Host, checker *own.Checker) *Endpoint {
 // shim over the same counters CollectMetrics registers.
 func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
 
+// ConnCount returns the number of live connections in the demux table.
+func (ep *Endpoint) ConnCount() int { return ep.demux.Len() }
+
+// TimerCount returns the number of armed connection timers.
+func (ep *Endpoint) TimerCount() int { return ep.wheel.Len() }
+
+// WheelStats returns the timer wheel's counters.
+func (ep *Endpoint) WheelStats() kbase.WheelStats { return ep.wheel.Stats() }
+
+// FreePorts returns the number of unused ephemeral ports.
+func (ep *Endpoint) FreePorts() int { return ep.ports.Free() }
+
 // CollectMetrics enumerates the endpoint counters for the ktrace
 // metrics registry (register with m.Register("safetcp", ...)).
 func (ep *Endpoint) CollectMetrics(emit func(name string, value uint64)) {
@@ -81,8 +118,15 @@ func (ep *Endpoint) CollectMetrics(emit func(name string, value uint64)) {
 	emit("bad_segments", ep.stats.BadSegment)
 	emit("no_conn", ep.stats.NoConn)
 	emit("tx_errors", ep.stats.TxErrors)
-	emit("conns", uint64(len(ep.conns)))
+	emit("conns", uint64(ep.demux.Len()))
 	emit("listeners", uint64(len(ep.listeners)))
+	emit("armed_timers", uint64(ep.wheel.Len()))
+	emit("free_ports", uint64(ep.ports.Free()))
+	var drops uint64
+	for _, l := range ep.listeners {
+		drops += l.backlog.Dropped()
+	}
+	emit("accept_drops", drops)
 }
 
 // Checker returns the ownership checker observing this endpoint.
@@ -92,6 +136,11 @@ func (ep *Endpoint) Checker() *own.Checker { return ep.checker }
 // connections.
 func (ep *Endpoint) SetTuning(tn Tuning) { ep.tuning = tn }
 
+// key builds the demux 4-tuple for a local port / remote pair.
+func (ep *Endpoint) key(lport uint16, raddr net.Addr, rport uint16) net.FourTuple {
+	return net.FourTuple{LAddr: ep.host.Addr(), LPort: lport, RAddr: raddr, RPort: rport}
+}
+
 // newConn builds a connection honoring the endpoint tuning.
 func (ep *Endpoint) newConn(lport uint16, raddr net.Addr, rport uint16, st State) *Conn {
 	c := &Conn{
@@ -99,6 +148,8 @@ func (ep *Endpoint) newConn(lport uint16, raddr net.Addr, rport uint16, st State
 		state: st, recvWnd: DefaultRecvWnd, fixedRTO: ep.tuning.FixedRTO,
 		bornAt: ep.host.Now(),
 	}
+	c.key = ep.key(lport, raddr, rport)
+	c.timer.Owner = c
 	if ep.tuning.RecvWindow > 0 {
 		c.recvWnd = ep.tuning.RecvWindow
 	}
@@ -109,7 +160,8 @@ func (ep *Endpoint) newConn(lport uint16, raddr net.Addr, rport uint16, st State
 func (ep *Endpoint) ProtoName() string { return "safetcp" }
 
 // HandleSegment implements net.StreamProto: parse (validated, typed),
-// then dispatch.
+// then dispatch through the sharded demux table — one hashed lookup,
+// never a walk.
 func (ep *Endpoint) HandleSegment(src net.Addr, payload []byte) {
 	ep.stats.Segments++
 	res := ParseSegment(payload)
@@ -118,8 +170,8 @@ func (ep *Endpoint) HandleSegment(src net.Addr, payload []byte) {
 		ep.stats.BadSegment++
 		return
 	}
-	key := connKey{lport: seg.DstPort, raddr: src, rport: seg.SrcPort}
-	if c, ok := ep.conns[key]; ok {
+	key := ep.key(seg.DstPort, src, seg.SrcPort)
+	if c, ok := ep.demux.Lookup(key); ok {
 		c.handle(seg)
 		return
 	}
@@ -128,84 +180,83 @@ func (ep *Endpoint) HandleSegment(src net.Addr, payload []byte) {
 			// Retransmitted SYN: repeat the SYN|ACK.
 			child.rcvNext = seg.Seq + 1
 			child.send(Flags{SYN: true, ACK: true}, child.sendNext-1, nil, false)
+			child.rearm()
 			return
 		}
 		child := ep.newConn(seg.DstPort, src, seg.SrcPort, SynRcvd)
 		child.rcvNext = seg.Seq + 1
 		child.peerWnd = uint32(seg.Wnd)
-		ep.conns[key] = child
+		ep.demux.Insert(key, child)
+		ep.ports.Acquire(seg.DstPort) // children share the listener's port
 		l.pending[key] = child
 		child.send(Flags{SYN: true, ACK: true}, 0, nil, true)
 		child.sendNext = 1
+		child.rearm()
 		return
 	}
 	ep.stats.NoConn++
 }
 
-// Tick implements net.StreamProto. Connections tick in deterministic
-// key order; fully closed ones are reaped from the table (and any
-// listener pending map) so ports recycle and the table stays bounded.
+// Tick implements net.StreamProto. The wheel advances one jiffy and
+// fires only connections whose deadline is due; everything idle is
+// untouched. Connections that died since the last tick are then
+// reaped — removed from the demux table and their listener's pending
+// map — so ports recycle and the table stays bounded.
 func (ep *Endpoint) Tick(now uint64) {
-	keys := make([]connKey, 0, len(ep.conns))
-	for k := range ep.conns {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.lport != b.lport {
-			return a.lport < b.lport
-		}
-		if a.raddr != b.raddr {
-			return a.raddr < b.raddr
-		}
-		return a.rport < b.rport
-	})
-	for _, k := range keys {
-		c := ep.conns[k]
-		c.tick(now)
-		if c.state == Closed {
-			lifeHist.Record(now - c.bornAt)
-			delete(ep.conns, k)
-			if l, ok := ep.listeners[k.lport]; ok {
-				delete(l.pending, k)
-			}
-		}
+	ep.tickNow = now
+	ep.wheel.Advance(now, ep.fireFn)
+	if len(ep.dead) > 0 {
+		ep.reapDead(now)
 	}
 }
 
-// promote moves an established child to its listener's ready queue.
+// reapLater queues a dead connection for reaping at the end of the
+// current tick.
+func (ep *Endpoint) reapLater(c *Conn) {
+	if c.reaped {
+		return
+	}
+	c.reaped = true
+	ep.dead = append(ep.dead, c)
+}
+
+func (ep *Endpoint) reapDead(now uint64) {
+	for i, c := range ep.dead {
+		lifeHist.Record(now - c.bornAt)
+		ep.demux.Delete(c.key)
+		ep.ports.Release(c.key.LPort)
+		ep.wheel.Cancel(&c.timer)
+		if l, ok := ep.listeners[c.key.LPort]; ok {
+			delete(l.pending, c.key)
+		}
+		ep.dead[i] = nil
+	}
+	ep.dead = ep.dead[:0]
+}
+
+// promote moves an established child from its listener's pending map
+// to the accept backlog, waking any readiness waiter. A full backlog
+// resets the child — the bound is the SYN-flood drop point.
 func (ep *Endpoint) promote(c *Conn) {
 	l, ok := ep.listeners[c.localPort]
 	if !ok {
 		return
 	}
-	key := connKey{lport: c.localPort, raddr: c.remoteAddr, rport: c.remotePort}
-	if _, pending := l.pending[key]; pending {
-		delete(l.pending, key)
-		l.ready = append(l.ready, c)
+	if _, pending := l.pending[c.key]; !pending {
+		return
 	}
-}
-
-func (ep *Endpoint) ephemeralPort() uint16 {
-	for {
-		p := ep.nextPort
-		ep.nextPort++
-		if ep.nextPort == 0 {
-			ep.nextPort = 49152
-		}
-		if _, used := ep.listeners[p]; used {
-			continue
-		}
-		inUse := false
-		for k := range ep.conns {
-			if k.lport == p {
-				inUse = true
-				break
-			}
-		}
-		if !inUse {
-			return p
-		}
+	delete(l.pending, c.key)
+	if !l.backlog.Push(c.key, c) {
+		tpSafeAcceptDrop.Emit(0, uint64(l.port), l.backlog.Dropped())
+		c.state = Closed
+		c.ResetErr = kbase.ECONNREFUSED
+		c.ResetReason = "accept backlog full"
+		c.send(Flags{RST: true}, c.sendNext, nil, false)
+		c.rearm()
+		return
+	}
+	if l.Watched() {
+		l.PollWake(net.PollIn)
 	}
 }
 
@@ -214,34 +265,58 @@ func (ep *Endpoint) Listen(port uint16) (*Listener, kbase.Errno) {
 	if _, dup := ep.listeners[port]; dup {
 		return nil, kbase.EEXIST
 	}
-	l := &Listener{ep: ep, port: port, pending: make(map[connKey]*Conn)}
+	l := &Listener{
+		ep: ep, port: port,
+		pending: make(map[net.FourTuple]*Conn),
+		backlog: net.NewBacklog[*Conn](0),
+	}
 	ep.listeners[port] = l
+	ep.ports.Acquire(port)
 	return l, kbase.EOK
 }
 
 // Connect opens a connection to raddr:rport; the handshake completes
-// as the simulation steps.
+// as the simulation steps. When the ephemeral port space is exhausted
+// the typed EADDRINUSE surfaces immediately instead of the old
+// unbounded scan.
 func (ep *Endpoint) Connect(raddr net.Addr, rport uint16) (*Conn, kbase.Errno) {
-	c := ep.newConn(ep.ephemeralPort(), raddr, rport, SynSent)
-	ep.conns[connKey{lport: c.localPort, raddr: raddr, rport: rport}] = c
+	port, err := ep.ports.AllocEphemeral()
+	if err != kbase.EOK {
+		return nil, err
+	}
+	c := ep.newConn(port, raddr, rport, SynSent)
+	ep.demux.Insert(c.key, c)
 	c.send(Flags{SYN: true}, 0, nil, true)
 	c.sendNext = 1
+	c.rearm()
 	return c, kbase.EOK
 }
 
 // Accept dequeues one established connection, or EAGAIN.
 func (l *Listener) Accept() (*Conn, kbase.Errno) {
-	if len(l.ready) == 0 {
+	c, ok := l.backlog.Pop()
+	if !ok {
 		return nil, kbase.EAGAIN
 	}
-	c := l.ready[0]
-	l.ready = l.ready[1:]
 	return c, kbase.EOK
 }
+
+// PollReady implements net.Pollable: a listener is readable when the
+// accept backlog is non-empty.
+func (l *Listener) PollReady() net.PollEvents {
+	if l.backlog.Len() > 0 {
+		return net.PollIn
+	}
+	return 0
+}
+
+// Backlogged returns the number of accepted-but-not-dequeued children.
+func (l *Listener) Backlogged() int { return l.backlog.Len() }
 
 // Close removes the listener.
 func (l *Listener) Close() kbase.Errno {
 	delete(l.ep.listeners, l.port)
+	l.ep.ports.Release(l.port)
 	return kbase.EOK
 }
 

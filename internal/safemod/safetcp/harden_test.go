@@ -242,10 +242,10 @@ func TestSafeReapClosedConns(t *testing.T) {
 	c.Close()
 	srv.Close()
 	ok := sim.RunUntil(func() bool {
-		return len(a.conns) == 0 && len(b.conns) == 0
+		return a.ConnCount() == 0 && b.ConnCount() == 0
 	}, 10000)
 	if !ok {
-		t.Fatalf("closed connections not reaped: a=%d b=%d", len(a.conns), len(b.conns))
+		t.Fatalf("closed connections not reaped: a=%d b=%d", a.ConnCount(), b.ConnCount())
 	}
 	if !c.Closed() || !srv.Closed() {
 		t.Fatalf("reaped conns should read Closed: c=%s srv=%s", c.State(), srv.State())

@@ -17,6 +17,10 @@ var (
 	// lifeHist samples connection lifetime from creation to the tick
 	// that reaps the Closed connection.
 	lifeHist = ktrace.NewHistogram()
+	// cascadeHist samples timers moved per non-empty timer-wheel
+	// cascade — a count distribution, like the legacy stack's
+	// net.wheel_cascade_moved.
+	cascadeHist = ktrace.NewHistogram()
 )
 
 // RegisterLatency registers the transport latency histograms with the
@@ -28,5 +32,8 @@ func RegisterLatency(m *ktrace.Metrics) error {
 	if err := m.RegisterHistogram("safetcp", "rtt_jiffies", rttHist); err != nil {
 		return err
 	}
-	return m.RegisterHistogram("safetcp", "conn_life_jiffies", lifeHist)
+	if err := m.RegisterHistogram("safetcp", "conn_life_jiffies", lifeHist); err != nil {
+		return err
+	}
+	return m.RegisterHistogram("safetcp", "wheel_cascade_moved", cascadeHist)
 }

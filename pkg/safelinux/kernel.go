@@ -441,6 +441,7 @@ func (k *Kernel) RegisterMetrics(m *ktrace.Metrics) {
 	})
 	_ = safetcp.RegisterLatency(m)
 	_ = compartment.RegisterLatency(m)
+	_ = net.RegisterNetMetrics(m)
 	if k.Plane != nil {
 		k.Plane.RegisterMetrics(m)
 	}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-json vet-strict kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-net-quick bench-swap bench-all panic-storm check
+.PHONY: all build vet lint lint-json vet-strict kerncheck test race bench-smoke bench-parallel bench-trace bench-kio bench-net bench-net-quick bench-swap bench-all bench-fuzz fuzz-smoke panic-storm check
 
 all: check
 
@@ -89,6 +89,20 @@ bench-swap:
 # performance surface, keyed by benchmark name.
 bench-all: bench-trace bench-kio bench-net bench-swap
 	$(GO) run ./cmd/benchall -out BENCH_all.json
+
+# Bounded deterministic differential-fuzzing gate (~seconds): replays
+# the committed regression corpus plus a fixed-seed generative budget
+# on both module stacks, failing on any divergence/oops/ownership
+# violation or if coverage drops below the frozen floor. The library-
+# level equivalents (campaign determinism, corpus replay) also run
+# under -race in `make test`. See DESIGN.md "Fuzzing".
+fuzz-smoke:
+	$(GO) run ./cmd/kfuzz -smoke
+
+# The full 10k-program campaign with the BENCH_fuzz.json artifact
+# (coverage ratio gate: cumulative must be >=2x seed-corpus-only).
+bench-fuzz:
+	$(GO) run ./cmd/kfuzz -n 10000 -bench BENCH_fuzz.json
 
 # The faultinject campaign: a seeded storm of injected panics kills
 # every compartment at least once under load; bystander workloads must

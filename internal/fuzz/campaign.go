@@ -1,0 +1,180 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// The campaign loop: replay the seed corpus, then run the generative
+// novelty loop — mutate/splice corpus programs (or generate fresh
+// ones), keep whatever lights new coverage bits, triage whatever
+// crashes. Everything is a pure function of (seed, seed corpus,
+// extra corpus): scheduling never iterates a map, never reads a
+// clock, and executes strictly serially, so the trace written to
+// cfg.Trace is byte-identical across runs — the property the
+// determinism test pins.
+
+// CampaignConfig parameterizes one campaign.
+type CampaignConfig struct {
+	Seed     uint64
+	Programs int // generative executions after seed replay
+	MaxLen   int // generation length bound (0: MaxOps)
+	// Extra programs replayed (and admitted) after the seed corpus —
+	// the committed regression corpus in the smoke gate.
+	Extra []NamedProg
+	// MinimizeBudget caps how many crashes get the (expensive)
+	// minimization + triage treatment; later duplicates are recorded
+	// raw. 0 means minimize everything.
+	MinimizeBudget int
+	// Trace, when set, receives the deterministic one-line-per-program
+	// campaign trace.
+	Trace io.Writer
+}
+
+// Campaign accumulates one campaign's state and results.
+type Campaign struct {
+	cfg   CampaignConfig
+	rng   *kbase.Rng
+	queue Queue
+
+	// Cum is the cumulative coverage over every executed leg.
+	Cum ktrace.CoverBitmap
+	// SeedCover is Cum.Count() right after seed-corpus replay — the
+	// baseline the 2× novelty gate compares against.
+	SeedCover int
+	// Crashes are the triaged findings, first-seen order, deduplicated
+	// by signature.
+	Crashes []*Crash
+	// Minimized[i] is the minimized form of Crashes[i] (nil when the
+	// minimize budget was exhausted).
+	Minimized []*Prog
+
+	Executed  int
+	Generated int
+	Mutated   int
+	Spliced   int
+	dedup     map[string]bool
+}
+
+// signature collapses a crash to a dedup key: kind, faulting op kind
+// and detail shape — not the whole program, or every mutation of the
+// same bug would re-triage.
+func signature(c *Crash) string {
+	opKind := "end"
+	if c.Op >= 0 && c.Op < len(c.Prog.Ops) {
+		opKind = c.Prog.Ops[c.Op].Kind.Name()
+	}
+	return c.Kind + "/" + opKind
+}
+
+// NewCampaign sets up a campaign.
+func NewCampaign(cfg CampaignConfig) *Campaign {
+	if cfg.MaxLen == 0 {
+		cfg.MaxLen = MaxOps
+	}
+	return &Campaign{
+		cfg:   cfg,
+		rng:   kbase.NewRng(cfg.Seed),
+		dedup: make(map[string]bool),
+	}
+}
+
+// trace emits one deterministic campaign-trace line.
+func (c *Campaign) trace(format string, args ...any) {
+	if c.cfg.Trace != nil {
+		fmt.Fprintf(c.cfg.Trace, format+"\n", args...)
+	}
+}
+
+// runOne executes a program differentially, merges coverage, admits
+// novel programs, and triages crashes. src tags the trace line.
+func (c *Campaign) runOne(p *Prog, src string) {
+	crash, cover := Diff(p, c.cfg.Seed)
+	newBits := c.Cum.NewBits(&cover)
+	c.Cum.Merge(&cover)
+	c.Executed++
+	status := "-"
+	if crash != nil {
+		status = crash.Kind
+		c.admitCrash(crash)
+	}
+	if newBits > 0 {
+		c.queue.Add(p, newBits)
+	}
+	c.trace("exec %d src=%s ops=%d new=%d cum=%d corpus=%d crash=%s",
+		c.Executed, src, len(p.Ops), newBits, c.Cum.Count(), c.queue.Len(), status)
+}
+
+// admitCrash dedups, minimizes (within budget) and records a crash.
+func (c *Campaign) admitCrash(crash *Crash) {
+	sig := signature(crash)
+	if c.dedup[sig] {
+		return
+	}
+	c.dedup[sig] = true
+	var minimized *Prog
+	if c.cfg.MinimizeBudget == 0 || len(c.Crashes) < c.cfg.MinimizeBudget {
+		minimized = Minimize(crash.Prog, func(q *Prog) bool {
+			return Failing(q, c.cfg.Seed, crash)
+		})
+		// Re-diff the minimized program so the recorded crash carries
+		// the outcomes of the repro that will be committed.
+		if mc, _ := Diff(minimized, c.cfg.Seed); mc != nil {
+			mc.Prog = minimized
+			crash = mc
+		}
+	}
+	c.Crashes = append(c.Crashes, crash)
+	c.Minimized = append(c.Minimized, minimized)
+}
+
+// Run replays the corpora and then runs the generative loop.
+func (c *Campaign) Run() {
+	for _, p := range SeedCorpus() {
+		c.runOne(p, "seed")
+	}
+	c.SeedCover = c.Cum.Count()
+	c.trace("seedcover %d", c.SeedCover)
+	for _, np := range c.cfg.Extra {
+		c.runOne(np.Prog, "corpus:"+np.Name)
+	}
+	for c.Executed-len(c.cfg.Extra) < len(SeedCorpus())+c.cfg.Programs {
+		var p *Prog
+		var src string
+		switch d := c.rng.Intn(10); {
+		case d < 2 || c.queue.Len() == 0:
+			p, src = Generate(c.rng, c.cfg.MaxLen), "gen"
+			c.Generated++
+		case d < 8:
+			p, src = Mutate(c.rng, c.queue.Pick(c.rng)), "mut"
+			c.Mutated++
+		default:
+			p, src = Splice(c.rng, c.queue.Pick(c.rng), c.queue.Pick(c.rng)), "splice"
+			c.Spliced++
+		}
+		c.runOne(p, src)
+	}
+	c.trace("done executed=%d cum=%d seedcover=%d corpus=%d crashes=%d",
+		c.Executed, c.Cum.Count(), c.SeedCover, c.queue.Len(), len(c.Crashes))
+}
+
+// CorpusLen returns the novelty-corpus size.
+func (c *Campaign) CorpusLen() int { return c.queue.Len() }
+
+// RegisterMetrics exposes campaign counters and cumulative coverage
+// on a ktrace metrics plane under the kfuzz subsystem.
+func (c *Campaign) RegisterMetrics(m *ktrace.Metrics) {
+	m.Register("kfuzz", func(emit func(name string, value uint64)) {
+		emit("executed", uint64(c.Executed))
+		emit("generated", uint64(c.Generated))
+		emit("mutated", uint64(c.Mutated))
+		emit("spliced", uint64(c.Spliced))
+		emit("corpus", uint64(c.queue.Len()))
+		emit("crashes", uint64(len(c.Crashes)))
+		emit("cover_bits", uint64(c.Cum.Count()))
+		emit("seed_cover_bits", uint64(c.SeedCover))
+	})
+}

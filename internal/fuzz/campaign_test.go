@@ -1,0 +1,91 @@
+package fuzz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"safelinux/internal/linuxlike/ktrace"
+)
+
+// runTraced runs one bounded campaign and returns its trace.
+func runTraced(t *testing.T, seed uint64, programs int) (*Campaign, string) {
+	t.Helper()
+	extra, err := LoadCorpusDir("corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	var buf bytes.Buffer
+	c := NewCampaign(CampaignConfig{
+		Seed:     seed,
+		Programs: programs,
+		Extra:    extra,
+		Trace:    &buf,
+	})
+	c.Run()
+	return c, buf.String()
+}
+
+// TestCampaignDeterminism pins the reproducibility contract: the same
+// seed and corpus produce a byte-identical campaign trace — every
+// program, every coverage delta, every corpus admission, in the same
+// order. Without this, "re-run the campaign" is not a debugging tool.
+func TestCampaignDeterminism(t *testing.T) {
+	c1, t1 := runTraced(t, 42, 60)
+	c2, t2 := runTraced(t, 42, 60)
+	if t1 != t2 {
+		l1, l2 := strings.Split(t1, "\n"), strings.Split(t2, "\n")
+		for i := range l1 {
+			if i >= len(l2) || l1[i] != l2[i] {
+				t.Fatalf("trace diverges at line %d:\n  run1: %s\n  run2: %s", i+1, l1[i], l2[i])
+			}
+		}
+		t.Fatal("traces differ in length")
+	}
+	if c1.Cum.Count() != c2.Cum.Count() || c1.Executed != c2.Executed {
+		t.Fatalf("summary diverges: cover %d vs %d, executed %d vs %d",
+			c1.Cum.Count(), c2.Cum.Count(), c1.Executed, c2.Executed)
+	}
+	// A different seed must actually change the schedule (guards
+	// against the seed being ignored).
+	_, t3 := runTraced(t, 43, 60)
+	if t1 == t3 {
+		t.Fatal("seed 42 and 43 produced identical traces; seed is ignored")
+	}
+}
+
+// TestCampaignCoverageAndCleanliness is the in-process smoke gate:
+// seeded programs plus the committed corpus must find no divergence,
+// and generative fuzzing must beat seed-only coverage.
+func TestCampaignCoverageAndCleanliness(t *testing.T) {
+	c, _ := runTraced(t, 1, 120)
+	if len(c.Crashes) != 0 {
+		for i, cr := range c.Crashes {
+			t.Errorf("crash %d: kind=%s op=%d detail=%s\nprog:\n%s",
+				i, cr.Kind, cr.Op, cr.Detail, cr.Prog.String())
+		}
+		t.Fatal("campaign found crashes")
+	}
+	if c.Cum.Count() <= c.SeedCover {
+		t.Fatalf("generative phase added no coverage: cum=%d seed=%d",
+			c.Cum.Count(), c.SeedCover)
+	}
+}
+
+// TestCampaignMetrics pins the kfuzz metrics-plane registration.
+func TestCampaignMetrics(t *testing.T) {
+	c, _ := runTraced(t, 5, 20)
+	m := ktrace.NewMetrics()
+	c.RegisterMetrics(m)
+	text := m.RenderText()
+	for _, want := range []string{
+		"kfuzz.executed", "kfuzz.cover_bits", "kfuzz.corpus", "kfuzz.crashes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s:\n%s", want, text)
+		}
+	}
+	if v, ok := m.Lookup("kfuzz", "executed"); !ok || v != uint64(c.Executed) {
+		t.Errorf("kfuzz.executed=%d ok=%v, want %d", v, ok, c.Executed)
+	}
+}

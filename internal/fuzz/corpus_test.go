@@ -1,0 +1,95 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCorpusRepros replays every committed minimized repro against
+// both module stacks. Each file is a bug the first campaigns found
+// (see the '#' header in each .prog); a crash here means one of those
+// fixes regressed.
+func TestCorpusRepros(t *testing.T) {
+	progs, err := LoadCorpusDir("corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	if len(progs) == 0 {
+		t.Fatal("committed corpus is empty; the repro files are gone")
+	}
+	for _, np := range progs {
+		np := np
+		t.Run(np.Name, func(t *testing.T) {
+			crash, _ := Diff(np.Prog, 1)
+			if crash != nil {
+				t.Fatalf("repro regressed: kind=%s op=%d detail=%s\n%s",
+					crash.Kind, crash.Op, crash.Detail, np.Prog.String())
+			}
+		})
+	}
+}
+
+// TestCorpusFilesAreValid pins that every committed repro parses into
+// a statically valid program (each slot use dominated by a def) and
+// round-trips through the wire form unchanged.
+func TestCorpusFilesAreValid(t *testing.T) {
+	progs, err := LoadCorpusDir("corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	for _, np := range progs {
+		if err := np.Prog.Validate(); err != nil {
+			t.Errorf("%s: invalid: %v", np.Name, err)
+		}
+		rt, err := ParseProg(np.Prog.String())
+		if err != nil {
+			t.Errorf("%s: reparse: %v", np.Name, err)
+			continue
+		}
+		if rt.String() != np.Prog.String() {
+			t.Errorf("%s: wire form does not round-trip", np.Name)
+		}
+	}
+}
+
+// TestCorpusOrphanContract drives the orphan repros' semantics
+// directly: after unlink of an open file, reads and writes through
+// the descriptor keep working on BOTH legs and agree byte-for-byte.
+func TestCorpusOrphanContract(t *testing.T) {
+	prog, err := ParseProg(strings.Join([]string{
+		"open slot=1 path=/f0 flags=66",
+		"write slot=1 len=5",
+		"unlink path=/f0",
+		"pread slot=1 len=5",
+		"pwrite slot=1 len=3 off=2",
+		"pread slot=1 len=5",
+	}, "\n"))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, safe := range []bool{false, true} {
+		out := RunProg(prog, safe, 7)
+		leg := "legacy"
+		if safe {
+			leg = "safe"
+		}
+		if out.Panic != "" {
+			t.Fatalf("%s: panic: %s", leg, out.Panic)
+		}
+		for i, r := range out.Results {
+			if r.Errno != 0 {
+				t.Fatalf("%s: op %d (%s) errno=%v, want EOK",
+					leg, i, prog.Ops[i].Kind.Name(), r.Errno)
+			}
+		}
+		// Orphan reads must return the written bytes, not zeros.
+		if got := out.Results[3]; got.N != 5 {
+			t.Errorf("%s: orphan read n=%d, want 5", leg, got.N)
+		}
+	}
+	// And the two legs must agree on every outcome.
+	if crash, _ := Diff(prog, 7); crash != nil {
+		t.Fatalf("orphan program diverged: kind=%s op=%d detail=%s",
+			crash.Kind, crash.Op, crash.Detail)
+	}
+}

@@ -1,0 +1,330 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"safelinux/internal/linuxlike/kbase"
+	"safelinux/internal/linuxlike/ktrace"
+	"safelinux/pkg/safelinux"
+)
+
+// Differential execution: every program runs twice — on a
+// legacy-module kernel and a safe-module kernel — and the two legs
+// are compared on timing-normalized outcomes only (the netdiff
+// lesson: the two TCP stacks segment and pace differently, so
+// per-packet fates are noise; terminal states and file contents are
+// the contract).
+
+// RunOutcome is one leg's complete normalized result.
+type RunOutcome struct {
+	Results    []safelinux.FuzzResult // one per executed op
+	Digest     uint64                 // end-state file-tree digest
+	Oopses     []string               // "kind module" per recorded oops
+	Violations int                    // ownership-checker violation count
+	Panic      string                 // escaped panic, "" if none
+	PanicOp    int                    // op index of the escaped panic
+	Cover      ktrace.CoverBitmap     // tracepoint coverage + outcome bits
+}
+
+// Crash classification kinds.
+const (
+	CrashDivergence = "divergence" // legs disagree on a normalized outcome
+	CrashOops       = "oops"       // a kernel oops was recorded
+	CrashOwnership  = "ownership"  // ownership-checker violation
+	CrashPanic      = "panic"      // a panic escaped containment
+)
+
+// Crash is one triaged finding: the program, what went wrong, where,
+// and both legs' outcomes for the report.
+type Crash struct {
+	Prog   *Prog
+	Kind   string
+	Op     int // first divergent/faulting op index, -1 for end-state
+	Detail string
+	Legacy *RunOutcome
+	Safe   *RunOutcome
+}
+
+// execOp dispatches one op to the harness executor.
+func execOp(x *safelinux.FuzzExec, op Op) safelinux.FuzzResult {
+	switch op.Kind {
+	case OpOpen:
+		return x.Open(op.Slot, op.Path, op.Flags)
+	case OpClose:
+		return x.CloseFD(op.Slot)
+	case OpRead:
+		return x.Read(op.Slot, op.Len)
+	case OpWrite:
+		return x.Write(op.Slot, op.Len, op.Seed)
+	case OpPread:
+		return x.Pread(op.Slot, op.Len, op.Off)
+	case OpPwrite:
+		return x.Pwrite(op.Slot, op.Len, op.Off, op.Seed)
+	case OpLseek:
+		return x.Lseek(op.Slot, op.Off, op.Arg)
+	case OpFsync:
+		return x.Fsync(op.Slot)
+	case OpMkdir:
+		return x.Mkdir(op.Path)
+	case OpRmdir:
+		return x.Rmdir(op.Path)
+	case OpUnlink:
+		return x.Unlink(op.Path)
+	case OpRename:
+		return x.Rename(op.Path, op.Path2)
+	case OpTruncate:
+		return x.Truncate(op.Path, int64(op.Len))
+	case OpReadDir:
+		return x.ReadDir(op.Path)
+	case OpStat:
+		return x.Stat(op.Path)
+	case OpSyncAll:
+		return x.SyncAll()
+	case OpListen:
+		return x.Listen(op.Slot)
+	case OpCloseLst:
+		return x.CloseLst(op.Slot)
+	case OpConnect:
+		return x.Connect(op.Slot, op.Arg)
+	case OpAccept:
+		return x.Accept(op.Slot, op.Arg)
+	case OpSend:
+		return x.Send(op.Slot, op.Len, op.Seed)
+	case OpRecv:
+		return x.Recv(op.Slot, op.Len)
+	case OpCloseConn:
+		return x.CloseConn(op.Slot)
+	case OpStepNet:
+		return x.StepNet(op.Len)
+	case OpPartition:
+		return x.Partition(op.Arg == 1)
+	case OpHeal:
+		return x.Heal()
+	case OpKioBatch:
+		return x.KioBatch(op.Len, op.Seed)
+	case OpHotSwapFS:
+		return x.HotSwapFS()
+	case OpHotSwapNet:
+		return x.HotSwapNet()
+	}
+	return safelinux.FuzzResult{Errno: kbase.EINVAL}
+}
+
+// runOp executes one op, converting an escaped panic (one that made
+// it past every compartment boundary) into a recorded crash signal
+// instead of taking the campaign down.
+func runOp(x *safelinux.FuzzExec, op Op) (r safelinux.FuzzResult, panicked string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			panicked = fmt.Sprint(rec)
+		}
+	}()
+	return execOp(x, op), ""
+}
+
+// RunProg executes p on one leg and collects the normalized outcome.
+// Coverage is read from the global ktrace collector, so callers must
+// not run programs concurrently (the campaign is serial by design —
+// determinism requires it).
+func RunProg(p *Prog, safe bool, seed uint64) *RunOutcome {
+	out := &RunOutcome{PanicOp: -1}
+	// Coverage marks from Tracepoint.emit, so the whole tracepoint set
+	// must be live for the duration of the run.
+	ktrace.EnableAll()
+	defer ktrace.DisableAll()
+	ktrace.EnableCoverage()
+	ktrace.ResetCoverage()
+	x, err := safelinux.NewFuzzExec(safelinux.FuzzExecConfig{Seed: seed, Safe: safe})
+	if err != kbase.EOK {
+		out.Panic = "boot: " + err.Error()
+		return out
+	}
+	defer x.Close()
+	for i, op := range p.Ops {
+		r, panicked := runOp(x, op)
+		if panicked != "" {
+			out.Panic = panicked
+			out.PanicOp = i
+			break
+		}
+		out.Results = append(out.Results, r)
+	}
+	x.Settle()
+	if out.Panic == "" {
+		out.Digest = x.FSDigest()
+	}
+	out.Oopses = x.Oopses()
+	out.Violations = x.Violations()
+	out.Cover = ktrace.CoverageSnapshot()
+	// Fold normalized outcomes into the coverage signal: an op that
+	// returns a new errno is a new behaviour even if it lights no new
+	// tracepoint.
+	for i, r := range out.Results {
+		name := "fuzz:" + p.Ops[i].Kind.Name() + ":" + fmt.Sprintf("%d.%d", r.Errno, r.Class)
+		out.Cover.Set(ktrace.CoverIndex(name))
+	}
+	return out
+}
+
+// compareResults returns the first op index where the legs' outcomes
+// differ semantically, with a description, or -1.
+//
+// Comparison rules per class:
+//   - modal ops (hot-swap): skipped entirely
+//   - ClassNone (file/kio/sim ops): errno, count and hash must match
+//   - ClassOK / ClassEOF: class, errno, count and hash must match
+//   - ClassReset: class and errno must match (no count — how much
+//     arrived before a reset is pacing)
+//   - ClassStall: class must match (a provably-idle stall is a
+//     semantic outcome; its partial byte count is not)
+func compareResults(p *Prog, l, s *RunOutcome) (int, string) {
+	n := min(len(l.Results), len(s.Results))
+	for i := 0; i < n; i++ {
+		if p.Ops[i].Kind.Modal() {
+			continue
+		}
+		a, b := l.Results[i], s.Results[i]
+		if a.Class != b.Class {
+			return i, fmt.Sprintf("class legacy=%d safe=%d", a.Class, b.Class)
+		}
+		switch a.Class {
+		case safelinux.FuzzClassNone, safelinux.FuzzClassOK, safelinux.FuzzClassEOF:
+			if a.Errno != b.Errno {
+				return i, fmt.Sprintf("errno legacy=%v safe=%v", a.Errno, b.Errno)
+			}
+			if a.N != b.N {
+				return i, fmt.Sprintf("count legacy=%d safe=%d", a.N, b.N)
+			}
+			if a.Hash != b.Hash {
+				return i, fmt.Sprintf("content hash legacy=%#x safe=%#x", a.Hash, b.Hash)
+			}
+		case safelinux.FuzzClassReset:
+			if a.Errno != b.Errno {
+				return i, fmt.Sprintf("reset errno legacy=%v safe=%v", a.Errno, b.Errno)
+			}
+		}
+	}
+	return -1, ""
+}
+
+// Diff runs p on both legs and classifies the outcome. Returns the
+// crash (nil if the legs agree and nothing faulted) and the merged
+// coverage of both legs.
+func Diff(p *Prog, seed uint64) (*Crash, ktrace.CoverBitmap) {
+	legacy := RunProg(p, false, seed)
+	safe := RunProg(p, true, seed)
+	var cover ktrace.CoverBitmap
+	cover.Merge(&legacy.Cover)
+	cover.Merge(&safe.Cover)
+
+	mk := func(kind string, op int, detail string) *Crash {
+		return &Crash{Prog: p, Kind: kind, Op: op, Detail: detail, Legacy: legacy, Safe: safe}
+	}
+	if legacy.Panic != "" {
+		return mk(CrashPanic, legacy.PanicOp, "legacy: "+legacy.Panic), cover
+	}
+	if safe.Panic != "" {
+		return mk(CrashPanic, safe.PanicOp, "safe: "+safe.Panic), cover
+	}
+	if legacy.Violations > 0 || safe.Violations > 0 {
+		return mk(CrashOwnership, -1,
+			fmt.Sprintf("violations legacy=%d safe=%d", legacy.Violations, safe.Violations)), cover
+	}
+	if len(legacy.Oopses) > 0 || len(safe.Oopses) > 0 {
+		return mk(CrashOops, -1,
+			fmt.Sprintf("legacy=[%s] safe=[%s]",
+				strings.Join(legacy.Oopses, ", "), strings.Join(safe.Oopses, ", "))), cover
+	}
+	if i, why := compareResults(p, legacy, safe); i >= 0 {
+		return mk(CrashDivergence, i, why), cover
+	}
+	if legacy.Digest != safe.Digest {
+		return mk(CrashDivergence, -1,
+			fmt.Sprintf("fs digest legacy=%#x safe=%#x", legacy.Digest, safe.Digest)), cover
+	}
+	return nil, cover
+}
+
+// Failing reports whether p still produces a crash of the same kind
+// at the same op kind — the minimizer predicate.
+func Failing(p *Prog, seed uint64, want *Crash) bool {
+	c, _ := Diff(p, seed)
+	if c == nil || c.Kind != want.Kind {
+		return false
+	}
+	// Pin the faulting op's kind (not its index — minimization shifts
+	// indices) so minimization can't wander to an unrelated bug.
+	if want.Op >= 0 {
+		return c.Op >= 0 && c.Prog.Ops[c.Op].Kind == want.Prog.Ops[want.Op].Kind
+	}
+	return c.Op < 0
+}
+
+// Report renders a triage report: classification, the program, both
+// legs' per-op outcomes, and the flight-recorder tail plus span tree
+// of a fresh re-run of each leg.
+func (c *Crash) Report(seed uint64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CRASH kind=%s op=%d detail=%s\n", c.Kind, c.Op, c.Detail)
+	b.WriteString("program:\n")
+	for i, op := range c.Prog.Ops {
+		fmt.Fprintf(&b, "  %2d: %s\n", i, op.String())
+	}
+	b.WriteString("outcomes (legacy | safe):\n")
+	n := max(len(c.Legacy.Results), len(c.Safe.Results))
+	for i := 0; i < n; i++ {
+		b.WriteString(fmt.Sprintf("  %2d: %-34s | %s\n",
+			i, fmtResult(c.Legacy.Results, i), fmtResult(c.Safe.Results, i)))
+	}
+	fmt.Fprintf(&b, "fs digest: legacy=%#x safe=%#x\n", c.Legacy.Digest, c.Safe.Digest)
+	fmt.Fprintf(&b, "oopses: legacy=%v safe=%v\n", c.Legacy.Oopses, c.Safe.Oopses)
+	fmt.Fprintf(&b, "violations: legacy=%d safe=%d\n", c.Legacy.Violations, c.Safe.Violations)
+	for _, leg := range []struct {
+		name string
+		safe bool
+	}{{"legacy", false}, {"safe", true}} {
+		b.WriteString(flightTail(c.Prog, leg.safe, seed, leg.name))
+	}
+	return b.String()
+}
+
+func fmtResult(rs []safelinux.FuzzResult, i int) string {
+	if i >= len(rs) {
+		return "(not reached)"
+	}
+	r := rs[i]
+	return fmt.Sprintf("errno=%v class=%d n=%d hash=%#x", r.Errno, r.Class, r.N, r.Hash)
+}
+
+// flightTail re-runs one leg with the flight recorder and span plane
+// live and renders the last events plus the final op's span tree.
+func flightTail(p *Prog, safe bool, seed uint64, name string) string {
+	ktrace.EnableFlightRecorder(256)
+	defer ktrace.DisableFlightRecorder()
+	ktrace.SetSpans(true)
+	defer ktrace.SetSpans(false)
+	ktrace.Buffer().Reset()
+	RunProg(p, safe, seed)
+	evs := ktrace.Buffer().Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight-recorder tail (%s leg):\n", name)
+	for _, line := range ktrace.FormatEvents(ktrace.Buffer().Last(32)) {
+		b.WriteString("  " + line + "\n")
+	}
+	// Span tree of the most recent trace (the op that crashed or the
+	// last op executed).
+	var traceID uint64
+	for _, ev := range evs {
+		if strings.HasPrefix(ev.Name, "span:") && ev.A0 != 0 {
+			traceID = ev.A0
+		}
+	}
+	if traceID != 0 {
+		fmt.Fprintf(&b, "span tree (%s leg, trace %#x):\n", name, traceID)
+		for _, line := range ktrace.SpanTree(evs, traceID) {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package fuzz
+
+import (
+	"testing"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// TestGenerateValid pins static validity of generated programs: every
+// resource use is dominated by a def (no op reads an fd/conn/listener
+// slot that no prior op defined).
+func TestGenerateValid(t *testing.T) {
+	rng := kbase.NewRng(7)
+	for i := 0; i < 500; i++ {
+		p := Generate(rng, 40)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("gen %d invalid: %v\n%s", i, err, p.String())
+		}
+		if len(p.Ops) == 0 {
+			t.Fatalf("gen %d: empty program", i)
+		}
+	}
+}
+
+// TestMutateValid pins that every mutation strategy repairs the
+// program back to static validity.
+func TestMutateValid(t *testing.T) {
+	rng := kbase.NewRng(8)
+	p := Generate(rng, 25)
+	for i := 0; i < 1000; i++ {
+		p2 := Mutate(rng, p)
+		if err := p2.Validate(); err != nil {
+			t.Fatalf("mutation %d invalid: %v\n%s", i, err, p2.String())
+		}
+		if i%10 == 0 {
+			p = p2 // walk the mutation chain, not just one-step
+		}
+	}
+}
+
+// TestSpliceValid pins crossover validity.
+func TestSpliceValid(t *testing.T) {
+	rng := kbase.NewRng(9)
+	for i := 0; i < 500; i++ {
+		a, b := Generate(rng, 20), Generate(rng, 20)
+		s := Splice(rng, a, b)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("splice %d invalid: %v\n%s", i, err, s.String())
+		}
+	}
+}
+
+// TestGenerateDeterministic pins that generation depends only on the
+// rng stream: two rngs with the same seed produce identical programs.
+func TestGenerateDeterministic(t *testing.T) {
+	r1, r2 := kbase.NewRng(123), kbase.NewRng(123)
+	for i := 0; i < 50; i++ {
+		if g1, g2 := Generate(r1, 30), Generate(r2, 30); g1.String() != g2.String() {
+			t.Fatalf("gen %d diverged:\n%s\nvs\n%s", i, g1.String(), g2.String())
+		}
+	}
+}

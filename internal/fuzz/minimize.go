@@ -1,0 +1,72 @@
+package fuzz
+
+// Greedy program minimization. A failing program shrinks by repeated
+// single-op removal (Fix cascades dependents of a removed def), then
+// by shrinking value fields, keeping every change under which the
+// failure predicate still holds. The result is 1-minimal at the op
+// level: removing any single remaining op (plus its dependents) makes
+// the failure disappear — the property corpus_test pins.
+
+// Minimize returns the smallest program reachable from p by greedy
+// op removal and field shrinking for which pred still returns true.
+// pred must be deterministic and must hold for p itself; pred is
+// never called with an empty program.
+func Minimize(p *Prog, pred func(*Prog) bool) *Prog {
+	cur := p.Clone()
+	// Op-level: retry whole passes until a fixpoint, since removing a
+	// later op can make an earlier one removable.
+	for shrunk := true; shrunk; {
+		shrunk = false
+		for i := 0; i < len(cur.Ops); i++ {
+			q := cur.WithoutOp(i)
+			if len(q.Ops) == 0 || len(q.Ops) >= len(cur.Ops) {
+				continue
+			}
+			if pred(q) {
+				cur = q
+				shrunk = true
+				i = -1 // restart the pass over the smaller program
+			}
+		}
+	}
+	// Field-level: halve lengths and offsets toward small canonical
+	// values while the failure persists. This keeps repros readable;
+	// op-level 1-minimality is unaffected.
+	for i := range cur.Ops {
+		shrinkField(cur, i, func(op *Op) *int { return &op.Len }, pred)
+		shrinkOff(cur, i, pred)
+	}
+	return cur
+}
+
+// shrinkField halves a numeric field toward 1 while pred holds.
+func shrinkField(p *Prog, i int, field func(*Op) *int, pred func(*Prog) bool) {
+	for {
+		cur := *field(&p.Ops[i])
+		if cur <= 1 {
+			return
+		}
+		q := p.Clone()
+		*field(&q.Ops[i]) = cur / 2
+		if !q.Valid() || !pred(q) {
+			return
+		}
+		p.Ops[i] = q.Ops[i]
+	}
+}
+
+// shrinkOff halves an offset toward 0 while pred holds.
+func shrinkOff(p *Prog, i int, pred func(*Prog) bool) {
+	for {
+		cur := p.Ops[i].Off
+		if cur <= 0 {
+			return
+		}
+		q := p.Clone()
+		q.Ops[i].Off = cur / 2
+		if !q.Valid() || !pred(q) {
+			return
+		}
+		p.Ops[i] = q.Ops[i]
+	}
+}

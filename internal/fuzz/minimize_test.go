@@ -1,0 +1,71 @@
+package fuzz
+
+import (
+	"testing"
+
+	"safelinux/internal/linuxlike/kbase"
+)
+
+// hasPair reports whether p opens /f0 and later unlinks it — a cheap
+// stand-in for "still reproduces the bug" that needs two specific ops
+// in order.
+func hasPair(p *Prog) bool {
+	opened := false
+	for _, op := range p.Ops {
+		switch {
+		case op.Kind == OpOpen && op.Path == "/f0" && op.Flags&0x40 != 0:
+			opened = true
+		case op.Kind == OpUnlink && op.Path == "/f0" && opened:
+			return true
+		}
+	}
+	return false
+}
+
+// TestMinimizeOneMinimal pins op-level 1-minimality: on the minimized
+// program, removing ANY single op must break the predicate. Greedy
+// single-pass minimizers miss this (removing a later op can make an
+// earlier one removable); the fixpoint loop must not.
+func TestMinimizeOneMinimal(t *testing.T) {
+	rng := kbase.NewRng(99)
+	for trial := 0; trial < 30; trial++ {
+		p := Generate(rng, 30)
+		// Plant the pair amid the noise.
+		p.Ops = append(p.Ops,
+			Op{Kind: OpOpen, Slot: 1, Path: "/f0", Flags: 0x41},
+			Op{Kind: OpUnlink, Path: "/f0"})
+		p.Fix()
+		if !hasPair(p) {
+			continue
+		}
+		min := Minimize(p, hasPair)
+		if !hasPair(min) {
+			t.Fatalf("trial %d: minimized program lost the predicate", trial)
+		}
+		if !min.Valid() {
+			t.Fatalf("trial %d: minimized program is invalid", trial)
+		}
+		for i := range min.Ops {
+			if q := min.WithoutOp(i); len(q.Ops) < len(min.Ops) && hasPair(q) {
+				t.Fatalf("trial %d: not 1-minimal, op %d (%s) removable from:\n%s",
+					trial, i, min.Ops[i].Kind.Name(), min.String())
+			}
+		}
+	}
+}
+
+// TestMinimizeShrinksFields pins the field-level pass: a large write
+// length shrinks to the smallest value that still satisfies the
+// predicate.
+func TestMinimizeShrinksFields(t *testing.T) {
+	p, err := ParseProg("open slot=1 path=/f0 flags=65\nwrite slot=1 len=4096\nunlink path=/f0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := Minimize(p, hasPair)
+	for _, op := range min.Ops {
+		if op.Kind == OpWrite && op.Len > 1 {
+			t.Errorf("write len not shrunk: %d", op.Len)
+		}
+	}
+}

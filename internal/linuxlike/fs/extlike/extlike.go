@@ -320,14 +320,21 @@ func (inst *fsInstance) removeEntry(task *kbase.Task, dir *vfs.Inode, name strin
 	childVi.Nlink = uint32(cei.di.Nlink)
 	childVi.ILock.Unlock(task)
 	if cei.di.Nlink == 0 {
-		if !inst.fs.LeakOnUnlink {
-			if err := inst.freeAllBlocks(task, h, cei); err != kbase.EOK {
+		if childVi.OpenCount() > 0 {
+			// POSIX orphan file: live descriptors must keep reading
+			// and writing until the last close, so storage reclaim
+			// is deferred to Release. The dirent is gone either way.
+			cei.orphan = true
+		} else {
+			if !inst.fs.LeakOnUnlink {
+				if err := inst.freeAllBlocks(task, h, cei); err != kbase.EOK {
+					return err
+				}
+			}
+			// else: injected leak — blocks stay allocated forever.
+			if err := inst.freeIno(task, h, target.Ino); err != kbase.EOK {
 				return err
 			}
-		}
-		// else: injected leak — blocks stay allocated forever.
-		if err := inst.freeIno(task, h, target.Ino); err != kbase.EOK {
-			return err
 		}
 		inst.imu.Lock()
 		delete(inst.inodes, target.Ino)
@@ -386,38 +393,82 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	// Resolve and lock a replaced target BEFORE opening the journal
 	// handle: handle holders must never block on an inode lock.
 	var xei *einode
+	var exVi *vfs.Inode
 	ni := dirFind(newEnts, newName)
 	if ni >= 0 {
 		existing := newEnts[ni]
-		if existing.Mode == modeDirDisk {
+		if existing.Ino == moving.Ino {
+			// POSIX: oldpath and newpath name the same file (self-
+			// rename or two links to one inode) — rename does nothing
+			// and reports success. Without this the replace path below
+			// would free the very inode being moved.
+			return kbase.EOK
+		}
+		// POSIX rename(2) kind rules: a directory may not replace a
+		// non-directory (ENOTDIR), a non-directory may not replace a
+		// directory (EISDIR), and a directory target must be empty
+		// (ENOTEMPTY below). The old code fell through to the file
+		// replace path and silently clobbered a file with a
+		// directory — fuzzer-found.
+		movingDir := moving.Mode == modeDirDisk
+		existingDir := existing.Mode == modeDirDisk
+		if movingDir && !existingDir {
+			return kbase.ENOTDIR
+		}
+		if !movingDir && existingDir {
 			return kbase.EISDIR
 		}
-		exVi, err := inst.iget(task, existing.Ino)
-		if err != kbase.EOK {
+		if exVi, err = inst.iget(task, existing.Ino); err != kbase.EOK {
 			return err
 		}
 		if xei, err = einodeOf(exVi); err != kbase.EOK {
 			return err
 		}
-		xei.lock.Lock(task)
+		if existingDir {
+			// Up to two dir locks are already held; renameMu makes
+			// the extra subclass safe.
+			xei.lock.LockNested(task, 2)
+		} else {
+			xei.lock.Lock(task)
+		}
 		defer xei.lock.Unlock(task)
+		if existingDir {
+			sub, err := inst.readDir(task, xei)
+			if err != kbase.EOK {
+				return err
+			}
+			if len(sub) > 0 {
+				return kbase.ENOTEMPTY
+			}
+		}
 	}
 
 	h := inst.begin()
 	defer h.Stop()
 
 	if ni >= 0 {
-		// Replace: drop the target like unlink does.
+		// Replace: drop the target like unlink (or rmdir, for an
+		// empty directory target) does.
 		existing := newEnts[ni]
-		xei.di.Nlink--
+		if existing.Mode == modeDirDisk {
+			xei.di.Nlink = 0
+		} else {
+			xei.di.Nlink--
+		}
 		if xei.di.Nlink == 0 {
-			if !inst.fs.LeakOnUnlink {
-				if err := inst.freeAllBlocks(task, h, xei); err != kbase.EOK {
+			if exVi.OpenCount() > 0 {
+				// Replaced-while-open target: orphan it like unlink
+				// does; Release reclaims at the last close.
+				xei.orphan = true
+			} else {
+				if !inst.fs.LeakOnUnlink {
+					if err := inst.freeAllBlocks(task, h, xei); err != kbase.EOK {
+						return err
+					}
+				}
+				if err := inst.freeIno(task, h, existing.Ino); err != kbase.EOK {
 					return err
 				}
-			}
-			if err := inst.freeIno(task, h, existing.Ino); err != kbase.EOK {
-				return err
 			}
 			inst.imu.Lock()
 			delete(inst.inodes, existing.Ino)
@@ -615,6 +666,40 @@ func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
 	}
 	// Data writeback: make file data durable too.
 	return inst.cache.SyncDirtyCtx(task)
+}
+
+// Release implements vfs.ReleaseOps: the last descriptor on the
+// inode closed. If unlink (or a replacing rename) orphaned it, the
+// deferred reclaim runs now — blocks and the ino number go back to
+// the bitmaps under a journal handle, exactly the free path unlink
+// would have taken.
+func (fo *fileOps) Release(task *kbase.Task, ino *vfs.Inode) {
+	inst := fo.inst
+	ei, err := einodeOf(ino)
+	if err != kbase.EOK {
+		return
+	}
+	ei.lock.Lock(task)
+	defer ei.lock.Unlock(task)
+	if !ei.orphan {
+		return
+	}
+	ei.orphan = false
+	h := inst.begin()
+	defer h.Stop()
+	if !inst.fs.LeakOnUnlink {
+		if err := inst.freeAllBlocks(task, h, ei); err != kbase.EOK {
+			return
+		}
+	}
+	if err := inst.freeIno(task, h, ei.ino); err != kbase.EOK {
+		return
+	}
+	if err := inst.writeDiskInode(task, h, ei.ino, &ei.di); err != kbase.EOK {
+		return
+	}
+	h.Stop()
+	_ = inst.commit(task)
 }
 
 // SuperBlockOps.

@@ -17,6 +17,12 @@ type einode struct {
 	// file_inode by mode; child directories lock with subclass 1.
 	lock *kbase.KMutex
 	di   diskInode
+	// orphan marks an inode whose last link was dropped while
+	// descriptors still referenced it: blocks and the ino number stay
+	// allocated until the last close runs Release. Guarded by lock.
+	// On crash the storage leaks, as in ext without orphan-list
+	// recovery.
+	orphan bool
 }
 
 // einodeOf downcasts Inode.Private through the vfs accessor, so the
@@ -277,6 +283,28 @@ func (inst *fsInstance) truncateBlocks(task *kbase.Task, h *journal.Handle, ei *
 	bs := uint64(inst.geo.SB.BlockSize)
 	keep := (uint64(newSize) + bs - 1) / bs // file blocks to keep
 	ptrsPerBlock := bs / 8
+
+	// Zero the tail of the last kept block past the new EOF. Without
+	// this, extending the file again exposes the stale bytes as data
+	// (fuzzer-found: pwrite/truncate/pwrite diverged from safefs);
+	// ext4 does the same partial-block zeroing on shrink.
+	if tail := uint64(newSize) % bs; tail != 0 {
+		blk, err := inst.blockFor(task, h, ei, keep-1, false)
+		if err != kbase.EOK {
+			return err
+		}
+		if blk != 0 {
+			bh, err := inst.cache.BreadCtx(task, blk)
+			if err != kbase.EOK {
+				return err
+			}
+			for i := tail; i < bs; i++ {
+				bh.Data[i] = 0
+			}
+			bh.MarkDirty()
+			_ = bh.Put() // brelse-style release; over-release is already oopsed
+		}
+	}
 
 	for fb := keep; fb < NumDirect; fb++ {
 		if ei.di.Direct[fb] != 0 {

@@ -426,6 +426,12 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	}
 	// Replace semantics: an existing non-dir target is removed.
 	if existing, e := o.LookupTyped(task, newDir, newName).Get(); e == kbase.EOK {
+		if existing == src {
+			// POSIX: oldpath and newpath name the same file — rename
+			// does nothing and reports success (removing the target
+			// here would remove the source itself).
+			return kbase.EOK
+		}
 		if existing.Mode.IsDir() {
 			return kbase.EISDIR
 		}

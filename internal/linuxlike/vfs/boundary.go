@@ -125,14 +125,14 @@ func (v *VFS) Open(task *kbase.Task, path string, flags int) (int, kbase.Errno) 
 
 // Close closes a descriptor.
 func (v *VFS) Close(fd int) kbase.Errno {
-	return v.guard(nil, opClose, func() kbase.Errno { return v.doClose(fd) })
+	return v.guard(nil, opClose, func() kbase.Errno { return v.doClose(nil, fd) })
 }
 
 // CloseAs is Close with caller-supplied task context: a supervisor
 // task closing descriptors mid-migration must bypass the drained gate
 // it is itself holding shut.
 func (v *VFS) CloseAs(task *kbase.Task, fd int) kbase.Errno {
-	return v.guard(task, opClose, func() kbase.Errno { return v.doClose(fd) })
+	return v.guard(task, opClose, func() kbase.Errno { return v.doClose(task, fd) })
 }
 
 // Read reads from the file position.
@@ -221,6 +221,13 @@ func (v *VFS) CloseAll() int {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	n := len(v.files)
+	// Drop the open counts but skip Release hooks: the owning
+	// instance just crashed and is being rebuilt from its journal —
+	// calling into its poisoned state would be worse than the
+	// storage leak crash recovery already implies.
+	for _, f := range v.files {
+		f.Inode.openUnref()
+	}
 	v.files = make(map[int]*File)
 	return n
 }
@@ -249,6 +256,11 @@ func (v *VFS) RemapDescriptors(oldSb *SuperBlock, resolve func(path string) (*In
 			return i, err
 		}
 		f.mu.Lock()
+		// Move the open count with the descriptor. No Release on the
+		// old inode: the old file system is retired wholesale after
+		// the swap, storage and all.
+		f.Inode.openUnref()
+		ino.openRef()
 		f.Inode = ino
 		f.mu.Unlock()
 	}

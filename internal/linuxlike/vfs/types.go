@@ -15,6 +15,8 @@
 package vfs
 
 import (
+	"sync/atomic"
+
 	"safelinux/internal/linuxlike/kbase"
 )
 
@@ -76,7 +78,20 @@ type Inode struct {
 	// through SetPrivate/PrivateAs where the one audited downcast
 	// lives.
 	private any
+
+	// opens counts live descriptors referencing this inode. The VFS
+	// maintains it on open/close/remap; file systems read it
+	// (OpenCount) when the last link goes away to decide whether
+	// storage reclaim must be deferred to the last close — the POSIX
+	// orphan-file contract.
+	opens atomic.Int32
 }
+
+// OpenCount returns the number of open descriptors on the inode.
+func (i *Inode) OpenCount() int { return int(i.opens.Load()) }
+
+func (i *Inode) openRef()         { i.opens.Add(1) }
+func (i *Inode) openUnref() int32 { return i.opens.Add(-1) }
 
 // SizeRead returns ISize under ILock — the disciplined accessor that
 // only some call paths use.
@@ -138,6 +153,16 @@ type FileOps interface {
 	Fsync(task *kbase.Task, ino *Inode) kbase.Errno
 	// Truncate sets the file size.
 	Truncate(task *kbase.Task, ino *Inode, size int64) kbase.Errno
+}
+
+// ReleaseOps is an optional FileOps extension. The VFS calls Release
+// when the last descriptor on an inode is closed, giving the file
+// system its one chance to reclaim storage it kept alive for an
+// open-but-unlinked file (POSIX: unlink of an open file defers data
+// destruction to the final close). File systems without deferred
+// state simply don't implement it.
+type ReleaseOps interface {
+	Release(task *kbase.Task, ino *Inode)
 }
 
 // SuperBlockOps is the super_operations table.

@@ -370,18 +370,29 @@ func (v *VFS) doOpen(task *kbase.Task, path string, flags int) (int, kbase.Errno
 	fd := v.nextFD
 	v.nextFD++
 	v.files[fd] = f
+	ino.openRef()
 	v.mu.Unlock()
 	return fd, kbase.EOK
 }
 
-// doClose closes a descriptor.
-func (v *VFS) doClose(fd int) kbase.Errno {
+// doClose closes a descriptor. When it was the inode's last open
+// descriptor, the owning file system's Release hook (if implemented)
+// runs outside the file-table lock — it may do journaled I/O to
+// reclaim an orphan's storage.
+func (v *VFS) doClose(task *kbase.Task, fd int) kbase.Errno {
 	v.mu.Lock()
-	defer v.mu.Unlock()
-	if _, ok := v.files[fd]; !ok {
+	f, ok := v.files[fd]
+	if !ok {
+		v.mu.Unlock()
 		return kbase.EBADF
 	}
 	delete(v.files, fd)
+	v.mu.Unlock()
+	if f.Inode.openUnref() == 0 {
+		if r, ok := f.Inode.FileOps.(ReleaseOps); ok {
+			r.Release(task, f.Inode)
+		}
+	}
 	return kbase.EOK
 }
 
@@ -412,6 +423,12 @@ func (v *VFS) doRead(task *kbase.Task, fd int, buf []byte) (int, kbase.Errno) {
 	if !f.readable() {
 		return 0, kbase.EBADF
 	}
+	if f.Inode.Mode.IsDir() {
+		// Directories open read-only but read(2) on them is EISDIR,
+		// uniformly across modules (fuzzer-found: extlike returned
+		// EOF, safefs ENOENT).
+		return 0, kbase.EISDIR
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	n, e := f.Inode.FileOps.Read(task, f.Inode, buf, f.pos)
@@ -427,6 +444,9 @@ func (v *VFS) doPread(task *kbase.Task, fd int, buf []byte, off int64) (int, kba
 	}
 	if !f.readable() {
 		return 0, kbase.EBADF
+	}
+	if f.Inode.Mode.IsDir() {
+		return 0, kbase.EISDIR
 	}
 	if off < 0 {
 		return 0, kbase.EINVAL
@@ -615,6 +635,13 @@ func (v *VFS) doUnlink(task *kbase.Task, path string) kbase.Errno {
 
 // doRename moves oldPath to newPath. Cross-mount renames return EXDEV.
 func (v *VFS) doRename(task *kbase.Task, oldPath, newPath string) kbase.Errno {
+	// Ancestry guard: moving a directory beneath itself would detach
+	// it from the tree. Only the VFS sees both full paths, so the
+	// check lives here (as Linux's lock_rename subtree check does);
+	// file systems see just (parent, name) pairs.
+	if strings.HasPrefix(CleanPath(newPath), CleanPath(oldPath)+"/") {
+		return kbase.EINVAL
+	}
 	_, oldParent, oldName, err := v.resolveParent(task, oldPath, true)
 	if err != kbase.EOK {
 		return err

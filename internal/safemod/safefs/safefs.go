@@ -78,11 +78,25 @@ func (f *FS) Mount(task *kbase.Task, data vfs.MountData) (*vfs.SuperBlock, kbase
 	return vsb, kbase.EOK
 }
 
-// snode is safefs's per-inode state: just the path. All real state
-// lives in fstate, keyed by path, so inodes are cheap, immutable
-// descriptors.
+// snode is safefs's per-inode state: the path, plus orphan storage
+// for the POSIX unlink-while-open contract. All linked-file state
+// lives in fstate, keyed by path, so inodes are cheap descriptors.
 type snode struct {
 	path string
+	// orphan holds the file's bytes after its last link is dropped
+	// while descriptors remain open: reads and writes through those
+	// descriptors hit this buffer until the last close. nil while
+	// linked. Guarded by the instance nsLock, like the fstate the
+	// bytes came from. Deliberately outside the spec: the model
+	// covers the namespace, and an orphan by definition has no name.
+	orphan *orphanFile
+}
+
+// orphanFile is the storage for an open-but-unlinked file. The
+// pointer wrapper keeps a zero-length orphan distinguishable from
+// "not orphaned".
+type orphanFile struct {
+	data []byte
 }
 
 // inodeFor returns the (cached) inode for a path. It takes the inode
@@ -189,12 +203,22 @@ func canApply(st *fstate, r Record) kbase.Errno {
 		if !st.dirs[r.Path] {
 			return kbase.ENOENT
 		}
-		if st.exists(r.Path2) {
-			return kbase.EEXIST
+		if r.Path2 == r.Path {
+			// POSIX: renaming a path onto itself is a successful
+			// no-op, for directories as for files.
+			return kbase.EOK
 		}
-		if r.Path2 == r.Path || strings.HasPrefix(r.Path2, r.Path+"/") {
+		if strings.HasPrefix(r.Path2, r.Path+"/") {
 			return kbase.EINVAL
 		}
+		if _, ok := st.files[r.Path2]; ok {
+			// POSIX: a directory may not replace a non-directory.
+			return kbase.ENOTDIR
+		}
+		if st.dirs[r.Path2] && !st.dirEmpty(r.Path2) {
+			return kbase.ENOTEMPTY
+		}
+		// Target absent or an empty directory: both are renameable-over.
 		return kbase.EOK
 	case OpWrite, OpTruncate:
 		if _, ok := st.files[r.Path]; !ok {
@@ -279,13 +303,59 @@ func (o *inodeOps) Unlink(task *kbase.Task, dir *vfs.Inode, name string) kbase.E
 	if err != kbase.EOK {
 		return err
 	}
+	// Copy the bytes out before the record frees them if descriptors
+	// are still open: they must keep reading and writing the file
+	// until the last close (POSIX orphan contract), even though the
+	// name is about to disappear.
+	keep := inst.captureOrphan(path)
 	if err := inst.do(Record{Kind: OpUnlink, Path: path}); err != kbase.EOK {
 		return err
 	}
+	inst.adoptOrphan(path, keep)
 	inst.imu.Lock()
 	delete(inst.inodes, path)
 	inst.imu.Unlock()
 	return kbase.EOK
+}
+
+// captureOrphan snapshots path's content when open descriptors would
+// outlive its last link. Caller holds nsLock for writing. Returns nil
+// when no descriptor is open (or path is not a file).
+func (inst *fsInstance) captureOrphan(path string) *orphanFile {
+	inst.imu.Lock()
+	ino := inst.inodes[path]
+	inst.imu.Unlock()
+	if ino == nil || ino.OpenCount() == 0 {
+		return nil
+	}
+	size, err := inst.st.fileSize(path)
+	if err != kbase.EOK {
+		return nil
+	}
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := inst.st.readFile(path, buf, 0); err != kbase.EOK {
+			return nil
+		}
+	}
+	return &orphanFile{data: buf}
+}
+
+// adoptOrphan hangs a captured snapshot off path's inode after the
+// namespace record committed. Caller holds nsLock for writing.
+func (inst *fsInstance) adoptOrphan(path string, keep *orphanFile) {
+	if keep == nil {
+		return
+	}
+	inst.imu.Lock()
+	ino := inst.inodes[path]
+	inst.imu.Unlock()
+	if ino == nil {
+		return
+	}
+	if sn, ok := vfs.PrivateAs[*snode](ino); ok {
+		sn.orphan = keep
+	}
 }
 
 func (o *inodeOps) Rmdir(task *kbase.Task, dir *vfs.Inode, name string) kbase.Errno {
@@ -317,16 +387,44 @@ func (o *inodeOps) Rename(task *kbase.Task, oldDir *vfs.Inode, oldName string, n
 	if err != kbase.EOK {
 		return err
 	}
+	// A replacing rename unlinks the target; same orphan contract as
+	// Unlink for any descriptors still open on it. Self-rename is a
+	// no-op and must not orphan the still-linked file.
+	var keep *orphanFile
+	if oldPath != newPath {
+		keep = inst.captureOrphan(newPath)
+	}
 	if err := inst.do(Record{Kind: OpRename, Path: oldPath, Path2: newPath}); err != kbase.EOK {
 		return err
 	}
-	// Paths moved: inode descriptors keyed by path are stale. Drop
-	// the subtree conservatively.
+	inst.adoptOrphan(newPath, keep)
+	// Paths moved: inode descriptors keyed by the old path must keep
+	// following the file, because open descriptors hold them — so
+	// rekey the moved subtree (rewriting each snode's path) instead of
+	// dropping it. Dropping would alias the path to two live inodes
+	// (the fd's stale one and a freshly resolved one), splitting size
+	// and content views (fuzzer-found via a self-rename). Descriptors
+	// under a replaced target are gone for good and are dropped.
 	inst.imu.Lock()
-	for p := range inst.inodes {
-		if p == oldPath || p == newPath || strings.HasPrefix(p, oldPath+"/") || strings.HasPrefix(p, newPath+"/") {
-			delete(inst.inodes, p)
+	moved := make(map[string]*vfs.Inode)
+	for p, ino := range inst.inodes {
+		switch {
+		case p == oldPath:
+			moved[newPath] = ino
+		case strings.HasPrefix(p, oldPath+"/"):
+			moved[newPath+p[len(oldPath):]] = ino
+		case oldPath != newPath && (p == newPath || strings.HasPrefix(p, newPath+"/")):
+			// replaced target subtree: descriptor is dead
+		default:
+			continue
 		}
+		delete(inst.inodes, p)
+	}
+	for np, ino := range moved {
+		if sn, ok := vfs.PrivateAs[*snode](ino); ok {
+			sn.path = np
+		}
+		inst.inodes[np] = ino
 	}
 	inst.imu.Unlock()
 	return kbase.EOK
@@ -385,6 +483,13 @@ func (fo *fileOps) Read(task *kbase.Task, ino *vfs.Inode, buf []byte, off int64)
 	if !ok {
 		return 0, kbase.EUCLEAN
 	}
+	if sn.orphan != nil {
+		n := 0
+		if off < int64(len(sn.orphan.data)) {
+			n = copy(buf, sn.orphan.data[off:])
+		}
+		return n, kbase.EOK
+	}
 	return inst.st.readFile(sn.path, buf, off)
 }
 
@@ -413,6 +518,19 @@ func (fo *fileOps) WriteCopy(task *kbase.Task, ino *vfs.Inode, off int64, data [
 	inst := fo.inst
 	inst.nsLock.DownWrite(task)
 	defer inst.nsLock.UpWrite(task)
+	if sn, ok := vfs.PrivateAs[*snode](ino); ok && sn.orphan != nil {
+		// Orphan write: mutate the stash directly, no record. The
+		// name is gone, so the spec (a namespace model) has nothing
+		// to say, and a crash discards the file regardless.
+		end := off + int64(len(data))
+		if end > int64(len(sn.orphan.data)) {
+			grown := make([]byte, end)
+			copy(grown, sn.orphan.data)
+			sn.orphan.data = grown
+		}
+		copy(sn.orphan.data[off:], data)
+		return len(data), kbase.EOK
+	}
 	payload := make([]byte, len(data))
 	copy(payload, data)
 	if err := inst.do(Record{Kind: OpWrite, Path: plan.path, Off: off, Data: payload}); err != kbase.EOK {
@@ -434,6 +552,10 @@ func (fo *fileOps) WriteEnd(task *kbase.Task, ino *vfs.Inode, off int64, n int, 
 	inst := fo.inst
 	inst.nsLock.DownRead(task)
 	defer inst.nsLock.UpRead(task)
+	if sn, ok := vfs.PrivateAs[*snode](ino); ok && sn.orphan != nil {
+		ino.SizeWrite(task, int64(len(sn.orphan.data)))
+		return kbase.EOK
+	}
 	if size, e := inst.st.fileSize(plan.path); e == kbase.EOK {
 		ino.SizeWrite(task, size)
 	}
@@ -448,6 +570,18 @@ func (fo *fileOps) Truncate(task *kbase.Task, ino *vfs.Inode, size int64) kbase.
 	if !ok {
 		return kbase.EUCLEAN
 	}
+	if sn.orphan != nil {
+		switch {
+		case size < int64(len(sn.orphan.data)):
+			sn.orphan.data = sn.orphan.data[:size]
+		case size > int64(len(sn.orphan.data)):
+			grown := make([]byte, size)
+			copy(grown, sn.orphan.data)
+			sn.orphan.data = grown
+		}
+		ino.SizeWrite(task, size)
+		return kbase.EOK
+	}
 	if err := inst.do(Record{Kind: OpTruncate, Path: sn.path, Off: size}); err != kbase.EOK {
 		return err
 	}
@@ -460,6 +594,18 @@ func (fo *fileOps) Fsync(task *kbase.Task, ino *vfs.Inode) kbase.Errno {
 	inst.nsLock.DownWrite(task)
 	defer inst.nsLock.UpWrite(task)
 	return inst.store.sync()
+}
+
+// Release implements vfs.ReleaseOps: drop the orphan stash once the
+// last descriptor is gone. The buffer was the file's only remaining
+// incarnation, so this is the actual point of data destruction.
+func (fo *fileOps) Release(task *kbase.Task, ino *vfs.Inode) {
+	inst := fo.inst
+	inst.nsLock.DownWrite(task)
+	defer inst.nsLock.UpWrite(task)
+	if sn, ok := vfs.PrivateAs[*snode](ino); ok {
+		sn.orphan = nil
+	}
 }
 
 // --- SuperBlockOps ---

@@ -135,12 +135,22 @@ func absStep(s Abs, op spec.Op) (Abs, kbase.Errno) {
 		if !s.Dirs[old] {
 			return s, kbase.ENOENT
 		}
-		if exists(new) {
-			return s, kbase.EEXIST
+		if new == old {
+			// POSIX: rename to self is a successful no-op.
+			return s, kbase.EOK
 		}
-		if new == old || strings.HasPrefix(new, old+"/") {
+		if strings.HasPrefix(new, old+"/") {
 			return s, kbase.EINVAL
 		}
+		if _, ok := s.Files[new]; ok {
+			// POSIX: a directory may not replace a non-directory.
+			return s, kbase.ENOTDIR
+		}
+		if s.Dirs[new] && !dirEmpty(new) {
+			return s, kbase.ENOTEMPTY
+		}
+		// Target absent or an empty directory; an empty target is
+		// simply overwritten by the prefix substitution below.
 		// The §4.4 model: substitute the prefix on every path key.
 		n := Abs{Dirs: map[string]bool{}, Files: map[string]string{}}
 		oldPrefix := old + "/"

@@ -189,13 +189,23 @@ func (st *fstate) rename(old, new string) kbase.Errno {
 	if !st.dirs[old] {
 		return kbase.ENOENT
 	}
-	// Directory rename: target must not exist; moving a directory
-	// under itself is invalid.
-	if st.exists(new) {
-		return kbase.EEXIST
+	if new == old {
+		return kbase.EOK // rename to self is a no-op (POSIX)
 	}
-	if new == old || strings.HasPrefix(new, old+"/") {
+	// Directory rename: moving a directory under itself is invalid;
+	// the target may not be a file (ENOTDIR) and may be replaced only
+	// if it is an empty directory (else ENOTEMPTY) — POSIX rename(2).
+	if strings.HasPrefix(new, old+"/") {
 		return kbase.EINVAL
+	}
+	if _, ok := st.files[new]; ok {
+		return kbase.ENOTDIR
+	}
+	if st.dirs[new] {
+		if !st.dirEmpty(new) {
+			return kbase.ENOTEMPTY
+		}
+		delete(st.dirs, new) // empty target replaced by the move
 	}
 	oldPrefix := old + "/"
 	// Substitute the prefix on every key.

@@ -25,7 +25,7 @@ func safefsSuite() spec.Suite[Abs] {
 				{Name: "write", Args: []any{"a/b/f", 0, "deep"}},
 				{Name: "rename", Args: []any{"a", "z"}},
 				{Name: "write", Args: []any{"z/b/f", 4, "er"}},
-				{Name: "rename", Args: []any{"z", "z"}},     // EINVAL (self)
+				{Name: "rename", Args: []any{"z", "z"}},     // EOK (self no-op)
 				{Name: "rename", Args: []any{"z", "z/sub"}}, // EINVAL (cycle)
 			},
 		},
